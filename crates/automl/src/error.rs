@@ -1,0 +1,67 @@
+//! Error type for the AutoML module.
+
+use easytime_data::DataError;
+use easytime_eval::EvalError;
+use easytime_models::ModelError;
+use std::fmt;
+
+/// Errors produced by the Automated Ensemble module.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AutoMlError {
+    /// Pretraining inputs are inconsistent (empty corpus, shape mismatch…).
+    InvalidInput {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// The classifier or recommender was used before pretraining.
+    NotPretrained,
+    /// The ensemble was used before fitting.
+    NotFitted,
+    /// No candidate method could be trained on the series.
+    NoUsableMethod {
+        /// Why each candidate failed, concatenated.
+        details: String,
+    },
+    /// Underlying evaluation failure.
+    Eval(String),
+    /// Underlying model failure.
+    Model(String),
+    /// Underlying data failure.
+    Data(String),
+}
+
+impl fmt::Display for AutoMlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AutoMlError::InvalidInput { reason } => write!(f, "invalid input: {reason}"),
+            AutoMlError::NotPretrained => write!(f, "recommender must be pretrained first"),
+            AutoMlError::NotFitted => write!(f, "ensemble must be fitted first"),
+            AutoMlError::NoUsableMethod { details } => {
+                write!(f, "no candidate method could be trained: {details}")
+            }
+            AutoMlError::Eval(e) => write!(f, "evaluation error: {e}"),
+            AutoMlError::Model(e) => write!(f, "model error: {e}"),
+            AutoMlError::Data(e) => write!(f, "data error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AutoMlError {}
+
+impl From<EvalError> for AutoMlError {
+    fn from(e: EvalError) -> Self {
+        AutoMlError::Eval(e.to_string())
+    }
+}
+
+impl From<ModelError> for AutoMlError {
+    fn from(e: ModelError) -> Self {
+        AutoMlError::Model(e.to_string())
+    }
+}
+
+impl From<DataError> for AutoMlError {
+    fn from(e: DataError) -> Self {
+        AutoMlError::Data(e.to_string())
+    }
+}

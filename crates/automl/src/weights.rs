@@ -1,0 +1,180 @@
+//! Ensemble weight learning on the validation split.
+//!
+//! The paper: EasyTime "learns the ensemble weights on the validation part
+//! of X such that it fits the best to X". We solve the constrained least
+//! squares problem — minimize `‖Σ wᵢ fᵢ − y‖²` subject to `wᵢ ≥ 0`,
+//! `Σ wᵢ = 1` — with exponentiated-gradient descent, which keeps iterates
+//! on the simplex by construction and is robust to collinear members.
+
+use crate::error::AutoMlError;
+
+/// Learns simplex-constrained combination weights.
+///
+/// `member_preds[i]` holds member `i`'s predictions on the validation
+/// window; `actual` is the ground truth. Returns one weight per member.
+pub fn learn_simplex_weights(
+    member_preds: &[Vec<f64>],
+    actual: &[f64],
+    iterations: usize,
+) -> Result<Vec<f64>, AutoMlError> {
+    let k = member_preds.len();
+    if k == 0 {
+        return Err(AutoMlError::InvalidInput { reason: "no ensemble members".into() });
+    }
+    let n = actual.len();
+    if n == 0 {
+        return Err(AutoMlError::InvalidInput { reason: "empty validation window".into() });
+    }
+    for (i, p) in member_preds.iter().enumerate() {
+        if p.len() != n {
+            return Err(AutoMlError::InvalidInput {
+                reason: format!("member {i} has {} predictions, expected {n}", p.len()),
+            });
+        }
+        if p.iter().any(|v| !v.is_finite()) {
+            return Err(AutoMlError::InvalidInput {
+                reason: format!("member {i} produced non-finite predictions"),
+            });
+        }
+    }
+    if k == 1 {
+        return Ok(vec![1.0]);
+    }
+
+    // Scale-aware learning rate: gradients are O(scale²).
+    let scale: f64 =
+        actual.iter().map(|v| v.abs()).fold(0.0, f64::max).max(1e-9);
+    let lr = 1.0 / (scale * scale);
+
+    let mut w = vec![1.0 / k as f64; k];
+    let mut combined = vec![0.0; n];
+    for _ in 0..iterations.max(1) {
+        // combined = Σ wᵢ fᵢ
+        for (t, c) in combined.iter_mut().enumerate() {
+            *c = member_preds.iter().zip(&w).map(|(p, wi)| wi * p[t]).sum();
+        }
+        // gradient of 0.5‖combined − y‖²/n wrt wᵢ = Σ (combined−y)·fᵢ / n
+        let mut updated = Vec::with_capacity(k);
+        let mut norm = 0.0;
+        for (i, wi) in w.iter().enumerate() {
+            let grad: f64 = combined
+                .iter()
+                .zip(actual)
+                .zip(&member_preds[i])
+                .map(|((c, y), f)| (c - y) * f)
+                .sum::<f64>()
+                / n as f64;
+            // Exponentiated gradient step (clamped for stability).
+            let v = wi * (-lr * grad).clamp(-30.0, 30.0).exp();
+            norm += v;
+            updated.push(v);
+        }
+        if norm <= 0.0 || !norm.is_finite() {
+            break;
+        }
+        for (wi, v) in w.iter_mut().zip(updated) {
+            *wi = v / norm;
+        }
+    }
+    Ok(w)
+}
+
+/// The uniform-weights baseline (ablation A4).
+pub fn uniform_weights(k: usize) -> Vec<f64> {
+    vec![1.0 / k.max(1) as f64; k]
+}
+
+/// Combines member forecasts with the given weights.
+pub fn combine(member_preds: &[Vec<f64>], weights: &[f64]) -> Vec<f64> {
+    assert_eq!(member_preds.len(), weights.len(), "member/weight count mismatch");
+    if member_preds.is_empty() {
+        return Vec::new();
+    }
+    let n = member_preds[0].len();
+    (0..n)
+        .map(|t| member_preds.iter().zip(weights).map(|(p, w)| w * p[t]).sum())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mse(pred: &[f64], actual: &[f64]) -> f64 {
+        pred.iter().zip(actual).map(|(p, a)| (p - a) * (p - a)).sum::<f64>() / actual.len() as f64
+    }
+
+    #[test]
+    fn weights_live_on_the_simplex() {
+        let preds = vec![vec![1.0, 2.0, 3.0], vec![3.0, 2.0, 1.0], vec![2.0, 2.0, 2.0]];
+        let actual = vec![2.0, 2.0, 2.0];
+        let w = learn_simplex_weights(&preds, &actual, 500).unwrap();
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(w.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn perfect_member_gets_dominant_weight() {
+        let actual: Vec<f64> = (0..20).map(|t| (t as f64 * 0.3).sin()).collect();
+        let good = actual.clone();
+        let bad: Vec<f64> = actual.iter().map(|v| v + 5.0).collect();
+        let w = learn_simplex_weights(&[good, bad], &actual, 2000).unwrap();
+        assert!(w[0] > 0.9, "good member weight {}", w[0]);
+    }
+
+    #[test]
+    fn learned_weights_beat_uniform_when_members_differ() {
+        let actual: Vec<f64> = (0..30).map(|t| t as f64).collect();
+        let good: Vec<f64> = actual.iter().map(|v| v + 0.1).collect();
+        let bad: Vec<f64> = actual.iter().map(|v| v * 0.5).collect();
+        let preds = vec![good, bad];
+        let learned = learn_simplex_weights(&preds, &actual, 2000).unwrap();
+        let u = uniform_weights(2);
+        let mse_learned = mse(&combine(&preds, &learned), &actual);
+        let mse_uniform = mse(&combine(&preds, &u), &actual);
+        assert!(
+            mse_learned < mse_uniform,
+            "learned {mse_learned} should beat uniform {mse_uniform}"
+        );
+    }
+
+    #[test]
+    fn complementary_members_both_keep_weight() {
+        // Truth is exactly the average of the two members.
+        let m1: Vec<f64> = (0..40).map(|t| (t as f64 * 0.2).sin() + 1.0).collect();
+        let m2: Vec<f64> = (0..40).map(|t| (t as f64 * 0.2).sin() - 1.0).collect();
+        let actual: Vec<f64> = m1.iter().zip(&m2).map(|(a, b)| (a + b) / 2.0).collect();
+        let w = learn_simplex_weights(&[m1, m2], &actual, 3000).unwrap();
+        assert!((w[0] - 0.5).abs() < 0.1, "w0 {}", w[0]);
+        assert!((w[1] - 0.5).abs() < 0.1, "w1 {}", w[1]);
+    }
+
+    #[test]
+    fn validates_inputs() {
+        assert!(learn_simplex_weights(&[], &[1.0], 10).is_err());
+        assert!(learn_simplex_weights(&[vec![1.0]], &[], 10).is_err());
+        assert!(learn_simplex_weights(&[vec![1.0, 2.0]], &[1.0], 10).is_err());
+        assert!(learn_simplex_weights(&[vec![f64::NAN]], &[1.0], 10).is_err());
+        // Single member short-circuits to weight 1.
+        assert_eq!(learn_simplex_weights(&[vec![5.0]], &[1.0], 10).unwrap(), vec![1.0]);
+    }
+
+    #[test]
+    fn combine_is_a_convex_combination() {
+        let preds = vec![vec![0.0, 10.0], vec![10.0, 0.0]];
+        let c = combine(&preds, &[0.3, 0.7]);
+        assert!((c[0] - 7.0).abs() < 1e-12);
+        assert!((c[1] - 3.0).abs() < 1e-12);
+        assert!(combine(&[], &[]).is_empty());
+    }
+
+    #[test]
+    fn large_scale_series_converge_too() {
+        // Regression guard for the scale-aware learning rate.
+        let actual: Vec<f64> = (0..25).map(|t| 1e6 + t as f64 * 100.0).collect();
+        let good = actual.clone();
+        let bad: Vec<f64> = actual.iter().map(|v| v - 5e4).collect();
+        let w = learn_simplex_weights(&[good, bad], &actual, 2000).unwrap();
+        assert!(w[0] > 0.8, "good member weight {} at scale 1e6", w[0]);
+    }
+}

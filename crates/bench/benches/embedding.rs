@@ -1,0 +1,48 @@
+//! Criterion bench: series embedding — the online-inference hot path of
+//! the Automated Ensemble (Figure 2: "TS2Vec extracts features from X").
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use easytime_data::{Frequency, TimeSeries};
+use easytime_repr::features::extract_features;
+use easytime_repr::rocket::RocketEncoder;
+use easytime_repr::{Embedder, EmbedderConfig};
+use std::f64::consts::PI;
+
+fn series(n: usize) -> TimeSeries {
+    let values: Vec<f64> =
+        (0..n).map(|t| 10.0 + 4.0 * (2.0 * PI * t as f64 / 24.0).sin() + (t as f64 * 0.01)).collect();
+    TimeSeries::new("bench", values, Frequency::Hourly).unwrap()
+}
+
+fn bench_embedding(c: &mut Criterion) {
+    let s400 = series(400);
+    let s2000 = series(2000);
+
+    let rocket = RocketEncoder::new(96, 42);
+    let mut group = c.benchmark_group("embedding");
+    group.bench_function("rocket96_n400", |b| {
+        b.iter(|| black_box(rocket.transform(s400.values())))
+    });
+    group.bench_function("rocket96_n2000", |b| {
+        b.iter(|| black_box(rocket.transform(s2000.values())))
+    });
+    group.bench_function("stat_features_n400", |b| {
+        b.iter(|| black_box(extract_features(s400.values(), Some(24))))
+    });
+
+    let mut embedder = Embedder::new(EmbedderConfig::default());
+    let corpus: Vec<TimeSeries> = (0..20).map(|i| series(300 + i * 10)).collect();
+    embedder.fit(&corpus);
+    group.bench_function("full_embed_n400", |b| b.iter(|| black_box(embedder.embed(&s400))));
+    group.finish();
+
+    c.bench_function("embedder_fit_corpus20", |b| {
+        b.iter(|| {
+            let mut e = Embedder::new(EmbedderConfig::default());
+            black_box(e.fit(&corpus))
+        })
+    });
+}
+
+criterion_group!(benches, bench_embedding);
+criterion_main!(benches);

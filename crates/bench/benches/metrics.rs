@@ -1,0 +1,25 @@
+//! Criterion bench: metric kernels on benchmark-scale windows.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use easytime_eval::metrics::{mae, mase, mse, r2, rmse, smape, wape};
+use easytime_eval::MetricContext;
+
+fn bench_metrics(c: &mut Criterion) {
+    let actual: Vec<f64> = (0..1024).map(|t| 10.0 + (t as f64 * 0.1).sin() * 3.0).collect();
+    let predicted: Vec<f64> = actual.iter().map(|v| v + 0.3).collect();
+    let train: Vec<f64> = (0..4096).map(|t| 10.0 + (t as f64 * 0.1).sin() * 3.0).collect();
+    let ctx = MetricContext::new(&actual, &predicted, &train, 24).unwrap();
+
+    let mut group = c.benchmark_group("metrics");
+    group.bench_function("mae_1k", |b| b.iter(|| black_box(mae(&ctx))));
+    group.bench_function("mse_1k", |b| b.iter(|| black_box(mse(&ctx))));
+    group.bench_function("rmse_1k", |b| b.iter(|| black_box(rmse(&ctx))));
+    group.bench_function("smape_1k", |b| b.iter(|| black_box(smape(&ctx))));
+    group.bench_function("wape_1k", |b| b.iter(|| black_box(wape(&ctx))));
+    group.bench_function("mase_1k_train4k", |b| b.iter(|| black_box(mase(&ctx))));
+    group.bench_function("r2_1k", |b| b.iter(|| black_box(r2(&ctx))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_metrics);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion bench: fit + forecast per model family on a 400-point series.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use easytime_data::{Frequency, TimeSeries};
+use easytime_models::{Forecaster, ModelSpec};
+use std::f64::consts::PI;
+
+fn series() -> TimeSeries {
+    let values: Vec<f64> = (0..400)
+        .map(|t| {
+            20.0 + 0.05 * t as f64
+                + 5.0 * (2.0 * PI * t as f64 / 24.0).sin()
+                + ((t as f64 * 12.9898).sin() * 43758.5453).fract() * 0.5
+        })
+        .collect();
+    TimeSeries::new("bench", values, Frequency::Hourly).unwrap()
+}
+
+fn bench_models(c: &mut Criterion) {
+    let train = series();
+    let specs = [
+        ModelSpec::Naive,
+        ModelSpec::SeasonalNaive(None),
+        ModelSpec::Ses(None),
+        ModelSpec::Holt,
+        ModelSpec::HoltWinters(None),
+        ModelSpec::Theta(None),
+        ModelSpec::ArAuto,
+        ModelSpec::Arima(1, 1, 1),
+        ModelSpec::LagRidge { lookback: 16, lambda: 1e-2 },
+        ModelSpec::DLinear { lookback: 32, kernel: 25 },
+        ModelSpec::NLinear { lookback: 32 },
+        ModelSpec::GradientBoost { lookback: 12, rounds: 60 },
+    ];
+
+    let mut group = c.benchmark_group("model_fit_forecast_h24");
+    for spec in specs {
+        group.bench_function(spec.name(), |b| {
+            b.iter(|| {
+                let mut model = spec.build().unwrap();
+                model.fit(&train).unwrap();
+                black_box(model.forecast(24).unwrap())
+            })
+        });
+    }
+    group.finish();
+
+    // Forecast-only cost for a fitted model (the online ensemble path).
+    let mut fitted: Box<dyn Forecaster> =
+        ModelSpec::LagRidge { lookback: 32, lambda: 1e-2 }.build().unwrap();
+    fitted.fit(&train).unwrap();
+    c.bench_function("forecast_only_lag_ridge_h96", |b| {
+        b.iter(|| black_box(fitted.forecast(96).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

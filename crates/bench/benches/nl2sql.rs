@@ -1,0 +1,99 @@
+//! Criterion bench: NL2SQL parsing and the full Q&A turnaround.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use easytime_db::knowledge::{
+    create_knowledge_schema, insert_dataset, insert_method, insert_result, DatasetRow, MethodRow,
+    ResultRow,
+};
+use easytime_db::Database;
+use easytime_qa::nl2sql::{generate_sql, parse_question, Lexicon};
+use easytime_qa::QaSession;
+
+fn lexicon() -> Lexicon {
+    Lexicon {
+        methods: vec![
+            "naive".into(),
+            "seasonal_naive".into(),
+            "theta".into(),
+            "holt_winters".into(),
+            "dlinear_32".into(),
+        ],
+        domains: vec!["traffic".into(), "web".into(), "economic".into(), "nature".into()],
+    }
+}
+
+fn small_knowledge() -> Database {
+    let mut db = Database::new();
+    create_knowledge_schema(&mut db).unwrap();
+    for d in 0..40 {
+        insert_dataset(
+            &mut db,
+            &DatasetRow {
+                id: format!("d{d}"),
+                domain: ["web", "traffic"][d % 2].into(),
+                length: 300,
+                frequency: "hourly".into(),
+                channels: 1,
+                seasonality: 0.7,
+                trend: 0.5,
+                transition: 0.1,
+                shifting: 0.1,
+                stationarity: 0.4,
+                correlation: 0.0,
+                period: 24,
+            },
+        )
+        .unwrap();
+        for m in ["naive", "theta", "dlinear_32"] {
+            insert_result(
+                &mut db,
+                &ResultRow {
+                    dataset_id: format!("d{d}"),
+                    method: m.into(),
+                    strategy: "fixed".into(),
+                    horizon: 96,
+                    mae: Some(1.0 + d as f64 / 40.0),
+                    mse: None,
+                    rmse: None,
+                    smape: Some(10.0),
+                    mase: Some(0.9),
+                    r2: None,
+                    runtime_ms: 1.0,
+                    windows: 1,
+                },
+            )
+            .unwrap();
+        }
+    }
+    for m in ["naive", "theta", "dlinear_32"] {
+        insert_method(
+            &mut db,
+            &MethodRow { name: m.into(), family: "statistical".into(), description: "x".into() },
+        )
+        .unwrap();
+    }
+    db
+}
+
+fn bench_nl2sql(c: &mut Criterion) {
+    let lex = lexicon();
+    let question = "What are the top-8 methods (ordered by MAE) for long-term forecasting \
+                    on all multivariate datasets with trends?";
+
+    c.bench_function("nl2sql_parse", |b| {
+        b.iter(|| black_box(parse_question(question, &lex).unwrap()))
+    });
+    let (intent, _) = parse_question(question, &lex).unwrap();
+    c.bench_function("nl2sql_generate", |b| b.iter(|| black_box(generate_sql(&intent))));
+
+    c.bench_function("qa_end_to_end", |b| {
+        b.iter_batched(
+            || QaSession::new(small_knowledge()).unwrap(),
+            |mut session| black_box(session.ask("top 5 methods by mae on web data").unwrap()),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_nl2sql);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion bench: the end-to-end one-click pipeline on a small corpus.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use easytime::{CorpusConfig, Domain, EasyTime};
+use easytime_bench::fast_zoo;
+use easytime_data::synthetic::build_corpus;
+use easytime_eval::{evaluate_corpus, EvalConfig, MetricRegistry, Strategy};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let corpus = build_corpus(&CorpusConfig {
+        domains: vec![Domain::Nature, Domain::Web, Domain::Traffic],
+        per_domain: 3,
+        length: 240,
+        ..CorpusConfig::default()
+    })
+    .unwrap();
+    let registry = MetricRegistry::standard();
+
+    c.bench_function("evaluate_corpus_9x8_fixed", |b| {
+        let config = EvalConfig {
+            methods: fast_zoo(),
+            strategy: Strategy::Fixed { horizon: 24 },
+            metrics: vec!["mae".into(), "smape".into()],
+            ..EvalConfig::default()
+        };
+        b.iter(|| black_box(evaluate_corpus(&corpus, &config, &registry).unwrap()))
+    });
+
+    c.bench_function("platform_one_click_json", |b| {
+        b.iter_batched(
+            || {
+                EasyTime::with_benchmark(&CorpusConfig {
+                    domains: vec![Domain::Nature],
+                    per_domain: 3,
+                    length: 200,
+                    ..CorpusConfig::default()
+                })
+                .unwrap()
+            },
+            |platform| {
+                black_box(
+                    platform
+                        .one_click_json(
+                            r#"{"methods": ["naive", "seasonal_naive", "theta"],
+                                "strategy": {"type": "fixed", "horizon": 12}}"#,
+                        )
+                        .unwrap(),
+                )
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("corpus_generation_30x240", |b| {
+        b.iter(|| {
+            black_box(
+                build_corpus(&CorpusConfig {
+                    domains: vec![Domain::Nature, Domain::Web, Domain::Traffic],
+                    per_domain: 10,
+                    length: 240,
+                    ..CorpusConfig::default()
+                })
+                .unwrap(),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Criterion bench: the embedded SQL engine on knowledge-base-shaped data.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use easytime_db::knowledge::{create_knowledge_schema, insert_dataset, insert_result, DatasetRow, ResultRow};
+use easytime_db::Database;
+
+/// Builds a knowledge base with `n_datasets × n_methods` result rows.
+fn knowledge(n_datasets: usize, n_methods: usize) -> Database {
+    let mut db = Database::new();
+    create_knowledge_schema(&mut db).unwrap();
+    for d in 0..n_datasets {
+        insert_dataset(
+            &mut db,
+            &DatasetRow {
+                id: format!("ds_{d:04}"),
+                domain: ["web", "traffic", "nature", "stock"][d % 4].into(),
+                length: 400,
+                frequency: "hourly".into(),
+                channels: if d % 5 == 0 { 3 } else { 1 },
+                seasonality: (d % 10) as f64 / 10.0,
+                trend: ((d * 3) % 10) as f64 / 10.0,
+                transition: 0.1,
+                shifting: 0.2,
+                stationarity: 0.5,
+                correlation: 0.0,
+                period: 24,
+            },
+        )
+        .unwrap();
+        for m in 0..n_methods {
+            insert_result(
+                &mut db,
+                &ResultRow {
+                    dataset_id: format!("ds_{d:04}"),
+                    method: format!("method_{m:02}"),
+                    strategy: "fixed".into(),
+                    horizon: if d % 2 == 0 { 24 } else { 96 },
+                    mae: Some(1.0 + ((d * m) % 17) as f64 / 10.0),
+                    mse: Some(2.0),
+                    rmse: Some(1.4),
+                    smape: Some(12.0),
+                    mase: Some(0.9),
+                    r2: Some(0.5),
+                    runtime_ms: 1.0 + m as f64,
+                    windows: 1,
+                },
+            )
+            .unwrap();
+        }
+    }
+    db
+}
+
+fn bench_sql(c: &mut Criterion) {
+    // 500 datasets × 20 methods = 10,000 result rows.
+    let db = knowledge(500, 20);
+
+    let mut group = c.benchmark_group("sql_10k_rows");
+    group.bench_function("filter_scan", |b| {
+        b.iter(|| {
+            black_box(
+                db.query("SELECT method, mae FROM results WHERE horizon = 96 AND mae < 1.5")
+                    .unwrap(),
+            )
+        })
+    });
+    group.bench_function("group_by_aggregate", |b| {
+        b.iter(|| {
+            black_box(
+                db.query(
+                    "SELECT method, AVG(mae) AS m, COUNT(*) AS n FROM results \
+                     GROUP BY method ORDER BY m LIMIT 8",
+                )
+                .unwrap(),
+            )
+        })
+    });
+    group.bench_function("join_filter_group", |b| {
+        b.iter(|| {
+            black_box(
+                db.query(
+                    "SELECT r.method, AVG(r.mae) AS m FROM results r \
+                     JOIN datasets d ON r.dataset_id = d.id \
+                     WHERE d.trend >= 0.6 AND r.horizon >= 96 \
+                     GROUP BY r.method ORDER BY m LIMIT 8",
+                )
+                .unwrap(),
+            )
+        })
+    });
+    group.finish();
+
+    c.bench_function("sql_parse_only", |b| {
+        b.iter(|| {
+            black_box(
+                easytime_db::parser::parse(
+                    "SELECT r.method, AVG(r.mae) AS m FROM results r \
+                     JOIN datasets d ON r.dataset_id = d.id \
+                     WHERE d.trend >= 0.6 GROUP BY r.method ORDER BY m LIMIT 8",
+                )
+                .unwrap(),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_sql);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion bench: fixed vs rolling strategy evaluation through the full
+//! pipeline (split → scale → fit → forecast → metrics).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use easytime_data::{Frequency, TimeSeries};
+use easytime_eval::{evaluate, EvalConfig, MetricRegistry, Strategy};
+use easytime_models::ModelSpec;
+use std::f64::consts::PI;
+
+fn series(n: usize) -> TimeSeries {
+    let values: Vec<f64> =
+        (0..n).map(|t| 10.0 + 4.0 * (2.0 * PI * t as f64 / 24.0).sin()).collect();
+    TimeSeries::new("bench", values, Frequency::Hourly).unwrap()
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let registry = MetricRegistry::standard();
+    let s = series(600);
+
+    let mut group = c.benchmark_group("pipeline_strategies");
+    group.bench_function("fixed_h24_theta", |b| {
+        let config = EvalConfig {
+            strategy: Strategy::Fixed { horizon: 24 },
+            ..EvalConfig::default()
+        };
+        b.iter(|| {
+            black_box(
+                evaluate("d", &s, &ModelSpec::Theta(None), &config, &registry).unwrap(),
+            )
+        })
+    });
+    group.bench_function("rolling_h24x5_theta", |b| {
+        let config = EvalConfig {
+            strategy: Strategy::Rolling { horizon: 24, stride: 24, max_windows: Some(5) },
+            ..EvalConfig::default()
+        };
+        b.iter(|| {
+            black_box(
+                evaluate("d", &s, &ModelSpec::Theta(None), &config, &registry).unwrap(),
+            )
+        })
+    });
+    group.bench_function("rolling_h24x5_seasonal_naive", |b| {
+        let config = EvalConfig {
+            strategy: Strategy::Rolling { horizon: 24, stride: 24, max_windows: Some(5) },
+            ..EvalConfig::default()
+        };
+        b.iter(|| {
+            black_box(
+                evaluate("d", &s, &ModelSpec::SeasonalNaive(None), &config, &registry)
+                    .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

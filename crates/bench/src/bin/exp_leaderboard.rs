@@ -1,0 +1,116 @@
+//! Experiment E1 — the one-click leaderboard (paper Fig. 1, §II-A/B, S1).
+//!
+//! Evaluates the full method zoo on the full ten-domain corpus under both
+//! evaluation strategies and several horizons, then prints:
+//!
+//! 1. a TFB-style leaderboard per (strategy, horizon) setting, and
+//! 2. the per-domain winner matrix demonstrating the Challenge-2 premise
+//!    that *no single method wins everywhere*.
+//!
+//! ```sh
+//! cargo run --release -p easytime-bench --bin exp_leaderboard \
+//!   [--per-domain 4] [--length 300] [--full-zoo 1]
+//! ```
+
+use easytime::{Domain, EasyTime, EvalConfig, EvalRecord, Leaderboard, Strategy};
+use easytime_bench::{arg_usize, experiment_corpus, fast_zoo, print_table};
+use easytime_models::zoo::standard_zoo;
+use std::collections::BTreeMap;
+
+fn main() {
+    let per_domain = arg_usize("per-domain", 4);
+    let length = arg_usize("length", 300);
+    let full_zoo = arg_usize("full-zoo", 1) == 1;
+
+    let corpus = experiment_corpus(per_domain, length, 42);
+    let platform = EasyTime::new();
+    let domains: Vec<(String, Domain)> =
+        corpus.iter().map(|d| (d.meta.id.clone(), d.meta.domain)).collect();
+    for d in corpus {
+        platform.add_dataset(d).expect("corpus datasets are valid");
+    }
+
+    let methods = if full_zoo {
+        standard_zoo().into_iter().map(|e| e.spec).collect()
+    } else {
+        fast_zoo()
+    };
+    println!(
+        "E1 leaderboard: {} datasets × {} methods\n",
+        platform.registry().len(),
+        methods.len()
+    );
+
+    let settings: Vec<(&str, Strategy)> = vec![
+        ("fixed/h=12", Strategy::Fixed { horizon: 12 }),
+        ("fixed/h=24", Strategy::Fixed { horizon: 24 }),
+        ("fixed/h=48", Strategy::Fixed { horizon: 48 }),
+        (
+            "rolling/h=24",
+            Strategy::Rolling { horizon: 24, stride: 24, max_windows: Some(3) },
+        ),
+    ];
+
+    let mut all_records: Vec<EvalRecord> = Vec::new();
+    for (label, strategy) in &settings {
+        let config = EvalConfig {
+            methods: methods.clone(),
+            strategy: *strategy,
+            metrics: vec!["mae".into(), "smape".into(), "mase".into()],
+            ..EvalConfig::default()
+        };
+        let records = platform
+            .one_click(&easytime::FileConfig { eval: config, datasets: Default::default() })
+            .expect("one-click evaluation succeeds");
+        let failures = records.iter().filter(|r| !r.is_ok()).count();
+        let board = Leaderboard::from_records(&records, "smape", true);
+        println!("── {label}: {} records, {failures} failures — leaderboard (by sMAPE):", records.len());
+        println!("{}", board.render());
+        all_records.extend(records);
+    }
+
+    // Per-domain winner matrix: which method wins (lowest mean sMAPE per
+    // dataset, majority across a domain's datasets)?
+    let id_to_domain: BTreeMap<&str, Domain> =
+        domains.iter().map(|(id, d)| (id.as_str(), *d)).collect();
+    let mut best_per_dataset: BTreeMap<&str, (&str, f64)> = BTreeMap::new();
+    for r in &all_records {
+        if !r.is_ok() {
+            continue;
+        }
+        let v = r.score("smape");
+        if !v.is_finite() {
+            continue;
+        }
+        let entry = best_per_dataset.entry(&r.dataset_id).or_insert((&r.method, v));
+        if v < entry.1 {
+            *entry = (&r.method, v);
+        }
+    }
+    let mut domain_winner_counts: BTreeMap<Domain, BTreeMap<&str, usize>> = BTreeMap::new();
+    for (dataset, (method, _)) in &best_per_dataset {
+        if let Some(domain) = id_to_domain.get(dataset) {
+            *domain_winner_counts.entry(*domain).or_default().entry(method).or_insert(0) += 1;
+        }
+    }
+    println!("── Per-domain winners (method with the most per-dataset wins):");
+    let rows: Vec<Vec<String>> = Domain::ALL
+        .iter()
+        .filter_map(|d| {
+            let counts = domain_winner_counts.get(d)?;
+            let (winner, wins) = counts.iter().max_by_key(|(_, &c)| c)?;
+            Some(vec![d.name().to_string(), winner.to_string(), wins.to_string()])
+        })
+        .collect();
+    print_table(&["domain", "winning method", "datasets won"], &rows);
+
+    let distinct_winners: std::collections::BTreeSet<&str> = domain_winner_counts
+        .values()
+        .flat_map(|c| c.iter().max_by_key(|(_, &v)| v).map(|(m, _)| *m))
+        .collect();
+    println!(
+        "\n{} distinct winners across {} domains → no single best method (Challenge 2 premise).",
+        distinct_winners.len(),
+        domain_winner_counts.len()
+    );
+}

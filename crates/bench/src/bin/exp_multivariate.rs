@@ -1,0 +1,128 @@
+//! Experiment E6 — multivariate forecasting and the Correlation
+//! characteristic (paper §II-A: 25 multivariate datasets; Correlation is
+//! one of the six dataset characteristics the corpus is balanced on).
+//!
+//! Claim shape to reproduce: methods that exploit cross-channel structure
+//! (VAR) beat channel-independent application of univariate methods on
+//! *strongly correlated* multivariate data, while the advantage shrinks or
+//! reverses when channels are (nearly) independent — which is exactly why
+//! the benchmark needs Correlation as a first-class characteristic.
+//!
+//! ```sh
+//! cargo run --release -p easytime-bench --bin exp_multivariate [--n 8]
+//! ```
+
+use easytime::{Domain, EvalConfig, Strategy};
+use easytime_bench::{arg_usize, finite_mean, print_table};
+use easytime_data::synthetic::{domain_spec, generate, generate_multivariate};
+use easytime_data::{Frequency, MultiSeries};
+use easytime_eval::{evaluate_multivariate, MetricRegistry};
+use easytime_models::multivariate::MultiModelSpec;
+use easytime_models::ModelSpec;
+
+/// Builds a multivariate series with *independent* channels (each its own
+/// seed), the contrast case to `generate_multivariate`'s shared factor.
+fn independent_channels(domain: Domain, channels: usize, length: usize, seed: u64) -> MultiSeries {
+    let spec = domain_spec(domain, 0, length);
+    let names: Vec<String> = (0..channels).map(|c| format!("ch{c}")).collect();
+    let data: Vec<Vec<f64>> = (0..channels)
+        .map(|c| {
+            generate("ch", &spec, seed.wrapping_add(1000 + c as u64))
+                .expect("valid spec")
+                .values()
+                .to_vec()
+        })
+        .collect();
+    MultiSeries::new("independent", names, data, spec.frequency)
+        .unwrap_or_else(|_| panic!("independent channels are valid"))
+}
+
+fn lagged_coupled(length: usize, seed: u64) -> MultiSeries {
+    // Channel 1 and 2 follow channel 0 with 1- and 2-step lags plus noise —
+    // the cleanest cross-channel signal.
+    let driver = generate("driver", &domain_spec(Domain::Traffic, 1, length), seed).unwrap();
+    let d = driver.values();
+    let mut state = seed | 1;
+    let mut noise = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 4.0
+    };
+    let ch1: Vec<f64> = (0..length).map(|t| if t == 0 { d[0] } else { d[t - 1] } + noise()).collect();
+    let ch2: Vec<f64> =
+        (0..length).map(|t| if t < 2 { d[0] } else { d[t - 2] } + noise()).collect();
+    MultiSeries::new(
+        "coupled",
+        vec!["driver".into(), "lag1".into(), "lag2".into()],
+        vec![d.to_vec(), ch1, ch2],
+        Frequency::Hourly,
+    )
+    .unwrap()
+}
+
+/// A regime generator: seed → multivariate dataset.
+type RegimeGen = Box<dyn Fn(u64) -> MultiSeries>;
+
+fn main() {
+    let n = arg_usize("n", 8);
+    let length = arg_usize("length", 400);
+    let registry = MetricRegistry::standard();
+    // Short horizons: cross-channel information (e.g. "the follower will
+    // move where the driver just moved") is a one-to-few-step advantage;
+    // long recursive horizons dilute it for every method alike.
+    let config = EvalConfig {
+        strategy: Strategy::Rolling { horizon: 2, stride: 12, max_windows: Some(8) },
+        metrics: vec!["mae".into(), "smape".into()],
+        ..EvalConfig::default()
+    };
+    let methods = [
+        MultiModelSpec::Var { order: 4 },
+        MultiModelSpec::PerChannel(ModelSpec::LagRidge { lookback: 16, lambda: 1e-2 }),
+        MultiModelSpec::PerChannel(ModelSpec::SeasonalNaive(None)),
+        MultiModelSpec::PerChannel(ModelSpec::Naive),
+    ];
+
+    println!("E6 multivariate: {} datasets per regime, rolling h=2\n", n);
+    let regimes: Vec<(&str, RegimeGen)> = vec![
+        (
+            "correlated (shared factor)",
+            Box::new(move |seed| {
+                generate_multivariate("mv", Domain::Traffic, 3, length, seed).unwrap()
+            }),
+        ),
+        ("lag-coupled (driver + lags)", Box::new(move |seed| lagged_coupled(length, seed))),
+        (
+            "independent channels",
+            Box::new(move |seed| independent_channels(Domain::Traffic, 3, length, seed)),
+        ),
+    ];
+
+    for (regime, make) in &regimes {
+        let mut rows = Vec::new();
+        for spec in &methods {
+            let mut maes = Vec::new();
+            let mut smapes = Vec::new();
+            for i in 0..n {
+                let series = make(1000 + i as u64);
+                let record =
+                    evaluate_multivariate("mv", &series, spec, &config, &registry).unwrap();
+                if record.is_ok() {
+                    maes.push(record.score("mae"));
+                    smapes.push(record.score("smape"));
+                }
+            }
+            rows.push(vec![
+                spec.name(),
+                format!("{:.3}", finite_mean(&maes)),
+                format!("{:.3}", finite_mean(&smapes)),
+                maes.len().to_string(),
+            ]);
+        }
+        println!("── {regime}:");
+        print_table(&["method", "mean MAE", "mean sMAPE", "ok"], &rows);
+        println!();
+    }
+    println!(
+        "Claim shape: var_4 leads on lag-coupled data, is competitive on shared-factor data, \
+         and loses its edge on independent channels."
+    );
+}

@@ -1,0 +1,96 @@
+//! Experiment E5 — one-click pipeline throughput and scaling (§II-B).
+//!
+//! Measures wall-clock of `evaluate_corpus` while sweeping the number of
+//! datasets and the number of methods, plus the parallel speedup of the
+//! work-stealing runner. The claim shape: runtime grows linearly in
+//! datasets × methods and parallelism gives near-linear speedup until
+//! core count.
+//!
+//! ```sh
+//! cargo run --release -p easytime-bench --bin exp_throughput [--length 300]
+//! ```
+
+use easytime::{EvalConfig, Strategy};
+use easytime_bench::{arg_usize, experiment_corpus, fast_zoo, print_table};
+use easytime_eval::{evaluate_corpus, MetricRegistry};
+use std::time::Instant;
+
+fn main() {
+    let length = arg_usize("length", 300);
+    let registry = MetricRegistry::standard();
+    let zoo = fast_zoo();
+
+    println!("E5 pipeline throughput (series length {length})\n");
+
+    // --- Sweep 1: datasets at fixed methods. ---
+    println!("── Scaling in #datasets (methods = {}):", zoo.len());
+    let mut rows = Vec::new();
+    for per_domain in [1usize, 2, 4, 8] {
+        let corpus = experiment_corpus(per_domain, length, 42);
+        let config = EvalConfig {
+            methods: zoo.clone(),
+            strategy: Strategy::Fixed { horizon: 24 },
+            metrics: vec!["mae".into(), "smape".into()],
+            ..EvalConfig::default()
+        };
+        let started = Instant::now();
+        let records = evaluate_corpus(&corpus, &config, &registry).expect("sweep");
+        let elapsed = started.elapsed().as_secs_f64();
+        rows.push(vec![
+            corpus.len().to_string(),
+            records.len().to_string(),
+            format!("{elapsed:.3}"),
+            format!("{:.2}", records.len() as f64 / elapsed),
+        ]);
+    }
+    print_table(&["datasets", "records", "seconds", "records/s"], &rows);
+
+    // --- Sweep 2: methods at fixed datasets. ---
+    let corpus = experiment_corpus(4, length, 42);
+    println!("\n── Scaling in #methods (datasets = {}):", corpus.len());
+    let mut rows = Vec::new();
+    for take in [2usize, 4, 8] {
+        let config = EvalConfig {
+            methods: zoo.iter().take(take).cloned().collect(),
+            strategy: Strategy::Fixed { horizon: 24 },
+            metrics: vec!["mae".into(), "smape".into()],
+            ..EvalConfig::default()
+        };
+        let started = Instant::now();
+        let records = evaluate_corpus(&corpus, &config, &registry).expect("sweep");
+        let elapsed = started.elapsed().as_secs_f64();
+        rows.push(vec![
+            take.to_string(),
+            records.len().to_string(),
+            format!("{elapsed:.3}"),
+            format!("{:.2}", records.len() as f64 / elapsed),
+        ]);
+    }
+    print_table(&["methods", "records", "seconds", "records/s"], &rows);
+
+    // --- Sweep 3: thread scaling. ---
+    let cores = std::thread::available_parallelism().map(usize::from).unwrap_or(4);
+    println!("\n── Parallel speedup ({} datasets × {} methods, {cores} cores):", corpus.len(), zoo.len());
+    let mut rows = Vec::new();
+    let mut t1 = None;
+    for threads in [1usize, 2, 4, cores.max(4)] {
+        let config = EvalConfig {
+            methods: zoo.clone(),
+            strategy: Strategy::Rolling { horizon: 24, stride: 24, max_windows: Some(3) },
+            metrics: vec!["mae".into()],
+            threads,
+            ..EvalConfig::default()
+        };
+        let started = Instant::now();
+        let _ = evaluate_corpus(&corpus, &config, &registry).expect("sweep");
+        let elapsed = started.elapsed().as_secs_f64();
+        let base = *t1.get_or_insert(elapsed);
+        rows.push(vec![
+            threads.to_string(),
+            format!("{elapsed:.3}"),
+            format!("{:.2}x", base / elapsed),
+        ]);
+    }
+    print_table(&["threads", "seconds", "speedup"], &rows);
+    println!("\nPaper claim shape: linear scaling in work items; parallel runner amortizes the sweep.");
+}

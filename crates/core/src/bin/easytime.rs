@@ -1,0 +1,286 @@
+//! The EasyTime command-line frontend — the terminal stand-in for the
+//! paper's web UI (Figures 4–5). Subcommands map one-to-one onto the
+//! demonstrations:
+//!
+//! ```text
+//! easytime bench --config cfg.json     # S1: one-click evaluation
+//! easytime recommend --csv data.csv    # S2: characteristics + recommendation
+//! easytime ask "top 5 methods by mae"  # S3: one-shot Q&A
+//! easytime ask --interactive           # S3: multi-turn session (stdin)
+//! easytime methods                     # the registered roster
+//! ```
+//!
+//! Every subcommand builds (or reuses) a seeded synthetic benchmark, so the
+//! tool is fully self-contained.
+
+use easytime::{
+    CorpusConfig, Domain, EasyTime, Frequency, ModelSpec, RecommenderConfig, Strategy,
+};
+use std::io::{BufRead, Write};
+use std::process::ExitCode;
+
+fn arg_value(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "EasyTime: time series forecasting made easy\n\n\
+         USAGE:\n  easytime <command> [options]\n\n\
+         COMMANDS:\n  \
+         bench --config <file.json> [--per-domain N] [--seed N]\n      \
+         one-click evaluation from a configuration file (S1)\n  \
+         recommend --csv <file.csv> [--domain <name>] [--frequency <name>] [--k N]\n      \
+         upload a dataset, show its characteristics and recommended methods (S2)\n  \
+         ask [\"question\"] [--interactive] [--per-domain N]\n      \
+         natural-language Q&A over the benchmark knowledge (S3)\n  \
+         methods\n      \
+         list the registered method roster\n  \
+         demo\n      \
+         run a compact tour of all three demonstrations"
+    );
+    ExitCode::from(2)
+}
+
+fn build_platform(args: &[String]) -> easytime::Result<EasyTime> {
+    let per_domain =
+        arg_value(args, "--per-domain").and_then(|v| v.parse().ok()).unwrap_or(3);
+    let seed = arg_value(args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(7);
+    EasyTime::with_benchmark(&CorpusConfig {
+        per_domain,
+        length: 280,
+        multivariate_per_domain: 1,
+        channels: 3,
+        seed,
+        ..CorpusConfig::default()
+    })
+}
+
+fn cmd_bench(args: &[String]) -> easytime::Result<ExitCode> {
+    let Some(path) = arg_value(args, "--config") else {
+        eprintln!("bench requires --config <file.json>");
+        return Ok(ExitCode::from(2));
+    };
+    let text = std::fs::read_to_string(&path).map_err(|e| easytime::EasyTimeError::Config {
+        reason: format!("cannot read '{path}': {e}"),
+    })?;
+    let platform = build_platform(args)?;
+    eprintln!(
+        "benchmark: {} datasets, {} methods registered",
+        platform.registry().len(),
+        platform.method_roster().len()
+    );
+    let records = platform.one_click_json(&text)?;
+    let failures = records.iter().filter(|r| !r.is_ok()).count();
+    eprintln!("evaluated {} records ({failures} failures)\n", records.len());
+    let metric = arg_value(args, "--metric").unwrap_or_else(|| "smape".into());
+    println!("{}", platform.leaderboard(&metric)?.render());
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_recommend(args: &[String]) -> easytime::Result<ExitCode> {
+    let Some(path) = arg_value(args, "--csv") else {
+        eprintln!("recommend requires --csv <file.csv>");
+        return Ok(ExitCode::from(2));
+    };
+    let csv = std::fs::read_to_string(&path).map_err(|e| easytime::EasyTimeError::Config {
+        reason: format!("cannot read '{path}': {e}"),
+    })?;
+    let domain = arg_value(args, "--domain")
+        .and_then(|d| Domain::parse(&d))
+        .unwrap_or(Domain::Web);
+    let frequency = arg_value(args, "--frequency")
+        .and_then(|f| Frequency::parse(&f))
+        .unwrap_or(Frequency::Daily);
+    let k: usize = arg_value(args, "--k").and_then(|v| v.parse().ok()).unwrap_or(3);
+
+    let platform = build_platform(args)?;
+    let chars = platform.upload_csv("uploaded", domain, &csv, frequency)?;
+    println!("characteristics of '{path}':");
+    println!("  seasonality  {:.2}", chars.seasonality);
+    println!("  trend        {:.2}", chars.trend);
+    println!("  transition   {:.2}", chars.transition);
+    println!("  shifting     {:.2}", chars.shifting);
+    println!("  stationarity {:.2}", chars.stationarity);
+    println!("  period       {}", chars.period);
+    println!("  tags         {:?}\n", chars.tags());
+
+    eprintln!("pretraining the recommender on the benchmark corpus…");
+    let config = RecommenderConfig {
+        methods: vec![
+            ModelSpec::Naive,
+            ModelSpec::SeasonalNaive(None),
+            ModelSpec::SeasonalAverage { period: None, cycles: 4 },
+            ModelSpec::Drift,
+            ModelSpec::LinearTrend,
+            ModelSpec::Ses(None),
+            ModelSpec::Theta(None),
+            ModelSpec::LagRidge { lookback: 16, lambda: 1e-2 },
+        ],
+        strategy: Strategy::Fixed { horizon: 24 },
+        ..RecommenderConfig::default()
+    };
+    let (recommender, _) = platform.pretrain_recommender(&config)?;
+    println!("recommended methods:");
+    for (i, (method, prob)) in platform.recommend(&recommender, "uploaded", k)?.iter().enumerate()
+    {
+        println!("  {}. {method:<18} p = {prob:.3}", i + 1);
+    }
+
+    // Fit the automated ensemble and show its blend (the AutoML button).
+    let series = platform.registry().get("uploaded")?.primary_series();
+    let ensemble = platform.auto_ensemble(&recommender, &series, k)?;
+    println!("\nauto-ensemble members:");
+    for (name, weight) in ensemble.members() {
+        println!("  {name:<18} w = {weight:.3}");
+    }
+    let horizon: usize = arg_value(args, "--horizon").and_then(|v| v.parse().ok()).unwrap_or(12);
+    let forecast = ensemble.forecast(horizon)?;
+    println!(
+        "\n{}",
+        easytime::ForecastPlot::forecast_view(series.values(), &forecast, None).render()
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn populate_for_qa(platform: &EasyTime) -> easytime::Result<()> {
+    eprintln!("populating benchmark knowledge…");
+    for config in [
+        r#"{"methods": ["naive", "seasonal_naive", "drift", "theta", "ses", "linear_trend",
+                        "lag_ridge_16", "dlinear_32"],
+            "strategy": {"type": "fixed", "horizon": 96}}"#,
+        r#"{"methods": ["naive", "seasonal_naive", "drift", "theta", "ses", "linear_trend",
+                        "lag_ridge_16", "dlinear_32"],
+            "strategy": {"type": "fixed", "horizon": 24}}"#,
+    ] {
+        platform.one_click_json(config)?;
+    }
+    Ok(())
+}
+
+fn print_response(resp: &easytime::QaResponse) {
+    println!("SQL: {}\n", resp.sql);
+    println!("{}", resp.answer);
+    if let Some(chart) = &resp.chart {
+        println!("\n{}", chart.render_ascii(40));
+    }
+    println!("{}", resp.table.render());
+}
+
+fn cmd_ask(args: &[String]) -> easytime::Result<ExitCode> {
+    let platform = build_platform(args)?;
+    populate_for_qa(&platform)?;
+    let mut session = platform.qa_session()?;
+
+    if has_flag(args, "--interactive") {
+        eprintln!("EasyTime Q&A — ask about the benchmark (empty line to exit)");
+        let stdin = std::io::stdin();
+        loop {
+            eprint!("?> ");
+            std::io::stderr().flush().ok();
+            let mut line = String::new();
+            if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+                break;
+            }
+            let question = line.trim();
+            if question.is_empty() {
+                break;
+            }
+            match session.ask(question) {
+                Ok(resp) => print_response(&resp),
+                Err(e) => eprintln!("{e}"),
+            }
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let question: Vec<&String> =
+        args.iter().skip(1).filter(|a| !a.starts_with("--")).collect();
+    if question.is_empty() {
+        eprintln!("ask requires a question (or --interactive)");
+        return Ok(ExitCode::from(2));
+    }
+    let question = question.into_iter().cloned().collect::<Vec<_>>().join(" ");
+    let resp = session.ask(&question)?;
+    print_response(&resp);
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_methods() -> ExitCode {
+    let platform = EasyTime::new();
+    println!("{} registered methods:\n", platform.method_roster().len());
+    for entry in platform.method_roster() {
+        println!(
+            "  {:<20} {:<17} {}",
+            entry.spec.name(),
+            entry.spec.family().name(),
+            entry.description
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_demo(args: &[String]) -> easytime::Result<ExitCode> {
+    let platform = build_platform(args)?;
+    println!("━━ S1: one-click evaluation ━━━━━━━━━━━━━━━━━━━━━━━━━━━━━");
+    let records = platform.one_click_json(
+        r#"{"methods": ["naive", "seasonal_naive", "theta", "lag_ridge_16"],
+            "strategy": {"type": "rolling", "horizon": 24, "stride": 24, "max_windows": 2}}"#,
+    )?;
+    println!(
+        "evaluated {} records; leaderboard:\n{}",
+        records.len(),
+        platform.leaderboard("smape")?.render()
+    );
+
+    println!("━━ S2: method recommendation ━━━━━━━━━━━━━━━━━━━━━━━━━━━");
+    let id = platform.registry().ids()[0].clone();
+    let chars = platform.characteristics(&id)?;
+    println!("dataset '{id}': tags {:?}, period {}", chars.tags(), chars.period);
+
+    println!("\n━━ S3: natural-language Q&A ━━━━━━━━━━━━━━━━━━━━━━━━━━━━");
+    let mut session = platform.qa_session()?;
+    let resp = session.ask("Which method is best by sMAPE?")?;
+    println!("Q: Which method is best by sMAPE?\nA: {}", resp.answer);
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    // `easytime … | head` closes stdout early; exit quietly instead of
+    // panicking (Rust has no default SIGPIPE handling).
+    std::panic::set_hook(Box::new(|info| {
+        let message = info.to_string();
+        if message.contains("Broken pipe") {
+            std::process::exit(0);
+        }
+        eprintln!("{message}");
+        std::process::exit(101);
+    }));
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        return usage();
+    };
+    let result = match command.as_str() {
+        "bench" => cmd_bench(&args),
+        "recommend" => cmd_recommend(&args),
+        "ask" => cmd_ask(&args),
+        "methods" => return cmd_methods(),
+        "demo" => cmd_demo(&args),
+        "-h" | "--help" | "help" => return usage(),
+        other => {
+            eprintln!("unknown command '{other}'");
+            return usage();
+        }
+    };
+    match result {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

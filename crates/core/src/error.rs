@@ -1,0 +1,84 @@
+//! Top-level error type for the EasyTime platform.
+
+use crate::json::JsonError;
+use std::fmt;
+
+/// Errors surfaced by the EasyTime facade.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EasyTimeError {
+    /// A configuration file could not be parsed or validated.
+    Config {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// Data-layer failure.
+    Data(easytime_data::DataError),
+    /// Model-layer failure.
+    Model(easytime_models::ModelError),
+    /// Evaluation failure.
+    Eval(easytime_eval::EvalError),
+    /// Knowledge-base failure.
+    Db(easytime_db::DbError),
+    /// AutoML failure.
+    AutoMl(easytime_automl::AutoMlError),
+    /// Q&A failure.
+    Qa(easytime_qa::QaError),
+}
+
+impl fmt::Display for EasyTimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EasyTimeError::Config { reason } => write!(f, "configuration error: {reason}"),
+            EasyTimeError::Data(e) => write!(f, "{e}"),
+            EasyTimeError::Model(e) => write!(f, "{e}"),
+            EasyTimeError::Eval(e) => write!(f, "{e}"),
+            EasyTimeError::Db(e) => write!(f, "{e}"),
+            EasyTimeError::AutoMl(e) => write!(f, "{e}"),
+            EasyTimeError::Qa(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for EasyTimeError {}
+
+impl From<JsonError> for EasyTimeError {
+    fn from(e: JsonError) -> Self {
+        EasyTimeError::Config { reason: e.to_string() }
+    }
+}
+
+impl From<easytime_data::DataError> for EasyTimeError {
+    fn from(e: easytime_data::DataError) -> Self {
+        EasyTimeError::Data(e)
+    }
+}
+
+impl From<easytime_models::ModelError> for EasyTimeError {
+    fn from(e: easytime_models::ModelError) -> Self {
+        EasyTimeError::Model(e)
+    }
+}
+
+impl From<easytime_eval::EvalError> for EasyTimeError {
+    fn from(e: easytime_eval::EvalError) -> Self {
+        EasyTimeError::Eval(e)
+    }
+}
+
+impl From<easytime_db::DbError> for EasyTimeError {
+    fn from(e: easytime_db::DbError) -> Self {
+        EasyTimeError::Db(e)
+    }
+}
+
+impl From<easytime_automl::AutoMlError> for EasyTimeError {
+    fn from(e: easytime_automl::AutoMlError) -> Self {
+        EasyTimeError::AutoMl(e)
+    }
+}
+
+impl From<easytime_qa::QaError> for EasyTimeError {
+    fn from(e: easytime_qa::QaError) -> Self {
+        EasyTimeError::Qa(e)
+    }
+}

@@ -1,0 +1,404 @@
+//! Extraction of the six TFB dataset characteristics.
+//!
+//! The paper (§II-A) lists Seasonality, Trend, Transition, Shifting,
+//! Stationarity, and Correlation as the characteristics along which the
+//! benchmark corpus is balanced, and the method-recommendation frontend
+//! (Figure 4, label 4) displays them for an uploaded series. This module
+//! computes all six as scores in `[0, 1]`:
+//!
+//! * **seasonality** — strength of the seasonal component, following
+//!   Wang–Smith–Hyndman: `max(0, 1 − Var(remainder) / Var(seasonal + remainder))`.
+//! * **trend** — strength of the trend component:
+//!   `max(0, 1 − Var(remainder) / Var(trend + remainder))`.
+//! * **transition** — structural-change intensity measured by a normalized
+//!   CUSUM statistic on the detrended series.
+//! * **shifting** — distribution shift between the first and second half
+//!   (standardized mean difference squashed to `[0, 1)`).
+//! * **stationarity** — speed of autocorrelation decay: white noise scores
+//!   near 1, a random walk near 0 (a lightweight stand-in for ADF/KPSS).
+//! * **correlation** — for multivariate data, the mean absolute pairwise
+//!   Pearson correlation across channels; 0 for univariate series.
+
+use crate::decompose::decompose_values;
+use crate::series::{MultiSeries, TimeSeries};
+use easytime_linalg::stats::{acf, correlation, linear_trend, mean, std_dev, variance};
+
+/// The six TFB characteristics, each scored in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Characteristics {
+    /// Seasonal strength.
+    pub seasonality: f64,
+    /// Trend strength.
+    pub trend: f64,
+    /// Structural-change (regime transition) intensity.
+    pub transition: f64,
+    /// Distribution shift between series halves.
+    pub shifting: f64,
+    /// Stationarity score (1 = strongly stationary).
+    pub stationarity: f64,
+    /// Cross-channel correlation (0 for univariate).
+    pub correlation: f64,
+    /// Detected (or frequency-implied) seasonal period; 0 when none.
+    pub period: usize,
+}
+
+impl Characteristics {
+    /// Threshold above which a characteristic counts as "strong" for tags
+    /// and Q&A filters.
+    pub const STRONG: f64 = 0.6;
+
+    /// True when the series has a strong seasonal component.
+    pub fn has_strong_seasonality(&self) -> bool {
+        self.seasonality >= Self::STRONG
+    }
+
+    /// True when the series has a strong trend.
+    pub fn has_strong_trend(&self) -> bool {
+        self.trend >= Self::STRONG
+    }
+
+    /// True when the series is predominantly stationary.
+    pub fn is_stationary(&self) -> bool {
+        self.stationarity >= Self::STRONG
+    }
+
+    /// Human-readable tags, e.g. `["seasonal", "trending"]`, used by the
+    /// reporting layer and Q&A answers.
+    pub fn tags(&self) -> Vec<&'static str> {
+        let mut tags = Vec::new();
+        if self.has_strong_seasonality() {
+            tags.push("seasonal");
+        }
+        if self.has_strong_trend() {
+            tags.push("trending");
+        }
+        if self.transition >= Self::STRONG {
+            tags.push("regime-switching");
+        }
+        if self.shifting >= Self::STRONG {
+            tags.push("shifting");
+        }
+        if self.is_stationary() {
+            tags.push("stationary");
+        }
+        if self.correlation >= Self::STRONG {
+            tags.push("cross-correlated");
+        }
+        tags
+    }
+
+    /// Flattens the scores into a feature vector (excluding the period),
+    /// used as part of the representation fed to the recommender.
+    pub fn to_vec(&self) -> Vec<f64> {
+        vec![
+            self.seasonality,
+            self.trend,
+            self.transition,
+            self.shifting,
+            self.stationarity,
+            self.correlation,
+        ]
+    }
+}
+
+/// Candidate seasonal periods probed by [`detect_period`].
+const CANDIDATE_PERIODS: &[usize] = &[4, 6, 7, 12, 24, 48, 52, 96];
+
+/// Detects the dominant seasonal period of `xs` via autocorrelation peaks.
+///
+/// Probes the conventional periods (and the frequency hint, if provided)
+/// and returns the one with the highest autocorrelation, provided it exceeds
+/// 0.25 and at least two full cycles are observed. Returns `None` when no
+/// convincing period exists.
+pub fn detect_period(xs: &[f64], hint: Option<usize>) -> Option<usize> {
+    let n = xs.len();
+    // De-trend first: a strong trend inflates the ACF at every lag.
+    let (b, m) = linear_trend(xs);
+    let detrended: Vec<f64> = xs.iter().enumerate().map(|(t, &x)| x - b - m * t as f64).collect();
+
+    let max_corr = |p: usize| -> f64 {
+        if p < 2 || n < 2 * p + 1 {
+            return f64::NEG_INFINITY;
+        }
+        easytime_linalg::stats::autocorrelation(&detrended, p)
+    };
+
+    let mut best: Option<(usize, f64)> = None;
+    let mut consider = |p: usize| {
+        let c = max_corr(p);
+        if c > best.map_or(0.25, |(_, bc)| bc) {
+            best = Some((p, c));
+        }
+    };
+    if let Some(h) = hint {
+        consider(h);
+    }
+    for &p in CANDIDATE_PERIODS {
+        consider(p);
+    }
+    best.map(|(p, _)| p)
+}
+
+/// Strength helper: `max(0, 1 − Var(remainder) / Var(component + remainder))`.
+fn strength(component: &[f64], remainder: &[f64]) -> f64 {
+    let combined: Vec<f64> = component.iter().zip(remainder).map(|(c, r)| c + r).collect();
+    let vc = variance(&combined);
+    if vc < 1e-12 {
+        return 0.0;
+    }
+    (1.0 - variance(remainder) / vc).clamp(0.0, 1.0)
+}
+
+/// Stationarity score from autocorrelation decay on the raw series.
+fn stationarity_score(xs: &[f64]) -> f64 {
+    let max_lag = 10.min(xs.len().saturating_sub(1));
+    if max_lag == 0 {
+        return 1.0;
+    }
+    let a = acf(xs, max_lag);
+    let avg_abs = a[1..].iter().map(|v| v.abs()).sum::<f64>() / max_lag as f64;
+    (1.0 - avg_abs).clamp(0.0, 1.0)
+}
+
+/// Shifting score: standardized mean difference between halves, squashed.
+fn shifting_score(xs: &[f64]) -> f64 {
+    let n = xs.len();
+    if n < 4 {
+        return 0.0;
+    }
+    let (first, second) = xs.split_at(n / 2);
+    let pooled = std_dev(xs).max(1e-9);
+    let d = (mean(first) - mean(second)).abs() / pooled;
+    (d / (1.0 + d)).clamp(0.0, 1.0)
+}
+
+/// Transition score: normalized CUSUM range of the detrended series.
+fn transition_score(xs: &[f64]) -> f64 {
+    let n = xs.len();
+    if n < 8 {
+        return 0.0;
+    }
+    let (b, m) = linear_trend(xs);
+    let resid: Vec<f64> = xs.iter().enumerate().map(|(t, &x)| x - b - m * t as f64).collect();
+    let s = std_dev(&resid).max(1e-9);
+    let mut cum = 0.0;
+    let mut max_abs: f64 = 0.0;
+    let rm = mean(&resid);
+    for &r in &resid {
+        cum += r - rm;
+        max_abs = max_abs.max(cum.abs());
+    }
+    // For i.i.d. noise the normalized CUSUM range is O(1); structural breaks
+    // drive it up. Map through x/(1+x) after subtracting the noise baseline.
+    let stat = (max_abs / (s * (n as f64).sqrt()) - 0.8).max(0.0);
+    (stat / (1.0 + stat)).clamp(0.0, 1.0)
+}
+
+/// Extracts all six characteristics from a univariate series.
+pub fn extract(series: &TimeSeries) -> Characteristics {
+    extract_values(series.values(), series.frequency().default_period())
+}
+
+/// Extracts characteristics from raw values with an optional period hint.
+pub fn extract_values(xs: &[f64], hint: Option<usize>) -> Characteristics {
+    let period = detect_period(xs, hint).unwrap_or(0);
+    let d = decompose_values(xs, period);
+    let seasonality = if d.period >= 2 { strength(&d.seasonal, &d.remainder) } else { 0.0 };
+    // Trend strength on the deseasonalized series.
+    let deseasonalized: Vec<f64> = xs.iter().zip(&d.seasonal).map(|(x, s)| x - s).collect();
+    let (b, m) = linear_trend(&deseasonalized);
+    let trend_line: Vec<f64> = (0..xs.len()).map(|t| b + m * t as f64).collect();
+    let trend_resid: Vec<f64> =
+        deseasonalized.iter().zip(&trend_line).map(|(x, t)| x - t).collect();
+    let trend = strength(&trend_line, &trend_resid);
+
+    Characteristics {
+        seasonality,
+        trend,
+        transition: transition_score(xs),
+        shifting: shifting_score(xs),
+        stationarity: stationarity_score(xs),
+        correlation: 0.0,
+        period: d.period,
+    }
+}
+
+/// Extracts characteristics from a multivariate series.
+///
+/// Per-channel scores are averaged; the correlation characteristic is the
+/// mean absolute pairwise Pearson correlation across channels.
+pub fn extract_multi(series: &MultiSeries) -> Characteristics {
+    let k = series.num_channels();
+    let hint = series.frequency().default_period();
+    let mut acc = Characteristics {
+        seasonality: 0.0,
+        trend: 0.0,
+        transition: 0.0,
+        shifting: 0.0,
+        stationarity: 0.0,
+        correlation: 0.0,
+        period: 0,
+    };
+    let mut period_votes: Vec<usize> = Vec::with_capacity(k);
+    for i in 0..k {
+        let c = extract_values(series.channel(i), hint);
+        acc.seasonality += c.seasonality;
+        acc.trend += c.trend;
+        acc.transition += c.transition;
+        acc.shifting += c.shifting;
+        acc.stationarity += c.stationarity;
+        period_votes.push(c.period);
+    }
+    let kf = k as f64;
+    acc.seasonality /= kf;
+    acc.trend /= kf;
+    acc.transition /= kf;
+    acc.shifting /= kf;
+    acc.stationarity /= kf;
+    // Majority period vote (0 allowed).
+    period_votes.sort_unstable();
+    acc.period = period_votes[period_votes.len() / 2];
+
+    if k >= 2 {
+        let mut sum = 0.0;
+        let mut pairs = 0usize;
+        for i in 0..k {
+            for j in (i + 1)..k {
+                sum += correlation(series.channel(i), series.channel(j)).abs();
+                pairs += 1;
+            }
+        }
+        acc.correlation = sum / pairs as f64;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::Frequency;
+    use std::f64::consts::PI;
+
+    fn sine(n: usize, period: f64, amp: f64) -> Vec<f64> {
+        (0..n).map(|t| amp * (2.0 * PI * t as f64 / period).sin()).collect()
+    }
+
+    /// Deterministic pseudo-noise without pulling in `rand` for unit tests.
+    fn noise(n: usize, scale: f64) -> Vec<f64> {
+        (0..n).map(|t| scale * ((t as f64 * 12.9898).sin() * 43758.5453).fract()).collect()
+    }
+
+    #[test]
+    fn detects_seasonal_period() {
+        let xs = sine(240, 12.0, 5.0);
+        assert_eq!(detect_period(&xs, None), Some(12));
+        let hourly = sine(480, 24.0, 3.0);
+        assert_eq!(detect_period(&hourly, Some(24)), Some(24));
+    }
+
+    #[test]
+    fn no_period_for_noise_or_short_series() {
+        let xs = noise(100, 1.0);
+        assert_eq!(detect_period(&xs, None), None);
+        assert_eq!(detect_period(&[1.0, 2.0, 3.0], None), None);
+    }
+
+    #[test]
+    fn seasonal_series_scores_high_seasonality() {
+        let mut xs = sine(240, 12.0, 5.0);
+        let nz = noise(240, 0.5);
+        for (x, n) in xs.iter_mut().zip(&nz) {
+            *x += n;
+        }
+        let c = extract_values(&xs, None);
+        assert!(c.seasonality > 0.8, "seasonality {}", c.seasonality);
+        assert!(c.trend < 0.5, "trend {}", c.trend);
+        assert_eq!(c.period, 12);
+        assert!(c.tags().contains(&"seasonal"));
+    }
+
+    #[test]
+    fn trending_series_scores_high_trend_low_stationarity() {
+        let xs: Vec<f64> = (0..200).map(|t| 0.5 * t as f64).collect();
+        let c = extract_values(&xs, None);
+        assert!(c.trend > 0.95, "trend {}", c.trend);
+        assert!(c.stationarity < 0.3, "stationarity {}", c.stationarity);
+        assert!(c.has_strong_trend());
+        assert!(!c.is_stationary());
+    }
+
+    #[test]
+    fn white_noise_is_stationary_without_structure() {
+        let xs = noise(400, 1.0);
+        let c = extract_values(&xs, None);
+        // The hash-based pseudo-noise carries mild autocorrelation, so the
+        // score lands above the STRONG threshold rather than near 1.
+        assert!(c.stationarity > 0.6, "stationarity {}", c.stationarity);
+        assert!(c.seasonality < 0.4, "seasonality {}", c.seasonality);
+        assert!(c.trend < 0.3, "trend {}", c.trend);
+        assert!(c.shifting < 0.4, "shifting {}", c.shifting);
+    }
+
+    #[test]
+    fn level_shift_raises_shifting() {
+        let mut xs = noise(200, 0.3);
+        for x in xs.iter_mut().skip(100) {
+            *x += 5.0;
+        }
+        let c = extract_values(&xs, None);
+        assert!(c.shifting > 0.6, "shifting {}", c.shifting);
+    }
+
+    #[test]
+    fn regime_change_raises_transition() {
+        // Slow sinusoidal regime drift (not a linear trend) drives CUSUM up.
+        let xs: Vec<f64> = (0..300)
+            .map(|t| {
+                let base = if (t / 75) % 2 == 0 { 0.0 } else { 4.0 };
+                base + noise(1, 0.2)[0] + (t as f64 * 0.7).sin() * 0.3
+            })
+            .collect();
+        let c = extract_values(&xs, None);
+        assert!(c.transition > 0.4, "transition {}", c.transition);
+    }
+
+    #[test]
+    fn correlated_channels_raise_correlation() {
+        let base = sine(120, 12.0, 2.0);
+        let shifted: Vec<f64> = base.iter().map(|x| 3.0 * x + 1.0).collect();
+        let m = MultiSeries::new(
+            "m",
+            vec!["a".into(), "b".into()],
+            vec![base, shifted],
+            Frequency::Monthly,
+        )
+        .unwrap();
+        let c = extract_multi(&m);
+        assert!(c.correlation > 0.95, "correlation {}", c.correlation);
+        assert!(c.tags().contains(&"cross-correlated"));
+    }
+
+    #[test]
+    fn independent_channels_have_low_correlation() {
+        let a = noise(300, 1.0);
+        let b: Vec<f64> = noise(300, 1.0).iter().rev().copied().collect();
+        let m = MultiSeries::new(
+            "m",
+            vec!["a".into(), "b".into()],
+            vec![a, b],
+            Frequency::Daily,
+        )
+        .unwrap();
+        let c = extract_multi(&m);
+        assert!(c.correlation < 0.3, "correlation {}", c.correlation);
+    }
+
+    #[test]
+    fn feature_vector_has_six_entries_in_range() {
+        let ts = TimeSeries::new("t", sine(120, 12.0, 1.0), Frequency::Monthly).unwrap();
+        let c = extract(&ts);
+        let v = c.to_vec();
+        assert_eq!(v.len(), 6);
+        assert!(v.iter().all(|x| (0.0..=1.0).contains(x)));
+    }
+}

@@ -1,0 +1,252 @@
+//! Minimal CSV reading/writing for series data.
+//!
+//! EasyTime's frontend lets practitioners *upload* their own datasets
+//! (Figure 4, label 1). This module implements that ingestion path for the
+//! two layouts TFB uses: a single `value` column for univariate series, and
+//! a wide layout with one column per channel for multivariate data. A header
+//! row is required; an optional first column named `date`, `time`, or
+//! `timestamp` is skipped (ordering is positional).
+//!
+//! Implemented from scratch (rather than via the `csv` crate) to keep the
+//! workspace on the approved dependency set; quoting is supported for
+//! headers but numeric fields must be plain.
+
+use crate::error::DataError;
+use crate::series::{Frequency, MultiSeries, TimeSeries};
+
+/// Splits one CSV line into fields, honouring double quotes.
+fn split_line(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut in_quotes = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => {
+                if in_quotes && chars.peek() == Some(&'"') {
+                    cur.push('"');
+                    chars.next();
+                } else {
+                    in_quotes = !in_quotes;
+                }
+            }
+            ',' if !in_quotes => {
+                fields.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(c),
+        }
+    }
+    fields.push(cur);
+    fields
+}
+
+/// Result of parsing a CSV document: header names and numeric columns.
+struct ParsedCsv {
+    columns: Vec<String>,
+    data: Vec<Vec<f64>>,
+}
+
+fn parse_document(text: &str) -> Result<ParsedCsv, DataError> {
+    let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+    let (_, header) = lines.next().ok_or(DataError::Csv {
+        line: 1,
+        reason: "document is empty".into(),
+    })?;
+    let mut columns: Vec<String> =
+        split_line(header).into_iter().map(|c| c.trim().to_string()).collect();
+
+    // Skip a leading timestamp column if present.
+    let skip_first = columns
+        .first()
+        .map(|c| matches!(c.to_ascii_lowercase().as_str(), "date" | "time" | "timestamp"))
+        .unwrap_or(false);
+    if skip_first {
+        columns.remove(0);
+    }
+    if columns.is_empty() {
+        return Err(DataError::Csv { line: 1, reason: "no data columns in header".into() });
+    }
+
+    let mut data: Vec<Vec<f64>> = vec![Vec::new(); columns.len()];
+    for (idx, line) in lines {
+        let mut fields = split_line(line);
+        if skip_first {
+            if fields.is_empty() {
+                return Err(DataError::Csv { line: idx + 1, reason: "empty row".into() });
+            }
+            fields.remove(0);
+        }
+        if fields.len() != columns.len() {
+            return Err(DataError::Csv {
+                line: idx + 1,
+                reason: format!("expected {} fields, found {}", columns.len(), fields.len()),
+            });
+        }
+        for (col, field) in fields.iter().enumerate() {
+            let v: f64 = field.trim().parse().map_err(|_| DataError::Csv {
+                line: idx + 1,
+                reason: format!("'{}' is not a number", field.trim()),
+            })?;
+            data[col].push(v);
+        }
+    }
+    if data[0].is_empty() {
+        return Err(DataError::Csv { line: 2, reason: "no data rows".into() });
+    }
+    Ok(ParsedCsv { columns, data })
+}
+
+/// Reads a univariate series from CSV text (single data column, optional
+/// timestamp column).
+pub fn read_univariate(
+    name: impl Into<String>,
+    text: &str,
+    frequency: Frequency,
+) -> Result<TimeSeries, DataError> {
+    let parsed = parse_document(text)?;
+    if parsed.columns.len() != 1 {
+        return Err(DataError::Csv {
+            line: 1,
+            reason: format!(
+                "expected exactly one data column for a univariate series, found {}",
+                parsed.columns.len()
+            ),
+        });
+    }
+    TimeSeries::new(name, parsed.data.into_iter().next().expect("one column"), frequency)
+}
+
+/// Reads a multivariate series from wide-layout CSV text.
+pub fn read_multivariate(
+    name: impl Into<String>,
+    text: &str,
+    frequency: Frequency,
+) -> Result<MultiSeries, DataError> {
+    let parsed = parse_document(text)?;
+    MultiSeries::new(name, parsed.columns, parsed.data, frequency)
+}
+
+/// Writes a univariate series as CSV text (header `value`).
+pub fn write_univariate(series: &TimeSeries) -> String {
+    let mut out = String::with_capacity(series.len() * 12 + 8);
+    out.push_str("value\n");
+    for v in series.values() {
+        out.push_str(&format!("{v}\n"));
+    }
+    out
+}
+
+/// Writes a multivariate series as wide CSV text.
+pub fn write_multivariate(series: &MultiSeries) -> String {
+    let mut out = String::new();
+    out.push_str(&series.channel_names().join(","));
+    out.push('\n');
+    for t in 0..series.len() {
+        let row: Vec<String> =
+            (0..series.num_channels()).map(|c| series.channel(c)[t].to_string()).collect();
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_simple_univariate() {
+        let csv = "value\n1.5\n2.5\n3.5\n";
+        let ts = read_univariate("u", csv, Frequency::Daily).unwrap();
+        assert_eq!(ts.values(), &[1.5, 2.5, 3.5]);
+        assert_eq!(ts.frequency(), Frequency::Daily);
+    }
+
+    #[test]
+    fn skips_timestamp_column() {
+        let csv = "date,value\n2024-01-01,10\n2024-01-02,20\n";
+        let ts = read_univariate("u", csv, Frequency::Daily).unwrap();
+        assert_eq!(ts.values(), &[10.0, 20.0]);
+    }
+
+    #[test]
+    fn reads_multivariate_wide_layout() {
+        let csv = "timestamp,load,temp\n1,100,20.5\n2,110,21.0\n3,105,19.5\n";
+        let ms = read_multivariate("grid", csv, Frequency::Hourly).unwrap();
+        assert_eq!(ms.num_channels(), 2);
+        assert_eq!(ms.channel_names(), &["load".to_string(), "temp".to_string()]);
+        assert_eq!(ms.channel(0), &[100.0, 110.0, 105.0]);
+    }
+
+    #[test]
+    fn quoted_headers_are_supported() {
+        let csv = "\"the, value\"\n1\n2\n";
+        let ts = read_univariate("u", csv, Frequency::Unknown).unwrap();
+        assert_eq!(ts.len(), 2);
+    }
+
+    #[test]
+    fn rejects_ragged_rows_with_line_numbers() {
+        let csv = "value\n1\n2,3\n";
+        match read_univariate("u", csv, Frequency::Daily) {
+            Err(DataError::Csv { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected csv error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_non_numeric_fields() {
+        let csv = "value\n1\nnope\n";
+        match read_univariate("u", csv, Frequency::Daily) {
+            Err(DataError::Csv { line, reason }) => {
+                assert_eq!(line, 3);
+                assert!(reason.contains("nope"));
+            }
+            other => panic!("expected csv error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_empty_documents() {
+        assert!(read_univariate("u", "", Frequency::Daily).is_err());
+        assert!(read_univariate("u", "value\n", Frequency::Daily).is_err());
+        assert!(read_univariate("u", "date\n", Frequency::Daily).is_err());
+    }
+
+    #[test]
+    fn univariate_requires_single_column() {
+        let csv = "a,b\n1,2\n";
+        assert!(read_univariate("u", csv, Frequency::Daily).is_err());
+    }
+
+    #[test]
+    fn write_read_round_trip_univariate() {
+        let ts = TimeSeries::new("r", vec![1.25, -3.5, 0.0], Frequency::Weekly).unwrap();
+        let csv = write_univariate(&ts);
+        let back = read_univariate("r", &csv, Frequency::Weekly).unwrap();
+        assert_eq!(back.values(), ts.values());
+    }
+
+    #[test]
+    fn write_read_round_trip_multivariate() {
+        let ms = MultiSeries::new(
+            "m",
+            vec!["a".into(), "b".into()],
+            vec![vec![1.0, 2.0], vec![3.0, 4.0]],
+            Frequency::Daily,
+        )
+        .unwrap();
+        let csv = write_multivariate(&ms);
+        let back = read_multivariate("m", &csv, Frequency::Daily).unwrap();
+        assert_eq!(back.channel(0), ms.channel(0));
+        assert_eq!(back.channel(1), ms.channel(1));
+        assert_eq!(back.channel_names(), ms.channel_names());
+    }
+
+    #[test]
+    fn blank_lines_are_ignored() {
+        let csv = "value\n1\n\n2\n\n";
+        let ts = read_univariate("u", csv, Frequency::Daily).unwrap();
+        assert_eq!(ts.values(), &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,214 @@
+//! Classical time-series decomposition.
+//!
+//! Provides a moving-average trend extractor and an additive
+//! trend/seasonal/remainder decomposition in the spirit of STL (without
+//! loess). The decomposition backs the characteristic extractor
+//! (trend/seasonality strengths) and the DLinear forecaster's
+//! trend/remainder split.
+
+use crate::series::TimeSeries;
+use easytime_linalg::stats::mean;
+
+/// Result of an additive decomposition `y = trend + seasonal + remainder`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decomposition {
+    /// Smooth trend component, same length as the input.
+    pub trend: Vec<f64>,
+    /// Seasonal component, repeating with the requested period.
+    pub seasonal: Vec<f64>,
+    /// Remainder after removing trend and seasonal parts.
+    pub remainder: Vec<f64>,
+    /// Seasonal period used (0 when no seasonal component was extracted).
+    pub period: usize,
+}
+
+/// Centered moving average of window `w` with edge padding.
+///
+/// The first and last `w/2` points are smoothed with a shrinking one-sided
+/// window so the output has the same length as the input. `w == 0` or
+/// `w == 1` returns the input unchanged.
+pub fn moving_average(xs: &[f64], w: usize) -> Vec<f64> {
+    if w <= 1 || xs.is_empty() {
+        return xs.to_vec();
+    }
+    let half = w / 2;
+    let n = xs.len();
+    let mut out = Vec::with_capacity(n);
+    for t in 0..n {
+        let lo = t.saturating_sub(half);
+        let hi = (t + half + 1).min(n);
+        out.push(mean(&xs[lo..hi]));
+    }
+    out
+}
+
+/// Trailing (causal) moving average of window `w`.
+///
+/// `out[t]` is the mean of `xs[t-w+1..=t]` (shrinking at the left edge).
+/// Unlike [`moving_average`] it never looks into the future, so the tail of
+/// the output is an unbiased anchor for recursive forecasting (the bias it
+/// does introduce — half a window of lag on trends — is *constant* and is
+/// absorbed by the remainder component).
+pub fn trailing_moving_average(xs: &[f64], w: usize) -> Vec<f64> {
+    if w <= 1 || xs.is_empty() {
+        return xs.to_vec();
+    }
+    let mut out = Vec::with_capacity(xs.len());
+    let mut sum = 0.0;
+    for t in 0..xs.len() {
+        sum += xs[t];
+        if t >= w {
+            sum -= xs[t - w];
+        }
+        let len = (t + 1).min(w) as f64;
+        out.push(sum / len);
+    }
+    out
+}
+
+/// Additive decomposition of `xs` with the given seasonal `period`.
+///
+/// When `period < 2` or the series is shorter than two periods, the seasonal
+/// part is zero and the trend is a moving average with a window of roughly a
+/// tenth of the series (at least 3).
+pub fn decompose_values(xs: &[f64], period: usize) -> Decomposition {
+    let n = xs.len();
+    if period < 2 || n < 2 * period {
+        let w = (n / 10).max(3);
+        let trend = moving_average(xs, w);
+        let remainder = xs.iter().zip(&trend).map(|(x, t)| x - t).collect();
+        return Decomposition { trend, seasonal: vec![0.0; n], remainder, period: 0 };
+    }
+
+    // 1. Trend: centered moving average over one full period (even periods
+    //    use the standard 2×MA to stay centered).
+    let trend = if period % 2 == 0 {
+        moving_average(&moving_average(xs, period), 2)
+    } else {
+        moving_average(xs, period)
+    };
+
+    // 2. Detrend and average by phase to get the seasonal profile.
+    let detrended: Vec<f64> = xs.iter().zip(&trend).map(|(x, t)| x - t).collect();
+    let mut sums = vec![0.0; period];
+    let mut counts = vec![0usize; period];
+    for (t, &d) in detrended.iter().enumerate() {
+        sums[t % period] += d;
+        counts[t % period] += 1;
+    }
+    let mut profile: Vec<f64> = sums
+        .iter()
+        .zip(&counts)
+        .map(|(s, &c)| if c > 0 { s / c as f64 } else { 0.0 })
+        .collect();
+    // Center the profile so it sums to zero (pure seasonal component).
+    let pm = mean(&profile);
+    for p in &mut profile {
+        *p -= pm;
+    }
+
+    let seasonal: Vec<f64> = (0..n).map(|t| profile[t % period]).collect();
+    let remainder: Vec<f64> =
+        xs.iter().zip(trend.iter().zip(&seasonal)).map(|(x, (t, s))| x - t - s).collect();
+    Decomposition { trend, seasonal, remainder, period }
+}
+
+/// Convenience wrapper of [`decompose_values`] for a [`TimeSeries`], using
+/// the given period or the frequency's default.
+pub fn decompose(series: &TimeSeries, period: Option<usize>) -> Decomposition {
+    let p = period.or_else(|| series.frequency().default_period()).unwrap_or(0);
+    decompose_values(series.values(), p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::Frequency;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn moving_average_flattens_noise() {
+        let xs: Vec<f64> = (0..100).map(|t| t as f64 + if t % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let sm = moving_average(&xs, 4);
+        assert_eq!(sm.len(), xs.len());
+        // Interior points should be close to the underlying line.
+        for (t, &v) in sm.iter().enumerate().take(95).skip(5) {
+            assert!((v - t as f64).abs() < 1.0, "t={t}, got {v}");
+        }
+        assert_eq!(moving_average(&xs, 1), xs);
+        assert_eq!(moving_average(&[], 5), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn trailing_moving_average_is_causal() {
+        let xs: Vec<f64> = (0..50).map(|t| t as f64).collect();
+        let sm = trailing_moving_average(&xs, 4);
+        assert_eq!(sm.len(), xs.len());
+        // Full windows: mean of [t-3..=t] = t - 1.5.
+        for (t, &v) in sm.iter().enumerate().skip(4) {
+            assert!((v - (t as f64 - 1.5)).abs() < 1e-12);
+        }
+        // Left edge shrinks: first value is the value itself.
+        assert_eq!(sm[0], 0.0);
+        assert_eq!(sm[1], 0.5);
+        assert_eq!(trailing_moving_average(&xs, 1), xs);
+        assert_eq!(trailing_moving_average(&[], 3), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn decomposition_reconstructs_input() {
+        let xs: Vec<f64> = (0..120)
+            .map(|t| 0.3 * t as f64 + 5.0 * (2.0 * PI * t as f64 / 12.0).sin())
+            .collect();
+        let d = decompose_values(&xs, 12);
+        for (t, &x) in xs.iter().enumerate() {
+            let rebuilt = d.trend[t] + d.seasonal[t] + d.remainder[t];
+            assert!((rebuilt - x).abs() < 1e-9);
+        }
+        assert_eq!(d.period, 12);
+    }
+
+    #[test]
+    fn decomposition_recovers_strong_seasonality() {
+        let xs: Vec<f64> = (0..240)
+            .map(|t| 10.0 + 4.0 * (2.0 * PI * t as f64 / 12.0).sin())
+            .collect();
+        let d = decompose_values(&xs, 12);
+        // Seasonal variance should dominate the remainder variance.
+        let vs = easytime_linalg::stats::variance(&d.seasonal);
+        let vr = easytime_linalg::stats::variance(&d.remainder);
+        assert!(vs > 5.0, "seasonal variance too small: {vs}");
+        assert!(vr < 0.2 * vs, "remainder should be small: {vr} vs {vs}");
+        // Seasonal profile repeats exactly.
+        for t in 12..240 {
+            assert!((d.seasonal[t] - d.seasonal[t - 12]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn short_or_aperiodic_series_gets_zero_seasonal() {
+        let xs: Vec<f64> = (0..10).map(|t| t as f64).collect();
+        let d = decompose_values(&xs, 12);
+        assert_eq!(d.period, 0);
+        assert!(d.seasonal.iter().all(|&s| s == 0.0));
+    }
+
+    #[test]
+    fn decompose_uses_frequency_default_period() {
+        let xs: Vec<f64> =
+            (0..96).map(|t| (2.0 * PI * t as f64 / 24.0).sin() * 3.0 + 1.0).collect();
+        let ts = TimeSeries::new("hourly", xs, Frequency::Hourly).unwrap();
+        let d = decompose(&ts, None);
+        assert_eq!(d.period, 24);
+        let d2 = decompose(&ts, Some(8));
+        assert_eq!(d2.period, 8);
+    }
+
+    #[test]
+    fn seasonal_profile_is_centered() {
+        let xs: Vec<f64> = (0..60).map(|t| (t % 6) as f64).collect();
+        let d = decompose_values(&xs, 6);
+        let profile_mean = mean(&d.seasonal[..6]);
+        assert!(profile_mean.abs() < 1e-9);
+    }
+}

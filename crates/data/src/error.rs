@@ -1,0 +1,72 @@
+//! Error type for the data layer.
+
+use std::fmt;
+
+/// Errors produced while constructing, loading, or transforming datasets.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataError {
+    /// A series was empty where data was required.
+    EmptySeries {
+        /// Name of the offending series.
+        name: String,
+    },
+    /// A series contained a non-finite value.
+    NonFiniteValue {
+        /// Name of the offending series.
+        name: String,
+        /// Index of the first non-finite value.
+        index: usize,
+    },
+    /// The requested split leaves a partition empty or is out of range.
+    InvalidSplit {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// Multivariate channels have inconsistent lengths.
+    RaggedChannels {
+        /// Expected channel length.
+        expected: usize,
+        /// Observed channel length.
+        found: usize,
+    },
+    /// CSV input could not be parsed.
+    Csv {
+        /// 1-based line where parsing failed.
+        line: usize,
+        /// Description of the failure.
+        reason: String,
+    },
+    /// The registry has no dataset under the given id.
+    UnknownDataset {
+        /// The id that failed to resolve.
+        id: String,
+    },
+    /// A scaler was asked to transform before being fitted.
+    ScalerNotFitted,
+    /// A generator specification was invalid.
+    InvalidSpec {
+        /// Human-readable description.
+        reason: String,
+    },
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::EmptySeries { name } => write!(f, "series '{name}' is empty"),
+            DataError::NonFiniteValue { name, index } => {
+                write!(f, "series '{name}' has a non-finite value at index {index}")
+            }
+            DataError::InvalidSplit { reason } => write!(f, "invalid split: {reason}"),
+            DataError::RaggedChannels { expected, found } => {
+                write!(f, "ragged channels: expected length {expected}, found {found}")
+            }
+            DataError::Csv { line, reason } => write!(f, "csv parse error at line {line}: {reason}"),
+            DataError::UnknownDataset { id } => write!(f, "unknown dataset '{id}'"),
+            DataError::ScalerNotFitted => write!(f, "scaler must be fitted before use"),
+            DataError::InvalidSpec { reason } => write!(f, "invalid generator spec: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}

@@ -1,0 +1,161 @@
+//! Thread-safe dataset registry.
+//!
+//! The registry plays the role of TFB's dataset store: the one-click
+//! evaluation pipeline iterates it ("run a method on all existing datasets
+//! with one click", paper §II-B), the frontend's *Choose Dataset* button
+//! (Figure 4, label 2) looks datasets up by id, and uploads (label 1)
+//! insert new entries. It is guarded by a `parking_lot::RwLock` so the
+//! parallel pipeline can read concurrently while uploads are rare writes.
+
+use crate::dataset::{Dataset, Domain};
+use crate::error::DataError;
+use parking_lot::RwLock;
+
+/// Thread-safe, insertion-ordered collection of datasets keyed by id.
+#[derive(Debug, Default)]
+pub struct DatasetRegistry {
+    inner: RwLock<Vec<Dataset>>,
+}
+
+impl DatasetRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> DatasetRegistry {
+        DatasetRegistry::default()
+    }
+
+    /// Creates a registry pre-populated with a corpus.
+    pub fn from_corpus(corpus: Vec<Dataset>) -> DatasetRegistry {
+        DatasetRegistry { inner: RwLock::new(corpus) }
+    }
+
+    /// Inserts a dataset; replaces any existing dataset with the same id
+    /// (re-upload semantics) and returns whether a replacement happened.
+    pub fn insert(&self, dataset: Dataset) -> bool {
+        let mut guard = self.inner.write();
+        if let Some(existing) = guard.iter_mut().find(|d| d.meta.id == dataset.meta.id) {
+            *existing = dataset;
+            true
+        } else {
+            guard.push(dataset);
+            false
+        }
+    }
+
+    /// Looks a dataset up by id.
+    pub fn get(&self, id: &str) -> Result<Dataset, DataError> {
+        self.inner
+            .read()
+            .iter()
+            .find(|d| d.meta.id == id)
+            .cloned()
+            .ok_or_else(|| DataError::UnknownDataset { id: id.to_string() })
+    }
+
+    /// Number of datasets.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// True when the registry holds no datasets.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    /// All dataset ids in insertion order.
+    pub fn ids(&self) -> Vec<String> {
+        self.inner.read().iter().map(|d| d.meta.id.clone()).collect()
+    }
+
+    /// Snapshot of every dataset (cloned; datasets are value types).
+    pub fn all(&self) -> Vec<Dataset> {
+        self.inner.read().clone()
+    }
+
+    /// Datasets from one domain.
+    pub fn by_domain(&self, domain: Domain) -> Vec<Dataset> {
+        self.inner.read().iter().filter(|d| d.meta.domain == domain).cloned().collect()
+    }
+
+    /// Datasets matching an arbitrary meta predicate (e.g. "strong trend").
+    pub fn filter(&self, pred: impl Fn(&Dataset) -> bool) -> Vec<Dataset> {
+        self.inner.read().iter().filter(|d| pred(d)).cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::{Frequency, TimeSeries};
+    use crate::synthetic::{build_corpus, CorpusConfig};
+
+    fn tiny(id: &str, domain: Domain, level: f64) -> Dataset {
+        let ts = TimeSeries::new(
+            id,
+            (0..50).map(|t| level + (t as f64 * 0.7).sin()).collect(),
+            Frequency::Daily,
+        )
+        .unwrap();
+        Dataset::from_univariate(id, domain, ts)
+    }
+
+    #[test]
+    fn insert_get_and_replace() {
+        let reg = DatasetRegistry::new();
+        assert!(reg.is_empty());
+        assert!(!reg.insert(tiny("a", Domain::Web, 1.0)));
+        assert_eq!(reg.len(), 1);
+        let replaced = reg.insert(tiny("a", Domain::Web, 99.0));
+        assert!(replaced);
+        assert_eq!(reg.len(), 1);
+        let got = reg.get("a").unwrap();
+        assert!(got.primary_series().values()[0] > 90.0);
+        assert!(matches!(reg.get("missing"), Err(DataError::UnknownDataset { .. })));
+    }
+
+    #[test]
+    fn domain_and_predicate_filters() {
+        let reg = DatasetRegistry::new();
+        reg.insert(tiny("w1", Domain::Web, 1.0));
+        reg.insert(tiny("w2", Domain::Web, 2.0));
+        reg.insert(tiny("t1", Domain::Traffic, 3.0));
+        assert_eq!(reg.by_domain(Domain::Web).len(), 2);
+        assert_eq!(reg.by_domain(Domain::Traffic).len(), 1);
+        assert_eq!(reg.by_domain(Domain::Health).len(), 0);
+        let long = reg.filter(|d| d.meta.length >= 50);
+        assert_eq!(long.len(), 3);
+        assert_eq!(reg.ids(), vec!["w1", "w2", "t1"]);
+    }
+
+    #[test]
+    fn corpus_registry_round_trip() {
+        let corpus =
+            build_corpus(&CorpusConfig { per_domain: 2, length: 64, ..CorpusConfig::default() })
+                .unwrap();
+        let n = corpus.len();
+        let reg = DatasetRegistry::from_corpus(corpus);
+        assert_eq!(reg.len(), n);
+        let first_id = reg.ids()[0].clone();
+        assert_eq!(reg.get(&first_id).unwrap().meta.id, first_id);
+    }
+
+    #[test]
+    fn concurrent_reads_while_writing() {
+        let reg = std::sync::Arc::new(DatasetRegistry::new());
+        reg.insert(tiny("seed", Domain::Nature, 0.0));
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let reg = reg.clone();
+                std::thread::spawn(move || {
+                    for j in 0..25 {
+                        reg.insert(tiny(&format!("d{i}_{j}"), Domain::Nature, j as f64));
+                        let _ = reg.get("seed").unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(reg.len(), 1 + 4 * 25);
+    }
+}

@@ -1,0 +1,183 @@
+//! Normalization of series values.
+//!
+//! Challenge 1 in the paper lists "the choice of normalization techniques"
+//! among the consistency hazards of TSF evaluation. [`Scaler`] makes the
+//! choice explicit and enforces the golden rule: statistics are fitted on
+//! the *training* partition only and then applied to validation/test data
+//! and inverted on forecasts.
+
+use crate::error::DataError;
+use easytime_linalg::stats::{mean, quantile, std_dev};
+
+/// Normalization method selector (the config-file-facing type).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ScalerKind {
+    /// No normalization.
+    #[default]
+    None,
+    /// Subtract mean, divide by standard deviation.
+    ZScore,
+    /// Map the training range onto `[0, 1]`.
+    MinMax,
+    /// Subtract median, divide by inter-quartile range (outlier-robust).
+    Robust,
+}
+
+impl ScalerKind {
+    /// Canonical lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScalerKind::None => "none",
+            ScalerKind::ZScore => "zscore",
+            ScalerKind::MinMax => "minmax",
+            ScalerKind::Robust => "robust",
+        }
+    }
+
+    /// Parses a kind from its canonical name.
+    pub fn parse(s: &str) -> Option<ScalerKind> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "none" | "" => Some(ScalerKind::None),
+            "zscore" | "z-score" | "standard" => Some(ScalerKind::ZScore),
+            "minmax" | "min-max" => Some(ScalerKind::MinMax),
+            "robust" => Some(ScalerKind::Robust),
+            _ => None,
+        }
+    }
+}
+
+/// A (possibly fitted) scaler: affine transform `y = (x - shift) / scale`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scaler {
+    kind: ScalerKind,
+    fitted: Option<(f64, f64)>, // (shift, scale)
+}
+
+impl Scaler {
+    /// Creates an unfitted scaler of the given kind.
+    pub fn new(kind: ScalerKind) -> Scaler {
+        Scaler { kind, fitted: None }
+    }
+
+    /// The scaler's kind.
+    pub fn kind(&self) -> ScalerKind {
+        self.kind
+    }
+
+    /// Fits the scaler's statistics on training values.
+    pub fn fit(&mut self, train: &[f64]) -> Result<(), DataError> {
+        if train.is_empty() {
+            return Err(DataError::EmptySeries { name: "<scaler input>".into() });
+        }
+        let (shift, scale) = match self.kind {
+            ScalerKind::None => (0.0, 1.0),
+            ScalerKind::ZScore => (mean(train), std_dev(train).max(1e-12)),
+            ScalerKind::MinMax => {
+                let lo = train.iter().cloned().fold(f64::INFINITY, f64::min);
+                let hi = train.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                (lo, (hi - lo).max(1e-12))
+            }
+            ScalerKind::Robust => {
+                let med = quantile(train, 0.5).expect("non-empty");
+                let iqr = quantile(train, 0.75).expect("non-empty")
+                    - quantile(train, 0.25).expect("non-empty");
+                (med, iqr.max(1e-12))
+            }
+        };
+        self.fitted = Some((shift, scale));
+        Ok(())
+    }
+
+    /// Applies the fitted transform to values.
+    pub fn transform(&self, values: &[f64]) -> Result<Vec<f64>, DataError> {
+        let (shift, scale) = self.fitted.ok_or(DataError::ScalerNotFitted)?;
+        Ok(values.iter().map(|v| (v - shift) / scale).collect())
+    }
+
+    /// Inverts the fitted transform (used on forecasts before metrics,
+    /// matching TFB's "unified post-processing").
+    pub fn inverse(&self, values: &[f64]) -> Result<Vec<f64>, DataError> {
+        let (shift, scale) = self.fitted.ok_or(DataError::ScalerNotFitted)?;
+        Ok(values.iter().map(|v| v * scale + shift).collect())
+    }
+
+    /// Convenience: fit on `train` and return the transformed copy.
+    pub fn fit_transform(&mut self, train: &[f64]) -> Result<Vec<f64>, DataError> {
+        self.fit(train)?;
+        self.transform(train)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_round_trip() {
+        for k in [ScalerKind::None, ScalerKind::ZScore, ScalerKind::MinMax, ScalerKind::Robust] {
+            assert_eq!(ScalerKind::parse(k.name()), Some(k));
+        }
+        assert_eq!(ScalerKind::parse("standard"), Some(ScalerKind::ZScore));
+        assert_eq!(ScalerKind::parse("log"), None);
+    }
+
+    #[test]
+    fn zscore_normalizes_train_to_unit_stats() {
+        let train: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let mut s = Scaler::new(ScalerKind::ZScore);
+        let z = s.fit_transform(&train).unwrap();
+        assert!(mean(&z).abs() < 1e-9);
+        assert!((std_dev(&z) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn minmax_maps_train_to_unit_interval() {
+        let train = vec![5.0, 10.0, 7.5];
+        let mut s = Scaler::new(ScalerKind::MinMax);
+        let z = s.fit_transform(&train).unwrap();
+        assert_eq!(z, vec![0.0, 1.0, 0.5]);
+        // Out-of-range test values may exceed [0, 1] — that is correct
+        // behaviour for train-fitted scalers.
+        let t = s.transform(&[12.5]).unwrap();
+        assert!((t[0] - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn robust_centers_on_median() {
+        let train = vec![1.0, 2.0, 3.0, 4.0, 100.0];
+        let mut s = Scaler::new(ScalerKind::Robust);
+        let z = s.fit_transform(&train).unwrap();
+        // Median 3.0 maps to 0.
+        assert!(z[2].abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        for kind in [ScalerKind::None, ScalerKind::ZScore, ScalerKind::MinMax, ScalerKind::Robust] {
+            let train: Vec<f64> = (0..50).map(|i| (i as f64 * 0.37).sin() * 10.0 + 3.0).collect();
+            let mut s = Scaler::new(kind);
+            s.fit(&train).unwrap();
+            let test = vec![-4.0, 0.0, 7.25, 99.0];
+            let round = s.inverse(&s.transform(&test).unwrap()).unwrap();
+            for (a, b) in test.iter().zip(&round) {
+                assert!((a - b).abs() < 1e-9, "{kind:?}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn unfitted_scaler_errors() {
+        let s = Scaler::new(ScalerKind::ZScore);
+        assert_eq!(s.transform(&[1.0]), Err(DataError::ScalerNotFitted));
+        assert_eq!(s.inverse(&[1.0]), Err(DataError::ScalerNotFitted));
+        let mut s2 = Scaler::new(ScalerKind::ZScore);
+        assert!(s2.fit(&[]).is_err());
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let mut s = Scaler::new(ScalerKind::ZScore);
+        let z = s.fit_transform(&[5.0, 5.0, 5.0]).unwrap();
+        assert!(z.iter().all(|v| v.is_finite()));
+    }
+}

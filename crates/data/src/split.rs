@@ -1,0 +1,173 @@
+//! Train/validation/test splitting.
+//!
+//! TFB's pipeline (paper §II-A) standardizes "dataset processing and
+//! splitting"; Challenge 1 explicitly calls out consistency of "the partition
+//! in training/validation/testing data" and the "drop last" operation. This
+//! module owns both: a [`SplitSpec`] produces chronologically ordered,
+//! non-overlapping partitions, and [`SplitSpec::drop_last`] controls whether
+//! a trailing window shorter than the forecast horizon is kept or dropped by
+//! windowed evaluators.
+
+use crate::error::DataError;
+use crate::series::TimeSeries;
+
+/// Declarative description of a chronological split.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SplitSpec {
+    /// Fraction of points assigned to training, in `(0, 1)`.
+    pub train_ratio: f64,
+    /// Fraction assigned to validation (may be 0), with
+    /// `train_ratio + val_ratio < 1`.
+    pub val_ratio: f64,
+    /// Whether windowed evaluation drops a trailing partial window
+    /// (TFB's "drop last"). Stored here so every consumer of the split
+    /// treats it identically.
+    pub drop_last: bool,
+}
+
+impl Default for SplitSpec {
+    /// TFB's conventional 7:1:2 split with `drop_last` disabled.
+    fn default() -> Self {
+        SplitSpec { train_ratio: 0.7, val_ratio: 0.1, drop_last: false }
+    }
+}
+
+/// A materialized chronological split of one series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Split {
+    /// Training prefix.
+    pub train: TimeSeries,
+    /// Validation segment (may be `None` when `val_ratio == 0`).
+    pub val: Option<TimeSeries>,
+    /// Test suffix.
+    pub test: TimeSeries,
+}
+
+impl SplitSpec {
+    /// Creates a spec after validating the ratios.
+    pub fn new(train_ratio: f64, val_ratio: f64, drop_last: bool) -> Result<SplitSpec, DataError> {
+        if !(0.0 < train_ratio && train_ratio < 1.0) {
+            return Err(DataError::InvalidSplit {
+                reason: format!("train_ratio {train_ratio} must be in (0, 1)"),
+            });
+        }
+        if !(0.0..1.0).contains(&val_ratio) {
+            return Err(DataError::InvalidSplit {
+                reason: format!("val_ratio {val_ratio} must be in [0, 1)"),
+            });
+        }
+        if train_ratio + val_ratio >= 1.0 {
+            return Err(DataError::InvalidSplit {
+                reason: format!(
+                    "train_ratio + val_ratio = {} leaves no test data",
+                    train_ratio + val_ratio
+                ),
+            });
+        }
+        Ok(SplitSpec { train_ratio, val_ratio, drop_last })
+    }
+
+    /// Splits a series chronologically. Every partition is guaranteed
+    /// non-empty except `val`, which is `None` when it would be empty.
+    pub fn split(&self, series: &TimeSeries) -> Result<Split, DataError> {
+        let n = series.len();
+        let train_end = ((n as f64) * self.train_ratio).floor() as usize;
+        let val_end = ((n as f64) * (self.train_ratio + self.val_ratio)).floor() as usize;
+        if train_end == 0 || val_end >= n {
+            return Err(DataError::InvalidSplit {
+                reason: format!("series of length {n} too short for ratios {self:?}"),
+            });
+        }
+        let train = series.slice(0, train_end)?;
+        let val = if val_end > train_end { Some(series.slice(train_end, val_end)?) } else { None };
+        let test = series.slice(val_end, n)?;
+        Ok(Split { train, val, test })
+    }
+}
+
+/// Number of evaluation windows of `horizon` steps that fit into `test_len`,
+/// honouring the `drop_last` convention: when `drop_last` is false a final
+/// partial window is counted, when true it is discarded.
+pub fn window_count(test_len: usize, horizon: usize, drop_last: bool) -> usize {
+    if horizon == 0 || test_len == 0 {
+        return 0;
+    }
+    let full = test_len / horizon;
+    let partial = test_len % horizon;
+    if partial > 0 && !drop_last {
+        full + 1
+    } else {
+        full
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::Frequency;
+
+    fn series(n: usize) -> TimeSeries {
+        TimeSeries::new("s", (0..n).map(|i| i as f64).collect(), Frequency::Daily).unwrap()
+    }
+
+    #[test]
+    fn default_split_is_7_1_2() {
+        let s = series(100);
+        let split = SplitSpec::default().split(&s).unwrap();
+        assert_eq!(split.train.len(), 70);
+        assert_eq!(split.val.as_ref().unwrap().len(), 10);
+        assert_eq!(split.test.len(), 20);
+        // Chronological and contiguous.
+        assert_eq!(split.train.values()[69], 69.0);
+        assert_eq!(split.val.unwrap().values()[0], 70.0);
+        assert_eq!(split.test.values()[0], 80.0);
+    }
+
+    #[test]
+    fn zero_val_ratio_gives_no_validation() {
+        let spec = SplitSpec::new(0.8, 0.0, false).unwrap();
+        let split = spec.split(&series(50)).unwrap();
+        assert!(split.val.is_none());
+        assert_eq!(split.train.len(), 40);
+        assert_eq!(split.test.len(), 10);
+    }
+
+    #[test]
+    fn invalid_ratios_are_rejected() {
+        assert!(SplitSpec::new(0.0, 0.1, false).is_err());
+        assert!(SplitSpec::new(1.0, 0.0, false).is_err());
+        assert!(SplitSpec::new(0.9, 0.1, false).is_err());
+        assert!(SplitSpec::new(0.5, -0.1, false).is_err());
+        assert!(SplitSpec::new(0.5, 0.5, false).is_err());
+    }
+
+    #[test]
+    fn too_short_series_is_rejected() {
+        let s = series(2);
+        let spec = SplitSpec::new(0.1, 0.0, false).unwrap();
+        assert!(spec.split(&s).is_err());
+    }
+
+    #[test]
+    fn partitions_cover_series_exactly() {
+        for n in [20usize, 33, 97, 128] {
+            let s = series(n);
+            let split = SplitSpec::default().split(&s).unwrap();
+            let total =
+                split.train.len() + split.val.as_ref().map_or(0, TimeSeries::len) + split.test.len();
+            assert_eq!(total, n, "partitions must cover length {n}");
+        }
+    }
+
+    #[test]
+    fn window_count_honours_drop_last() {
+        assert_eq!(window_count(20, 5, false), 4);
+        assert_eq!(window_count(20, 5, true), 4);
+        assert_eq!(window_count(22, 5, false), 5);
+        assert_eq!(window_count(22, 5, true), 4);
+        assert_eq!(window_count(3, 5, false), 1);
+        assert_eq!(window_count(3, 5, true), 0);
+        assert_eq!(window_count(0, 5, false), 0);
+        assert_eq!(window_count(10, 0, false), 0);
+    }
+}

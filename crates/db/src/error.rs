@@ -1,0 +1,95 @@
+//! Error type for the SQL engine.
+
+use std::fmt;
+
+/// Errors produced by the SQL engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DbError {
+    /// Tokenization failed.
+    Lex {
+        /// Byte offset of the failure.
+        position: usize,
+        /// Description.
+        message: String,
+    },
+    /// Parsing failed.
+    Parse {
+        /// Description.
+        message: String,
+        /// Token text near the failure (empty at end of input).
+        near: String,
+    },
+    /// A referenced table does not exist.
+    UnknownTable {
+        /// The missing table name.
+        name: String,
+    },
+    /// A referenced column does not exist.
+    UnknownColumn {
+        /// The missing column name (possibly qualified).
+        name: String,
+    },
+    /// A table with this name already exists.
+    DuplicateTable {
+        /// The conflicting name.
+        name: String,
+    },
+    /// A value did not match the column type.
+    TypeMismatch {
+        /// Description of the mismatch.
+        message: String,
+    },
+    /// Row arity does not match the table schema.
+    ArityMismatch {
+        /// Columns expected.
+        expected: usize,
+        /// Values provided.
+        found: usize,
+    },
+    /// The statement uses an unsupported feature.
+    Unsupported {
+        /// Description of the feature.
+        feature: String,
+    },
+    /// Verification rejected the statement (e.g. non-SELECT on the Q&A path).
+    VerificationFailed {
+        /// Why the statement was rejected.
+        reason: String,
+    },
+    /// Runtime evaluation error (division by zero, bad aggregate input, …).
+    Eval {
+        /// Description.
+        message: String,
+    },
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Lex { position, message } => {
+                write!(f, "lex error at byte {position}: {message}")
+            }
+            DbError::Parse { message, near } => {
+                if near.is_empty() {
+                    write!(f, "parse error: {message} (at end of input)")
+                } else {
+                    write!(f, "parse error: {message} (near '{near}')")
+                }
+            }
+            DbError::UnknownTable { name } => write!(f, "unknown table '{name}'"),
+            DbError::UnknownColumn { name } => write!(f, "unknown column '{name}'"),
+            DbError::DuplicateTable { name } => write!(f, "table '{name}' already exists"),
+            DbError::TypeMismatch { message } => write!(f, "type mismatch: {message}"),
+            DbError::ArityMismatch { expected, found } => {
+                write!(f, "arity mismatch: expected {expected} values, found {found}")
+            }
+            DbError::Unsupported { feature } => write!(f, "unsupported SQL feature: {feature}"),
+            DbError::VerificationFailed { reason } => {
+                write!(f, "verification failed: {reason}")
+            }
+            DbError::Eval { message } => write!(f, "evaluation error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}

@@ -1,0 +1,726 @@
+//! `SELECT` execution.
+//!
+//! Pipeline: FROM/JOIN (nested-loop inner joins) → WHERE → GROUP BY +
+//! aggregates → HAVING → projection → DISTINCT → ORDER BY → LIMIT. Row
+//! counts in the knowledge base are benchmark-scale (thousands), so the
+//! simple algorithms here are well within budget; the criterion benches in
+//! `easytime-bench` keep an eye on the constants.
+
+use crate::ast::{Aggregate, BinOp, Expr, SelectItem, SelectStmt};
+use crate::database::{Database, QueryResult};
+use crate::error::DbError;
+use crate::value::Value;
+use std::cmp::Ordering;
+
+/// Resolves column references against the joined table layout.
+struct Layout {
+    /// `(effective table name, column names, offset)` per joined table.
+    tables: Vec<(String, Vec<String>, usize)>,
+    width: usize,
+}
+
+impl Layout {
+    fn resolve(&self, table: Option<&str>, name: &str) -> Result<usize, DbError> {
+        let name = name.to_ascii_lowercase();
+        match table {
+            Some(t) => {
+                let t = t.to_ascii_lowercase();
+                for (tname, cols, offset) in &self.tables {
+                    if *tname == t {
+                        if let Some(i) = cols.iter().position(|c| *c == name) {
+                            return Ok(offset + i);
+                        }
+                        return Err(DbError::UnknownColumn { name: format!("{t}.{name}") });
+                    }
+                }
+                Err(DbError::UnknownTable { name: t })
+            }
+            None => {
+                let mut found = None;
+                for (tname, cols, offset) in &self.tables {
+                    if let Some(i) = cols.iter().position(|c| *c == name) {
+                        if found.is_some() {
+                            return Err(DbError::Eval {
+                                message: format!(
+                                    "ambiguous column '{name}' (qualify with a table name, e.g. {tname}.{name})"
+                                ),
+                            });
+                        }
+                        found = Some(offset + i);
+                    }
+                }
+                found.ok_or(DbError::UnknownColumn { name })
+            }
+        }
+    }
+}
+
+/// SQL LIKE matching with `%` and `_` wildcards (case-insensitive, the
+/// friendlier choice for natural-language-generated SQL).
+pub fn like_match(pattern: &str, text: &str) -> bool {
+    let p: Vec<char> = pattern.to_ascii_lowercase().chars().collect();
+    let t: Vec<char> = text.to_ascii_lowercase().chars().collect();
+    // Dynamic programming over pattern × text.
+    let mut dp = vec![vec![false; t.len() + 1]; p.len() + 1];
+    dp[0][0] = true;
+    for i in 1..=p.len() {
+        if p[i - 1] == '%' {
+            dp[i][0] = dp[i - 1][0];
+        }
+    }
+    for i in 1..=p.len() {
+        for j in 1..=t.len() {
+            dp[i][j] = match p[i - 1] {
+                '%' => dp[i - 1][j] || dp[i][j - 1],
+                '_' => dp[i - 1][j - 1],
+                c => dp[i - 1][j - 1] && c == t[j - 1],
+            };
+        }
+    }
+    dp[p.len()][t.len()]
+}
+
+/// Evaluation context: one joined row, or a whole group for aggregates.
+enum Ctx<'a> {
+    Row(&'a [Value]),
+    Group {
+        rows: &'a [Vec<Value>],
+    },
+}
+
+fn eval(expr: &Expr, ctx: &Ctx<'_>, layout: &Layout) -> Result<Value, DbError> {
+    match expr {
+        Expr::Literal(v) => Ok(v.clone()),
+        Expr::Column { table, name } => {
+            let idx = layout.resolve(table.as_deref(), name)?;
+            match ctx {
+                Ctx::Row(row) => Ok(row[idx].clone()),
+                // In aggregate context a bare column takes the group's first
+                // row (valid for GROUP BY keys; consistent for others).
+                Ctx::Group { rows } => Ok(rows
+                    .first()
+                    .map(|r| r[idx].clone())
+                    .unwrap_or(Value::Null)),
+            }
+        }
+        Expr::Neg(e) => {
+            let v = eval(e, ctx, layout)?;
+            match v {
+                Value::Int(i) => Ok(Value::Int(-i)),
+                Value::Float(f) => Ok(Value::Float(-f)),
+                Value::Null => Ok(Value::Null),
+                other => Err(DbError::Eval { message: format!("cannot negate {other:?}") }),
+            }
+        }
+        Expr::Not(e) => {
+            let v = eval(e, ctx, layout)?;
+            match v.truthy() {
+                Some(b) => Ok(Value::Bool(!b)),
+                None => Ok(Value::Null),
+            }
+        }
+        Expr::Binary { op, left, right } => {
+            let l = eval(left, ctx, layout)?;
+            // Short-circuit logic operators.
+            match op {
+                BinOp::And => {
+                    if l.truthy() == Some(false) {
+                        return Ok(Value::Bool(false));
+                    }
+                    let r = eval(right, ctx, layout)?;
+                    return Ok(match (l.truthy(), r.truthy()) {
+                        (Some(a), Some(b)) => Value::Bool(a && b),
+                        _ => Value::Null,
+                    });
+                }
+                BinOp::Or => {
+                    if l.truthy() == Some(true) {
+                        return Ok(Value::Bool(true));
+                    }
+                    let r = eval(right, ctx, layout)?;
+                    return Ok(match (l.truthy(), r.truthy()) {
+                        (Some(a), Some(b)) => Value::Bool(a || b),
+                        _ => Value::Null,
+                    });
+                }
+                _ => {}
+            }
+            let r = eval(right, ctx, layout)?;
+            match op {
+                BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                    match l.compare(&r) {
+                        None => Ok(Value::Null),
+                        Some(ord) => {
+                            let b = match op {
+                                BinOp::Eq => ord == Ordering::Equal,
+                                BinOp::Ne => ord != Ordering::Equal,
+                                BinOp::Lt => ord == Ordering::Less,
+                                BinOp::Le => ord != Ordering::Greater,
+                                BinOp::Gt => ord == Ordering::Greater,
+                                BinOp::Ge => ord != Ordering::Less,
+                                _ => unreachable!(),
+                            };
+                            Ok(Value::Bool(b))
+                        }
+                    }
+                }
+                BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => {
+                    if l.is_null() || r.is_null() {
+                        return Ok(Value::Null);
+                    }
+                    let (a, b) = (
+                        l.as_f64().ok_or_else(|| DbError::Eval {
+                            message: format!("arithmetic on non-numeric {l:?}"),
+                        })?,
+                        r.as_f64().ok_or_else(|| DbError::Eval {
+                            message: format!("arithmetic on non-numeric {r:?}"),
+                        })?,
+                    );
+                    let out = match op {
+                        BinOp::Add => a + b,
+                        BinOp::Sub => a - b,
+                        BinOp::Mul => a * b,
+                        BinOp::Div => {
+                            if b == 0.0 {
+                                return Ok(Value::Null);
+                            }
+                            a / b
+                        }
+                        _ => unreachable!(),
+                    };
+                    // Preserve integer type when both sides were ints and
+                    // the result is integral (except division).
+                    match (&l, &r, op) {
+                        (Value::Int(_), Value::Int(_), BinOp::Add | BinOp::Sub | BinOp::Mul) => {
+                            Ok(Value::Int(out as i64))
+                        }
+                        _ => Ok(Value::Float(out)),
+                    }
+                }
+                BinOp::And | BinOp::Or => unreachable!("handled above"),
+            }
+        }
+        Expr::Like { expr, pattern, negated } => {
+            let v = eval(expr, ctx, layout)?;
+            match v {
+                Value::Null => Ok(Value::Null),
+                Value::Text(s) => Ok(Value::Bool(like_match(pattern, &s) != *negated)),
+                other => Err(DbError::Eval { message: format!("LIKE on non-text {other:?}") }),
+            }
+        }
+        Expr::InList { expr, list, negated } => {
+            let v = eval(expr, ctx, layout)?;
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            let mut any = false;
+            for item in list {
+                let iv = eval(item, ctx, layout)?;
+                if v.sql_eq(&iv) == Some(true) {
+                    any = true;
+                    break;
+                }
+            }
+            Ok(Value::Bool(any != *negated))
+        }
+        Expr::Between { expr, low, high, negated } => {
+            let v = eval(expr, ctx, layout)?;
+            let lo = eval(low, ctx, layout)?;
+            let hi = eval(high, ctx, layout)?;
+            match (v.compare(&lo), v.compare(&hi)) {
+                (Some(a), Some(b)) => {
+                    let inside = a != Ordering::Less && b != Ordering::Greater;
+                    Ok(Value::Bool(inside != *negated))
+                }
+                _ => Ok(Value::Null),
+            }
+        }
+        Expr::IsNull { expr, negated } => {
+            let v = eval(expr, ctx, layout)?;
+            Ok(Value::Bool(v.is_null() != *negated))
+        }
+        Expr::AggregateCall { func, arg } => {
+            let rows: &[Vec<Value>] = match ctx {
+                Ctx::Group { rows } => rows,
+                Ctx::Row(_) => {
+                    return Err(DbError::Eval {
+                        message: "aggregate used outside GROUP BY context".into(),
+                    })
+                }
+            };
+            let values: Vec<Value> = match arg {
+                None => return Ok(Value::Int(rows.len() as i64)), // COUNT(*)
+                Some(a) => rows
+                    .iter()
+                    .map(|r| eval(a, &Ctx::Row(r), layout))
+                    .collect::<Result<Vec<_>, _>>()?
+                    .into_iter()
+                    .filter(|v| !v.is_null())
+                    .collect(),
+            };
+            match func {
+                Aggregate::Count => Ok(Value::Int(values.len() as i64)),
+                Aggregate::Sum | Aggregate::Avg => {
+                    if values.is_empty() {
+                        return Ok(Value::Null);
+                    }
+                    let mut sum = 0.0;
+                    for v in &values {
+                        sum += v.as_f64().ok_or_else(|| DbError::Eval {
+                            message: format!("{} on non-numeric value", func.name()),
+                        })?;
+                    }
+                    if *func == Aggregate::Sum {
+                        Ok(Value::Float(sum))
+                    } else {
+                        Ok(Value::Float(sum / values.len() as f64))
+                    }
+                }
+                Aggregate::Min | Aggregate::Max => {
+                    let mut best: Option<Value> = None;
+                    for v in values {
+                        best = Some(match best {
+                            None => v,
+                            Some(b) => {
+                                let keep_new = match v.compare(&b) {
+                                    Some(Ordering::Less) => *func == Aggregate::Min,
+                                    Some(Ordering::Greater) => *func == Aggregate::Max,
+                                    _ => false,
+                                };
+                                if keep_new {
+                                    v
+                                } else {
+                                    b
+                                }
+                            }
+                        });
+                    }
+                    Ok(best.unwrap_or(Value::Null))
+                }
+            }
+        }
+    }
+}
+
+/// Serializes a row of values into a stable grouping/dedup key.
+fn group_key(values: &[Value]) -> String {
+    let mut key = String::new();
+    for v in values {
+        match v {
+            Value::Null => key.push_str("N|"),
+            Value::Int(i) => key.push_str(&format!("I{i}|")),
+            Value::Float(f) => key.push_str(&format!("F{f}|")),
+            Value::Text(s) => key.push_str(&format!("T{s}\u{1}|")),
+            Value::Bool(b) => key.push_str(&format!("B{b}|")),
+        }
+    }
+    key
+}
+
+/// Executes a parsed `SELECT` against the database.
+pub fn execute_select(db: &Database, stmt: &SelectStmt) -> Result<QueryResult, DbError> {
+    // --- FROM / JOIN: build the joined layout and row set. ---
+    let base = db.table(&stmt.from.name)?;
+    let mut layout = Layout {
+        tables: vec![(
+            stmt.from.effective_name().to_ascii_lowercase(),
+            base.schema.names(),
+            0,
+        )],
+        width: base.schema.len(),
+    };
+    let mut rows: Vec<Vec<Value>> = base.rows.clone();
+
+    for join in &stmt.joins {
+        let right = db.table(&join.table.name)?;
+        layout.tables.push((
+            join.table.effective_name().to_ascii_lowercase(),
+            right.schema.names(),
+            layout.width,
+        ));
+        layout.width += right.schema.len();
+
+        let mut joined = Vec::new();
+        for l in &rows {
+            for r in &right.rows {
+                let mut combined = Vec::with_capacity(l.len() + r.len());
+                combined.extend_from_slice(l);
+                combined.extend_from_slice(r);
+                if eval(&join.on, &Ctx::Row(&combined), &layout)?.truthy() == Some(true) {
+                    joined.push(combined);
+                }
+            }
+        }
+        rows = joined;
+    }
+
+    // --- WHERE ---
+    if let Some(pred) = &stmt.where_clause {
+        let mut filtered = Vec::with_capacity(rows.len());
+        for row in rows {
+            if eval(pred, &Ctx::Row(&row), &layout)?.truthy() == Some(true) {
+                filtered.push(row);
+            }
+        }
+        rows = filtered;
+    }
+
+    // --- projections ---
+    let has_aggregate = stmt.items.iter().any(|i| match i {
+        SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
+        SelectItem::Wildcard => false,
+    }) || stmt.having.as_ref().is_some_and(Expr::contains_aggregate);
+    let aggregate_mode = has_aggregate || !stmt.group_by.is_empty();
+
+    // Expand projections into (name, expr-or-wildcard-column).
+    let mut out_columns: Vec<String> = Vec::new();
+    let mut out_exprs: Vec<Expr> = Vec::new();
+    for item in &stmt.items {
+        match item {
+            SelectItem::Wildcard => {
+                if aggregate_mode {
+                    return Err(DbError::Unsupported {
+                        feature: "SELECT * together with aggregates/GROUP BY".into(),
+                    });
+                }
+                for (tname, cols, _) in &layout.tables {
+                    for c in cols {
+                        out_columns.push(c.clone());
+                        out_exprs.push(Expr::Column {
+                            table: Some(tname.clone()),
+                            name: c.clone(),
+                        });
+                    }
+                }
+            }
+            SelectItem::Expr { expr, alias } => {
+                out_columns.push(alias.clone().unwrap_or_else(|| expr.default_name()));
+                out_exprs.push(expr.clone());
+            }
+        }
+    }
+
+    let mut result_rows: Vec<Vec<Value>> = Vec::new();
+    // Values used for ORDER BY, aligned with result_rows.
+    let mut order_keys: Vec<Vec<Value>> = Vec::new();
+
+    // Resolves an ORDER BY expression: output alias/name first, then any
+    // expression over the underlying context.
+    let order_value = |expr: &Expr,
+                       out_row: &[Value],
+                       ctx: &Ctx<'_>|
+     -> Result<Value, DbError> {
+        if let Expr::Column { table: None, name } = expr {
+            if let Some(i) = out_columns.iter().position(|c| c.eq_ignore_ascii_case(name)) {
+                return Ok(out_row[i].clone());
+            }
+        }
+        eval(expr, ctx, &layout)
+    };
+
+    if aggregate_mode {
+        // Group rows by the GROUP BY key (whole input = one group when no
+        // GROUP BY but aggregates are present).
+        let mut groups: Vec<(String, Vec<Vec<Value>>)> = Vec::new();
+        let mut index: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+        if stmt.group_by.is_empty() {
+            groups.push((String::new(), rows));
+        } else {
+            for row in rows {
+                let keys: Vec<Value> = stmt
+                    .group_by
+                    .iter()
+                    .map(|e| eval(e, &Ctx::Row(&row), &layout))
+                    .collect::<Result<_, _>>()?;
+                let key = group_key(&keys);
+                match index.get(&key) {
+                    Some(&i) => groups[i].1.push(row),
+                    None => {
+                        index.insert(key.clone(), groups.len());
+                        groups.push((key, vec![row]));
+                    }
+                }
+            }
+        }
+
+        for (_, group_rows) in &groups {
+            if group_rows.is_empty() && !stmt.group_by.is_empty() {
+                continue;
+            }
+            let ctx = Ctx::Group { rows: group_rows };
+            if let Some(h) = &stmt.having {
+                if eval(h, &ctx, &layout)?.truthy() != Some(true) {
+                    continue;
+                }
+            }
+            let out: Vec<Value> = out_exprs
+                .iter()
+                .map(|e| eval(e, &ctx, &layout))
+                .collect::<Result<_, _>>()?;
+            let keys: Vec<Value> = stmt
+                .order_by
+                .iter()
+                .map(|(e, _)| order_value(e, &out, &ctx))
+                .collect::<Result<_, _>>()?;
+            result_rows.push(out);
+            order_keys.push(keys);
+        }
+    } else {
+        if stmt.having.is_some() {
+            return Err(DbError::Unsupported {
+                feature: "HAVING without GROUP BY or aggregates".into(),
+            });
+        }
+        for row in &rows {
+            let ctx = Ctx::Row(row);
+            let out: Vec<Value> = out_exprs
+                .iter()
+                .map(|e| eval(e, &ctx, &layout))
+                .collect::<Result<_, _>>()?;
+            let keys: Vec<Value> = stmt
+                .order_by
+                .iter()
+                .map(|(e, _)| order_value(e, &out, &ctx))
+                .collect::<Result<_, _>>()?;
+            result_rows.push(out);
+            order_keys.push(keys);
+        }
+    }
+
+    // --- DISTINCT ---
+    if stmt.distinct {
+        let mut seen = std::collections::HashSet::new();
+        let mut deduped_rows = Vec::new();
+        let mut deduped_keys = Vec::new();
+        for (row, keys) in result_rows.into_iter().zip(order_keys) {
+            if seen.insert(group_key(&row)) {
+                deduped_rows.push(row);
+                deduped_keys.push(keys);
+            }
+        }
+        result_rows = deduped_rows;
+        order_keys = deduped_keys;
+    }
+
+    // --- ORDER BY (stable) ---
+    if !stmt.order_by.is_empty() {
+        let mut idx: Vec<usize> = (0..result_rows.len()).collect();
+        idx.sort_by(|&a, &b| {
+            for (k, (_, desc)) in stmt.order_by.iter().enumerate() {
+                let ord = order_keys[a][k].order_key(&order_keys[b][k]);
+                let ord = if *desc { ord.reverse() } else { ord };
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            Ordering::Equal
+        });
+        result_rows = idx.into_iter().map(|i| std::mem::take(&mut result_rows[i])).collect();
+    }
+
+    // --- LIMIT ---
+    if let Some(limit) = stmt.limit {
+        result_rows.truncate(limit);
+    }
+
+    Ok(QueryResult { columns: out_columns, rows: result_rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::Database;
+
+    fn results_db() -> Database {
+        let mut db = Database::new();
+        db.execute(
+            "CREATE TABLE results (dataset_id TEXT, method TEXT, horizon INTEGER, mae REAL)",
+        )
+        .unwrap();
+        db.execute(
+            "INSERT INTO results VALUES \
+             ('web_01', 'naive', 24, 3.0), \
+             ('web_01', 'theta', 24, 2.0), \
+             ('web_01', 'naive', 96, 6.0), \
+             ('web_01', 'theta', 96, 4.0), \
+             ('eco_01', 'naive', 24, 1.0), \
+             ('eco_01', 'theta', 24, 1.5)",
+        )
+        .unwrap();
+        db.execute("CREATE TABLE datasets (id TEXT, domain TEXT, trend REAL)").unwrap();
+        db.execute(
+            "INSERT INTO datasets VALUES ('web_01', 'web', 0.8), ('eco_01', 'economic', 0.3)",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn where_order_limit() {
+        let db = results_db();
+        let r = db
+            .query("SELECT method, mae FROM results WHERE horizon = 24 ORDER BY mae LIMIT 2")
+            .unwrap();
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.rows[0], vec![Value::Text("naive".into()), Value::Float(1.0)]);
+        assert_eq!(r.rows[1], vec![Value::Text("theta".into()), Value::Float(1.5)]);
+    }
+
+    #[test]
+    fn group_by_with_aggregates_and_having() {
+        let db = results_db();
+        let r = db
+            .query(
+                "SELECT method, AVG(mae) AS mean_mae, COUNT(*) AS n FROM results \
+                 GROUP BY method HAVING COUNT(*) >= 3 ORDER BY mean_mae",
+            )
+            .unwrap();
+        assert_eq!(r.columns, vec!["method", "mean_mae", "n"]);
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.rows[0][0], Value::Text("theta".into()));
+        assert_eq!(r.rows[0][1], Value::Float(2.5));
+        assert_eq!(r.rows[0][2], Value::Int(3));
+        assert_eq!(r.rows[1][1], Value::Float(10.0 / 3.0));
+    }
+
+    #[test]
+    fn aggregates_without_group_by() {
+        let db = results_db();
+        let r = db
+            .query("SELECT COUNT(*), MIN(mae), MAX(mae), SUM(mae) FROM results")
+            .unwrap();
+        assert_eq!(
+            r.rows[0],
+            vec![Value::Int(6), Value::Float(1.0), Value::Float(6.0), Value::Float(17.5)]
+        );
+    }
+
+    #[test]
+    fn join_with_filter_on_joined_table() {
+        let db = results_db();
+        let r = db
+            .query(
+                "SELECT r.method, AVG(r.mae) AS m FROM results r \
+                 JOIN datasets d ON r.dataset_id = d.id \
+                 WHERE d.trend > 0.6 AND r.horizon = 96 \
+                 GROUP BY r.method ORDER BY m",
+            )
+            .unwrap();
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.rows[0][0], Value::Text("theta".into()));
+        assert_eq!(r.rows[0][1], Value::Float(4.0));
+    }
+
+    #[test]
+    fn distinct_and_wildcard() {
+        let db = results_db();
+        let r = db.query("SELECT DISTINCT method FROM results ORDER BY method").unwrap();
+        assert_eq!(r.rows.len(), 2);
+        let all = db.query("SELECT * FROM datasets").unwrap();
+        assert_eq!(all.columns, vec!["id", "domain", "trend"]);
+        assert_eq!(all.rows.len(), 2);
+    }
+
+    #[test]
+    fn like_in_between() {
+        let db = results_db();
+        let r = db
+            .query("SELECT DISTINCT dataset_id FROM results WHERE dataset_id LIKE 'web%'")
+            .unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Text("web_01".into())]]);
+        let r = db
+            .query("SELECT COUNT(*) FROM results WHERE method IN ('naive') AND mae BETWEEN 1 AND 3")
+            .unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(2));
+        let r = db
+            .query("SELECT COUNT(*) FROM results WHERE method NOT IN ('naive')")
+            .unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(3));
+    }
+
+    #[test]
+    fn like_matcher_semantics() {
+        assert!(like_match("web%", "web_01"));
+        assert!(like_match("%01", "web_01"));
+        assert!(like_match("w_b%", "web_01"));
+        assert!(like_match("WEB%", "web_01"), "LIKE is case-insensitive");
+        assert!(!like_match("web", "web_01"));
+        assert!(like_match("%", ""));
+        assert!(!like_match("_", ""));
+    }
+
+    #[test]
+    fn arithmetic_in_projections() {
+        let db = results_db();
+        let r = db
+            .query("SELECT mae * 2 + 1 AS double_mae FROM results WHERE mae = 1.0")
+            .unwrap();
+        assert_eq!(r.rows[0][0], Value::Float(3.0));
+        let r = db.query("SELECT horizon / 0 FROM results LIMIT 1").unwrap();
+        assert!(r.rows[0][0].is_null(), "division by zero yields NULL");
+    }
+
+    #[test]
+    fn ambiguous_and_unknown_columns_error() {
+        let db = results_db();
+        // Both tables lack column 'nope'.
+        assert!(matches!(
+            db.query("SELECT nope FROM results"),
+            Err(DbError::UnknownColumn { .. })
+        ));
+        // Unqualified column that exists in the base table only is fine.
+        assert!(db
+            .query("SELECT method FROM results r JOIN datasets d ON r.dataset_id = d.id")
+            .is_ok());
+    }
+
+    #[test]
+    fn order_by_alias_and_expression() {
+        let db = results_db();
+        let r = db
+            .query("SELECT method, mae AS m FROM results WHERE horizon = 24 ORDER BY m DESC")
+            .unwrap();
+        assert_eq!(r.rows[0][0], Value::Text("naive".into()));
+        let r = db
+            .query("SELECT method FROM results WHERE horizon = 24 ORDER BY mae * -1")
+            .unwrap();
+        assert_eq!(r.rows[0][0], Value::Text("naive".into()));
+    }
+
+    #[test]
+    fn count_distinct_like_queries_by_group() {
+        let db = results_db();
+        let r = db
+            .query(
+                "SELECT dataset_id, COUNT(*) AS n FROM results GROUP BY dataset_id \
+                 ORDER BY n DESC, dataset_id",
+            )
+            .unwrap();
+        assert_eq!(r.rows[0], vec![Value::Text("web_01".into()), Value::Int(4)]);
+        assert_eq!(r.rows[1], vec![Value::Text("eco_01".into()), Value::Int(2)]);
+    }
+
+    #[test]
+    fn empty_results_are_not_errors() {
+        let db = results_db();
+        let r = db.query("SELECT * FROM results WHERE mae > 100").unwrap();
+        assert!(r.is_empty());
+        let r = db
+            .query("SELECT method, AVG(mae) FROM results WHERE mae > 100 GROUP BY method")
+            .unwrap();
+        assert!(r.is_empty());
+        // Aggregate over empty set without GROUP BY: one row, NULL/0.
+        let r = db.query("SELECT COUNT(*), AVG(mae) FROM results WHERE mae > 100").unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(0));
+        assert!(r.rows[0][1].is_null());
+    }
+
+    #[test]
+    fn select_star_with_group_by_is_unsupported() {
+        let db = results_db();
+        assert!(matches!(
+            db.query("SELECT * FROM results GROUP BY method"),
+            Err(DbError::Unsupported { .. })
+        ));
+    }
+}

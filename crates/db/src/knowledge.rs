@@ -1,0 +1,324 @@
+//! The benchmark-knowledge schema.
+//!
+//! TFB's *benchmark knowledge* "consists of the meta-information of both
+//! datasets and methods, and also the benchmarking experiment results"
+//! (paper §II-A). This module defines those three tables and typed row
+//! structs for ingestion; the core crate populates them from the pipeline's
+//! [`EvalRecord`]s and the recommender/Q&A modules read them back with SQL.
+//!
+//! Schema:
+//!
+//! ```text
+//! datasets(id, domain, length, frequency, channels, multivariate,
+//!          seasonality, trend, transition, shifting, stationarity,
+//!          correlation, period)
+//! methods(name, family, description)
+//! results(dataset_id, method, strategy, horizon, mae, mse, rmse, smape,
+//!         mase, r2, runtime_ms, windows)
+//! ```
+//!
+//! [`EvalRecord`]: https://docs.rs/easytime-eval
+
+use crate::database::Database;
+use crate::error::DbError;
+use crate::schema::{Column, ColumnType, Schema};
+use crate::value::Value;
+
+/// Typed row of the `datasets` table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetRow {
+    /// Dataset id.
+    pub id: String,
+    /// Application domain.
+    pub domain: String,
+    /// Number of time steps.
+    pub length: i64,
+    /// Sampling frequency name.
+    pub frequency: String,
+    /// Channel count.
+    pub channels: i64,
+    /// Seasonality strength in `[0, 1]`.
+    pub seasonality: f64,
+    /// Trend strength in `[0, 1]`.
+    pub trend: f64,
+    /// Transition score in `[0, 1]`.
+    pub transition: f64,
+    /// Shifting score in `[0, 1]`.
+    pub shifting: f64,
+    /// Stationarity score in `[0, 1]`.
+    pub stationarity: f64,
+    /// Cross-channel correlation in `[0, 1]`.
+    pub correlation: f64,
+    /// Detected seasonal period (0 = none).
+    pub period: i64,
+}
+
+/// Typed row of the `methods` table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MethodRow {
+    /// Canonical method name.
+    pub name: String,
+    /// Method family (`statistical` / `machine_learning` / `deep_learning`).
+    pub family: String,
+    /// One-line description.
+    pub description: String,
+}
+
+/// Typed row of the `results` table. Metric fields are `None` when the
+/// metric was not computed for the run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultRow {
+    /// Dataset id.
+    pub dataset_id: String,
+    /// Method name.
+    pub method: String,
+    /// Evaluation strategy name.
+    pub strategy: String,
+    /// Forecast horizon.
+    pub horizon: i64,
+    /// Mean absolute error.
+    pub mae: Option<f64>,
+    /// Mean squared error.
+    pub mse: Option<f64>,
+    /// Root mean squared error.
+    pub rmse: Option<f64>,
+    /// Symmetric MAPE.
+    pub smape: Option<f64>,
+    /// Mean absolute scaled error.
+    pub mase: Option<f64>,
+    /// Coefficient of determination.
+    pub r2: Option<f64>,
+    /// Runtime in milliseconds.
+    pub runtime_ms: f64,
+    /// Number of evaluation windows.
+    pub windows: i64,
+}
+
+fn opt(v: Option<f64>) -> Value {
+    match v {
+        Some(x) if x.is_finite() => Value::Float(x),
+        _ => Value::Null,
+    }
+}
+
+/// Creates the three knowledge tables in `db`.
+pub fn create_knowledge_schema(db: &mut Database) -> Result<(), DbError> {
+    db.create_table(
+        "datasets",
+        Schema::new(vec![
+            Column::new("id", ColumnType::Text),
+            Column::new("domain", ColumnType::Text),
+            Column::new("length", ColumnType::Int),
+            Column::new("frequency", ColumnType::Text),
+            Column::new("channels", ColumnType::Int),
+            Column::new("multivariate", ColumnType::Bool),
+            Column::new("seasonality", ColumnType::Float),
+            Column::new("trend", ColumnType::Float),
+            Column::new("transition", ColumnType::Float),
+            Column::new("shifting", ColumnType::Float),
+            Column::new("stationarity", ColumnType::Float),
+            Column::new("correlation", ColumnType::Float),
+            Column::new("period", ColumnType::Int),
+        ]),
+    )?;
+    db.create_table(
+        "methods",
+        Schema::new(vec![
+            Column::new("name", ColumnType::Text),
+            Column::new("family", ColumnType::Text),
+            Column::new("description", ColumnType::Text),
+        ]),
+    )?;
+    db.create_table(
+        "results",
+        Schema::new(vec![
+            Column::new("dataset_id", ColumnType::Text),
+            Column::new("method", ColumnType::Text),
+            Column::new("strategy", ColumnType::Text),
+            Column::new("horizon", ColumnType::Int),
+            Column::new("mae", ColumnType::Float),
+            Column::new("mse", ColumnType::Float),
+            Column::new("rmse", ColumnType::Float),
+            Column::new("smape", ColumnType::Float),
+            Column::new("mase", ColumnType::Float),
+            Column::new("r2", ColumnType::Float),
+            Column::new("runtime_ms", ColumnType::Float),
+            Column::new("windows", ColumnType::Int),
+        ]),
+    )?;
+    Ok(())
+}
+
+/// Inserts a dataset meta-information row.
+pub fn insert_dataset(db: &mut Database, row: &DatasetRow) -> Result<(), DbError> {
+    db.insert_row(
+        "datasets",
+        vec![
+            Value::Text(row.id.clone()),
+            Value::Text(row.domain.clone()),
+            Value::Int(row.length),
+            Value::Text(row.frequency.clone()),
+            Value::Int(row.channels),
+            Value::Bool(row.channels > 1),
+            Value::Float(row.seasonality),
+            Value::Float(row.trend),
+            Value::Float(row.transition),
+            Value::Float(row.shifting),
+            Value::Float(row.stationarity),
+            Value::Float(row.correlation),
+            Value::Int(row.period),
+        ],
+    )
+}
+
+/// Inserts a method meta-information row.
+pub fn insert_method(db: &mut Database, row: &MethodRow) -> Result<(), DbError> {
+    db.insert_row(
+        "methods",
+        vec![
+            Value::Text(row.name.clone()),
+            Value::Text(row.family.clone()),
+            Value::Text(row.description.clone()),
+        ],
+    )
+}
+
+/// Inserts a benchmark result row.
+pub fn insert_result(db: &mut Database, row: &ResultRow) -> Result<(), DbError> {
+    db.insert_row(
+        "results",
+        vec![
+            Value::Text(row.dataset_id.clone()),
+            Value::Text(row.method.clone()),
+            Value::Text(row.strategy.clone()),
+            Value::Int(row.horizon),
+            opt(row.mae),
+            opt(row.mse),
+            opt(row.rmse),
+            opt(row.smape),
+            opt(row.mase),
+            opt(row.r2),
+            Value::Float(row.runtime_ms),
+            Value::Int(row.windows),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_db() -> Database {
+        let mut db = Database::new();
+        create_knowledge_schema(&mut db).unwrap();
+        insert_dataset(
+            &mut db,
+            &DatasetRow {
+                id: "web_0001".into(),
+                domain: "web".into(),
+                length: 400,
+                frequency: "daily".into(),
+                channels: 1,
+                seasonality: 0.8,
+                trend: 0.7,
+                transition: 0.1,
+                shifting: 0.4,
+                stationarity: 0.2,
+                correlation: 0.0,
+                period: 7,
+            },
+        )
+        .unwrap();
+        insert_method(
+            &mut db,
+            &MethodRow {
+                name: "theta".into(),
+                family: "statistical".into(),
+                description: "the Theta method".into(),
+            },
+        )
+        .unwrap();
+        insert_result(
+            &mut db,
+            &ResultRow {
+                dataset_id: "web_0001".into(),
+                method: "theta".into(),
+                strategy: "rolling".into(),
+                horizon: 96,
+                mae: Some(1.5),
+                mse: Some(4.0),
+                rmse: Some(2.0),
+                smape: Some(12.0),
+                mase: Some(0.8),
+                r2: None,
+                runtime_ms: 3.5,
+                windows: 4,
+            },
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn schema_supports_paper_style_question() {
+        let db = sample_db();
+        // "Top methods (by MAE) for long-term forecasting on datasets with
+        // trends" — the Figure 5 query shape.
+        let r = db
+            .query(
+                "SELECT r.method, AVG(r.mae) AS mean_mae FROM results r \
+                 JOIN datasets d ON r.dataset_id = d.id \
+                 WHERE r.horizon >= 96 AND d.trend >= 0.6 \
+                 GROUP BY r.method ORDER BY mean_mae LIMIT 8",
+            )
+            .unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0][0], Value::Text("theta".into()));
+        assert_eq!(r.rows[0][1], Value::Float(1.5));
+    }
+
+    #[test]
+    fn multivariate_flag_is_derived_from_channels() {
+        let mut db = Database::new();
+        create_knowledge_schema(&mut db).unwrap();
+        insert_dataset(
+            &mut db,
+            &DatasetRow {
+                id: "mv".into(),
+                domain: "traffic".into(),
+                length: 100,
+                frequency: "hourly".into(),
+                channels: 4,
+                seasonality: 0.5,
+                trend: 0.1,
+                transition: 0.1,
+                shifting: 0.1,
+                stationarity: 0.9,
+                correlation: 0.7,
+                period: 24,
+            },
+        )
+        .unwrap();
+        let r = db.query("SELECT multivariate FROM datasets WHERE id = 'mv'").unwrap();
+        assert_eq!(r.rows[0][0], Value::Bool(true));
+    }
+
+    #[test]
+    fn missing_metrics_store_as_null() {
+        let db = sample_db();
+        let r = db.query("SELECT r2 FROM results").unwrap();
+        assert!(r.rows[0][0].is_null());
+        let r = db.query("SELECT COUNT(r2) FROM results").unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(0), "COUNT skips NULLs");
+    }
+
+    #[test]
+    fn duplicate_schema_creation_fails_cleanly() {
+        let mut db = Database::new();
+        create_knowledge_schema(&mut db).unwrap();
+        assert!(matches!(
+            create_knowledge_schema(&mut db),
+            Err(DbError::DuplicateTable { .. })
+        ));
+    }
+}

@@ -1,0 +1,282 @@
+//! SQL tokenizer.
+
+use crate::error::DbError;
+
+/// One SQL token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (keywords are recognized by the parser,
+    /// case-insensitively).
+    Ident(String),
+    /// Numeric literal.
+    Number(f64),
+    /// Single-quoted string literal (quotes removed, `''` unescaped).
+    Str(String),
+    /// Punctuation or operator: `, ( ) * . ; = != <> < <= > >= + - /`.
+    Symbol(&'static str),
+}
+
+impl Token {
+    /// The token's surface text for error messages.
+    pub fn text(&self) -> String {
+        match self {
+            Token::Ident(s) => s.clone(),
+            Token::Number(n) => n.to_string(),
+            Token::Str(s) => format!("'{s}'"),
+            Token::Symbol(s) => (*s).to_string(),
+        }
+    }
+}
+
+/// Tokenizes SQL text.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, DbError> {
+    let bytes = input.as_bytes();
+    let mut i = 0usize;
+    let mut out = Vec::new();
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                // Line comment.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            ',' => {
+                out.push(Token::Symbol(","));
+                i += 1;
+            }
+            '(' => {
+                out.push(Token::Symbol("("));
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::Symbol(")"));
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Symbol("*"));
+                i += 1;
+            }
+            '.' => {
+                out.push(Token::Symbol("."));
+                i += 1;
+            }
+            ';' => {
+                out.push(Token::Symbol(";"));
+                i += 1;
+            }
+            '+' => {
+                out.push(Token::Symbol("+"));
+                i += 1;
+            }
+            '-' => {
+                out.push(Token::Symbol("-"));
+                i += 1;
+            }
+            '/' => {
+                out.push(Token::Symbol("/"));
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Symbol("="));
+                i += 1;
+            }
+            '!' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Token::Symbol("!="));
+                    i += 2;
+                } else {
+                    return Err(DbError::Lex { position: i, message: "stray '!'".into() });
+                }
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Token::Symbol("<="));
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    out.push(Token::Symbol("!="));
+                    i += 2;
+                } else {
+                    out.push(Token::Symbol("<"));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Token::Symbol(">="));
+                    i += 2;
+                } else {
+                    out.push(Token::Symbol(">"));
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    if i >= bytes.len() {
+                        return Err(DbError::Lex {
+                            position: i,
+                            message: "unterminated string literal".into(),
+                        });
+                    }
+                    if bytes[i] == b'\'' {
+                        if i + 1 < bytes.len() && bytes[i + 1] == b'\'' {
+                            s.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        // Multi-byte UTF-8 safe: find char at byte i.
+                        let ch = input[i..].chars().next().expect("in-bounds char");
+                        s.push(ch);
+                        i += ch.len_utf8();
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'.') {
+                    // Don't consume '.' if followed by a non-digit (could be
+                    // qualified-name syntax after a number — not valid SQL,
+                    // but keep errors local).
+                    if bytes[i] == b'.'
+                        && !(i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit())
+                    {
+                        break;
+                    }
+                    i += 1;
+                }
+                // Scientific notation.
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    let mut j = i + 1;
+                    if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                        j += 1;
+                    }
+                    if j < bytes.len() && bytes[j].is_ascii_digit() {
+                        i = j;
+                        while i < bytes.len() && bytes[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text = &input[start..i];
+                let n: f64 = text.parse().map_err(|_| DbError::Lex {
+                    position: start,
+                    message: format!("bad number '{text}'"),
+                })?;
+                out.push(Token::Number(n));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(Token::Ident(input[start..i].to_string()));
+            }
+            other => {
+                return Err(DbError::Lex {
+                    position: i,
+                    message: format!("unexpected character '{other}'"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_a_select() {
+        let toks = tokenize("SELECT a, b FROM t WHERE x >= 1.5;").unwrap();
+        assert_eq!(toks[0], Token::Ident("SELECT".into()));
+        assert_eq!(toks[1], Token::Ident("a".into()));
+        assert_eq!(toks[2], Token::Symbol(","));
+        assert!(toks.contains(&Token::Symbol(">=")));
+        assert!(toks.contains(&Token::Number(1.5)));
+        assert_eq!(toks.last(), Some(&Token::Symbol(";")));
+    }
+
+    #[test]
+    fn string_literals_with_escapes() {
+        let toks = tokenize("'it''s fine'").unwrap();
+        assert_eq!(toks, vec![Token::Str("it's fine".into())]);
+        assert!(matches!(tokenize("'open"), Err(DbError::Lex { .. })));
+    }
+
+    #[test]
+    fn operators_and_aliases() {
+        let toks = tokenize("a <> b != c <= d >= e < f > g = h").unwrap();
+        let syms: Vec<_> = toks
+            .iter()
+            .filter_map(|t| match t {
+                Token::Symbol(s) => Some(*s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(syms, vec!["!=", "!=", "<=", ">=", "<", ">", "="]);
+    }
+
+    #[test]
+    fn numbers_including_scientific() {
+        let toks = tokenize("1 2.5 3e2 4.5E-1").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Number(1.0),
+                Token::Number(2.5),
+                Token::Number(300.0),
+                Token::Number(0.45)
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_whitespace_are_skipped() {
+        let toks = tokenize("SELECT -- pick everything\n *").unwrap();
+        assert_eq!(toks, vec![Token::Ident("SELECT".into()), Token::Symbol("*")]);
+    }
+
+    #[test]
+    fn qualified_names_and_stars() {
+        let toks = tokenize("t.col, COUNT(*)").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("t".into()),
+                Token::Symbol("."),
+                Token::Ident("col".into()),
+                Token::Symbol(","),
+                Token::Ident("COUNT".into()),
+                Token::Symbol("("),
+                Token::Symbol("*"),
+                Token::Symbol(")"),
+            ]
+        );
+    }
+
+    #[test]
+    fn bad_characters_error_with_position() {
+        match tokenize("SELECT @") {
+            Err(DbError::Lex { position, .. }) => assert_eq!(position, 7),
+            other => panic!("expected lex error, got {other:?}"),
+        }
+        assert!(tokenize("a ! b").is_err());
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        let toks = tokenize("'中文 série'").unwrap();
+        assert_eq!(toks, vec![Token::Str("中文 série".into())]);
+    }
+}

@@ -1,0 +1,42 @@
+//! Embedded SQL engine backing the EasyTime benchmark knowledge base.
+//!
+//! The Q&A workflow (paper §II-D, Figure 3) generates SQL from natural
+//! language, *verifies* it, executes it against "the comprehensive knowledge
+//! base", and renders the results. That requires an actual SQL surface; this
+//! crate provides one, written from scratch on the approved dependency set:
+//!
+//! * [`lexer`] / [`parser`] — SQL tokenization and a recursive-descent
+//!   parser producing a typed [`ast`].
+//! * [`executor`] — evaluation of `SELECT` (projection, `WHERE`, inner
+//!   `JOIN`, `GROUP BY` + aggregates, `HAVING`, `ORDER BY`, `LIMIT`,
+//!   `DISTINCT`), `INSERT`, and `CREATE TABLE`.
+//! * [`verify`] — the *verification step* of Figure 3: statements are
+//!   parsed and schema-checked against the catalog before execution, and
+//!   the Q&A path additionally restricts statements to read-only `SELECT`.
+//! * [`knowledge`] — the benchmark-knowledge schema (datasets, methods,
+//!   results) shared by the recommender and the Q&A module.
+//!
+//! The dialect is deliberately small but genuine: every query the NL2SQL
+//! module can generate round-trips through this parser and executor.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod database;
+pub mod error;
+pub mod executor;
+pub mod knowledge;
+pub mod lexer;
+pub mod parser;
+pub mod schema;
+pub mod value;
+pub mod verify;
+
+pub use database::{Database, QueryResult};
+pub use error::DbError;
+pub use schema::{Column, ColumnType, Schema};
+pub use value::Value;
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, DbError>;

@@ -1,0 +1,177 @@
+//! Table schemas.
+
+use crate::error::DbError;
+use crate::value::Value;
+
+/// Declared type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ColumnType {
+    /// 64-bit integer.
+    Int,
+    /// 64-bit float (accepts integer literals, widened).
+    Float,
+    /// UTF-8 text.
+    Text,
+    /// Boolean.
+    Bool,
+}
+
+impl ColumnType {
+    /// Canonical SQL name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ColumnType::Int => "INTEGER",
+            ColumnType::Float => "REAL",
+            ColumnType::Text => "TEXT",
+            ColumnType::Bool => "BOOLEAN",
+        }
+    }
+
+    /// Parses a type from common SQL spellings.
+    pub fn parse(s: &str) -> Option<ColumnType> {
+        match s.to_ascii_uppercase().as_str() {
+            "INT" | "INTEGER" | "BIGINT" => Some(ColumnType::Int),
+            "REAL" | "FLOAT" | "DOUBLE" => Some(ColumnType::Float),
+            "TEXT" | "VARCHAR" | "STRING" => Some(ColumnType::Text),
+            "BOOL" | "BOOLEAN" => Some(ColumnType::Bool),
+            _ => None,
+        }
+    }
+
+    /// Checks (and possibly widens) a value for storage in this column.
+    pub fn coerce(self, value: Value) -> Result<Value, DbError> {
+        match (self, value) {
+            (_, Value::Null) => Ok(Value::Null),
+            (ColumnType::Int, Value::Int(i)) => Ok(Value::Int(i)),
+            (ColumnType::Float, Value::Float(f)) => Ok(Value::Float(f)),
+            (ColumnType::Float, Value::Int(i)) => Ok(Value::Float(i as f64)),
+            (ColumnType::Text, Value::Text(s)) => Ok(Value::Text(s)),
+            (ColumnType::Bool, Value::Bool(b)) => Ok(Value::Bool(b)),
+            (ty, v) => Err(DbError::TypeMismatch {
+                message: format!("cannot store {v:?} in a {} column", ty.name()),
+            }),
+        }
+    }
+}
+
+/// A named, typed column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Column name (stored lowercase).
+    pub name: String,
+    /// Declared type.
+    pub ty: ColumnType,
+}
+
+impl Column {
+    /// Creates a column; names are normalized to lowercase.
+    pub fn new(name: impl Into<String>, ty: ColumnType) -> Column {
+        Column { name: name.into().to_ascii_lowercase(), ty }
+    }
+}
+
+/// An ordered list of columns.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    columns: Vec<Column>,
+}
+
+impl Schema {
+    /// Creates a schema from columns.
+    pub fn new(columns: Vec<Column>) -> Schema {
+        Schema { columns }
+    }
+
+    /// The columns in declaration order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True when the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Index of a column by (case-insensitive) name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        let lower = name.to_ascii_lowercase();
+        self.columns.iter().position(|c| c.name == lower)
+    }
+
+    /// Column names in order.
+    pub fn names(&self) -> Vec<String> {
+        self.columns.iter().map(|c| c.name.clone()).collect()
+    }
+
+    /// Validates and coerces a row for storage.
+    pub fn coerce_row(&self, row: Vec<Value>) -> Result<Vec<Value>, DbError> {
+        if row.len() != self.columns.len() {
+            return Err(DbError::ArityMismatch { expected: self.columns.len(), found: row.len() });
+        }
+        row.into_iter()
+            .zip(&self.columns)
+            .map(|(v, c)| c.ty.coerce(v))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("ID", ColumnType::Int),
+            Column::new("score", ColumnType::Float),
+            Column::new("name", ColumnType::Text),
+        ])
+    }
+
+    #[test]
+    fn column_names_are_lowercased_and_found_case_insensitively() {
+        let s = schema();
+        assert_eq!(s.index_of("id"), Some(0));
+        assert_eq!(s.index_of("ID"), Some(0));
+        assert_eq!(s.index_of("Score"), Some(1));
+        assert_eq!(s.index_of("missing"), None);
+        assert_eq!(s.names(), vec!["id", "score", "name"]);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn coerce_row_validates_types_and_arity() {
+        let s = schema();
+        let ok = s
+            .coerce_row(vec![Value::Int(1), Value::Int(2), Value::Text("x".into())])
+            .unwrap();
+        // Int widened to Float in the score column.
+        assert_eq!(ok[1], Value::Float(2.0));
+
+        assert!(matches!(
+            s.coerce_row(vec![Value::Int(1)]),
+            Err(DbError::ArityMismatch { expected: 3, found: 1 })
+        ));
+        assert!(matches!(
+            s.coerce_row(vec![Value::Text("no".into()), Value::Float(1.0), Value::Null]),
+            Err(DbError::TypeMismatch { .. })
+        ));
+        // NULL is storable in any column.
+        assert!(s.coerce_row(vec![Value::Null, Value::Null, Value::Null]).is_ok());
+    }
+
+    #[test]
+    fn type_parsing() {
+        assert_eq!(ColumnType::parse("integer"), Some(ColumnType::Int));
+        assert_eq!(ColumnType::parse("DOUBLE"), Some(ColumnType::Float));
+        assert_eq!(ColumnType::parse("varchar"), Some(ColumnType::Text));
+        assert_eq!(ColumnType::parse("bool"), Some(ColumnType::Bool));
+        assert_eq!(ColumnType::parse("blob"), None);
+        assert_eq!(ColumnType::Int.name(), "INTEGER");
+    }
+}

@@ -1,0 +1,229 @@
+//! SQL value type.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A dynamically typed SQL value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 text.
+    Text(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// True when the value is NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view (ints widen to floats); `None` for non-numeric values.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Text view; `None` for non-text values.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean view with SQL-ish truthiness: booleans as-is, numbers ≠ 0,
+    /// NULL is `None`.
+    pub fn truthy(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            Value::Int(i) => Some(*i != 0),
+            Value::Float(f) => Some(*f != 0.0),
+            Value::Null => None,
+            Value::Text(_) => None,
+        }
+    }
+
+    /// SQL comparison: numerics compare cross-type, text with text, bools
+    /// with bools; NULL and mixed types are incomparable.
+    pub fn compare(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Text(a), Value::Text(b)) => Some(a.cmp(b)),
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            _ => {
+                let a = self.as_f64()?;
+                let b = other.as_f64()?;
+                a.partial_cmp(&b)
+            }
+        }
+    }
+
+    /// SQL equality (used by `=`, `IN`, `DISTINCT`, `GROUP BY`): NULL never
+    /// equals anything via `=`, but grouping treats NULLs as one group —
+    /// callers pick the semantics they need.
+    pub fn sql_eq(&self, other: &Value) -> Option<bool> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            _ => Some(self.compare(other) == Some(Ordering::Equal)),
+        }
+    }
+
+    /// Grouping key equality: NULL == NULL, otherwise `sql_eq`.
+    pub fn group_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Null, Value::Null) => true,
+            _ => self.sql_eq(other).unwrap_or(false),
+        }
+    }
+
+    /// Stable ordering for ORDER BY: NULLs first, then bools, numbers,
+    /// text.
+    pub fn order_key(&self, other: &Value) -> Ordering {
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Bool(_) => 1,
+                Value::Int(_) | Value::Float(_) => 2,
+                Value::Text(_) => 3,
+            }
+        }
+        match self.compare(other) {
+            Some(ord) => ord,
+            None => rank(self).cmp(&rank(other)),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(v) => {
+                if v.fract() == 0.0 && v.abs() < 1e15 {
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Value::Text(s) => write!(f, "{s}"),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Text(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_type_numeric_comparison() {
+        assert_eq!(Value::Int(2).compare(&Value::Float(2.0)), Some(Ordering::Equal));
+        assert_eq!(Value::Int(1).compare(&Value::Float(1.5)), Some(Ordering::Less));
+        assert_eq!(Value::Float(3.0).compare(&Value::Int(2)), Some(Ordering::Greater));
+    }
+
+    #[test]
+    fn null_is_incomparable() {
+        assert_eq!(Value::Null.compare(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).sql_eq(&Value::Null), None);
+        assert!(Value::Null.group_eq(&Value::Null));
+        assert!(!Value::Null.group_eq(&Value::Int(0)));
+    }
+
+    #[test]
+    fn text_and_bool_comparison() {
+        assert_eq!(
+            Value::Text("a".into()).compare(&Value::Text("b".into())),
+            Some(Ordering::Less)
+        );
+        assert_eq!(Value::Bool(false).compare(&Value::Bool(true)), Some(Ordering::Less));
+        // Mixed text/number is incomparable.
+        assert_eq!(Value::Text("1".into()).compare(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn order_key_is_total() {
+        let mut vals = [
+            Value::Text("z".into()),
+            Value::Null,
+            Value::Int(5),
+            Value::Bool(true),
+            Value::Float(2.5),
+        ];
+        vals.sort_by(|a, b| a.order_key(b));
+        assert!(vals[0].is_null());
+        assert_eq!(vals[1], Value::Bool(true));
+        assert_eq!(vals[4], Value::Text("z".into()));
+    }
+
+    #[test]
+    fn truthiness() {
+        assert_eq!(Value::Bool(true).truthy(), Some(true));
+        assert_eq!(Value::Int(0).truthy(), Some(false));
+        assert_eq!(Value::Float(0.5).truthy(), Some(true));
+        assert_eq!(Value::Null.truthy(), None);
+        assert_eq!(Value::Text("x".into()).truthy(), None);
+    }
+
+    #[test]
+    fn display_formatting() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Int(42).to_string(), "42");
+        assert_eq!(Value::Float(1.0).to_string(), "1.0");
+        assert_eq!(Value::Float(0.25).to_string(), "0.25");
+        assert_eq!(Value::Text("hi".into()).to_string(), "hi");
+        assert_eq!(Value::Bool(false).to_string(), "false");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from(2.5), Value::Float(2.5));
+        assert_eq!(Value::from("s"), Value::Text("s".into()));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Value::Text("s".into()).as_f64(), None);
+        assert_eq!(Value::Text("s".into()).as_str(), Some("s"));
+    }
+}

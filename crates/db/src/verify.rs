@@ -1,0 +1,238 @@
+//! SQL verification — the pre-execution check of Figure 3.
+//!
+//! The paper's Q&A workflow stresses that "SQL statements are first
+//! verified for correctness before they are executed … This two-step
+//! approach ensures the accuracy and reliability of the query execution."
+//! [`verify_select`] implements that step: parse, restrict to read-only
+//! `SELECT`, resolve every table against the catalog, and resolve every
+//! column reference against the (aliased) schemas, so no malformed or
+//! unsafe statement ever reaches the executor.
+
+use crate::ast::{Expr, SelectItem, SelectStmt, Statement};
+use crate::database::Database;
+use crate::error::DbError;
+use crate::parser::parse;
+
+/// Verifies that `sql` is a well-formed, read-only `SELECT` whose tables
+/// and columns all exist. Returns the parsed statement on success.
+pub fn verify_select(db: &Database, sql: &str) -> Result<SelectStmt, DbError> {
+    let stmt = parse(sql)?;
+    let select = match stmt {
+        Statement::Select(s) => s,
+        Statement::Insert(_) => {
+            return Err(DbError::VerificationFailed {
+                reason: "only read-only SELECT statements are allowed here (got INSERT)".into(),
+            })
+        }
+        Statement::CreateTable(_) => {
+            return Err(DbError::VerificationFailed {
+                reason: "only read-only SELECT statements are allowed here (got CREATE TABLE)"
+                    .into(),
+            })
+        }
+    };
+    check_select(db, &select)?;
+    Ok(select)
+}
+
+/// Schema-checks a parsed `SELECT` against the catalog.
+pub fn check_select(db: &Database, select: &SelectStmt) -> Result<(), DbError> {
+    // Collect (effective name, real table) pairs; verify the tables exist.
+    let mut scopes: Vec<(String, Vec<String>)> = Vec::new();
+    let base = db.table(&select.from.name)?;
+    scopes.push((select.from.effective_name().to_ascii_lowercase(), base.schema.names()));
+    for join in &select.joins {
+        let t = db.table(&join.table.name)?;
+        let eff = join.table.effective_name().to_ascii_lowercase();
+        if scopes.iter().any(|(n, _)| *n == eff) {
+            return Err(DbError::VerificationFailed {
+                reason: format!("duplicate table alias '{eff}'"),
+            });
+        }
+        scopes.push((eff, t.schema.names()));
+    }
+
+    // Output aliases are legal in ORDER BY.
+    let mut aliases: Vec<String> = Vec::new();
+    for item in &select.items {
+        if let SelectItem::Expr { alias: Some(a), .. } = item {
+            aliases.push(a.to_ascii_lowercase());
+        }
+    }
+
+    let resolve = |table: Option<&str>, name: &str| -> Result<(), DbError> {
+        let name = name.to_ascii_lowercase();
+        match table {
+            Some(t) => {
+                let t = t.to_ascii_lowercase();
+                let scope = scopes.iter().find(|(n, _)| *n == t).ok_or(DbError::UnknownTable {
+                    name: t.clone(),
+                })?;
+                if scope.1.contains(&name) {
+                    Ok(())
+                } else {
+                    Err(DbError::UnknownColumn { name: format!("{t}.{name}") })
+                }
+            }
+            None => {
+                if scopes.iter().any(|(_, cols)| cols.contains(&name)) {
+                    Ok(())
+                } else {
+                    Err(DbError::UnknownColumn { name })
+                }
+            }
+        }
+    };
+
+    let check_expr = |e: &Expr| -> Result<(), DbError> {
+        let mut err = None;
+        e.visit_columns(&mut |t, c| {
+            if err.is_none() {
+                if let Err(e) = resolve(t, c) {
+                    err = Some(e);
+                }
+            }
+        });
+        match err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    };
+
+    for item in &select.items {
+        if let SelectItem::Expr { expr, .. } = item {
+            check_expr(expr)?;
+        }
+    }
+    for join in &select.joins {
+        check_expr(&join.on)?;
+    }
+    if let Some(w) = &select.where_clause {
+        check_expr(w)?;
+        if w.contains_aggregate() {
+            return Err(DbError::VerificationFailed {
+                reason: "aggregates are not allowed in WHERE (use HAVING)".into(),
+            });
+        }
+    }
+    for g in &select.group_by {
+        check_expr(g)?;
+    }
+    if let Some(h) = &select.having {
+        check_expr(h)?;
+    }
+    for (o, _) in &select.order_by {
+        // An ORDER BY column may be an output alias instead of a table
+        // column.
+        if let Expr::Column { table: None, name } = o {
+            if aliases.contains(&name.to_ascii_lowercase()) {
+                continue;
+            }
+        }
+        check_expr(o)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE results (dataset_id TEXT, method TEXT, mae REAL)").unwrap();
+        db.execute("CREATE TABLE datasets (id TEXT, domain TEXT)").unwrap();
+        db
+    }
+
+    #[test]
+    fn accepts_valid_select() {
+        let d = db();
+        assert!(verify_select(&d, "SELECT method, AVG(mae) AS m FROM results GROUP BY method ORDER BY m").is_ok());
+        assert!(verify_select(
+            &d,
+            "SELECT r.method FROM results r JOIN datasets d ON r.dataset_id = d.id"
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn rejects_writes() {
+        let d = db();
+        assert!(matches!(
+            verify_select(&d, "INSERT INTO results VALUES ('a', 'b', 1.0)"),
+            Err(DbError::VerificationFailed { .. })
+        ));
+        assert!(matches!(
+            verify_select(&d, "CREATE TABLE x (a INTEGER)"),
+            Err(DbError::VerificationFailed { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_tables_and_columns() {
+        let d = db();
+        assert!(matches!(
+            verify_select(&d, "SELECT * FROM nope"),
+            Err(DbError::UnknownTable { .. })
+        ));
+        assert!(matches!(
+            verify_select(&d, "SELECT wrong FROM results"),
+            Err(DbError::UnknownColumn { .. })
+        ));
+        assert!(matches!(
+            verify_select(&d, "SELECT x.method FROM results r"),
+            Err(DbError::UnknownTable { .. })
+        ));
+        assert!(matches!(
+            verify_select(&d, "SELECT r.nope FROM results r"),
+            Err(DbError::UnknownColumn { .. })
+        ));
+        assert!(matches!(
+            verify_select(&d, "SELECT method FROM results WHERE domain = 'web'"),
+            Err(DbError::UnknownColumn { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_aggregates_in_where() {
+        let d = db();
+        assert!(matches!(
+            verify_select(&d, "SELECT method FROM results WHERE AVG(mae) > 1"),
+            Err(DbError::VerificationFailed { .. })
+        ));
+    }
+
+    #[test]
+    fn order_by_alias_is_allowed_unknown_alias_is_not() {
+        let d = db();
+        assert!(
+            verify_select(&d, "SELECT AVG(mae) AS m FROM results ORDER BY m DESC").is_ok()
+        );
+        assert!(matches!(
+            verify_select(&d, "SELECT AVG(mae) AS m FROM results ORDER BY z"),
+            Err(DbError::UnknownColumn { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_aliases_rejected() {
+        let d = db();
+        assert!(matches!(
+            verify_select(
+                &d,
+                "SELECT 1 FROM results r JOIN datasets r ON r.dataset_id = r.id"
+            ),
+            Err(DbError::VerificationFailed { .. })
+        ));
+    }
+
+    #[test]
+    fn parse_errors_surface() {
+        let d = db();
+        assert!(matches!(
+            verify_select(&d, "SELECT FROM WHERE"),
+            Err(DbError::Parse { .. })
+        ));
+    }
+}

@@ -1,0 +1,77 @@
+//! Error type for the evaluation layer.
+
+use easytime_data::DataError;
+use easytime_models::ModelError;
+use std::fmt;
+
+/// Errors produced while configuring or running evaluations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalError {
+    /// A metric name did not resolve in the registry.
+    UnknownMetric {
+        /// The unresolved name.
+        name: String,
+    },
+    /// The evaluation configuration is inconsistent.
+    InvalidConfig {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// Actual and predicted lengths differ.
+    LengthMismatch {
+        /// Length of the ground truth.
+        actual: usize,
+        /// Length of the forecast.
+        predicted: usize,
+    },
+    /// The test partition cannot support the requested strategy.
+    InsufficientTestData {
+        /// Points required.
+        needed: usize,
+        /// Points available.
+        got: usize,
+    },
+    /// A data-layer failure.
+    Data(DataError),
+    /// A model-layer failure.
+    Model(ModelError),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnknownMetric { name } => write!(f, "unknown metric '{name}'"),
+            EvalError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            EvalError::LengthMismatch { actual, predicted } => {
+                write!(f, "length mismatch: actual {actual}, predicted {predicted}")
+            }
+            EvalError::InsufficientTestData { needed, got } => {
+                write!(f, "insufficient test data: need {needed}, got {got}")
+            }
+            EvalError::Data(e) => write!(f, "data error: {e}"),
+            EvalError::Model(e) => write!(f, "model error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EvalError::Data(e) => Some(e),
+            EvalError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DataError> for EvalError {
+    fn from(e: DataError) -> Self {
+        EvalError::Data(e)
+    }
+}
+
+impl From<ModelError> for EvalError {
+    fn from(e: ModelError) -> Self {
+        EvalError::Model(e)
+    }
+}

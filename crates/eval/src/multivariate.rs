@@ -1,0 +1,236 @@
+//! Multivariate evaluation path.
+//!
+//! TFB's corpus includes 25 multivariate datasets (paper §II-A); methods
+//! that exploit cross-channel correlation (VAR) compete against
+//! channel-independent application of univariate methods. This module runs
+//! the same standardized pipeline as the univariate path — per-channel
+//! scaling fitted on training data only, strategy-driven windows, raw-scale
+//! metrics — and averages metric values across channels into one
+//! [`EvalRecord`].
+
+use crate::error::EvalError;
+use crate::metrics::{MetricContext, MetricRegistry};
+use crate::pipeline::{EvalConfig, EvalRecord};
+use easytime_data::{MultiSeries, Scaler};
+use easytime_models::multivariate::MultiModelSpec;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Evaluates one multivariate method on one multivariate dataset.
+///
+/// Mirrors [`crate::pipeline::evaluate`]: model/data failures are captured
+/// in the record; configuration errors return `Err`.
+pub fn evaluate_multivariate(
+    dataset_id: &str,
+    series: &MultiSeries,
+    spec: &MultiModelSpec,
+    config: &EvalConfig,
+    registry: &MetricRegistry,
+) -> Result<EvalRecord, EvalError> {
+    config.strategy.validate()?;
+    for m in &config.metrics {
+        registry.get(m)?;
+    }
+
+    let mut record = EvalRecord {
+        dataset_id: dataset_id.to_string(),
+        method: spec.name(),
+        family: "multivariate".to_string(),
+        strategy: config.strategy.name().to_string(),
+        horizon: config.strategy.horizon(),
+        scores: BTreeMap::new(),
+        windows: 0,
+        runtime_ms: 0.0,
+        error: None,
+    };
+    match run(series, spec, config, registry) {
+        Ok((scores, windows, runtime_ms)) => {
+            record.scores = scores;
+            record.windows = windows;
+            record.runtime_ms = runtime_ms;
+        }
+        Err(e) => record.error = Some(e.to_string()),
+    }
+    Ok(record)
+}
+
+fn run(
+    series: &MultiSeries,
+    spec: &MultiModelSpec,
+    config: &EvalConfig,
+    registry: &MetricRegistry,
+) -> Result<(BTreeMap<String, f64>, usize, f64), EvalError> {
+    let n = series.len();
+    let k = series.num_channels();
+    // Split geometry from the primary channel (all channels are aligned).
+    let primary = series.to_univariate(0)?;
+    let split = config.split.split(&primary)?;
+    let test_start = n - split.test.len();
+    let windows = config.strategy.windows(n, test_start, config.split.drop_last)?;
+    let period = series.frequency().default_period().unwrap_or(1);
+
+    let started = Instant::now();
+    let mut sums: BTreeMap<String, (f64, usize)> = BTreeMap::new();
+    for w in &windows {
+        // Per-channel scaling fitted on each channel's training slice.
+        let mut scalers = Vec::with_capacity(k);
+        let mut scaled_channels = Vec::with_capacity(k);
+        for ch in 0..k {
+            let train_slice = &series.channel(ch)[..w.origin];
+            let mut scaler = Scaler::new(config.scaler);
+            scaled_channels.push(scaler.fit_transform(train_slice)?);
+            scalers.push(scaler);
+        }
+        let train = MultiSeries::new(
+            series.name(),
+            series.channel_names().to_vec(),
+            scaled_channels,
+            series.frequency(),
+        )?;
+
+        let mut model = spec.build()?;
+        model.fit(&train)?;
+        let predicted_scaled = model.forecast(w.len)?;
+
+        for ch in 0..k {
+            let predicted = scalers[ch].inverse(&predicted_scaled[ch])?;
+            let actual = &series.channel(ch)[w.origin..w.origin + w.len];
+            let train_raw = &series.channel(ch)[..w.origin];
+            let ctx = MetricContext::new(actual, &predicted, train_raw, period)?;
+            for name in &config.metrics {
+                let metric = registry.get(name)?;
+                let v = metric.compute(&ctx);
+                let entry = sums.entry(metric.name().to_string()).or_insert((0.0, 0));
+                if v.is_finite() {
+                    entry.0 += v;
+                    entry.1 += 1;
+                }
+            }
+        }
+    }
+    let runtime_ms = started.elapsed().as_secs_f64() * 1e3;
+    let scores = sums
+        .into_iter()
+        .map(|(name, (sum, cnt))| (name, if cnt > 0 { sum / cnt as f64 } else { f64::NAN }))
+        .collect();
+    Ok((scores, windows.len(), runtime_ms))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Strategy;
+    use easytime_data::Frequency;
+    use easytime_models::ModelSpec;
+
+    /// Channel 1 follows channel 0 with a one-step lag — VAR territory.
+    fn coupled(n: usize) -> MultiSeries {
+        let driver: Vec<f64> = (0..n).map(|t| ((t as f64) * 0.37).sin() * 3.0 + 10.0).collect();
+        let follower: Vec<f64> =
+            (0..n).map(|t| if t == 0 { 10.0 } else { driver[t - 1] }).collect();
+        MultiSeries::new(
+            "coupled",
+            vec!["driver".into(), "follower".into()],
+            vec![driver, follower],
+            Frequency::Hourly,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn var_beats_channel_independent_naive_on_coupled_channels() {
+        let series = coupled(400);
+        let registry = MetricRegistry::standard();
+        let config = EvalConfig {
+            strategy: Strategy::Fixed { horizon: 8 },
+            ..EvalConfig::default()
+        };
+        let var = evaluate_multivariate(
+            "c",
+            &series,
+            &MultiModelSpec::Var { order: 2 },
+            &config,
+            &registry,
+        )
+        .unwrap();
+        let ci = evaluate_multivariate(
+            "c",
+            &series,
+            &MultiModelSpec::PerChannel(ModelSpec::Naive),
+            &config,
+            &registry,
+        )
+        .unwrap();
+        assert!(var.is_ok(), "{:?}", var.error);
+        assert!(ci.is_ok(), "{:?}", ci.error);
+        assert!(
+            var.score("mae") < ci.score("mae"),
+            "VAR {} should beat channel-independent naive {}",
+            var.score("mae"),
+            ci.score("mae")
+        );
+        assert_eq!(var.method, "var_2");
+        assert_eq!(ci.method, "ci_naive");
+        assert_eq!(var.family, "multivariate");
+    }
+
+    #[test]
+    fn rolling_strategy_works_on_multivariate() {
+        let series = coupled(300);
+        let registry = MetricRegistry::standard();
+        let config = EvalConfig {
+            strategy: Strategy::Rolling { horizon: 10, stride: 10, max_windows: Some(3) },
+            ..EvalConfig::default()
+        };
+        let rec = evaluate_multivariate(
+            "c",
+            &series,
+            &MultiModelSpec::PerChannel(ModelSpec::SeasonalNaive(Some(17))),
+            &config,
+            &registry,
+        )
+        .unwrap();
+        assert!(rec.is_ok());
+        assert_eq!(rec.windows, 3);
+        assert!(rec.score("smape").is_finite());
+    }
+
+    #[test]
+    fn failures_are_captured_in_the_record() {
+        let series = coupled(40);
+        let registry = MetricRegistry::standard();
+        let config = EvalConfig {
+            strategy: Strategy::Fixed { horizon: 4 },
+            ..EvalConfig::default()
+        };
+        // VAR(12) over 2 channels needs a 40-point training window; only
+        // 32 points are available before the forecast origin.
+        let rec = evaluate_multivariate(
+            "c",
+            &series,
+            &MultiModelSpec::Var { order: 12 },
+            &config,
+            &registry,
+        )
+        .unwrap();
+        assert!(!rec.is_ok());
+        assert!(rec.error.as_deref().unwrap().contains("too short"));
+    }
+
+    #[test]
+    fn unknown_metric_is_a_config_error() {
+        let series = coupled(100);
+        let registry = MetricRegistry::standard();
+        let config = EvalConfig { metrics: vec!["nope".into()], ..EvalConfig::default() };
+        assert!(matches!(
+            evaluate_multivariate(
+                "c",
+                &series,
+                &MultiModelSpec::Var { order: 1 },
+                &config,
+                &registry
+            ),
+            Err(EvalError::UnknownMetric { .. })
+        ));
+    }
+}

@@ -1,0 +1,415 @@
+//! The standardized benchmark pipeline behind one-click evaluation.
+//!
+//! Reproduces TFB's pipeline (paper §II-A): "standardized dataset processing
+//! and splitting, model training and testing, as well as unified
+//! post-processing". For every evaluation window produced by the
+//! [`Strategy`], the pipeline:
+//!
+//! 1. takes all data before the forecast origin as training context,
+//! 2. fits the scaler on that training slice only,
+//! 3. fits a fresh model instance on the scaled training data,
+//! 4. forecasts and inverse-transforms the predictions (unified
+//!    post-processing),
+//! 5. scores the requested metrics against the raw ground truth.
+//!
+//! Per-window scores are averaged into one [`EvalRecord`]. Corpus-scale
+//! sweeps run on a work-stealing thread pool ([`evaluate_corpus`]); failures
+//! are captured *per record* so one incompatible method/dataset pair never
+//! aborts a sweep — exactly the robustness one-click evaluation needs.
+
+use crate::error::EvalError;
+use crate::metrics::{MetricContext, MetricRegistry};
+use crate::strategy::Strategy;
+use easytime_data::scaler::ScalerKind;
+use easytime_data::{Dataset, Scaler, SplitSpec, TimeSeries};
+use easytime_models::{ModelSpec, Result as ModelResult};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Configuration of one evaluation run (the programmatic form of the
+/// paper's "configuration file"; the core crate parses the file format
+/// into this struct).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalConfig {
+    /// Methods to evaluate.
+    pub methods: Vec<ModelSpec>,
+    /// Evaluation strategy.
+    pub strategy: Strategy,
+    /// Chronological split specification.
+    pub split: SplitSpec,
+    /// Normalization applied to model inputs.
+    pub scaler: ScalerKind,
+    /// Metric names to compute (must resolve in the registry).
+    pub metrics: Vec<String>,
+    /// Worker threads for corpus sweeps (0 = all available cores).
+    pub threads: usize,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig {
+            methods: vec![ModelSpec::Naive],
+            strategy: Strategy::Fixed { horizon: 12 },
+            split: SplitSpec::default(),
+            scaler: ScalerKind::ZScore,
+            metrics: vec!["mae".into(), "rmse".into(), "smape".into(), "mase".into()],
+            threads: 0,
+        }
+    }
+}
+
+impl EvalConfig {
+    /// Validates the configuration against the metric registry.
+    pub fn validate(&self, registry: &MetricRegistry) -> Result<(), EvalError> {
+        if self.methods.is_empty() {
+            return Err(EvalError::InvalidConfig { reason: "no methods configured".into() });
+        }
+        if self.metrics.is_empty() {
+            return Err(EvalError::InvalidConfig { reason: "no metrics configured".into() });
+        }
+        self.strategy.validate()?;
+        for m in &self.metrics {
+            registry.get(m)?;
+        }
+        Ok(())
+    }
+}
+
+/// Result record of evaluating one method on one dataset — the row shape
+/// stored in the benchmark knowledge base.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalRecord {
+    /// Dataset id.
+    pub dataset_id: String,
+    /// Canonical method name.
+    pub method: String,
+    /// Method family name.
+    pub family: String,
+    /// Strategy name (`fixed` / `rolling`).
+    pub strategy: String,
+    /// Forecast horizon.
+    pub horizon: usize,
+    /// Mean metric values over all evaluation windows (NaNs skipped).
+    pub scores: BTreeMap<String, f64>,
+    /// Number of evaluation windows scored.
+    pub windows: usize,
+    /// Wall-clock milliseconds spent fitting and forecasting.
+    pub runtime_ms: f64,
+    /// Failure description when the method could not be evaluated.
+    pub error: Option<String>,
+}
+
+impl EvalRecord {
+    /// Convenience accessor with NaN for missing metrics.
+    pub fn score(&self, metric: &str) -> f64 {
+        self.scores.get(metric).copied().unwrap_or(f64::NAN)
+    }
+
+    /// True when the evaluation completed.
+    pub fn is_ok(&self) -> bool {
+        self.error.is_none()
+    }
+}
+
+/// Evaluates one method on one univariate series under a config.
+///
+/// Model or data failures are reported inside the returned record (see
+/// [`EvalRecord::error`]); only configuration errors return `Err`.
+pub fn evaluate(
+    dataset_id: &str,
+    series: &TimeSeries,
+    spec: &ModelSpec,
+    config: &EvalConfig,
+    registry: &MetricRegistry,
+) -> Result<EvalRecord, EvalError> {
+    config.strategy.validate()?;
+    for m in &config.metrics {
+        registry.get(m)?;
+    }
+
+    let mut record = EvalRecord {
+        dataset_id: dataset_id.to_string(),
+        method: spec.name(),
+        family: spec.family().name().to_string(),
+        strategy: config.strategy.name().to_string(),
+        horizon: config.strategy.horizon(),
+        scores: BTreeMap::new(),
+        windows: 0,
+        runtime_ms: 0.0,
+        error: None,
+    };
+
+    match run_windows(series, spec, config, registry) {
+        Ok((scores, windows, runtime_ms)) => {
+            record.scores = scores;
+            record.windows = windows;
+            record.runtime_ms = runtime_ms;
+        }
+        Err(e) => record.error = Some(e.to_string()),
+    }
+    Ok(record)
+}
+
+/// Inner pipeline: returns `(mean scores, window count, runtime ms)`.
+fn run_windows(
+    series: &TimeSeries,
+    spec: &ModelSpec,
+    config: &EvalConfig,
+    registry: &MetricRegistry,
+) -> Result<(BTreeMap<String, f64>, usize, f64), EvalError> {
+    let n = series.len();
+    // Where the test partition starts: after train + val.
+    let split = config.split.split(series)?;
+    let test_start = n - split.test.len();
+    let windows = config.strategy.windows(n, test_start, config.split.drop_last)?;
+    let period = series.frequency().default_period().unwrap_or(1);
+    let raw = series.values();
+
+    let started = Instant::now();
+    let mut sums: BTreeMap<String, (f64, usize)> = BTreeMap::new();
+    for w in &windows {
+        // 1–2. training context and scaler (fitted on train only).
+        let train_slice = &raw[..w.origin];
+        let mut scaler = Scaler::new(config.scaler);
+        let scaled_train = scaler.fit_transform(train_slice)?;
+        let train_series = series.with_values(scaled_train)?;
+
+        // 3. fresh model per window (rolling refit semantics).
+        let mut model = spec.build()?;
+        model.fit(&train_series)?;
+
+        // 4. forecast + inverse transform.
+        let predicted_scaled: ModelResult<Vec<f64>> = model.forecast(w.len);
+        let predicted = scaler.inverse(&predicted_scaled?)?;
+
+        // 5. metrics on the raw scale.
+        let actual = &raw[w.origin..w.origin + w.len];
+        let ctx = MetricContext::new(actual, &predicted, train_slice, period)?;
+        for name in &config.metrics {
+            let metric = registry.get(name)?;
+            let v = metric.compute(&ctx);
+            let entry = sums.entry(metric.name().to_string()).or_insert((0.0, 0));
+            if v.is_finite() {
+                entry.0 += v;
+                entry.1 += 1;
+            }
+        }
+    }
+    let runtime_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    let scores = sums
+        .into_iter()
+        .map(|(k, (sum, cnt))| (k, if cnt > 0 { sum / cnt as f64 } else { f64::NAN }))
+        .collect();
+    Ok((scores, windows.len(), runtime_ms))
+}
+
+/// Evaluates every configured method on every dataset, in parallel.
+///
+/// Multivariate datasets are evaluated channel-independently on their
+/// primary series (the univariate protocol TFB applies to UTSF methods);
+/// errors are captured per record. Record order is deterministic:
+/// datasets × methods in input order.
+pub fn evaluate_corpus(
+    datasets: &[Dataset],
+    config: &EvalConfig,
+    registry: &MetricRegistry,
+) -> Result<Vec<EvalRecord>, EvalError> {
+    config.validate(registry)?;
+
+    let jobs: Vec<(usize, &Dataset, &ModelSpec)> = datasets
+        .iter()
+        .flat_map(|d| config.methods.iter().map(move |m| (d, m)))
+        .enumerate()
+        .map(|(i, (d, m))| (i, d, m))
+        .collect();
+
+    let workers = if config.threads == 0 {
+        std::thread::available_parallelism().map(usize::from).unwrap_or(4)
+    } else {
+        config.threads
+    }
+    .min(jobs.len().max(1));
+
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut slots: Vec<Option<EvalRecord>> = vec![None; jobs.len()];
+    let slot_refs: Vec<parking_lot::Mutex<&mut Option<EvalRecord>>> =
+        slots.iter_mut().map(parking_lot::Mutex::new).collect();
+
+    std::thread::scope(|scope| -> Result<(), EvalError> {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let jobs = &jobs;
+            let next = &next;
+            let slot_refs = &slot_refs;
+            handles.push(scope.spawn(move || -> Result<(), EvalError> {
+                loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= jobs.len() {
+                        return Ok(());
+                    }
+                    let (idx, dataset, spec) = jobs[i];
+                    let series = dataset.primary_series();
+                    let record = evaluate(&dataset.meta.id, &series, spec, config, registry)?;
+                    **slot_refs[idx].lock() = Some(record);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("evaluation worker panicked")?;
+        }
+        Ok(())
+    })?;
+
+    Ok(slots.into_iter().map(|s| s.expect("every job fills its slot")).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use easytime_data::synthetic::{build_corpus, CorpusConfig};
+    use easytime_data::{Domain, Frequency};
+    use std::f64::consts::PI;
+
+    fn seasonal_series(n: usize) -> TimeSeries {
+        let values: Vec<f64> = (0..n)
+            .map(|t| 10.0 + 0.05 * t as f64 + 4.0 * (2.0 * PI * t as f64 / 12.0).sin())
+            .collect();
+        TimeSeries::new("seasonal", values, Frequency::Monthly).unwrap()
+    }
+
+    #[test]
+    fn fixed_evaluation_produces_scores() {
+        let series = seasonal_series(120);
+        let config = EvalConfig::default();
+        let registry = MetricRegistry::standard();
+        let rec = evaluate("d1", &series, &ModelSpec::SeasonalNaive(None), &config, &registry)
+            .unwrap();
+        assert!(rec.is_ok(), "error: {:?}", rec.error);
+        assert_eq!(rec.windows, 1);
+        assert_eq!(rec.method, "seasonal_naive");
+        assert_eq!(rec.strategy, "fixed");
+        assert!(rec.score("mae").is_finite());
+        assert!(rec.score("mase").is_finite());
+        assert!(rec.runtime_ms >= 0.0);
+    }
+
+    #[test]
+    fn rolling_scores_multiple_windows() {
+        let series = seasonal_series(200);
+        let config = EvalConfig {
+            strategy: Strategy::Rolling { horizon: 10, stride: 10, max_windows: None },
+            ..EvalConfig::default()
+        };
+        let registry = MetricRegistry::standard();
+        let rec =
+            evaluate("d1", &series, &ModelSpec::Naive, &config, &registry).unwrap();
+        assert!(rec.is_ok());
+        assert!(rec.windows >= 3, "windows {}", rec.windows);
+    }
+
+    #[test]
+    fn good_model_beats_bad_model_on_seasonal_data() {
+        let series = seasonal_series(240);
+        let config = EvalConfig::default();
+        let registry = MetricRegistry::standard();
+        let snaive =
+            evaluate("d", &series, &ModelSpec::SeasonalNaive(None), &config, &registry).unwrap();
+        let mean =
+            evaluate("d", &series, &ModelSpec::Mean, &config, &registry).unwrap();
+        assert!(
+            snaive.score("mae") < mean.score("mae"),
+            "seasonal naive {} should beat mean {}",
+            snaive.score("mae"),
+            mean.score("mae")
+        );
+    }
+
+    #[test]
+    fn model_failures_are_captured_not_propagated() {
+        // A 24-point series leaves a 19-point training window — below
+        // ARIMA's minimum of 20.
+        let series = TimeSeries::new(
+            "tiny",
+            (0..24).map(|t| t as f64).collect(),
+            Frequency::Daily,
+        )
+        .unwrap();
+        let config = EvalConfig {
+            strategy: Strategy::Fixed { horizon: 4 },
+            ..EvalConfig::default()
+        };
+        let registry = MetricRegistry::standard();
+        let rec =
+            evaluate("tiny", &series, &ModelSpec::Arima(2, 1, 1), &config, &registry).unwrap();
+        assert!(!rec.is_ok());
+        assert!(rec.error.as_deref().unwrap().contains("too short"));
+    }
+
+    #[test]
+    fn unknown_metric_is_a_config_error() {
+        let series = seasonal_series(100);
+        let config = EvalConfig { metrics: vec!["nope".into()], ..EvalConfig::default() };
+        let registry = MetricRegistry::standard();
+        assert!(matches!(
+            evaluate("d", &series, &ModelSpec::Naive, &config, &registry),
+            Err(EvalError::UnknownMetric { .. })
+        ));
+    }
+
+    #[test]
+    fn scaling_is_fitted_on_train_only_and_inverted() {
+        // With a huge level, un-inverted forecasts would produce absurd MAE.
+        let values: Vec<f64> = (0..100).map(|t| 1e6 + (t % 7) as f64).collect();
+        let series = TimeSeries::new("lvl", values, Frequency::Daily).unwrap();
+        let config = EvalConfig {
+            scaler: ScalerKind::ZScore,
+            strategy: Strategy::Fixed { horizon: 7 },
+            ..EvalConfig::default()
+        };
+        let registry = MetricRegistry::standard();
+        let rec = evaluate("lvl", &series, &ModelSpec::SeasonalNaive(Some(7)), &config, &registry)
+            .unwrap();
+        assert!(rec.is_ok());
+        assert!(rec.score("mae") < 10.0, "mae {} implies broken inverse transform", rec.score("mae"));
+    }
+
+    #[test]
+    fn corpus_sweep_is_parallel_deterministic_and_ordered() {
+        let corpus = build_corpus(&CorpusConfig {
+            domains: vec![Domain::Nature, Domain::Web],
+            per_domain: 3,
+            length: 150,
+            ..CorpusConfig::default()
+        })
+        .unwrap();
+        let config = EvalConfig {
+            methods: vec![ModelSpec::Naive, ModelSpec::SeasonalNaive(None), ModelSpec::Drift],
+            threads: 3,
+            ..EvalConfig::default()
+        };
+        let registry = MetricRegistry::standard();
+        let mut a = evaluate_corpus(&corpus, &config, &registry).unwrap();
+        let mut b = evaluate_corpus(&corpus, &config, &registry).unwrap();
+        assert_eq!(a.len(), 6 * 3);
+        // Wall-clock differs between runs; everything else must match.
+        for r in a.iter_mut().chain(b.iter_mut()) {
+            r.runtime_ms = 0.0;
+        }
+        assert_eq!(a, b, "parallel sweep must be deterministic");
+        // Order: dataset-major, method-minor.
+        assert_eq!(a[0].dataset_id, corpus[0].meta.id);
+        assert_eq!(a[0].method, "naive");
+        assert_eq!(a[1].method, "seasonal_naive");
+        assert_eq!(a[3].dataset_id, corpus[1].meta.id);
+    }
+
+    #[test]
+    fn empty_config_is_rejected() {
+        let registry = MetricRegistry::standard();
+        let config = EvalConfig { methods: vec![], ..EvalConfig::default() };
+        assert!(config.validate(&registry).is_err());
+        let config = EvalConfig { metrics: vec![], ..EvalConfig::default() };
+        assert!(config.validate(&registry).is_err());
+    }
+}

@@ -1,0 +1,187 @@
+//! Terminal visualization of series and forecasts.
+//!
+//! The reporting layer "supports visualization of time series inputs and
+//! forecasting results" (paper §II-A), and the frontend displays forecast
+//! overlays (Figure 4, label 9). This module renders that view for
+//! terminals: an ASCII line plot of the historical tail, the forecast, and
+//! optionally the ground truth over the forecast window.
+
+/// One renderable line on the plot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlotSeries {
+    /// Legend label.
+    pub label: String,
+    /// The glyph used for this series' points.
+    pub glyph: char,
+    /// X offset of the first value (in time steps from plot origin).
+    pub offset: usize,
+    /// The values.
+    pub values: Vec<f64>,
+}
+
+/// A terminal forecast plot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForecastPlot {
+    series: Vec<PlotSeries>,
+    width: usize,
+    height: usize,
+}
+
+impl ForecastPlot {
+    /// Creates an empty plot canvas. `width`/`height` are clamped to
+    /// sensible terminal bounds.
+    pub fn new(width: usize, height: usize) -> ForecastPlot {
+        ForecastPlot {
+            series: Vec::new(),
+            width: width.clamp(20, 240),
+            height: height.clamp(5, 60),
+        }
+    }
+
+    /// Standard layout: history tail + forecast (+ optional actuals), with
+    /// the forecast region starting where history ends.
+    pub fn forecast_view(
+        history: &[f64],
+        forecast: &[f64],
+        actual: Option<&[f64]>,
+    ) -> ForecastPlot {
+        let mut plot = ForecastPlot::new(100, 16);
+        // Show at most 3× the forecast length of history for context.
+        let tail = history.len().min(forecast.len() * 3).max(1);
+        let start = history.len() - tail;
+        plot.add(PlotSeries {
+            label: "history".into(),
+            glyph: '·',
+            offset: 0,
+            values: history[start..].to_vec(),
+        });
+        plot.add(PlotSeries {
+            label: "forecast".into(),
+            glyph: '●',
+            offset: tail,
+            values: forecast.to_vec(),
+        });
+        if let Some(actual) = actual {
+            plot.add(PlotSeries {
+                label: "actual".into(),
+                glyph: '○',
+                offset: tail,
+                values: actual.to_vec(),
+            });
+        }
+        plot
+    }
+
+    /// Adds a series to the plot.
+    pub fn add(&mut self, series: PlotSeries) {
+        if !series.values.is_empty() {
+            self.series.push(series);
+        }
+    }
+
+    /// Renders the canvas with a y-axis scale and legend.
+    pub fn render(&self) -> String {
+        if self.series.is_empty() {
+            return "(empty plot)\n".to_string();
+        }
+        let t_max = self
+            .series
+            .iter()
+            .map(|s| s.offset + s.values.len())
+            .max()
+            .expect("non-empty");
+        let all: Vec<f64> = self.series.iter().flat_map(|s| s.values.iter().copied()).collect();
+        let lo = all.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = all.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let span = (hi - lo).max(1e-12);
+
+        let mut canvas = vec![vec![' '; self.width]; self.height];
+        // Later series draw over earlier ones (forecast over history).
+        for s in &self.series {
+            for (i, &v) in s.values.iter().enumerate() {
+                let t = s.offset + i;
+                let x = if t_max <= 1 { 0 } else { t * (self.width - 1) / (t_max - 1) };
+                let yf = (v - lo) / span;
+                let y = self.height - 1 - (yf * (self.height - 1) as f64).round() as usize;
+                canvas[y][x] = s.glyph;
+            }
+        }
+
+        let mut out = String::new();
+        for (row, line) in canvas.iter().enumerate() {
+            let value = hi - span * row as f64 / (self.height - 1) as f64;
+            let label = if row == 0 || row == self.height - 1 || row == self.height / 2 {
+                format!("{value:>10.2} ┤")
+            } else {
+                format!("{:>10} │", "")
+            };
+            out.push_str(&label);
+            out.extend(line.iter());
+            out.push('\n');
+        }
+        out.push_str(&format!("{:>11}└{}\n", "", "─".repeat(self.width)));
+        let legend: Vec<String> =
+            self.series.iter().map(|s| format!("{} {}", s.glyph, s.label)).collect();
+        out.push_str(&format!("{:>12}{}\n", "", legend.join("   ")));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_history_and_forecast() {
+        let history: Vec<f64> = (0..60).map(|t| (t as f64 * 0.2).sin() * 5.0).collect();
+        let forecast: Vec<f64> = (60..72).map(|t| (t as f64 * 0.2).sin() * 5.0).collect();
+        let actual: Vec<f64> = forecast.iter().map(|v| v + 0.5).collect();
+        let plot = ForecastPlot::forecast_view(&history, &forecast, Some(&actual));
+        let text = plot.render();
+        assert!(text.contains('·'), "history glyph missing");
+        assert!(text.contains('●'), "forecast glyph missing");
+        assert!(text.contains('○'), "actual glyph missing");
+        assert!(text.contains("history"));
+        assert!(text.contains("forecast"));
+        assert!(text.contains("actual"));
+        // Axis labels carry the value scale.
+        assert!(text.contains('┤'));
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let plot = ForecastPlot::forecast_view(&[5.0; 30], &[5.0; 5], None);
+        let text = plot.render();
+        assert!(text.contains('●'));
+        assert!(!text.contains("NaN"));
+    }
+
+    #[test]
+    fn empty_plot_is_harmless() {
+        let plot = ForecastPlot::new(80, 12);
+        assert_eq!(plot.render(), "(empty plot)\n");
+        let mut p2 = ForecastPlot::new(80, 12);
+        p2.add(PlotSeries { label: "x".into(), glyph: '*', offset: 0, values: vec![] });
+        assert_eq!(p2.render(), "(empty plot)\n");
+    }
+
+    #[test]
+    fn canvas_dimensions_are_clamped() {
+        let plot = ForecastPlot::new(1, 1000);
+        // Must not panic; rendering a single point works.
+        let mut p = plot;
+        p.add(PlotSeries { label: "p".into(), glyph: '●', offset: 0, values: vec![1.0] });
+        let text = p.render();
+        assert!(text.lines().count() <= 62);
+    }
+
+    #[test]
+    fn long_history_is_trimmed_to_context_window() {
+        let history: Vec<f64> = (0..10_000).map(|t| t as f64).collect();
+        let forecast = vec![10_000.0; 10];
+        let plot = ForecastPlot::forecast_view(&history, &forecast, None);
+        // Only 3× forecast length of history is kept.
+        assert_eq!(plot.series[0].values.len(), 30);
+        assert_eq!(plot.series[1].offset, 30);
+    }
+}

@@ -1,0 +1,222 @@
+//! Evaluation strategies: fixed-window and rolling-origin forecasting.
+//!
+//! Challenge 1 in the paper requires that "different evaluation strategies,
+//! such as fixed-window and rolling forecasting, should be employed", and
+//! the one-click module lets users switch strategy in the configuration
+//! file. A [`Strategy`] value describes *where* forecast origins fall in
+//! the test partition; [`Strategy::windows`] materializes the origin/window
+//! list that the pipeline then executes (fit on data before the origin,
+//! score on the window after it).
+
+use crate::error::EvalError;
+
+/// An evaluation strategy over the test partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// One forecast of `horizon` steps from the end of training data.
+    Fixed {
+        /// Forecast horizon.
+        horizon: usize,
+    },
+    /// Rolling-origin evaluation: forecast `horizon` steps, advance the
+    /// origin by `stride`, refit, repeat until the test data is exhausted.
+    Rolling {
+        /// Forecast horizon per window.
+        horizon: usize,
+        /// Origin advance between windows (usually equal to `horizon`).
+        stride: usize,
+        /// Optional cap on the number of windows.
+        max_windows: Option<usize>,
+    },
+}
+
+/// One evaluation window: fit on `series[..origin]`, score on
+/// `series[origin .. origin + len]` (indices relative to the full series).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvalWindow {
+    /// Index of the forecast origin in the full series.
+    pub origin: usize,
+    /// Number of scored steps (≤ horizon for a kept partial last window).
+    pub len: usize,
+}
+
+impl Strategy {
+    /// Canonical name for reports and the knowledge base.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::Fixed { .. } => "fixed",
+            Strategy::Rolling { .. } => "rolling",
+        }
+    }
+
+    /// The forecast horizon of the strategy.
+    pub fn horizon(&self) -> usize {
+        match *self {
+            Strategy::Fixed { horizon } => horizon,
+            Strategy::Rolling { horizon, .. } => horizon,
+        }
+    }
+
+    /// Validates strategy parameters.
+    pub fn validate(&self) -> Result<(), EvalError> {
+        match *self {
+            Strategy::Fixed { horizon: 0 } => Err(EvalError::InvalidConfig {
+                reason: "fixed strategy needs horizon ≥ 1".into(),
+            }),
+            Strategy::Rolling { horizon, stride, max_windows } => {
+                if horizon == 0 || stride == 0 {
+                    return Err(EvalError::InvalidConfig {
+                        reason: "rolling strategy needs horizon ≥ 1 and stride ≥ 1".into(),
+                    });
+                }
+                if max_windows == Some(0) {
+                    return Err(EvalError::InvalidConfig {
+                        reason: "max_windows must be ≥ 1 when set".into(),
+                    });
+                }
+                Ok(())
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Materializes the evaluation windows for a series of `total_len`
+    /// points whose test partition starts at `test_start`.
+    ///
+    /// `drop_last` (TFB's consistency knob) controls whether a trailing
+    /// window shorter than the horizon is scored or discarded.
+    pub fn windows(
+        &self,
+        total_len: usize,
+        test_start: usize,
+        drop_last: bool,
+    ) -> Result<Vec<EvalWindow>, EvalError> {
+        self.validate()?;
+        let test_len = total_len.saturating_sub(test_start);
+        match *self {
+            Strategy::Fixed { horizon } => {
+                if test_len == 0 {
+                    return Err(EvalError::InsufficientTestData { needed: horizon, got: 0 });
+                }
+                let len = horizon.min(test_len);
+                if len < horizon && drop_last {
+                    return Err(EvalError::InsufficientTestData {
+                        needed: horizon,
+                        got: test_len,
+                    });
+                }
+                Ok(vec![EvalWindow { origin: test_start, len }])
+            }
+            Strategy::Rolling { horizon, stride, max_windows } => {
+                let mut out = Vec::new();
+                let mut origin = test_start;
+                while origin < total_len {
+                    let remaining = total_len - origin;
+                    let len = horizon.min(remaining);
+                    if len < horizon && drop_last {
+                        break;
+                    }
+                    out.push(EvalWindow { origin, len });
+                    if let Some(maxw) = max_windows {
+                        if out.len() >= maxw {
+                            break;
+                        }
+                    }
+                    origin += stride;
+                }
+                if out.is_empty() {
+                    return Err(EvalError::InsufficientTestData {
+                        needed: horizon,
+                        got: test_len,
+                    });
+                }
+                Ok(out)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_strategy_yields_one_window() {
+        let s = Strategy::Fixed { horizon: 12 };
+        let w = s.windows(100, 80, false).unwrap();
+        assert_eq!(w, vec![EvalWindow { origin: 80, len: 12 }]);
+        assert_eq!(s.name(), "fixed");
+        assert_eq!(s.horizon(), 12);
+    }
+
+    #[test]
+    fn fixed_strategy_clips_or_drops_partial_window() {
+        let s = Strategy::Fixed { horizon: 30 };
+        // Only 20 test points: kept (clipped) without drop_last…
+        let w = s.windows(100, 80, false).unwrap();
+        assert_eq!(w[0].len, 20);
+        // …but rejected with drop_last.
+        assert!(matches!(
+            s.windows(100, 80, true),
+            Err(EvalError::InsufficientTestData { needed: 30, got: 20 })
+        ));
+    }
+
+    #[test]
+    fn rolling_covers_test_partition() {
+        let s = Strategy::Rolling { horizon: 10, stride: 10, max_windows: None };
+        let w = s.windows(130, 100, false).unwrap();
+        assert_eq!(
+            w,
+            vec![
+                EvalWindow { origin: 100, len: 10 },
+                EvalWindow { origin: 110, len: 10 },
+                EvalWindow { origin: 120, len: 10 },
+            ]
+        );
+    }
+
+    #[test]
+    fn rolling_partial_last_window_honours_drop_last() {
+        let s = Strategy::Rolling { horizon: 10, stride: 10, max_windows: None };
+        let keep = s.windows(125, 100, false).unwrap();
+        assert_eq!(keep.len(), 3);
+        assert_eq!(keep[2], EvalWindow { origin: 120, len: 5 });
+        let drop = s.windows(125, 100, true).unwrap();
+        assert_eq!(drop.len(), 2);
+    }
+
+    #[test]
+    fn rolling_respects_stride_and_cap() {
+        let s = Strategy::Rolling { horizon: 5, stride: 3, max_windows: Some(2) };
+        let w = s.windows(200, 100, false).unwrap();
+        assert_eq!(w.len(), 2);
+        assert_eq!(w[0].origin, 100);
+        assert_eq!(w[1].origin, 103);
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(Strategy::Fixed { horizon: 0 }.validate().is_err());
+        assert!(Strategy::Rolling { horizon: 0, stride: 1, max_windows: None }
+            .validate()
+            .is_err());
+        assert!(Strategy::Rolling { horizon: 1, stride: 0, max_windows: None }
+            .validate()
+            .is_err());
+        assert!(Strategy::Rolling { horizon: 1, stride: 1, max_windows: Some(0) }
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn empty_test_partition_is_an_error() {
+        let s = Strategy::Fixed { horizon: 5 };
+        assert!(matches!(
+            s.windows(100, 100, false),
+            Err(EvalError::InsufficientTestData { .. })
+        ));
+        let r = Strategy::Rolling { horizon: 5, stride: 5, max_windows: None };
+        assert!(r.windows(100, 100, false).is_err());
+    }
+}

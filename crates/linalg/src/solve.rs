@@ -1,0 +1,321 @@
+//! Linear system solvers and least squares.
+//!
+//! Provides LU decomposition with partial pivoting for general square
+//! systems, Cholesky for symmetric positive-definite systems, and (ridge)
+//! least squares built on top of Cholesky-factored normal equations. These
+//! cover every fit in the model zoo (AR/ARIMA, ridge lag regression, VAR,
+//! Holt-Winters initialization) and the ensemble weight solver.
+
+use crate::matrix::Matrix;
+use std::fmt;
+
+/// Errors produced by the solvers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// The matrix was singular (or numerically so) at the given pivot.
+    Singular {
+        /// Pivot index where elimination broke down.
+        pivot: usize,
+    },
+    /// Cholesky failed: the matrix is not positive definite.
+    NotPositiveDefinite {
+        /// Diagonal index where the factorization broke down.
+        index: usize,
+    },
+    /// Input shapes are inconsistent with the requested operation.
+    ShapeMismatch {
+        /// Human-readable description of the mismatch.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::Singular { pivot } => {
+                write!(f, "matrix is singular at pivot {pivot}")
+            }
+            LinalgError::NotPositiveDefinite { index } => {
+                write!(f, "matrix is not positive definite (diagonal {index})")
+            }
+            LinalgError::ShapeMismatch { what } => write!(f, "shape mismatch: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Solves the square system `a * x = b` by LU decomposition with partial
+/// pivoting.
+pub fn lu_solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(LinalgError::ShapeMismatch { what: "lu_solve requires a square matrix" });
+    }
+    if b.len() != n {
+        return Err(LinalgError::ShapeMismatch { what: "rhs length must equal matrix order" });
+    }
+
+    let mut lu = a.clone();
+    let mut x: Vec<f64> = b.to_vec();
+    let mut perm: Vec<usize> = (0..n).collect();
+
+    for k in 0..n {
+        // Partial pivoting: pick the largest magnitude entry in column k.
+        let mut p = k;
+        let mut max = lu[(k, k)].abs();
+        for i in (k + 1)..n {
+            let v = lu[(i, k)].abs();
+            if v > max {
+                max = v;
+                p = i;
+            }
+        }
+        if max < 1e-300 {
+            return Err(LinalgError::Singular { pivot: k });
+        }
+        if p != k {
+            perm.swap(p, k);
+            for j in 0..n {
+                let tmp = lu[(k, j)];
+                lu[(k, j)] = lu[(p, j)];
+                lu[(p, j)] = tmp;
+            }
+            x.swap(p, k);
+        }
+        let pivot = lu[(k, k)];
+        for i in (k + 1)..n {
+            let factor = lu[(i, k)] / pivot;
+            lu[(i, k)] = factor;
+            if factor == 0.0 {
+                continue;
+            }
+            for j in (k + 1)..n {
+                let upd = factor * lu[(k, j)];
+                lu[(i, j)] -= upd;
+            }
+            x[i] -= factor * x[k];
+        }
+    }
+
+    // Back substitution on the upper triangle.
+    for i in (0..n).rev() {
+        let mut sum = x[i];
+        for j in (i + 1)..n {
+            sum -= lu[(i, j)] * x[j];
+        }
+        x[i] = sum / lu[(i, i)];
+    }
+    Ok(x)
+}
+
+/// Cholesky factorization of a symmetric positive-definite matrix.
+///
+/// Returns the lower-triangular factor `L` with `a = L * Lᵀ`.
+pub fn cholesky(a: &Matrix) -> Result<Matrix, LinalgError> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(LinalgError::ShapeMismatch { what: "cholesky requires a square matrix" });
+    }
+    let mut l = Matrix::zeros(n, n);
+    for j in 0..n {
+        let mut diag = a[(j, j)];
+        for k in 0..j {
+            diag -= l[(j, k)] * l[(j, k)];
+        }
+        if diag <= 0.0 || !diag.is_finite() {
+            return Err(LinalgError::NotPositiveDefinite { index: j });
+        }
+        let dj = diag.sqrt();
+        l[(j, j)] = dj;
+        for i in (j + 1)..n {
+            let mut s = a[(i, j)];
+            for k in 0..j {
+                s -= l[(i, k)] * l[(j, k)];
+            }
+            l[(i, j)] = s / dj;
+        }
+    }
+    Ok(l)
+}
+
+/// Solves `a * x = b` for symmetric positive-definite `a` via Cholesky.
+pub fn cholesky_solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    let l = cholesky(a)?;
+    let n = l.rows();
+    if b.len() != n {
+        return Err(LinalgError::ShapeMismatch { what: "rhs length must equal matrix order" });
+    }
+    // Forward solve L y = b.
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut s = b[i];
+        for k in 0..i {
+            s -= l[(i, k)] * y[k];
+        }
+        y[i] = s / l[(i, i)];
+    }
+    // Backward solve Lᵀ x = y.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut s = y[i];
+        for k in (i + 1)..n {
+            s -= l[(k, i)] * x[k];
+        }
+        x[i] = s / l[(i, i)];
+    }
+    Ok(x)
+}
+
+/// Ordinary least squares: minimizes `‖X β − y‖₂`.
+///
+/// Solved via ridge with a tiny jitter (1e-10) for numerical robustness on
+/// collinear designs; callers needing exact OLS on well-conditioned systems
+/// are unaffected at the precision the benchmark uses.
+pub fn lstsq(x: &Matrix, y: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    ridge(x, y, 1e-10)
+}
+
+/// Ridge regression: minimizes `‖X β − y‖₂² + λ‖β‖₂²`.
+///
+/// Uses the normal equations `(XᵀX + λI) β = Xᵀ y` factored by Cholesky.
+pub fn ridge(x: &Matrix, y: &[f64], lambda: f64) -> Result<Vec<f64>, LinalgError> {
+    if x.rows() != y.len() {
+        return Err(LinalgError::ShapeMismatch { what: "design rows must equal target length" });
+    }
+    if lambda < 0.0 {
+        return Err(LinalgError::ShapeMismatch { what: "ridge penalty must be non-negative" });
+    }
+    let mut gram = x.gram();
+    let n = gram.rows();
+    for i in 0..n {
+        gram[(i, i)] += lambda;
+    }
+    let xty = x.tr_matvec(y);
+    match cholesky_solve(&gram, &xty) {
+        Ok(beta) => Ok(beta),
+        // Retry once with a stronger diagonal if the design is degenerate.
+        Err(LinalgError::NotPositiveDefinite { .. }) => {
+            for i in 0..n {
+                gram[(i, i)] += 1e-6 + 1e-6 * gram[(i, i)].abs();
+            }
+            cholesky_solve(&gram, &xty)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < tol, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn lu_solves_known_system() {
+        let a = Matrix::from_rows(&[
+            vec![2.0, 1.0, -1.0],
+            vec![-3.0, -1.0, 2.0],
+            vec![-2.0, 1.0, 2.0],
+        ]);
+        let b = [8.0, -11.0, -3.0];
+        let x = lu_solve(&a, &b).unwrap();
+        assert_close(&x, &[2.0, 3.0, -1.0], 1e-10);
+    }
+
+    #[test]
+    fn lu_requires_pivoting() {
+        // Zero on the leading diagonal forces a row swap.
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let x = lu_solve(&a, &[3.0, 7.0]).unwrap();
+        assert_close(&x, &[7.0, 3.0], 1e-12);
+    }
+
+    #[test]
+    fn lu_rejects_singular() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert!(matches!(lu_solve(&a, &[1.0, 2.0]), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn lu_rejects_bad_shapes() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(lu_solve(&a, &[1.0, 2.0]), Err(LinalgError::ShapeMismatch { .. })));
+        let b = Matrix::identity(2);
+        assert!(matches!(lu_solve(&b, &[1.0]), Err(LinalgError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn cholesky_factors_spd() {
+        let a = Matrix::from_rows(&[
+            vec![4.0, 12.0, -16.0],
+            vec![12.0, 37.0, -43.0],
+            vec![-16.0, -43.0, 98.0],
+        ]);
+        let l = cholesky(&a).unwrap();
+        let expected = Matrix::from_rows(&[
+            vec![2.0, 0.0, 0.0],
+            vec![6.0, 1.0, 0.0],
+            vec![-8.0, 5.0, 3.0],
+        ]);
+        assert!((&l - &expected).max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]);
+        assert!(matches!(cholesky(&a), Err(LinalgError::NotPositiveDefinite { .. })));
+    }
+
+    #[test]
+    fn cholesky_solve_matches_lu() {
+        let a = Matrix::from_rows(&[vec![6.0, 2.0], vec![2.0, 5.0]]);
+        let b = [4.0, 3.0];
+        let x1 = cholesky_solve(&a, &b).unwrap();
+        let x2 = lu_solve(&a, &b).unwrap();
+        assert_close(&x1, &x2, 1e-12);
+    }
+
+    #[test]
+    fn lstsq_recovers_exact_line() {
+        // y = 3 + 2 t, design with intercept column.
+        let t: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let x = Matrix::from_fn(20, 2, |i, j| if j == 0 { 1.0 } else { t[i] });
+        let y: Vec<f64> = t.iter().map(|v| 3.0 + 2.0 * v).collect();
+        let beta = lstsq(&x, &y).unwrap();
+        assert_close(&beta, &[3.0, 2.0], 1e-6);
+    }
+
+    #[test]
+    fn ridge_shrinks_towards_zero() {
+        let x = Matrix::from_fn(50, 1, |i, _| (i as f64) / 10.0);
+        let y: Vec<f64> = (0..50).map(|i| (i as f64) / 10.0 * 4.0).collect();
+        let ols = ridge(&x, &y, 0.0).unwrap()[0];
+        let shrunk = ridge(&x, &y, 100.0).unwrap()[0];
+        assert!((ols - 4.0).abs() < 1e-8);
+        assert!(shrunk < ols && shrunk > 0.0);
+    }
+
+    #[test]
+    fn ridge_handles_collinear_design() {
+        // Two identical columns: OLS normal equations are singular, ridge
+        // with jitter must still return finite coefficients.
+        let x = Matrix::from_fn(30, 2, |i, _| (i as f64).sin());
+        let y: Vec<f64> = (0..30).map(|i| 2.0 * (i as f64).sin()).collect();
+        let beta = lstsq(&x, &y).unwrap();
+        assert!(beta.iter().all(|b| b.is_finite()));
+        // The two columns together should reconstruct the signal.
+        assert!((beta[0] + beta[1] - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn ridge_rejects_negative_penalty() {
+        let x = Matrix::identity(2);
+        assert!(ridge(&x, &[1.0, 1.0], -1.0).is_err());
+    }
+}

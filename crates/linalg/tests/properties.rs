@@ -1,0 +1,109 @@
+//! Property-based tests for the linear-algebra kernels.
+
+use easytime_linalg::matrix::dot;
+use easytime_linalg::{lstsq, lu_solve, Matrix};
+use easytime_linalg::stats::{acf, mean, quantile, ranks, softmax, std_dev, variance};
+use proptest::prelude::*;
+
+fn finite_vec(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e3..1e3f64, len)
+}
+
+proptest! {
+    #[test]
+    fn transpose_is_involution(rows in 1usize..8, cols in 1usize..8, seed in any::<u64>()) {
+        let m = Matrix::from_fn(rows, cols, |i, j| {
+            ((seed as f64).sin() * 100.0 + (i * 31 + j * 7) as f64).sin()
+        });
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop(rows in 1usize..6, cols in 1usize..6) {
+        let m = Matrix::from_fn(rows, cols, |i, j| (i as f64) - 0.5 * (j as f64));
+        let prod = m.matmul(&Matrix::identity(cols));
+        prop_assert!((&prod - &m).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn dot_is_commutative(a in finite_vec(1..32)) {
+        let b: Vec<f64> = a.iter().map(|x| x * 0.5 + 1.0).collect();
+        prop_assert!((dot(&a, &b) - dot(&b, &a)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lu_solution_satisfies_system(n in 1usize..6, seed in 0u64..1000) {
+        // Diagonally dominant matrices are always nonsingular.
+        let m = Matrix::from_fn(n, n, |i, j| {
+            let base = (((seed + 1) as f64) * ((i * n + j + 1) as f64)).sin();
+            if i == j { base + n as f64 + 1.0 } else { base * 0.5 }
+        });
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 + seed as f64).cos()).collect();
+        let x = lu_solve(&m, &b).unwrap();
+        let residual = m.matvec(&x);
+        for (r, want) in residual.iter().zip(&b) {
+            prop_assert!((r - want).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn lstsq_residual_is_orthogonal_to_columns(n in 5usize..30, seed in 0u64..500) {
+        let x = Matrix::from_fn(n, 2, |i, j| {
+            (((seed + 3) * (i as u64 + 1) * (j as u64 + 2)) as f64 * 0.37).sin()
+        });
+        let y: Vec<f64> = (0..n).map(|i| ((i as u64 + seed) as f64 * 0.11).cos()).collect();
+        let beta = lstsq(&x, &y).unwrap();
+        let yhat = x.matvec(&beta);
+        let resid: Vec<f64> = y.iter().zip(&yhat).map(|(a, b)| a - b).collect();
+        // Normal equations: Xᵀ r ≈ 0 (up to the ridge jitter).
+        let xtr = x.tr_matvec(&resid);
+        for v in xtr {
+            prop_assert!(v.abs() < 1e-4, "column correlation with residual too large: {v}");
+        }
+    }
+
+    #[test]
+    fn variance_is_shift_invariant(xs in finite_vec(2..64), shift in -100.0..100.0f64) {
+        let shifted: Vec<f64> = xs.iter().map(|x| x + shift).collect();
+        prop_assert!((variance(&xs) - variance(&shifted)).abs() < 1e-6 * (1.0 + variance(&xs)));
+    }
+
+    #[test]
+    fn mean_lies_between_extremes(xs in finite_vec(1..64)) {
+        let m = mean(&xs);
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+    }
+
+    #[test]
+    fn acf_lag_zero_is_one_for_non_constant(xs in finite_vec(3..64)) {
+        prop_assume!(std_dev(&xs) > 1e-6);
+        let a = acf(&xs, 2);
+        prop_assert!((a[0] - 1.0).abs() < 1e-9);
+        prop_assert!(a.iter().all(|v| v.abs() <= 1.0 + 1e-9));
+    }
+
+    #[test]
+    fn softmax_is_a_distribution(xs in finite_vec(1..32)) {
+        let p = softmax(&xs);
+        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(p.iter().all(|v| *v >= 0.0));
+    }
+
+    #[test]
+    fn quantile_monotone_in_q(xs in finite_vec(1..64), q1 in 0.0..1.0f64, q2 in 0.0..1.0f64) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let a = quantile(&xs, lo).unwrap();
+        let b = quantile(&xs, hi).unwrap();
+        prop_assert!(a <= b + 1e-9);
+    }
+
+    #[test]
+    fn ranks_are_a_permutation(xs in finite_vec(1..48)) {
+        let mut r = ranks(&xs);
+        r.sort_unstable();
+        let expect: Vec<usize> = (0..xs.len()).collect();
+        prop_assert_eq!(r, expect);
+    }
+}

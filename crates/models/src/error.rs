@@ -1,0 +1,65 @@
+//! Error type for the model zoo.
+
+use easytime_data::DataError;
+use std::fmt;
+
+/// Errors produced while fitting or forecasting.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// `forecast` was called before a successful `fit`.
+    NotFitted,
+    /// The training series is shorter than the method's minimum.
+    TooShort {
+        /// Minimum number of observations required.
+        needed: usize,
+        /// Observations actually provided.
+        got: usize,
+    },
+    /// A construction or call parameter is invalid.
+    InvalidParam {
+        /// Human-readable description.
+        what: String,
+    },
+    /// A numerical routine failed (singular system, divergence, …).
+    Numeric {
+        /// Human-readable description.
+        what: String,
+    },
+    /// The method name is not registered in the zoo.
+    UnknownMethod {
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// An underlying data-layer error.
+    Data(DataError),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::NotFitted => write!(f, "model must be fitted before forecasting"),
+            ModelError::TooShort { needed, got } => {
+                write!(f, "training series too short: need {needed}, got {got}")
+            }
+            ModelError::InvalidParam { what } => write!(f, "invalid parameter: {what}"),
+            ModelError::Numeric { what } => write!(f, "numerical failure: {what}"),
+            ModelError::UnknownMethod { name } => write!(f, "unknown method '{name}'"),
+            ModelError::Data(e) => write!(f, "data error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ModelError::Data(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DataError> for ModelError {
+    fn from(e: DataError) -> Self {
+        ModelError::Data(e)
+    }
+}

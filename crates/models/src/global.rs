@@ -1,0 +1,228 @@
+//! A pooled "global" forecaster — the stand-in for the *foundation time
+//! series forecasting methods* TFB's method layer supports (paper §II-A).
+//!
+//! Foundation TSF models are pretrained across many series and applied
+//! zero-shot to new ones. [`GlobalRidge`] reproduces that workflow at
+//! benchmark scale: it pools instance-normalized lag windows from an
+//! entire corpus into one ridge regression, and [`GlobalRidge::specialize`]
+//! then yields a per-series [`Forecaster`] that applies the shared weights
+//! without any per-series training — the zero-shot path.
+
+use crate::{check_horizon, Forecaster, ModelError, Result};
+use easytime_data::TimeSeries;
+use easytime_linalg::stats::{mean, std_dev};
+use easytime_linalg::{ridge, Matrix};
+
+/// A corpus-pretrained linear forecaster applied zero-shot per series.
+#[derive(Debug, Clone)]
+pub struct GlobalRidge {
+    lookback: usize,
+    lambda: f64,
+    beta: Option<Vec<f64>>,
+}
+
+impl GlobalRidge {
+    /// Creates an untrained global model with `lookback` lags.
+    pub fn new(lookback: usize, lambda: f64) -> Result<GlobalRidge> {
+        if lookback == 0 {
+            return Err(ModelError::InvalidParam { what: "lookback must be ≥ 1".into() });
+        }
+        if lambda < 0.0 {
+            return Err(ModelError::InvalidParam { what: "lambda must be ≥ 0".into() });
+        }
+        Ok(GlobalRidge { lookback, lambda, beta: None })
+    }
+
+    /// Number of lags the model consumes.
+    pub fn lookback(&self) -> usize {
+        self.lookback
+    }
+
+    /// True once the corpus pretraining has run.
+    pub fn is_pretrained(&self) -> bool {
+        self.beta.is_some()
+    }
+
+    /// Pretrains on a corpus: every series contributes its z-scored lag
+    /// windows to one pooled least-squares problem. Series shorter than
+    /// `lookback + 1` are skipped; at least one usable series is required.
+    pub fn fit_corpus(&mut self, corpus: &[TimeSeries]) -> Result<()> {
+        let lb = self.lookback;
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        let mut targets: Vec<f64> = Vec::new();
+        for series in corpus {
+            let raw = series.values();
+            if raw.len() < lb + 2 {
+                continue;
+            }
+            // Instance normalization per series: the global model learns
+            // shape, not scale (what makes zero-shot transfer work).
+            let mu = mean(raw);
+            let sigma = std_dev(raw).max(1e-9);
+            let z: Vec<f64> = raw.iter().map(|v| (v - mu) / sigma).collect();
+            for t in lb..z.len() {
+                let mut row = Vec::with_capacity(lb + 1);
+                row.push(1.0);
+                row.extend((1..=lb).map(|j| z[t - j]));
+                rows.push(row);
+                targets.push(z[t]);
+            }
+        }
+        if rows.is_empty() {
+            return Err(ModelError::TooShort { needed: lb + 2, got: 0 });
+        }
+        let x = Matrix::from_rows(&rows);
+        let beta =
+            ridge(&x, &targets, self.lambda).map_err(|e| ModelError::Numeric { what: e.to_string() })?;
+        self.beta = Some(beta);
+        Ok(())
+    }
+
+    /// Zero-shot specialization: binds the shared weights to one series'
+    /// normalization statistics and tail. No per-series training happens.
+    pub fn specialize(&self, series: &TimeSeries) -> Result<SpecializedGlobal> {
+        let beta = self.beta.clone().ok_or(ModelError::NotFitted)?;
+        let raw = series.values();
+        if raw.len() < self.lookback {
+            return Err(ModelError::TooShort { needed: self.lookback, got: raw.len() });
+        }
+        let mu = mean(raw);
+        let sigma = std_dev(raw).max(1e-9);
+        let tail: Vec<f64> =
+            raw[raw.len() - self.lookback..].iter().map(|v| (v - mu) / sigma).collect();
+        Ok(SpecializedGlobal { beta, mu, sigma, tail, lookback: self.lookback })
+    }
+}
+
+/// The per-series zero-shot view of a pretrained [`GlobalRidge`].
+#[derive(Debug, Clone)]
+pub struct SpecializedGlobal {
+    beta: Vec<f64>,
+    mu: f64,
+    sigma: f64,
+    tail: Vec<f64>,
+    lookback: usize,
+}
+
+impl Forecaster for SpecializedGlobal {
+    fn name(&self) -> &str {
+        "global_ridge"
+    }
+
+    /// Zero-shot: "fitting" only refreshes the normalization statistics
+    /// and tail from the (possibly longer) series — the weights stay
+    /// frozen, as for a foundation model.
+    fn fit(&mut self, train: &TimeSeries) -> Result<()> {
+        let raw = train.values();
+        if raw.len() < self.lookback {
+            return Err(ModelError::TooShort { needed: self.lookback, got: raw.len() });
+        }
+        self.mu = mean(raw);
+        self.sigma = std_dev(raw).max(1e-9);
+        self.tail =
+            raw[raw.len() - self.lookback..].iter().map(|v| (v - self.mu) / self.sigma).collect();
+        Ok(())
+    }
+
+    fn forecast(&self, horizon: usize) -> Result<Vec<f64>> {
+        check_horizon(horizon)?;
+        let mut hist = self.tail.clone();
+        let mut out = Vec::with_capacity(horizon);
+        for _ in 0..horizon {
+            let mut z = self.beta[0];
+            for j in 1..=self.lookback {
+                z += self.beta[j] * hist[hist.len() - j];
+            }
+            out.push(z * self.sigma + self.mu);
+            hist.push(z);
+            if hist.len() > self.lookback {
+                hist.remove(0);
+            }
+        }
+        Ok(out)
+    }
+
+    fn min_train_len(&self) -> usize {
+        self.lookback
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use easytime_data::Frequency;
+    use std::f64::consts::PI;
+
+    fn sine_series(name: &str, n: usize, period: f64, level: f64, amp: f64) -> TimeSeries {
+        let values: Vec<f64> =
+            (0..n).map(|t| level + amp * (2.0 * PI * t as f64 / period).sin()).collect();
+        TimeSeries::new(name, values, Frequency::Monthly).unwrap()
+    }
+
+    #[test]
+    fn pretrain_then_zero_shot_on_unseen_scale() {
+        // Corpus of sines at various levels/amplitudes; the global model
+        // must transfer to a series at a scale it never saw, thanks to
+        // instance normalization.
+        let corpus: Vec<TimeSeries> = (0..6)
+            .map(|i| sine_series(&format!("c{i}"), 240, 12.0, i as f64 * 10.0, 1.0 + i as f64))
+            .collect();
+        let mut global = GlobalRidge::new(24, 1e-3).unwrap();
+        global.fit_corpus(&corpus).unwrap();
+        assert!(global.is_pretrained());
+
+        let fresh = sine_series("fresh", 240, 12.0, 1e6, 500.0);
+        let model = global.specialize(&fresh).unwrap();
+        let forecast = model.forecast(12).unwrap();
+        for (h, v) in forecast.iter().enumerate() {
+            let t = 240 + h;
+            let expected = 1e6 + 500.0 * (2.0 * PI * t as f64 / 12.0).sin();
+            assert!(
+                (v - expected).abs() < 50.0,
+                "h={h}: {v} vs {expected} — zero-shot transfer failed"
+            );
+        }
+    }
+
+    #[test]
+    fn specialization_requires_pretraining() {
+        let global = GlobalRidge::new(8, 1e-3).unwrap();
+        let s = sine_series("s", 100, 12.0, 0.0, 1.0);
+        assert!(matches!(global.specialize(&s), Err(ModelError::NotFitted)));
+    }
+
+    #[test]
+    fn validates_construction_and_lengths() {
+        assert!(GlobalRidge::new(0, 0.1).is_err());
+        assert!(GlobalRidge::new(8, -0.1).is_err());
+        let mut g = GlobalRidge::new(16, 1e-3).unwrap();
+        // Corpus of too-short series is rejected.
+        let shorts: Vec<TimeSeries> = (0..3)
+            .map(|i| sine_series(&format!("s{i}"), 10, 4.0, 0.0, 1.0))
+            .collect();
+        assert!(matches!(g.fit_corpus(&shorts), Err(ModelError::TooShort { .. })));
+        // Specializing on a series shorter than the lookback is rejected.
+        g.fit_corpus(&[sine_series("ok", 120, 12.0, 0.0, 1.0)]).unwrap();
+        assert!(matches!(
+            g.specialize(&sine_series("tiny", 8, 4.0, 0.0, 1.0)),
+            Err(ModelError::TooShort { .. })
+        ));
+    }
+
+    #[test]
+    fn refit_updates_anchor_but_not_weights() {
+        let corpus = vec![sine_series("c", 240, 12.0, 5.0, 2.0)];
+        let mut global = GlobalRidge::new(12, 1e-3).unwrap();
+        global.fit_corpus(&corpus).unwrap();
+        let series_a = sine_series("a", 120, 12.0, 0.0, 1.0);
+        let series_b = sine_series("b", 120, 12.0, 100.0, 1.0);
+        let mut model = global.specialize(&series_a).unwrap();
+        let fa = model.forecast(3).unwrap();
+        model.fit(&series_b).unwrap();
+        let fb = model.forecast(3).unwrap();
+        // Level follows the new series; dynamics (shared weights) persist.
+        assert!(fb[0] > 50.0, "anchor should move to the new level: {fb:?}");
+        assert!(fa[0] < 50.0);
+        assert_eq!(model.name(), "global_ridge");
+    }
+}

@@ -1,0 +1,242 @@
+//! Prediction intervals via backtest-calibrated residual quantiles.
+//!
+//! The zoo's forecasters are point forecasters (as in TFB); practitioners
+//! also want uncertainty bands. This module derives them empirically, the
+//! way production systems calibrate any black-box forecaster: run a short
+//! rolling backtest *inside the training data*, collect per-step forecast
+//! errors, and read the band offsets off the error quantiles. The approach
+//! is model-agnostic — it works for every [`crate::Forecaster`] in the zoo — and
+//! distribution-free.
+
+use crate::{ModelError, ModelSpec, Result};
+use easytime_data::TimeSeries;
+use easytime_linalg::stats::quantile;
+
+/// A point forecast with calibrated lower/upper bands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntervalForecast {
+    /// Point forecasts, one per horizon step.
+    pub point: Vec<f64>,
+    /// Lower band (same length).
+    pub lower: Vec<f64>,
+    /// Upper band (same length).
+    pub upper: Vec<f64>,
+    /// Nominal coverage level in `(0, 1)` (e.g. 0.8 for an 80% interval).
+    pub level: f64,
+}
+
+impl IntervalForecast {
+    /// Fraction of `actual` values falling inside the band.
+    pub fn coverage(&self, actual: &[f64]) -> f64 {
+        if actual.is_empty() {
+            return f64::NAN;
+        }
+        let inside = actual
+            .iter()
+            .zip(self.lower.iter().zip(&self.upper))
+            .filter(|(a, (lo, hi))| **a >= **lo && **a <= **hi)
+            .count();
+        inside as f64 / actual.len() as f64
+    }
+
+    /// Mean band width.
+    pub fn mean_width(&self) -> f64 {
+        if self.point.is_empty() {
+            return 0.0;
+        }
+        self.lower
+            .iter()
+            .zip(&self.upper)
+            .map(|(lo, hi)| hi - lo)
+            .sum::<f64>()
+            / self.point.len() as f64
+    }
+}
+
+/// Produces an interval forecast for `spec` on `train`.
+///
+/// `backtest_windows` rolling origins inside the training data supply the
+/// forecast-error sample (more windows → smoother bands, more compute).
+/// Per-step error quantiles need a real sample to be trustworthy — tail
+/// quantiles from a handful of points systematically undercover — so they
+/// are only used once a step has 24+ samples; otherwise the pooled error
+/// distribution fills in and long horizons degrade gracefully.
+pub fn forecast_with_intervals(
+    spec: &ModelSpec,
+    train: &TimeSeries,
+    horizon: usize,
+    level: f64,
+    backtest_windows: usize,
+) -> Result<IntervalForecast> {
+    if !(0.0 < level && level < 1.0) {
+        return Err(ModelError::InvalidParam {
+            what: format!("interval level {level} must be in (0, 1)"),
+        });
+    }
+    if horizon == 0 {
+        return Err(ModelError::InvalidParam { what: "horizon must be at least 1".into() });
+    }
+    let windows = backtest_windows.max(2);
+    let n = train.len();
+
+    // --- Backtest inside the training data. ---
+    let mut per_step: Vec<Vec<f64>> = vec![Vec::new(); horizon];
+    let mut pooled: Vec<f64> = Vec::new();
+    let mut usable = 0usize;
+    for w in 1..=windows {
+        let origin = n.saturating_sub(w * horizon);
+        if origin < 8 {
+            break;
+        }
+        let prefix = train.slice(0, origin).map_err(ModelError::Data)?;
+        let mut model = spec.build()?;
+        if model.fit(&prefix).is_err() {
+            continue;
+        }
+        let steps = horizon.min(n - origin);
+        let Ok(pred) = model.forecast(steps) else { continue };
+        let actual = &train.values()[origin..origin + steps];
+        for (h, (p, a)) in pred.iter().zip(actual).enumerate() {
+            let err = a - p;
+            per_step[h].push(err);
+            pooled.push(err);
+        }
+        usable += 1;
+    }
+    if usable == 0 || pooled.is_empty() {
+        return Err(ModelError::TooShort {
+            needed: 8 + horizon,
+            got: n,
+        });
+    }
+
+    // --- Final fit on the full training data. ---
+    let mut model = spec.build()?;
+    model.fit(train)?;
+    let point = model.forecast(horizon)?;
+
+    let q_lo = (1.0 - level) / 2.0;
+    let q_hi = 1.0 - q_lo;
+    let pooled_lo = quantile(&pooled, q_lo).expect("pooled non-empty");
+    let pooled_hi = quantile(&pooled, q_hi).expect("pooled non-empty");
+
+    let mut lower = Vec::with_capacity(horizon);
+    let mut upper = Vec::with_capacity(horizon);
+    for (h, p) in point.iter().enumerate() {
+        let (off_lo, off_hi) = if per_step[h].len() >= 24 {
+            (
+                quantile(&per_step[h], q_lo).expect("non-empty"),
+                quantile(&per_step[h], q_hi).expect("non-empty"),
+            )
+        } else {
+            (pooled_lo, pooled_hi)
+        };
+        lower.push(p + off_lo.min(0.0));
+        upper.push(p + off_hi.max(0.0));
+    }
+    Ok(IntervalForecast { point, lower, upper, level })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use easytime_data::Frequency;
+    use std::f64::consts::PI;
+
+    fn noisy_seasonal(n: usize, sigma: f64, seed: u64) -> TimeSeries {
+        let mut state = seed | 1;
+        let mut noise = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 2.0 * sigma
+        };
+        let values: Vec<f64> = (0..n)
+            .map(|t| 20.0 + 5.0 * (2.0 * PI * t as f64 / 12.0).sin() + noise())
+            .collect();
+        TimeSeries::new("ns", values, Frequency::Monthly).unwrap()
+    }
+
+    #[test]
+    fn bands_bracket_the_point_forecast() {
+        let train = noisy_seasonal(240, 1.0, 3);
+        let f =
+            forecast_with_intervals(&ModelSpec::SeasonalNaive(None), &train, 12, 0.8, 6).unwrap();
+        assert_eq!(f.point.len(), 12);
+        for h in 0..12 {
+            assert!(f.lower[h] <= f.point[h], "h={h}");
+            assert!(f.upper[h] >= f.point[h], "h={h}");
+        }
+        assert!(f.mean_width() > 0.0);
+    }
+
+    #[test]
+    fn empirical_coverage_is_near_nominal() {
+        // Average coverage over several independent futures should land in
+        // a loose window around the nominal 80%.
+        let mut coverages = Vec::new();
+        for seed in [5u64, 6, 7, 8, 9, 10] {
+            let full = noisy_seasonal(300, 1.5, seed);
+            let train = full.slice(0, 288).unwrap();
+            let actual = &full.values()[288..300];
+            let f = forecast_with_intervals(&ModelSpec::SeasonalNaive(None), &train, 12, 0.8, 8)
+                .unwrap();
+            coverages.push(f.coverage(actual));
+        }
+        let mean = coverages.iter().sum::<f64>() / coverages.len() as f64;
+        // Finite-sample quantile estimation plus 12-point evaluation
+        // granularity biases empirical coverage a little below nominal;
+        // the guard is against *gross* miscalibration (e.g. bands built on
+        // the wrong scale), not exact coverage.
+        assert!(
+            (0.5..=1.0).contains(&mean),
+            "mean coverage {mean} too far from nominal 0.8 ({coverages:?})"
+        );
+    }
+
+    #[test]
+    fn wider_level_means_wider_bands() {
+        let train = noisy_seasonal(240, 1.0, 11);
+        let narrow =
+            forecast_with_intervals(&ModelSpec::Theta(None), &train, 8, 0.5, 6).unwrap();
+        let wide = forecast_with_intervals(&ModelSpec::Theta(None), &train, 8, 0.95, 6).unwrap();
+        assert!(
+            wide.mean_width() > narrow.mean_width(),
+            "95% band {} should exceed 50% band {}",
+            wide.mean_width(),
+            narrow.mean_width()
+        );
+    }
+
+    #[test]
+    fn noisier_series_get_wider_bands() {
+        let quiet = noisy_seasonal(240, 0.5, 13);
+        let loud = noisy_seasonal(240, 3.0, 13);
+        let fq = forecast_with_intervals(&ModelSpec::SeasonalNaive(None), &quiet, 8, 0.8, 6)
+            .unwrap();
+        let fl =
+            forecast_with_intervals(&ModelSpec::SeasonalNaive(None), &loud, 8, 0.8, 6).unwrap();
+        assert!(fl.mean_width() > fq.mean_width());
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let train = noisy_seasonal(100, 1.0, 17);
+        assert!(forecast_with_intervals(&ModelSpec::Naive, &train, 0, 0.8, 4).is_err());
+        assert!(forecast_with_intervals(&ModelSpec::Naive, &train, 4, 0.0, 4).is_err());
+        assert!(forecast_with_intervals(&ModelSpec::Naive, &train, 4, 1.0, 4).is_err());
+        // Far too short for any backtest window.
+        let tiny = TimeSeries::new("t", vec![1.0; 10], Frequency::Monthly).unwrap();
+        assert!(forecast_with_intervals(&ModelSpec::Naive, &tiny, 8, 0.8, 4).is_err());
+    }
+
+    #[test]
+    fn coverage_helper_counts_correctly() {
+        let f = IntervalForecast {
+            point: vec![0.0; 4],
+            lower: vec![-1.0; 4],
+            upper: vec![1.0; 4],
+            level: 0.8,
+        };
+        assert_eq!(f.coverage(&[0.0, 0.5, 2.0, -3.0]), 0.5);
+        assert!(f.coverage(&[]).is_nan());
+    }
+}

@@ -1,0 +1,471 @@
+//! Naive baseline forecasters.
+//!
+//! These are the reference methods every benchmark needs: they anchor the
+//! leaderboard (a method that loses to `naive` is not working) and MASE is
+//! defined relative to the seasonal-naive error.
+
+use crate::{check_horizon, check_train, Forecaster, ModelError, Result};
+use easytime_data::TimeSeries;
+use easytime_linalg::stats::mean;
+
+/// Repeats the last observed value.
+#[derive(Debug, Clone, Default)]
+pub struct Naive {
+    last: Option<f64>,
+}
+
+impl Naive {
+    /// Creates an unfitted naive forecaster.
+    pub fn new() -> Naive {
+        Naive::default()
+    }
+}
+
+impl Forecaster for Naive {
+    fn name(&self) -> &str {
+        "naive"
+    }
+
+    fn fit(&mut self, train: &TimeSeries) -> Result<()> {
+        check_train(train, 1)?;
+        self.last = Some(train.last());
+        Ok(())
+    }
+
+    fn forecast(&self, horizon: usize) -> Result<Vec<f64>> {
+        check_horizon(horizon)?;
+        let last = self.last.ok_or(ModelError::NotFitted)?;
+        Ok(vec![last; horizon])
+    }
+
+    fn min_train_len(&self) -> usize {
+        1
+    }
+}
+
+/// Repeats the last full seasonal cycle.
+///
+/// When no period is supplied, the training series' frequency default is
+/// used; series without a usable period degrade to [`Naive`] behaviour.
+#[derive(Debug, Clone)]
+pub struct SeasonalNaive {
+    period: Option<usize>,
+    cycle: Vec<f64>,
+}
+
+impl SeasonalNaive {
+    /// Creates a seasonal-naive forecaster with an optional explicit period.
+    pub fn new(period: Option<usize>) -> SeasonalNaive {
+        SeasonalNaive { period, cycle: Vec::new() }
+    }
+
+    fn effective_period(&self, train: &TimeSeries) -> usize {
+        self.period
+            .or_else(|| train.frequency().default_period())
+            .filter(|&p| p >= 1 && p <= train.len())
+            .unwrap_or(1)
+    }
+}
+
+impl Forecaster for SeasonalNaive {
+    fn name(&self) -> &str {
+        "seasonal_naive"
+    }
+
+    fn fit(&mut self, train: &TimeSeries) -> Result<()> {
+        check_train(train, 1)?;
+        let p = self.effective_period(train);
+        let v = train.values();
+        self.cycle = v[v.len() - p..].to_vec();
+        Ok(())
+    }
+
+    fn forecast(&self, horizon: usize) -> Result<Vec<f64>> {
+        check_horizon(horizon)?;
+        if self.cycle.is_empty() {
+            return Err(ModelError::NotFitted);
+        }
+        Ok((0..horizon).map(|h| self.cycle[h % self.cycle.len()]).collect())
+    }
+
+    fn min_train_len(&self) -> usize {
+        1
+    }
+}
+
+/// Random-walk-with-drift forecast: extrapolates the average first
+/// difference of the training data.
+#[derive(Debug, Clone, Default)]
+pub struct Drift {
+    last: Option<f64>,
+    slope: f64,
+}
+
+impl Drift {
+    /// Creates an unfitted drift forecaster.
+    pub fn new() -> Drift {
+        Drift::default()
+    }
+}
+
+impl Forecaster for Drift {
+    fn name(&self) -> &str {
+        "drift"
+    }
+
+    fn fit(&mut self, train: &TimeSeries) -> Result<()> {
+        check_train(train, 2)?;
+        let v = train.values();
+        self.last = Some(train.last());
+        self.slope = (v[v.len() - 1] - v[0]) / (v.len() - 1) as f64;
+        Ok(())
+    }
+
+    fn forecast(&self, horizon: usize) -> Result<Vec<f64>> {
+        check_horizon(horizon)?;
+        let last = self.last.ok_or(ModelError::NotFitted)?;
+        Ok((1..=horizon).map(|h| last + self.slope * h as f64).collect())
+    }
+
+    fn min_train_len(&self) -> usize {
+        2
+    }
+}
+
+/// Forecasts the grand mean of the training data.
+#[derive(Debug, Clone, Default)]
+pub struct MeanForecaster {
+    mean: Option<f64>,
+}
+
+impl MeanForecaster {
+    /// Creates an unfitted mean forecaster.
+    pub fn new() -> MeanForecaster {
+        MeanForecaster::default()
+    }
+}
+
+impl Forecaster for MeanForecaster {
+    fn name(&self) -> &str {
+        "mean"
+    }
+
+    fn fit(&mut self, train: &TimeSeries) -> Result<()> {
+        check_train(train, 1)?;
+        self.mean = Some(mean(train.values()));
+        Ok(())
+    }
+
+    fn forecast(&self, horizon: usize) -> Result<Vec<f64>> {
+        check_horizon(horizon)?;
+        let m = self.mean.ok_or(ModelError::NotFitted)?;
+        Ok(vec![m; horizon])
+    }
+
+    fn min_train_len(&self) -> usize {
+        1
+    }
+}
+
+/// Forecasts the mean of the last `window` observations.
+#[derive(Debug, Clone)]
+pub struct WindowAverage {
+    window: usize,
+    value: Option<f64>,
+    name: String,
+}
+
+impl WindowAverage {
+    /// Creates a window-average forecaster over the trailing `window` points.
+    pub fn new(window: usize) -> Result<WindowAverage> {
+        if window == 0 {
+            return Err(ModelError::InvalidParam { what: "window must be at least 1".into() });
+        }
+        Ok(WindowAverage { window, value: None, name: format!("window_average_{window}") })
+    }
+}
+
+impl Forecaster for WindowAverage {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn fit(&mut self, train: &TimeSeries) -> Result<()> {
+        check_train(train, 1)?;
+        let v = train.values();
+        let w = self.window.min(v.len());
+        self.value = Some(mean(&v[v.len() - w..]));
+        Ok(())
+    }
+
+    fn forecast(&self, horizon: usize) -> Result<Vec<f64>> {
+        check_horizon(horizon)?;
+        let m = self.value.ok_or(ModelError::NotFitted)?;
+        Ok(vec![m; horizon])
+    }
+
+    fn min_train_len(&self) -> usize {
+        1
+    }
+}
+
+/// Forecasts each step as the mean of the historical values at the same
+/// seasonal phase (a smoothed seasonal-naive; robust when single cycles
+/// are noisy).
+#[derive(Debug, Clone)]
+pub struct SeasonalWindowAverage {
+    period: Option<usize>,
+    cycles: usize,
+    profile: Vec<f64>,
+}
+
+impl SeasonalWindowAverage {
+    /// Creates the forecaster, averaging the last `cycles` occurrences of
+    /// each phase (period from the argument or the series frequency).
+    pub fn new(period: Option<usize>, cycles: usize) -> Result<SeasonalWindowAverage> {
+        if cycles == 0 {
+            return Err(ModelError::InvalidParam { what: "cycles must be ≥ 1".into() });
+        }
+        Ok(SeasonalWindowAverage { period, cycles, profile: Vec::new() })
+    }
+}
+
+impl Forecaster for SeasonalWindowAverage {
+    fn name(&self) -> &str {
+        "seasonal_avg"
+    }
+
+    fn fit(&mut self, train: &TimeSeries) -> Result<()> {
+        check_train(train, 2)?;
+        let p = self
+            .period
+            .or_else(|| train.frequency().default_period())
+            .filter(|&p| p >= 1 && p <= train.len())
+            .unwrap_or(1);
+        let v = train.values();
+        let n = v.len();
+        // profile[h] predicts step n + h, whose seasonal phase is
+        // (n + h) % p: average the last `cycles` training values at that
+        // phase.
+        let mut profile = vec![0.0; p];
+        for (h, slot) in profile.iter_mut().enumerate() {
+            let target_phase = (n + h) % p;
+            let mut sum = 0.0;
+            let mut count = 0usize;
+            let mut t = n;
+            while t > 0 && count < self.cycles {
+                t -= 1;
+                if t % p == target_phase {
+                    sum += v[t];
+                    count += 1;
+                }
+            }
+            *slot = sum / count.max(1) as f64;
+        }
+        self.profile = profile;
+        Ok(())
+    }
+
+    fn forecast(&self, horizon: usize) -> Result<Vec<f64>> {
+        check_horizon(horizon)?;
+        if self.profile.is_empty() {
+            return Err(ModelError::NotFitted);
+        }
+        Ok((0..horizon).map(|h| self.profile[h % self.profile.len()]).collect())
+    }
+
+    fn min_train_len(&self) -> usize {
+        2
+    }
+}
+
+/// Forecasts by extrapolating the global least-squares line — the pure
+/// trend model (distinct from [`Drift`], which uses only the endpoints).
+#[derive(Debug, Clone, Default)]
+pub struct LinearTrend {
+    fitted: Option<(f64, f64, usize)>, // (intercept, slope, n)
+}
+
+impl LinearTrend {
+    /// Creates an unfitted linear-trend forecaster.
+    pub fn new() -> LinearTrend {
+        LinearTrend::default()
+    }
+}
+
+impl Forecaster for LinearTrend {
+    fn name(&self) -> &str {
+        "linear_trend"
+    }
+
+    fn fit(&mut self, train: &TimeSeries) -> Result<()> {
+        check_train(train, 2)?;
+        let (b, m) = easytime_linalg::stats::linear_trend(train.values());
+        self.fitted = Some((b, m, train.len()));
+        Ok(())
+    }
+
+    fn forecast(&self, horizon: usize) -> Result<Vec<f64>> {
+        check_horizon(horizon)?;
+        let (b, m, n) = self.fitted.ok_or(ModelError::NotFitted)?;
+        Ok((0..horizon).map(|h| b + m * (n + h) as f64).collect())
+    }
+
+    fn min_train_len(&self) -> usize {
+        2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use easytime_data::Frequency;
+
+    fn ts(values: Vec<f64>) -> TimeSeries {
+        TimeSeries::new("t", values, Frequency::Monthly).unwrap()
+    }
+
+    #[test]
+    fn naive_repeats_last_value() {
+        let mut m = Naive::new();
+        m.fit(&ts(vec![1.0, 2.0, 7.0])).unwrap();
+        assert_eq!(m.forecast(3).unwrap(), vec![7.0, 7.0, 7.0]);
+    }
+
+    #[test]
+    fn unfitted_models_error() {
+        assert_eq!(Naive::new().forecast(1), Err(ModelError::NotFitted));
+        assert_eq!(SeasonalNaive::new(Some(2)).forecast(1), Err(ModelError::NotFitted));
+        assert_eq!(Drift::new().forecast(1), Err(ModelError::NotFitted));
+        assert_eq!(MeanForecaster::new().forecast(1), Err(ModelError::NotFitted));
+    }
+
+    #[test]
+    fn zero_horizon_is_rejected() {
+        let mut m = Naive::new();
+        m.fit(&ts(vec![1.0])).unwrap();
+        assert!(matches!(m.forecast(0), Err(ModelError::InvalidParam { .. })));
+    }
+
+    #[test]
+    fn seasonal_naive_repeats_cycle() {
+        let mut m = SeasonalNaive::new(Some(3));
+        m.fit(&ts(vec![9.0, 9.0, 1.0, 2.0, 3.0])).unwrap();
+        assert_eq!(m.forecast(7).unwrap(), vec![1.0, 2.0, 3.0, 1.0, 2.0, 3.0, 1.0]);
+    }
+
+    #[test]
+    fn seasonal_naive_uses_frequency_default() {
+        // Monthly frequency → period 12.
+        let values: Vec<f64> = (0..24).map(|t| (t % 12) as f64).collect();
+        let mut m = SeasonalNaive::new(None);
+        m.fit(&ts(values)).unwrap();
+        let f = m.forecast(12).unwrap();
+        assert_eq!(f, (0..12).map(|t| t as f64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn seasonal_naive_degrades_to_naive_when_period_too_long() {
+        let mut m = SeasonalNaive::new(Some(100));
+        m.fit(&ts(vec![1.0, 2.0, 5.0])).unwrap();
+        assert_eq!(m.forecast(2).unwrap(), vec![5.0, 5.0]);
+    }
+
+    #[test]
+    fn drift_extrapolates_linearly() {
+        let mut m = Drift::new();
+        m.fit(&ts(vec![0.0, 1.0, 2.0, 3.0])).unwrap();
+        assert_eq!(m.forecast(3).unwrap(), vec![4.0, 5.0, 6.0]);
+        assert!(matches!(
+            Drift::new().fit(&ts(vec![1.0])),
+            Err(ModelError::TooShort { needed: 2, got: 1 })
+        ));
+    }
+
+    #[test]
+    fn mean_and_window_average() {
+        let mut m = MeanForecaster::new();
+        m.fit(&ts(vec![1.0, 2.0, 3.0, 4.0])).unwrap();
+        assert_eq!(m.forecast(2).unwrap(), vec![2.5, 2.5]);
+
+        let mut w = WindowAverage::new(2).unwrap();
+        w.fit(&ts(vec![1.0, 2.0, 3.0, 5.0])).unwrap();
+        assert_eq!(w.forecast(2).unwrap(), vec![4.0, 4.0]);
+        assert_eq!(w.name(), "window_average_2");
+        assert!(WindowAverage::new(0).is_err());
+    }
+
+    #[test]
+    fn seasonal_average_smooths_noisy_cycles() {
+        // Period 3, two cycles with noise ±1 around [10, 20, 30].
+        let values = vec![11.0, 19.0, 31.0, 9.0, 21.0, 29.0];
+        let mut m = SeasonalWindowAverage::new(Some(3), 2).unwrap();
+        m.fit(&ts(values)).unwrap();
+        let f = m.forecast(3).unwrap();
+        // n = 6 → step 6 has phase 0 → mean(11, 9) = 10.
+        assert_eq!(f, vec![10.0, 20.0, 30.0]);
+    }
+
+    #[test]
+    fn seasonal_average_phase_alignment_with_partial_cycle() {
+        // 7 points, period 3: the next step (t=7) has phase 1.
+        let values = vec![0.0, 10.0, 20.0, 1.0, 11.0, 21.0, 2.0];
+        let mut m = SeasonalWindowAverage::new(Some(3), 10).unwrap();
+        m.fit(&ts(values)).unwrap();
+        let f = m.forecast(2).unwrap();
+        assert_eq!(f[0], 10.5); // mean of phase-1 values {10, 11}
+        assert_eq!(f[1], 20.5); // mean of phase-2 values {20, 21}
+    }
+
+    #[test]
+    fn seasonal_average_validates_and_degrades() {
+        assert!(SeasonalWindowAverage::new(Some(4), 0).is_err());
+        assert!(matches!(
+            SeasonalWindowAverage::new(Some(4), 2).unwrap().forecast(1),
+            Err(ModelError::NotFitted)
+        ));
+        // No usable period → behaves like a trailing mean of `cycles`
+        // values.
+        let series =
+            TimeSeries::new("u", vec![1.0, 2.0, 3.0, 4.0], Frequency::Unknown).unwrap();
+        let mut m = SeasonalWindowAverage::new(None, 2).unwrap();
+        m.fit(&series).unwrap();
+        assert_eq!(m.forecast(2).unwrap(), vec![3.5, 3.5]);
+    }
+
+    #[test]
+    fn linear_trend_extrapolates_the_regression_line() {
+        let values: Vec<f64> = (0..50).map(|t| 3.0 + 0.5 * t as f64).collect();
+        let mut m = LinearTrend::new();
+        m.fit(&ts(values)).unwrap();
+        let f = m.forecast(3).unwrap();
+        for (h, v) in f.iter().enumerate() {
+            let expected = 3.0 + 0.5 * (50 + h) as f64;
+            assert!((v - expected).abs() < 1e-9, "h={h}: {v} vs {expected}");
+        }
+        assert!(matches!(LinearTrend::new().forecast(1), Err(ModelError::NotFitted)));
+    }
+
+    #[test]
+    fn linear_trend_is_robust_to_endpoint_outliers_unlike_drift() {
+        // A flat series with a single spiked endpoint: drift extrapolates
+        // the spike, the regression line barely moves.
+        let mut values = vec![10.0; 60];
+        values[59] = 40.0;
+        let mut lt = LinearTrend::new();
+        lt.fit(&ts(values.clone())).unwrap();
+        let mut dr = Drift::new();
+        dr.fit(&ts(values)).unwrap();
+        let f_lt = lt.forecast(10).unwrap()[9];
+        let f_dr = dr.forecast(10).unwrap()[9];
+        assert!((f_lt - 10.0).abs() < 3.0, "linear trend {f_lt}");
+        assert!(f_dr > 40.0, "drift should chase the spike: {f_dr}");
+    }
+
+    #[test]
+    fn window_longer_than_series_uses_all_data() {
+        let mut w = WindowAverage::new(100).unwrap();
+        w.fit(&ts(vec![2.0, 4.0])).unwrap();
+        assert_eq!(w.forecast(1).unwrap(), vec![3.0]);
+    }
+}

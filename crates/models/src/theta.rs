@@ -1,0 +1,162 @@
+//! The Theta method (Assimakopoulos & Nikolopoulos), the M3 competition
+//! winner and a strong statistical baseline in TFB.
+//!
+//! Implementation follows the standard decomposition-based formulation:
+//! deseasonalize (additively) when a seasonal period is available, combine
+//! the theta-0 line (linear trend) with the theta-2 line (SES on the
+//! double-curvature series), then reseasonalize.
+
+use crate::smoothing::Ses;
+use crate::{check_horizon, check_train, Forecaster, ModelError, Result};
+use easytime_data::decompose::decompose_values;
+use easytime_data::TimeSeries;
+use easytime_linalg::stats::linear_trend;
+
+/// Theta forecaster with optional explicit seasonal period.
+#[derive(Debug, Clone)]
+pub struct Theta {
+    period: Option<usize>,
+    fitted: Option<ThetaState>,
+}
+
+#[derive(Debug, Clone)]
+struct ThetaState {
+    /// Intercept of the theta-0 (trend) line.
+    intercept: f64,
+    /// Slope of the theta-0 line.
+    slope: f64,
+    /// SES level of the theta-2 line.
+    ses_level: f64,
+    /// Length of the training series (trend extrapolation origin).
+    n: usize,
+    /// Seasonal profile aligned to forecast steps (empty when none).
+    seasonal: Vec<f64>,
+}
+
+impl Theta {
+    /// Creates a Theta forecaster; `period` of `None` uses the frequency
+    /// default (falling back to non-seasonal Theta).
+    pub fn new(period: Option<usize>) -> Theta {
+        Theta { period, fitted: None }
+    }
+}
+
+impl Forecaster for Theta {
+    fn name(&self) -> &str {
+        "theta"
+    }
+
+    fn fit(&mut self, train: &TimeSeries) -> Result<()> {
+        check_train(train, self.min_train_len())?;
+        let v = train.values();
+        let n = v.len();
+
+        // Additive deseasonalization when a period is usable.
+        let period = self
+            .period
+            .or_else(|| train.frequency().default_period())
+            .filter(|&p| p >= 2 && n >= 2 * p)
+            .unwrap_or(0);
+        let (work, seasonal): (Vec<f64>, Vec<f64>) = if period >= 2 {
+            let d = decompose_values(v, period);
+            let deseason: Vec<f64> = v.iter().zip(&d.seasonal).map(|(x, s)| x - s).collect();
+            // Seasonal profile for forecast steps h = 1.. (phase-aligned).
+            let profile: Vec<f64> = (0..period).map(|h| d.seasonal[(n + h) % period]).collect();
+            (deseason, profile)
+        } else {
+            (v.to_vec(), Vec::new())
+        };
+
+        // Theta-0 line: linear regression on time.
+        let (intercept, slope) = linear_trend(&work);
+
+        // Theta-2 line: 2 * work - theta0, smoothed by SES.
+        let theta2: Vec<f64> = work
+            .iter()
+            .enumerate()
+            .map(|(t, &x)| 2.0 * x - (intercept + slope * t as f64))
+            .collect();
+        let theta2_series = train.with_values(theta2).map_err(ModelError::Data)?;
+        let mut ses = Ses::new(None)?;
+        ses.fit(&theta2_series)?;
+        let ses_level = ses.forecast(1)?[0];
+
+        self.fitted = Some(ThetaState { intercept, slope, ses_level, n, seasonal });
+        Ok(())
+    }
+
+    fn forecast(&self, horizon: usize) -> Result<Vec<f64>> {
+        check_horizon(horizon)?;
+        let st = self.fitted.as_ref().ok_or(ModelError::NotFitted)?;
+        let mut out = Vec::with_capacity(horizon);
+        for h in 0..horizon {
+            let t = (st.n + h) as f64;
+            let theta0 = st.intercept + st.slope * t;
+            // Equal-weight combination of the theta-0 and theta-2 forecasts.
+            let mut v = 0.5 * theta0 + 0.5 * st.ses_level;
+            if !st.seasonal.is_empty() {
+                v += st.seasonal[h % st.seasonal.len()];
+            }
+            out.push(v);
+        }
+        Ok(out)
+    }
+
+    fn min_train_len(&self) -> usize {
+        5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use easytime_data::Frequency;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn theta_tracks_trend_at_half_strength_or_better() {
+        let values: Vec<f64> = (0..80).map(|t| 3.0 + 0.4 * t as f64).collect();
+        let ts = TimeSeries::new("t", values, Frequency::Unknown).unwrap();
+        let mut m = Theta::new(None);
+        m.fit(&ts).unwrap();
+        let f = m.forecast(4).unwrap();
+        // On a pure line, theta-2 ≈ the line too, so forecasts stay close.
+        for (h, v) in f.iter().enumerate() {
+            let expected = 3.0 + 0.4 * (80 + h) as f64;
+            assert!((v - expected).abs() < 2.0, "h={h}: {v} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn theta_reseasonalizes() {
+        let values: Vec<f64> = (0..120)
+            .map(|t| 20.0 + 5.0 * (2.0 * PI * t as f64 / 12.0).sin())
+            .collect();
+        let ts = TimeSeries::new("t", values, Frequency::Monthly).unwrap();
+        let mut m = Theta::new(None);
+        m.fit(&ts).unwrap();
+        let f = m.forecast(12).unwrap();
+        for (h, v) in f.iter().enumerate() {
+            let t = 120 + h;
+            let expected = 20.0 + 5.0 * (2.0 * PI * t as f64 / 12.0).sin();
+            assert!((v - expected).abs() < 1.0, "h={h}: {v} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn theta_works_without_period() {
+        let values: Vec<f64> = (0..40).map(|t| (t as f64 * 0.3).cos() * 2.0 + 9.0).collect();
+        let ts = TimeSeries::new("t", values, Frequency::Unknown).unwrap();
+        let mut m = Theta::new(None);
+        m.fit(&ts).unwrap();
+        let f = m.forecast(3).unwrap();
+        assert!(f.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn theta_errors_before_fit_and_on_short_series() {
+        assert!(matches!(Theta::new(None).forecast(1), Err(ModelError::NotFitted)));
+        let short = TimeSeries::new("s", vec![1.0, 2.0], Frequency::Unknown).unwrap();
+        assert!(matches!(Theta::new(None).fit(&short), Err(ModelError::TooShort { .. })));
+    }
+}

@@ -1,0 +1,456 @@
+//! The model zoo: named construction of every registered method.
+//!
+//! TFB's method layer registers methods by name plus configuration; the
+//! one-click pipeline, the benchmark knowledge base, the recommender, and
+//! the Q&A module all refer to methods through these canonical names.
+//! [`ModelSpec`] is the closed set of built-in methods; [`standard_zoo`]
+//! returns the default roster used to populate the benchmark (the stand-in
+//! for the paper's "30+ methods").
+
+use crate::arima::{Ar, Arima, SeasonalArima};
+use crate::boost::GradientBoost;
+use crate::linear::{DLinear, LagRidge, NLinear};
+use crate::naive::{
+    Drift, LinearTrend, MeanForecaster, Naive, SeasonalNaive, SeasonalWindowAverage,
+    WindowAverage,
+};
+use crate::neural::{Mlp, Rnn, TrainConfig};
+use crate::smoothing::{Holt, HoltWinters, Ses};
+use crate::theta::Theta;
+use crate::{Forecaster, ModelError, Result};
+
+/// Method family, mirroring the paper's "statistical learning, machine
+/// learning, and deep learning methods" taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// Classical statistical methods.
+    Statistical,
+    /// Feature-based machine-learning methods.
+    MachineLearning,
+    /// Neural methods.
+    DeepLearning,
+}
+
+impl Family {
+    /// Canonical lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::Statistical => "statistical",
+            Family::MachineLearning => "machine_learning",
+            Family::DeepLearning => "deep_learning",
+        }
+    }
+}
+
+/// Declarative specification of a zoo method; the config-file-facing type.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelSpec {
+    /// Last-value forecast.
+    Naive,
+    /// Last-cycle forecast with optional period.
+    SeasonalNaive(Option<usize>),
+    /// Random walk with drift.
+    Drift,
+    /// Grand-mean forecast.
+    Mean,
+    /// Mean of the trailing window.
+    WindowAverage(usize),
+    /// Mean of the last `cycles` same-phase values (smoothed seasonal
+    /// naive).
+    SeasonalAverage {
+        /// Optional explicit period.
+        period: Option<usize>,
+        /// Cycles averaged per phase.
+        cycles: usize,
+    },
+    /// Least-squares line extrapolation.
+    LinearTrend,
+    /// Simple exponential smoothing, optimized alpha when `None`.
+    Ses(Option<f64>),
+    /// Holt's linear trend method.
+    Holt,
+    /// Damped-trend Holt.
+    DampedHolt,
+    /// Additive Holt–Winters with optional period.
+    HoltWinters(Option<usize>),
+    /// Theta method with optional period.
+    Theta(Option<usize>),
+    /// AR with fixed order.
+    Ar(usize),
+    /// AR with AIC-selected order.
+    ArAuto,
+    /// ARIMA(p, d, q).
+    Arima(usize, usize, usize),
+    /// Auto-ARIMA (order selection by AIC, differencing by variance).
+    ArimaAuto,
+    /// Seasonal ARIMA: seasonal differencing + ARMA(p, q) core.
+    Sarima {
+        /// Optional explicit seasonal period.
+        period: Option<usize>,
+        /// AR order of the core.
+        p: usize,
+        /// MA order of the core.
+        q: usize,
+    },
+    /// Ridge regression on lags.
+    LagRidge {
+        /// Number of lags.
+        lookback: usize,
+        /// Ridge penalty.
+        lambda: f64,
+    },
+    /// Decomposition linear model.
+    DLinear {
+        /// Number of lags.
+        lookback: usize,
+        /// Moving-average kernel.
+        kernel: usize,
+    },
+    /// Normalized linear model.
+    NLinear {
+        /// Number of lags.
+        lookback: usize,
+    },
+    /// Multi-layer perceptron.
+    Mlp {
+        /// Number of lags.
+        lookback: usize,
+        /// Hidden width.
+        hidden: usize,
+        /// Training seed.
+        seed: u64,
+    },
+    /// Elman recurrent network.
+    Rnn {
+        /// Number of lags unrolled.
+        lookback: usize,
+        /// Hidden width.
+        hidden: usize,
+        /// Training seed.
+        seed: u64,
+    },
+    /// Gradient-boosted stumps.
+    GradientBoost {
+        /// Number of lag features.
+        lookback: usize,
+        /// Boosting rounds.
+        rounds: usize,
+    },
+}
+
+impl ModelSpec {
+    /// Canonical method name (matches the built forecaster's `name()`).
+    pub fn name(&self) -> String {
+        match self {
+            ModelSpec::Naive => "naive".into(),
+            ModelSpec::SeasonalNaive(_) => "seasonal_naive".into(),
+            ModelSpec::Drift => "drift".into(),
+            ModelSpec::Mean => "mean".into(),
+            ModelSpec::WindowAverage(w) => format!("window_average_{w}"),
+            ModelSpec::SeasonalAverage { .. } => "seasonal_avg".into(),
+            ModelSpec::LinearTrend => "linear_trend".into(),
+            ModelSpec::Ses(_) => "ses".into(),
+            ModelSpec::Holt => "holt".into(),
+            ModelSpec::DampedHolt => "damped_holt".into(),
+            ModelSpec::HoltWinters(_) => "holt_winters".into(),
+            ModelSpec::Theta(_) => "theta".into(),
+            ModelSpec::Ar(p) => format!("ar_{p}"),
+            ModelSpec::ArAuto => "ar_auto".into(),
+            ModelSpec::Arima(p, d, q) => format!("arima_{p}{d}{q}"),
+            ModelSpec::ArimaAuto => "arima_auto".into(),
+            ModelSpec::Sarima { .. } => "sarima".into(),
+            ModelSpec::LagRidge { lookback, .. } => format!("lag_ridge_{lookback}"),
+            ModelSpec::DLinear { lookback, .. } => format!("dlinear_{lookback}"),
+            ModelSpec::NLinear { lookback } => format!("nlinear_{lookback}"),
+            ModelSpec::Mlp { lookback, hidden, .. } => format!("mlp_{lookback}x{hidden}"),
+            ModelSpec::Rnn { hidden, .. } => format!("rnn_{hidden}"),
+            ModelSpec::GradientBoost { lookback, .. } => format!("gboost_{lookback}"),
+        }
+    }
+
+    /// Method family for reporting and the knowledge base.
+    pub fn family(&self) -> Family {
+        match self {
+            ModelSpec::Naive
+            | ModelSpec::SeasonalNaive(_)
+            | ModelSpec::Drift
+            | ModelSpec::Mean
+            | ModelSpec::WindowAverage(_)
+            | ModelSpec::SeasonalAverage { .. }
+            | ModelSpec::LinearTrend
+            | ModelSpec::Ses(_)
+            | ModelSpec::Holt
+            | ModelSpec::DampedHolt
+            | ModelSpec::HoltWinters(_)
+            | ModelSpec::Theta(_)
+            | ModelSpec::Ar(_)
+            | ModelSpec::ArAuto
+            | ModelSpec::Arima(..)
+            | ModelSpec::ArimaAuto
+            | ModelSpec::Sarima { .. } => Family::Statistical,
+            ModelSpec::LagRidge { .. }
+            | ModelSpec::DLinear { .. }
+            | ModelSpec::NLinear { .. }
+            | ModelSpec::GradientBoost { .. } => Family::MachineLearning,
+            ModelSpec::Mlp { .. } | ModelSpec::Rnn { .. } => Family::DeepLearning,
+        }
+    }
+
+    /// Builds the forecaster this spec describes.
+    pub fn build(&self) -> Result<Box<dyn Forecaster>> {
+        Ok(match self.clone() {
+            ModelSpec::Naive => Box::new(Naive::new()),
+            ModelSpec::SeasonalNaive(p) => Box::new(SeasonalNaive::new(p)),
+            ModelSpec::Drift => Box::new(Drift::new()),
+            ModelSpec::Mean => Box::new(MeanForecaster::new()),
+            ModelSpec::WindowAverage(w) => Box::new(WindowAverage::new(w)?),
+            ModelSpec::SeasonalAverage { period, cycles } => {
+                Box::new(SeasonalWindowAverage::new(period, cycles)?)
+            }
+            ModelSpec::LinearTrend => Box::new(LinearTrend::new()),
+            ModelSpec::Ses(alpha) => Box::new(Ses::new(alpha)?),
+            ModelSpec::Holt => Box::new(Holt::new(false)),
+            ModelSpec::DampedHolt => Box::new(Holt::new(true)),
+            ModelSpec::HoltWinters(p) => Box::new(HoltWinters::new(p)),
+            ModelSpec::Theta(p) => Box::new(Theta::new(p)),
+            ModelSpec::Ar(p) => Box::new(Ar::new(p)?),
+            ModelSpec::ArAuto => Box::new(Ar::auto(8)?),
+            ModelSpec::Arima(p, d, q) => Box::new(Arima::new(p, d, q)?),
+            ModelSpec::ArimaAuto => Box::new(Arima::auto()),
+            ModelSpec::Sarima { period, p, q } => Box::new(SeasonalArima::new(period, p, q)?),
+            ModelSpec::LagRidge { lookback, lambda } => Box::new(LagRidge::new(lookback, lambda)?),
+            ModelSpec::DLinear { lookback, kernel } => Box::new(DLinear::new(lookback, kernel)?),
+            ModelSpec::NLinear { lookback } => Box::new(NLinear::new(lookback)?),
+            ModelSpec::Mlp { lookback, hidden, seed } => Box::new(Mlp::new(
+                lookback,
+                hidden,
+                TrainConfig { seed, ..TrainConfig::default() },
+            )?),
+            ModelSpec::Rnn { lookback, hidden, seed } => Box::new(Rnn::new(
+                lookback,
+                hidden,
+                TrainConfig { seed, epochs: 60, ..TrainConfig::default() },
+            )?),
+            ModelSpec::GradientBoost { lookback, rounds } => {
+                Box::new(GradientBoost::new(lookback, rounds, 0.2)?)
+            }
+        })
+    }
+
+    /// Resolves a canonical method name back to its spec (default zoo
+    /// parameters). Used by config files and the Q&A module.
+    pub fn parse(name: &str) -> Result<ModelSpec> {
+        let name = name.trim().to_ascii_lowercase();
+        for entry in standard_zoo() {
+            if entry.spec.name() == name {
+                return Ok(entry.spec);
+            }
+        }
+        // Parameterized names not in the standard roster.
+        if let Some(rest) = name.strip_prefix("window_average_") {
+            if let Ok(w) = rest.parse::<usize>() {
+                return Ok(ModelSpec::WindowAverage(w));
+            }
+        }
+        if let Some(rest) = name.strip_prefix("ar_") {
+            if let Ok(p) = rest.parse::<usize>() {
+                return Ok(ModelSpec::Ar(p));
+            }
+        }
+        if let Some(rest) = name.strip_prefix("arima_") {
+            let digits: Vec<u32> = rest.chars().filter_map(|c| c.to_digit(10)).collect();
+            if digits.len() == 3 && rest.len() == 3 {
+                return Ok(ModelSpec::Arima(
+                    digits[0] as usize,
+                    digits[1] as usize,
+                    digits[2] as usize,
+                ));
+            }
+        }
+        if let Some(rest) = name.strip_prefix("lag_ridge_") {
+            if let Ok(l) = rest.parse::<usize>() {
+                return Ok(ModelSpec::LagRidge { lookback: l, lambda: 1e-2 });
+            }
+        }
+        if let Some(rest) = name.strip_prefix("nlinear_") {
+            if let Ok(l) = rest.parse::<usize>() {
+                return Ok(ModelSpec::NLinear { lookback: l });
+            }
+        }
+        if let Some(rest) = name.strip_prefix("dlinear_") {
+            if let Ok(l) = rest.parse::<usize>() {
+                return Ok(ModelSpec::DLinear { lookback: l, kernel: 25 });
+            }
+        }
+        Err(ModelError::UnknownMethod { name })
+    }
+}
+
+/// One roster entry of the default zoo.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZooEntry {
+    /// The method spec.
+    pub spec: ModelSpec,
+    /// Short description shown in reports and Q&A answers.
+    pub description: &'static str,
+}
+
+/// The default method roster registered in the benchmark (the stand-in for
+/// the paper's 30+ methods). Ordering is stable; names are unique.
+pub fn standard_zoo() -> Vec<ZooEntry> {
+    vec![
+        ZooEntry { spec: ModelSpec::Naive, description: "repeat the last observation" },
+        ZooEntry {
+            spec: ModelSpec::SeasonalNaive(None),
+            description: "repeat the last seasonal cycle",
+        },
+        ZooEntry { spec: ModelSpec::Drift, description: "random walk with drift" },
+        ZooEntry { spec: ModelSpec::Mean, description: "grand mean of the training data" },
+        ZooEntry {
+            spec: ModelSpec::WindowAverage(8),
+            description: "mean of the last 8 observations",
+        },
+        ZooEntry {
+            spec: ModelSpec::SeasonalAverage { period: None, cycles: 4 },
+            description: "mean of the last 4 same-phase values",
+        },
+        ZooEntry {
+            spec: ModelSpec::LinearTrend,
+            description: "least-squares trend line extrapolation",
+        },
+        ZooEntry { spec: ModelSpec::Ses(None), description: "simple exponential smoothing" },
+        ZooEntry { spec: ModelSpec::Holt, description: "Holt's linear trend method" },
+        ZooEntry { spec: ModelSpec::DampedHolt, description: "damped-trend Holt" },
+        ZooEntry {
+            spec: ModelSpec::HoltWinters(None),
+            description: "additive Holt-Winters seasonal smoothing",
+        },
+        ZooEntry { spec: ModelSpec::Theta(None), description: "the Theta method (M3 winner)" },
+        ZooEntry { spec: ModelSpec::Ar(2), description: "autoregression of order 2" },
+        ZooEntry { spec: ModelSpec::ArAuto, description: "autoregression with AIC order selection" },
+        ZooEntry { spec: ModelSpec::Arima(1, 1, 1), description: "ARIMA(1,1,1)" },
+        ZooEntry { spec: ModelSpec::Arima(2, 1, 0), description: "ARIMA(2,1,0)" },
+        ZooEntry { spec: ModelSpec::ArimaAuto, description: "auto-ARIMA" },
+        ZooEntry {
+            spec: ModelSpec::Sarima { period: None, p: 1, q: 0 },
+            description: "seasonal ARIMA (seasonal differencing + AR core)",
+        },
+        ZooEntry {
+            spec: ModelSpec::LagRidge { lookback: 16, lambda: 1e-2 },
+            description: "ridge regression on 16 lags",
+        },
+        ZooEntry {
+            spec: ModelSpec::LagRidge { lookback: 32, lambda: 1e-2 },
+            description: "ridge regression on 32 lags",
+        },
+        ZooEntry {
+            spec: ModelSpec::DLinear { lookback: 32, kernel: 25 },
+            description: "decomposition linear model (DLinear)",
+        },
+        ZooEntry {
+            spec: ModelSpec::NLinear { lookback: 32 },
+            description: "last-value-normalized linear model (NLinear)",
+        },
+        ZooEntry {
+            spec: ModelSpec::GradientBoost { lookback: 12, rounds: 60 },
+            description: "gradient-boosted decision stumps on lag features",
+        },
+        ZooEntry {
+            spec: ModelSpec::Mlp { lookback: 24, hidden: 16, seed: 17 },
+            description: "multi-layer perceptron on the lag window",
+        },
+        ZooEntry {
+            spec: ModelSpec::Rnn { lookback: 16, hidden: 8, seed: 17 },
+            description: "Elman recurrent network",
+        },
+    ]
+}
+
+/// Names of the standard zoo in roster order.
+pub fn standard_zoo_names() -> Vec<String> {
+    standard_zoo().iter().map(|e| e.spec.name()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use easytime_data::{Frequency, TimeSeries};
+    use std::collections::HashSet;
+
+    #[test]
+    fn zoo_names_are_unique_and_stable() {
+        let names = standard_zoo_names();
+        let set: HashSet<_> = names.iter().collect();
+        assert_eq!(set.len(), names.len(), "duplicate zoo names");
+        assert!(names.len() >= 20, "zoo should have at least 20 methods, has {}", names.len());
+        assert!(names.contains(&"naive".to_string()));
+        assert!(names.contains(&"theta".to_string()));
+        assert!(names.contains(&"dlinear_32".to_string()));
+    }
+
+    #[test]
+    fn spec_names_match_built_forecaster_names() {
+        for entry in standard_zoo() {
+            let model = entry.spec.build().unwrap();
+            assert_eq!(model.name(), entry.spec.name(), "name mismatch for {:?}", entry.spec);
+        }
+    }
+
+    #[test]
+    fn parse_round_trips_roster_names() {
+        for entry in standard_zoo() {
+            let parsed = ModelSpec::parse(&entry.spec.name()).unwrap();
+            assert_eq!(parsed.name(), entry.spec.name());
+        }
+        assert!(matches!(
+            ModelSpec::parse("transformer_xl"),
+            Err(ModelError::UnknownMethod { .. })
+        ));
+    }
+
+    #[test]
+    fn parse_handles_parameterized_names() {
+        assert_eq!(ModelSpec::parse("ar_5").unwrap(), ModelSpec::Ar(5));
+        assert_eq!(ModelSpec::parse("window_average_3").unwrap(), ModelSpec::WindowAverage(3));
+        assert_eq!(ModelSpec::parse("nlinear_8").unwrap(), ModelSpec::NLinear { lookback: 8 });
+        assert!(matches!(
+            ModelSpec::parse("ar_x").unwrap_err(),
+            ModelError::UnknownMethod { .. }
+        ));
+    }
+
+    #[test]
+    fn families_cover_all_three_tiers() {
+        let zoo = standard_zoo();
+        let fams: HashSet<_> = zoo.iter().map(|e| e.spec.family()).collect();
+        assert!(fams.contains(&Family::Statistical));
+        assert!(fams.contains(&Family::MachineLearning));
+        assert!(fams.contains(&Family::DeepLearning));
+        assert_eq!(Family::Statistical.name(), "statistical");
+    }
+
+    #[test]
+    fn every_zoo_member_fits_and_forecasts_a_seasonal_series() {
+        let values: Vec<f64> = (0..180)
+            .map(|t| {
+                20.0 + 0.05 * t as f64
+                    + 5.0 * (2.0 * std::f64::consts::PI * t as f64 / 12.0).sin()
+                    + 0.3 * ((t as f64 * 12.9898).sin() * 43758.5453).fract()
+            })
+            .collect();
+        let train = TimeSeries::new("smoke", values, Frequency::Monthly).unwrap();
+        for entry in standard_zoo() {
+            let mut model = entry.spec.build().unwrap();
+            model.fit(&train).unwrap_or_else(|e| panic!("{} failed to fit: {e}", model.name()));
+            let f = model
+                .forecast(12)
+                .unwrap_or_else(|e| panic!("{} failed to forecast: {e}", model.name()));
+            assert_eq!(f.len(), 12);
+            assert!(
+                f.iter().all(|v| v.is_finite()),
+                "{} produced non-finite forecasts",
+                model.name()
+            );
+        }
+    }
+}

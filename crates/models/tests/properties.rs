@@ -1,0 +1,152 @@
+//! Property-based tests over the whole model zoo: every method must obey
+//! the `Forecaster` contract on arbitrary well-formed inputs.
+
+use easytime_data::{Frequency, TimeSeries};
+use easytime_models::zoo::standard_zoo;
+use easytime_models::ModelSpec;
+use proptest::prelude::*;
+
+/// Arbitrary "realistic" series: trend + seasonality + bounded LCG noise.
+fn series_strategy() -> impl Strategy<Value = TimeSeries> {
+    (
+        120usize..320,
+        -0.5..0.5f64,
+        0.0..10.0f64,
+        2usize..30,
+        any::<u64>(),
+        -100.0..100.0f64,
+    )
+        .prop_map(|(n, slope, amp, period, seed, level)| {
+            let mut state = seed | 1;
+            let mut noise = move || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+            };
+            let values: Vec<f64> = (0..n)
+                .map(|t| {
+                    level
+                        + slope * t as f64
+                        + amp * (2.0 * std::f64::consts::PI * t as f64 / period as f64).sin()
+                        + noise()
+                })
+                .collect();
+            TimeSeries::new("prop", values, Frequency::Monthly).unwrap()
+        })
+}
+
+/// The fast deterministic subset of the zoo (neural trainers excluded to
+/// keep the property runs quick; they get their own cases below).
+fn fast_specs() -> Vec<ModelSpec> {
+    standard_zoo()
+        .into_iter()
+        .map(|e| e.spec)
+        .filter(|s| !matches!(s, ModelSpec::Mlp { .. } | ModelSpec::Rnn { .. }))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_method_returns_finite_forecasts_of_requested_length(
+        series in series_strategy(),
+        horizon in 1usize..48,
+    ) {
+        for spec in fast_specs() {
+            let mut model = spec.build().unwrap();
+            match model.fit(&series) {
+                Ok(()) => {
+                    let f = model.forecast(horizon).unwrap();
+                    prop_assert_eq!(f.len(), horizon, "{}", model.name());
+                    prop_assert!(
+                        f.iter().all(|v| v.is_finite()),
+                        "{} produced non-finite values",
+                        model.name()
+                    );
+                }
+                // TooShort is acceptable for parameter-hungry methods.
+                Err(easytime_models::ModelError::TooShort { .. }) => {}
+                Err(e) => prop_assert!(false, "{} failed unexpectedly: {e}", spec.name()),
+            }
+        }
+    }
+
+    #[test]
+    fn fitting_is_idempotent(series in series_strategy()) {
+        // Fitting the same model twice on the same data must not change
+        // its forecasts (no hidden state accumulation).
+        for spec in [ModelSpec::Ses(None), ModelSpec::Theta(None), ModelSpec::ArAuto] {
+            let mut model = spec.build().unwrap();
+            model.fit(&series).unwrap();
+            let first = model.forecast(8).unwrap();
+            model.fit(&series).unwrap();
+            let second = model.forecast(8).unwrap();
+            prop_assert_eq!(first, second, "{:?}", spec);
+        }
+    }
+
+    #[test]
+    fn naive_forecast_equals_last_value(series in series_strategy(), horizon in 1usize..16) {
+        let mut model = ModelSpec::Naive.build().unwrap();
+        model.fit(&series).unwrap();
+        let f = model.forecast(horizon).unwrap();
+        prop_assert!(f.iter().all(|&v| v == series.last()));
+    }
+
+    #[test]
+    fn forecasts_scale_equivariantly_for_linear_models(
+        series in series_strategy(),
+        scale in 0.5..20.0f64,
+    ) {
+        // Affine-equivariant methods: forecast(a·x) = a·forecast(x).
+        let scaled = series
+            .with_values(series.values().iter().map(|v| v * scale).collect())
+            .unwrap();
+        for spec in [ModelSpec::Naive, ModelSpec::Drift, ModelSpec::Mean] {
+            let mut m1 = spec.build().unwrap();
+            m1.fit(&series).unwrap();
+            let mut m2 = spec.build().unwrap();
+            m2.fit(&scaled).unwrap();
+            let f1 = m1.forecast(6).unwrap();
+            let f2 = m2.forecast(6).unwrap();
+            for (a, b) in f1.iter().zip(&f2) {
+                prop_assert!(
+                    (a * scale - b).abs() < 1e-6 * (1.0 + b.abs()),
+                    "{:?}: {} * {scale} vs {}",
+                    spec,
+                    a,
+                    b
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_horizon_always_rejected(series in series_strategy()) {
+        for spec in [ModelSpec::Naive, ModelSpec::Theta(None), ModelSpec::Ses(None)] {
+            let mut model = spec.build().unwrap();
+            model.fit(&series).unwrap();
+            prop_assert!(model.forecast(0).is_err());
+        }
+    }
+}
+
+#[test]
+fn neural_models_satisfy_the_contract_on_a_fixed_series() {
+    // One deterministic case is enough for the slow trainers; determinism
+    // and learning quality are covered by their unit tests.
+    let values: Vec<f64> = (0..160)
+        .map(|t| 5.0 + (2.0 * std::f64::consts::PI * t as f64 / 12.0).sin() * 3.0)
+        .collect();
+    let series = TimeSeries::new("n", values, Frequency::Monthly).unwrap();
+    for spec in [
+        ModelSpec::Mlp { lookback: 12, hidden: 8, seed: 3 },
+        ModelSpec::Rnn { lookback: 8, hidden: 4, seed: 3 },
+    ] {
+        let mut model = spec.build().unwrap();
+        model.fit(&series).unwrap();
+        let f = model.forecast(24).unwrap();
+        assert_eq!(f.len(), 24);
+        assert!(f.iter().all(|v| v.is_finite()), "{}", model.name());
+    }
+}

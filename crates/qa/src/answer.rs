@@ -1,0 +1,348 @@
+//! Natural-language answer generation.
+//!
+//! Template-based rendering of query results into fluent answers — the
+//! *Generation* / *Post-Processing* stages of Figure 3, with the LLM
+//! substituted by deterministic templates keyed on the intent.
+
+use crate::intent::{HorizonClass, Intent, IntentKind};
+use easytime_db::QueryResult;
+
+fn fmt_num(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e12 {
+        format!("{v:.0}")
+    } else if v.abs() >= 100.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Describes the active filters in prose ("for long-term forecasting on
+/// multivariate web datasets with strong trend, under rolling evaluation").
+fn describe_filters(intent: &Intent) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    if let Some(h) = &intent.horizon {
+        parts.push(match h {
+            HorizonClass::Short => "for short-term forecasting (horizon ≤ 24)".into(),
+            HorizonClass::Long => "for long-term forecasting (horizon ≥ 96)".into(),
+            HorizonClass::Exact(n) => format!("at horizon {n}"),
+        });
+    }
+    let mut dataset_bits: Vec<String> = Vec::new();
+    if let Some(mv) = intent.multivariate {
+        dataset_bits.push(if mv { "multivariate".into() } else { "univariate".into() });
+    }
+    if let Some(d) = &intent.domain {
+        dataset_bits.push(d.clone());
+    }
+    if !dataset_bits.is_empty() {
+        parts.push(format!("on {} datasets", dataset_bits.join(" ")));
+    }
+    if !intent.characteristics.is_empty() {
+        let descs: Vec<String> = intent
+            .characteristics
+            .iter()
+            .map(|c| {
+                if c.strong {
+                    format!("strong {}", c.column)
+                } else {
+                    format!("weak {}", c.column)
+                }
+            })
+            .collect();
+        parts.push(format!("with {}", descs.join(" and ")));
+    }
+    if let Some(s) = &intent.strategy {
+        parts.push(format!("under {s} evaluation"));
+    }
+    if let Some(f) = &intent.family {
+        parts.push(format!("among {} methods", f.replace('_', " ")));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!(" {}", parts.join(" "))
+    }
+}
+
+/// Renders the natural-language answer for an intent's query result.
+pub fn generate_answer(intent: &Intent, result: &QueryResult) -> String {
+    if result.rows.is_empty() {
+        return format!(
+            "No benchmark results match your question{}. Try relaxing the filters.",
+            describe_filters(intent)
+        );
+    }
+    match &intent.kind {
+        IntentKind::TopMethods => {
+            let metric = intent.metric.to_uppercase();
+            let filters = describe_filters(intent);
+            if result.rows.len() == 1 {
+                let method = result.rows[0][0].to_string();
+                let score = result.rows[0][1].as_f64().map(fmt_num).unwrap_or_default();
+                format!(
+                    "The best method{filters} is {method}, with a mean {metric} of {score} \
+                     across the matching benchmark runs."
+                )
+            } else {
+                let mut out = format!(
+                    "The top {} methods{filters}, ranked by mean {metric}, are:\n",
+                    result.rows.len()
+                );
+                for (i, row) in result.rows.iter().enumerate() {
+                    let score = row[1].as_f64().map(fmt_num).unwrap_or_default();
+                    out.push_str(&format!("  {}. {} (mean {metric} {score})\n", i + 1, row[0]));
+                }
+                out.push_str(&format!(
+                    "{} leads the ranking.",
+                    result.rows[0][0]
+                ));
+                out
+            }
+        }
+        IntentKind::CompareMethods { a, b } => {
+            let metric = intent.metric.to_uppercase();
+            let filters = describe_filters(intent);
+            if result.rows.len() < 2 {
+                let present = result.rows.first().map(|r| r[0].to_string());
+                return match present {
+                    Some(m) => format!(
+                        "Only {m} has matching benchmark results{filters}; the other method has \
+                         none, so no comparison is possible."
+                    ),
+                    None => format!("Neither {a} nor {b} has matching benchmark results{filters}."),
+                };
+            }
+            let winner = &result.rows[0];
+            let loser = &result.rows[1];
+            let ws = winner[1].as_f64().unwrap_or(f64::NAN);
+            let ls = loser[1].as_f64().unwrap_or(f64::NAN);
+            let margin = if ws.is_finite() && ls.is_finite() && ws > 0.0 {
+                format!(" ({:.1}% better)", (ls - ws) / ls * 100.0)
+            } else {
+                String::new()
+            };
+            format!(
+                "{} outperforms {}{filters}: mean {metric} {} versus {}{margin}.",
+                winner[0],
+                loser[0],
+                fmt_num(ws),
+                fmt_num(ls)
+            )
+        }
+        IntentKind::CountDatasets => {
+            let n = result.rows[0][0].as_f64().unwrap_or(0.0);
+            format!(
+                "The benchmark contains {} matching dataset{}{}.",
+                fmt_num(n),
+                if n == 1.0 { "" } else { "s" },
+                describe_filters(intent)
+            )
+        }
+        IntentKind::CountMethods => {
+            let n = result.rows[0][0].as_f64().unwrap_or(0.0);
+            match &intent.family {
+                Some(f) => format!(
+                    "There are {} {} methods registered in the benchmark.",
+                    fmt_num(n),
+                    f.replace('_', " ")
+                ),
+                None => format!("There are {} methods registered in the benchmark.", fmt_num(n)),
+            }
+        }
+        IntentKind::ListDomains => {
+            let mut out = format!("The benchmark covers {} domains:\n", result.rows.len());
+            for row in &result.rows {
+                out.push_str(&format!(
+                    "  - {} ({} datasets)\n",
+                    row[0],
+                    row[1].as_f64().map(fmt_num).unwrap_or_default()
+                ));
+            }
+            out
+        }
+        IntentKind::MethodInfo { name } => {
+            let row = &result.rows[0];
+            format!(
+                "{name} is a {} method: {}.",
+                row[1].to_string().replace('_', " "),
+                row[2]
+            )
+        }
+        IntentKind::FastestMethods => {
+            let filters = describe_filters(intent);
+            let mut out = format!("The fastest methods{filters} by mean runtime are:\n");
+            for (i, row) in result.rows.iter().enumerate() {
+                out.push_str(&format!(
+                    "  {}. {} ({} ms per evaluation)\n",
+                    i + 1,
+                    row[0],
+                    row[1].as_f64().map(fmt_num).unwrap_or_default()
+                ));
+            }
+            out
+        }
+        IntentKind::WorstMethods => {
+            let metric = intent.metric.to_uppercase();
+            let filters = describe_filters(intent);
+            let mut out = format!(
+                "The weakest {} methods{filters}, ranked by mean {metric} (worst first), are:\n",
+                result.rows.len()
+            );
+            for (i, row) in result.rows.iter().enumerate() {
+                let score = row[1].as_f64().map(fmt_num).unwrap_or_default();
+                out.push_str(&format!("  {}. {} (mean {metric} {score})\n", i + 1, row[0]));
+            }
+            out
+        }
+        IntentKind::MethodProfile { name } => {
+            let metric = intent.metric.to_uppercase();
+            let best = &result.rows[0];
+            let worst = &result.rows[result.rows.len() - 1];
+            let mut out = format!(
+                "{name} performs best on {} data (mean {metric} {}) and worst on {} data \
+                 (mean {metric} {}). Full domain profile:\n",
+                best[0],
+                best[1].as_f64().map(fmt_num).unwrap_or_default(),
+                worst[0],
+                worst[1].as_f64().map(fmt_num).unwrap_or_default(),
+            );
+            for row in &result.rows {
+                out.push_str(&format!(
+                    "  - {}: mean {metric} {}\n",
+                    row[0],
+                    row[1].as_f64().map(fmt_num).unwrap_or_default()
+                ));
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intent::CharacteristicFilter;
+    use easytime_db::Value;
+
+    fn rows(data: Vec<Vec<Value>>) -> QueryResult {
+        QueryResult {
+            columns: vec!["method".into(), "mean_mae".into(), "runs".into()],
+            rows: data,
+        }
+    }
+
+    #[test]
+    fn top_methods_answer_lists_ranking() {
+        let intent = Intent {
+            top_n: 2,
+            horizon: Some(HorizonClass::Long),
+            multivariate: Some(true),
+            characteristics: vec![CharacteristicFilter { column: "trend".into(), strong: true }],
+            ..Intent::default()
+        };
+        let result = rows(vec![
+            vec![Value::Text("theta".into()), Value::Float(1.2), Value::Int(10)],
+            vec![Value::Text("naive".into()), Value::Float(2.4), Value::Int(10)],
+        ]);
+        let answer = generate_answer(&intent, &result);
+        assert!(answer.contains("top 2 methods"));
+        assert!(answer.contains("long-term"));
+        assert!(answer.contains("multivariate"));
+        assert!(answer.contains("strong trend"));
+        assert!(answer.contains("1. theta"));
+        assert!(answer.contains("theta leads"));
+    }
+
+    #[test]
+    fn single_best_method_gets_prose_answer() {
+        let intent = Intent { top_n: 1, ..Intent::default() };
+        let result =
+            rows(vec![vec![Value::Text("theta".into()), Value::Float(1.234), Value::Int(4)]]);
+        let answer = generate_answer(&intent, &result);
+        assert!(answer.contains("best method"));
+        assert!(answer.contains("theta"));
+        assert!(answer.contains("1.234"));
+    }
+
+    #[test]
+    fn comparison_reports_winner_and_margin() {
+        let intent = Intent {
+            kind: IntentKind::CompareMethods { a: "theta".into(), b: "naive".into() },
+            ..Intent::default()
+        };
+        let result = rows(vec![
+            vec![Value::Text("theta".into()), Value::Float(1.0), Value::Int(5)],
+            vec![Value::Text("naive".into()), Value::Float(2.0), Value::Int(5)],
+        ]);
+        let answer = generate_answer(&intent, &result);
+        assert!(answer.contains("theta outperforms naive"));
+        assert!(answer.contains("50.0% better"));
+    }
+
+    #[test]
+    fn comparison_with_missing_side_degrades() {
+        let intent = Intent {
+            kind: IntentKind::CompareMethods { a: "theta".into(), b: "ghost".into() },
+            ..Intent::default()
+        };
+        let one = rows(vec![vec![Value::Text("theta".into()), Value::Float(1.0), Value::Int(5)]]);
+        assert!(generate_answer(&intent, &one).contains("Only theta"));
+        let none = rows(vec![]);
+        assert!(generate_answer(&intent, &none).contains("No benchmark results"));
+    }
+
+    #[test]
+    fn count_and_list_answers() {
+        let count = QueryResult {
+            columns: vec!["datasets".into()],
+            rows: vec![vec![Value::Int(25)]],
+        };
+        let intent = Intent { kind: IntentKind::CountDatasets, ..Intent::default() };
+        assert!(generate_answer(&intent, &count).contains("25 matching datasets"));
+
+        let single = QueryResult {
+            columns: vec!["datasets".into()],
+            rows: vec![vec![Value::Int(1)]],
+        };
+        assert!(generate_answer(&intent, &single).contains("1 matching dataset."));
+
+        let domains = QueryResult {
+            columns: vec!["domain".into(), "datasets".into()],
+            rows: vec![
+                vec![Value::Text("web".into()), Value::Int(12)],
+                vec![Value::Text("traffic".into()), Value::Int(8)],
+            ],
+        };
+        let intent = Intent { kind: IntentKind::ListDomains, ..Intent::default() };
+        let answer = generate_answer(&intent, &domains);
+        assert!(answer.contains("covers 2 domains"));
+        assert!(answer.contains("web (12 datasets)"));
+    }
+
+    #[test]
+    fn method_info_answer() {
+        let info = QueryResult {
+            columns: vec!["name".into(), "family".into(), "description".into()],
+            rows: vec![vec![
+                Value::Text("theta".into()),
+                Value::Text("statistical".into()),
+                Value::Text("the Theta method (M3 winner)".into()),
+            ]],
+        };
+        let intent =
+            Intent { kind: IntentKind::MethodInfo { name: "theta".into() }, ..Intent::default() };
+        let answer = generate_answer(&intent, &info);
+        assert!(answer.contains("theta is a statistical method"));
+        assert!(answer.contains("M3 winner"));
+    }
+
+    #[test]
+    fn empty_results_suggest_relaxing_filters() {
+        let intent = Intent { domain: Some("web".into()), ..Intent::default() };
+        let answer = generate_answer(&intent, &rows(vec![]));
+        assert!(answer.contains("No benchmark results"));
+        assert!(answer.contains("web"));
+        assert!(answer.contains("relaxing"));
+    }
+}

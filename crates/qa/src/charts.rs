@@ -1,0 +1,278 @@
+//! Chart payloads for query results.
+//!
+//! The paper's post-processing step returns "structured data outputs
+//! compatible with various types of charts" (§II-D) and the frontend
+//! renders "bar charts, line charts, pie charts, etc." (Figure 5, label 3).
+//! [`ChartSpec`] is that structured payload: it serializes to JSON for a
+//! frontend and renders as an ASCII bar chart for the terminal demo.
+
+use easytime_db::{QueryResult, Value};
+
+/// Chart type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChartKind {
+    /// Categorical bars.
+    Bar,
+    /// Ordered line.
+    Line,
+    /// Share-of-total pie.
+    Pie,
+}
+
+impl ChartKind {
+    /// Canonical lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ChartKind::Bar => "bar",
+            ChartKind::Line => "line",
+            ChartKind::Pie => "pie",
+        }
+    }
+}
+
+/// A renderable chart: labelled numeric points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChartSpec {
+    /// Chart type.
+    pub kind: ChartKind,
+    /// Chart title.
+    pub title: String,
+    /// Label axis name (the text column).
+    pub label_axis: String,
+    /// Value axis name (the numeric column).
+    pub value_axis: String,
+    /// `(label, value)` points in result order.
+    pub points: Vec<(String, f64)>,
+}
+
+impl ChartSpec {
+    /// Builds a chart from a query result: the first text column provides
+    /// labels and the first numeric column provides values. Returns `None`
+    /// when the result has no such pair or no rows.
+    pub fn from_result(title: &str, result: &QueryResult) -> Option<ChartSpec> {
+        if result.rows.is_empty() {
+            return None;
+        }
+        let ncols = result.columns.len();
+        let mut label_col = None;
+        let mut value_col = None;
+        for c in 0..ncols {
+            let first = &result.rows[0][c];
+            match first {
+                Value::Text(_) if label_col.is_none() => label_col = Some(c),
+                Value::Int(_) | Value::Float(_) if value_col.is_none() => value_col = Some(c),
+                _ => {}
+            }
+        }
+        let (lc, vc) = (label_col?, value_col?);
+        let points: Vec<(String, f64)> = result
+            .rows
+            .iter()
+            .filter_map(|r| {
+                let label = r[lc].as_str()?.to_string();
+                let value = r[vc].as_f64()?;
+                value.is_finite().then_some((label, value))
+            })
+            .collect();
+        if points.is_empty() {
+            return None;
+        }
+        // Heuristic (mirrors the paper's "bar charts, line charts, pie
+        // charts, etc."): count-like columns over few categories are
+        // share-of-total data → pie; many points → line; otherwise bars.
+        let value_name = result.columns[vc].to_ascii_lowercase();
+        let count_like = ["count", "datasets", "methods", "runs", "n"]
+            .iter()
+            .any(|k| value_name == *k || value_name.contains("count"))
+            || value_name == "datasets"
+            || value_name == "methods";
+        let all_non_negative = points.iter().all(|(_, v)| *v >= 0.0);
+        let kind = if points.len() > 12 {
+            ChartKind::Line
+        } else if count_like && all_non_negative && points.len() >= 2 {
+            ChartKind::Pie
+        } else {
+            ChartKind::Bar
+        };
+        Some(ChartSpec {
+            kind,
+            title: title.to_string(),
+            label_axis: result.columns[lc].clone(),
+            value_axis: result.columns[vc].clone(),
+            points,
+        })
+    }
+
+    /// Serializes the spec to JSON (hand-rolled; the payload is small and
+    /// flat, so no serde dependency is warranted).
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        let points: Vec<String> = self
+            .points
+            .iter()
+            .map(|(l, v)| format!("{{\"label\":\"{}\",\"value\":{}}}", esc(l), v))
+            .collect();
+        format!(
+            "{{\"kind\":\"{}\",\"title\":\"{}\",\"label_axis\":\"{}\",\"value_axis\":\"{}\",\"points\":[{}]}}",
+            self.kind.name(),
+            esc(&self.title),
+            esc(&self.label_axis),
+            esc(&self.value_axis),
+            points.join(",")
+        )
+    }
+
+    /// Renders the chart as ASCII (the terminal stand-in for the web
+    /// frontend's charts). Bars and lines render as scaled horizontal
+    /// bars; pies render as a share-of-total breakdown.
+    pub fn render_ascii(&self, width: usize) -> String {
+        let width = width.clamp(10, 200);
+        let max_label = self.points.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+        let mut out = format!("{} ({} by {})\n", self.title, self.value_axis, self.label_axis);
+        match self.kind {
+            ChartKind::Pie => {
+                let total: f64 = self.points.iter().map(|(_, v)| v).sum();
+                for (label, value) in &self.points {
+                    let share = if total > 0.0 { value / total } else { 0.0 };
+                    let bar_len = (share * width as f64).round() as usize;
+                    out.push_str(&format!(
+                        "  {label:<max_label$} | {bar} {pct:.1}% ({value:.0})\n",
+                        bar = "◼".repeat(bar_len.max(usize::from(share > 0.0))),
+                        pct = share * 100.0,
+                    ));
+                }
+            }
+            ChartKind::Bar | ChartKind::Line => {
+                let max_value =
+                    self.points.iter().map(|(_, v)| v.abs()).fold(0.0_f64, f64::max);
+                for (label, value) in &self.points {
+                    let bar_len = if max_value > 0.0 {
+                        ((value.abs() / max_value) * width as f64).round() as usize
+                    } else {
+                        0
+                    };
+                    out.push_str(&format!(
+                        "  {label:<max_label$} | {bar} {value:.4}\n",
+                        bar = "█".repeat(bar_len.max(usize::from(*value != 0.0))),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result() -> QueryResult {
+        QueryResult {
+            columns: vec!["method".into(), "mean_mae".into(), "runs".into()],
+            rows: vec![
+                vec![Value::Text("theta".into()), Value::Float(1.25), Value::Int(40)],
+                vec![Value::Text("naive".into()), Value::Float(2.5), Value::Int(40)],
+            ],
+        }
+    }
+
+    #[test]
+    fn builds_bar_chart_from_result() {
+        let chart = ChartSpec::from_result("Top methods", &result()).unwrap();
+        assert_eq!(chart.kind, ChartKind::Bar);
+        assert_eq!(chart.label_axis, "method");
+        assert_eq!(chart.value_axis, "mean_mae");
+        assert_eq!(chart.points.len(), 2);
+        assert_eq!(chart.points[0], ("theta".to_string(), 1.25));
+    }
+
+    #[test]
+    fn long_results_become_line_charts() {
+        let rows: Vec<Vec<Value>> = (0..20)
+            .map(|i| vec![Value::Text(format!("m{i}")), Value::Float(i as f64)])
+            .collect();
+        let r = QueryResult { columns: vec!["m".into(), "v".into()], rows };
+        let chart = ChartSpec::from_result("t", &r).unwrap();
+        assert_eq!(chart.kind, ChartKind::Line);
+    }
+
+    #[test]
+    fn count_results_become_pie_charts() {
+        let r = QueryResult {
+            columns: vec!["domain".into(), "datasets".into()],
+            rows: vec![
+                vec![Value::Text("web".into()), Value::Int(6)],
+                vec![Value::Text("traffic".into()), Value::Int(3)],
+                vec![Value::Text("nature".into()), Value::Int(1)],
+            ],
+        };
+        let chart = ChartSpec::from_result("Domains", &r).unwrap();
+        assert_eq!(chart.kind, ChartKind::Pie);
+        let text = chart.render_ascii(20);
+        assert!(text.contains("60.0%"), "{text}");
+        assert!(text.contains("30.0%"));
+        assert!(text.contains("10.0%"));
+        assert!(text.contains('◼'));
+    }
+
+    #[test]
+    fn metric_results_stay_bars() {
+        let chart = ChartSpec::from_result("Top", &result()).unwrap();
+        assert_eq!(chart.kind, ChartKind::Bar, "mean_mae is not count-like");
+    }
+
+    #[test]
+    fn unplottable_results_return_none() {
+        let no_rows = QueryResult { columns: vec!["a".into()], rows: vec![] };
+        assert!(ChartSpec::from_result("t", &no_rows).is_none());
+        let text_only = QueryResult {
+            columns: vec!["a".into()],
+            rows: vec![vec![Value::Text("x".into())]],
+        };
+        assert!(ChartSpec::from_result("t", &text_only).is_none());
+        let numeric_only = QueryResult {
+            columns: vec!["n".into()],
+            rows: vec![vec![Value::Int(3)]],
+        };
+        assert!(ChartSpec::from_result("t", &numeric_only).is_none());
+    }
+
+    #[test]
+    fn json_is_well_formed_and_escaped() {
+        let mut chart = ChartSpec::from_result("Top \"methods\"", &result()).unwrap();
+        chart.points[0].0 = "the\\ta".into();
+        let json = chart.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\\\"methods\\\""));
+        assert!(json.contains("the\\\\ta"));
+        assert!(json.contains("\"kind\":\"bar\""));
+        assert!(json.contains("\"value\":1.25"));
+    }
+
+    #[test]
+    fn ascii_render_scales_bars() {
+        let chart = ChartSpec::from_result("Top", &result()).unwrap();
+        let text = chart.render_ascii(20);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let bars: Vec<usize> =
+            lines[1..].iter().map(|l| l.matches('█').count()).collect();
+        // naive (2.5) should have the longer bar than theta (1.25).
+        assert!(bars[1] > bars[0]);
+        assert_eq!(bars[1], 20);
+    }
+}

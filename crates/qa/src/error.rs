@@ -1,0 +1,44 @@
+//! Error type for the Q&A module.
+
+use easytime_db::DbError;
+use std::fmt;
+
+/// Errors produced by the Q&A pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QaError {
+    /// The question could not be mapped to a supported intent.
+    UnparsableQuestion {
+        /// The original question.
+        question: String,
+        /// A hint about what the parser supports.
+        hint: String,
+    },
+    /// Verification or execution against the knowledge base failed.
+    Db(DbError),
+}
+
+impl fmt::Display for QaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QaError::UnparsableQuestion { question, hint } => {
+                write!(f, "could not understand the question '{question}': {hint}")
+            }
+            QaError::Db(e) => write!(f, "knowledge-base error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QaError::Db(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DbError> for QaError {
+    fn from(e: DbError) -> Self {
+        QaError::Db(e)
+    }
+}

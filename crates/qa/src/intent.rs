@@ -1,0 +1,227 @@
+//! Typed meaning representation of a benchmark question.
+//!
+//! The semantic parser fills an [`Intent`]; the SQL generator compiles it.
+//! Keeping the representation explicit (rather than going text-to-text)
+//! gives the session layer clean slot carry-over for follow-up questions.
+
+/// What the user wants to know.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IntentKind {
+    /// Ranked methods by a metric ("top-8 methods by MAE …").
+    TopMethods,
+    /// Head-to-head comparison of two named methods.
+    CompareMethods {
+        /// First method name.
+        a: String,
+        /// Second method name.
+        b: String,
+    },
+    /// Count datasets matching the filters.
+    CountDatasets,
+    /// Count registered methods.
+    CountMethods,
+    /// List the domains in the corpus.
+    ListDomains,
+    /// Meta-information about one named method.
+    MethodInfo {
+        /// The method name.
+        name: String,
+    },
+    /// Fastest methods by runtime.
+    FastestMethods,
+    /// Ranked methods by a metric, worst first ("which methods struggle…").
+    WorstMethods,
+    /// Per-domain performance profile of one named method.
+    MethodProfile {
+        /// The method name.
+        name: String,
+    },
+}
+
+/// Horizon filter classes used in questions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HorizonClass {
+    /// "short-term": horizon ≤ 24.
+    Short,
+    /// "long-term": horizon ≥ 96.
+    Long,
+    /// An explicit horizon value.
+    Exact(usize),
+}
+
+impl HorizonClass {
+    /// SQL predicate over the `horizon` column.
+    pub fn predicate(&self, column: &str) -> String {
+        match self {
+            HorizonClass::Short => format!("{column} <= 24"),
+            HorizonClass::Long => format!("{column} >= 96"),
+            HorizonClass::Exact(h) => format!("{column} = {h}"),
+        }
+    }
+}
+
+/// A dataset-characteristic filter ("with trends", "with strong
+/// seasonality").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CharacteristicFilter {
+    /// Column in the `datasets` table (`trend`, `seasonality`, …).
+    pub column: String,
+    /// Whether the question asks for a *strong* (≥ 0.6) or weak (< 0.4)
+    /// presence.
+    pub strong: bool,
+}
+
+/// The full meaning representation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Intent {
+    /// The question class.
+    pub kind: IntentKind,
+    /// Metric that orders results (`mae`, `rmse`, `smape`, …).
+    pub metric: String,
+    /// How many rows to return.
+    pub top_n: usize,
+    /// Horizon filter, when mentioned.
+    pub horizon: Option<HorizonClass>,
+    /// Domain filter, when mentioned.
+    pub domain: Option<String>,
+    /// Characteristic filters ("with trends").
+    pub characteristics: Vec<CharacteristicFilter>,
+    /// Multivariate/univariate filter.
+    pub multivariate: Option<bool>,
+    /// Evaluation-strategy filter (`fixed`/`rolling`).
+    pub strategy: Option<String>,
+    /// Method-family filter.
+    pub family: Option<String>,
+}
+
+impl Default for Intent {
+    fn default() -> Self {
+        Intent {
+            kind: IntentKind::TopMethods,
+            metric: "mae".into(),
+            top_n: 5,
+            horizon: None,
+            domain: None,
+            characteristics: Vec::new(),
+            multivariate: None,
+            strategy: None,
+            family: None,
+        }
+    }
+}
+
+impl Intent {
+    /// Merges a follow-up intent over `self`: slots the follow-up filled
+    /// explicitly win, everything else carries over from the session
+    /// history (paper §II-D combines "Q&A history with the current user's
+    /// natural language query").
+    pub fn merged_into(self, previous: &Intent, explicit: &ExplicitSlots) -> Intent {
+        Intent {
+            kind: if explicit.kind { self.kind } else { previous.kind.clone() },
+            metric: if explicit.metric { self.metric } else { previous.metric.clone() },
+            top_n: if explicit.top_n { self.top_n } else { previous.top_n },
+            horizon: if explicit.horizon { self.horizon } else { previous.horizon },
+            domain: if explicit.domain { self.domain } else { previous.domain.clone() },
+            characteristics: if explicit.characteristics {
+                self.characteristics
+            } else {
+                previous.characteristics.clone()
+            },
+            multivariate: if explicit.multivariate {
+                self.multivariate
+            } else {
+                previous.multivariate
+            },
+            strategy: if explicit.strategy { self.strategy } else { previous.strategy.clone() },
+            family: if explicit.family { self.family } else { previous.family.clone() },
+        }
+    }
+}
+
+/// Tracks which slots a question filled explicitly (vs defaults), so
+/// follow-ups only override what they mention.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExplicitSlots {
+    /// The intent kind was stated.
+    pub kind: bool,
+    /// A metric was named.
+    pub metric: bool,
+    /// A result count was stated.
+    pub top_n: bool,
+    /// A horizon was mentioned.
+    pub horizon: bool,
+    /// A domain was named.
+    pub domain: bool,
+    /// Characteristics were mentioned.
+    pub characteristics: bool,
+    /// Uni/multivariate was mentioned.
+    pub multivariate: bool,
+    /// A strategy was named.
+    pub strategy: bool,
+    /// A family was named.
+    pub family: bool,
+}
+
+impl ExplicitSlots {
+    /// True when the question filled any slot at all (used to reject
+    /// unintelligible input).
+    pub fn any(&self) -> bool {
+        self.kind
+            || self.metric
+            || self.top_n
+            || self.horizon
+            || self.domain
+            || self.characteristics
+            || self.multivariate
+            || self.strategy
+            || self.family
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn horizon_predicates() {
+        assert_eq!(HorizonClass::Short.predicate("h"), "h <= 24");
+        assert_eq!(HorizonClass::Long.predicate("r.horizon"), "r.horizon >= 96");
+        assert_eq!(HorizonClass::Exact(48).predicate("horizon"), "horizon = 48");
+    }
+
+    #[test]
+    fn merge_carries_previous_slots() {
+        let previous = Intent {
+            metric: "mae".into(),
+            top_n: 8,
+            horizon: Some(HorizonClass::Long),
+            multivariate: Some(true),
+            ..Intent::default()
+        };
+        // Follow-up only names a metric.
+        let follow_up = Intent { metric: "rmse".into(), ..Intent::default() };
+        let explicit = ExplicitSlots { metric: true, ..ExplicitSlots::default() };
+        let merged = follow_up.merged_into(&previous, &explicit);
+        assert_eq!(merged.metric, "rmse");
+        assert_eq!(merged.top_n, 8);
+        assert_eq!(merged.horizon, Some(HorizonClass::Long));
+        assert_eq!(merged.multivariate, Some(true));
+    }
+
+    #[test]
+    fn merge_respects_explicit_overrides() {
+        let previous = Intent { top_n: 8, ..Intent::default() };
+        let follow_up = Intent { top_n: 3, domain: Some("web".into()), ..Intent::default() };
+        let explicit =
+            ExplicitSlots { top_n: true, domain: true, ..ExplicitSlots::default() };
+        let merged = follow_up.merged_into(&previous, &explicit);
+        assert_eq!(merged.top_n, 3);
+        assert_eq!(merged.domain.as_deref(), Some("web"));
+    }
+
+    #[test]
+    fn explicit_slots_any() {
+        assert!(!ExplicitSlots::default().any());
+        assert!(ExplicitSlots { metric: true, ..ExplicitSlots::default() }.any());
+    }
+}

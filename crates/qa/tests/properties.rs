@@ -1,0 +1,136 @@
+//! Property-based tests for the Q&A module. The headline property mirrors
+//! the paper's verification guarantee: **every SQL statement the NL2SQL
+//! generator can emit passes schema verification and executes** against
+//! the knowledge schema.
+
+use easytime_db::knowledge::create_knowledge_schema;
+use easytime_db::Database;
+use easytime_qa::intent::{CharacteristicFilter, HorizonClass, Intent, IntentKind};
+use easytime_qa::nl2sql::{generate_sql, parse_question, Lexicon};
+use proptest::prelude::*;
+
+fn knowledge_db() -> Database {
+    let mut db = Database::new();
+    create_knowledge_schema(&mut db).unwrap();
+    db
+}
+
+fn any_kind() -> impl Strategy<Value = IntentKind> {
+    prop_oneof![
+        Just(IntentKind::TopMethods),
+        ("[a-z_]{1,12}", "[a-z_]{1,12}")
+            .prop_map(|(a, b)| IntentKind::CompareMethods { a, b }),
+        Just(IntentKind::CountDatasets),
+        Just(IntentKind::CountMethods),
+        Just(IntentKind::ListDomains),
+        "[a-z_']{1,12}".prop_map(|name| IntentKind::MethodInfo { name }),
+        Just(IntentKind::FastestMethods),
+        Just(IntentKind::WorstMethods),
+        "[a-z_']{1,12}".prop_map(|name| IntentKind::MethodProfile { name }),
+    ]
+}
+
+fn any_horizon() -> impl Strategy<Value = Option<HorizonClass>> {
+    prop_oneof![
+        Just(None),
+        Just(Some(HorizonClass::Short)),
+        Just(Some(HorizonClass::Long)),
+        (1usize..512).prop_map(|h| Some(HorizonClass::Exact(h))),
+    ]
+}
+
+fn any_characteristics() -> impl Strategy<Value = Vec<CharacteristicFilter>> {
+    let col = prop::sample::select(vec![
+        "seasonality",
+        "trend",
+        "transition",
+        "shifting",
+        "stationarity",
+        "correlation",
+    ]);
+    prop::collection::vec(
+        (col, any::<bool>())
+            .prop_map(|(c, strong)| CharacteristicFilter { column: c.into(), strong }),
+        0..3,
+    )
+}
+
+fn any_intent() -> impl Strategy<Value = Intent> {
+    (
+        any_kind(),
+        prop::sample::select(vec!["mae", "mse", "rmse", "smape", "mase", "r2"]),
+        1usize..20,
+        any_horizon(),
+        prop::option::of("[a-z]{3,10}"),
+        any_characteristics(),
+        prop::option::of(any::<bool>()),
+        prop::option::of(prop::sample::select(vec!["fixed", "rolling"])),
+        prop::option::of(prop::sample::select(vec![
+            "statistical",
+            "machine_learning",
+            "deep_learning",
+        ])),
+    )
+        .prop_map(
+            |(kind, metric, top_n, horizon, domain, characteristics, multivariate, strategy, family)| {
+                Intent {
+                    kind,
+                    metric: metric.into(),
+                    top_n,
+                    horizon,
+                    domain,
+                    characteristics,
+                    multivariate,
+                    strategy: strategy.map(String::from),
+                    family: family.map(String::from),
+                }
+            },
+        )
+}
+
+proptest! {
+    /// The paper's two-step guarantee, as a machine-checked property:
+    /// whatever intent the parser produces, the generated SQL verifies and
+    /// executes against the knowledge schema.
+    #[test]
+    fn every_generated_sql_verifies_and_executes(intent in any_intent()) {
+        let db = knowledge_db();
+        let sql = generate_sql(&intent);
+        let result = db.query(&sql);
+        prop_assert!(result.is_ok(), "generated SQL failed: {sql}\nerror: {:?}", result.err());
+    }
+
+    /// Parsing never panics on arbitrary input; it either produces an
+    /// intent or a clean error.
+    #[test]
+    fn parser_is_total_on_arbitrary_text(question in "[ -~]{0,80}") {
+        let lexicon = Lexicon {
+            methods: vec!["naive".into(), "theta".into(), "seasonal_naive".into()],
+            domains: vec!["web".into(), "traffic".into()],
+        };
+        let _ = parse_question(&question, &lexicon);
+    }
+
+    /// Questions that do parse always yield SQL that verifies against the
+    /// schema — the end-to-end totality of the Figure-3 path.
+    #[test]
+    fn parsed_questions_yield_executable_sql(
+        n in 1usize..12,
+        metric in prop::sample::select(vec!["mae", "rmse", "smape", "mase"]),
+        domain in prop::sample::select(vec!["web", "traffic", "nature"]),
+        long in any::<bool>(),
+    ) {
+        let lexicon = Lexicon {
+            methods: vec!["naive".into(), "theta".into()],
+            domains: vec!["web".into(), "traffic".into(), "nature".into()],
+        };
+        let horizon = if long { "long-term" } else { "short-term" };
+        let question = format!("top {n} methods by {metric} for {horizon} forecasting on {domain} data");
+        let (intent, _) = parse_question(&question, &lexicon).unwrap();
+        prop_assert_eq!(intent.top_n, n);
+        prop_assert_eq!(intent.metric.as_str(), metric);
+        prop_assert_eq!(intent.domain.as_deref(), Some(domain));
+        let db = knowledge_db();
+        prop_assert!(db.query(&generate_sql(&intent)).is_ok());
+    }
+}

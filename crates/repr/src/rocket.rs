@@ -1,0 +1,177 @@
+//! ROCKET-style random convolution kernel features.
+//!
+//! Each kernel is a short weight vector applied as a dilated 1-D
+//! convolution over the z-normalized series; two pooled statistics are kept
+//! per kernel: the proportion of positive values (PPV) and the maximum.
+//! With a few hundred kernels this yields a strong generic representation
+//! at a fraction of the cost of a learned encoder.
+
+use easytime_linalg::stats::{mean, std_dev};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::f64::consts::PI;
+
+/// One random convolution kernel.
+#[derive(Debug, Clone, PartialEq)]
+struct Kernel {
+    weights: Vec<f64>,
+    bias: f64,
+    dilation: usize,
+}
+
+/// A bank of random convolution kernels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RocketEncoder {
+    kernels: Vec<Kernel>,
+}
+
+/// Standard normal via Box–Muller.
+fn gauss(rng: &mut StdRng) -> f64 {
+    loop {
+        let u1: f64 = rng.gen();
+        let u2: f64 = rng.gen();
+        if u1 > 1e-12 {
+            return (-2.0 * u1.ln()).sqrt() * (2.0 * PI * u2).cos();
+        }
+    }
+}
+
+impl RocketEncoder {
+    /// Creates `num_kernels` random kernels from `seed`. Kernel lengths are
+    /// drawn from {7, 9, 11}; weights are centered Gaussians; dilations are
+    /// powers of two up to 32.
+    pub fn new(num_kernels: usize, seed: u64) -> RocketEncoder {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut kernels = Vec::with_capacity(num_kernels);
+        for _ in 0..num_kernels {
+            let len = [7usize, 9, 11][rng.gen_range(0..3)];
+            let mut weights: Vec<f64> = (0..len).map(|_| gauss(&mut rng)).collect();
+            let m = mean(&weights);
+            for w in &mut weights {
+                *w -= m; // centering, as in the ROCKET paper
+            }
+            let bias = rng.gen::<f64>() * 2.0 - 1.0;
+            let dilation = 1usize << rng.gen_range(0..6);
+            kernels.push(Kernel { weights, bias, dilation });
+        }
+        RocketEncoder { kernels }
+    }
+
+    /// Number of output features (2 per kernel: PPV and max).
+    pub fn dim(&self) -> usize {
+        self.kernels.len() * 2
+    }
+
+    /// Transforms a series into kernel features.
+    ///
+    /// The input is z-normalized internally, so series level and scale do
+    /// not leak into the representation.
+    pub fn transform(&self, values: &[f64]) -> Vec<f64> {
+        let mu = mean(values);
+        let sigma = std_dev(values).max(1e-9);
+        let z: Vec<f64> = values.iter().map(|v| (v - mu) / sigma).collect();
+
+        let mut out = Vec::with_capacity(self.dim());
+        for k in &self.kernels {
+            let span = (k.weights.len() - 1) * k.dilation;
+            if z.len() <= span {
+                // Series shorter than the kernel's receptive field:
+                // neutral features.
+                out.push(0.0);
+                out.push(0.0);
+                continue;
+            }
+            let n_out = z.len() - span;
+            let mut positive = 0usize;
+            let mut max = f64::NEG_INFINITY;
+            for t in 0..n_out {
+                let mut acc = k.bias;
+                for (i, w) in k.weights.iter().enumerate() {
+                    acc += w * z[t + i * k.dilation];
+                }
+                if acc > 0.0 {
+                    positive += 1;
+                }
+                if acc > max {
+                    max = acc;
+                }
+            }
+            out.push(positive as f64 / n_out as f64); // PPV
+            out.push(max);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sine(n: usize, period: f64) -> Vec<f64> {
+        (0..n).map(|t| (2.0 * PI * t as f64 / period).sin()).collect()
+    }
+
+    fn euclid(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = RocketEncoder::new(64, 9);
+        let b = RocketEncoder::new(64, 9);
+        assert_eq!(a, b);
+        let c = RocketEncoder::new(64, 10);
+        assert_ne!(a, c);
+        assert_eq!(a.dim(), 128);
+    }
+
+    #[test]
+    fn features_are_scale_and_level_invariant() {
+        let enc = RocketEncoder::new(32, 7);
+        let base = sine(200, 12.0);
+        let scaled: Vec<f64> = base.iter().map(|v| 100.0 + 50.0 * v).collect();
+        let fa = enc.transform(&base);
+        let fb = enc.transform(&scaled);
+        assert!(euclid(&fa, &fb) < 1e-9, "z-normalization should remove scale/level");
+    }
+
+    #[test]
+    fn similar_dynamics_embed_closer_than_different_dynamics() {
+        let enc = RocketEncoder::new(128, 3);
+        let sin12a = enc.transform(&sine(240, 12.0));
+        let sin12b = enc.transform(
+            &sine(240, 12.0).iter().map(|v| v + 0.05).collect::<Vec<_>>(),
+        );
+        // A trending line has very different dynamics.
+        let line: Vec<f64> = (0..240).map(|t| t as f64).collect();
+        let ftrend = enc.transform(&line);
+        let d_same = euclid(&sin12a, &sin12b);
+        let d_diff = euclid(&sin12a, &ftrend);
+        assert!(
+            d_same < d_diff,
+            "same-dynamics distance {d_same} should be below cross-dynamics {d_diff}"
+        );
+    }
+
+    #[test]
+    fn ppv_features_are_probabilities() {
+        let enc = RocketEncoder::new(64, 21);
+        let f = enc.transform(&sine(300, 24.0));
+        for (i, chunk) in f.chunks(2).enumerate() {
+            assert!(
+                (0.0..=1.0).contains(&chunk[0]),
+                "kernel {i} PPV {} out of range",
+                chunk[0]
+            );
+            assert!(chunk[1].is_finite());
+        }
+    }
+
+    #[test]
+    fn short_series_get_neutral_features_not_panics() {
+        let enc = RocketEncoder::new(32, 5);
+        let f = enc.transform(&[1.0, 2.0, 3.0]);
+        assert_eq!(f.len(), enc.dim());
+        assert!(f.iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,88 @@
+//! Automated Ensemble (paper demonstration S2, Figure 2).
+//!
+//! Offline: pretrain the recommender on a corpus (zoo evaluation + series
+//! embeddings + soft-label classifier). Online: a "new" dataset arrives,
+//! the recommender proposes its top-k methods, the ensemble trains the
+//! members, learns validation weights, and forecasts — compared here
+//! against every individual zoo member on the held-out future.
+//!
+//! ```sh
+//! cargo run --release -p easytime --example auto_ensemble
+//! ```
+
+use easytime::{
+    CorpusConfig, Domain, EasyTime, ModelSpec, RecommenderConfig, Strategy, TimeSeries,
+};
+use easytime_data::synthetic::{domain_spec, generate};
+
+fn mae(pred: &[f64], actual: &[f64]) -> f64 {
+    pred.iter().zip(actual).map(|(p, a)| (p - a).abs()).sum::<f64>() / actual.len() as f64
+}
+
+fn main() -> easytime::Result<()> {
+    // --- Offline phase --------------------------------------------------
+    let platform = EasyTime::with_benchmark(&CorpusConfig {
+        domains: vec![Domain::Nature, Domain::Stock, Domain::Electricity, Domain::Web],
+        per_domain: 8,
+        length: 260,
+        seed: 5,
+        ..CorpusConfig::default()
+    })?;
+
+    // A fast sub-zoo keeps the example snappy; `RecommenderConfig::default()`
+    // uses the full roster.
+    let config = RecommenderConfig {
+        methods: vec![
+            ModelSpec::SeasonalNaive(None),
+            ModelSpec::Drift,
+            ModelSpec::Theta(None),
+            ModelSpec::Ses(None),
+            ModelSpec::LagRidge { lookback: 16, lambda: 1e-2 },
+        ],
+        strategy: Strategy::Fixed { horizon: 24 },
+        ..RecommenderConfig::default()
+    };
+    println!("Pretraining the recommender on {} corpus series…", platform.registry().len());
+    let (recommender, _matrix) = platform.pretrain_recommender(&config)?;
+
+    // --- Online phase ---------------------------------------------------
+    // A brand-new electricity-like series the platform has never seen.
+    let spec = domain_spec(Domain::Electricity, 2, 320);
+    let fresh: TimeSeries = generate("fresh_load", &spec, 991).unwrap();
+    let history = fresh.slice(0, 296).unwrap();
+    let future = &fresh.values()[296..320];
+
+    println!("\nRecommended methods for the new series:");
+    for (method, prob) in recommender.recommend(&history).iter().take(3) {
+        println!("  {method:<18} p = {prob:.3}");
+    }
+
+    let ensemble = platform.auto_ensemble(&recommender, &history, 3)?;
+    println!("\nEnsemble members and learned weights:");
+    for (name, weight) in ensemble.members() {
+        println!("  {name:<18} w = {weight:.3}");
+    }
+    for (name, reason) in ensemble.dropped() {
+        println!("  (dropped {name}: {reason})");
+    }
+
+    let ens_pred = ensemble.forecast(24)?;
+
+    // Forecast visualization (reporting layer; Figure 4 label 9).
+    println!(
+        "\n{}",
+        easytime::ForecastPlot::forecast_view(history.values(), &ens_pred, Some(future)).render()
+    );
+
+    println!("Held-out MAE over the next 24 steps:");
+    println!("  auto_ensemble      {:>10.4}", mae(&ens_pred, future));
+    for spec in &config.methods {
+        let mut model = spec.build()?;
+        let label = spec.name();
+        match model.fit(&history).and_then(|()| model.forecast(24)) {
+            Ok(pred) => println!("  {label:<18} {:>10.4}", mae(&pred, future)),
+            Err(e) => println!("  {label:<18} failed: {e}"),
+        }
+    }
+    Ok(())
+}

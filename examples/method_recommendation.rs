@@ -1,0 +1,108 @@
+//! Method recommendation for an uploaded dataset (Figure 4, labels 1–5).
+//!
+//! A practitioner uploads their own CSV, the platform measures the six
+//! TFB characteristics (label 4), recommends methods (label 3), and
+//! evaluates both the recommended method and a user-chosen alternative
+//! (labels 5–7) with metric tables (label 10).
+//!
+//! ```sh
+//! cargo run --release -p easytime --example method_recommendation
+//! ```
+
+use easytime::{
+    CorpusConfig, Domain, EasyTime, Frequency, ModelSpec, RecommenderConfig, Strategy,
+};
+use std::f64::consts::PI;
+
+fn main() -> easytime::Result<()> {
+    let platform = EasyTime::with_benchmark(&CorpusConfig {
+        domains: vec![Domain::Nature, Domain::Stock, Domain::Traffic, Domain::Banking],
+        per_domain: 8,
+        length: 260,
+        seed: 17,
+        ..CorpusConfig::default()
+    })?;
+
+    // Offline pretraining (the corpus plays the role of TFB's 8,068
+    // series).
+    let config = RecommenderConfig {
+        methods: vec![
+            ModelSpec::SeasonalNaive(None),
+            ModelSpec::Drift,
+            ModelSpec::HoltWinters(None),
+            ModelSpec::Ses(None),
+            ModelSpec::NLinear { lookback: 32 },
+        ],
+        strategy: Strategy::Fixed { horizon: 12 },
+        ..RecommenderConfig::default()
+    };
+    let (recommender, _) = platform.pretrain_recommender(&config)?;
+
+    // --- "Upload Dataset" (label 1): monthly sales with trend + season.
+    let mut csv = String::from("value\n");
+    for t in 0..180 {
+        let v = 200.0
+            + 1.5 * t as f64
+            + 40.0 * (2.0 * PI * t as f64 / 12.0).sin()
+            + 10.0 * ((t * 7919 % 101) as f64 / 101.0 - 0.5);
+        csv.push_str(&format!("{v:.3}\n"));
+    }
+    let chars = platform.upload_csv("my_sales", Domain::Banking, &csv, Frequency::Monthly)?;
+
+    // --- Characteristics panel (label 4).
+    println!("Characteristics of 'my_sales':");
+    println!("  seasonality  {:.2}", chars.seasonality);
+    println!("  trend        {:.2}", chars.trend);
+    println!("  transition   {:.2}", chars.transition);
+    println!("  shifting     {:.2}", chars.shifting);
+    println!("  stationarity {:.2}", chars.stationarity);
+    println!("  period       {}", chars.period);
+    println!("  tags         {:?}\n", chars.tags());
+
+    // --- "Recommend Method" (label 3).
+    let ranking = platform.recommend(&recommender, "my_sales", 5)?;
+    println!("Recommended methods:");
+    for (i, (method, prob)) in ranking.iter().enumerate() {
+        println!("  {}. {method:<16} p = {prob:.3}", i + 1);
+    }
+
+    // --- Evaluate the recommendation and a user-chosen method (labels
+    //     5–7, 10) with one click each.
+    let recommended = &ranking[0].0;
+    let records = platform.one_click_json(&format!(
+        r#"{{
+            "methods": ["{recommended}", "naive"],
+            "strategy": {{"type": "rolling", "horizon": 12, "stride": 12}},
+            "datasets": ["my_sales"],
+            "metrics": ["mae", "smape", "mase"]
+        }}"#
+    ))?;
+    println!("\nEvaluation on 'my_sales' (rolling, horizon 12):");
+    for r in &records {
+        println!(
+            "  {:<16} MAE {:>9.3}  sMAPE {:>7.3}  MASE {:>6.3}",
+            r.method,
+            r.score("mae"),
+            r.score("smape"),
+            r.score("mase")
+        );
+    }
+
+    // Bonus: an 80% prediction interval for the recommended method,
+    // calibrated by backtesting inside the training data.
+    let series = platform.registry().get("my_sales")?.primary_series();
+    let spec = easytime::ModelSpec::parse(recommended)?;
+    let interval =
+        easytime_models::intervals::forecast_with_intervals(&spec, &series, 12, 0.8, 6)?;
+    println!("\n80% prediction interval for the next 12 months ({recommended}):");
+    for (h, ((p, lo), hi)) in interval
+        .point
+        .iter()
+        .zip(&interval.lower)
+        .zip(&interval.upper)
+        .enumerate()
+    {
+        println!("  t+{:<2} {:>9.2}  [{:>9.2}, {:>9.2}]", h + 1, p, lo, hi);
+    }
+    Ok(())
+}

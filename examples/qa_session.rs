@@ -1,0 +1,74 @@
+//! Natural-language Q&A (paper demonstration S3, Figures 3 and 5).
+//!
+//! Populates the benchmark knowledge with real evaluation runs, then walks
+//! through a multi-turn conversation. Every response shows the four
+//! artifacts of Figure 5: the natural-language answer (label 2), the chart
+//! (label 3), the generated SQL (label 4), and the result table (label 5).
+//!
+//! ```sh
+//! cargo run --release -p easytime --example qa_session
+//! ```
+
+use easytime::{CorpusConfig, EasyTime};
+
+fn main() -> easytime::Result<()> {
+    // Benchmark across all ten domains so domain filters have substance.
+    let platform = EasyTime::with_benchmark(&CorpusConfig {
+        per_domain: 3,
+        length: 280,
+        multivariate_per_domain: 1,
+        channels: 3,
+        seed: 13,
+        ..CorpusConfig::default()
+    })?;
+
+    println!("Populating benchmark knowledge (two one-click runs)…\n");
+    platform.one_click_json(
+        r#"{
+            "methods": ["naive", "seasonal_naive", "drift", "theta", "ses",
+                        "lag_ridge_16", "dlinear_32", "gboost_12"],
+            "strategy": {"type": "fixed", "horizon": 96}
+        }"#,
+    )?;
+    platform.one_click_json(
+        r#"{
+            "methods": ["naive", "seasonal_naive", "drift", "theta", "ses",
+                        "lag_ridge_16", "dlinear_32", "gboost_12"],
+            "strategy": {"type": "fixed", "horizon": 24}
+        }"#,
+    )?;
+
+    let mut session = platform.qa_session()?;
+    let conversation = [
+        // The paper's Figure 5 question, verbatim.
+        "What are the top-8 methods (ordered by MAE) for long-term forecasting \
+         on all multivariate datasets with trends?",
+        // An elliptical follow-up: inherits the previous filters.
+        "and what about sMAPE?",
+        // The abstract's example question.
+        "Which method is best for long term forecasting on time series with strong seasonality?",
+        "Is theta better than seasonal naive by MASE?",
+        "How many multivariate datasets are in the benchmark?",
+        "Which domains does the benchmark cover?",
+        "What are the 3 fastest methods?",
+        "Tell me about dlinear",
+    ];
+
+    for question in conversation {
+        println!("═══ Q: {question}");
+        match session.ask(question) {
+            Ok(response) => {
+                println!("SQL: {}", response.sql);
+                println!("\n{}", response.answer);
+                if let Some(chart) = &response.chart {
+                    println!("\n{}", chart.render_ascii(40));
+                    println!("chart payload: {}\n", chart.to_json());
+                }
+                println!("{}", response.table.render());
+                println!("(answered in {:.2} ms)\n", response.latency_ms);
+            }
+            Err(e) => println!("could not answer: {e}\n"),
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,54 @@
+//! Quickstart: build a small benchmark, run one-click evaluation, look at
+//! the leaderboard, and ask the platform a question.
+//!
+//! ```sh
+//! cargo run --release -p easytime --example quickstart
+//! ```
+
+use easytime::{CorpusConfig, Domain, EasyTime};
+
+fn main() -> easytime::Result<()> {
+    // 1. A platform with a synthetic benchmark corpus: 4 series in each of
+    //    three domains with very different dynamics.
+    let platform = EasyTime::with_benchmark(&CorpusConfig {
+        domains: vec![Domain::Nature, Domain::Stock, Domain::Electricity],
+        per_domain: 4,
+        length: 300,
+        seed: 7,
+        ..CorpusConfig::default()
+    })?;
+    println!(
+        "Benchmark ready: {} datasets, {} registered methods.\n",
+        platform.registry().len(),
+        platform.method_roster().len()
+    );
+
+    // 2. One-click evaluation from a configuration file (paper §II-B): the
+    //    same JSON a user would edit in the web frontend.
+    let records = platform.one_click_json(
+        r#"{
+            "methods": ["naive", "seasonal_naive", "drift", "theta", "ses", "lag_ridge_16"],
+            "strategy": {"type": "rolling", "horizon": 24, "stride": 24},
+            "metrics": ["mae", "rmse", "smape", "mase"]
+        }"#,
+    )?;
+    let failures = records.iter().filter(|r| !r.is_ok()).count();
+    println!("Evaluated {} (dataset × method) pairs, {failures} failures.\n", records.len());
+
+    // 3. The leaderboard across all datasets (reporting layer).
+    let board = platform.leaderboard("mase")?;
+    println!("{}", board.render());
+
+    // 4. Ask the accumulated benchmark knowledge a question (paper §II-D).
+    let mut qa = platform.qa_session()?;
+    for question in [
+        "What are the top 3 methods by MASE?",
+        "Which method is best on stock data?",
+    ] {
+        let response = qa.ask(question)?;
+        println!("Q: {question}");
+        println!("SQL: {}", response.sql);
+        println!("A: {}\n", response.answer);
+    }
+    Ok(())
+}

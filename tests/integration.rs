@@ -1,0 +1,157 @@
+//! Cross-crate integration: the full platform lifecycle in one test file —
+//! corpus → one-click evaluation → knowledge base → leaderboard → SQL.
+
+use easytime::{CorpusConfig, Domain, EasyTime, Frequency};
+
+fn platform() -> EasyTime {
+    EasyTime::with_benchmark(&CorpusConfig {
+        domains: vec![Domain::Nature, Domain::Stock, Domain::Web],
+        per_domain: 3,
+        length: 220,
+        multivariate_per_domain: 1,
+        channels: 3,
+        seed: 99,
+    })
+    .expect("benchmark builds")
+}
+
+#[test]
+fn full_lifecycle_from_corpus_to_sql() {
+    let p = platform();
+    assert_eq!(p.registry().len(), 12); // 3×3 univariate + 3 multivariate
+
+    let records = p
+        .one_click_json(
+            r#"{
+                "methods": ["naive", "seasonal_naive", "drift", "theta"],
+                "strategy": {"type": "fixed", "horizon": 24},
+                "metrics": ["mae", "smape", "mase"]
+            }"#,
+        )
+        .unwrap();
+    assert_eq!(records.len(), 12 * 4);
+    assert!(records.iter().all(|r| r.is_ok()), "every method fits every dataset");
+
+    // Leaderboard reflects the run.
+    let board = p.leaderboard("smape").unwrap();
+    assert_eq!(board.rows.len(), 4);
+    let winner = board.winner().unwrap();
+    assert!(winner.mean_rank >= 1.0 && winner.mean_rank <= 4.0);
+
+    // The knowledge base agrees with the records.
+    let count = p.query_knowledge("SELECT COUNT(*) AS n FROM results").unwrap();
+    assert_eq!(count.rows[0][0].to_string(), (12 * 4).to_string());
+
+    // Domain-filtered SQL agrees with direct aggregation over records.
+    let sql = p
+        .query_knowledge(
+            "SELECT r.method, AVG(r.mae) AS m FROM results r \
+             JOIN datasets d ON r.dataset_id = d.id \
+             WHERE d.domain = 'stock' GROUP BY r.method ORDER BY m",
+        )
+        .unwrap();
+    assert_eq!(sql.rows.len(), 4);
+    let stock_naive_mae: Vec<f64> = records
+        .iter()
+        .filter(|r| r.dataset_id.starts_with("stock") && r.method == "naive")
+        .map(|r| r.score("mae"))
+        .collect();
+    let expected = stock_naive_mae.iter().sum::<f64>() / stock_naive_mae.len() as f64;
+    let got = sql
+        .rows
+        .iter()
+        .find(|r| r[0].to_string() == "naive")
+        .and_then(|r| r[1].as_f64())
+        .unwrap();
+    assert!((got - expected).abs() < 1e-9, "SQL mean {got} vs record mean {expected}");
+}
+
+#[test]
+fn evaluation_is_reproducible_end_to_end() {
+    let config = r#"{"methods": ["seasonal_naive", "drift"], "strategy": {"type": "rolling", "horizon": 12, "stride": 12}}"#;
+    let a = platform().one_click_json(config).unwrap();
+    let b = platform().one_click_json(config).unwrap();
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.dataset_id, y.dataset_id);
+        assert_eq!(x.method, y.method);
+        assert_eq!(x.scores, y.scores, "{}/{}", x.dataset_id, x.method);
+    }
+}
+
+#[test]
+fn upload_then_evaluate_then_query() {
+    let p = platform();
+    let mut csv = String::from("date,value\n");
+    for t in 0..150 {
+        csv.push_str(&format!(
+            "2024-{:02}-01,{}\n",
+            (t % 12) + 1,
+            50.0 + (t as f64) * 0.3 + 8.0 * (2.0 * std::f64::consts::PI * t as f64 / 12.0).sin()
+        ));
+    }
+    let chars = p.upload_csv("uploaded", Domain::Banking, &csv, Frequency::Monthly).unwrap();
+    assert!(chars.seasonality > 0.5);
+    assert!(chars.trend > 0.5);
+
+    let records = p
+        .one_click_json(
+            r#"{"methods": ["holt_winters", "naive"], "datasets": ["uploaded"],
+                "strategy": {"type": "fixed", "horizon": 12}}"#,
+        )
+        .unwrap();
+    assert_eq!(records.len(), 2);
+    let hw = records.iter().find(|r| r.method == "holt_winters").unwrap();
+    let naive = records.iter().find(|r| r.method == "naive").unwrap();
+    assert!(
+        hw.score("mae") < naive.score("mae"),
+        "Holt-Winters {} should beat naive {} on seasonal+trend data",
+        hw.score("mae"),
+        naive.score("mae")
+    );
+}
+
+#[test]
+fn custom_metrics_flow_through_the_pipeline() {
+    use easytime::{EvalConfig, Metric, ModelSpec, Strategy};
+    use easytime_eval::evaluate;
+
+    let p = platform();
+    let mut registry = p.metrics().clone();
+    registry.register(Metric::custom("bias", true, |ctx| {
+        ctx.predicted.iter().zip(ctx.actual).map(|(p, a)| p - a).sum::<f64>()
+            / ctx.actual.len() as f64
+    }));
+    let series = p.registry().all()[0].primary_series();
+    let config = EvalConfig {
+        metrics: vec!["mae".into(), "bias".into()],
+        strategy: Strategy::Fixed { horizon: 12 },
+        ..EvalConfig::default()
+    };
+    let record = evaluate("d", &series, &ModelSpec::Mean, &config, &registry).unwrap();
+    assert!(record.is_ok());
+    assert!(record.score("bias").is_finite());
+    assert!(record.score("mae") >= record.score("bias").abs());
+}
+
+#[test]
+fn run_log_tracks_failures_without_aborting() {
+    let p = EasyTime::new();
+    // 24 points leave a 19-point training window — below ARIMA's minimum
+    // of 20, so ARIMA fails while naive succeeds.
+    let csv = "value\n".to_string()
+        + &(0..24).map(|t| format!("{t}")).collect::<Vec<_>>().join("\n");
+    p.upload_csv("short", Domain::Web, &csv, Frequency::Daily).unwrap();
+    let records = p
+        .one_click_json(
+            r#"{"methods": ["naive", "arima_211"], "strategy": {"type": "fixed", "horizon": 4}}"#,
+        )
+        .unwrap();
+    assert_eq!(records.len(), 2);
+    let ok = records.iter().filter(|r| r.is_ok()).count();
+    assert_eq!(ok, 1, "naive succeeds, arima fails cleanly");
+    assert_eq!(p.run_log().failures(), 1);
+    // Failed run is absent from the knowledge base.
+    let n = p.query_knowledge("SELECT COUNT(*) AS n FROM results").unwrap();
+    assert_eq!(n.rows[0][0].to_string(), "1");
+}

@@ -1,0 +1,139 @@
+//! Consistency guarantees of the benchmark pipeline — the Challenge-1
+//! hazards the paper lists: splits, normalization, strategies, drop-last.
+
+use easytime::{
+    CorpusConfig, Domain, EasyTime, EvalConfig, ModelSpec, SplitSpec, Strategy, TimeSeries,
+};
+use easytime_data::scaler::ScalerKind;
+use easytime_data::Frequency;
+use easytime_eval::{evaluate, MetricRegistry};
+use std::f64::consts::PI;
+
+fn seasonal(n: usize, level: f64) -> TimeSeries {
+    let values: Vec<f64> =
+        (0..n).map(|t| level + 4.0 * (2.0 * PI * t as f64 / 12.0).sin()).collect();
+    TimeSeries::new("s", values, Frequency::Monthly).unwrap()
+}
+
+#[test]
+fn scaler_choice_does_not_corrupt_metrics_scale() {
+    // Whatever normalization runs inside the pipeline, metrics are on the
+    // raw scale — forecasts must be inverse-transformed (unified
+    // post-processing).
+    let registry = MetricRegistry::standard();
+    let series = seasonal(240, 1e5);
+    let mut maes = Vec::new();
+    for scaler in [ScalerKind::None, ScalerKind::ZScore, ScalerKind::MinMax, ScalerKind::Robust] {
+        let config = EvalConfig { scaler, ..EvalConfig::default() };
+        let r = evaluate("d", &series, &ModelSpec::SeasonalNaive(None), &config, &registry)
+            .unwrap();
+        assert!(r.is_ok());
+        maes.push(r.score("mae"));
+    }
+    // Seasonal-naive ignores scale entirely, so all four must agree.
+    for pair in maes.windows(2) {
+        assert!(
+            (pair[0] - pair[1]).abs() < 1e-6,
+            "scaler changed a scale-free model's MAE: {maes:?}"
+        );
+    }
+}
+
+#[test]
+fn split_ratios_control_the_forecast_origin() {
+    let registry = MetricRegistry::standard();
+    let series = seasonal(200, 10.0);
+    // Larger train ratio → test starts later → different window count
+    // under rolling.
+    let narrow = EvalConfig {
+        split: SplitSpec::new(0.5, 0.0, false).unwrap(),
+        strategy: Strategy::Rolling { horizon: 10, stride: 10, max_windows: None },
+        ..EvalConfig::default()
+    };
+    let wide = EvalConfig {
+        split: SplitSpec::new(0.9, 0.0, false).unwrap(),
+        strategy: Strategy::Rolling { horizon: 10, stride: 10, max_windows: None },
+        ..EvalConfig::default()
+    };
+    let r_narrow = evaluate("d", &series, &ModelSpec::Naive, &narrow, &registry).unwrap();
+    let r_wide = evaluate("d", &series, &ModelSpec::Naive, &wide, &registry).unwrap();
+    assert_eq!(r_narrow.windows, 10); // 100 test points / 10
+    assert_eq!(r_wide.windows, 2); // 20 test points / 10
+}
+
+#[test]
+fn drop_last_changes_only_the_partial_window() {
+    let registry = MetricRegistry::standard();
+    // 205 points, test = 62 points (0.7 train / no val): windows of 12 →
+    // 5 full + 1 partial.
+    let series = seasonal(205, 10.0);
+    let keep = EvalConfig {
+        split: SplitSpec::new(0.7, 0.0, false).unwrap(),
+        strategy: Strategy::Rolling { horizon: 12, stride: 12, max_windows: None },
+        ..EvalConfig::default()
+    };
+    let drop = EvalConfig {
+        split: SplitSpec::new(0.7, 0.0, true).unwrap(),
+        ..keep.clone()
+    };
+    let r_keep = evaluate("d", &series, &ModelSpec::SeasonalNaive(None), &keep, &registry).unwrap();
+    let r_drop = evaluate("d", &series, &ModelSpec::SeasonalNaive(None), &drop, &registry).unwrap();
+    assert_eq!(r_keep.windows, r_drop.windows + 1);
+}
+
+#[test]
+fn strategies_agree_on_their_shared_first_window() {
+    // The first rolling window is exactly the fixed-window evaluation, so
+    // a 1-window rolling run must match fixed for a deterministic model.
+    let registry = MetricRegistry::standard();
+    let series = seasonal(240, 10.0);
+    let fixed = EvalConfig {
+        strategy: Strategy::Fixed { horizon: 24 },
+        ..EvalConfig::default()
+    };
+    let rolling_one = EvalConfig {
+        strategy: Strategy::Rolling { horizon: 24, stride: 24, max_windows: Some(1) },
+        ..EvalConfig::default()
+    };
+    let a = evaluate("d", &series, &ModelSpec::Theta(None), &fixed, &registry).unwrap();
+    let b = evaluate("d", &series, &ModelSpec::Theta(None), &rolling_one, &registry).unwrap();
+    assert_eq!(a.scores.keys().collect::<Vec<_>>(), b.scores.keys().collect::<Vec<_>>());
+    for (metric, &va) in &a.scores {
+        let vb = b.score(metric);
+        // A pure sine makes MASE's seasonal-naive denominator zero → NaN
+        // on both sides; NaN-aware equality handles that.
+        assert!(va == vb || (va.is_nan() && vb.is_nan()), "{metric}: {va} vs {vb}");
+    }
+}
+
+#[test]
+fn one_click_results_match_per_series_evaluation() {
+    // evaluate_corpus must produce byte-identical scores to calling
+    // evaluate() per series — parallelism must not change results.
+    let platform = EasyTime::with_benchmark(&CorpusConfig {
+        domains: vec![Domain::Traffic],
+        per_domain: 4,
+        length: 200,
+        seed: 3,
+        ..CorpusConfig::default()
+    })
+    .unwrap();
+    let records = platform
+        .one_click_json(r#"{"methods": ["seasonal_naive"], "strategy": {"type": "fixed", "horizon": 24}}"#)
+        .unwrap();
+
+    let registry = MetricRegistry::standard();
+    for record in &records {
+        let series = platform.registry().get(&record.dataset_id).unwrap().primary_series();
+        let config = EvalConfig {
+            methods: vec![ModelSpec::SeasonalNaive(None)],
+            strategy: Strategy::Fixed { horizon: 24 },
+            metrics: record.scores.keys().cloned().collect(),
+            ..EvalConfig::default()
+        };
+        let solo =
+            evaluate(&record.dataset_id, &series, &ModelSpec::SeasonalNaive(None), &config, &registry)
+                .unwrap();
+        assert_eq!(solo.scores, record.scores, "{}", record.dataset_id);
+    }
+}
