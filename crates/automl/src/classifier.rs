@@ -9,9 +9,7 @@
 use crate::error::AutoMlError;
 use easytime_linalg::stats::softmax;
 use easytime_models::optimize::Adam;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use easytime_rng::StdRng;
 
 /// Label construction mode (ablation A1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -97,7 +95,7 @@ impl SoftLabelClassifier {
         let mut rng = StdRng::seed_from_u64(config.seed);
         let scale = (1.0 / dim as f64).sqrt();
         let mut weights: Vec<f64> =
-            (0..classes * dim).map(|_| (rng.gen::<f64>() * 2.0 - 1.0) * scale).collect();
+            (0..classes * dim).map(|_| (rng.gen_f64() * 2.0 - 1.0) * scale).collect();
         // Bias starts at the log-prior of the (soft) labels. Because L2
         // regularizes only the weights, the model's fallback when features
         // carry no signal is exactly the marginal "popularity" ranking —
@@ -121,7 +119,7 @@ impl SoftLabelClassifier {
         let mut order: Vec<usize> = (0..inputs.len()).collect();
 
         for _ in 0..config.epochs {
-            order.shuffle(&mut rng);
+            rng.shuffle(&mut order);
             for chunk in order.chunks(config.batch_size.max(1)) {
                 let mut g_w = vec![0.0; classes * dim];
                 let mut g_b = vec![0.0; classes];
@@ -229,7 +227,7 @@ mod tests {
         let mut ts = Vec::with_capacity(n);
         for _ in 0..n {
             let class = rng.gen_range(0..3usize);
-            let mut x = vec![rng.gen::<f64>() * 0.4, rng.gen::<f64>() * 0.4, rng.gen::<f64>() * 0.4];
+            let mut x = vec![rng.gen_f64() * 0.4, rng.gen_f64() * 0.4, rng.gen_f64() * 0.4];
             x[class] += 1.0;
             let mut t = vec![0.0; 3];
             t[class] = 1.0;
@@ -312,10 +310,10 @@ mod tests {
         let mut soft_ts = Vec::new();
         let mut hard_ts = Vec::new();
         for _ in 0..120 {
-            let x = vec![rng.gen::<f64>(), rng.gen::<f64>()];
+            let x = vec![rng.gen_f64(), rng.gen_f64()];
             // Scores: methods 0 and 1 nearly tied (tie order flips on
             // noise), method 2 bad.
-            let eps = rng.gen::<f64>() * 0.02;
+            let eps = rng.gen_f64() * 0.02;
             let scores = [1.0 + eps, 1.01 - eps, 9.0];
             xs.push(x);
             soft_ts.push(soft_labels(&scores, 0.3));

@@ -1,7 +1,7 @@
-//! Criterion bench: series embedding — the online-inference hot path of
+//! Micro-bench: series embedding — the online-inference hot path of
 //! the Automated Ensemble (Figure 2: "TS2Vec extracts features from X").
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use easytime_bench::harness::{black_box, Harness};
 use easytime_data::{Frequency, TimeSeries};
 use easytime_repr::features::extract_features;
 use easytime_repr::rocket::RocketEncoder;
@@ -14,7 +14,7 @@ fn series(n: usize) -> TimeSeries {
     TimeSeries::new("bench", values, Frequency::Hourly).unwrap()
 }
 
-fn bench_embedding(c: &mut Criterion) {
+fn bench_embedding(c: &mut Harness) {
     let s400 = series(400);
     let s2000 = series(2000);
 
@@ -44,5 +44,8 @@ fn bench_embedding(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_embedding);
-criterion_main!(benches);
+fn main() {
+    let mut c = Harness::new();
+    bench_embedding(&mut c);
+    c.finish();
+}

@@ -1,10 +1,10 @@
-//! Criterion bench: metric kernels on benchmark-scale windows.
+//! Micro-bench: metric kernels on benchmark-scale windows.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use easytime_bench::harness::{black_box, Harness};
 use easytime_eval::metrics::{mae, mase, mse, r2, rmse, smape, wape};
 use easytime_eval::MetricContext;
 
-fn bench_metrics(c: &mut Criterion) {
+fn bench_metrics(c: &mut Harness) {
     let actual: Vec<f64> = (0..1024).map(|t| 10.0 + (t as f64 * 0.1).sin() * 3.0).collect();
     let predicted: Vec<f64> = actual.iter().map(|v| v + 0.3).collect();
     let train: Vec<f64> = (0..4096).map(|t| 10.0 + (t as f64 * 0.1).sin() * 3.0).collect();
@@ -21,5 +21,8 @@ fn bench_metrics(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_metrics);
-criterion_main!(benches);
+fn main() {
+    let mut c = Harness::new();
+    bench_metrics(&mut c);
+    c.finish();
+}

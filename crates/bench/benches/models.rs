@@ -1,6 +1,6 @@
-//! Criterion bench: fit + forecast per model family on a 400-point series.
+//! Micro-bench: fit + forecast per model family on a 400-point series.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use easytime_bench::harness::{black_box, Harness};
 use easytime_data::{Frequency, TimeSeries};
 use easytime_models::{Forecaster, ModelSpec};
 use std::f64::consts::PI;
@@ -16,7 +16,7 @@ fn series() -> TimeSeries {
     TimeSeries::new("bench", values, Frequency::Hourly).unwrap()
 }
 
-fn bench_models(c: &mut Criterion) {
+fn bench_models(c: &mut Harness) {
     let train = series();
     let specs = [
         ModelSpec::Naive,
@@ -35,7 +35,7 @@ fn bench_models(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("model_fit_forecast_h24");
     for spec in specs {
-        group.bench_function(spec.name(), |b| {
+        group.bench_function(&spec.name(), |b| {
             b.iter(|| {
                 let mut model = spec.build().unwrap();
                 model.fit(&train).unwrap();
@@ -54,5 +54,8 @@ fn bench_models(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_models);
-criterion_main!(benches);
+fn main() {
+    let mut c = Harness::new();
+    bench_models(&mut c);
+    c.finish();
+}

@@ -1,6 +1,6 @@
-//! Criterion bench: NL2SQL parsing and the full Q&A turnaround.
+//! Micro-bench: NL2SQL parsing and the full Q&A turnaround.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use easytime_bench::harness::{black_box, BatchSize, Harness};
 use easytime_db::knowledge::{
     create_knowledge_schema, insert_dataset, insert_method, insert_result, DatasetRow, MethodRow,
     ResultRow,
@@ -75,7 +75,7 @@ fn small_knowledge() -> Database {
     db
 }
 
-fn bench_nl2sql(c: &mut Criterion) {
+fn bench_nl2sql(c: &mut Harness) {
     let lex = lexicon();
     let question = "What are the top-8 methods (ordered by MAE) for long-term forecasting \
                     on all multivariate datasets with trends?";
@@ -90,10 +90,13 @@ fn bench_nl2sql(c: &mut Criterion) {
         b.iter_batched(
             || QaSession::new(small_knowledge()).unwrap(),
             |mut session| black_box(session.ask("top 5 methods by mae on web data").unwrap()),
-            criterion::BatchSize::SmallInput,
+            BatchSize::SmallInput,
         )
     });
 }
 
-criterion_group!(benches, bench_nl2sql);
-criterion_main!(benches);
+fn main() {
+    let mut c = Harness::new();
+    bench_nl2sql(&mut c);
+    c.finish();
+}

@@ -1,12 +1,12 @@
-//! Criterion bench: the end-to-end one-click pipeline on a small corpus.
+//! Micro-bench: the end-to-end one-click pipeline on a small corpus.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use easytime_bench::harness::{black_box, BatchSize, Harness};
 use easytime::{CorpusConfig, Domain, EasyTime};
 use easytime_bench::fast_zoo;
 use easytime_data::synthetic::build_corpus;
 use easytime_eval::{evaluate_corpus, EvalConfig, MetricRegistry, Strategy};
 
-fn bench_pipeline(c: &mut Criterion) {
+fn bench_pipeline(c: &mut Harness) {
     let corpus = build_corpus(&CorpusConfig {
         domains: vec![Domain::Nature, Domain::Web, Domain::Traffic],
         per_domain: 3,
@@ -47,7 +47,7 @@ fn bench_pipeline(c: &mut Criterion) {
                         .unwrap(),
                 )
             },
-            criterion::BatchSize::SmallInput,
+            BatchSize::SmallInput,
         )
     });
 
@@ -66,5 +66,8 @@ fn bench_pipeline(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_pipeline);
-criterion_main!(benches);
+fn main() {
+    let mut c = Harness::new();
+    bench_pipeline(&mut c);
+    c.finish();
+}

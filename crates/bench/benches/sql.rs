@@ -1,6 +1,6 @@
-//! Criterion bench: the embedded SQL engine on knowledge-base-shaped data.
+//! Micro-bench: the embedded SQL engine on knowledge-base-shaped data.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use easytime_bench::harness::{black_box, Harness};
 use easytime_db::knowledge::{create_knowledge_schema, insert_dataset, insert_result, DatasetRow, ResultRow};
 use easytime_db::Database;
 
@@ -51,7 +51,7 @@ fn knowledge(n_datasets: usize, n_methods: usize) -> Database {
     db
 }
 
-fn bench_sql(c: &mut Criterion) {
+fn bench_sql(c: &mut Harness) {
     // 500 datasets × 20 methods = 10,000 result rows.
     let db = knowledge(500, 20);
 
@@ -104,5 +104,8 @@ fn bench_sql(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_sql);
-criterion_main!(benches);
+fn main() {
+    let mut c = Harness::new();
+    bench_sql(&mut c);
+    c.finish();
+}

@@ -1,7 +1,7 @@
-//! Criterion bench: fixed vs rolling strategy evaluation through the full
+//! Micro-bench: fixed vs rolling strategy evaluation through the full
 //! pipeline (split → scale → fit → forecast → metrics).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use easytime_bench::harness::{black_box, Harness};
 use easytime_data::{Frequency, TimeSeries};
 use easytime_eval::{evaluate, EvalConfig, MetricRegistry, Strategy};
 use easytime_models::ModelSpec;
@@ -13,7 +13,7 @@ fn series(n: usize) -> TimeSeries {
     TimeSeries::new("bench", values, Frequency::Hourly).unwrap()
 }
 
-fn bench_strategies(c: &mut Criterion) {
+fn bench_strategies(c: &mut Harness) {
     let registry = MetricRegistry::standard();
     let s = series(600);
 
@@ -55,5 +55,8 @@ fn bench_strategies(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_strategies);
-criterion_main!(benches);
+fn main() {
+    let mut c = Harness::new();
+    bench_strategies(&mut c);
+    c.finish();
+}

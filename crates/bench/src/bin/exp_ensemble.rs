@@ -20,9 +20,7 @@
 use easytime::{ModelSpec, RecommenderConfig, Strategy, TimeSeries, WeightMode};
 use easytime_automl::{AutoEnsemble, Recommender};
 use easytime_bench::{arg_usize, experiment_corpus, fast_zoo, finite_mean, global_best_method, print_table};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use easytime_rng::StdRng;
 
 fn smape(pred: &[f64], actual: &[f64]) -> f64 {
     let mut sum = 0.0;
@@ -94,7 +92,7 @@ fn main() {
 
         // Random-k ensemble.
         let mut pool = method_names.clone();
-        pool.shuffle(&mut rng);
+        rng.shuffle(&mut pool);
         let random_members: Vec<String> = pool.into_iter().take(k).collect();
         let random =
             AutoEnsemble::fit_with_members(&random_members, &history, 0.2, WeightMode::Learned)

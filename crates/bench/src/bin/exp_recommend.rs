@@ -23,9 +23,7 @@ use easytime_automl::{PerfMatrix, Recommender};
 use easytime_bench::{arg_usize, experiment_corpus, fast_zoo, finite_mean, ndcg_at_k, print_table};
 use easytime_eval::{evaluate_corpus, EvalConfig, MetricRegistry};
 use easytime_linalg::stats::spearman;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use easytime_rng::StdRng;
 
 fn main() {
     let per_domain = arg_usize("per-domain", 6);
@@ -152,7 +150,7 @@ fn main() {
         rec_acc.update(&predicted, scores, best);
 
         let mut random: Vec<usize> = (0..names.len()).collect();
-        random.shuffle(&mut rng);
+        rng.shuffle(&mut random);
         random_acc.update(&random, scores, best);
         pop_acc.update(&popularity, scores, best);
     }

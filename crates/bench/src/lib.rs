@@ -1,6 +1,9 @@
 //! Shared helpers for the experiment harness binaries (`exp_*`) and the
-//! criterion benches. Each binary regenerates one table/figure of
-//! EXPERIMENTS.md; see DESIGN.md §4 for the experiment index.
+//! micro-benchmarks under `benches/` (driven by the std-only [`harness`]
+//! module). Each binary regenerates one table/figure of EXPERIMENTS.md;
+//! see DESIGN.md §4 for the experiment index.
+
+pub mod harness;
 
 use easytime::{CorpusConfig, Dataset, ModelSpec, Strategy};
 use easytime_automl::PerfMatrix;
@@ -31,6 +34,8 @@ pub fn experiment_corpus(per_domain: usize, length: usize, seed: u64) -> Vec<Dat
         seed,
         ..CorpusConfig::default()
     })
+    // lint: allow(panic) — the corpus configuration above is static and
+    // valid by construction; experiment binaries want a loud failure.
     .expect("experiment corpus config is valid")
 }
 

@@ -194,7 +194,7 @@ impl<'a> JsonParser<'a> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+    fn consume(&mut self, b: u8) -> Result<(), JsonError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -227,7 +227,7 @@ impl<'a> JsonParser<'a> {
     }
 
     fn object(&mut self) -> Result<Json, JsonError> {
-        self.expect(b'{')?;
+        self.consume(b'{')?;
         let mut map = BTreeMap::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -238,7 +238,7 @@ impl<'a> JsonParser<'a> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.consume(b':')?;
             let value = self.value()?;
             map.insert(key, value);
             self.skip_ws();
@@ -254,7 +254,7 @@ impl<'a> JsonParser<'a> {
     }
 
     fn array(&mut self) -> Result<Json, JsonError> {
-        self.expect(b'[')?;
+        self.consume(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -276,7 +276,7 @@ impl<'a> JsonParser<'a> {
     }
 
     fn string(&mut self) -> Result<String, JsonError> {
-        self.expect(b'"')?;
+        self.consume(b'"')?;
         let mut out = String::new();
         loop {
             let Some(c) = self.text[self.pos..].chars().next() else {
@@ -362,12 +362,12 @@ mod tests {
 
     #[test]
     fn parses_scalars() {
-        assert_eq!(Json::parse("null").unwrap(), Json::Null);
-        assert_eq!(Json::parse("true").unwrap(), Json::Bool(true));
-        assert_eq!(Json::parse(" false ").unwrap(), Json::Bool(false));
-        assert_eq!(Json::parse("42").unwrap(), Json::Number(42.0));
-        assert_eq!(Json::parse("-2.5e2").unwrap(), Json::Number(-250.0));
-        assert_eq!(Json::parse("\"hi\"").unwrap(), Json::String("hi".into()));
+        assert_eq!(Json::parse("null").expect("input parses as JSON"), Json::Null);
+        assert_eq!(Json::parse("true").expect("input parses as JSON"), Json::Bool(true));
+        assert_eq!(Json::parse(" false ").expect("input parses as JSON"), Json::Bool(false));
+        assert_eq!(Json::parse("42").expect("input parses as JSON"), Json::Number(42.0));
+        assert_eq!(Json::parse("-2.5e2").expect("input parses as JSON"), Json::Number(-250.0));
+        assert_eq!(Json::parse("\"hi\"").expect("input parses as JSON"), Json::String("hi".into()));
     }
 
     #[test]
@@ -378,17 +378,17 @@ mod tests {
             "drop_last": false,
             "ratio": 0.7
         }"#;
-        let v = Json::parse(doc).unwrap();
+        let v = Json::parse(doc).expect("input parses as JSON");
         assert_eq!(
-            v.get("methods").unwrap().as_array().unwrap()[1].as_str(),
+            v.get("methods").expect("key is present in the object").as_array().expect("value is a JSON array")[1].as_str(),
             Some("theta")
         );
         assert_eq!(
-            v.get("strategy").unwrap().get("horizon").unwrap().as_usize(),
+            v.get("strategy").expect("key is present in the object").get("horizon").expect("key is present in the object").as_usize(),
             Some(24)
         );
-        assert_eq!(v.get("drop_last").unwrap().as_bool(), Some(false));
-        assert_eq!(v.get("ratio").unwrap().as_f64(), Some(0.7));
+        assert_eq!(v.get("drop_last").expect("key is present in the object").as_bool(), Some(false));
+        assert_eq!(v.get("ratio").expect("key is present in the object").as_f64(), Some(0.7));
         assert!(v.get("missing").is_none());
     }
 
@@ -396,13 +396,13 @@ mod tests {
     fn string_escapes_round_trip() {
         let original = Json::String("a\"b\\c\nd\te\u{1}ü".into());
         let text = original.to_string();
-        assert_eq!(Json::parse(&text).unwrap(), original);
+        assert_eq!(Json::parse(&text).expect("input parses as JSON"), original);
     }
 
     #[test]
     fn unicode_escape_parsing() {
         assert_eq!(
-            Json::parse(r#""é中""#).unwrap(),
+            Json::parse(r#""é中""#).expect("input parses as JSON"),
             Json::String("é中".into())
         );
         assert!(Json::parse(r#""\u12"#).is_err());
@@ -422,9 +422,9 @@ mod tests {
     #[test]
     fn serialization_round_trips() {
         let doc = r#"{"a": [1, 2.5, null, true, "s"], "b": {"c": -3}}"#;
-        let v = Json::parse(doc).unwrap();
+        let v = Json::parse(doc).expect("input parses as JSON");
         let text = v.to_string();
-        assert_eq!(Json::parse(&text).unwrap(), v);
+        assert_eq!(Json::parse(&text).expect("input parses as JSON"), v);
         // Compact form uses no spaces.
         assert!(!text.contains(": "));
     }
@@ -435,39 +435,54 @@ mod tests {
         assert_eq!(Json::Number(f64::INFINITY).to_string(), "null");
     }
 
-    /// Arbitrary JSON values for the round-trip property.
-    #[cfg(test)]
-    fn arb_json() -> impl proptest::strategy::Strategy<Value = Json> {
-        use proptest::prelude::*;
-        let leaf = prop_oneof![
-            Just(Json::Null),
-            any::<bool>().prop_map(Json::Bool),
-            (-1e9..1e9f64).prop_map(|n| Json::Number((n * 1e3).round() / 1e3)),
-            "[ -~]{0,16}".prop_map(Json::String),
-        ];
-        leaf.prop_recursive(3, 24, 4, |inner| {
-            prop_oneof![
-                proptest::collection::vec(inner.clone(), 0..4).prop_map(Json::Array),
-                proptest::collection::btree_map("[a-z]{1,6}", inner, 0..4)
-                    .prop_map(Json::Object),
-            ]
-        })
+    /// Random JSON value for the round-trip property: leaves are null /
+    /// bool / rounded number / printable string, containers recurse up to
+    /// `depth` levels.
+    fn arb_json(rng: &mut easytime_rng::StdRng, depth: usize) -> Json {
+        let leaf_only = depth == 0;
+        match rng.gen_range(0..if leaf_only { 4 } else { 6 }) {
+            0 => Json::Null,
+            1 => Json::Bool(rng.gen_bool(0.5)),
+            2 => Json::Number((rng.gen_range_f64(-1e9, 1e9) * 1e3).round() / 1e3),
+            3 => {
+                let len = rng.gen_range(0..17);
+                Json::String(
+                    (0..len).map(|_| (b' ' + rng.gen_range(0..95) as u8) as char).collect(),
+                )
+            }
+            4 => Json::Array(
+                (0..rng.gen_range(0..4)).map(|_| arb_json(rng, depth - 1)).collect(),
+            ),
+            _ => Json::Object(
+                (0..rng.gen_range(0..4))
+                    .map(|_| {
+                        let klen = rng.gen_range(1..7);
+                        let key: String = (0..klen)
+                            .map(|_| (b'a' + rng.gen_range(0..26) as u8) as char)
+                            .collect();
+                        (key, arb_json(rng, depth - 1))
+                    })
+                    .collect(),
+            ),
+        }
     }
 
-    proptest::proptest! {
-        #[test]
-        fn serialization_round_trips_arbitrary_values(v in arb_json()) {
+    #[test]
+    fn serialization_round_trips_arbitrary_values() {
+        for case in 0..64 {
+            let mut rng = easytime_rng::StdRng::seed_from_u64(0x150A_F00D).derive(case);
+            let v = arb_json(&mut rng, 3);
             let text = v.to_string();
-            let back = Json::parse(&text).unwrap();
-            proptest::prop_assert_eq!(back, v);
+            let back = Json::parse(&text).expect("input parses as JSON");
+            assert_eq!(back, v, "round-trip failed for {text}");
         }
     }
 
     #[test]
     fn empty_containers() {
-        assert_eq!(Json::parse("[]").unwrap(), Json::Array(vec![]));
-        assert_eq!(Json::parse("{}").unwrap(), Json::Object(BTreeMap::new()));
-        assert_eq!(Json::parse("[]").unwrap().to_string(), "[]");
-        assert_eq!(Json::parse("{}").unwrap().to_string(), "{}");
+        assert_eq!(Json::parse("[]").expect("input parses as JSON"), Json::Array(vec![]));
+        assert_eq!(Json::parse("{}").expect("input parses as JSON"), Json::Object(BTreeMap::new()));
+        assert_eq!(Json::parse("[]").expect("input parses as JSON").to_string(), "[]");
+        assert_eq!(Json::parse("{}").expect("input parses as JSON").to_string(), "{}");
     }
 }

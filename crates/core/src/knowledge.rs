@@ -20,7 +20,10 @@ use easytime_models::zoo::ZooEntry;
 /// Creates a fresh knowledge database with the schema installed.
 pub fn new_knowledge_db() -> Database {
     let mut db = Database::new();
-    create_knowledge_schema(&mut db).expect("fresh database cannot have duplicate tables");
+    // lint: allow(panic) — installing the schema into a brand-new empty
+    // database cannot collide with existing tables; failure here is a bug
+    // in the schema itself, not a runtime condition.
+    create_knowledge_schema(&mut db).expect("fresh database accepts the schema");
     db
 }
 
@@ -123,8 +126,12 @@ pub fn read_perf_matrix(db: &Database, metric: &str) -> Result<PerfMatrix, EasyT
     for row in &result.rows {
         let d = row[0].as_str().unwrap_or_default();
         let m = row[1].as_str().unwrap_or_default();
-        let di = dataset_ids.iter().position(|x| x == d).expect("collected above");
-        let mi = methods.iter().position(|x| x == m).expect("collected above");
+        let (Some(di), Some(mi)) = (
+            dataset_ids.iter().position(|x| x == d),
+            methods.iter().position(|x| x == m),
+        ) else {
+            continue;
+        };
         if let Value::Float(v) = row[2] {
             scores[di][mi] = v;
         }

@@ -19,7 +19,7 @@ use easytime_db::{Database, QueryResult};
 use easytime_eval::{evaluate_corpus, EvalConfig, EvalRecord, Leaderboard, MetricRegistry, RunLog};
 use easytime_models::zoo::{standard_zoo, ZooEntry};
 use easytime_qa::QaSession;
-use parking_lot::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 /// The EasyTime platform: one-click evaluation, automated ensembles, and
 /// Q&A over a shared benchmark.
@@ -31,6 +31,15 @@ pub struct EasyTime {
     zoo: Vec<ZooEntry>,
 }
 
+impl std::fmt::Debug for EasyTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EasyTime")
+            .field("datasets", &self.registry.len())
+            .field("methods", &self.zoo.len())
+            .finish_non_exhaustive()
+    }
+}
+
 impl Default for EasyTime {
     fn default() -> Self {
         Self::new()
@@ -38,12 +47,22 @@ impl Default for EasyTime {
 }
 
 impl EasyTime {
+    /// Guarded access to the knowledge database; a poisoned lock is
+    /// recovered rather than propagated (the database is a value type and
+    /// every write path replaces whole rows).
+    fn knowledge_guard(&self) -> MutexGuard<'_, Database> {
+        self.knowledge.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Creates an empty platform (no datasets yet) with the standard
     /// method roster registered in the knowledge base.
     pub fn new() -> EasyTime {
         let zoo = standard_zoo();
         let mut db = new_knowledge_db();
         for entry in &zoo {
+            // lint: allow(panic) — a freshly created schema statically
+            // accepts the standard roster; failure here is a programming
+            // error in the schema itself, not a runtime condition.
             record_method(&mut db, entry).expect("fresh schema accepts the roster");
         }
         EasyTime {
@@ -88,7 +107,7 @@ impl EasyTime {
     /// Registers a dataset and records its meta-information in the
     /// knowledge base.
     pub fn add_dataset(&self, dataset: Dataset) -> Result<(), EasyTimeError> {
-        record_dataset(&mut self.knowledge.lock(), &dataset)?;
+        record_dataset(&mut self.knowledge_guard(), &dataset)?;
         self.registry.insert(dataset);
         Ok(())
     }
@@ -129,7 +148,7 @@ impl EasyTime {
         }
         let records = evaluate_corpus(&datasets, &config.eval, &self.metrics)?;
         {
-            let mut db = self.knowledge.lock();
+            let mut db = self.knowledge_guard();
             for r in &records {
                 record_result(&mut db, r)?;
             }
@@ -160,13 +179,13 @@ impl EasyTime {
     /// Snapshot of the knowledge database (cheap enough at benchmark
     /// scale; keeps Q&A sessions isolated from later writes).
     pub fn knowledge_snapshot(&self) -> Database {
-        self.knowledge.lock().clone()
+        self.knowledge_guard().clone()
     }
 
     /// Runs a read-only SQL query against the knowledge base (the power-
     /// user path shown in Figure 5, label 4).
     pub fn query_knowledge(&self, sql: &str) -> Result<QueryResult, EasyTimeError> {
-        Ok(self.knowledge.lock().query(sql)?)
+        Ok(self.knowledge_guard().query(sql)?)
     }
 
     /// Opens a natural-language Q&A session over the current knowledge.
@@ -192,7 +211,7 @@ impl EasyTime {
         &self,
         config: &RecommenderConfig,
     ) -> Result<Recommender, EasyTimeError> {
-        let matrix = read_perf_matrix(&self.knowledge.lock(), &config.metric)?;
+        let matrix = read_perf_matrix(&self.knowledge_guard(), &config.metric)?;
         let mut series = Vec::with_capacity(matrix.dataset_ids.len());
         for id in &matrix.dataset_ids {
             series.push(self.registry.get(id)?.primary_series());
@@ -295,7 +314,7 @@ mod tests {
             length: 150,
             ..CorpusConfig::default()
         })
-        .unwrap()
+        .expect("with_benchmark succeeds")
     }
 
     #[test]
@@ -303,9 +322,9 @@ mod tests {
         let p = small_platform();
         assert_eq!(p.registry().len(), 6);
         assert!(p.method_roster().len() >= 20);
-        let methods = p.query_knowledge("SELECT COUNT(*) AS n FROM methods").unwrap();
+        let methods = p.query_knowledge("SELECT COUNT(*) AS n FROM methods").expect("query_knowledge succeeds");
         assert_eq!(methods.rows[0][0].to_string(), p.method_roster().len().to_string());
-        let datasets = p.query_knowledge("SELECT COUNT(*) AS n FROM datasets").unwrap();
+        let datasets = p.query_knowledge("SELECT COUNT(*) AS n FROM datasets").expect("query_knowledge succeeds");
         assert_eq!(datasets.rows[0][0].to_string(), "6");
     }
 
@@ -320,15 +339,15 @@ mod tests {
                     "datasets": {"domain": "nature"}
                 }"#,
             )
-            .unwrap();
+            .expect("JSON config is valid");
         assert_eq!(records.len(), 3 * 2);
         assert!(records.iter().all(EvalRecord::is_ok));
         // Results landed in the knowledge base and the log.
-        let n = p.query_knowledge("SELECT COUNT(*) AS n FROM results").unwrap();
+        let n = p.query_knowledge("SELECT COUNT(*) AS n FROM results").expect("query_knowledge succeeds");
         assert_eq!(n.rows[0][0].to_string(), "6");
         assert_eq!(p.run_log().len(), 6);
         // Leaderboard is available.
-        let board = p.leaderboard("mae").unwrap();
+        let board = p.leaderboard("mae").expect("leaderboard succeeds");
         assert_eq!(board.rows.len(), 2);
     }
 
@@ -351,23 +370,23 @@ mod tests {
                 10.0 + 5.0 * (2.0 * std::f64::consts::PI * t as f64 / 12.0).sin()
             ));
         }
-        let chars = p.upload_csv("mine", Domain::Economic, &csv, Frequency::Monthly).unwrap();
+        let chars = p.upload_csv("mine", Domain::Economic, &csv, Frequency::Monthly).expect("upload_csv succeeds");
         assert!(chars.seasonality > 0.8);
         assert_eq!(p.registry().len(), 1);
-        assert_eq!(p.characteristics("mine").unwrap().period, 12);
+        assert_eq!(p.characteristics("mine").expect("characteristics succeeds").period, 12);
         // And it is queryable through SQL.
         let r = p
             .query_knowledge("SELECT seasonality FROM datasets WHERE id = 'mine'")
-            .unwrap();
-        assert!(r.rows[0][0].as_f64().unwrap() > 0.8);
+            .expect("query_knowledge succeeds");
+        assert!(r.rows[0][0].as_f64().expect("as_f64 succeeds") > 0.8);
     }
 
     #[test]
     fn qa_over_evaluated_results() {
         let p = small_platform();
-        p.one_click_json(r#"{"methods": ["naive", "seasonal_naive", "theta"]}"#).unwrap();
-        let mut session = p.qa_session().unwrap();
-        let resp = session.ask("What are the top 3 methods by MAE?").unwrap();
+        p.one_click_json(r#"{"methods": ["naive", "seasonal_naive", "theta"]}"#).expect("JSON config is valid");
+        let mut session = p.qa_session().expect("qa_session succeeds");
+        let resp = session.ask("What are the top 3 methods by MAE?").expect("question is answered");
         assert_eq!(resp.table.rows.len(), 3);
         assert!(resp.answer.contains("1."));
     }
@@ -381,14 +400,14 @@ mod tests {
                 "strategy": {"type": "fixed", "horizon": 12},
                 "metrics": ["smape"]}"#,
         )
-        .unwrap();
+        .expect("JSON config is valid");
         let config = RecommenderConfig {
             methods: vec![ModelSpec::Naive, ModelSpec::SeasonalNaive(None), ModelSpec::Drift],
             strategy: Strategy::Fixed { horizon: 12 },
             ..RecommenderConfig::default()
         };
-        let rec = p.pretrain_recommender_from_knowledge(&config).unwrap();
-        let top = p.recommend(&rec, &p.registry().ids()[0], 2).unwrap();
+        let rec = p.pretrain_recommender_from_knowledge(&config).expect("pretraining succeeds");
+        let top = p.recommend(&rec, &p.registry().ids()[0], 2).expect("recommendation succeeds");
         assert_eq!(top.len(), 2);
         assert!(top[0].1 >= top[1].1);
     }
@@ -404,7 +423,7 @@ mod tests {
         }
         let chars = p
             .upload_multivariate_csv("pair", Domain::Electricity, &csv, Frequency::Hourly)
-            .unwrap();
+            .expect("upload_multivariate_csv succeeds");
         assert!(chars.correlation > 0.9, "correlation {}", chars.correlation);
 
         let config = EvalConfig {
@@ -420,13 +439,13 @@ mod tests {
                 ],
                 &config,
             )
-            .unwrap();
+            .expect("evaluate_multivariate succeeds");
         assert_eq!(records.len(), 2);
         assert!(records.iter().all(EvalRecord::is_ok));
         assert_eq!(p.run_log().len(), 2);
         // A univariate dataset is rejected on this path.
         let uni_csv = "value\n1\n2\n3\n4\n5\n6\n7\n8\n9\n10\n";
-        p.upload_csv("uni", Domain::Web, uni_csv, Frequency::Daily).unwrap();
+        p.upload_csv("uni", Domain::Web, uni_csv, Frequency::Daily).expect("upload_csv succeeds");
         assert!(p
             .evaluate_multivariate("uni", &[MultiModelSpec::Var { order: 1 }], &config)
             .is_err());
@@ -435,12 +454,12 @@ mod tests {
     #[test]
     fn global_model_pretrains_and_specializes() {
         let p = small_platform();
-        let global = p.pretrain_global_model(16).unwrap();
+        let global = p.pretrain_global_model(16).expect("pretrain_global_model succeeds");
         assert!(global.is_pretrained());
         let series = p.registry().all()[0].primary_series();
-        let zero_shot = global.specialize(&series).unwrap();
+        let zero_shot = global.specialize(&series).expect("specialization succeeds");
         use easytime_models::Forecaster;
-        let f = zero_shot.forecast(8).unwrap();
+        let f = zero_shot.forecast(8).expect("forecast succeeds on a fitted model");
         assert_eq!(f.len(), 8);
         assert!(f.iter().all(|v| v.is_finite()));
     }
@@ -453,10 +472,10 @@ mod tests {
             strategy: Strategy::Fixed { horizon: 12 },
             ..RecommenderConfig::default()
         };
-        let (rec, _) = p.pretrain_recommender(&config).unwrap();
-        let series = p.registry().get(&p.registry().ids()[0]).unwrap().primary_series();
-        let ens = p.auto_ensemble(&rec, &series, 2).unwrap();
-        let forecast = ens.forecast(12).unwrap();
+        let (rec, _) = p.pretrain_recommender(&config).expect("pretrain_recommender succeeds");
+        let series = p.registry().get(&p.registry().ids()[0]).expect("key is present in the object").primary_series();
+        let ens = p.auto_ensemble(&rec, &series, 2).expect("auto_ensemble succeeds");
+        let forecast = ens.forecast(12).expect("forecast succeeds on a fitted model");
         assert_eq!(forecast.len(), 12);
         assert!(forecast.iter().all(|v| v.is_finite()));
     }

@@ -113,7 +113,11 @@ pub fn read_univariate(
             ),
         });
     }
-    TimeSeries::new(name, parsed.data.into_iter().next().expect("one column"), frequency)
+    let column = parsed.data.into_iter().next().ok_or_else(|| DataError::Csv {
+        line: 1,
+        reason: "no data columns found".into(),
+    })?;
+    TimeSeries::new(name, column, frequency)
 }
 
 /// Reads a multivariate series from wide-layout CSV text.

@@ -170,6 +170,8 @@ impl Dataset {
         match &self.data {
             SeriesData::Univariate(ts) => ts.clone(),
             SeriesData::Multivariate(ms) => {
+                // lint: allow(panic) — MultiSeries construction rejects
+                // zero-channel data, so channel 0 always exists.
                 ms.to_univariate(0).expect("MultiSeries always has a channel 0")
             }
         }

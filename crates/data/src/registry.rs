@@ -4,12 +4,12 @@
 //! evaluation pipeline iterates it ("run a method on all existing datasets
 //! with one click", paper §II-B), the frontend's *Choose Dataset* button
 //! (Figure 4, label 2) looks datasets up by id, and uploads (label 1)
-//! insert new entries. It is guarded by a `parking_lot::RwLock` so the
+//! insert new entries. It is guarded by a `std::sync::RwLock` so the
 //! parallel pipeline can read concurrently while uploads are rare writes.
 
 use crate::dataset::{Dataset, Domain};
 use crate::error::DataError;
-use parking_lot::RwLock;
+use std::sync::{PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Thread-safe, insertion-ordered collection of datasets keyed by id.
 #[derive(Debug, Default)]
@@ -18,6 +18,17 @@ pub struct DatasetRegistry {
 }
 
 impl DatasetRegistry {
+    /// Read guard; a poisoned lock is recovered rather than propagated
+    /// (datasets are value types, so a panicked writer cannot leave a
+    /// half-updated entry behind).
+    fn read(&self) -> RwLockReadGuard<'_, Vec<Dataset>> {
+        self.inner.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn write(&self) -> RwLockWriteGuard<'_, Vec<Dataset>> {
+        self.inner.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Creates an empty registry.
     pub fn new() -> DatasetRegistry {
         DatasetRegistry::default()
@@ -31,7 +42,7 @@ impl DatasetRegistry {
     /// Inserts a dataset; replaces any existing dataset with the same id
     /// (re-upload semantics) and returns whether a replacement happened.
     pub fn insert(&self, dataset: Dataset) -> bool {
-        let mut guard = self.inner.write();
+        let mut guard = self.write();
         if let Some(existing) = guard.iter_mut().find(|d| d.meta.id == dataset.meta.id) {
             *existing = dataset;
             true
@@ -43,8 +54,7 @@ impl DatasetRegistry {
 
     /// Looks a dataset up by id.
     pub fn get(&self, id: &str) -> Result<Dataset, DataError> {
-        self.inner
-            .read()
+        self.read()
             .iter()
             .find(|d| d.meta.id == id)
             .cloned()
@@ -53,32 +63,32 @@ impl DatasetRegistry {
 
     /// Number of datasets.
     pub fn len(&self) -> usize {
-        self.inner.read().len()
+        self.read().len()
     }
 
     /// True when the registry holds no datasets.
     pub fn is_empty(&self) -> bool {
-        self.inner.read().is_empty()
+        self.read().is_empty()
     }
 
     /// All dataset ids in insertion order.
     pub fn ids(&self) -> Vec<String> {
-        self.inner.read().iter().map(|d| d.meta.id.clone()).collect()
+        self.read().iter().map(|d| d.meta.id.clone()).collect()
     }
 
     /// Snapshot of every dataset (cloned; datasets are value types).
     pub fn all(&self) -> Vec<Dataset> {
-        self.inner.read().clone()
+        self.read().clone()
     }
 
     /// Datasets from one domain.
     pub fn by_domain(&self, domain: Domain) -> Vec<Dataset> {
-        self.inner.read().iter().filter(|d| d.meta.domain == domain).cloned().collect()
+        self.read().iter().filter(|d| d.meta.domain == domain).cloned().collect()
     }
 
     /// Datasets matching an arbitrary meta predicate (e.g. "strong trend").
     pub fn filter(&self, pred: impl Fn(&Dataset) -> bool) -> Vec<Dataset> {
-        self.inner.read().iter().filter(|d| pred(d)).cloned().collect()
+        self.read().iter().filter(|d| pred(d)).cloned().collect()
     }
 }
 

@@ -78,10 +78,12 @@ impl Scaler {
                 (lo, (hi - lo).max(1e-12))
             }
             ScalerKind::Robust => {
-                let med = quantile(train, 0.5).expect("non-empty");
-                let iqr = quantile(train, 0.75).expect("non-empty")
-                    - quantile(train, 0.25).expect("non-empty");
-                (med, iqr.max(1e-12))
+                match (quantile(train, 0.5), quantile(train, 0.25), quantile(train, 0.75)) {
+                    (Some(med), Some(q1), Some(q3)) => (med, (q3 - q1).max(1e-12)),
+                    // Unreachable: emptiness was rejected above; fall back
+                    // to the identity transform rather than panicking.
+                    _ => (0.0, 1.0),
+                }
             }
         };
         self.fitted = Some((shift, scale));

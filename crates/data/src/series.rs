@@ -125,6 +125,8 @@ impl TimeSeries {
 
     /// Last observation.
     pub fn last(&self) -> f64 {
+        // lint: allow(panic) — the constructor rejects empty value vectors,
+        // so a TimeSeries always has a last observation.
         *self.values.last().expect("TimeSeries is never empty")
     }
 

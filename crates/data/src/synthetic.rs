@@ -15,8 +15,7 @@
 use crate::dataset::{Dataset, Domain};
 use crate::error::DataError;
 use crate::series::{Frequency, MultiSeries, TimeSeries};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use easytime_rng::StdRng;
 use std::f64::consts::PI;
 
 /// Trend component of a synthetic series.
@@ -182,23 +181,12 @@ impl SyntheticSpec {
     }
 }
 
-/// Standard normal draw via Box–Muller (keeps us off `rand_distr`).
-fn gauss(rng: &mut StdRng) -> f64 {
-    loop {
-        let u1: f64 = rng.gen::<f64>();
-        let u2: f64 = rng.gen::<f64>();
-        if u1 > 1e-12 {
-            return (-2.0 * u1.ln()).sqrt() * (2.0 * PI * u2).cos();
-        }
-    }
-}
-
 /// Student-t-like draw: normal scaled by an inverse-chi estimate.
 fn heavy_tail(rng: &mut StdRng, df: u32) -> f64 {
-    let z = gauss(rng);
+    let z = rng.normal();
     let mut chi2 = 0.0;
     for _ in 0..df.max(1) {
-        let g = gauss(rng);
+        let g = rng.normal();
         chi2 += g * g;
     }
     z / (chi2 / df.max(1) as f64).sqrt()
@@ -255,14 +243,14 @@ pub fn generate(name: impl Into<String>, spec: &SyntheticSpec, seed: u64) -> Res
     let mut walk = 0.0;
     for t in 0..n {
         let noise = match spec.noise {
-            NoiseSpec::Gaussian { sigma } => sigma * gauss(&mut rng),
+            NoiseSpec::Gaussian { sigma } => sigma * rng.normal(),
             NoiseSpec::Ar1 { phi, sigma } => {
-                ar_state = phi * ar_state + sigma * gauss(&mut rng);
+                ar_state = phi * ar_state + sigma * rng.normal();
                 ar_state
             }
             NoiseSpec::HeavyTail { sigma, df } => sigma * heavy_tail(&mut rng, df),
             NoiseSpec::RandomWalk { sigma } => {
-                walk += sigma * gauss(&mut rng);
+                walk += sigma * rng.normal();
                 walk
             }
         };
@@ -484,13 +472,13 @@ pub fn generate_multivariate(
     let mut names = Vec::with_capacity(channels);
     let mut data = Vec::with_capacity(channels);
     for c in 0..channels {
-        let weight = 0.6 + 0.4 * rng.gen::<f64>();
-        let offset = 5.0 * rng.gen::<f64>();
+        let weight = 0.6 + 0.4 * rng.gen_f64();
+        let offset = 5.0 * rng.gen_f64();
         let noise_scale = 0.2 * easytime_linalg::stats::std_dev(latent.values()).max(1e-9);
         let values: Vec<f64> = latent
             .values()
             .iter()
-            .map(|&x| weight * x + offset + noise_scale * gauss(&mut rng))
+            .map(|&x| weight * x + offset + noise_scale * rng.normal())
             .collect();
         names.push(format!("ch{c}"));
         data.push(values);

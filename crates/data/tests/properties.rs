@@ -1,104 +1,117 @@
-//! Property-based tests for the data layer.
+//! Property-style tests for the data layer, driven by the workspace's own
+//! deterministic RNG (randomized cases with seeds derived from a fixed
+//! master seed — reproducible and hermetic).
 
 use easytime_data::scaler::{Scaler, ScalerKind};
 use easytime_data::synthetic::{domain_spec, generate, LevelShift, NoiseSpec, SyntheticSpec};
 use easytime_data::{characteristics, csv, Domain, Frequency, SplitSpec, TimeSeries};
-use proptest::prelude::*;
+use easytime_rng::StdRng;
 
-fn any_domain() -> impl Strategy<Value = Domain> {
-    prop::sample::select(Domain::ALL.to_vec())
+const CASES: u64 = 32;
+const MASTER_SEED: u64 = 0xDA7A_11E0;
+
+fn cases() -> impl Iterator<Item = StdRng> {
+    (0..CASES).map(|i| StdRng::seed_from_u64(MASTER_SEED).derive(i))
 }
 
-fn any_scaler() -> impl Strategy<Value = ScalerKind> {
-    prop::sample::select(vec![
-        ScalerKind::None,
-        ScalerKind::ZScore,
-        ScalerKind::MinMax,
-        ScalerKind::Robust,
-    ])
+fn any_domain(rng: &mut StdRng) -> Domain {
+    Domain::ALL[rng.gen_range(0..Domain::ALL.len())]
 }
 
-proptest! {
-    #[test]
-    fn generation_is_deterministic_per_seed(
-        domain in any_domain(),
-        variant in 0usize..8,
-        length in 32usize..200,
-        seed in any::<u64>(),
-    ) {
+fn any_scaler(rng: &mut StdRng) -> ScalerKind {
+    [ScalerKind::None, ScalerKind::ZScore, ScalerKind::MinMax, ScalerKind::Robust]
+        [rng.gen_range(0..4)]
+}
+
+#[test]
+fn generation_is_deterministic_per_seed() {
+    for mut rng in cases() {
+        let domain = any_domain(&mut rng);
+        let variant = rng.gen_range(0..8);
+        let length = rng.gen_range(32..200);
+        let seed = rng.next_u64();
         let spec = domain_spec(domain, variant, length);
         let a = generate("a", &spec, seed).unwrap();
         let b = generate("b", &spec, seed).unwrap();
-        prop_assert_eq!(a.values(), b.values());
-        prop_assert_eq!(a.len(), length);
-        prop_assert!(a.values().iter().all(|v| v.is_finite()));
+        assert_eq!(a.values(), b.values());
+        assert_eq!(a.len(), length);
+        assert!(a.values().iter().all(|v| v.is_finite()));
     }
+}
 
-    #[test]
-    fn characteristics_are_always_in_unit_range(
-        domain in any_domain(),
-        variant in 0usize..4,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn characteristics_are_always_in_unit_range() {
+    for mut rng in cases() {
+        let domain = any_domain(&mut rng);
+        let variant = rng.gen_range(0..4);
+        let seed = rng.next_u64();
         let spec = domain_spec(domain, variant, 160);
         let ts = generate("c", &spec, seed).unwrap();
         let ch = characteristics::extract(&ts);
         for v in ch.to_vec() {
-            prop_assert!((0.0..=1.0).contains(&v), "characteristic {v} out of range");
+            assert!((0.0..=1.0).contains(&v), "characteristic {v} out of range");
         }
     }
+}
 
-    #[test]
-    fn scaler_round_trips_any_values(
-        kind in any_scaler(),
-        train in prop::collection::vec(-1e4..1e4f64, 4..128),
-        probe in prop::collection::vec(-1e5..1e5f64, 1..32),
-    ) {
+#[test]
+fn scaler_round_trips_any_values() {
+    for mut rng in cases() {
+        let kind = any_scaler(&mut rng);
+        let train: Vec<f64> = (0..rng.gen_range(4..128))
+            .map(|_| rng.gen_range_f64(-1e4, 1e4))
+            .collect();
+        let probe: Vec<f64> = (0..rng.gen_range(1..32))
+            .map(|_| rng.gen_range_f64(-1e5, 1e5))
+            .collect();
         let mut scaler = Scaler::new(kind);
         scaler.fit(&train).unwrap();
         let restored = scaler.inverse(&scaler.transform(&probe).unwrap()).unwrap();
         for (a, b) in probe.iter().zip(&restored) {
-            prop_assert!((a - b).abs() < 1e-6 * (1.0 + a.abs()), "{a} vs {b}");
+            assert!((a - b).abs() < 1e-6 * (1.0 + a.abs()), "{a} vs {b}");
         }
     }
+}
 
-    #[test]
-    fn split_partitions_exactly(
-        n in 16usize..512,
-        train in 0.3..0.8f64,
-        val in 0.0..0.15f64,
-    ) {
-        let ts = TimeSeries::new(
-            "s",
-            (0..n).map(|t| t as f64).collect(),
-            Frequency::Daily,
-        )
-        .unwrap();
+#[test]
+fn split_partitions_exactly() {
+    for mut rng in cases() {
+        let n = rng.gen_range(16..512);
+        let train = rng.gen_range_f64(0.3, 0.8);
+        let val = rng.gen_range_f64(0.0, 0.15);
+        let ts = TimeSeries::new("s", (0..n).map(|t| t as f64).collect(), Frequency::Daily)
+            .unwrap();
         let spec = SplitSpec::new(train, val, false).unwrap();
         if let Ok(split) = spec.split(&ts) {
             let total = split.train.len()
                 + split.val.as_ref().map_or(0, TimeSeries::len)
                 + split.test.len();
-            prop_assert_eq!(total, n);
+            assert_eq!(total, n);
             // Chronological: the first test value continues from train+val.
             let boundary = split.train.len() + split.val.as_ref().map_or(0, TimeSeries::len);
-            prop_assert_eq!(split.test.values()[0], boundary as f64);
+            assert_eq!(split.test.values()[0], boundary as f64);
         }
     }
+}
 
-    #[test]
-    fn csv_round_trips_any_series(values in prop::collection::vec(-1e9..1e9f64, 1..64)) {
+#[test]
+fn csv_round_trips_any_series() {
+    for mut rng in cases() {
+        let values: Vec<f64> = (0..rng.gen_range(1..64))
+            .map(|_| rng.gen_range_f64(-1e9, 1e9))
+            .collect();
         let ts = TimeSeries::new("r", values, Frequency::Weekly).unwrap();
         let text = csv::write_univariate(&ts);
         let back = csv::read_univariate("r", &text, Frequency::Weekly).unwrap();
-        prop_assert_eq!(back.values(), ts.values());
+        assert_eq!(back.values(), ts.values());
     }
+}
 
-    #[test]
-    fn level_shifted_series_scores_more_shifting(
-        magnitude in 5.0..50.0f64,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn level_shifted_series_scores_more_shifting() {
+    for mut rng in cases() {
+        let magnitude = rng.gen_range_f64(5.0, 50.0);
+        let seed = rng.next_u64();
         let base = SyntheticSpec {
             noise: NoiseSpec::Gaussian { sigma: 1.0 },
             ..SyntheticSpec::baseline(200, Frequency::Daily)
@@ -109,7 +122,7 @@ proptest! {
         let with_shift = generate("s", &shifted, seed).unwrap();
         let c_plain = characteristics::extract(&plain);
         let c_shift = characteristics::extract(&with_shift);
-        prop_assert!(
+        assert!(
             c_shift.shifting >= c_plain.shifting,
             "shifting {} should not be below baseline {}",
             c_shift.shifting,

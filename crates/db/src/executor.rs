@@ -3,7 +3,7 @@
 //! Pipeline: FROM/JOIN (nested-loop inner joins) → WHERE → GROUP BY +
 //! aggregates → HAVING → projection → DISTINCT → ORDER BY → LIMIT. Row
 //! counts in the knowledge base are benchmark-scale (thousands), so the
-//! simple algorithms here are well within budget; the criterion benches in
+//! simple algorithms here are well within budget; the micro-benches in
 //! `easytime-bench` keep an eye on the constants.
 
 use crate::ast::{Aggregate, BinOp, Expr, SelectItem, SelectStmt};
@@ -158,7 +158,13 @@ fn eval(expr: &Expr, ctx: &Ctx<'_>, layout: &Layout) -> Result<Value, DbError> {
                                 BinOp::Le => ord != Ordering::Greater,
                                 BinOp::Gt => ord == Ordering::Greater,
                                 BinOp::Ge => ord != Ordering::Less,
-                                _ => unreachable!(),
+                                _ => {
+                                    return Err(DbError::Eval {
+                                        message: format!(
+                                            "non-comparison operator {op:?} in comparison arm"
+                                        ),
+                                    })
+                                }
                             };
                             Ok(Value::Bool(b))
                         }
@@ -186,7 +192,13 @@ fn eval(expr: &Expr, ctx: &Ctx<'_>, layout: &Layout) -> Result<Value, DbError> {
                             }
                             a / b
                         }
-                        _ => unreachable!(),
+                        _ => {
+                            return Err(DbError::Eval {
+                                message: format!(
+                                    "non-arithmetic operator {op:?} in arithmetic arm"
+                                ),
+                            })
+                        }
                     };
                     // Preserve integer type when both sides were ints and
                     // the result is integral (except division).
@@ -197,7 +209,9 @@ fn eval(expr: &Expr, ctx: &Ctx<'_>, layout: &Layout) -> Result<Value, DbError> {
                         _ => Ok(Value::Float(out)),
                     }
                 }
-                BinOp::And | BinOp::Or => unreachable!("handled above"),
+                BinOp::And | BinOp::Or => Err(DbError::Eval {
+                    message: "logical operator reached the scalar evaluator".into(),
+                }),
             }
         }
         Expr::Like { expr, pattern, negated } => {

@@ -132,7 +132,9 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, DbError> {
                         }
                     } else {
                         // Multi-byte UTF-8 safe: find char at byte i.
-                        let ch = input[i..].chars().next().expect("in-bounds char");
+                        let Some(ch) = input[i..].chars().next() else {
+                            break;
+                        };
                         s.push(ch);
                         i += ch.len_utf8();
                     }

@@ -1,10 +1,41 @@
-//! Property-based tests for the SQL engine: executor semantics over
-//! arbitrary data and parser round-trips.
+//! Property-style tests for the SQL engine: executor semantics over
+//! randomized data and parser round-trips, driven by the workspace's own
+//! deterministic RNG.
 
 use easytime_db::executor::like_match;
 use easytime_db::schema::{Column, ColumnType, Schema};
 use easytime_db::{Database, Value};
-use proptest::prelude::*;
+use easytime_rng::StdRng;
+
+const CASES: u64 = 32;
+const MASTER_SEED: u64 = 0x5017_DB01;
+
+fn cases() -> impl Iterator<Item = StdRng> {
+    (0..CASES).map(|i| StdRng::seed_from_u64(MASTER_SEED).derive(i))
+}
+
+fn word(rng: &mut StdRng, lo: usize, hi: usize) -> String {
+    let len = rng.gen_range(lo..hi);
+    (0..len).map(|_| (b'a' + rng.gen_range(0..26) as u8) as char).collect()
+}
+
+fn printable(rng: &mut StdRng, lo: usize, hi: usize) -> String {
+    let len = rng.gen_range(lo..hi);
+    (0..len).map(|_| (b' ' + rng.gen_range(0..95) as u8) as char).collect()
+}
+
+fn random_rows(rng: &mut StdRng) -> Vec<(i64, f64, String)> {
+    let n = rng.gen_range(0..40);
+    (0..n)
+        .map(|_| {
+            (
+                rng.gen_range(0..200) as i64 - 100,
+                rng.gen_range_f64(-1e3, 1e3),
+                word(rng, 0, 9),
+            )
+        })
+        .collect()
+}
 
 fn db_with_rows(rows: &[(i64, f64, String)]) -> Database {
     let mut db = Database::new();
@@ -24,71 +55,80 @@ fn db_with_rows(rows: &[(i64, f64, String)]) -> Database {
     db
 }
 
-fn rows_strategy() -> impl Strategy<Value = Vec<(i64, f64, String)>> {
-    prop::collection::vec(
-        (-100i64..100, -1e3..1e3f64, "[a-z]{0,8}"),
-        0..40,
-    )
-}
-
-proptest! {
-    #[test]
-    fn select_star_returns_all_rows(rows in rows_strategy()) {
+#[test]
+fn select_star_returns_all_rows() {
+    for mut rng in cases() {
+        let rows = random_rows(&mut rng);
         let db = db_with_rows(&rows);
         let r = db.query("SELECT * FROM t").unwrap();
-        prop_assert_eq!(r.rows.len(), rows.len());
-        prop_assert_eq!(r.columns, vec!["k".to_string(), "v".into(), "s".into()]);
+        assert_eq!(r.rows.len(), rows.len());
+        assert_eq!(r.columns, vec!["k".to_string(), "v".into(), "s".into()]);
     }
+}
 
-    #[test]
-    fn where_filter_matches_rust_filter(rows in rows_strategy(), threshold in -100i64..100) {
+#[test]
+fn where_filter_matches_rust_filter() {
+    for mut rng in cases() {
+        let rows = random_rows(&mut rng);
+        let threshold = rng.gen_range(0..200) as i64 - 100;
         let db = db_with_rows(&rows);
-        let r = db
-            .query(&format!("SELECT k FROM t WHERE k > {threshold}"))
-            .unwrap();
+        let r = db.query(&format!("SELECT k FROM t WHERE k > {threshold}")).unwrap();
         let expected = rows.iter().filter(|(k, _, _)| *k > threshold).count();
-        prop_assert_eq!(r.rows.len(), expected);
+        assert_eq!(r.rows.len(), expected);
     }
+}
 
-    #[test]
-    fn order_by_produces_sorted_output(rows in rows_strategy()) {
+#[test]
+fn order_by_produces_sorted_output() {
+    for mut rng in cases() {
+        let rows = random_rows(&mut rng);
         let db = db_with_rows(&rows);
         let r = db.query("SELECT v FROM t ORDER BY v").unwrap();
         let values: Vec<f64> = r.rows.iter().map(|row| row[0].as_f64().unwrap()).collect();
-        prop_assert!(values.windows(2).all(|w| w[0] <= w[1]), "{values:?}");
+        assert!(values.windows(2).all(|w| w[0] <= w[1]), "{values:?}");
         let r = db.query("SELECT v FROM t ORDER BY v DESC").unwrap();
         let values: Vec<f64> = r.rows.iter().map(|row| row[0].as_f64().unwrap()).collect();
-        prop_assert!(values.windows(2).all(|w| w[0] >= w[1]));
+        assert!(values.windows(2).all(|w| w[0] >= w[1]));
     }
+}
 
-    #[test]
-    fn limit_truncates(rows in rows_strategy(), limit in 0usize..50) {
+#[test]
+fn limit_truncates() {
+    for mut rng in cases() {
+        let rows = random_rows(&mut rng);
+        let limit = rng.gen_range(0..50);
         let db = db_with_rows(&rows);
         let r = db.query(&format!("SELECT k FROM t LIMIT {limit}")).unwrap();
-        prop_assert_eq!(r.rows.len(), rows.len().min(limit));
+        assert_eq!(r.rows.len(), rows.len().min(limit));
     }
+}
 
-    #[test]
-    fn aggregates_match_rust_computation(rows in rows_strategy()) {
-        prop_assume!(!rows.is_empty());
+#[test]
+fn aggregates_match_rust_computation() {
+    for mut rng in cases() {
+        let rows = random_rows(&mut rng);
+        if rows.is_empty() {
+            continue;
+        }
         let db = db_with_rows(&rows);
-        let r = db
-            .query("SELECT COUNT(*), SUM(v), MIN(v), MAX(v), AVG(v) FROM t")
-            .unwrap();
+        let r = db.query("SELECT COUNT(*), SUM(v), MIN(v), MAX(v), AVG(v) FROM t").unwrap();
         let vs: Vec<f64> = rows.iter().map(|(_, v, _)| *v).collect();
-        prop_assert_eq!(r.rows[0][0].clone(), Value::Int(rows.len() as i64));
+        assert_eq!(r.rows[0][0].clone(), Value::Int(rows.len() as i64));
         let sum: f64 = vs.iter().sum();
-        prop_assert!((r.rows[0][1].as_f64().unwrap() - sum).abs() < 1e-6 * (1.0 + sum.abs()));
+        assert!((r.rows[0][1].as_f64().unwrap() - sum).abs() < 1e-6 * (1.0 + sum.abs()));
         let min = vs.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = vs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert_eq!(r.rows[0][2].as_f64().unwrap(), min);
-        prop_assert_eq!(r.rows[0][3].as_f64().unwrap(), max);
+        assert_eq!(r.rows[0][2].as_f64().unwrap(), min);
+        assert_eq!(r.rows[0][3].as_f64().unwrap(), max);
         let avg = sum / vs.len() as f64;
-        prop_assert!((r.rows[0][4].as_f64().unwrap() - avg).abs() < 1e-9 * (1.0 + avg.abs()));
+        assert!((r.rows[0][4].as_f64().unwrap() - avg).abs() < 1e-9 * (1.0 + avg.abs()));
     }
+}
 
-    #[test]
-    fn group_by_partitions_rows(rows in rows_strategy()) {
+#[test]
+fn group_by_partitions_rows() {
+    for mut rng in cases() {
+        let rows = random_rows(&mut rng);
         let db = db_with_rows(&rows);
         let r = db.query("SELECT s, COUNT(*) AS n FROM t GROUP BY s").unwrap();
         // Group counts must sum to the row count and match a HashMap
@@ -101,58 +141,76 @@ proptest! {
                 _ => 0,
             })
             .sum();
-        prop_assert_eq!(total, rows.len() as i64);
+        assert_eq!(total, rows.len() as i64);
         let mut counts: std::collections::HashMap<&str, i64> = Default::default();
         for (_, _, s) in &rows {
             *counts.entry(s.as_str()).or_insert(0) += 1;
         }
-        prop_assert_eq!(r.rows.len(), counts.len());
+        assert_eq!(r.rows.len(), counts.len());
         for row in &r.rows {
             let key = row[0].as_str().unwrap();
-            prop_assert_eq!(Value::Int(counts[key]), row[1].clone());
+            assert_eq!(Value::Int(counts[key]), row[1].clone());
         }
     }
+}
 
-    #[test]
-    fn distinct_removes_exact_duplicates(rows in rows_strategy()) {
+#[test]
+fn distinct_removes_exact_duplicates() {
+    for mut rng in cases() {
+        let rows = random_rows(&mut rng);
         let db = db_with_rows(&rows);
         let r = db.query("SELECT DISTINCT s FROM t").unwrap();
-        let unique: std::collections::HashSet<&String> =
-            rows.iter().map(|(_, _, s)| s).collect();
-        prop_assert_eq!(r.rows.len(), unique.len());
+        let unique: std::collections::HashSet<&String> = rows.iter().map(|(_, _, s)| s).collect();
+        assert_eq!(r.rows.len(), unique.len());
     }
+}
 
-    #[test]
-    fn like_prefix_matches_starts_with(s in "[a-z]{0,12}", prefix in "[a-z]{0,4}") {
+#[test]
+fn like_prefix_matches_starts_with() {
+    for mut rng in cases() {
+        let s = word(&mut rng, 0, 13);
+        let prefix = word(&mut rng, 0, 5);
         let pattern = format!("{prefix}%");
-        prop_assert_eq!(like_match(&pattern, &s), s.starts_with(&prefix));
+        assert_eq!(like_match(&pattern, &s), s.starts_with(&prefix));
     }
+}
 
-    #[test]
-    fn like_contains_matches_contains(s in "[a-z]{0,12}", infix in "[a-z]{1,3}") {
+#[test]
+fn like_contains_matches_contains() {
+    for mut rng in cases() {
+        let s = word(&mut rng, 0, 13);
+        let infix = word(&mut rng, 1, 4);
         let pattern = format!("%{infix}%");
-        prop_assert_eq!(like_match(&pattern, &s), s.contains(&infix));
+        assert_eq!(like_match(&pattern, &s), s.contains(&infix));
     }
+}
 
-    #[test]
-    fn string_literals_round_trip_through_insert(s in "[ -~]{0,24}") {
+#[test]
+fn string_literals_round_trip_through_insert() {
+    for mut rng in cases() {
         // Any printable-ASCII string survives the SQL escape → parse →
         // store → select path.
+        let s = printable(&mut rng, 0, 25);
         let mut db = Database::new();
         db.create_table("x", Schema::new(vec![Column::new("s", ColumnType::Text)])).unwrap();
         let escaped = s.replace('\'', "''");
         db.execute(&format!("INSERT INTO x VALUES ('{escaped}')")).unwrap();
         let r = db.query("SELECT s FROM x").unwrap();
-        prop_assert_eq!(r.rows[0][0].as_str().unwrap(), s.as_str());
+        assert_eq!(r.rows[0][0].as_str().unwrap(), s.as_str());
     }
+}
 
-    #[test]
-    fn between_is_inclusive_range(rows in rows_strategy(), lo in -50i64..0, hi in 0i64..50) {
+#[test]
+fn between_is_inclusive_range() {
+    for mut rng in cases() {
+        let rows = random_rows(&mut rng);
+        let lo = rng.gen_range(0..50) as i64 - 50;
+        let hi = rng.gen_range(0..50) as i64;
         let db = db_with_rows(&rows);
         let r = db
             .query(&format!("SELECT COUNT(*) FROM t WHERE k BETWEEN {lo} AND {hi}"))
             .unwrap();
         let expected = rows.iter().filter(|(k, _, _)| *k >= lo && *k <= hi).count();
-        prop_assert_eq!(r.rows[0][0].clone(), Value::Int(expected as i64));
+        assert_eq!(r.rows[0][0].clone(), Value::Int(expected as i64));
     }
 }

@@ -35,6 +35,11 @@ pub enum EvalError {
     Data(DataError),
     /// A model-layer failure.
     Model(ModelError),
+    /// An internal invariant was violated (e.g. a worker thread died).
+    Internal {
+        /// Human-readable description.
+        reason: String,
+    },
 }
 
 impl fmt::Display for EvalError {
@@ -50,6 +55,7 @@ impl fmt::Display for EvalError {
             }
             EvalError::Data(e) => write!(f, "data error: {e}"),
             EvalError::Model(e) => write!(f, "model error: {e}"),
+            EvalError::Internal { reason } => write!(f, "internal error: {reason}"),
         }
     }
 }

@@ -233,8 +233,8 @@ pub fn evaluate_corpus(
 
     let next = std::sync::atomic::AtomicUsize::new(0);
     let mut slots: Vec<Option<EvalRecord>> = vec![None; jobs.len()];
-    let slot_refs: Vec<parking_lot::Mutex<&mut Option<EvalRecord>>> =
-        slots.iter_mut().map(parking_lot::Mutex::new).collect();
+    let slot_refs: Vec<std::sync::Mutex<&mut Option<EvalRecord>>> =
+        slots.iter_mut().map(std::sync::Mutex::new).collect();
 
     std::thread::scope(|scope| -> Result<(), EvalError> {
         let mut handles = Vec::with_capacity(workers);
@@ -251,17 +251,33 @@ pub fn evaluate_corpus(
                     let (idx, dataset, spec) = jobs[i];
                     let series = dataset.primary_series();
                     let record = evaluate(&dataset.meta.id, &series, spec, config, registry)?;
-                    **slot_refs[idx].lock() = Some(record);
+                    // Each slot is written by exactly one job; the mutex only
+                    // provides Sync access, so poison recovery is safe.
+                    **slot_refs[idx]
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(record);
                 }
             }));
         }
         for h in handles {
-            h.join().expect("evaluation worker panicked")?;
+            match h.join() {
+                Ok(result) => result?,
+                Err(_) => {
+                    return Err(EvalError::Internal {
+                        reason: "evaluation worker panicked".into(),
+                    })
+                }
+            }
         }
         Ok(())
     })?;
 
-    Ok(slots.into_iter().map(|s| s.expect("every job fills its slot")).collect())
+    slots
+        .into_iter()
+        .map(|s| {
+            s.ok_or_else(|| EvalError::Internal { reason: "evaluation job left its slot empty".into() })
+        })
+        .collect()
 }
 
 #[cfg(test)]

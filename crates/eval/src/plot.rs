@@ -89,7 +89,7 @@ impl ForecastPlot {
             .iter()
             .map(|s| s.offset + s.values.len())
             .max()
-            .expect("non-empty");
+            .unwrap_or(0);
         let all: Vec<f64> = self.series.iter().flat_map(|s| s.values.iter().copied()).collect();
         let lo = all.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = all.iter().cloned().fold(f64::NEG_INFINITY, f64::max);

@@ -8,8 +8,8 @@
 //! fixed-width ASCII tables suitable for terminals and logs.
 
 use crate::pipeline::EvalRecord;
-use parking_lot::Mutex;
 use std::collections::BTreeMap;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 /// Thread-safe accumulator of evaluation records.
 #[derive(Debug, Default)]
@@ -23,44 +23,50 @@ impl RunLog {
         RunLog::default()
     }
 
+    /// Lock guard; a poisoned lock is recovered rather than propagated —
+    /// records are append-only values, so no invariant can be torn.
+    fn guard(&self) -> MutexGuard<'_, Vec<EvalRecord>> {
+        self.records.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Appends one record.
     pub fn push(&self, record: EvalRecord) {
-        self.records.lock().push(record);
+        self.guard().push(record);
     }
 
     /// Appends many records.
     pub fn extend(&self, records: impl IntoIterator<Item = EvalRecord>) {
-        self.records.lock().extend(records);
+        self.guard().extend(records);
     }
 
     /// Snapshot of all records.
     pub fn records(&self) -> Vec<EvalRecord> {
-        self.records.lock().clone()
+        self.guard().clone()
     }
 
     /// Number of stored records.
     pub fn len(&self) -> usize {
-        self.records.lock().len()
+        self.guard().len()
     }
 
     /// True when no records are stored.
     pub fn is_empty(&self) -> bool {
-        self.records.lock().is_empty()
+        self.guard().is_empty()
     }
 
     /// Number of failed records.
     pub fn failures(&self) -> usize {
-        self.records.lock().iter().filter(|r| !r.is_ok()).count()
+        self.guard().iter().filter(|r| !r.is_ok()).count()
     }
 
     /// Builds the leaderboard for one metric.
     pub fn leaderboard(&self, metric: &str, lower_is_better: bool) -> Leaderboard {
-        Leaderboard::from_records(&self.records.lock(), metric, lower_is_better)
+        Leaderboard::from_records(&self.guard(), metric, lower_is_better)
     }
 
     /// Renders the raw records as an ASCII table (one row per record).
     pub fn render_table(&self, metrics: &[&str]) -> String {
-        let records = self.records.lock();
+        let records = self.guard();
         let mut header: Vec<String> =
             vec!["dataset".into(), "method".into(), "strategy".into(), "h".into()];
         header.extend(metrics.iter().map(|m| m.to_string()));

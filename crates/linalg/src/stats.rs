@@ -60,8 +60,10 @@ pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
     let mut sorted: Vec<f64> = xs.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     let pos = q * (sorted.len() - 1) as f64;
+    // lint: allow(lossy-cast) — q is validated to [0, 1], so pos lies in
+    // [0, len-1] and truncation yields an exact, in-range index.
     let lo = pos.floor() as usize;
-    let hi = pos.ceil() as usize;
+    let hi = (lo + 1).min(sorted.len() - 1);
     let frac = pos - lo as f64;
     Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
 }

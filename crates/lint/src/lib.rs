@@ -1,0 +1,964 @@
+//! Std-only static analysis for the EasyTime workspace.
+//!
+//! `easytime-lint` parses the workspace's Rust sources line by line — no
+//! rustc plugin, no external dependencies — and enforces the repo
+//! invariants that keep the build hermetic and the library panic-free:
+//!
+//! * **R1 no-panic** — no `unwrap()` / `expect()` / `panic!` (or
+//!   `unreachable!` / `todo!` / `unimplemented!`) in library code under
+//!   `crates/*/src`. Tests, benches, examples, and binaries are exempt.
+//! * **R2 dependency allowlist** — every `Cargo.toml` dependency must be a
+//!   workspace crate; nothing external may sneak back in.
+//! * **R3 lossy casts** — no lossy `as` casts in the numeric hot paths
+//!   (`linalg`, `eval/src/metrics.rs`, `models`); `as f64` widening is
+//!   allowed.
+//! * **R4 typed errors** — every `pub fn` returning `Result` must use the
+//!   crate's typed error, not `Box<dyn Error>`.
+//! * **R5 no process exit** — `std::process::exit` only in binary targets.
+//!
+//! Any rule can be waived for one statement with an escape-hatch comment:
+//!
+//! ```text
+//! // lint: allow(panic) — why this site provably cannot fire in practice
+//! ```
+//!
+//! The marker must carry a justification (trailing text on the marker line
+//! or the surrounding comment block); a bare marker is itself a violation.
+//! Diagnostics are reported as `file:line: R# message` and the binary exits
+//! non-zero when any violation is found.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Which invariant a diagnostic belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// R1: no panicking calls in library code.
+    NoPanic,
+    /// R2: dependencies restricted to workspace crates.
+    DepAllowlist,
+    /// R3: no lossy `as` casts in numeric hot paths.
+    LossyCast,
+    /// R4: public `Result` APIs use typed errors.
+    TypedError,
+    /// R5: `std::process::exit` only in binaries.
+    ProcessExit,
+    /// A malformed escape-hatch annotation.
+    BadAnnotation,
+}
+
+impl Rule {
+    /// Short rule code used in diagnostics (`R1`…`R5`).
+    pub fn code(self) -> &'static str {
+        match self {
+            Rule::NoPanic => "R1",
+            Rule::DepAllowlist => "R2",
+            Rule::LossyCast => "R3",
+            Rule::TypedError => "R4",
+            Rule::ProcessExit => "R5",
+            Rule::BadAnnotation => "R0",
+        }
+    }
+
+    /// The name accepted by `// lint: allow(<name>)` for this rule.
+    pub fn allow_name(self) -> &'static str {
+        match self {
+            Rule::NoPanic => "panic",
+            Rule::DepAllowlist => "dependency",
+            Rule::LossyCast => "lossy-cast",
+            Rule::TypedError => "boxed-error",
+            Rule::ProcessExit => "process-exit",
+            Rule::BadAnnotation => "",
+        }
+    }
+}
+
+/// One violation, anchored to a file and 1-based line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// File the violation is in (workspace-relative where possible).
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// Violated rule.
+    pub rule: Rule,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {} {}",
+            self.file.display(),
+            self.line,
+            self.rule.code(),
+            self.message
+        )
+    }
+}
+
+/// How a source file is classified for rule applicability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileClass {
+    /// Library code under `crates/<name>/src` (not a binary target).
+    pub is_library: bool,
+    /// Binary target (`src/bin/**` or `src/main.rs`).
+    pub is_bin: bool,
+    /// Test / bench / example target.
+    pub is_test_like: bool,
+    /// Numeric hot path subject to R3.
+    pub is_hot_numeric: bool,
+}
+
+/// Classifies a workspace-relative path (`crates/<name>/...`).
+pub fn classify(rel_path: &Path) -> FileClass {
+    let p = rel_path.to_string_lossy().replace('\\', "/");
+    let is_bin = p.contains("/src/bin/") || p.ends_with("/src/main.rs");
+    let is_test_like =
+        p.contains("/tests/") || p.contains("/benches/") || p.contains("/examples/");
+    let is_library = p.contains("/src/") && !is_bin && !is_test_like;
+    let is_hot_numeric = is_library
+        && (p.starts_with("crates/linalg/src/")
+            || p.starts_with("crates/models/src/")
+            || p == "crates/eval/src/metrics.rs");
+    FileClass { is_library, is_bin, is_test_like, is_hot_numeric }
+}
+
+/// One source line split into code and comment channels.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct LineInfo {
+    /// Code with comments removed and string/char literal contents blanked.
+    code: String,
+    /// Comment text (both `//` and `/* */` bodies) on the line.
+    comment: String,
+}
+
+/// Splits Rust source into per-line code/comment channels.
+///
+/// String and char literal *contents* are blanked (replaced by spaces) in
+/// the code channel so pattern matching cannot trip on `".unwrap()"`
+/// appearing inside a literal. Handles nested block comments, raw strings
+/// (`r#"…"#`), byte strings, and lifetime-vs-char-literal ambiguity.
+fn split_lines(source: &str) -> Vec<LineInfo> {
+    #[derive(PartialEq)]
+    enum State {
+        Code,
+        LineComment,
+        BlockComment(usize),
+        Str,
+        RawStr(usize),
+        Char,
+    }
+    let mut out = Vec::new();
+    let mut cur = LineInfo::default();
+    let mut state = State::Code;
+    let chars: Vec<char> = source.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            out.push(std::mem::take(&mut cur));
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    i += 2;
+                    continue;
+                }
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment(1);
+                    i += 2;
+                    continue;
+                }
+                if c == '"' {
+                    cur.code.push('"');
+                    state = State::Str;
+                    i += 1;
+                    continue;
+                }
+                // Raw / byte string starts: r", r#", br", b".
+                if (c == 'r' || c == 'b') && !prev_is_ident(&cur.code) {
+                    let mut j = i;
+                    if chars.get(j) == Some(&'b') && chars.get(j + 1) == Some(&'r') {
+                        j += 2;
+                    } else if c == 'r' || (c == 'b' && chars.get(j + 1) == Some(&'"')) {
+                        j += 1;
+                    } else {
+                        j = usize::MAX;
+                    }
+                    if j != usize::MAX {
+                        let mut hashes = 0;
+                        while chars.get(j + hashes) == Some(&'#') {
+                            hashes += 1;
+                        }
+                        if chars.get(j + hashes) == Some(&'"') {
+                            for _ in i..=(j + hashes) {
+                                cur.code.push(' ');
+                            }
+                            cur.code.push('"');
+                            state = if c == 'b' && chars.get(i + 1) != Some(&'r') && hashes == 0 {
+                                State::Str
+                            } else {
+                                State::RawStr(hashes)
+                            };
+                            i = j + hashes + 1;
+                            continue;
+                        }
+                    }
+                }
+                if c == '\'' {
+                    // Lifetime (`'a`) or char literal (`'x'`, `'\n'`)?
+                    let is_char_lit = match chars.get(i + 1) {
+                        Some('\\') => true,
+                        Some(&n) => chars.get(i + 2) == Some(&'\'') && n != '\'',
+                        None => false,
+                    };
+                    if is_char_lit {
+                        cur.code.push('\'');
+                        state = State::Char;
+                        i += 1;
+                        continue;
+                    }
+                    cur.code.push(c);
+                    i += 1;
+                    continue;
+                }
+                cur.code.push(c);
+                i += 1;
+            }
+            State::LineComment => {
+                cur.comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    state = if depth == 1 { State::Code } else { State::BlockComment(depth - 1) };
+                    i += 2;
+                } else {
+                    cur.comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    cur.code.push(' ');
+                    if chars.get(i + 1).is_some() {
+                        cur.code.push(' ');
+                    }
+                    i += 2;
+                } else if c == '"' {
+                    cur.code.push('"');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    cur.code.push(' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' {
+                    let mut ok = true;
+                    for k in 0..hashes {
+                        if chars.get(i + 1 + k) != Some(&'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        cur.code.push('"');
+                        for _ in 0..hashes {
+                            cur.code.push(' ');
+                        }
+                        state = State::Code;
+                        i += 1 + hashes;
+                        continue;
+                    }
+                }
+                cur.code.push(' ');
+                i += 1;
+            }
+            State::Char => {
+                if c == '\\' {
+                    cur.code.push(' ');
+                    if chars.get(i + 1).is_some() {
+                        cur.code.push(' ');
+                    }
+                    i += 2;
+                } else if c == '\'' {
+                    cur.code.push('\'');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    cur.code.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    if !cur.code.is_empty() || !cur.comment.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn prev_is_ident(code: &str) -> bool {
+    code.chars().next_back().is_some_and(|c| c.is_alphanumeric() || c == '_')
+}
+
+/// Marks lines inside `#[cfg(test)]` items (attribute through closing
+/// brace). Returns one flag per line; `true` = exempt from library rules.
+fn cfg_test_regions(lines: &[LineInfo]) -> Vec<bool> {
+    let mut exempt = vec![false; lines.len()];
+    let mut i = 0;
+    while i < lines.len() {
+        let code = lines[i].code.trim();
+        if code.starts_with("#[cfg(test)]") || code.contains("#[cfg(test)]") {
+            exempt[i] = true;
+            // Skip any further attributes, then exempt the annotated item.
+            let mut j = i + 1;
+            while j < lines.len() && lines[j].code.trim().starts_with("#[") {
+                exempt[j] = true;
+                j += 1;
+            }
+            // Find the item's opening brace (or a brace-less item's `;`).
+            let mut depth: i64 = 0;
+            let mut opened = false;
+            while j < lines.len() {
+                exempt[j] = true;
+                for c in lines[j].code.chars() {
+                    match c {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => depth -= 1,
+                        _ => {}
+                    }
+                }
+                if opened && depth <= 0 {
+                    break;
+                }
+                if !opened && lines[j].code.contains(';') {
+                    break;
+                }
+                j += 1;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    exempt
+}
+
+/// True when line `idx` (0-based) carries, or sits under, an escape-hatch
+/// annotation for `rule`. A marker without justification text is reported
+/// through `bad` instead.
+fn allowed_by_annotation(
+    lines: &[LineInfo],
+    idx: usize,
+    rule: Rule,
+    file: &Path,
+    bad: &mut Vec<Diagnostic>,
+) -> bool {
+    let marker = format!("lint: allow({})", rule.allow_name());
+    // Gather the annotation block: the line itself plus the contiguous run
+    // of comment-only lines immediately above.
+    let mut block: Vec<(usize, &str)> = vec![(idx, lines[idx].comment.as_str())];
+    let mut j = idx;
+    while j > 0 {
+        j -= 1;
+        let l = &lines[j];
+        if l.code.trim().is_empty() && !l.comment.trim().is_empty() {
+            block.push((j, l.comment.as_str()));
+        } else {
+            break;
+        }
+    }
+    let marker_line = block.iter().find(|(_, c)| c.contains(&marker));
+    let Some(&(mline, _)) = marker_line else {
+        return false;
+    };
+    // Justification: any comment text in the block beyond the marker itself.
+    let total: String = block.iter().map(|(_, c)| *c).collect::<Vec<_>>().join(" ");
+    let rest = total.replacen(&marker, "", 1);
+    let justification: String =
+        rest.chars().filter(|c| c.is_alphanumeric()).collect();
+    if justification.len() < 8 {
+        bad.push(Diagnostic {
+            file: file.to_path_buf(),
+            line: mline + 1,
+            rule: Rule::BadAnnotation,
+            message: format!(
+                "escape hatch `lint: allow({})` requires a written justification",
+                rule.allow_name()
+            ),
+        });
+    }
+    true
+}
+
+/// Returns positions where a token appears in `code` *as a call* — i.e.
+/// preceded by a non-identifier char and followed (after optional
+/// whitespace) by an opening paren or end-of-line.
+fn find_macro_calls(code: &str, name: &str) -> bool {
+    let bytes = code.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(name) {
+        let start = from + pos;
+        let before_ok = start == 0 || {
+            let b = bytes[start - 1];
+            !(b.is_ascii_alphanumeric() || b == b'_')
+        };
+        if before_ok {
+            return true;
+        }
+        from = start + name.len();
+    }
+    false
+}
+
+/// Checks whether `.expect` / `.unwrap` style method is called on a line,
+/// tolerating the open paren landing on the next line.
+fn method_call_spans_lines(code: &str, next_code: Option<&str>, method: &str) -> bool {
+    let needle = format!(".{method}");
+    let bytes = code.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(&needle) {
+        let start = from + pos;
+        let after = start + needle.len();
+        // Reject longer identifiers, e.g. `.expect_err`, `.unwrap_or`.
+        if bytes.get(after).is_some_and(|b| b.is_ascii_alphanumeric() || *b == b'_') {
+            from = after;
+            continue;
+        }
+        let tail = code[after..].trim_start();
+        if tail.starts_with('(') {
+            return true;
+        }
+        if tail.is_empty() {
+            // Multi-line call: `.expect(` split across lines.
+            if next_code.map(str::trim_start).is_some_and(|t| t.starts_with('(')) {
+                return true;
+            }
+        }
+        from = after;
+    }
+    false
+}
+
+const PANIC_MACROS: [&str; 4] = ["panic!", "unreachable!", "todo!", "unimplemented!"];
+const PANIC_METHODS: [&str; 2] = ["unwrap", "expect"];
+
+/// Integer and narrowing targets flagged by R3 (widening `as f64` is fine).
+const LOSSY_TARGETS: [&str; 11] =
+    ["f32", "usize", "isize", "u64", "i64", "u32", "i32", "u16", "i16", "u8", "i8"];
+
+/// Runs R1, R3, R4, and R5 over one Rust source file.
+pub fn lint_rust_source(rel_path: &Path, source: &str) -> Vec<Diagnostic> {
+    let class = classify(rel_path);
+    let lines = split_lines(source);
+    let test_region = cfg_test_regions(&lines);
+    let mut diags = Vec::new();
+    let mut bad_annotations = Vec::new();
+
+    for (idx, line) in lines.iter().enumerate() {
+        let code = line.code.as_str();
+        if code.trim().is_empty() {
+            continue;
+        }
+        let next_code = lines.get(idx + 1).map(|l| l.code.as_str());
+        let in_test = test_region[idx];
+
+        // R1 — no panicking constructs in library code.
+        if class.is_library && !in_test {
+            let mut hit: Option<&str> = None;
+            for m in PANIC_MACROS {
+                if find_macro_calls(code, m) {
+                    hit = Some(m);
+                    break;
+                }
+            }
+            if hit.is_none() {
+                for m in PANIC_METHODS {
+                    if method_call_spans_lines(code, next_code, m) {
+                        hit = Some(m);
+                        break;
+                    }
+                }
+            }
+            if let Some(what) = hit {
+                if !allowed_by_annotation(&lines, idx, Rule::NoPanic, rel_path, &mut bad_annotations)
+                {
+                    diags.push(Diagnostic {
+                        file: rel_path.to_path_buf(),
+                        line: idx + 1,
+                        rule: Rule::NoPanic,
+                        message: format!(
+                            "`{what}` in library code; return the crate's typed error instead \
+                             (or annotate with `// lint: allow(panic) — <why>`)"
+                        ),
+                    });
+                }
+            }
+        }
+
+        // R3 — lossy `as` casts in numeric hot paths.
+        if class.is_hot_numeric && !in_test {
+            if let Some(target) = lossy_cast_target(code) {
+                if !allowed_by_annotation(
+                    &lines,
+                    idx,
+                    Rule::LossyCast,
+                    rel_path,
+                    &mut bad_annotations,
+                ) {
+                    diags.push(Diagnostic {
+                        file: rel_path.to_path_buf(),
+                        line: idx + 1,
+                        rule: Rule::LossyCast,
+                        message: format!(
+                            "potentially lossy `as {target}` cast in a numeric hot path; use a \
+                             checked conversion or annotate with `// lint: allow(lossy-cast) — <why>`"
+                        ),
+                    });
+                }
+            }
+        }
+
+        // R5 — no process exit outside binaries.
+        if !class.is_bin && code.contains("process::exit") {
+            if !allowed_by_annotation(&lines, idx, Rule::ProcessExit, rel_path, &mut bad_annotations)
+            {
+                diags.push(Diagnostic {
+                    file: rel_path.to_path_buf(),
+                    line: idx + 1,
+                    rule: Rule::ProcessExit,
+                    message: "`std::process::exit` outside `src/bin`; return an error and let \
+                              the binary decide the exit code"
+                        .into(),
+                });
+            }
+        }
+    }
+
+    // R4 — public Result-returning APIs must use typed errors. Signatures
+    // may span lines, so join from `pub fn` to the body brace.
+    if class.is_library {
+        let mut idx = 0;
+        while idx < lines.len() {
+            if test_region[idx] {
+                idx += 1;
+                continue;
+            }
+            let code = lines[idx].code.trim_start();
+            let is_pub_fn = code.starts_with("pub fn ")
+                || code.starts_with("pub(crate) fn ")
+                || code.starts_with("pub async fn ")
+                || code.starts_with("pub const fn ");
+            if is_pub_fn {
+                let mut sig = String::new();
+                let mut j = idx;
+                while j < lines.len() && j < idx + 24 {
+                    let c = &lines[j].code;
+                    if let Some(brace) = c.find('{') {
+                        sig.push_str(&c[..brace]);
+                        break;
+                    }
+                    sig.push_str(c);
+                    sig.push(' ');
+                    if c.trim_end().ends_with(';') {
+                        break;
+                    }
+                    j += 1;
+                }
+                if let Some(arrow) = sig.find("->") {
+                    let ret = &sig[arrow..];
+                    if ret.contains("Box<dyn") && ret.contains("Error") {
+                        if !allowed_by_annotation(
+                            &lines,
+                            idx,
+                            Rule::TypedError,
+                            rel_path,
+                            &mut bad_annotations,
+                        ) {
+                            diags.push(Diagnostic {
+                                file: rel_path.to_path_buf(),
+                                line: idx + 1,
+                                rule: Rule::TypedError,
+                                message: "public API returns `Box<dyn Error>`; use the crate's \
+                                          typed error enum"
+                                    .into(),
+                            });
+                        }
+                    }
+                }
+            }
+            idx += 1;
+        }
+    }
+
+    diags.extend(bad_annotations);
+    diags.sort_by(|a, b| a.line.cmp(&b.line));
+    diags.dedup();
+    diags
+}
+
+fn lossy_cast_target(code: &str) -> Option<&'static str> {
+    let mut from = 0;
+    while let Some(pos) = code[from..].find(" as ") {
+        let start = from + pos;
+        let after = &code[start + 4..];
+        let target: String = after
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        for t in LOSSY_TARGETS {
+            if target == t {
+                return Some(t);
+            }
+        }
+        from = start + 4;
+    }
+    None
+}
+
+/// Runs R2 over one `Cargo.toml`. Every dependency in any dependency
+/// section must be a workspace crate (`easytime*`).
+pub fn lint_manifest(rel_path: &Path, source: &str) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let mut in_dep_section = false;
+    for (idx, raw) in source.lines().enumerate() {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            in_dep_section = matches!(
+                line,
+                "[dependencies]"
+                    | "[dev-dependencies]"
+                    | "[build-dependencies]"
+                    | "[workspace.dependencies]"
+            ) || line.starts_with("[target.") && line.contains("dependencies");
+            continue;
+        }
+        if !in_dep_section || line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some(name) = line.split(['=', '.', ' ']).next() else {
+            continue;
+        };
+        let name = name.trim();
+        if name.is_empty() {
+            continue;
+        }
+        if !is_allowed_dependency(name) {
+            diags.push(Diagnostic {
+                file: rel_path.to_path_buf(),
+                line: idx + 1,
+                rule: Rule::DepAllowlist,
+                message: format!(
+                    "external dependency `{name}` is not in the allowlist; the build must stay \
+                     hermetic (std-only) — vendor the functionality into a workspace crate"
+                ),
+            });
+        }
+    }
+    diags
+}
+
+/// The dependency allowlist: workspace crates only. Extend deliberately —
+/// each addition breaks the hermetic-build guarantee.
+pub fn is_allowed_dependency(name: &str) -> bool {
+    name.starts_with("easytime")
+}
+
+/// Lints every `.rs` and `Cargo.toml` file under `root/crates`, returning
+/// all diagnostics plus the number of files checked.
+pub fn lint_workspace(root: &Path) -> std::io::Result<(Vec<Diagnostic>, usize)> {
+    let mut files = Vec::new();
+    collect_files(&root.join("crates"), &mut files)?;
+    files.sort();
+    let mut diags = Vec::new();
+    let mut checked = 0;
+    for file in files {
+        let rel = file.strip_prefix(root).unwrap_or(&file).to_path_buf();
+        let source = std::fs::read_to_string(&file)?;
+        checked += 1;
+        if rel.file_name().is_some_and(|n| n == "Cargo.toml") {
+            diags.extend(lint_manifest(&rel, &source));
+        } else {
+            diags.extend(lint_rust_source(&rel, &source));
+        }
+    }
+    Ok((diags, checked))
+}
+
+fn collect_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if entry.file_type()?.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_files(&path, out)?;
+        } else if name == "Cargo.toml" || name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib_path() -> PathBuf {
+        PathBuf::from("crates/demo/src/lib.rs")
+    }
+
+    fn rules(diags: &[Diagnostic]) -> Vec<Rule> {
+        diags.iter().map(|d| d.rule).collect()
+    }
+
+    // ---- R1 ----
+
+    #[test]
+    fn r1_flags_unwrap_expect_and_panic_in_library_code() {
+        let src = "pub fn f(x: Option<u32>) -> u32 {\n\
+                   \x20   let a = x.unwrap();\n\
+                   \x20   let b = x.expect(\"present\");\n\
+                   \x20   if a == 0 { panic!(\"zero\"); }\n\
+                   \x20   a + b\n\
+                   }\n";
+        let diags = lint_rust_source(&lib_path(), src);
+        assert_eq!(rules(&diags), vec![Rule::NoPanic, Rule::NoPanic, Rule::NoPanic]);
+        assert_eq!(diags[0].line, 2);
+        assert_eq!(diags[1].line, 3);
+        assert_eq!(diags[2].line, 4);
+    }
+
+    #[test]
+    fn r1_ignores_unwrap_or_variants_and_expect_err() {
+        let src = "pub fn f(x: Option<u32>, r: Result<u32, ()>) -> u32 {\n\
+                   \x20   r.expect_err(\"nope\");\n\
+                   \x20   x.unwrap_or(1) + x.unwrap_or_else(|| 2) + x.unwrap_or_default()\n\
+                   }\n";
+        assert!(lint_rust_source(&lib_path(), src).is_empty());
+    }
+
+    #[test]
+    fn r1_catches_multi_line_expect_calls() {
+        let src = "pub fn f(x: Option<u32>) -> u32 {\n\
+                   \x20   x.expect\n\
+                   \x20       (\"present across lines\")\n\
+                   }\n";
+        let diags = lint_rust_source(&lib_path(), src);
+        assert_eq!(rules(&diags), vec![Rule::NoPanic]);
+        assert_eq!(diags[0].line, 2);
+    }
+
+    #[test]
+    fn r1_skips_strings_comments_and_test_modules() {
+        let src = "pub fn f() {\n\
+                   \x20   let _s = \"contains .unwrap() and panic!\";\n\
+                   \x20   // a comment mentioning .expect(\"x\") is fine\n\
+                   \x20   /* block with panic!(\"boom\") */\n\
+                   }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                   \x20   #[test]\n\
+                   \x20   fn t() { Some(1).unwrap(); panic!(\"fine in tests\"); }\n\
+                   }\n";
+        assert!(lint_rust_source(&lib_path(), src).is_empty());
+    }
+
+    #[test]
+    fn r1_exempts_test_bench_example_and_bin_paths() {
+        let src = "fn main() { Some(1).unwrap(); }\n";
+        for p in [
+            "crates/demo/tests/t.rs",
+            "crates/demo/benches/b.rs",
+            "crates/demo/examples/e.rs",
+            "crates/demo/src/bin/tool.rs",
+            "crates/demo/src/main.rs",
+        ] {
+            assert!(
+                lint_rust_source(Path::new(p), src).is_empty(),
+                "{p} should be exempt from R1"
+            );
+        }
+    }
+
+    #[test]
+    fn r1_escape_hatch_with_justification_is_accepted() {
+        let src = "pub fn f(x: Option<u32>) -> u32 {\n\
+                   \x20   // lint: allow(panic) — x is checked non-empty two lines up\n\
+                   \x20   x.unwrap()\n\
+                   }\n";
+        assert!(lint_rust_source(&lib_path(), src).is_empty());
+    }
+
+    #[test]
+    fn r1_escape_hatch_spanning_a_comment_block_is_accepted() {
+        let src = "pub fn f(x: Option<u32>) -> u32 {\n\
+                   \x20   // lint: allow(panic) — the construction above\n\
+                   \x20   // guarantees the option is populated.\n\
+                   \x20   x.unwrap()\n\
+                   }\n";
+        assert!(lint_rust_source(&lib_path(), src).is_empty());
+    }
+
+    #[test]
+    fn r1_bare_escape_hatch_without_justification_is_flagged() {
+        let src = "pub fn f(x: Option<u32>) -> u32 {\n\
+                   \x20   // lint: allow(panic)\n\
+                   \x20   x.unwrap()\n\
+                   }\n";
+        let diags = lint_rust_source(&lib_path(), src);
+        assert_eq!(rules(&diags), vec![Rule::BadAnnotation]);
+    }
+
+    // ---- R2 ----
+
+    #[test]
+    fn r2_accepts_workspace_only_manifests() {
+        let toml = "[package]\nname = \"easytime-demo\"\n\n[dependencies]\n\
+                    easytime-linalg.workspace = true\neasytime-data = { path = \"../data\" }\n";
+        assert!(lint_manifest(Path::new("crates/demo/Cargo.toml"), toml).is_empty());
+    }
+
+    #[test]
+    fn r2_flags_external_dependencies_in_any_section() {
+        let toml = "[dependencies]\nrand = \"0.8\"\n\n[dev-dependencies]\nproptest = \"1\"\n\n\
+                    [workspace.dependencies]\ncriterion = \"0.5\"\n";
+        let diags = lint_manifest(Path::new("Cargo.toml"), toml);
+        assert_eq!(rules(&diags), vec![Rule::DepAllowlist; 3]);
+        assert!(diags[0].message.contains("rand"));
+        assert!(diags[1].message.contains("proptest"));
+        assert!(diags[2].message.contains("criterion"));
+    }
+
+    #[test]
+    fn r2_ignores_non_dependency_sections() {
+        let toml = "[package]\nname = \"x\"\n\n[features]\nextra = []\n\n[lints]\nworkspace = true\n";
+        assert!(lint_manifest(Path::new("crates/demo/Cargo.toml"), toml).is_empty());
+    }
+
+    // ---- R3 ----
+
+    #[test]
+    fn r3_flags_lossy_casts_only_in_hot_paths() {
+        let src = "pub fn f(x: f64, n: usize) -> usize {\n\
+                   \x20   let a = x as usize;\n\
+                   \x20   let b = n as f64;\n\
+                   \x20   a + b as usize\n\
+                   }\n";
+        let hot = lint_rust_source(Path::new("crates/linalg/src/solve.rs"), src);
+        assert_eq!(rules(&hot), vec![Rule::LossyCast, Rule::LossyCast]);
+        assert_eq!(hot[0].line, 2);
+        assert_eq!(hot[1].line, 4);
+        // The same code outside a hot path is untouched by R3.
+        let cold = lint_rust_source(Path::new("crates/qa/src/session.rs"), src);
+        assert!(cold.is_empty());
+    }
+
+    #[test]
+    fn r3_allows_widening_to_f64_and_honours_annotations() {
+        let src = "pub fn f(n: usize) -> f64 {\n\
+                   \x20   // lint: allow(lossy-cast) — index bounded by window length ≤ 2^32\n\
+                   \x20   let small = n as u32;\n\
+                   \x20   small as f64 + n as f64\n\
+                   }\n";
+        assert!(lint_rust_source(Path::new("crates/models/src/arima.rs"), src).is_empty());
+    }
+
+    // ---- R4 ----
+
+    #[test]
+    fn r4_flags_boxed_dyn_error_returns() {
+        let src = "pub fn f() -> Result<u32, Box<dyn std::error::Error>> {\n\
+                   \x20   Ok(1)\n\
+                   }\n";
+        let diags = lint_rust_source(&lib_path(), src);
+        assert_eq!(rules(&diags), vec![Rule::TypedError]);
+        assert_eq!(diags[0].line, 1);
+    }
+
+    #[test]
+    fn r4_catches_multi_line_signatures_and_accepts_typed_errors() {
+        let bad = "pub fn f(\n\
+                   \x20   x: u32,\n\
+                   ) -> Result<u32, Box<dyn std::error::Error + Send + Sync>>\n\
+                   {\n\
+                   \x20   Ok(x)\n\
+                   }\n";
+        assert_eq!(rules(&lint_rust_source(&lib_path(), bad)), vec![Rule::TypedError]);
+        let good = "pub fn f() -> Result<u32, DemoError> { Ok(1) }\n\
+                    fn private() -> Result<u32, Box<dyn std::error::Error>> { Ok(1) }\n";
+        // Private helpers are out of scope for R4.
+        assert!(lint_rust_source(&lib_path(), good).is_empty());
+    }
+
+    // ---- R5 ----
+
+    #[test]
+    fn r5_flags_process_exit_outside_binaries() {
+        let src = "pub fn f() { std::process::exit(1); }\n";
+        let diags = lint_rust_source(&lib_path(), src);
+        assert_eq!(rules(&diags), vec![Rule::ProcessExit]);
+        // Binaries may exit.
+        assert!(lint_rust_source(Path::new("crates/demo/src/bin/tool.rs"), src).is_empty());
+        assert!(lint_rust_source(Path::new("crates/demo/src/main.rs"), src).is_empty());
+    }
+
+    // ---- infrastructure ----
+
+    #[test]
+    fn classify_partitions_the_tree() {
+        assert!(classify(Path::new("crates/linalg/src/solve.rs")).is_hot_numeric);
+        assert!(classify(Path::new("crates/eval/src/metrics.rs")).is_hot_numeric);
+        assert!(!classify(Path::new("crates/eval/src/pipeline.rs")).is_hot_numeric);
+        assert!(classify(Path::new("crates/core/src/bin/easytime.rs")).is_bin);
+        assert!(classify(Path::new("crates/core/tests/integration.rs")).is_test_like);
+        assert!(classify(Path::new("crates/db/src/parser.rs")).is_library);
+    }
+
+    #[test]
+    fn splitter_blanks_strings_and_separates_comments() {
+        let lines = split_lines("let x = \"panic!\"; // note: .unwrap() here\n");
+        assert_eq!(lines.len(), 1);
+        assert!(!lines[0].code.contains("panic!"));
+        assert!(lines[0].comment.contains(".unwrap()"));
+        let raw = split_lines("let r = r#\"has .unwrap() inside\"#;\n");
+        assert!(!raw[0].code.contains("unwrap"));
+        let lifetime = split_lines("fn f<'a>(x: &'a str) -> &'a str { x }\n");
+        assert!(lifetime[0].code.contains("<'a>"));
+    }
+
+    #[test]
+    fn diagnostics_render_file_line_rule() {
+        let d = Diagnostic {
+            file: PathBuf::from("crates/demo/src/lib.rs"),
+            line: 7,
+            rule: Rule::NoPanic,
+            message: "`unwrap` in library code".into(),
+        };
+        assert_eq!(format!("{d}"), "crates/demo/src/lib.rs:7: R1 `unwrap` in library code");
+    }
+}

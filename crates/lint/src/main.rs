@@ -1,0 +1,52 @@
+//! `easytime-lint` — run the workspace invariant checks.
+//!
+//! Usage: `cargo run -p easytime-lint` (from anywhere in the workspace).
+//! Prints `file:line: R# message` diagnostics and exits non-zero when any
+//! violation is found.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn workspace_root() -> PathBuf {
+    // The crate lives at <root>/crates/lint, so the workspace root is two
+    // levels up from the manifest dir baked in at compile time. Fall back to
+    // the current directory for out-of-tree invocations of the raw binary.
+    let manifest = Path::new(env!("CARGO_MANIFEST_DIR"));
+    match manifest.parent().and_then(Path::parent) {
+        Some(root) if root.join("Cargo.toml").is_file() => root.to_path_buf(),
+        _ => PathBuf::from("."),
+    }
+}
+
+fn main() -> ExitCode {
+    let root = workspace_root();
+    let (mut diags, checked) = match easytime_lint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(err) => {
+            eprintln!("easytime-lint: failed to scan {}: {err}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    // The root manifest's [workspace.dependencies] is the chokepoint where
+    // external crates would re-enter; lint it alongside the member manifests.
+    match std::fs::read_to_string(root.join("Cargo.toml")) {
+        Ok(toml) => diags.extend(easytime_lint::lint_manifest(Path::new("Cargo.toml"), &toml)),
+        Err(err) => {
+            eprintln!("easytime-lint: failed to read root Cargo.toml: {err}");
+            return ExitCode::FAILURE;
+        }
+    }
+    for d in &diags {
+        println!("{d}");
+    }
+    if diags.is_empty() {
+        println!("easytime-lint: OK — {checked} files checked, 0 violations");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "easytime-lint: {} violation(s) across {checked} checked files",
+            diags.len()
+        );
+        ExitCode::FAILURE
+    }
+}

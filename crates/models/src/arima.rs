@@ -279,7 +279,10 @@ impl Arima {
         let mut work = values.to_vec();
         let mut tail = Vec::with_capacity(d);
         for _ in 0..d {
-            tail.push(*work.last().expect("non-empty"));
+            let Some(&last) = work.last() else {
+                break;
+            };
+            tail.push(last);
             work = work.windows(2).map(|w| w[1] - w[0]).collect();
         }
         (work, tail)
@@ -326,6 +329,8 @@ impl Arima {
         }
 
         // Stage 1: long AR to estimate innovations.
+        // lint: allow(lossy-cast) — ln(n).ceil() is a small non-negative
+        // integer-valued float, exactly representable as usize.
         let long_p = ((n as f64).ln().ceil() as usize + p + q).min(n / 3).max(p + 1);
         let (li, lc, _) = fit_ar(work, long_p)?;
         let mut innov = vec![0.0; n];
@@ -582,7 +587,7 @@ mod tests {
     use easytime_data::Frequency;
 
     fn ts(values: Vec<f64>) -> TimeSeries {
-        TimeSeries::new("t", values, Frequency::Unknown).unwrap()
+        TimeSeries::new("t", values, Frequency::Unknown).expect("construction succeeds with valid parameters")
     }
 
     /// Deterministic AR(1) driven by white LCG noise in (-0.15, 0.15).
@@ -603,20 +608,20 @@ mod tests {
     #[test]
     fn ar_recovers_autoregressive_coefficient() {
         let data = ar1_series(400, 0.8);
-        let mut m = Ar::new(1).unwrap();
-        m.fit(&ts(data)).unwrap();
-        let st = m.fitted.as_ref().unwrap();
+        let mut m = Ar::new(1).expect("construction succeeds with valid parameters");
+        m.fit(&ts(data)).expect("fit succeeds on valid training data");
+        let st = m.fitted.as_ref().expect("state is populated at this point");
         assert!((st.coeffs[0] - 0.8).abs() < 0.1, "phi estimate {}", st.coeffs[0]);
     }
 
     #[test]
     fn ar_auto_picks_reasonable_order() {
         let data = ar1_series(300, 0.7);
-        let mut m = Ar::auto(8).unwrap();
-        m.fit(&ts(data)).unwrap();
-        let st = m.fitted.as_ref().unwrap();
+        let mut m = Ar::auto(8).expect("auto-order selection succeeds");
+        m.fit(&ts(data)).expect("fit succeeds on valid training data");
+        let st = m.fitted.as_ref().expect("state is populated at this point");
         assert!((1..=8).contains(&st.coeffs.len()));
-        let f = m.forecast(5).unwrap();
+        let f = m.forecast(5).expect("forecast succeeds on a fitted model");
         assert!(f.iter().all(|v| v.is_finite()));
     }
 
@@ -624,9 +629,9 @@ mod tests {
     fn ar_forecast_decays_to_process_mean() {
         let data = ar1_series(400, 0.8);
         let m_data = easytime_linalg::stats::mean(&data);
-        let mut m = Ar::new(1).unwrap();
-        m.fit(&ts(data)).unwrap();
-        let f = m.forecast(200).unwrap();
+        let mut m = Ar::new(1).expect("construction succeeds with valid parameters");
+        m.fit(&ts(data)).expect("fit succeeds on valid training data");
+        let f = m.forecast(200).expect("forecast succeeds on a fitted model");
         assert!(
             (f[199] - m_data).abs() < 0.5,
             "long-run forecast {} should approach mean {}",
@@ -638,9 +643,9 @@ mod tests {
     #[test]
     fn arima_with_differencing_tracks_trend() {
         let values: Vec<f64> = (0..200).map(|t| 5.0 + 0.5 * t as f64).collect();
-        let mut m = Arima::new(1, 1, 0).unwrap();
-        m.fit(&ts(values)).unwrap();
-        let f = m.forecast(5).unwrap();
+        let mut m = Arima::new(1, 1, 0).expect("construction succeeds with valid parameters");
+        m.fit(&ts(values)).expect("fit succeeds on valid training data");
+        let f = m.forecast(5).expect("forecast succeeds on a fitted model");
         for (h, v) in f.iter().enumerate() {
             let expected = 5.0 + 0.5 * (200 + h) as f64;
             assert!((v - expected).abs() < 1.0, "h={h}: {v} vs {expected}");
@@ -657,9 +662,9 @@ mod tests {
         }
         assert_eq!(Arima::choose_d(&v), 1);
         let mut m = Arima::auto();
-        m.fit(&ts(v)).unwrap();
-        assert_eq!(m.fitted.as_ref().unwrap().d, 1);
-        let f = m.forecast(10).unwrap();
+        m.fit(&ts(v)).expect("fit succeeds on valid training data");
+        assert_eq!(m.fitted.as_ref().expect("state is populated at this point").d, 1);
+        let f = m.forecast(10).expect("forecast succeeds on a fitted model");
         assert!(f.iter().all(|x| x.is_finite()));
     }
 
@@ -674,12 +679,12 @@ mod tests {
     #[test]
     fn arma_with_ma_terms_fits() {
         let data = ar1_series(400, 0.6);
-        let mut m = Arima::new(1, 0, 1).unwrap();
-        m.fit(&ts(data)).unwrap();
-        let st = m.fitted.as_ref().unwrap();
+        let mut m = Arima::new(1, 0, 1).expect("construction succeeds with valid parameters");
+        m.fit(&ts(data)).expect("fit succeeds on valid training data");
+        let st = m.fitted.as_ref().expect("state is populated at this point");
         assert_eq!(st.ar.len(), 1);
         assert_eq!(st.ma.len(), 1);
-        let f = m.forecast(8).unwrap();
+        let f = m.forecast(8).expect("forecast succeeds on a fitted model");
         assert_eq!(f.len(), 8);
         assert!(f.iter().all(|v| v.is_finite()));
     }
@@ -694,7 +699,7 @@ mod tests {
 
     #[test]
     fn short_series_yields_too_short() {
-        let mut m = Arima::new(2, 1, 1).unwrap();
+        let mut m = Arima::new(2, 1, 1).expect("construction succeeds with valid parameters");
         assert!(matches!(
             m.fit(&ts((0..10).map(|t| t as f64).collect())),
             Err(ModelError::TooShort { .. })
@@ -717,9 +722,9 @@ mod tests {
         let lo = v.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let range = hi - lo;
-        let mut m = Arima::new(2, 0, 1).unwrap();
-        m.fit(&ts(v)).unwrap();
-        let f = m.forecast(500).unwrap();
+        let mut m = Arima::new(2, 0, 1).expect("construction succeeds with valid parameters");
+        m.fit(&ts(v)).expect("fit succeeds on valid training data");
+        let f = m.forecast(500).expect("forecast succeeds on a fitted model");
         for x in &f {
             assert!(
                 *x >= lo - 5.0 * range - 1e-9 && *x <= hi + 5.0 * range + 1e-9,
@@ -738,17 +743,17 @@ mod tests {
                     + 8.0 * (2.0 * std::f64::consts::PI * t as f64 / 12.0).sin()
             })
             .collect();
-        let series = TimeSeries::new("m", values.clone(), Frequency::Monthly).unwrap();
-        let train = series.slice(0, 216).unwrap();
+        let series = TimeSeries::new("m", values.clone(), Frequency::Monthly).expect("construction succeeds with valid parameters");
+        let train = series.slice(0, 216).expect("slice bounds are within the series");
         let actual = &values[216..240];
 
-        let mut sarima = SeasonalArima::new(None, 1, 0).unwrap();
-        sarima.fit(&train).unwrap();
-        let fs = sarima.forecast(24).unwrap();
+        let mut sarima = SeasonalArima::new(None, 1, 0).expect("construction succeeds with valid parameters");
+        sarima.fit(&train).expect("fit succeeds on valid training data");
+        let fs = sarima.forecast(24).expect("forecast succeeds on a fitted model");
 
         let mut arima = Arima::auto();
-        arima.fit(&train).unwrap();
-        let fa = arima.forecast(24).unwrap();
+        arima.fit(&train).expect("fit succeeds on valid training data");
+        let fa = arima.forecast(24).expect("forecast succeeds on a fitted model");
 
         let mae = |f: &[f64]| {
             f.iter().zip(actual).map(|(p, a)| (p - a).abs()).sum::<f64>() / 24.0
@@ -765,28 +770,28 @@ mod tests {
     #[test]
     fn sarima_validates_inputs() {
         assert!(SeasonalArima::new(Some(12), 0, 0).is_err());
-        let mut m = SeasonalArima::new(Some(1), 1, 0).unwrap();
+        let mut m = SeasonalArima::new(Some(1), 1, 0).expect("construction succeeds with valid parameters");
         let s = ts((0..100).map(|t| t as f64).collect());
         assert!(matches!(m.fit(&s), Err(ModelError::InvalidParam { .. })));
         // No period available (Unknown frequency, none given).
-        let mut m = SeasonalArima::new(None, 1, 0).unwrap();
+        let mut m = SeasonalArima::new(None, 1, 0).expect("construction succeeds with valid parameters");
         assert!(matches!(m.fit(&s), Err(ModelError::InvalidParam { .. })));
         // Too short for two cycles.
-        let mut m = SeasonalArima::new(Some(12), 1, 0).unwrap();
+        let mut m = SeasonalArima::new(Some(12), 1, 0).expect("construction succeeds with valid parameters");
         assert!(matches!(
             m.fit(&ts((0..20).map(|t| t as f64).collect())),
             Err(ModelError::TooShort { .. })
         ));
         assert!(matches!(
-            SeasonalArima::new(Some(12), 1, 0).unwrap().forecast(1),
+            SeasonalArima::new(Some(12), 1, 0).expect("construction succeeds with valid parameters").forecast(1),
             Err(ModelError::NotFitted)
         ));
     }
 
     #[test]
     fn names_are_stable() {
-        assert_eq!(Ar::new(3).unwrap().name(), "ar_3");
-        assert_eq!(Arima::new(2, 1, 1).unwrap().name(), "arima_211");
+        assert_eq!(Ar::new(3).expect("construction succeeds with valid parameters").name(), "ar_3");
+        assert_eq!(Arima::new(2, 1, 1).expect("construction succeeds with valid parameters").name(), "arima_211");
         assert_eq!(Arima::auto().name(), "arima_auto");
     }
 }

@@ -117,16 +117,19 @@ pub fn forecast_with_intervals(
 
     let q_lo = (1.0 - level) / 2.0;
     let q_hi = 1.0 - q_lo;
-    let pooled_lo = quantile(&pooled, q_lo).expect("pooled non-empty");
-    let pooled_hi = quantile(&pooled, q_hi).expect("pooled non-empty");
+    let empty_pool = || ModelError::Numeric {
+        what: "interval calibration produced no residuals".into(),
+    };
+    let pooled_lo = quantile(&pooled, q_lo).ok_or_else(empty_pool)?;
+    let pooled_hi = quantile(&pooled, q_hi).ok_or_else(empty_pool)?;
 
     let mut lower = Vec::with_capacity(horizon);
     let mut upper = Vec::with_capacity(horizon);
     for (h, p) in point.iter().enumerate() {
         let (off_lo, off_hi) = if per_step[h].len() >= 24 {
             (
-                quantile(&per_step[h], q_lo).expect("non-empty"),
-                quantile(&per_step[h], q_hi).expect("non-empty"),
+                quantile(&per_step[h], q_lo).ok_or_else(empty_pool)?,
+                quantile(&per_step[h], q_hi).ok_or_else(empty_pool)?,
             )
         } else {
             (pooled_lo, pooled_hi)

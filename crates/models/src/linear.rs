@@ -241,7 +241,10 @@ impl Forecaster for NLinear {
         let mut hist = tail.to_vec();
         let mut out = Vec::with_capacity(horizon);
         for _ in 0..horizon {
-            let anchor = *hist.last().expect("tail non-empty");
+            // lint: allow(panic) — fit stores lookback ≥ 1 trailing
+            // observations and the loop below only appends, so the
+            // history can never be empty here.
+            let anchor = *hist.last().expect("history is never empty");
             let mut delta = beta[0];
             for i in 1..=lookback {
                 delta += beta[i] * (hist[hist.len() - i] - anchor);

@@ -199,6 +199,15 @@ pub struct ChannelIndependent<F> {
     fitted: Vec<F>,
 }
 
+impl<F> std::fmt::Debug for ChannelIndependent<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChannelIndependent")
+            .field("name", &self.name)
+            .field("channels", &self.fitted.len())
+            .finish_non_exhaustive()
+    }
+}
+
 impl<F: Forecaster> ChannelIndependent<F> {
     /// Creates the wrapper from a factory closure for the inner method.
     pub fn new(name: impl Into<String>, make: impl Fn() -> F + Send + 'static) -> Self {

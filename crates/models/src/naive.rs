@@ -322,14 +322,14 @@ mod tests {
     use easytime_data::Frequency;
 
     fn ts(values: Vec<f64>) -> TimeSeries {
-        TimeSeries::new("t", values, Frequency::Monthly).unwrap()
+        TimeSeries::new("t", values, Frequency::Monthly).expect("construction succeeds with valid parameters")
     }
 
     #[test]
     fn naive_repeats_last_value() {
         let mut m = Naive::new();
-        m.fit(&ts(vec![1.0, 2.0, 7.0])).unwrap();
-        assert_eq!(m.forecast(3).unwrap(), vec![7.0, 7.0, 7.0]);
+        m.fit(&ts(vec![1.0, 2.0, 7.0])).expect("fit succeeds on valid training data");
+        assert_eq!(m.forecast(3).expect("forecast succeeds on a fitted model"), vec![7.0, 7.0, 7.0]);
     }
 
     #[test]
@@ -343,15 +343,15 @@ mod tests {
     #[test]
     fn zero_horizon_is_rejected() {
         let mut m = Naive::new();
-        m.fit(&ts(vec![1.0])).unwrap();
+        m.fit(&ts(vec![1.0])).expect("fit succeeds on valid training data");
         assert!(matches!(m.forecast(0), Err(ModelError::InvalidParam { .. })));
     }
 
     #[test]
     fn seasonal_naive_repeats_cycle() {
         let mut m = SeasonalNaive::new(Some(3));
-        m.fit(&ts(vec![9.0, 9.0, 1.0, 2.0, 3.0])).unwrap();
-        assert_eq!(m.forecast(7).unwrap(), vec![1.0, 2.0, 3.0, 1.0, 2.0, 3.0, 1.0]);
+        m.fit(&ts(vec![9.0, 9.0, 1.0, 2.0, 3.0])).expect("fit succeeds on valid training data");
+        assert_eq!(m.forecast(7).expect("forecast succeeds on a fitted model"), vec![1.0, 2.0, 3.0, 1.0, 2.0, 3.0, 1.0]);
     }
 
     #[test]
@@ -359,23 +359,23 @@ mod tests {
         // Monthly frequency → period 12.
         let values: Vec<f64> = (0..24).map(|t| (t % 12) as f64).collect();
         let mut m = SeasonalNaive::new(None);
-        m.fit(&ts(values)).unwrap();
-        let f = m.forecast(12).unwrap();
+        m.fit(&ts(values)).expect("fit succeeds on valid training data");
+        let f = m.forecast(12).expect("forecast succeeds on a fitted model");
         assert_eq!(f, (0..12).map(|t| t as f64).collect::<Vec<_>>());
     }
 
     #[test]
     fn seasonal_naive_degrades_to_naive_when_period_too_long() {
         let mut m = SeasonalNaive::new(Some(100));
-        m.fit(&ts(vec![1.0, 2.0, 5.0])).unwrap();
-        assert_eq!(m.forecast(2).unwrap(), vec![5.0, 5.0]);
+        m.fit(&ts(vec![1.0, 2.0, 5.0])).expect("fit succeeds on valid training data");
+        assert_eq!(m.forecast(2).expect("forecast succeeds on a fitted model"), vec![5.0, 5.0]);
     }
 
     #[test]
     fn drift_extrapolates_linearly() {
         let mut m = Drift::new();
-        m.fit(&ts(vec![0.0, 1.0, 2.0, 3.0])).unwrap();
-        assert_eq!(m.forecast(3).unwrap(), vec![4.0, 5.0, 6.0]);
+        m.fit(&ts(vec![0.0, 1.0, 2.0, 3.0])).expect("fit succeeds on valid training data");
+        assert_eq!(m.forecast(3).expect("forecast succeeds on a fitted model"), vec![4.0, 5.0, 6.0]);
         assert!(matches!(
             Drift::new().fit(&ts(vec![1.0])),
             Err(ModelError::TooShort { needed: 2, got: 1 })
@@ -385,12 +385,12 @@ mod tests {
     #[test]
     fn mean_and_window_average() {
         let mut m = MeanForecaster::new();
-        m.fit(&ts(vec![1.0, 2.0, 3.0, 4.0])).unwrap();
-        assert_eq!(m.forecast(2).unwrap(), vec![2.5, 2.5]);
+        m.fit(&ts(vec![1.0, 2.0, 3.0, 4.0])).expect("fit succeeds on valid training data");
+        assert_eq!(m.forecast(2).expect("forecast succeeds on a fitted model"), vec![2.5, 2.5]);
 
-        let mut w = WindowAverage::new(2).unwrap();
-        w.fit(&ts(vec![1.0, 2.0, 3.0, 5.0])).unwrap();
-        assert_eq!(w.forecast(2).unwrap(), vec![4.0, 4.0]);
+        let mut w = WindowAverage::new(2).expect("construction succeeds with valid parameters");
+        w.fit(&ts(vec![1.0, 2.0, 3.0, 5.0])).expect("fit succeeds on valid training data");
+        assert_eq!(w.forecast(2).expect("forecast succeeds on a fitted model"), vec![4.0, 4.0]);
         assert_eq!(w.name(), "window_average_2");
         assert!(WindowAverage::new(0).is_err());
     }
@@ -399,9 +399,9 @@ mod tests {
     fn seasonal_average_smooths_noisy_cycles() {
         // Period 3, two cycles with noise ±1 around [10, 20, 30].
         let values = vec![11.0, 19.0, 31.0, 9.0, 21.0, 29.0];
-        let mut m = SeasonalWindowAverage::new(Some(3), 2).unwrap();
-        m.fit(&ts(values)).unwrap();
-        let f = m.forecast(3).unwrap();
+        let mut m = SeasonalWindowAverage::new(Some(3), 2).expect("construction succeeds with valid parameters");
+        m.fit(&ts(values)).expect("fit succeeds on valid training data");
+        let f = m.forecast(3).expect("forecast succeeds on a fitted model");
         // n = 6 → step 6 has phase 0 → mean(11, 9) = 10.
         assert_eq!(f, vec![10.0, 20.0, 30.0]);
     }
@@ -410,9 +410,9 @@ mod tests {
     fn seasonal_average_phase_alignment_with_partial_cycle() {
         // 7 points, period 3: the next step (t=7) has phase 1.
         let values = vec![0.0, 10.0, 20.0, 1.0, 11.0, 21.0, 2.0];
-        let mut m = SeasonalWindowAverage::new(Some(3), 10).unwrap();
-        m.fit(&ts(values)).unwrap();
-        let f = m.forecast(2).unwrap();
+        let mut m = SeasonalWindowAverage::new(Some(3), 10).expect("construction succeeds with valid parameters");
+        m.fit(&ts(values)).expect("fit succeeds on valid training data");
+        let f = m.forecast(2).expect("forecast succeeds on a fitted model");
         assert_eq!(f[0], 10.5); // mean of phase-1 values {10, 11}
         assert_eq!(f[1], 20.5); // mean of phase-2 values {20, 21}
     }
@@ -421,24 +421,24 @@ mod tests {
     fn seasonal_average_validates_and_degrades() {
         assert!(SeasonalWindowAverage::new(Some(4), 0).is_err());
         assert!(matches!(
-            SeasonalWindowAverage::new(Some(4), 2).unwrap().forecast(1),
+            SeasonalWindowAverage::new(Some(4), 2).expect("construction succeeds with valid parameters").forecast(1),
             Err(ModelError::NotFitted)
         ));
         // No usable period → behaves like a trailing mean of `cycles`
         // values.
         let series =
-            TimeSeries::new("u", vec![1.0, 2.0, 3.0, 4.0], Frequency::Unknown).unwrap();
-        let mut m = SeasonalWindowAverage::new(None, 2).unwrap();
-        m.fit(&series).unwrap();
-        assert_eq!(m.forecast(2).unwrap(), vec![3.5, 3.5]);
+            TimeSeries::new("u", vec![1.0, 2.0, 3.0, 4.0], Frequency::Unknown).expect("construction succeeds with valid parameters");
+        let mut m = SeasonalWindowAverage::new(None, 2).expect("construction succeeds with valid parameters");
+        m.fit(&series).expect("fit succeeds on valid training data");
+        assert_eq!(m.forecast(2).expect("forecast succeeds on a fitted model"), vec![3.5, 3.5]);
     }
 
     #[test]
     fn linear_trend_extrapolates_the_regression_line() {
         let values: Vec<f64> = (0..50).map(|t| 3.0 + 0.5 * t as f64).collect();
         let mut m = LinearTrend::new();
-        m.fit(&ts(values)).unwrap();
-        let f = m.forecast(3).unwrap();
+        m.fit(&ts(values)).expect("fit succeeds on valid training data");
+        let f = m.forecast(3).expect("forecast succeeds on a fitted model");
         for (h, v) in f.iter().enumerate() {
             let expected = 3.0 + 0.5 * (50 + h) as f64;
             assert!((v - expected).abs() < 1e-9, "h={h}: {v} vs {expected}");
@@ -453,19 +453,19 @@ mod tests {
         let mut values = vec![10.0; 60];
         values[59] = 40.0;
         let mut lt = LinearTrend::new();
-        lt.fit(&ts(values.clone())).unwrap();
+        lt.fit(&ts(values.clone())).expect("value is present");
         let mut dr = Drift::new();
-        dr.fit(&ts(values)).unwrap();
-        let f_lt = lt.forecast(10).unwrap()[9];
-        let f_dr = dr.forecast(10).unwrap()[9];
+        dr.fit(&ts(values)).expect("fit succeeds on valid training data");
+        let f_lt = lt.forecast(10).expect("forecast succeeds on a fitted model")[9];
+        let f_dr = dr.forecast(10).expect("forecast succeeds on a fitted model")[9];
         assert!((f_lt - 10.0).abs() < 3.0, "linear trend {f_lt}");
         assert!(f_dr > 40.0, "drift should chase the spike: {f_dr}");
     }
 
     #[test]
     fn window_longer_than_series_uses_all_data() {
-        let mut w = WindowAverage::new(100).unwrap();
-        w.fit(&ts(vec![2.0, 4.0])).unwrap();
-        assert_eq!(w.forecast(1).unwrap(), vec![3.0]);
+        let mut w = WindowAverage::new(100).expect("construction succeeds with valid parameters");
+        w.fit(&ts(vec![2.0, 4.0])).expect("fit succeeds on valid training data");
+        assert_eq!(w.forecast(1).expect("forecast succeeds on a fitted model"), vec![3.0]);
     }
 }

@@ -16,9 +16,7 @@ use crate::optimize::Adam;
 use crate::{check_horizon, check_train, Forecaster, ModelError, Result};
 use easytime_data::TimeSeries;
 use easytime_linalg::stats::{mean, std_dev};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use easytime_rng::StdRng;
 
 /// Training hyper-parameters shared by the neural models.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -52,7 +50,7 @@ fn windows(values: &[f64], lookback: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
 }
 
 fn uniform_init(rng: &mut StdRng, n: usize, scale: f64) -> Vec<f64> {
-    (0..n).map(|_| (rng.gen::<f64>() * 2.0 - 1.0) * scale).collect()
+    (0..n).map(|_| (rng.gen_f64() * 2.0 - 1.0) * scale).collect()
 }
 
 /// One-hidden-layer MLP forecaster (tanh activation).
@@ -144,7 +142,7 @@ impl Forecaster for Mlp {
         let mut hidden_buf = vec![0.0; hidden];
 
         for _ in 0..self.config.epochs {
-            order.shuffle(&mut rng);
+            rng.shuffle(&mut order);
             for chunk in order.chunks(self.config.batch_size.max(1)) {
                 let mut grads = vec![0.0; dim];
                 for &idx in chunk {
@@ -307,7 +305,7 @@ impl Forecaster for Rnn {
         let mut order: Vec<usize> = (0..xs.len()).collect();
 
         for _ in 0..self.config.epochs {
-            order.shuffle(&mut rng);
+            rng.shuffle(&mut order);
             for chunk in order.chunks(self.config.batch_size.max(1)) {
                 let mut g_wx = vec![0.0; hdim];
                 let mut g_wh = vec![0.0; hdim * hdim];

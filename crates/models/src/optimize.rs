@@ -79,7 +79,7 @@ pub fn nelder_mead(
     let finite = |v: f64| if v.is_finite() { v } else { f64::INFINITY };
 
     for _ in 0..max_iter {
-        simplex.sort_by(|a, b| finite(a.1).partial_cmp(&finite(b.1)).unwrap());
+        simplex.sort_by(|a, b| finite(a.1).total_cmp(&finite(b.1)));
         let best = simplex[0].1;
         let worst = simplex[n].1;
         if (finite(worst) - finite(best)).abs() < 1e-12 {
@@ -134,7 +134,7 @@ pub fn nelder_mead(
             }
         }
     }
-    simplex.sort_by(|a, b| finite(a.1).partial_cmp(&finite(b.1)).unwrap());
+    simplex.sort_by(|a, b| finite(a.1).total_cmp(&finite(b.1)));
     simplex.swap_remove(0)
 }
 
@@ -164,8 +164,11 @@ impl Adam {
         assert_eq!(params.len(), self.m.len(), "Adam: parameter dim mismatch");
         assert_eq!(grads.len(), self.m.len(), "Adam: gradient dim mismatch");
         self.t += 1;
-        let b1t = 1.0 - self.beta1.powi(self.t as i32);
-        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        // lint: allow(lossy-cast) — the step counter counts optimizer
+        // updates within one training run, far below i32::MAX.
+        let t = self.t as i32;
+        let b1t = 1.0 - self.beta1.powi(t);
+        let b2t = 1.0 - self.beta2.powi(t);
         for i in 0..params.len() {
             self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * grads[i];
             self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * grads[i] * grads[i];

@@ -177,6 +177,8 @@ impl Forecaster for Holt {
         let mut out = Vec::with_capacity(horizon);
         let mut damp_sum = 0.0;
         for h in 1..=horizon {
+            // lint: allow(lossy-cast) — forecast horizons are tiny
+            // (hundreds at most), far below i32::MAX.
             damp_sum += st.phi.powi(h as i32);
             out.push(st.level + damp_sum * st.trend);
         }

@@ -258,13 +258,13 @@ impl ModelSpec {
             }
         }
         if let Some(rest) = name.strip_prefix("arima_") {
-            let digits: Vec<u32> = rest.chars().filter_map(|c| c.to_digit(10)).collect();
+            let digits: Vec<usize> = rest
+                .chars()
+                .filter_map(|c| c.to_digit(10))
+                .filter_map(|d| usize::try_from(d).ok())
+                .collect();
             if digits.len() == 3 && rest.len() == 3 {
-                return Ok(ModelSpec::Arima(
-                    digits[0] as usize,
-                    digits[1] as usize,
-                    digits[2] as usize,
-                ));
+                return Ok(ModelSpec::Arima(digits[0], digits[1], digits[2]));
             }
         }
         if let Some(rest) = name.strip_prefix("lag_ridge_") {

@@ -1,37 +1,36 @@
-//! Property-based tests over the whole model zoo: every method must obey
-//! the `Forecaster` contract on arbitrary well-formed inputs.
+//! Property-style tests over the whole model zoo: every method must obey
+//! the `Forecaster` contract on randomized well-formed inputs, generated
+//! with the workspace's own deterministic RNG.
 
 use easytime_data::{Frequency, TimeSeries};
 use easytime_models::zoo::standard_zoo;
 use easytime_models::ModelSpec;
-use proptest::prelude::*;
+use easytime_rng::StdRng;
 
-/// Arbitrary "realistic" series: trend + seasonality + bounded LCG noise.
-fn series_strategy() -> impl Strategy<Value = TimeSeries> {
-    (
-        120usize..320,
-        -0.5..0.5f64,
-        0.0..10.0f64,
-        2usize..30,
-        any::<u64>(),
-        -100.0..100.0f64,
-    )
-        .prop_map(|(n, slope, amp, period, seed, level)| {
-            let mut state = seed | 1;
-            let mut noise = move || {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-                (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
-            };
-            let values: Vec<f64> = (0..n)
-                .map(|t| {
-                    level
-                        + slope * t as f64
-                        + amp * (2.0 * std::f64::consts::PI * t as f64 / period as f64).sin()
-                        + noise()
-                })
-                .collect();
-            TimeSeries::new("prop", values, Frequency::Monthly).unwrap()
+const CASES: u64 = 24;
+const MASTER_SEED: u64 = 0x300D_E150;
+
+fn cases() -> impl Iterator<Item = StdRng> {
+    (0..CASES).map(|i| StdRng::seed_from_u64(MASTER_SEED).derive(i))
+}
+
+/// Randomized "realistic" series: trend + seasonality + bounded noise.
+fn random_series(rng: &mut StdRng) -> TimeSeries {
+    let n = rng.gen_range(120..320);
+    let slope = rng.gen_range_f64(-0.5, 0.5);
+    let amp = rng.gen_range_f64(0.0, 10.0);
+    let period = rng.gen_range(2..30);
+    let level = rng.gen_range_f64(-100.0, 100.0);
+    let mut noise = rng.derive(1);
+    let values: Vec<f64> = (0..n)
+        .map(|t| {
+            level
+                + slope * t as f64
+                + amp * (2.0 * std::f64::consts::PI * t as f64 / period as f64).sin()
+                + (noise.gen_f64() - 0.5)
         })
+        .collect();
+    TimeSeries::new("prop", values, Frequency::Monthly).unwrap()
 }
 
 /// The fast deterministic subset of the zoo (neural trainers excluded to
@@ -44,21 +43,18 @@ fn fast_specs() -> Vec<ModelSpec> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn every_method_returns_finite_forecasts_of_requested_length(
-        series in series_strategy(),
-        horizon in 1usize..48,
-    ) {
+#[test]
+fn every_method_returns_finite_forecasts_of_requested_length() {
+    for mut rng in cases() {
+        let series = random_series(&mut rng);
+        let horizon = rng.gen_range(1..48);
         for spec in fast_specs() {
             let mut model = spec.build().unwrap();
             match model.fit(&series) {
                 Ok(()) => {
                     let f = model.forecast(horizon).unwrap();
-                    prop_assert_eq!(f.len(), horizon, "{}", model.name());
-                    prop_assert!(
+                    assert_eq!(f.len(), horizon, "{}", model.name());
+                    assert!(
                         f.iter().all(|v| v.is_finite()),
                         "{} produced non-finite values",
                         model.name()
@@ -66,13 +62,16 @@ proptest! {
                 }
                 // TooShort is acceptable for parameter-hungry methods.
                 Err(easytime_models::ModelError::TooShort { .. }) => {}
-                Err(e) => prop_assert!(false, "{} failed unexpectedly: {e}", spec.name()),
+                Err(e) => panic!("{} failed unexpectedly: {e}", spec.name()),
             }
         }
     }
+}
 
-    #[test]
-    fn fitting_is_idempotent(series in series_strategy()) {
+#[test]
+fn fitting_is_idempotent() {
+    for mut rng in cases() {
+        let series = random_series(&mut rng);
         // Fitting the same model twice on the same data must not change
         // its forecasts (no hidden state accumulation).
         for spec in [ModelSpec::Ses(None), ModelSpec::Theta(None), ModelSpec::ArAuto] {
@@ -81,23 +80,28 @@ proptest! {
             let first = model.forecast(8).unwrap();
             model.fit(&series).unwrap();
             let second = model.forecast(8).unwrap();
-            prop_assert_eq!(first, second, "{:?}", spec);
+            assert_eq!(first, second, "{spec:?}");
         }
     }
+}
 
-    #[test]
-    fn naive_forecast_equals_last_value(series in series_strategy(), horizon in 1usize..16) {
+#[test]
+fn naive_forecast_equals_last_value() {
+    for mut rng in cases() {
+        let series = random_series(&mut rng);
+        let horizon = rng.gen_range(1..16);
         let mut model = ModelSpec::Naive.build().unwrap();
         model.fit(&series).unwrap();
         let f = model.forecast(horizon).unwrap();
-        prop_assert!(f.iter().all(|&v| v == series.last()));
+        assert!(f.iter().all(|&v| v == series.last()));
     }
+}
 
-    #[test]
-    fn forecasts_scale_equivariantly_for_linear_models(
-        series in series_strategy(),
-        scale in 0.5..20.0f64,
-    ) {
+#[test]
+fn forecasts_scale_equivariantly_for_linear_models() {
+    for mut rng in cases() {
+        let series = random_series(&mut rng);
+        let scale = rng.gen_range_f64(0.5, 20.0);
         // Affine-equivariant methods: forecast(a·x) = a·forecast(x).
         let scaled = series
             .with_values(series.values().iter().map(|v| v * scale).collect())
@@ -110,23 +114,23 @@ proptest! {
             let f1 = m1.forecast(6).unwrap();
             let f2 = m2.forecast(6).unwrap();
             for (a, b) in f1.iter().zip(&f2) {
-                prop_assert!(
+                assert!(
                     (a * scale - b).abs() < 1e-6 * (1.0 + b.abs()),
-                    "{:?}: {} * {scale} vs {}",
-                    spec,
-                    a,
-                    b
+                    "{spec:?}: {a} * {scale} vs {b}"
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn zero_horizon_always_rejected(series in series_strategy()) {
+#[test]
+fn zero_horizon_always_rejected() {
+    for mut rng in cases() {
+        let series = random_series(&mut rng);
         for spec in [ModelSpec::Naive, ModelSpec::Theta(None), ModelSpec::Ses(None)] {
             let mut model = spec.build().unwrap();
             model.fit(&series).unwrap();
-            prop_assert!(model.forecast(0).is_err());
+            assert!(model.forecast(0).is_err());
         }
     }
 }

@@ -128,7 +128,7 @@ mod tests {
 
     fn knowledge_db() -> Database {
         let mut db = Database::new();
-        create_knowledge_schema(&mut db).unwrap();
+        create_knowledge_schema(&mut db).expect("schema creation succeeds on a fresh database");
         for (id, domain, trend, mv) in [
             ("web_01", "web", 0.8, false),
             ("web_02", "web", 0.7, true),
@@ -151,7 +151,7 @@ mod tests {
                     period: 7,
                 },
             )
-            .unwrap();
+            .expect("value is present");
         }
         for (name, family, desc) in [
             ("naive", "statistical", "repeat the last observation"),
@@ -162,7 +162,7 @@ mod tests {
                 &mut db,
                 &MethodRow { name: name.into(), family: family.into(), description: desc.into() },
             )
-            .unwrap();
+            .expect("insert_method succeeds");
         }
         let mut push = |dataset: &str, method: &str, horizon: i64, mae: f64, rt: f64| {
             insert_result(
@@ -182,7 +182,7 @@ mod tests {
                     windows: 4,
                 },
             )
-            .unwrap();
+            .expect("value is present");
         };
         for d in ["web_01", "web_02", "eco_01"] {
             push(d, "naive", 96, 3.0, 0.5);
@@ -197,17 +197,17 @@ mod tests {
 
     #[test]
     fn session_extracts_lexicon() {
-        let session = QaSession::new(knowledge_db()).unwrap();
+        let session = QaSession::new(knowledge_db()).expect("construction succeeds with valid parameters");
         assert_eq!(session.lexicon().methods.len(), 3);
         assert!(session.lexicon().domains.contains(&"web".to_string()));
     }
 
     #[test]
     fn end_to_end_top_methods_question() {
-        let mut session = QaSession::new(knowledge_db()).unwrap();
+        let mut session = QaSession::new(knowledge_db()).expect("construction succeeds with valid parameters");
         let r = session
             .ask("What are the top 3 methods ordered by MAE for long-term forecasting?")
-            .unwrap();
+            .expect("question is answered");
         assert!(r.sql.contains("r.horizon >= 96"));
         assert_eq!(r.table.rows.len(), 3);
         assert!(r.answer.contains("theta"), "answer: {}", r.answer);
@@ -219,13 +219,13 @@ mod tests {
 
     #[test]
     fn follow_up_inherits_filters() {
-        let mut session = QaSession::new(knowledge_db()).unwrap();
+        let mut session = QaSession::new(knowledge_db()).expect("construction succeeds with valid parameters");
         session
             .ask("Top 3 methods by MAE for long-term forecasting on web datasets?")
-            .unwrap();
+            .expect("question is answered");
         // Follow-up changes only the metric; the long-term + web filters
         // must carry over.
-        let r = session.ask("what about smape?").unwrap();
+        let r = session.ask("what about smape?").expect("question is answered");
         assert!(r.sql.contains("smape"));
         assert!(r.sql.contains("r.horizon >= 96"), "sql: {}", r.sql);
         assert!(r.sql.contains("d.domain = 'web'"), "sql: {}", r.sql);
@@ -234,27 +234,27 @@ mod tests {
 
     #[test]
     fn comparison_and_info_questions() {
-        let mut session = QaSession::new(knowledge_db()).unwrap();
-        let cmp = session.ask("Is theta better than naive by MAE?").unwrap();
+        let mut session = QaSession::new(knowledge_db()).expect("construction succeeds with valid parameters");
+        let cmp = session.ask("Is theta better than naive by MAE?").expect("question is answered");
         assert!(cmp.answer.contains("theta outperforms naive"), "{}", cmp.answer);
 
-        let info = session.ask("Tell me about dlinear").unwrap();
+        let info = session.ask("Tell me about dlinear").expect("question is answered");
         assert!(info.answer.contains("machine learning"), "{}", info.answer);
     }
 
     #[test]
     fn count_questions_hit_dataset_filters() {
-        let mut session = QaSession::new(knowledge_db()).unwrap();
-        let r = session.ask("How many multivariate datasets are there?").unwrap();
+        let mut session = QaSession::new(knowledge_db()).expect("construction succeeds with valid parameters");
+        let r = session.ask("How many multivariate datasets are there?").expect("question is answered");
         assert!(r.answer.contains('1'), "{}", r.answer);
-        let r = session.ask("How many datasets have strong trends?").unwrap();
+        let r = session.ask("How many datasets have strong trends?").expect("question is answered");
         assert!(r.answer.contains('2'), "{}", r.answer);
     }
 
     #[test]
     fn fastest_question_uses_runtime() {
-        let mut session = QaSession::new(knowledge_db()).unwrap();
-        let r = session.ask("Which are the 2 fastest methods?").unwrap();
+        let mut session = QaSession::new(knowledge_db()).expect("construction succeeds with valid parameters");
+        let r = session.ask("Which are the 2 fastest methods?").expect("question is answered");
         assert!(r.sql.contains("runtime_ms"));
         assert!(r.answer.starts_with("The fastest methods"));
         assert!(r.answer.contains("naive"), "{}", r.answer);
@@ -262,26 +262,26 @@ mod tests {
 
     #[test]
     fn reset_clears_follow_up_context() {
-        let mut session = QaSession::new(knowledge_db()).unwrap();
-        session.ask("top 3 methods by mae for long-term forecasting on web datasets").unwrap();
+        let mut session = QaSession::new(knowledge_db()).expect("construction succeeds with valid parameters");
+        session.ask("top 3 methods by mae for long-term forecasting on web datasets").expect("question is answered");
         session.reset();
         assert_eq!(session.history_len(), 0);
         // Without history, the elliptical follow-up stands alone: no
         // long-term or web filters.
-        let r = session.ask("what about smape?").unwrap();
+        let r = session.ask("what about smape?").expect("question is answered");
         assert!(!r.sql.contains("horizon"), "sql: {}", r.sql);
         assert!(!r.sql.contains("domain"), "sql: {}", r.sql);
     }
 
     #[test]
     fn worst_methods_and_profile_questions() {
-        let mut session = QaSession::new(knowledge_db()).unwrap();
-        let worst = session.ask("which 2 methods struggle the most by mae?").unwrap();
+        let mut session = QaSession::new(knowledge_db()).expect("construction succeeds with valid parameters");
+        let worst = session.ask("which 2 methods struggle the most by mae?").expect("question is answered");
         assert!(worst.answer.contains("weakest"), "{}", worst.answer);
         // naive has the highest MAE in the fixture.
         assert!(worst.table.rows[0][0].to_string() == "naive");
 
-        let profile = session.ask("where does theta perform best?").unwrap();
+        let profile = session.ask("where does theta perform best?").expect("question is answered");
         assert!(profile.answer.contains("performs best on"), "{}", profile.answer);
         assert!(profile.sql.contains("GROUP BY d.domain"));
         // Two domains in the fixture → two profile rows.
@@ -290,7 +290,7 @@ mod tests {
 
     #[test]
     fn unanswerable_question_errors_cleanly() {
-        let mut session = QaSession::new(knowledge_db()).unwrap();
+        let mut session = QaSession::new(knowledge_db()).expect("construction succeeds with valid parameters");
         assert!(matches!(
             session.ask("sing me a song"),
             Err(QaError::UnparsableQuestion { .. })

@@ -1,13 +1,21 @@
-//! Property-based tests for the Q&A module. The headline property mirrors
-//! the paper's verification guarantee: **every SQL statement the NL2SQL
-//! generator can emit passes schema verification and executes** against
-//! the knowledge schema.
+//! Property-style tests for the Q&A module, driven by the workspace's own
+//! deterministic RNG. The headline property mirrors the paper's
+//! verification guarantee: **every SQL statement the NL2SQL generator can
+//! emit passes schema verification and executes** against the knowledge
+//! schema.
 
 use easytime_db::knowledge::create_knowledge_schema;
 use easytime_db::Database;
 use easytime_qa::intent::{CharacteristicFilter, HorizonClass, Intent, IntentKind};
 use easytime_qa::nl2sql::{generate_sql, parse_question, Lexicon};
-use proptest::prelude::*;
+use easytime_rng::StdRng;
+
+const CASES: u64 = 64;
+const MASTER_SEED: u64 = 0x9A5E_ED01;
+
+fn cases() -> impl Iterator<Item = StdRng> {
+    (0..CASES).map(|i| StdRng::seed_from_u64(MASTER_SEED).derive(i))
+}
 
 fn knowledge_db() -> Database {
     let mut db = Database::new();
@@ -15,122 +23,125 @@ fn knowledge_db() -> Database {
     db
 }
 
-fn any_kind() -> impl Strategy<Value = IntentKind> {
-    prop_oneof![
-        Just(IntentKind::TopMethods),
-        ("[a-z_]{1,12}", "[a-z_]{1,12}")
-            .prop_map(|(a, b)| IntentKind::CompareMethods { a, b }),
-        Just(IntentKind::CountDatasets),
-        Just(IntentKind::CountMethods),
-        Just(IntentKind::ListDomains),
-        "[a-z_']{1,12}".prop_map(|name| IntentKind::MethodInfo { name }),
-        Just(IntentKind::FastestMethods),
-        Just(IntentKind::WorstMethods),
-        "[a-z_']{1,12}".prop_map(|name| IntentKind::MethodProfile { name }),
-    ]
+fn word(rng: &mut StdRng, alphabet: &[u8], lo: usize, hi: usize) -> String {
+    let len = rng.gen_range(lo..hi);
+    (0..len).map(|_| alphabet[rng.gen_range(0..alphabet.len())] as char).collect()
 }
 
-fn any_horizon() -> impl Strategy<Value = Option<HorizonClass>> {
-    prop_oneof![
-        Just(None),
-        Just(Some(HorizonClass::Short)),
-        Just(Some(HorizonClass::Long)),
-        (1usize..512).prop_map(|h| Some(HorizonClass::Exact(h))),
-    ]
+fn ident(rng: &mut StdRng) -> String {
+    word(rng, b"abcdefghijklmnopqrstuvwxyz_", 1, 13)
 }
 
-fn any_characteristics() -> impl Strategy<Value = Vec<CharacteristicFilter>> {
-    let col = prop::sample::select(vec![
-        "seasonality",
-        "trend",
-        "transition",
-        "shifting",
-        "stationarity",
-        "correlation",
-    ]);
-    prop::collection::vec(
-        (col, any::<bool>())
-            .prop_map(|(c, strong)| CharacteristicFilter { column: c.into(), strong }),
-        0..3,
-    )
+fn name_with_quote(rng: &mut StdRng) -> String {
+    word(rng, b"abcdefghijklmnopqrstuvwxyz_'", 1, 13)
 }
 
-fn any_intent() -> impl Strategy<Value = Intent> {
-    (
-        any_kind(),
-        prop::sample::select(vec!["mae", "mse", "rmse", "smape", "mase", "r2"]),
-        1usize..20,
-        any_horizon(),
-        prop::option::of("[a-z]{3,10}"),
-        any_characteristics(),
-        prop::option::of(any::<bool>()),
-        prop::option::of(prop::sample::select(vec!["fixed", "rolling"])),
-        prop::option::of(prop::sample::select(vec![
-            "statistical",
-            "machine_learning",
-            "deep_learning",
-        ])),
-    )
-        .prop_map(
-            |(kind, metric, top_n, horizon, domain, characteristics, multivariate, strategy, family)| {
-                Intent {
-                    kind,
-                    metric: metric.into(),
-                    top_n,
-                    horizon,
-                    domain,
-                    characteristics,
-                    multivariate,
-                    strategy: strategy.map(String::from),
-                    family: family.map(String::from),
-                }
-            },
-        )
+fn any_kind(rng: &mut StdRng) -> IntentKind {
+    match rng.gen_range(0..9) {
+        0 => IntentKind::TopMethods,
+        1 => IntentKind::CompareMethods { a: ident(rng), b: ident(rng) },
+        2 => IntentKind::CountDatasets,
+        3 => IntentKind::CountMethods,
+        4 => IntentKind::ListDomains,
+        5 => IntentKind::MethodInfo { name: name_with_quote(rng) },
+        6 => IntentKind::FastestMethods,
+        7 => IntentKind::WorstMethods,
+        _ => IntentKind::MethodProfile { name: name_with_quote(rng) },
+    }
 }
 
-proptest! {
-    /// The paper's two-step guarantee, as a machine-checked property:
-    /// whatever intent the parser produces, the generated SQL verifies and
-    /// executes against the knowledge schema.
-    #[test]
-    fn every_generated_sql_verifies_and_executes(intent in any_intent()) {
+fn any_horizon(rng: &mut StdRng) -> Option<HorizonClass> {
+    match rng.gen_range(0..4) {
+        0 => None,
+        1 => Some(HorizonClass::Short),
+        2 => Some(HorizonClass::Long),
+        _ => Some(HorizonClass::Exact(rng.gen_range(1..512))),
+    }
+}
+
+fn any_characteristics(rng: &mut StdRng) -> Vec<CharacteristicFilter> {
+    const COLS: [&str; 6] =
+        ["seasonality", "trend", "transition", "shifting", "stationarity", "correlation"];
+    (0..rng.gen_range(0..3))
+        .map(|_| CharacteristicFilter {
+            column: COLS[rng.gen_range(0..COLS.len())].into(),
+            strong: rng.gen_bool(0.5),
+        })
+        .collect()
+}
+
+fn any_intent(rng: &mut StdRng) -> Intent {
+    const METRICS: [&str; 6] = ["mae", "mse", "rmse", "smape", "mase", "r2"];
+    const STRATEGIES: [&str; 2] = ["fixed", "rolling"];
+    const FAMILIES: [&str; 3] = ["statistical", "machine_learning", "deep_learning"];
+    Intent {
+        kind: any_kind(rng),
+        metric: METRICS[rng.gen_range(0..METRICS.len())].into(),
+        top_n: rng.gen_range(1..20),
+        horizon: any_horizon(rng),
+        domain: rng
+            .gen_bool(0.5)
+            .then(|| word(rng, b"abcdefghijklmnopqrstuvwxyz", 3, 11)),
+        characteristics: any_characteristics(rng),
+        multivariate: rng.gen_bool(0.5).then(|| rng.gen_bool(0.5)),
+        strategy: rng.gen_bool(0.5).then(|| STRATEGIES[rng.gen_range(0..2)].to_string()),
+        family: rng.gen_bool(0.5).then(|| FAMILIES[rng.gen_range(0..3)].to_string()),
+    }
+}
+
+/// The paper's two-step guarantee, as a machine-checked property: whatever
+/// intent the parser produces, the generated SQL verifies and executes
+/// against the knowledge schema.
+#[test]
+fn every_generated_sql_verifies_and_executes() {
+    for mut rng in cases() {
+        let intent = any_intent(&mut rng);
         let db = knowledge_db();
         let sql = generate_sql(&intent);
         let result = db.query(&sql);
-        prop_assert!(result.is_ok(), "generated SQL failed: {sql}\nerror: {:?}", result.err());
+        assert!(result.is_ok(), "generated SQL failed: {sql}\nerror: {:?}", result.err());
     }
+}
 
-    /// Parsing never panics on arbitrary input; it either produces an
-    /// intent or a clean error.
-    #[test]
-    fn parser_is_total_on_arbitrary_text(question in "[ -~]{0,80}") {
+/// Parsing never panics on arbitrary input; it either produces an intent
+/// or a clean error.
+#[test]
+fn parser_is_total_on_arbitrary_text() {
+    for mut rng in cases() {
+        let len = rng.gen_range(0..80);
+        let question: String =
+            (0..len).map(|_| (b' ' + rng.gen_range(0..95) as u8) as char).collect();
         let lexicon = Lexicon {
             methods: vec!["naive".into(), "theta".into(), "seasonal_naive".into()],
             domains: vec!["web".into(), "traffic".into()],
         };
         let _ = parse_question(&question, &lexicon);
     }
+}
 
-    /// Questions that do parse always yield SQL that verifies against the
-    /// schema — the end-to-end totality of the Figure-3 path.
-    #[test]
-    fn parsed_questions_yield_executable_sql(
-        n in 1usize..12,
-        metric in prop::sample::select(vec!["mae", "rmse", "smape", "mase"]),
-        domain in prop::sample::select(vec!["web", "traffic", "nature"]),
-        long in any::<bool>(),
-    ) {
+/// Questions that do parse always yield SQL that verifies against the
+/// schema — the end-to-end totality of the Figure-3 path.
+#[test]
+fn parsed_questions_yield_executable_sql() {
+    const METRICS: [&str; 4] = ["mae", "rmse", "smape", "mase"];
+    const DOMAINS: [&str; 3] = ["web", "traffic", "nature"];
+    for mut rng in cases() {
+        let n = rng.gen_range(1..12);
+        let metric = METRICS[rng.gen_range(0..METRICS.len())];
+        let domain = DOMAINS[rng.gen_range(0..DOMAINS.len())];
+        let long = rng.gen_bool(0.5);
         let lexicon = Lexicon {
             methods: vec!["naive".into(), "theta".into()],
             domains: vec!["web".into(), "traffic".into(), "nature".into()],
         };
         let horizon = if long { "long-term" } else { "short-term" };
-        let question = format!("top {n} methods by {metric} for {horizon} forecasting on {domain} data");
+        let question =
+            format!("top {n} methods by {metric} for {horizon} forecasting on {domain} data");
         let (intent, _) = parse_question(&question, &lexicon).unwrap();
-        prop_assert_eq!(intent.top_n, n);
-        prop_assert_eq!(intent.metric.as_str(), metric);
-        prop_assert_eq!(intent.domain.as_deref(), Some(domain));
+        assert_eq!(intent.top_n, n);
+        assert_eq!(intent.metric.as_str(), metric);
+        assert_eq!(intent.domain.as_deref(), Some(domain));
         let db = knowledge_db();
-        prop_assert!(db.query(&generate_sql(&intent)).is_ok());
+        assert!(db.query(&generate_sql(&intent)).is_ok());
     }
 }

@@ -93,6 +93,8 @@ impl Embedder {
     }
 
     fn normalize(&self, mut raw: Vec<f64>) -> Vec<f64> {
+        // lint: allow(panic) — normalize is private and only called after
+        // fit has populated the normalization table.
         let norm = self.norm.as_ref().expect("embedder must be fitted");
         for (v, (mu, sigma)) in raw.iter_mut().zip(norm) {
             // Winsorize: a dimension that was near-constant on the corpus

@@ -7,9 +7,7 @@
 //! at a fraction of the cost of a learned encoder.
 
 use easytime_linalg::stats::{mean, std_dev};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use std::f64::consts::PI;
+use easytime_rng::StdRng;
 
 /// One random convolution kernel.
 #[derive(Debug, Clone, PartialEq)]
@@ -25,17 +23,6 @@ pub struct RocketEncoder {
     kernels: Vec<Kernel>,
 }
 
-/// Standard normal via Box–Muller.
-fn gauss(rng: &mut StdRng) -> f64 {
-    loop {
-        let u1: f64 = rng.gen();
-        let u2: f64 = rng.gen();
-        if u1 > 1e-12 {
-            return (-2.0 * u1.ln()).sqrt() * (2.0 * PI * u2).cos();
-        }
-    }
-}
-
 impl RocketEncoder {
     /// Creates `num_kernels` random kernels from `seed`. Kernel lengths are
     /// drawn from {7, 9, 11}; weights are centered Gaussians; dilations are
@@ -45,12 +32,12 @@ impl RocketEncoder {
         let mut kernels = Vec::with_capacity(num_kernels);
         for _ in 0..num_kernels {
             let len = [7usize, 9, 11][rng.gen_range(0..3)];
-            let mut weights: Vec<f64> = (0..len).map(|_| gauss(&mut rng)).collect();
+            let mut weights: Vec<f64> = (0..len).map(|_| rng.normal()).collect();
             let m = mean(&weights);
             for w in &mut weights {
                 *w -= m; // centering, as in the ROCKET paper
             }
-            let bias = rng.gen::<f64>() * 2.0 - 1.0;
+            let bias = rng.gen_f64() * 2.0 - 1.0;
             let dilation = 1usize << rng.gen_range(0..6);
             kernels.push(Kernel { weights, bias, dilation });
         }
@@ -106,6 +93,7 @@ impl RocketEncoder {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::f64::consts::PI;
 
     fn sine(n: usize, period: f64) -> Vec<f64> {
         (0..n).map(|t| (2.0 * PI * t as f64 / period).sin()).collect()

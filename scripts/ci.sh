@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Fail-fast CI gate: build, test, lint. Everything runs offline — the
+# workspace has no external dependencies (enforced by easytime-lint R2).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "=== build (release, all targets) ==="
+cargo build --release --all-targets
+
+echo "=== test ==="
+cargo test -q --release
+
+echo "=== lint ==="
+cargo run --release -q -p easytime-lint
+
+echo "ci: OK"

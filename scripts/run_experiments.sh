@@ -3,6 +3,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Gate the experiment run on a clean build/test/lint pass.
+scripts/ci.sh
+
 mkdir -p results
 cargo build --release -p easytime-bench --bins
 
