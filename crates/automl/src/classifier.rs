@@ -196,7 +196,7 @@ impl SoftLabelClassifier {
     pub fn ranking(&self, x: &[f64]) -> Vec<usize> {
         let p = self.predict_proba(x);
         let mut idx: Vec<usize> = (0..self.classes).collect();
-        idx.sort_by(|&a, &b| p[b].partial_cmp(&p[a]).unwrap_or(std::cmp::Ordering::Equal));
+        idx.sort_by(|&a, &b| p[b].total_cmp(&p[a]));
         idx
     }
 

@@ -188,7 +188,7 @@ impl AutoEnsemble {
             .map(String::as_str)
             .zip(self.weights.iter().copied())
             .collect();
-        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        out.sort_by(|a, b| b.1.total_cmp(&a.1));
         out
     }
 

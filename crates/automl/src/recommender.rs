@@ -111,7 +111,7 @@ impl PerfMatrix {
             let sa = self.scores[i][a];
             let sb = self.scores[i][b];
             match (sa.is_finite(), sb.is_finite()) {
-                (true, true) => sa.partial_cmp(&sb).unwrap_or(std::cmp::Ordering::Equal),
+                (true, true) => sa.total_cmp(&sb),
                 (true, false) => std::cmp::Ordering::Less,
                 (false, true) => std::cmp::Ordering::Greater,
                 (false, false) => std::cmp::Ordering::Equal,
@@ -196,7 +196,7 @@ impl Recommender {
         let p = self.classifier.predict_proba(&x);
         let mut out: Vec<(String, f64)> =
             self.methods.iter().cloned().zip(p).collect();
-        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        out.sort_by(|a, b| b.1.total_cmp(&a.1));
         out
     }
 

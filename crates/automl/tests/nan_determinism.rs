@@ -1,0 +1,82 @@
+//! Regression tests for NaN-stable rankings (lint rule R6 burn-down).
+//!
+//! The recommender and report layers used to rank methods with
+//! `partial_cmp(..).unwrap_or(Ordering::Equal)` comparators, which violate
+//! strict weak ordering as soon as a score is NaN: the resulting order was
+//! whatever the sort algorithm happened to produce. These tests pin the
+//! *documented* ordering — finite scores ascending, failed (non-finite)
+//! methods last, NaN never reshuffling its neighbours — and assert it is
+//! byte-identical across repeated evaluations.
+
+use easytime_automl::PerfMatrix;
+use easytime_eval::{EvalRecord, Leaderboard};
+use std::collections::BTreeMap;
+
+fn matrix(scores: Vec<Vec<f64>>) -> PerfMatrix {
+    let methods: Vec<String> = (0..scores[0].len()).map(|m| format!("m{m}")).collect();
+    let dataset_ids: Vec<String> = (0..scores.len()).map(|d| format!("d{d}")).collect();
+    PerfMatrix { dataset_ids, methods, scores }
+}
+
+#[test]
+fn perf_matrix_ranking_is_stable_with_nan_scores() {
+    // Method 1 failed (NaN), method 4 diverged (inf). Documented order:
+    // finite ascending, then non-finite in original column order (the
+    // sort is stable).
+    let pm = matrix(vec![vec![3.0, f64::NAN, 1.0, 2.0, f64::INFINITY]]);
+    let expected = vec![2, 3, 0, 1, 4];
+    assert_eq!(pm.ranking(0), expected);
+    for _ in 0..100 {
+        assert_eq!(pm.ranking(0), expected, "ranking must not drift across runs");
+    }
+    // NaN is not "equal" to its neighbours: the finite prefix is ordered
+    // regardless of where the NaN column sits.
+    let shifted = matrix(vec![vec![f64::NAN, 3.0, 1.0, 2.0]]);
+    assert_eq!(shifted.ranking(0), vec![2, 3, 1, 0]);
+}
+
+#[test]
+fn perf_matrix_best_method_ignores_nan() {
+    let pm = matrix(vec![vec![f64::NAN, 2.0, 1.5]]);
+    assert_eq!(pm.best_method(0), Some(2));
+    let all_failed = matrix(vec![vec![f64::NAN, f64::NAN]]);
+    assert_eq!(all_failed.best_method(0), None);
+}
+
+fn record(dataset: &str, method: &str, mae: f64) -> EvalRecord {
+    EvalRecord {
+        dataset_id: dataset.to_string(),
+        method: method.to_string(),
+        family: "test".to_string(),
+        strategy: "fixed".to_string(),
+        horizon: 12,
+        scores: BTreeMap::from([("mae".to_string(), mae)]),
+        windows: 1,
+        runtime_ms: 0.0,
+        error: None,
+    }
+}
+
+#[test]
+fn leaderboard_with_nan_scores_is_identical_across_runs() {
+    let records = vec![
+        record("d0", "arima", 1.0),
+        record("d0", "naive", 2.0),
+        record("d0", "theta", f64::NAN),
+        record("d1", "arima", 3.0),
+        record("d1", "naive", 1.0),
+        record("d1", "theta", f64::NAN),
+    ];
+    let first = Leaderboard::from_records(&records, "mae", true);
+    // NaN-scored entries are excluded rather than ranked arbitrarily.
+    assert!(first.rows.iter().all(|r| r.method != "theta"));
+    assert!(first.rows.iter().all(|r| r.mean_rank.is_finite()));
+    for _ in 0..50 {
+        let again = Leaderboard::from_records(&records, "mae", true);
+        assert_eq!(again, first, "leaderboard must be deterministic");
+    }
+    // Permuting the record order must not change the standings either.
+    let mut reversed = records.clone();
+    reversed.reverse();
+    assert_eq!(Leaderboard::from_records(&reversed, "mae", true), first);
+}

@@ -67,7 +67,7 @@ fn main() {
         .map(|m| finite_mean(&offline_matrix.scores.iter().map(|r| r[m]).collect::<Vec<_>>()))
         .collect();
     popularity.sort_by(|&a, &b| {
-        offline_means[a].partial_cmp(&offline_means[b]).unwrap_or(std::cmp::Ordering::Equal)
+        offline_means[a].total_cmp(&offline_means[b])
     });
 
     let mut rng = StdRng::seed_from_u64(9);

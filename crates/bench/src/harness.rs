@@ -12,7 +12,8 @@
 
 pub use std::hint::black_box;
 
-use std::time::{Duration, Instant};
+use easytime_clock::Stopwatch;
+use std::time::Duration;
 
 /// Mirrors criterion's `BatchSize`; the harness treats all variants the
 /// same (one routine invocation per timed sample).
@@ -137,7 +138,7 @@ impl Bencher {
     pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
         let (warmup, target, samples) = budget();
         // Warmup while estimating per-call cost.
-        let start = Instant::now();
+        let start = Stopwatch::start();
         let mut calls: u64 = 0;
         while start.elapsed() < warmup || calls == 0 {
             black_box(routine());
@@ -147,7 +148,7 @@ impl Bencher {
         let iters = (target.as_nanos() / per_call.max(1)).clamp(1, 1_000_000) as u64;
         let mut durations = Vec::with_capacity(samples);
         for _ in 0..samples {
-            let t = Instant::now();
+            let t = Stopwatch::start();
             for _ in 0..iters {
                 black_box(routine());
             }
@@ -170,7 +171,7 @@ impl Bencher {
         let mut durations = Vec::with_capacity(samples);
         for _ in 0..samples {
             let input = setup();
-            let t = Instant::now();
+            let t = Stopwatch::start();
             black_box(routine(input));
             durations.push(t.elapsed());
         }

@@ -76,7 +76,7 @@ pub fn ndcg_at_k(predicted_order: &[usize], true_scores: &[f64], k: usize) -> f6
     // Relevance: reverse rank of the true score (best method gets highest).
     let mut idx: Vec<usize> = (0..true_scores.len()).collect();
     idx.sort_by(|&a, &b| {
-        true_scores[a].partial_cmp(&true_scores[b]).unwrap_or(std::cmp::Ordering::Equal)
+        true_scores[a].total_cmp(&true_scores[b])
     });
     let mut relevance = vec![0.0; true_scores.len()];
     for (rank, &m) in idx.iter().enumerate() {
@@ -91,7 +91,7 @@ pub fn ndcg_at_k(predicted_order: &[usize], true_scores: &[f64], k: usize) -> f6
         .map(|(i, &m)| relevance[m] / ((i + 2) as f64).log2())
         .sum();
     let mut ideal = relevance;
-    ideal.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+    ideal.sort_by(|a, b| b.total_cmp(a));
     let idcg: f64 = ideal
         .iter()
         .take(k)

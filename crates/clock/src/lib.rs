@@ -1,0 +1,84 @@
+//! The workspace's single sanctioned wall-clock access point.
+//!
+//! Determinism policy (see `DESIGN.md`): library code must not read the
+//! wall clock directly — `Instant::now()` / `SystemTime::now()` scattered
+//! through crates make timing side effects untrackable and reports
+//! irreproducible. Lint rule R8 (`wall-clock`) rejects direct reads
+//! everywhere except this file; everything else measures elapsed time
+//! through [`Stopwatch`].
+//!
+//! Keeping the chokepoint in one bottom-of-the-dependency-graph crate
+//! means every crate (including `easytime-eval` and `easytime-qa`, which
+//! `easytime` itself depends on) can use it without cycles, and a future
+//! virtual/mock clock for tests needs to touch exactly one module.
+
+use std::time::{Duration, Instant};
+
+/// A started timer for measuring elapsed wall-clock time.
+///
+/// ```
+/// let sw = easytime_clock::Stopwatch::start();
+/// let _work = (0..1000).sum::<u64>();
+/// assert!(sw.elapsed_ms() >= 0.0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Starts a new timer at the current instant.
+    pub fn start() -> Stopwatch {
+        Stopwatch { started: Instant::now() }
+    }
+
+    /// Time elapsed since [`Stopwatch::start`].
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Elapsed time in fractional milliseconds — the unit every EasyTime
+    /// report and latency field uses.
+    pub fn elapsed_ms(&self) -> f64 {
+        self.elapsed().as_secs_f64() * 1e3
+    }
+
+    /// Elapsed time in fractional seconds.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.elapsed().as_secs_f64()
+    }
+}
+
+/// Seconds elapsed since the Unix epoch, for run-stamping in binaries
+/// and reports that want an absolute timestamp.
+///
+/// Returns 0 if the system clock reads before the epoch rather than
+/// failing: a stamp is advisory metadata, never load-bearing.
+pub fn unix_timestamp_secs() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_elapsed_is_monotone() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed();
+        let b = sw.elapsed();
+        assert!(b >= a);
+        assert!(sw.elapsed_ms() >= 0.0);
+        assert!(sw.elapsed_secs() >= 0.0);
+    }
+
+    #[test]
+    fn unix_timestamp_is_past_2020() {
+        // 2020-01-01T00:00:00Z — guards against returning the 0 fallback
+        // on a healthy clock.
+        assert!(unix_timestamp_secs() > 1_577_836_800);
+    }
+}

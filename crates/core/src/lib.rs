@@ -53,6 +53,7 @@ pub use platform::EasyTime;
 
 // Re-export the vocabulary types users need at the surface.
 pub use easytime_automl::ensemble::WeightMode;
+pub use easytime_clock::Stopwatch;
 pub use easytime_automl::{AutoEnsemble, PerfMatrix, Recommender, RecommenderConfig};
 pub use easytime_data::synthetic::CorpusConfig;
 pub use easytime_data::{

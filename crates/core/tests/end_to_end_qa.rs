@@ -47,7 +47,7 @@ fn mean_by_method<'a>(
     }
     let mut out: Vec<(&str, f64)> =
         sums.into_iter().map(|(m, (s, n))| (m, s / n as f64)).collect();
-    out.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    out.sort_by(|a, b| a.1.total_cmp(&b.1));
     out
 }
 

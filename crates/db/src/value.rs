@@ -86,8 +86,15 @@ impl Value {
         }
     }
 
-    /// Stable ordering for ORDER BY: NULLs first, then bools, numbers,
-    /// text.
+    /// Stable *total* ordering for ORDER BY: NULLs first, then bools,
+    /// numbers (NaN sorting after every real number via `total_cmp`),
+    /// then text.
+    ///
+    /// `compare` deliberately answers `None` for NaN-vs-number (SQL
+    /// comparisons with NaN are not meaningful), but ORDER BY must still
+    /// place such rows deterministically — falling back to the type rank
+    /// would call NaN "equal" to every number and let the sort order
+    /// depend on input order.
     pub fn order_key(&self, other: &Value) -> Ordering {
         fn rank(v: &Value) -> u8 {
             match v {
@@ -97,10 +104,13 @@ impl Value {
                 Value::Text(_) => 3,
             }
         }
-        match self.compare(other) {
-            Some(ord) => ord,
-            None => rank(self).cmp(&rank(other)),
+        if let Some(ord) = self.compare(other) {
+            return ord;
         }
+        if let (Some(a), Some(b)) = (self.as_f64(), other.as_f64()) {
+            return a.total_cmp(&b);
+        }
+        rank(self).cmp(&rank(other))
     }
 }
 

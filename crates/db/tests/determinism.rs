@@ -1,0 +1,139 @@
+//! Determinism lock-in for the SQL engine (lint rule R8 policy).
+//!
+//! GROUP BY and DISTINCT are implemented with insertion-ordered group
+//! vectors — the `HashMap`/`HashSet` inside the executor is only a
+//! key→index lookup and is never iterated — so identical queries over
+//! identical data must return identically-ordered rows, run after run.
+//! ORDER BY over floats must also be total: a NaN value sorts to a fixed
+//! position (after every real number, via `f64::total_cmp`) instead of
+//! comparing "equal" to everything and floating around with input order.
+
+use easytime_db::schema::{Column, ColumnType, Schema};
+use easytime_db::{Database, Value};
+use easytime_rng::StdRng;
+
+fn db_with_sales(rows: &[(String, i64, f64)]) -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        "sales",
+        Schema::new(vec![
+            Column::new("region", ColumnType::Text),
+            Column::new("units", ColumnType::Int),
+            Column::new("score", ColumnType::Float),
+        ]),
+    )
+    .unwrap();
+    for (region, units, score) in rows {
+        db.insert_row(
+            "sales",
+            vec![Value::Text(region.clone()), Value::Int(*units), Value::Float(*score)],
+        )
+        .unwrap();
+    }
+    db
+}
+
+fn random_sales(rng: &mut StdRng) -> Vec<(String, i64, f64)> {
+    let regions = ["north", "south", "east", "west", "core"];
+    let n = rng.gen_range(5..60);
+    (0..n)
+        .map(|_| {
+            let region = regions[rng.gen_range(0..regions.len())].to_string();
+            let units = rng.gen_range(0..100) as i64;
+            // Roughly 1 in 8 scores is NaN (a failed measurement).
+            let score = if rng.gen_range(0..8) == 0 {
+                f64::NAN
+            } else {
+                rng.gen_range_f64(-50.0, 50.0)
+            };
+            (region, units, score)
+        })
+        .collect()
+}
+
+#[test]
+fn group_by_returns_identically_ordered_rows_across_runs() {
+    for case in 0..24 {
+        let mut rng = StdRng::seed_from_u64(0x0DB8_08D3).derive(case);
+        let rows = random_sales(&mut rng);
+        let db = db_with_sales(&rows);
+        let sql = "SELECT region, COUNT(*), SUM(units) FROM sales GROUP BY region";
+        let first = db.query(sql).unwrap();
+        for _ in 0..10 {
+            assert_eq!(db.query(sql).unwrap(), first, "case {case}: GROUP BY order drifted");
+        }
+        // A freshly-built database over the same rows agrees too: the
+        // order is a function of the data, not of process state.
+        let rebuilt = db_with_sales(&rows);
+        assert_eq!(rebuilt.query(sql).unwrap(), first, "case {case}: rebuild changed order");
+    }
+}
+
+#[test]
+fn distinct_preserves_first_appearance_order() {
+    let rows = vec![
+        ("west".to_string(), 1, 1.0),
+        ("east".to_string(), 2, 2.0),
+        ("west".to_string(), 3, 3.0),
+        ("north".to_string(), 4, 4.0),
+        ("east".to_string(), 5, 5.0),
+    ];
+    let db = db_with_sales(&rows);
+    let result = db.query("SELECT DISTINCT region FROM sales").unwrap();
+    let got: Vec<&Value> = result.rows.iter().map(|r| &r[0]).collect();
+    assert_eq!(
+        got,
+        vec![
+            &Value::Text("west".into()),
+            &Value::Text("east".into()),
+            &Value::Text("north".into())
+        ]
+    );
+}
+
+#[test]
+fn order_by_places_nan_deterministically_after_numbers() {
+    // Two row layouts with the same multiset of scores but NaN in
+    // different input positions.
+    let a = vec![
+        ("a".to_string(), 1, f64::NAN),
+        ("b".to_string(), 2, 3.0),
+        ("c".to_string(), 3, -1.0),
+        ("d".to_string(), 4, 7.5),
+    ];
+    let mut b = a.clone();
+    b.swap(0, 2);
+    b.swap(1, 3);
+
+    let sql = "SELECT region, score FROM sales ORDER BY score";
+    let ra = db_with_sales(&a).query(sql).unwrap();
+    let rb = db_with_sales(&b).query(sql).unwrap();
+
+    let regions =
+        |r: &easytime_db::QueryResult| r.rows.iter().map(|row| row[0].clone()).collect::<Vec<_>>();
+    // NaN sorts after every real number — and lands there regardless of
+    // where it appeared in the input.
+    assert_eq!(
+        regions(&ra),
+        vec![
+            Value::Text("c".into()),
+            Value::Text("b".into()),
+            Value::Text("d".into()),
+            Value::Text("a".into())
+        ]
+    );
+    assert_eq!(regions(&ra), regions(&rb));
+}
+
+#[test]
+fn order_key_is_a_total_order_even_with_nan() {
+    use std::cmp::Ordering;
+    let nan = Value::Float(f64::NAN);
+    let one = Value::Float(1.0);
+    let int = Value::Int(5);
+    // Antisymmetry: NaN is strictly after numbers, not "equal" to them.
+    assert_eq!(nan.order_key(&one), Ordering::Greater);
+    assert_eq!(one.order_key(&nan), Ordering::Less);
+    assert_eq!(nan.order_key(&int), Ordering::Greater);
+    assert_eq!(nan.order_key(&nan), Ordering::Equal);
+}

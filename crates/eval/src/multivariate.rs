@@ -14,7 +14,7 @@ use crate::pipeline::{EvalConfig, EvalRecord};
 use easytime_data::{MultiSeries, Scaler};
 use easytime_models::multivariate::MultiModelSpec;
 use std::collections::BTreeMap;
-use std::time::Instant;
+use easytime_clock::Stopwatch;
 
 /// Evaluates one multivariate method on one multivariate dataset.
 ///
@@ -69,7 +69,7 @@ fn run(
     let windows = config.strategy.windows(n, test_start, config.split.drop_last)?;
     let period = series.frequency().default_period().unwrap_or(1);
 
-    let started = Instant::now();
+    let started = Stopwatch::start();
     let mut sums: BTreeMap<String, (f64, usize)> = BTreeMap::new();
     for w in &windows {
         // Per-channel scaling fitted on each channel's training slice.
@@ -108,7 +108,7 @@ fn run(
             }
         }
     }
-    let runtime_ms = started.elapsed().as_secs_f64() * 1e3;
+    let runtime_ms = started.elapsed_ms();
     let scores = sums
         .into_iter()
         .map(|(name, (sum, cnt))| (name, if cnt > 0 { sum / cnt as f64 } else { f64::NAN }))

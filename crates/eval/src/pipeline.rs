@@ -24,7 +24,7 @@ use easytime_data::scaler::ScalerKind;
 use easytime_data::{Dataset, Scaler, SplitSpec, TimeSeries};
 use easytime_models::{ModelSpec, Result as ModelResult};
 use std::collections::BTreeMap;
-use std::time::Instant;
+use easytime_clock::Stopwatch;
 
 /// Configuration of one evaluation run (the programmatic form of the
 /// paper's "configuration file"; the core crate parses the file format
@@ -165,7 +165,7 @@ fn run_windows(
     let period = series.frequency().default_period().unwrap_or(1);
     let raw = series.values();
 
-    let started = Instant::now();
+    let started = Stopwatch::start();
     let mut sums: BTreeMap<String, (f64, usize)> = BTreeMap::new();
     for w in &windows {
         // 1–2. training context and scaler (fitted on train only).
@@ -195,7 +195,7 @@ fn run_windows(
             }
         }
     }
-    let runtime_ms = started.elapsed().as_secs_f64() * 1e3;
+    let runtime_ms = started.elapsed_ms();
 
     let scores = sums
         .into_iter()

@@ -140,7 +140,7 @@ impl Leaderboard {
         for entries in by_dataset.values() {
             let mut sorted: Vec<&(&str, f64)> = entries.iter().collect();
             sorted.sort_by(|a, b| {
-                let ord = a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal);
+                let ord = a.1.total_cmp(&b.1);
                 if lower_is_better {
                     ord
                 } else {
@@ -169,7 +169,7 @@ impl Leaderboard {
             })
             .collect();
         rows.sort_by(|a, b| {
-            a.mean_rank.partial_cmp(&b.mean_rank).unwrap_or(std::cmp::Ordering::Equal)
+            a.mean_rank.total_cmp(&b.mean_rank)
         });
         Leaderboard { metric: metric.to_string(), rows }
     }

@@ -58,7 +58,7 @@ pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
         return None;
     }
     let mut sorted: Vec<f64> = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let pos = q * (sorted.len() - 1) as f64;
     // lint: allow(lossy-cast) — q is validated to [0, 1], so pos lies in
     // [0, len-1] and truncation yields an exact, in-range index.
@@ -200,7 +200,7 @@ pub fn softmax(xs: &[f64]) -> Vec<f64> {
 /// Ranks of the values (0 = smallest), average-free: ties broken by index.
 pub fn ranks(xs: &[f64]) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..xs.len()).collect();
-    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).unwrap_or(std::cmp::Ordering::Equal));
+    idx.sort_by(|&a, &b| xs[a].total_cmp(&xs[b]));
     let mut out = vec![0usize; xs.len()];
     for (rank, &i) in idx.iter().enumerate() {
         out[i] = rank;

@@ -1,34 +1,55 @@
-//! Std-only static analysis for the EasyTime workspace.
+//! Token-level static analysis for the EasyTime workspace.
 //!
-//! `easytime-lint` parses the workspace's Rust sources line by line — no
-//! rustc plugin, no external dependencies — and enforces the repo
-//! invariants that keep the build hermetic and the library panic-free:
+//! `easytime-lint` lexes every workspace source into a real Rust token
+//! stream ([`lexer`]), segments it into items ([`engine`]), and runs the
+//! workspace invariant rules ([`rules`]) over it — no rustc plugin, no
+//! external dependencies. Because rules see tokens rather than raw lines,
+//! patterns inside string literals and comments can never false-positive,
+//! and `#[cfg(test)]` exemption follows real item boundaries.
 //!
-//! * **R1 no-panic** — no `unwrap()` / `expect()` / `panic!` (or
-//!   `unreachable!` / `todo!` / `unimplemented!`) in library code under
-//!   `crates/*/src`. Tests, benches, examples, and binaries are exempt.
+//! The rules:
+//!
+//! * **R1 no-panic** — no `unwrap()` / `expect()` / `panic!`-family calls
+//!   in library code. Tests, benches, examples, and binaries are exempt.
 //! * **R2 dependency allowlist** — every `Cargo.toml` dependency must be a
-//!   workspace crate; nothing external may sneak back in.
-//! * **R3 lossy casts** — no lossy `as` casts in the numeric hot paths
-//!   (`linalg`, `eval/src/metrics.rs`, `models`); `as f64` widening is
-//!   allowed.
-//! * **R4 typed errors** — every `pub fn` returning `Result` must use the
-//!   crate's typed error, not `Box<dyn Error>`.
-//! * **R5 no process exit** — `std::process::exit` only in binary targets.
+//!   workspace crate; the build stays hermetic.
+//! * **R3 lossy casts** — no lossy `as` casts in numeric hot paths
+//!   (`linalg`, `eval/src/metrics.rs`, `models`).
+//! * **R4 typed errors** — `pub fn` returning `Result` uses the crate's
+//!   typed error, not `Box<dyn Error>`.
+//! * **R5 no process exit** — `std::process::exit` only in binaries.
+//! * **R6 NaN-safe ordering** — no `partial_cmp(..).unwrap()` /
+//!   `.unwrap_or(Ordering::Equal)` comparators anywhere (tests included);
+//!   float comparators must use `f64::total_cmp` so rankings stay
+//!   deterministic under NaN.
+//! * **R7 float equality** — no `==`/`!=` against non-zero float literals
+//!   in the numeric crates (`linalg`, `models`, `eval`); zero guards
+//!   (`x == 0.0`) are the accepted idiom.
+//! * **R8 determinism** — no iteration over `HashMap`/`HashSet` in
+//!   library code (order is nondeterministic; reports and SQL results must
+//!   not depend on it), and no direct `Instant::now` / `SystemTime` reads
+//!   outside the `easytime-clock` helper.
+//! * **R9 pub-API docs** — every exported (`pub`) fn, struct, enum,
+//!   trait, type, const, static, or union carries a `///` doc comment.
 //!
-//! Any rule can be waived for one statement with an escape-hatch comment:
+//! Any rule can be waived for one statement with an escape-hatch comment
+//! carrying a mandatory justification:
 //!
 //! ```text
-//! // lint: allow(panic) — why this site provably cannot fire in practice
+//! // lint: allow(float-ordering) — SQL semantics: NaN comparisons yield NULL
 //! ```
 //!
-//! The marker must carry a justification (trailing text on the marker line
-//! or the surrounding comment block); a bare marker is itself a violation.
-//! Diagnostics are reported as `file:line: R# message` and the binary exits
-//! non-zero when any violation is found.
+//! A bare marker is itself a violation (R0). Diagnostics print as
+//! `file:line: R# message`; `--format json` emits machine-readable records
+//! and `--baseline` suppresses a committed set of known findings so CI
+//! fails only on *new* violations (R10).
 
 use std::fmt;
 use std::path::{Path, PathBuf};
+
+pub mod engine;
+pub mod lexer;
+pub mod rules;
 
 /// Which invariant a diagnostic belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,12 +64,23 @@ pub enum Rule {
     TypedError,
     /// R5: `std::process::exit` only in binaries.
     ProcessExit,
+    /// R6: no NaN-unsafe `partial_cmp` comparators; use `total_cmp`.
+    FloatOrdering,
+    /// R7: no float `==`/`!=` against non-zero literals in numeric crates.
+    FloatEq,
+    /// R8: no unordered hash-container iteration in library code.
+    HashOrder,
+    /// R8: wall-clock reads only inside the `easytime-clock` helper.
+    WallClock,
+    /// R9: exported items carry `///` docs.
+    MissingDocs,
     /// A malformed escape-hatch annotation.
     BadAnnotation,
 }
 
 impl Rule {
-    /// Short rule code used in diagnostics (`R1`…`R5`).
+    /// Short rule code used in diagnostics (`R1`…`R9`; `R0` for malformed
+    /// annotations). `HashOrder` and `WallClock` are both facets of R8.
     pub fn code(self) -> &'static str {
         match self {
             Rule::NoPanic => "R1",
@@ -56,6 +88,10 @@ impl Rule {
             Rule::LossyCast => "R3",
             Rule::TypedError => "R4",
             Rule::ProcessExit => "R5",
+            Rule::FloatOrdering => "R6",
+            Rule::FloatEq => "R7",
+            Rule::HashOrder | Rule::WallClock => "R8",
+            Rule::MissingDocs => "R9",
             Rule::BadAnnotation => "R0",
         }
     }
@@ -68,7 +104,41 @@ impl Rule {
             Rule::LossyCast => "lossy-cast",
             Rule::TypedError => "boxed-error",
             Rule::ProcessExit => "process-exit",
+            Rule::FloatOrdering => "float-ordering",
+            Rule::FloatEq => "float-eq",
+            Rule::HashOrder => "hash-order",
+            Rule::WallClock => "wall-clock",
+            Rule::MissingDocs => "missing-docs",
             Rule::BadAnnotation => "",
+        }
+    }
+}
+
+/// How serious a diagnostic is. `Error` fails the build; `Warn` is
+/// reported but does not affect the exit code (R10 severity config).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Fails the build.
+    Error,
+    /// Reported, does not fail the build.
+    Warn,
+}
+
+impl Severity {
+    /// Lower-case name used in text and JSON output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warn => "warn",
+        }
+    }
+
+    /// Parses `error` / `warn` (case-insensitive).
+    pub fn parse(s: &str) -> Option<Severity> {
+        match s.to_ascii_lowercase().as_str() {
+            "error" | "deny" => Some(Severity::Error),
+            "warn" | "warning" => Some(Severity::Warn),
+            _ => None,
         }
     }
 }
@@ -82,20 +152,34 @@ pub struct Diagnostic {
     pub line: usize,
     /// Violated rule.
     pub rule: Rule,
+    /// Severity (defaults to `Error`; overridable via `--severity`).
+    pub severity: Severity,
     /// Human-readable description.
     pub message: String,
 }
 
-impl fmt::Display for Diagnostic {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}:{}: {} {}",
-            self.file.display(),
-            self.line,
+impl Diagnostic {
+    /// Builds a diagnostic with the default (error) severity.
+    pub fn new(file: &Path, line: usize, rule: Rule, message: String) -> Diagnostic {
+        Diagnostic { file: file.to_path_buf(), line, rule, severity: Severity::Error, message }
+    }
+
+    /// The baseline-suppression key: file, rule code, and message —
+    /// deliberately excluding the line number so unrelated edits that
+    /// shift lines do not invalidate a committed baseline.
+    pub fn baseline_key(&self) -> String {
+        format!(
+            "{}\t{}\t{}",
+            self.file.display().to_string().replace('\\', "/"),
             self.rule.code(),
             self.message
         )
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {} {}", self.file.display(), self.line, self.rule.code(), self.message)
     }
 }
 
@@ -110,6 +194,8 @@ pub struct FileClass {
     pub is_test_like: bool,
     /// Numeric hot path subject to R3.
     pub is_hot_numeric: bool,
+    /// Float-sensitive crate subject to R7 (`linalg`, `models`, `eval`).
+    pub is_float_path: bool,
 }
 
 /// Classifies a workspace-relative path (`crates/<name>/...`).
@@ -123,518 +209,21 @@ pub fn classify(rel_path: &Path) -> FileClass {
         && (p.starts_with("crates/linalg/src/")
             || p.starts_with("crates/models/src/")
             || p == "crates/eval/src/metrics.rs");
-    FileClass { is_library, is_bin, is_test_like, is_hot_numeric }
+    let is_float_path = is_library
+        && (p.starts_with("crates/linalg/src/")
+            || p.starts_with("crates/models/src/")
+            || p.starts_with("crates/eval/src/"));
+    FileClass { is_library, is_bin, is_test_like, is_hot_numeric, is_float_path }
 }
 
-/// One source line split into code and comment channels.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-struct LineInfo {
-    /// Code with comments removed and string/char literal contents blanked.
-    code: String,
-    /// Comment text (both `//` and `/* */` bodies) on the line.
-    comment: String,
-}
-
-/// Splits Rust source into per-line code/comment channels.
-///
-/// String and char literal *contents* are blanked (replaced by spaces) in
-/// the code channel so pattern matching cannot trip on `".unwrap()"`
-/// appearing inside a literal. Handles nested block comments, raw strings
-/// (`r#"…"#`), byte strings, and lifetime-vs-char-literal ambiguity.
-fn split_lines(source: &str) -> Vec<LineInfo> {
-    #[derive(PartialEq)]
-    enum State {
-        Code,
-        LineComment,
-        BlockComment(usize),
-        Str,
-        RawStr(usize),
-        Char,
-    }
-    let mut out = Vec::new();
-    let mut cur = LineInfo::default();
-    let mut state = State::Code;
-    let chars: Vec<char> = source.chars().collect();
-    let mut i = 0;
-    while i < chars.len() {
-        let c = chars[i];
-        if c == '\n' {
-            if state == State::LineComment {
-                state = State::Code;
-            }
-            out.push(std::mem::take(&mut cur));
-            i += 1;
-            continue;
-        }
-        match state {
-            State::Code => {
-                let next = chars.get(i + 1).copied();
-                if c == '/' && next == Some('/') {
-                    state = State::LineComment;
-                    i += 2;
-                    continue;
-                }
-                if c == '/' && next == Some('*') {
-                    state = State::BlockComment(1);
-                    i += 2;
-                    continue;
-                }
-                if c == '"' {
-                    cur.code.push('"');
-                    state = State::Str;
-                    i += 1;
-                    continue;
-                }
-                // Raw / byte string starts: r", r#", br", b".
-                if (c == 'r' || c == 'b') && !prev_is_ident(&cur.code) {
-                    let mut j = i;
-                    if chars.get(j) == Some(&'b') && chars.get(j + 1) == Some(&'r') {
-                        j += 2;
-                    } else if c == 'r' || (c == 'b' && chars.get(j + 1) == Some(&'"')) {
-                        j += 1;
-                    } else {
-                        j = usize::MAX;
-                    }
-                    if j != usize::MAX {
-                        let mut hashes = 0;
-                        while chars.get(j + hashes) == Some(&'#') {
-                            hashes += 1;
-                        }
-                        if chars.get(j + hashes) == Some(&'"') {
-                            for _ in i..=(j + hashes) {
-                                cur.code.push(' ');
-                            }
-                            cur.code.push('"');
-                            state = if c == 'b' && chars.get(i + 1) != Some(&'r') && hashes == 0 {
-                                State::Str
-                            } else {
-                                State::RawStr(hashes)
-                            };
-                            i = j + hashes + 1;
-                            continue;
-                        }
-                    }
-                }
-                if c == '\'' {
-                    // Lifetime (`'a`) or char literal (`'x'`, `'\n'`)?
-                    let is_char_lit = match chars.get(i + 1) {
-                        Some('\\') => true,
-                        Some(&n) => chars.get(i + 2) == Some(&'\'') && n != '\'',
-                        None => false,
-                    };
-                    if is_char_lit {
-                        cur.code.push('\'');
-                        state = State::Char;
-                        i += 1;
-                        continue;
-                    }
-                    cur.code.push(c);
-                    i += 1;
-                    continue;
-                }
-                cur.code.push(c);
-                i += 1;
-            }
-            State::LineComment => {
-                cur.comment.push(c);
-                i += 1;
-            }
-            State::BlockComment(depth) => {
-                let next = chars.get(i + 1).copied();
-                if c == '/' && next == Some('*') {
-                    state = State::BlockComment(depth + 1);
-                    i += 2;
-                } else if c == '*' && next == Some('/') {
-                    state = if depth == 1 { State::Code } else { State::BlockComment(depth - 1) };
-                    i += 2;
-                } else {
-                    cur.comment.push(c);
-                    i += 1;
-                }
-            }
-            State::Str => {
-                if c == '\\' {
-                    cur.code.push(' ');
-                    if chars.get(i + 1).is_some() {
-                        cur.code.push(' ');
-                    }
-                    i += 2;
-                } else if c == '"' {
-                    cur.code.push('"');
-                    state = State::Code;
-                    i += 1;
-                } else {
-                    cur.code.push(' ');
-                    i += 1;
-                }
-            }
-            State::RawStr(hashes) => {
-                if c == '"' {
-                    let mut ok = true;
-                    for k in 0..hashes {
-                        if chars.get(i + 1 + k) != Some(&'#') {
-                            ok = false;
-                            break;
-                        }
-                    }
-                    if ok {
-                        cur.code.push('"');
-                        for _ in 0..hashes {
-                            cur.code.push(' ');
-                        }
-                        state = State::Code;
-                        i += 1 + hashes;
-                        continue;
-                    }
-                }
-                cur.code.push(' ');
-                i += 1;
-            }
-            State::Char => {
-                if c == '\\' {
-                    cur.code.push(' ');
-                    if chars.get(i + 1).is_some() {
-                        cur.code.push(' ');
-                    }
-                    i += 2;
-                } else if c == '\'' {
-                    cur.code.push('\'');
-                    state = State::Code;
-                    i += 1;
-                } else {
-                    cur.code.push(' ');
-                    i += 1;
-                }
-            }
-        }
-    }
-    if !cur.code.is_empty() || !cur.comment.is_empty() {
-        out.push(cur);
-    }
-    out
-}
-
-fn prev_is_ident(code: &str) -> bool {
-    code.chars().next_back().is_some_and(|c| c.is_alphanumeric() || c == '_')
-}
-
-/// Marks lines inside `#[cfg(test)]` items (attribute through closing
-/// brace). Returns one flag per line; `true` = exempt from library rules.
-fn cfg_test_regions(lines: &[LineInfo]) -> Vec<bool> {
-    let mut exempt = vec![false; lines.len()];
-    let mut i = 0;
-    while i < lines.len() {
-        let code = lines[i].code.trim();
-        if code.starts_with("#[cfg(test)]") || code.contains("#[cfg(test)]") {
-            exempt[i] = true;
-            // Skip any further attributes, then exempt the annotated item.
-            let mut j = i + 1;
-            while j < lines.len() && lines[j].code.trim().starts_with("#[") {
-                exempt[j] = true;
-                j += 1;
-            }
-            // Find the item's opening brace (or a brace-less item's `;`).
-            let mut depth: i64 = 0;
-            let mut opened = false;
-            while j < lines.len() {
-                exempt[j] = true;
-                for c in lines[j].code.chars() {
-                    match c {
-                        '{' => {
-                            depth += 1;
-                            opened = true;
-                        }
-                        '}' => depth -= 1,
-                        _ => {}
-                    }
-                }
-                if opened && depth <= 0 {
-                    break;
-                }
-                if !opened && lines[j].code.contains(';') {
-                    break;
-                }
-                j += 1;
-            }
-            i = j + 1;
-        } else {
-            i += 1;
-        }
-    }
-    exempt
-}
-
-/// True when line `idx` (0-based) carries, or sits under, an escape-hatch
-/// annotation for `rule`. A marker without justification text is reported
-/// through `bad` instead.
-fn allowed_by_annotation(
-    lines: &[LineInfo],
-    idx: usize,
-    rule: Rule,
-    file: &Path,
-    bad: &mut Vec<Diagnostic>,
-) -> bool {
-    let marker = format!("lint: allow({})", rule.allow_name());
-    // Gather the annotation block: the line itself plus the contiguous run
-    // of comment-only lines immediately above.
-    let mut block: Vec<(usize, &str)> = vec![(idx, lines[idx].comment.as_str())];
-    let mut j = idx;
-    while j > 0 {
-        j -= 1;
-        let l = &lines[j];
-        if l.code.trim().is_empty() && !l.comment.trim().is_empty() {
-            block.push((j, l.comment.as_str()));
-        } else {
-            break;
-        }
-    }
-    let marker_line = block.iter().find(|(_, c)| c.contains(&marker));
-    let Some(&(mline, _)) = marker_line else {
-        return false;
-    };
-    // Justification: any comment text in the block beyond the marker itself.
-    let total: String = block.iter().map(|(_, c)| *c).collect::<Vec<_>>().join(" ");
-    let rest = total.replacen(&marker, "", 1);
-    let justification: String =
-        rest.chars().filter(|c| c.is_alphanumeric()).collect();
-    if justification.len() < 8 {
-        bad.push(Diagnostic {
-            file: file.to_path_buf(),
-            line: mline + 1,
-            rule: Rule::BadAnnotation,
-            message: format!(
-                "escape hatch `lint: allow({})` requires a written justification",
-                rule.allow_name()
-            ),
-        });
-    }
-    true
-}
-
-/// Returns positions where a token appears in `code` *as a call* — i.e.
-/// preceded by a non-identifier char and followed (after optional
-/// whitespace) by an opening paren or end-of-line.
-fn find_macro_calls(code: &str, name: &str) -> bool {
-    let bytes = code.as_bytes();
-    let mut from = 0;
-    while let Some(pos) = code[from..].find(name) {
-        let start = from + pos;
-        let before_ok = start == 0 || {
-            let b = bytes[start - 1];
-            !(b.is_ascii_alphanumeric() || b == b'_')
-        };
-        if before_ok {
-            return true;
-        }
-        from = start + name.len();
-    }
-    false
-}
-
-/// Checks whether `.expect` / `.unwrap` style method is called on a line,
-/// tolerating the open paren landing on the next line.
-fn method_call_spans_lines(code: &str, next_code: Option<&str>, method: &str) -> bool {
-    let needle = format!(".{method}");
-    let bytes = code.as_bytes();
-    let mut from = 0;
-    while let Some(pos) = code[from..].find(&needle) {
-        let start = from + pos;
-        let after = start + needle.len();
-        // Reject longer identifiers, e.g. `.expect_err`, `.unwrap_or`.
-        if bytes.get(after).is_some_and(|b| b.is_ascii_alphanumeric() || *b == b'_') {
-            from = after;
-            continue;
-        }
-        let tail = code[after..].trim_start();
-        if tail.starts_with('(') {
-            return true;
-        }
-        if tail.is_empty() {
-            // Multi-line call: `.expect(` split across lines.
-            if next_code.map(str::trim_start).is_some_and(|t| t.starts_with('(')) {
-                return true;
-            }
-        }
-        from = after;
-    }
-    false
-}
-
-const PANIC_MACROS: [&str; 4] = ["panic!", "unreachable!", "todo!", "unimplemented!"];
-const PANIC_METHODS: [&str; 2] = ["unwrap", "expect"];
-
-/// Integer and narrowing targets flagged by R3 (widening `as f64` is fine).
-const LOSSY_TARGETS: [&str; 11] =
-    ["f32", "usize", "isize", "u64", "i64", "u32", "i32", "u16", "i16", "u8", "i8"];
-
-/// Runs R1, R3, R4, and R5 over one Rust source file.
+/// Runs all token-level rules (R1, R3–R9) over one Rust source file.
 pub fn lint_rust_source(rel_path: &Path, source: &str) -> Vec<Diagnostic> {
     let class = classify(rel_path);
-    let lines = split_lines(source);
-    let test_region = cfg_test_regions(&lines);
-    let mut diags = Vec::new();
-    let mut bad_annotations = Vec::new();
-
-    for (idx, line) in lines.iter().enumerate() {
-        let code = line.code.as_str();
-        if code.trim().is_empty() {
-            continue;
-        }
-        let next_code = lines.get(idx + 1).map(|l| l.code.as_str());
-        let in_test = test_region[idx];
-
-        // R1 — no panicking constructs in library code.
-        if class.is_library && !in_test {
-            let mut hit: Option<&str> = None;
-            for m in PANIC_MACROS {
-                if find_macro_calls(code, m) {
-                    hit = Some(m);
-                    break;
-                }
-            }
-            if hit.is_none() {
-                for m in PANIC_METHODS {
-                    if method_call_spans_lines(code, next_code, m) {
-                        hit = Some(m);
-                        break;
-                    }
-                }
-            }
-            if let Some(what) = hit {
-                if !allowed_by_annotation(&lines, idx, Rule::NoPanic, rel_path, &mut bad_annotations)
-                {
-                    diags.push(Diagnostic {
-                        file: rel_path.to_path_buf(),
-                        line: idx + 1,
-                        rule: Rule::NoPanic,
-                        message: format!(
-                            "`{what}` in library code; return the crate's typed error instead \
-                             (or annotate with `// lint: allow(panic) — <why>`)"
-                        ),
-                    });
-                }
-            }
-        }
-
-        // R3 — lossy `as` casts in numeric hot paths.
-        if class.is_hot_numeric && !in_test {
-            if let Some(target) = lossy_cast_target(code) {
-                if !allowed_by_annotation(
-                    &lines,
-                    idx,
-                    Rule::LossyCast,
-                    rel_path,
-                    &mut bad_annotations,
-                ) {
-                    diags.push(Diagnostic {
-                        file: rel_path.to_path_buf(),
-                        line: idx + 1,
-                        rule: Rule::LossyCast,
-                        message: format!(
-                            "potentially lossy `as {target}` cast in a numeric hot path; use a \
-                             checked conversion or annotate with `// lint: allow(lossy-cast) — <why>`"
-                        ),
-                    });
-                }
-            }
-        }
-
-        // R5 — no process exit outside binaries.
-        if !class.is_bin && code.contains("process::exit") {
-            if !allowed_by_annotation(&lines, idx, Rule::ProcessExit, rel_path, &mut bad_annotations)
-            {
-                diags.push(Diagnostic {
-                    file: rel_path.to_path_buf(),
-                    line: idx + 1,
-                    rule: Rule::ProcessExit,
-                    message: "`std::process::exit` outside `src/bin`; return an error and let \
-                              the binary decide the exit code"
-                        .into(),
-                });
-            }
-        }
-    }
-
-    // R4 — public Result-returning APIs must use typed errors. Signatures
-    // may span lines, so join from `pub fn` to the body brace.
-    if class.is_library {
-        let mut idx = 0;
-        while idx < lines.len() {
-            if test_region[idx] {
-                idx += 1;
-                continue;
-            }
-            let code = lines[idx].code.trim_start();
-            let is_pub_fn = code.starts_with("pub fn ")
-                || code.starts_with("pub(crate) fn ")
-                || code.starts_with("pub async fn ")
-                || code.starts_with("pub const fn ");
-            if is_pub_fn {
-                let mut sig = String::new();
-                let mut j = idx;
-                while j < lines.len() && j < idx + 24 {
-                    let c = &lines[j].code;
-                    if let Some(brace) = c.find('{') {
-                        sig.push_str(&c[..brace]);
-                        break;
-                    }
-                    sig.push_str(c);
-                    sig.push(' ');
-                    if c.trim_end().ends_with(';') {
-                        break;
-                    }
-                    j += 1;
-                }
-                if let Some(arrow) = sig.find("->") {
-                    let ret = &sig[arrow..];
-                    if ret.contains("Box<dyn") && ret.contains("Error") {
-                        if !allowed_by_annotation(
-                            &lines,
-                            idx,
-                            Rule::TypedError,
-                            rel_path,
-                            &mut bad_annotations,
-                        ) {
-                            diags.push(Diagnostic {
-                                file: rel_path.to_path_buf(),
-                                line: idx + 1,
-                                rule: Rule::TypedError,
-                                message: "public API returns `Box<dyn Error>`; use the crate's \
-                                          typed error enum"
-                                    .into(),
-                            });
-                        }
-                    }
-                }
-            }
-            idx += 1;
-        }
-    }
-
-    diags.extend(bad_annotations);
-    diags.sort_by(|a, b| a.line.cmp(&b.line));
+    let sf = engine::SourceFile::parse(source);
+    let mut diags = rules::lint_tokens(rel_path, class, &sf);
+    diags.sort_by(|a, b| (a.line, a.rule.code()).cmp(&(b.line, b.rule.code())));
     diags.dedup();
     diags
-}
-
-fn lossy_cast_target(code: &str) -> Option<&'static str> {
-    let mut from = 0;
-    while let Some(pos) = code[from..].find(" as ") {
-        let start = from + pos;
-        let after = &code[start + 4..];
-        let target: String = after
-            .trim_start()
-            .chars()
-            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
-            .collect();
-        for t in LOSSY_TARGETS {
-            if target == t {
-                return Some(t);
-            }
-        }
-        from = start + 4;
-    }
-    None
 }
 
 /// Runs R2 over one `Cargo.toml`. Every dependency in any dependency
@@ -665,15 +254,15 @@ pub fn lint_manifest(rel_path: &Path, source: &str) -> Vec<Diagnostic> {
             continue;
         }
         if !is_allowed_dependency(name) {
-            diags.push(Diagnostic {
-                file: rel_path.to_path_buf(),
-                line: idx + 1,
-                rule: Rule::DepAllowlist,
-                message: format!(
+            diags.push(Diagnostic::new(
+                rel_path,
+                idx + 1,
+                Rule::DepAllowlist,
+                format!(
                     "external dependency `{name}` is not in the allowlist; the build must stay \
                      hermetic (std-only) — vendor the functionality into a workspace crate"
                 ),
-            });
+            ));
         }
     }
     diags
@@ -685,8 +274,9 @@ pub fn is_allowed_dependency(name: &str) -> bool {
     name.starts_with("easytime")
 }
 
-/// Lints every `.rs` and `Cargo.toml` file under `root/crates`, returning
-/// all diagnostics plus the number of files checked.
+/// Lints every `.rs` and `Cargo.toml` file under `root/crates` plus the
+/// root `Cargo.toml` (the `[workspace.dependencies]` chokepoint),
+/// returning all diagnostics and the number of files checked.
 pub fn lint_workspace(root: &Path) -> std::io::Result<(Vec<Diagnostic>, usize)> {
     let mut files = Vec::new();
     collect_files(&root.join("crates"), &mut files)?;
@@ -702,6 +292,12 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<(Vec<Diagnostic>, usize)> 
         } else {
             diags.extend(lint_rust_source(&rel, &source));
         }
+    }
+    let root_manifest = root.join("Cargo.toml");
+    if root_manifest.is_file() {
+        let source = std::fs::read_to_string(&root_manifest)?;
+        checked += 1;
+        diags.extend(lint_manifest(Path::new("Cargo.toml"), &source));
     }
     Ok((diags, checked))
 }
@@ -724,6 +320,113 @@ fn collect_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     Ok(())
 }
 
+/// Applies `--severity CODE=LEVEL` overrides to a diagnostic batch.
+/// Unknown codes are ignored (the CLI validates separately).
+pub fn apply_severities(diags: &mut [Diagnostic], overrides: &[(String, Severity)]) {
+    for d in diags.iter_mut() {
+        for (code, sev) in overrides {
+            if d.rule.code().eq_ignore_ascii_case(code) {
+                d.severity = *sev;
+            }
+        }
+    }
+}
+
+/// A committed set of known findings that CI tolerates: any diagnostic
+/// whose [`Diagnostic::baseline_key`] appears here is suppressed, so only
+/// *new* violations fail the build (R10).
+#[derive(Debug, Clone, Default)]
+pub struct Baseline {
+    /// Remaining suppression keys (a multiset: one entry per tolerated
+    /// occurrence).
+    entries: Vec<String>,
+}
+
+impl Baseline {
+    /// Parses the baseline file format: one [`Diagnostic::baseline_key`]
+    /// per line; blank lines and `#` comments are ignored.
+    pub fn parse(text: &str) -> Baseline {
+        let entries = text
+            .lines()
+            .map(str::trim_end)
+            .filter(|l| !l.trim().is_empty() && !l.trim_start().starts_with('#'))
+            .map(str::to_string)
+            .collect();
+        Baseline { entries }
+    }
+
+    /// Splits diagnostics into (kept, suppressed-count). Each baseline
+    /// entry suppresses at most one matching diagnostic.
+    pub fn apply(&self, diags: Vec<Diagnostic>) -> (Vec<Diagnostic>, usize) {
+        let mut remaining = self.entries.clone();
+        let mut kept = Vec::new();
+        let mut suppressed = 0;
+        for d in diags {
+            let key = d.baseline_key();
+            if let Some(pos) = remaining.iter().position(|e| *e == key) {
+                remaining.swap_remove(pos);
+                suppressed += 1;
+            } else {
+                kept.push(d);
+            }
+        }
+        (kept, suppressed)
+    }
+
+    /// Renders diagnostics as baseline-file content (for `--write-baseline`).
+    pub fn render(diags: &[Diagnostic]) -> String {
+        let mut out = String::from(
+            "# easytime-lint baseline: one `file<TAB>rule<TAB>message` key per line.\n\
+             # Entries here are tolerated by CI; new violations still fail the build.\n",
+        );
+        for d in diags {
+            out.push_str(&d.baseline_key());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Renders diagnostics as a JSON array of
+/// `{file, line, rule, allow, severity, message}` records (R10,
+/// `--format json`) for CI artifacts.
+pub fn diagnostics_to_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"allow\": \"{}\", \
+             \"severity\": \"{}\", \"message\": \"{}\"}}",
+            json_escape(&d.file.display().to_string().replace('\\', "/")),
+            d.line,
+            d.rule.code(),
+            d.rule.allow_name(),
+            d.severity.as_str(),
+            json_escape(&d.message)
+        ));
+    }
+    out.push_str(if diags.is_empty() { "]\n" } else { "\n]\n" });
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -732,7 +435,7 @@ mod tests {
         PathBuf::from("crates/demo/src/lib.rs")
     }
 
-    fn rules(diags: &[Diagnostic]) -> Vec<Rule> {
+    fn rules_of(diags: &[Diagnostic]) -> Vec<Rule> {
         diags.iter().map(|d| d.rule).collect()
     }
 
@@ -740,14 +443,14 @@ mod tests {
 
     #[test]
     fn r1_flags_unwrap_expect_and_panic_in_library_code() {
-        let src = "pub fn f(x: Option<u32>) -> u32 {\n\
+        let src = "fn f(x: Option<u32>) -> u32 {\n\
                    \x20   let a = x.unwrap();\n\
                    \x20   let b = x.expect(\"present\");\n\
                    \x20   if a == 0 { panic!(\"zero\"); }\n\
                    \x20   a + b\n\
                    }\n";
         let diags = lint_rust_source(&lib_path(), src);
-        assert_eq!(rules(&diags), vec![Rule::NoPanic, Rule::NoPanic, Rule::NoPanic]);
+        assert_eq!(rules_of(&diags), vec![Rule::NoPanic, Rule::NoPanic, Rule::NoPanic]);
         assert_eq!(diags[0].line, 2);
         assert_eq!(diags[1].line, 3);
         assert_eq!(diags[2].line, 4);
@@ -755,7 +458,7 @@ mod tests {
 
     #[test]
     fn r1_ignores_unwrap_or_variants_and_expect_err() {
-        let src = "pub fn f(x: Option<u32>, r: Result<u32, ()>) -> u32 {\n\
+        let src = "fn f(x: Option<u32>, r: Result<u32, ()>) -> u32 {\n\
                    \x20   r.expect_err(\"nope\");\n\
                    \x20   x.unwrap_or(1) + x.unwrap_or_else(|| 2) + x.unwrap_or_default()\n\
                    }\n";
@@ -764,18 +467,18 @@ mod tests {
 
     #[test]
     fn r1_catches_multi_line_expect_calls() {
-        let src = "pub fn f(x: Option<u32>) -> u32 {\n\
+        let src = "fn f(x: Option<u32>) -> u32 {\n\
                    \x20   x.expect\n\
                    \x20       (\"present across lines\")\n\
                    }\n";
         let diags = lint_rust_source(&lib_path(), src);
-        assert_eq!(rules(&diags), vec![Rule::NoPanic]);
+        assert_eq!(rules_of(&diags), vec![Rule::NoPanic]);
         assert_eq!(diags[0].line, 2);
     }
 
     #[test]
     fn r1_skips_strings_comments_and_test_modules() {
-        let src = "pub fn f() {\n\
+        let src = "fn f() {\n\
                    \x20   let _s = \"contains .unwrap() and panic!\";\n\
                    \x20   // a comment mentioning .expect(\"x\") is fine\n\
                    \x20   /* block with panic!(\"boom\") */\n\
@@ -807,7 +510,7 @@ mod tests {
 
     #[test]
     fn r1_escape_hatch_with_justification_is_accepted() {
-        let src = "pub fn f(x: Option<u32>) -> u32 {\n\
+        let src = "fn f(x: Option<u32>) -> u32 {\n\
                    \x20   // lint: allow(panic) — x is checked non-empty two lines up\n\
                    \x20   x.unwrap()\n\
                    }\n";
@@ -816,7 +519,7 @@ mod tests {
 
     #[test]
     fn r1_escape_hatch_spanning_a_comment_block_is_accepted() {
-        let src = "pub fn f(x: Option<u32>) -> u32 {\n\
+        let src = "fn f(x: Option<u32>) -> u32 {\n\
                    \x20   // lint: allow(panic) — the construction above\n\
                    \x20   // guarantees the option is populated.\n\
                    \x20   x.unwrap()\n\
@@ -826,12 +529,12 @@ mod tests {
 
     #[test]
     fn r1_bare_escape_hatch_without_justification_is_flagged() {
-        let src = "pub fn f(x: Option<u32>) -> u32 {\n\
+        let src = "fn f(x: Option<u32>) -> u32 {\n\
                    \x20   // lint: allow(panic)\n\
                    \x20   x.unwrap()\n\
                    }\n";
         let diags = lint_rust_source(&lib_path(), src);
-        assert_eq!(rules(&diags), vec![Rule::BadAnnotation]);
+        assert_eq!(rules_of(&diags), vec![Rule::BadAnnotation]);
     }
 
     // ---- R2 ----
@@ -848,7 +551,7 @@ mod tests {
         let toml = "[dependencies]\nrand = \"0.8\"\n\n[dev-dependencies]\nproptest = \"1\"\n\n\
                     [workspace.dependencies]\ncriterion = \"0.5\"\n";
         let diags = lint_manifest(Path::new("Cargo.toml"), toml);
-        assert_eq!(rules(&diags), vec![Rule::DepAllowlist; 3]);
+        assert_eq!(rules_of(&diags), vec![Rule::DepAllowlist; 3]);
         assert!(diags[0].message.contains("rand"));
         assert!(diags[1].message.contains("proptest"));
         assert!(diags[2].message.contains("criterion"));
@@ -864,13 +567,13 @@ mod tests {
 
     #[test]
     fn r3_flags_lossy_casts_only_in_hot_paths() {
-        let src = "pub fn f(x: f64, n: usize) -> usize {\n\
+        let src = "fn f(x: f64, n: usize) -> usize {\n\
                    \x20   let a = x as usize;\n\
                    \x20   let b = n as f64;\n\
                    \x20   a + b as usize\n\
                    }\n";
         let hot = lint_rust_source(Path::new("crates/linalg/src/solve.rs"), src);
-        assert_eq!(rules(&hot), vec![Rule::LossyCast, Rule::LossyCast]);
+        assert_eq!(rules_of(&hot), vec![Rule::LossyCast, Rule::LossyCast]);
         assert_eq!(hot[0].line, 2);
         assert_eq!(hot[1].line, 4);
         // The same code outside a hot path is untouched by R3.
@@ -880,7 +583,7 @@ mod tests {
 
     #[test]
     fn r3_allows_widening_to_f64_and_honours_annotations() {
-        let src = "pub fn f(n: usize) -> f64 {\n\
+        let src = "fn f(n: usize) -> f64 {\n\
                    \x20   // lint: allow(lossy-cast) — index bounded by window length ≤ 2^32\n\
                    \x20   let small = n as u32;\n\
                    \x20   small as f64 + n as f64\n\
@@ -892,24 +595,27 @@ mod tests {
 
     #[test]
     fn r4_flags_boxed_dyn_error_returns() {
-        let src = "pub fn f() -> Result<u32, Box<dyn std::error::Error>> {\n\
+        let src = "/// Documented, but badly typed.\n\
+                   pub fn f() -> Result<u32, Box<dyn std::error::Error>> {\n\
                    \x20   Ok(1)\n\
                    }\n";
         let diags = lint_rust_source(&lib_path(), src);
-        assert_eq!(rules(&diags), vec![Rule::TypedError]);
-        assert_eq!(diags[0].line, 1);
+        assert_eq!(rules_of(&diags), vec![Rule::TypedError]);
+        assert_eq!(diags[0].line, 2);
     }
 
     #[test]
     fn r4_catches_multi_line_signatures_and_accepts_typed_errors() {
-        let bad = "pub fn f(\n\
+        let bad = "/// Documented.\n\
+                   pub fn f(\n\
                    \x20   x: u32,\n\
                    ) -> Result<u32, Box<dyn std::error::Error + Send + Sync>>\n\
                    {\n\
                    \x20   Ok(x)\n\
                    }\n";
-        assert_eq!(rules(&lint_rust_source(&lib_path(), bad)), vec![Rule::TypedError]);
-        let good = "pub fn f() -> Result<u32, DemoError> { Ok(1) }\n\
+        assert_eq!(rules_of(&lint_rust_source(&lib_path(), bad)), vec![Rule::TypedError]);
+        let good = "/// Documented.\n\
+                    pub fn f() -> Result<u32, DemoError> { Ok(1) }\n\
                     fn private() -> Result<u32, Box<dyn std::error::Error>> { Ok(1) }\n";
         // Private helpers are out of scope for R4.
         assert!(lint_rust_source(&lib_path(), good).is_empty());
@@ -919,12 +625,243 @@ mod tests {
 
     #[test]
     fn r5_flags_process_exit_outside_binaries() {
-        let src = "pub fn f() { std::process::exit(1); }\n";
+        let src = "fn f() { std::process::exit(1); }\n";
         let diags = lint_rust_source(&lib_path(), src);
-        assert_eq!(rules(&diags), vec![Rule::ProcessExit]);
+        assert_eq!(rules_of(&diags), vec![Rule::ProcessExit]);
         // Binaries may exit.
         assert!(lint_rust_source(Path::new("crates/demo/src/bin/tool.rs"), src).is_empty());
         assert!(lint_rust_source(Path::new("crates/demo/src/main.rs"), src).is_empty());
+    }
+
+    // ---- R6 ----
+
+    #[test]
+    fn r6_flags_nan_unsafe_comparators() {
+        let src = "fn f(xs: &mut Vec<f64>) {\n\
+                   \x20   xs.sort_by(|a, b| a.partial_cmp(b).unwrap());\n\
+                   \x20   xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));\n\
+                   \x20   xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or_else(|| Ordering::Equal));\n\
+                   }\n";
+        let diags = lint_rust_source(&lib_path(), src);
+        // The `.unwrap()` comparator legitimately trips both R1 and R6.
+        assert_eq!(
+            rules_of(&diags),
+            vec![Rule::NoPanic, Rule::FloatOrdering, Rule::FloatOrdering, Rule::FloatOrdering]
+        );
+        assert_eq!(diags[1].line, 2);
+        assert_eq!(diags[2].line, 3);
+        assert_eq!(diags[3].line, 4);
+    }
+
+    #[test]
+    fn r6_accepts_bare_partial_cmp_and_total_cmp() {
+        let src = "fn f(a: f64, b: f64) -> Option<std::cmp::Ordering> {\n\
+                   \x20   let _sorted = |xs: &mut Vec<f64>| xs.sort_by(|x, y| x.total_cmp(y));\n\
+                   \x20   a.partial_cmp(&b)\n\
+                   }\n";
+        assert!(lint_rust_source(&lib_path(), src).is_empty());
+    }
+
+    #[test]
+    fn r6_applies_inside_tests_and_bins_too() {
+        let src = "fn main() {\n\
+                   \x20   let mut v = vec![1.0, f64::NAN];\n\
+                   \x20   v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n\
+                   }\n";
+        for p in ["crates/demo/tests/t.rs", "crates/demo/src/bin/tool.rs"] {
+            let diags = lint_rust_source(Path::new(p), src);
+            assert_eq!(rules_of(&diags), vec![Rule::FloatOrdering], "{p}");
+        }
+    }
+
+    #[test]
+    fn r6_honours_escape_hatch_and_skips_unwrap_or_without_equal() {
+        let src = "fn f(a: f64, b: f64) -> bool {\n\
+                   \x20   // lint: allow(float-ordering) — SQL semantics want None on NaN\n\
+                   \x20   let _ = a.partial_cmp(&b).unwrap_or(std::cmp::Ordering::Equal);\n\
+                   \x20   a.partial_cmp(&b).map(|o| o.is_lt()).unwrap_or(false)\n\
+                   }\n";
+        assert!(lint_rust_source(&lib_path(), src).is_empty());
+    }
+
+    #[test]
+    fn r6_ignores_occurrences_in_strings_and_comments() {
+        let src = "fn f() {\n\
+                   \x20   let _s = \"a.partial_cmp(b).unwrap()\";\n\
+                   \x20   // a.partial_cmp(b).unwrap_or(Ordering::Equal)\n\
+                   }\n";
+        assert!(lint_rust_source(&lib_path(), src).is_empty());
+    }
+
+    // ---- R7 ----
+
+    #[test]
+    fn r7_flags_non_zero_float_equality_in_numeric_crates() {
+        let src = "fn f(x: f64) -> bool {\n\
+                   \x20   x == 1.5 || x != 2.0e3\n\
+                   }\n";
+        let diags = lint_rust_source(Path::new("crates/linalg/src/stats.rs"), src);
+        assert_eq!(rules_of(&diags), vec![Rule::FloatEq, Rule::FloatEq]);
+        // The same code outside linalg/models/eval is untouched.
+        assert!(lint_rust_source(Path::new("crates/qa/src/answer.rs"), src).is_empty());
+    }
+
+    #[test]
+    fn r7_accepts_zero_guards_and_annotated_sites() {
+        let src = "fn f(x: f64) -> bool {\n\
+                   \x20   let a = x == 0.0;\n\
+                   \x20   let b = x != 0.0 && x != -0.0;\n\
+                   \x20   // lint: allow(float-eq) — sentinel produced verbatim upstream\n\
+                   \x20   let c = x == 99.5;\n\
+                   \x20   a && b && c && x <= 1.5\n\
+                   }\n";
+        assert!(lint_rust_source(Path::new("crates/models/src/naive.rs"), src).is_empty());
+    }
+
+    // ---- R8 ----
+
+    #[test]
+    fn r8_flags_hash_container_iteration_in_library_code() {
+        let src = "use std::collections::HashMap;\n\
+                   fn f(m: &HashMap<String, u32>) -> u32 {\n\
+                   \x20   let mut total = 0;\n\
+                   \x20   for (_k, v) in m.iter() { total += v; }\n\
+                   \x20   total\n\
+                   }\n";
+        let diags = lint_rust_source(&lib_path(), src);
+        assert_eq!(rules_of(&diags), vec![Rule::HashOrder]);
+        assert_eq!(diags[0].line, 4);
+    }
+
+    #[test]
+    fn r8_accepts_keyed_access_btree_and_annotated_iteration() {
+        let src = "use std::collections::{BTreeMap, HashMap};\n\
+                   fn f(m: &HashMap<String, u32>, b: &BTreeMap<String, u32>) -> u32 {\n\
+                   \x20   let mut total = *m.get(\"x\").unwrap_or(&0);\n\
+                   \x20   for (_k, v) in b.iter() { total += v; }\n\
+                   \x20   // lint: allow(hash-order) — the sum below is order-independent\n\
+                   \x20   for (_k, v) in m.iter() { total += v; }\n\
+                   \x20   total\n\
+                   }\n";
+        assert!(lint_rust_source(&lib_path(), src).is_empty());
+    }
+
+    #[test]
+    fn r8_flags_direct_wall_clock_reads_outside_the_clock_crate() {
+        let src = "use std::time::Instant;\n\
+                   fn f() -> std::time::Instant {\n\
+                   \x20   Instant::now()\n\
+                   }\n";
+        let diags = lint_rust_source(&lib_path(), src);
+        assert_eq!(rules_of(&diags), vec![Rule::WallClock]);
+        // The designated helper and binaries are exempt.
+        assert!(lint_rust_source(Path::new("crates/clock/src/lib.rs"), src).is_empty());
+        assert!(lint_rust_source(Path::new("crates/demo/src/bin/tool.rs"), src).is_empty());
+        let sys = "fn f() -> u64 { let _t = SystemTime::now(); 0 }\n";
+        let diags = lint_rust_source(&lib_path(), sys);
+        assert_eq!(rules_of(&diags), vec![Rule::WallClock]);
+    }
+
+    // ---- R9 ----
+
+    #[test]
+    fn r9_flags_undocumented_pub_items() {
+        let src = "pub fn f() {}\n\
+                   pub struct S;\n\
+                   pub enum E { A }\n\
+                   pub const C: u32 = 1;\n";
+        let diags = lint_rust_source(&lib_path(), src);
+        assert_eq!(rules_of(&diags), vec![Rule::MissingDocs; 4]);
+        assert!(diags[0].message.contains("`f`"));
+        assert!(diags[1].message.contains("`S`"));
+    }
+
+    #[test]
+    fn r9_accepts_documented_restricted_and_annotated_items() {
+        let src = "/// Documented.\n\
+                   pub fn f() {}\n\
+                   /// Documented struct.\n\
+                   #[derive(Debug)]\n\
+                   pub struct S;\n\
+                   pub(crate) fn internal() {}\n\
+                   #[doc = \"generated docs\"]\n\
+                   pub struct G;\n\
+                   // lint: allow(missing-docs) — exported for the macro below only\n\
+                   pub struct M;\n\
+                   pub use std::cmp::Ordering;\n\
+                   fn private() {}\n";
+        assert!(lint_rust_source(&lib_path(), src).is_empty());
+    }
+
+    #[test]
+    fn r9_skips_struct_fields_and_test_items() {
+        let src = "/// Documented.\n\
+                   pub struct S {\n\
+                   \x20   pub x: u32,\n\
+                   \x20   pub y: u32,\n\
+                   }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                   \x20   pub fn helper() {}\n\
+                   }\n";
+        assert!(lint_rust_source(&lib_path(), src).is_empty());
+    }
+
+    // ---- R10: severity, baseline, JSON ----
+
+    #[test]
+    fn severity_overrides_apply_by_code() {
+        let mut diags = vec![
+            Diagnostic::new(&lib_path(), 1, Rule::MissingDocs, "m".into()),
+            Diagnostic::new(&lib_path(), 2, Rule::NoPanic, "p".into()),
+        ];
+        apply_severities(&mut diags, &[("R9".into(), Severity::Warn)]);
+        assert_eq!(diags[0].severity, Severity::Warn);
+        assert_eq!(diags[1].severity, Severity::Error);
+        assert_eq!(Severity::parse("warn"), Some(Severity::Warn));
+        assert_eq!(Severity::parse("ERROR"), Some(Severity::Error));
+        assert_eq!(Severity::parse("nope"), None);
+    }
+
+    #[test]
+    fn baseline_suppresses_known_findings_once() {
+        let d1 = Diagnostic::new(&lib_path(), 3, Rule::NoPanic, "first".into());
+        let d2 = Diagnostic::new(&lib_path(), 9, Rule::NoPanic, "first".into());
+        let d3 = Diagnostic::new(&lib_path(), 5, Rule::FloatEq, "other".into());
+        let text = Baseline::render(&[d1.clone()]);
+        let baseline = Baseline::parse(&text);
+        let (kept, suppressed) = baseline.apply(vec![d1, d2, d3]);
+        // The single entry suppresses one of the two identical findings
+        // (line numbers are deliberately not part of the key).
+        assert_eq!(suppressed, 1);
+        assert_eq!(kept.len(), 2);
+    }
+
+    #[test]
+    fn empty_baseline_keeps_everything() {
+        let baseline = Baseline::parse("# just comments\n\n");
+        let d = Diagnostic::new(&lib_path(), 1, Rule::NoPanic, "m".into());
+        let (kept, suppressed) = baseline.apply(vec![d]);
+        assert_eq!((kept.len(), suppressed), (1, 0));
+    }
+
+    #[test]
+    fn json_output_is_escaped_and_structured() {
+        let d = Diagnostic::new(
+            &lib_path(),
+            7,
+            Rule::FloatOrdering,
+            "uses `partial_cmp(..)` with \"quotes\"\nand newline".into(),
+        );
+        let json = diagnostics_to_json(&[d]);
+        assert!(json.starts_with('['));
+        assert!(json.trim_end().ends_with(']'));
+        assert!(json.contains("\"rule\": \"R6\""));
+        assert!(json.contains("\"allow\": \"float-ordering\""));
+        assert!(json.contains("\"severity\": \"error\""));
+        assert!(json.contains("\\\"quotes\\\""));
+        assert!(json.contains("\\n"));
+        assert_eq!(diagnostics_to_json(&[]), "[]\n");
     }
 
     // ---- infrastructure ----
@@ -934,31 +871,21 @@ mod tests {
         assert!(classify(Path::new("crates/linalg/src/solve.rs")).is_hot_numeric);
         assert!(classify(Path::new("crates/eval/src/metrics.rs")).is_hot_numeric);
         assert!(!classify(Path::new("crates/eval/src/pipeline.rs")).is_hot_numeric);
+        assert!(classify(Path::new("crates/eval/src/pipeline.rs")).is_float_path);
+        assert!(!classify(Path::new("crates/qa/src/session.rs")).is_float_path);
         assert!(classify(Path::new("crates/core/src/bin/easytime.rs")).is_bin);
         assert!(classify(Path::new("crates/core/tests/integration.rs")).is_test_like);
         assert!(classify(Path::new("crates/db/src/parser.rs")).is_library);
     }
 
     #[test]
-    fn splitter_blanks_strings_and_separates_comments() {
-        let lines = split_lines("let x = \"panic!\"; // note: .unwrap() here\n");
-        assert_eq!(lines.len(), 1);
-        assert!(!lines[0].code.contains("panic!"));
-        assert!(lines[0].comment.contains(".unwrap()"));
-        let raw = split_lines("let r = r#\"has .unwrap() inside\"#;\n");
-        assert!(!raw[0].code.contains("unwrap"));
-        let lifetime = split_lines("fn f<'a>(x: &'a str) -> &'a str { x }\n");
-        assert!(lifetime[0].code.contains("<'a>"));
-    }
-
-    #[test]
     fn diagnostics_render_file_line_rule() {
-        let d = Diagnostic {
-            file: PathBuf::from("crates/demo/src/lib.rs"),
-            line: 7,
-            rule: Rule::NoPanic,
-            message: "`unwrap` in library code".into(),
-        };
+        let d = Diagnostic::new(
+            Path::new("crates/demo/src/lib.rs"),
+            7,
+            Rule::NoPanic,
+            "`unwrap` in library code".into(),
+        );
         assert_eq!(format!("{d}"), "crates/demo/src/lib.rs:7: R1 `unwrap` in library code");
     }
 }

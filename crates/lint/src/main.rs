@@ -1,11 +1,78 @@
-//! `easytime-lint` — run the workspace invariant checks.
+//! Workspace lint driver.
 //!
-//! Usage: `cargo run -p easytime-lint` (from anywhere in the workspace).
-//! Prints `file:line: R# message` diagnostics and exits non-zero when any
-//! violation is found.
+//! ```text
+//! easytime-lint [--format text|json] [--baseline PATH] [--write-baseline PATH]
+//!               [--severity CODE=LEVEL]... [--out PATH]
+//! ```
+//!
+//! Exits non-zero iff any non-baselined diagnostic has `error` severity.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+
+use easytime_lint::{apply_severities, diagnostics_to_json, lint_workspace, Baseline, Severity};
+
+enum Format {
+    Text,
+    Json,
+}
+
+struct Options {
+    format: Format,
+    baseline: Option<PathBuf>,
+    write_baseline: Option<PathBuf>,
+    out: Option<PathBuf>,
+    severities: Vec<(String, Severity)>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        format: Format::Text,
+        baseline: None,
+        write_baseline: None,
+        out: None,
+        severities: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let value_for = |flag: &str, args: &mut dyn Iterator<Item = String>| {
+            args.next().ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--format" => {
+                opts.format = match value_for("--format", &mut args)?.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown format `{other}` (want text|json)")),
+                };
+            }
+            "--baseline" => opts.baseline = Some(value_for("--baseline", &mut args)?.into()),
+            "--write-baseline" => {
+                opts.write_baseline = Some(value_for("--write-baseline", &mut args)?.into());
+            }
+            "--out" => opts.out = Some(value_for("--out", &mut args)?.into()),
+            "--severity" => {
+                let spec = value_for("--severity", &mut args)?;
+                let (code, level) = spec
+                    .split_once('=')
+                    .ok_or_else(|| format!("--severity wants CODE=LEVEL, got `{spec}`"))?;
+                let sev = Severity::parse(level)
+                    .ok_or_else(|| format!("unknown severity `{level}` (want error|warn)"))?;
+                opts.severities.push((code.to_string(), sev));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: easytime-lint [--format text|json] [--baseline PATH]\n\
+                     \x20                    [--write-baseline PATH] [--severity CODE=LEVEL]...\n\
+                     \x20                    [--out PATH]"
+                );
+                return Err(String::new());
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
 
 fn workspace_root() -> PathBuf {
     // The crate lives at <root>/crates/lint, so the workspace root is two
@@ -19,34 +86,83 @@ fn workspace_root() -> PathBuf {
 }
 
 fn main() -> ExitCode {
-    let root = workspace_root();
-    let (mut diags, checked) = match easytime_lint::lint_workspace(&root) {
-        Ok(r) => r,
-        Err(err) => {
-            eprintln!("easytime-lint: failed to scan {}: {err}", root.display());
-            return ExitCode::FAILURE;
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) if e.is_empty() => return ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("easytime-lint: {e}");
+            return ExitCode::from(2);
         }
     };
-    // The root manifest's [workspace.dependencies] is the chokepoint where
-    // external crates would re-enter; lint it alongside the member manifests.
-    match std::fs::read_to_string(root.join("Cargo.toml")) {
-        Ok(toml) => diags.extend(easytime_lint::lint_manifest(Path::new("Cargo.toml"), &toml)),
-        Err(err) => {
-            eprintln!("easytime-lint: failed to read root Cargo.toml: {err}");
-            return ExitCode::FAILURE;
+
+    let root = workspace_root();
+    let (mut diags, checked) = match lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("easytime-lint: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
         }
-    }
-    for d in &diags {
-        println!("{d}");
-    }
-    if diags.is_empty() {
-        println!("easytime-lint: OK — {checked} files checked, 0 violations");
-        ExitCode::SUCCESS
-    } else {
+    };
+    apply_severities(&mut diags, &opts.severities);
+
+    if let Some(path) = &opts.write_baseline {
+        let content = Baseline::render(&diags);
+        if let Err(e) = std::fs::write(path, content) {
+            eprintln!("easytime-lint: cannot write baseline {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
         eprintln!(
-            "easytime-lint: {} violation(s) across {checked} checked files",
-            diags.len()
+            "easytime-lint: wrote baseline with {} entr{} to {}",
+            diags.len(),
+            if diags.len() == 1 { "y" } else { "ies" },
+            path.display()
         );
+        return ExitCode::SUCCESS;
+    }
+
+    let mut suppressed = 0;
+    if let Some(path) = &opts.baseline {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("easytime-lint: cannot read baseline {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let (kept, n) = Baseline::parse(&text).apply(diags);
+        diags = kept;
+        suppressed = n;
+    }
+
+    let rendered = match opts.format {
+        Format::Json => diagnostics_to_json(&diags),
+        Format::Text => {
+            let mut out = String::new();
+            for d in &diags {
+                out.push_str(&format!("{} [{}]\n", d, d.severity.as_str()));
+            }
+            out
+        }
+    };
+    match &opts.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &rendered) {
+                eprintln!("easytime-lint: cannot write {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        }
+        None => print!("{rendered}"),
+    }
+
+    let errors = diags.iter().filter(|d| d.severity == Severity::Error).count();
+    let warns = diags.len() - errors;
+    eprintln!(
+        "easytime-lint: checked {checked} files: {errors} error(s), {warns} warning(s), \
+         {suppressed} baselined"
+    );
+    if errors > 0 {
         ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }

@@ -1,0 +1,469 @@
+//! The token-level lint rules (R1, R3–R9).
+//!
+//! Every rule here runs over a [`SourceFile`] token stream, so string
+//! literals and comments can never produce false positives, and
+//! `#[cfg(test)]` exemption follows real item boundaries. R2 (dependency
+//! allowlist) lints `Cargo.toml` manifests and lives in the crate root.
+
+use crate::engine::SourceFile;
+use crate::lexer::{float_value, num_is_float, TokenKind};
+use crate::{Diagnostic, FileClass, Rule};
+use std::collections::BTreeSet;
+use std::path::Path;
+
+/// Panicking macros flagged by R1.
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+/// Panicking methods flagged by R1.
+const PANIC_METHODS: [&str; 2] = ["unwrap", "expect"];
+/// Narrowing cast targets flagged by R3 (`as f64` widening is fine).
+const LOSSY_TARGETS: [&str; 11] =
+    ["f32", "usize", "isize", "u64", "i64", "u32", "i32", "u16", "i16", "u8", "i8"];
+/// Order-revealing methods on hash containers flagged by R8.
+const HASH_ITER_METHODS: [&str; 7] =
+    ["iter", "iter_mut", "into_iter", "keys", "values", "values_mut", "drain"];
+/// The one file allowed to read the wall clock (R8); everything else goes
+/// through `easytime_clock::Stopwatch`.
+const CLOCK_FILE: &str = "crates/clock/src/lib.rs";
+
+/// Shared reporting context: applies escape-hatch annotations and collects
+/// diagnostics (including malformed-annotation reports).
+struct Reporter<'a, 'b> {
+    sf: &'b SourceFile<'a>,
+    path: &'b Path,
+    diags: Vec<Diagnostic>,
+}
+
+impl Reporter<'_, '_> {
+    /// Reports `rule` at `line` unless a justified annotation waives it; a
+    /// bare (unjustified) annotation is itself reported as R0.
+    fn report(&mut self, rule: Rule, line: usize, message: String) {
+        if let Some(mark) = self.sf.allow_on(line, rule.allow_name()) {
+            if !mark.justified {
+                self.diags.push(Diagnostic::new(
+                    self.path,
+                    mark.marker_line,
+                    Rule::BadAnnotation,
+                    format!(
+                        "escape hatch `lint: allow({})` requires a written justification",
+                        rule.allow_name()
+                    ),
+                ));
+            }
+            return;
+        }
+        self.diags.push(Diagnostic::new(self.path, line, rule, message));
+    }
+}
+
+/// Runs all token-level rules over one Rust source file.
+pub fn lint_tokens(rel_path: &Path, class: FileClass, sf: &SourceFile<'_>) -> Vec<Diagnostic> {
+    let mut r = Reporter { sf, path: rel_path, diags: Vec::new() };
+    let n = sf.code.len();
+    let in_test = |k: usize| sf.ct(k).is_some_and(|t| sf.in_test_region(t.start));
+
+    let hash_names = if class.is_library { hash_container_names(sf) } else { BTreeSet::new() };
+
+    for k in 0..n {
+        let line = sf.ct(k).map_or(1, |t| t.line);
+
+        // ---- R1: no panicking constructs in library code. ----
+        if class.is_library && !in_test(k) {
+            for m in PANIC_MACROS {
+                if sf.is_ident(k, m) && sf.is_punct(k + 1, '!') {
+                    r.report(
+                        Rule::NoPanic,
+                        line,
+                        format!(
+                            "`{m}!` in library code; return the crate's typed error instead \
+                             (or annotate with `// lint: allow(panic) — <why>`)"
+                        ),
+                    );
+                }
+            }
+            for m in PANIC_METHODS {
+                if k > 0
+                    && sf.is_punct(k - 1, '.')
+                    && sf.is_ident(k, m)
+                    && sf.is_punct(k + 1, '(')
+                {
+                    r.report(
+                        Rule::NoPanic,
+                        line,
+                        format!(
+                            "`{m}` in library code; return the crate's typed error instead \
+                             (or annotate with `// lint: allow(panic) — <why>`)"
+                        ),
+                    );
+                }
+            }
+        }
+
+        // ---- R3: lossy `as` casts in numeric hot paths. ----
+        if class.is_hot_numeric && !in_test(k) && sf.is_ident(k, "as") {
+            let target = sf.ctext(k + 1);
+            if sf.ct(k + 1).is_some_and(|t| t.kind == TokenKind::Ident)
+                && LOSSY_TARGETS.contains(&target)
+            {
+                let target = target.to_string();
+                r.report(
+                    Rule::LossyCast,
+                    line,
+                    format!(
+                        "potentially lossy `as {target}` cast in a numeric hot path; use a \
+                         checked conversion or annotate with `// lint: allow(lossy-cast) — <why>`"
+                    ),
+                );
+            }
+        }
+
+        // ---- R4: public Result APIs must use typed errors. ----
+        if class.is_library && !in_test(k) && sf.is_ident(k, "pub") {
+            if let Some(msg) = boxed_error_fn(sf, k) {
+                r.report(Rule::TypedError, line, msg);
+            }
+        }
+
+        // ---- R5: no process::exit outside binaries. ----
+        if !class.is_bin
+            && sf.is_ident(k, "process")
+            && sf.is_punct_seq(k + 1, "::")
+            && sf.is_ident(k + 3, "exit")
+        {
+            r.report(
+                Rule::ProcessExit,
+                line,
+                "`std::process::exit` outside `src/bin`; return an error and let the binary \
+                 decide the exit code"
+                    .into(),
+            );
+        }
+
+        // ---- R6: NaN-unsafe float ordering (applies everywhere — tests
+        // and binaries rank things too, and rankings must be
+        // deterministic). ----
+        if sf.is_ident(k, "partial_cmp") && k > 0 && sf.is_punct(k - 1, '.') {
+            if let Some(what) = nan_unsafe_ordering(sf, k) {
+                r.report(
+                    Rule::FloatOrdering,
+                    line,
+                    format!(
+                        "NaN-unsafe comparator: `partial_cmp(..).{what}` violates strict weak \
+                         ordering when a value is NaN, making sorts panic-prone and rankings \
+                         non-deterministic; use `f64::total_cmp` (or annotate with \
+                         `// lint: allow(float-ordering) — <why>`)"
+                    ),
+                );
+            }
+        }
+
+        // ---- R7: float `==`/`!=` outside zero-guard idioms in the
+        // numeric crates. ----
+        if class.is_float_path && !in_test(k) {
+            if let Some(lit) = non_zero_float_eq(sf, k) {
+                r.report(
+                    Rule::FloatEq,
+                    line,
+                    format!(
+                        "float equality against `{lit}`: exact comparison with a non-zero float \
+                         is almost always a rounding bug; compare with a tolerance (zero guards \
+                         like `x == 0.0` are exempt, or annotate with \
+                         `// lint: allow(float-eq) — <why>`)"
+                    ),
+                );
+            }
+        }
+
+        // ---- R8a: unordered hash-container iteration. ----
+        if class.is_library && !in_test(k) {
+            if let Some((name, how)) = hash_iteration(sf, k, &hash_names) {
+                r.report(
+                    Rule::HashOrder,
+                    line,
+                    format!(
+                        "iteration over hash container `{name}` ({how}) observes \
+                         nondeterministic order; use `BTreeMap`/`BTreeSet`, sort before use, \
+                         or annotate with `// lint: allow(hash-order) — <why>`"
+                    ),
+                );
+            }
+        }
+
+        // ---- R8b: wall-clock reads outside the one timing helper. ----
+        if class.is_library
+            && !in_test(k)
+            && rel_path.to_string_lossy().replace('\\', "/") != CLOCK_FILE
+        {
+            let instant_now = sf.is_ident(k, "Instant")
+                && sf.is_punct_seq(k + 1, "::")
+                && sf.is_ident(k + 3, "now");
+            let system_time = sf.is_ident(k, "SystemTime");
+            if instant_now || system_time {
+                let what = if instant_now { "Instant::now" } else { "SystemTime" };
+                r.report(
+                    Rule::WallClock,
+                    line,
+                    format!(
+                        "direct wall-clock read (`{what}`) in library code; route timing \
+                         through `easytime_clock::Stopwatch` so it stays auditable and \
+                         mockable (or annotate with `// lint: allow(wall-clock) — <why>`)"
+                    ),
+                );
+            }
+        }
+
+        // ---- R9: exported items need `///` docs. ----
+        if class.is_library && !in_test(k) && sf.is_ident(k, "pub") {
+            if let Some((kind, name)) = undocumented_pub_item(sf, k) {
+                r.report(
+                    Rule::MissingDocs,
+                    line,
+                    format!(
+                        "exported {kind} `{name}` has no doc comment; add `///` documentation \
+                         (or annotate with `// lint: allow(missing-docs) — <why>`)"
+                    ),
+                );
+            }
+        }
+    }
+
+    r.diags
+}
+
+/// R4 helper: when code index `k` (`pub`) heads a function whose return
+/// type contains `Box<dyn … Error …>`, returns the diagnostic message.
+fn boxed_error_fn(sf: &SourceFile<'_>, k: usize) -> Option<String> {
+    let mut j = k + 1;
+    // Restricted visibility: pub(crate), pub(super), pub(in path).
+    if sf.is_punct(j, '(') {
+        j = sf.matching_close(j)? + 1;
+    }
+    // Qualifiers before `fn`.
+    loop {
+        let t = sf.ctext(j);
+        if matches!(t, "const" | "async" | "unsafe" | "extern")
+            || sf.ct(j).is_some_and(|t| t.kind == TokenKind::StrLit)
+        {
+            j += 1;
+        } else {
+            break;
+        }
+    }
+    if !sf.is_ident(j, "fn") {
+        return None;
+    }
+    // Scan the signature up to the body `{` or a `;`.
+    let mut arrow = None;
+    let mut end = j + 1;
+    let mut m = j + 1;
+    while sf.ct(m).is_some() && m < j + 400 {
+        if sf.is_punct(m, '{') || sf.is_punct(m, ';') {
+            end = m;
+            break;
+        }
+        if sf.is_punct_seq(m, "->") {
+            arrow = Some(m);
+        }
+        m += 1;
+        end = m;
+    }
+    let arrow = arrow?;
+    let mut saw_box = false;
+    let mut saw_dyn = false;
+    let mut saw_error = false;
+    for q in arrow..end {
+        if sf.is_ident(q, "Box") {
+            saw_box = true;
+        }
+        if sf.is_ident(q, "dyn") {
+            saw_dyn = true;
+        }
+        if sf.ct(q).is_some_and(|t| t.kind == TokenKind::Ident) && sf.ctext(q).contains("Error")
+        {
+            saw_error = true;
+        }
+    }
+    (saw_box && saw_dyn && saw_error).then(|| {
+        "public API returns `Box<dyn Error>`; use the crate's typed error enum".to_string()
+    })
+}
+
+/// R6 helper: when the `partial_cmp` call at code index `k` is chained
+/// into `.unwrap()` / `.unwrap_or(Equal)` / `.unwrap_or_else(|| Equal)`,
+/// returns the offending continuation for the message.
+fn nan_unsafe_ordering(sf: &SourceFile<'_>, k: usize) -> Option<&'static str> {
+    if !sf.is_punct(k + 1, '(') {
+        return None;
+    }
+    let close = sf.matching_close(k + 1)?;
+    if !sf.is_punct(close + 1, '.') {
+        return None;
+    }
+    let m = close + 2;
+    if sf.is_ident(m, "unwrap") && sf.is_punct(m + 1, '(') {
+        return Some("unwrap()");
+    }
+    for (method, label) in [
+        ("unwrap_or", "unwrap_or(Ordering::Equal)"),
+        ("unwrap_or_else", "unwrap_or_else(.. Ordering::Equal)"),
+    ] {
+        if sf.is_ident(m, method) && sf.is_punct(m + 1, '(') {
+            let argc = sf.matching_close(m + 1)?;
+            for q in m + 2..argc {
+                if sf.is_ident(q, "Equal") {
+                    return Some(label);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// R7 helper: when code index `k` starts a `==`/`!=` whose left or right
+/// operand is a non-zero float literal, returns that literal's text.
+fn non_zero_float_eq(sf: &SourceFile<'_>, k: usize) -> Option<String> {
+    if !(sf.is_punct_seq(k, "==") || sf.is_punct_seq(k, "!=")) {
+        return None;
+    }
+    // Reject `<=` / `>=` (their `=` would otherwise match at `k+1`).
+    if k > 0 && sf.ct(k).is_some_and(|t| t.kind == TokenKind::Punct) {
+        let prev = sf.ctext(k.wrapping_sub(1));
+        if matches!(prev, "<" | ">" | "=" | "!")
+            && sf.ct(k - 1).zip(sf.ct(k)).is_some_and(|(a, b)| a.end == b.start)
+        {
+            return None;
+        }
+    }
+    let float_lit = |idx: usize| -> Option<String> {
+        let t = sf.ct(idx)?;
+        if t.kind != TokenKind::NumLit {
+            return None;
+        }
+        let text = t.text(sf.src);
+        if !num_is_float(text) {
+            return None;
+        }
+        // Zero guards (`x == 0.0`) are the accepted idiom.
+        match float_value(text) {
+            Some(v) if v == 0.0 => None,
+            _ => Some(text.to_string()),
+        }
+    };
+    if k > 0 {
+        if let Some(lit) = float_lit(k - 1) {
+            return Some(lit);
+        }
+    }
+    // Right operand sits after both punct chars; tolerate a unary minus.
+    let rhs = if sf.is_punct(k + 2, '-') { k + 3 } else { k + 2 };
+    float_lit(rhs)
+}
+
+/// R8a helper, pass 1: names bound to `HashMap`/`HashSet` in this file —
+/// `let name: HashMap<..>`, `name: HashSet<..>` fields, and
+/// `let name = HashMap::new()` initialisers.
+fn hash_container_names(sf: &SourceFile<'_>) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for k in 0..sf.code.len() {
+        if !(sf.is_ident(k, "HashMap") || sf.is_ident(k, "HashSet")) {
+            continue;
+        }
+        // Walk back over a `std::collections::` path prefix.
+        let mut b = k;
+        while b >= 3 && sf.is_punct_seq(b - 2, "::") {
+            if sf.ct(b - 3).is_some_and(|t| t.kind == TokenKind::Ident) {
+                b -= 3;
+            } else {
+                break;
+            }
+        }
+        // ... and over reference sigils in types like `&'a mut HashMap<..>`.
+        while b >= 1
+            && (sf.is_punct(b - 1, '&')
+                || sf.is_ident(b - 1, "mut")
+                || sf.ct(b - 1).is_some_and(|t| t.kind == TokenKind::Lifetime))
+        {
+            b -= 1;
+        }
+        if b >= 2
+            && sf.is_punct(b - 1, ':')
+            && !sf.is_punct(b - 2, ':')
+            && sf.ct(b - 2).is_some_and(|t| t.kind == TokenKind::Ident)
+        {
+            // `name : [path::]HashMap` — a typed binding or field.
+            names.insert(sf.ctext(b - 2).to_string());
+        } else if b >= 2
+            && sf.is_punct(b - 1, '=')
+            && sf.ct(b - 2).is_some_and(|t| t.kind == TokenKind::Ident)
+        {
+            // `let name = HashMap::new()`.
+            names.insert(sf.ctext(b - 2).to_string());
+        }
+    }
+    names
+}
+
+/// R8a helper, pass 2: when code index `k` iterates one of the collected
+/// hash containers, returns `(name, how)` for the message.
+fn hash_iteration(
+    sf: &SourceFile<'_>,
+    k: usize,
+    names: &BTreeSet<String>,
+) -> Option<(String, &'static str)> {
+    let t = sf.ct(k)?;
+    if t.kind != TokenKind::Ident {
+        return None;
+    }
+    let name = t.text(sf.src);
+    if !names.contains(name) {
+        return None;
+    }
+    // `name.iter()` and friends.
+    if sf.is_punct(k + 1, '.') && sf.is_punct(k + 3, '(') {
+        let method = sf.ctext(k + 2);
+        if let Some(m) = HASH_ITER_METHODS.iter().find(|&&m| m == method) {
+            return Some((name.to_string(), m));
+        }
+    }
+    // `for x in &name {` / `for x in name {`.
+    if sf.is_punct(k + 1, '{') {
+        let mut b = k;
+        while b > 0 && (sf.is_punct(b - 1, '&') || sf.is_ident(b - 1, "mut")) {
+            b -= 1;
+        }
+        if b > 0 && sf.is_ident(b - 1, "in") {
+            return Some((name.to_string(), "for-in"));
+        }
+    }
+    None
+}
+
+/// R9 helper: when code index `k` (`pub`) heads an exported item that
+/// needs documentation and has none, returns `(item kind, name)`.
+fn undocumented_pub_item(sf: &SourceFile<'_>, k: usize) -> Option<(String, String)> {
+    // Restricted visibility (`pub(crate)` …) is not exported API.
+    if sf.is_punct(k + 1, '(') {
+        return None;
+    }
+    let mut j = k + 1;
+    while matches!(sf.ctext(j), "async" | "unsafe" | "extern")
+        || sf.ct(j).is_some_and(|t| t.kind == TokenKind::StrLit)
+    {
+        j += 1;
+    }
+    let (kind, name_at) = match sf.ctext(j) {
+        "const" if sf.is_ident(j + 1, "fn") => ("fn", j + 2),
+        kw @ ("fn" | "struct" | "enum" | "trait" | "type" | "const" | "static" | "union") => {
+            (kw, j + 1)
+        }
+        // `pub use` / `pub mod` are documented at their definition site.
+        _ => return None,
+    };
+    // `static mut NAME` (unsafe, but still nameable).
+    let name_at = if sf.is_ident(name_at, "mut") { name_at + 1 } else { name_at };
+    let name = sf.ctext(name_at).to_string();
+    let raw = sf.raw_index(k)?;
+    if sf.has_doc_before(raw) {
+        return None;
+    }
+    Some((kind.to_string(), name))
+}

@@ -1,0 +1,108 @@
+//! Regression suite: rule patterns inside string literals and comments
+//! must never fire.
+//!
+//! The v1 engine scanned raw lines with a hand-rolled "am I in a string?"
+//! state machine and could be fooled by raw strings, escapes, and nested
+//! block comments. The v2 engine lexes first, so these inputs — each of
+//! which embeds a violation *textually* but not *syntactically* — must
+//! produce zero diagnostics.
+
+use easytime_lint::{lint_rust_source, Rule};
+use std::path::Path;
+
+fn lib() -> &'static Path {
+    Path::new("crates/demo/src/lib.rs")
+}
+
+fn hot() -> &'static Path {
+    Path::new("crates/linalg/src/solve.rs")
+}
+
+#[test]
+fn r1_does_not_fire_inside_string_literals() {
+    let srcs = [
+        "fn f() -> &'static str { \"x.unwrap()\" }\n",
+        "fn f() -> &'static str { \"panic!(\\\"boom\\\")\" }\n",
+        "fn f() -> &'static str { r\"y.expect(msg)\" }\n",
+        "fn f() -> &'static str { r#\"quote \" then .unwrap()\"# }\n",
+        "fn f() -> &'static [u8] { br##\"# .expect(\"nested\") #\"## }\n",
+        "fn f() -> char { '\\\"' } // an escaped-quote char, then .unwrap() in comment\n",
+    ];
+    for src in srcs {
+        assert!(lint_rust_source(lib(), src).is_empty(), "false positive in {src:?}");
+    }
+}
+
+#[test]
+fn r1_does_not_fire_inside_comments() {
+    let srcs = [
+        "fn f() {} // trailing: x.unwrap() and panic!(\"no\")\n",
+        "/// docs mentioning .expect(\"value\") are fine\nfn f() {}\n",
+        "fn f() {} /* block .unwrap() */\n",
+        "fn f() {} /* outer /* nested .unwrap() */ still comment: panic!() */\n",
+        "//! module docs: todo!() unimplemented!() unreachable!()\nfn f() {}\n",
+    ];
+    for src in srcs {
+        assert!(lint_rust_source(lib(), src).is_empty(), "false positive in {src:?}");
+    }
+}
+
+#[test]
+fn r1_still_fires_on_real_violations_next_to_decoys() {
+    // A decoy in a string on the same line must not mask the real call.
+    let src = "fn f(x: Option<u32>) -> u32 {\n\
+               \x20   let _msg = \"docs say: never call .unwrap()\"; x.unwrap()\n\
+               }\n";
+    let diags = lint_rust_source(lib(), src);
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].rule, Rule::NoPanic);
+    assert_eq!(diags[0].line, 2);
+}
+
+#[test]
+fn r3_does_not_fire_inside_strings_or_comments() {
+    let srcs = [
+        "fn f() -> &'static str { \"cast n as usize here\" }\n",
+        "fn f() {} // lossy: x as u32\n",
+        "fn f() {} /* value as f32 */\n",
+        "fn f() -> &'static str { r#\"as usize\"# }\n",
+    ];
+    for src in srcs {
+        assert!(lint_rust_source(hot(), src).is_empty(), "false positive in {src:?}");
+    }
+}
+
+#[test]
+fn r3_still_fires_on_real_casts_next_to_decoys() {
+    let src = "fn f(x: f64) -> usize {\n\
+               \x20   let _doc = \"x as usize\"; x as usize\n\
+               }\n";
+    let diags = lint_rust_source(hot(), src);
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].rule, Rule::LossyCast);
+}
+
+#[test]
+fn r6_does_not_fire_inside_strings_or_comments() {
+    let srcs = [
+        "fn f() -> &'static str { \"a.partial_cmp(b).unwrap()\" }\n",
+        "fn f() {} // a.partial_cmp(b).unwrap_or(Ordering::Equal)\n",
+        "fn f() {} /* sort_by(|a, b| a.partial_cmp(b).unwrap()) */\n",
+    ];
+    for src in srcs {
+        assert!(lint_rust_source(lib(), src).is_empty(), "false positive in {src:?}");
+    }
+}
+
+#[test]
+fn lifetimes_are_not_mistaken_for_char_literals() {
+    // `'a` must lex as a lifetime, not open a character literal that
+    // swallows the rest of the file (which would hide the real unwrap).
+    let src = "fn f<'a>(x: &'a Option<u32>) -> u32 {\n\
+               \x20   x.unwrap()\n\
+               }\n";
+    let diags = lint_rust_source(lib(), src);
+    assert_eq!(diags.len(), 1);
+    assert_eq!(diags[0].rule, Rule::NoPanic);
+    assert_eq!(diags[0].line, 2);
+}

@@ -1,0 +1,170 @@
+//! Property tests for the token-stream lexer, driven by the workspace's
+//! deterministic RNG.
+//!
+//! Invariants under test, for randomly-assembled and adversarial inputs:
+//!
+//! 1. **Tiling** — concatenating every token's span reproduces the input
+//!    byte-for-byte (no gaps, no overlaps, nothing dropped).
+//! 2. **Monotone spans** — token boundaries are strictly increasing and
+//!    land on `char` boundaries.
+//! 3. **No panics** — the lexer is total; unterminated strings, stray
+//!    quotes, lone backslashes, and nested comment soup all lex.
+//! 4. **Line numbers** — a token's recorded line matches the number of
+//!    newlines before its start.
+
+use easytime_lint::lexer::{lex, TokenKind};
+use easytime_rng::StdRng;
+
+const CASES: u64 = 64;
+const MASTER_SEED: u64 = 0x1E8E_0001;
+
+fn cases() -> impl Iterator<Item = StdRng> {
+    (0..CASES).map(|i| StdRng::seed_from_u64(MASTER_SEED).derive(i))
+}
+
+/// Plausible Rust fragments, including every construct the lexer special-
+/// cases: raw strings, byte strings, char-vs-lifetime ambiguity, nested
+/// block comments, doc flavours, numeric shapes, and multi-char operators.
+const FRAGMENTS: &[&str] = &[
+    "fn main() { }",
+    "let x = 1.5e-3;",
+    "let y: &'a mut Vec<u8> = v;",
+    "'x'",
+    "'\\n'",
+    "b'q'",
+    "'static",
+    "r\"raw\"",
+    "r#\"raw with \" quote\"#",
+    "br##\"bytes \"# inner\"##",
+    "\"str with \\\" escape\"",
+    "\"unterminated",
+    "/* outer /* nested */ still comment */",
+    "/* unterminated",
+    "// line comment with .unwrap() inside",
+    "/// doc comment",
+    "//! inner doc",
+    "/**/",
+    "0x_FF_u64",
+    "0b1010_1010",
+    "1.",
+    "1..2",
+    "1.max(2)",
+    "1_000_000.25f64",
+    "x.partial_cmp(&y)",
+    "a::<B>()",
+    "m!{ weird tokens @ # $ }",
+    "#[cfg(test)]",
+    "r#match",
+    "\\",
+    "\u{1F980} // non-ascii 🦀 in comment",
+    "\"emoji \u{1F980} in string\"",
+];
+
+fn random_source(rng: &mut StdRng) -> String {
+    let n = rng.gen_range(0..40);
+    let mut out = String::new();
+    for _ in 0..n {
+        out.push_str(FRAGMENTS[rng.gen_range(0..FRAGMENTS.len())]);
+        // Random separator: spaces, newlines, or nothing (gluing fragments
+        // together produces exactly the pathological boundaries we want).
+        match rng.gen_range(0..4) {
+            0 => out.push(' '),
+            1 => out.push('\n'),
+            2 => out.push_str("\t\n  "),
+            _ => {}
+        }
+    }
+    out
+}
+
+fn assert_tiles(src: &str) {
+    let tokens = lex(src);
+    let mut rebuilt = String::with_capacity(src.len());
+    let mut prev_end = 0;
+    for t in &tokens {
+        assert_eq!(t.start, prev_end, "gap/overlap before byte {} in {src:?}", t.start);
+        assert!(t.end > t.start, "empty token at byte {} in {src:?}", t.start);
+        assert!(src.is_char_boundary(t.start) && src.is_char_boundary(t.end));
+        rebuilt.push_str(t.text(src));
+        prev_end = t.end;
+    }
+    assert_eq!(prev_end, src.len(), "trailing bytes unlexed in {src:?}");
+    assert_eq!(rebuilt, src, "token concatenation must round-trip");
+    // Line numbers agree with newline counts.
+    for t in &tokens {
+        let expected = 1 + src[..t.start].matches('\n').count();
+        assert_eq!(t.line, expected, "line mismatch for token at byte {} in {src:?}", t.start);
+    }
+}
+
+#[test]
+fn random_fragment_concatenations_tile_the_input() {
+    for mut rng in cases() {
+        let src = random_source(&mut rng);
+        assert_tiles(&src);
+    }
+}
+
+#[test]
+fn random_byte_soup_never_panics_and_tiles() {
+    // Printable-ASCII soup with embedded quotes and slashes: inputs that
+    // are almost never valid Rust, which is exactly the point.
+    for mut rng in cases() {
+        let len = rng.gen_range(0..200);
+        let src: String =
+            (0..len).map(|_| (b' ' + rng.gen_range(0..95) as u8) as char).collect();
+        assert_tiles(&src);
+    }
+}
+
+#[test]
+fn adversarial_snippets_lex_without_panicking() {
+    let nasty = [
+        "",
+        "'",
+        "''",
+        "'''",
+        "r",
+        "r#",
+        "r#\"",
+        "b",
+        "br",
+        "br#",
+        "\"",
+        "\\\"",
+        "\"\\",
+        "'\\",
+        "/*",
+        "*/",
+        "/*/",
+        "/* /* */",
+        "//",
+        "///",
+        "//!",
+        "0x",
+        "0b",
+        "1e",
+        "1e+",
+        "1.2.3",
+        "'a'b'c",
+        "r#\"\"#r#\"\"#",
+        "🦀'🦀",
+        "\u{0}\u{1}\u{7f}",
+    ];
+    for src in nasty {
+        assert_tiles(src);
+    }
+}
+
+#[test]
+fn strings_and_comments_swallow_their_contents() {
+    // Everything between the delimiters is one token — the foundation of
+    // the "rules can't be fooled by strings/comments" guarantee.
+    let src = "\"a.unwrap() as usize\" /* x.partial_cmp(y).unwrap() */";
+    let tokens = lex(src);
+    let code: Vec<&TokenKind> =
+        tokens.iter().filter(|t| !t.is_trivia()).map(|t| &t.kind).collect();
+    assert_eq!(code.len(), 1, "only the string literal is code");
+    assert!(matches!(code[0], TokenKind::StrLit));
+    assert!(tokens.iter().any(|t| matches!(t.kind, TokenKind::Comment { .. })));
+}

@@ -85,7 +85,7 @@ impl GradientBoost {
             // Candidate thresholds: deciles of the lag feature.
             let feats: Vec<f64> = (0..n).map(|i| values[lookback + i - lag]).collect();
             let mut sorted = feats.clone();
-            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            sorted.sort_by(|a, b| a.total_cmp(b));
             for q in 1..10 {
                 let threshold = sorted[(q * (n - 1)) / 10];
                 let mut left_sum = 0.0;

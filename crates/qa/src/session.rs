@@ -13,7 +13,7 @@ use crate::error::QaError;
 use crate::intent::Intent;
 use crate::nl2sql::{generate_sql, parse_question, Lexicon};
 use easytime_db::{Database, QueryResult};
-use std::time::Instant;
+use easytime_clock::Stopwatch;
 
 /// Everything returned for one question (Figure 5, labels 2–5).
 #[derive(Debug, Clone, PartialEq)]
@@ -85,7 +85,7 @@ impl QaSession {
 
     /// Asks a question; runs the full pipeline.
     pub fn ask(&mut self, question: &str) -> Result<QaResponse, QaError> {
-        let started = Instant::now();
+        let started = Stopwatch::start();
 
         // 1–2. NL2SQL with history context. Only elliptical follow-ups
         // (questions that do not restate an intent kind, e.g. "what about
@@ -113,7 +113,7 @@ impl QaSession {
             answer,
             chart,
             table,
-            latency_ms: started.elapsed().as_secs_f64() * 1e3,
+            latency_ms: started.elapsed_ms(),
         })
     }
 }

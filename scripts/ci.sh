@@ -11,6 +11,15 @@ echo "=== test ==="
 cargo test -q --release
 
 echo "=== lint ==="
-cargo run --release -q -p easytime-lint
+# Machine-readable report for CI artifacts; the committed baseline
+# (empty: the workspace lints clean) means any *new* violation fails the
+# build. Regenerate deliberately with:
+#   cargo run -p easytime-lint -- --write-baseline scripts/lint-baseline.txt
+mkdir -p results
+cargo run --release -q -p easytime-lint -- \
+  --format json \
+  --baseline scripts/lint-baseline.txt \
+  --out results/lint.json
+cat results/lint.json
 
 echo "ci: OK"
