@@ -66,7 +66,11 @@ impl AutoEnsemble {
                 reason: format!("val_ratio {val_ratio} must be in (0, 0.5)"),
             });
         }
-        let candidates = recommender.top_k(series, k);
+        let candidates = {
+            let mut sp = easytime_obs::span("automl.recommend");
+            sp.attr("k", k);
+            recommender.top_k(series, k)
+        };
         Self::fit_with_members(&candidates, series, val_ratio, mode)
     }
 
@@ -81,6 +85,8 @@ impl AutoEnsemble {
         if method_names.is_empty() {
             return Err(AutoMlError::InvalidInput { reason: "no candidate methods".into() });
         }
+        let mut sp = easytime_obs::span("automl.ensemble_fit");
+        sp.attr("candidates", method_names.len());
         let n = series.len();
         let val_len = ((n as f64) * val_ratio).round() as usize;
         if val_len == 0 || val_len >= n {
@@ -96,6 +102,8 @@ impl AutoEnsemble {
         let mut kept: Vec<String> = Vec::new();
         let mut dropped: Vec<(String, String)> = Vec::new();
         for name in method_names {
+            let mut msp = easytime_obs::span("automl.member_train");
+            msp.attr("method", name.as_str());
             let result = (|| -> Result<Vec<f64>, AutoMlError> {
                 let spec = ModelSpec::parse(name)?;
                 let mut model = spec.build()?;
@@ -113,7 +121,16 @@ impl AutoEnsemble {
                     val_preds.push(pred);
                     kept.push(name.clone());
                 }
-                Err(e) => dropped.push((name.clone(), e.to_string())),
+                Err(e) => {
+                    easytime_obs::add("automl.members_dropped", 1);
+                    if easytime_obs::enabled() {
+                        easytime_obs::warn(
+                            "automl.ensemble",
+                            &format!("member {name} dropped: {e}"),
+                        );
+                    }
+                    dropped.push((name.clone(), e.to_string()));
+                }
             }
         }
         if kept.is_empty() {
@@ -125,14 +142,21 @@ impl AutoEnsemble {
             return Err(AutoMlError::NoUsableMethod { details });
         }
 
-        let weights = match mode {
-            WeightMode::Learned => {
-                learn_simplex_weights(&val_preds, val_actual, WEIGHT_ITERATIONS)?
+        let weights = {
+            let mut wsp = easytime_obs::span("automl.weight_fit");
+            wsp.attr("members", kept.len());
+            wsp.attr("val_len", val_len);
+            match mode {
+                WeightMode::Learned => {
+                    learn_simplex_weights(&val_preds, val_actual, WEIGHT_ITERATIONS)?
+                }
+                WeightMode::Uniform => uniform_weights(kept.len()),
             }
-            WeightMode::Uniform => uniform_weights(kept.len()),
         };
 
         // Refit the surviving members on the full series.
+        let mut rsp = easytime_obs::span("automl.refit");
+        rsp.attr("members", kept.len());
         let mut members: Vec<Box<dyn Forecaster>> = Vec::with_capacity(kept.len());
         let mut final_names = Vec::with_capacity(kept.len());
         let mut final_weights = Vec::with_capacity(kept.len());
@@ -145,9 +169,13 @@ impl AutoEnsemble {
                     final_names.push(name.clone());
                     final_weights.push(*w);
                 }
-                Err(e) => dropped.push((name.clone(), format!("refit failed: {e}"))),
+                Err(e) => {
+                    easytime_obs::add("automl.members_dropped", 1);
+                    dropped.push((name.clone(), format!("refit failed: {e}")));
+                }
             }
         }
+        drop(rsp);
         if members.is_empty() {
             return Err(AutoMlError::NoUsableMethod {
                 details: "every member failed the full-series refit".into(),
@@ -173,6 +201,9 @@ impl AutoEnsemble {
 
     /// Weighted ensemble forecast.
     pub fn forecast(&self, horizon: usize) -> Result<Vec<f64>, AutoMlError> {
+        let mut sp = easytime_obs::span("automl.forecast");
+        sp.attr("horizon", horizon);
+        sp.attr("members", self.members.len());
         let mut preds = Vec::with_capacity(self.members.len());
         for m in &self.members {
             preds.push(m.forecast(horizon)?);

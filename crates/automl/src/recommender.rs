@@ -140,6 +140,9 @@ impl Recommender {
         if corpus.is_empty() {
             return Err(AutoMlError::InvalidInput { reason: "empty pretraining corpus".into() });
         }
+        let mut sp = easytime_obs::span("automl.pretrain");
+        sp.attr("corpus", corpus.len());
+        sp.attr("methods", config.methods.len());
         let registry = MetricRegistry::standard();
         let eval_config = EvalConfig {
             methods: config.methods.clone(),
@@ -176,7 +179,11 @@ impl Recommender {
             });
         }
         let mut embedder = Embedder::new(config.embedder);
-        let embeddings = embedder.fit(corpus_series);
+        let embeddings = {
+            let mut esp = easytime_obs::span("automl.embed");
+            esp.attr("series", corpus_series.len());
+            embedder.fit(corpus_series)
+        };
         let targets: Vec<Vec<f64>> = matrix
             .scores
             .iter()
@@ -185,7 +192,11 @@ impl Recommender {
                 LabelMode::Hard => hard_labels(row),
             })
             .collect();
-        let classifier = SoftLabelClassifier::train(&embeddings, &targets, &config.classifier)?;
+        let classifier = {
+            let mut tsp = easytime_obs::span("automl.train_classifier");
+            tsp.attr("examples", embeddings.len());
+            SoftLabelClassifier::train(&embeddings, &targets, &config.classifier)?
+        };
         Ok(Recommender { embedder, classifier, methods: matrix.methods.clone() })
     }
 

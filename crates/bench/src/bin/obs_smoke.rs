@@ -1,0 +1,121 @@
+//! Traced smoke evaluation for CI.
+//!
+//! Forces tracing on, runs a small `evaluate_corpus` under a root span,
+//! flushes `results/trace.jsonl` + `results/metrics.json`, then re-reads
+//! the metrics file and validates the schema: version pin, expected stage
+//! keys, model-fit counters, and the ≥95% span coverage acceptance check.
+//! Any drift exits nonzero so `scripts/ci.sh` fails loudly.
+
+use easytime::json::Json;
+use easytime::{EvalConfig, MetricRegistry, Strategy};
+use easytime_bench::{experiment_corpus, fast_zoo};
+use easytime_eval::evaluate_corpus;
+use std::process::ExitCode;
+
+/// Stages the traced evaluation must produce (schema contract with CI).
+const EXPECTED_STAGES: [&str; 4] =
+    ["eval.corpus", "eval.evaluate", "eval.run_windows", "eval.window"];
+
+fn fail(msg: &str) -> ExitCode {
+    // lint: allow(print) — CI diagnostic output from a binary
+    eprintln!("obs_smoke: FAIL: {msg}");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    easytime::obs::set_enabled(true);
+    easytime::obs::reset();
+
+    let root_id;
+    {
+        let mut root = easytime::obs::span("smoke.run");
+        root.attr("purpose", "ci traced smoke evaluation");
+        root_id = root.id().unwrap_or(0);
+
+        let corpus = {
+            let _sp = easytime::obs::span("smoke.build_corpus");
+            experiment_corpus(1, 160, 7)
+        };
+        let config = EvalConfig {
+            methods: fast_zoo(),
+            strategy: Strategy::Fixed { horizon: 12 },
+            ..EvalConfig::default()
+        };
+        easytime::obs::manifest_set("seed", 7_u64);
+        easytime::obs::manifest_set("run", "obs_smoke");
+        let registry = MetricRegistry::standard();
+        match evaluate_corpus(&corpus, &config, &registry) {
+            Ok(records) => {
+                easytime::obs::manifest_set("records", records.len() as u64);
+            }
+            Err(e) => return fail(&format!("evaluate_corpus failed: {e}")),
+        }
+    }
+
+    let data = easytime::obs::drain();
+    let coverage = data.child_coverage(root_id);
+    if coverage < 0.95 {
+        return fail(&format!("span coverage {coverage:.3} below the 0.95 floor"));
+    }
+
+    let paths = match easytime::obs::write_files(std::path::Path::new("results"), &data) {
+        Ok(p) => p,
+        Err(e) => return fail(&format!("writing results failed: {e}")),
+    };
+
+    // Validate the flushed metrics.json from disk, exactly as a consumer
+    // would see it.
+    let text = match std::fs::read_to_string(&paths.metrics) {
+        Ok(t) => t,
+        Err(e) => return fail(&format!("reading {} failed: {e}", paths.metrics.display())),
+    };
+    let doc = match Json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => return fail(&format!("metrics.json is not valid JSON: {}", e.message)),
+    };
+    if doc.get("schema_version").and_then(Json::as_usize) != Some(1) {
+        return fail("schema_version != 1");
+    }
+    let Some(stages) = doc.get("stages") else {
+        return fail("missing \"stages\" section");
+    };
+    for name in EXPECTED_STAGES {
+        let Some(stage) = stages.get(name) else {
+            return fail(&format!("missing stage {name:?}"));
+        };
+        for field in ["count", "total_ns", "min_ns", "max_ns"] {
+            if stage.get(field).and_then(Json::as_f64).is_none() {
+                return fail(&format!("stage {name:?} missing numeric field {field:?}"));
+            }
+        }
+        if stage.get("count").and_then(Json::as_usize) == Some(0) {
+            return fail(&format!("stage {name:?} recorded zero spans"));
+        }
+    }
+    let Some(counters) = doc.get("counters") else {
+        return fail("missing \"counters\" section");
+    };
+    let Json::Object(counter_map) = counters else {
+        return fail("\"counters\" is not an object");
+    };
+    if !counter_map.keys().any(|k| k.starts_with("models.fit.")) {
+        return fail("no models.fit.* counters recorded");
+    }
+    let Some(manifest) = doc.get("manifest") else {
+        return fail("missing \"manifest\" section");
+    };
+    for key in ["seed", "run", "config_hash", "dataset_ids", "methods", "workers"] {
+        if manifest.get(key).is_none() {
+            return fail(&format!("manifest missing {key:?}"));
+        }
+    }
+
+    // lint: allow(print) — CI status output from a binary
+    println!(
+        "obs_smoke: OK (coverage {coverage:.3}, {} spans, {} counters) -> {}",
+        data.spans.len(),
+        counter_map.len(),
+        paths.metrics.display()
+    );
+    ExitCode::SUCCESS
+}

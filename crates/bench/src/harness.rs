@@ -70,6 +70,15 @@ impl Harness {
                 min_ns: min,
                 iters,
             });
+            // Mirror every measurement into the shared metrics schema so a
+            // traced run lands bench numbers in `results/metrics.json`
+            // alongside pipeline timings (one source of truth).
+            if easytime_obs::enabled() {
+                easytime_obs::gauge(&format!("bench.{name}.median_ns"), median);
+                easytime_obs::gauge(&format!("bench.{name}.min_ns"), min);
+                easytime_obs::add_labeled("bench.measured", name, 1);
+            }
+            // lint: allow(print) — the harness is a console reporter by design
             println!(
                 "{name:<40} median {:>12}  min {:>12}  ({iters} iters/sample)",
                 format_ns(median),
@@ -85,17 +94,21 @@ impl Harness {
         Group { harness: self, prefix: name.to_string() }
     }
 
-    /// Prints a summary table of everything measured.
+    /// Prints a summary table of everything measured and, when tracing is
+    /// enabled, flushes the shared metrics schema to `results/`.
     pub fn finish(self) {
         if self.results.is_empty() {
             return;
         }
+        // lint: allow(print) — the harness is a console reporter by design
         println!(
             "\n{:<40} {:>14} {:>14} {:>12}",
             "benchmark", "median", "min", "iters/sample"
         );
+        // lint: allow(print) — the harness is a console reporter by design
         println!("{}", "-".repeat(84));
         for m in &self.results {
+            // lint: allow(print) — the harness is a console reporter by design
             println!(
                 "{:<40} {:>14} {:>14} {:>12}",
                 m.name,
@@ -104,6 +117,8 @@ impl Harness {
                 m.iters
             );
         }
+        // Best-effort: a failed flush must not fail the benchmark run.
+        let _ = easytime_obs::flush_if_enabled(std::path::Path::new("results"));
     }
 }
 

@@ -146,9 +146,11 @@ pub fn print_table(header: &[&str], rows: &[Vec<String>]) {
             s.push_str(&format!("| {c:<w$} "));
         }
         s.push('|');
+        // lint: allow(print) — table rendering for experiment binaries
         println!("{s}");
     };
     line(header.iter().map(|h| h.to_string()).collect());
+    // lint: allow(print) — table rendering for experiment binaries
     println!(
         "|{}|",
         widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|")

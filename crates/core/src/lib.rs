@@ -53,7 +53,12 @@ pub use platform::EasyTime;
 
 // Re-export the vocabulary types users need at the surface.
 pub use easytime_automl::ensemble::WeightMode;
-pub use easytime_clock::Stopwatch;
+pub use easytime_clock::{ManualClock, Stopwatch};
+
+/// Observability: spans, metrics, events, and run manifests. See the
+/// README's "Observability" section; tracing is enabled by the
+/// `EASYTIME_TRACE` environment variable or [`obs::set_enabled`].
+pub use easytime_obs as obs;
 pub use easytime_automl::{AutoEnsemble, PerfMatrix, Recommender, RecommenderConfig};
 pub use easytime_data::synthetic::CorpusConfig;
 pub use easytime_data::{

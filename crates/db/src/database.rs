@@ -135,7 +135,10 @@ impl Database {
 
     /// Parses and executes any statement.
     pub fn execute(&mut self, sql: &str) -> Result<QueryResult, DbError> {
-        let stmt = parse(sql)?;
+        let stmt = {
+            let _sp = easytime_obs::span("db.parse");
+            parse(sql)?
+        };
         self.execute_statement(stmt)
     }
 
@@ -202,7 +205,11 @@ impl Database {
     /// Read-only query entry point: verifies the statement first (Figure 3's
     /// verification step) and rejects anything but `SELECT`.
     pub fn query(&self, sql: &str) -> Result<QueryResult, DbError> {
-        let stmt = crate::verify::verify_select(self, sql)?;
+        let _qsp = easytime_obs::span("db.query");
+        let stmt = {
+            let _sp = easytime_obs::span("db.verify");
+            crate::verify::verify_select(self, sql)?
+        };
         executor::execute_select(self, &stmt)
     }
 }

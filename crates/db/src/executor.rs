@@ -333,8 +333,14 @@ fn group_key(values: &[Value]) -> String {
 
 /// Executes a parsed `SELECT` against the database.
 pub fn execute_select(db: &Database, stmt: &SelectStmt) -> Result<QueryResult, DbError> {
+    let mut sp = easytime_obs::span("db.execute");
     // --- FROM / JOIN: build the joined layout and row set. ---
     let base = db.table(&stmt.from.name)?;
+    if sp.is_recording() {
+        sp.attr("table", stmt.from.name.as_str());
+        sp.attr("joins", stmt.joins.len());
+        easytime_obs::add("db.rows_scanned", base.rows.len() as u64);
+    }
     let mut layout = Layout {
         tables: vec![(
             stmt.from.effective_name().to_ascii_lowercase(),
@@ -537,6 +543,10 @@ pub fn execute_select(db: &Database, stmt: &SelectStmt) -> Result<QueryResult, D
         result_rows.truncate(limit);
     }
 
+    if sp.is_recording() {
+        sp.attr("rows", result_rows.len());
+        easytime_obs::add("db.rows_returned", result_rows.len() as u64);
+    }
     Ok(QueryResult { columns: out_columns, rows: result_rows })
 }
 

@@ -43,13 +43,28 @@ pub fn evaluate_multivariate(
         runtime_ms: 0.0,
         error: None,
     };
+    let mut sp = easytime_obs::span("eval.multivariate");
+    sp.attr("dataset", dataset_id);
+    sp.attr("method", record.method.as_str());
     match run(series, spec, config, registry) {
         Ok((scores, windows, runtime_ms)) => {
             record.scores = scores;
             record.windows = windows;
             record.runtime_ms = runtime_ms;
+            sp.attr("windows", windows);
         }
-        Err(e) => record.error = Some(e.to_string()),
+        Err(e) => {
+            // Failure diagnostics are structured events, not eprintln!
+            // (lint R11); the record still captures the message.
+            easytime_obs::add("eval.model_failures", 1);
+            if easytime_obs::enabled() {
+                easytime_obs::warn(
+                    "eval.multivariate",
+                    &format!("{dataset_id}/{} failed: {e}", record.method),
+                );
+            }
+            record.error = Some(e.to_string());
+        }
     }
     Ok(record)
 }
@@ -72,6 +87,9 @@ fn run(
     let started = Stopwatch::start();
     let mut sums: BTreeMap<String, (f64, usize)> = BTreeMap::new();
     for w in &windows {
+        let mut wsp = easytime_obs::span("eval.window");
+        wsp.attr("origin", w.origin);
+        wsp.attr("len", w.len);
         // Per-channel scaling fitted on each channel's training slice.
         let mut scalers = Vec::with_capacity(k);
         let mut scaled_channels = Vec::with_capacity(k);

@@ -139,13 +139,26 @@ pub fn evaluate(
         error: None,
     };
 
+    let mut sp = easytime_obs::span("eval.evaluate");
+    sp.attr("dataset", record.dataset_id.as_str());
+    sp.attr("method", record.method.as_str());
     match run_windows(series, spec, config, registry) {
         Ok((scores, windows, runtime_ms)) => {
             record.scores = scores;
             record.windows = windows;
             record.runtime_ms = runtime_ms;
+            sp.attr("windows", windows);
         }
-        Err(e) => record.error = Some(e.to_string()),
+        Err(e) => {
+            easytime_obs::add("eval.model_failures", 1);
+            if easytime_obs::enabled() {
+                easytime_obs::warn(
+                    "eval.pipeline",
+                    &format!("{}/{} failed: {e}", record.dataset_id, record.method),
+                );
+            }
+            record.error = Some(e.to_string());
+        }
     }
     Ok(record)
 }
@@ -165,9 +178,14 @@ fn run_windows(
     let period = series.frequency().default_period().unwrap_or(1);
     let raw = series.values();
 
+    let mut sp = easytime_obs::span("eval.run_windows");
+    sp.attr("windows", windows.len());
     let started = Stopwatch::start();
     let mut sums: BTreeMap<String, (f64, usize)> = BTreeMap::new();
     for w in &windows {
+        let mut wsp = easytime_obs::span("eval.window");
+        wsp.attr("origin", w.origin);
+        wsp.attr("len", w.len);
         // 1–2. training context and scaler (fitted on train only).
         let train_slice = &raw[..w.origin];
         let mut scaler = Scaler::new(config.scaler);
@@ -230,6 +248,22 @@ pub fn evaluate_corpus(
         config.threads
     }
     .min(jobs.len().max(1));
+
+    let mut sp = easytime_obs::span("eval.corpus");
+    sp.attr("jobs", jobs.len());
+    sp.attr("workers", workers);
+    if easytime_obs::enabled() {
+        // Run manifest: enough provenance to tie metrics.json to its run.
+        easytime_obs::manifest_set(
+            "config_hash",
+            easytime_obs::fnv1a_hex(format!("{config:?}").as_bytes()),
+        );
+        let ids: Vec<String> = datasets.iter().map(|d| d.meta.id.clone()).collect();
+        easytime_obs::manifest_set_list("dataset_ids", &ids);
+        let methods: Vec<String> = config.methods.iter().map(easytime_models::ModelSpec::name).collect();
+        easytime_obs::manifest_set_list("methods", &methods);
+        easytime_obs::manifest_set("workers", workers);
+    }
 
     let next = std::sync::atomic::AtomicUsize::new(0);
     let mut slots: Vec<Option<EvalRecord>> = vec![None; jobs.len()];

@@ -31,6 +31,10 @@
 //!   outside the `easytime-clock` helper.
 //! * **R9 pub-API docs** — every exported (`pub`) fn, struct, enum,
 //!   trait, type, const, static, or union carries a `///` doc comment.
+//! * **R11 no print macros** — no `println!` / `eprintln!` (or their
+//!   non-newline forms) in library code; diagnostics go through
+//!   `easytime-obs` events and console output belongs to `src/bin`.
+//!   `easytime-obs` itself is exempt (it is the sanctioned sink).
 //!
 //! Any rule can be waived for one statement with an escape-hatch comment
 //! carrying a mandatory justification:
@@ -74,12 +78,14 @@ pub enum Rule {
     WallClock,
     /// R9: exported items carry `///` docs.
     MissingDocs,
+    /// R11: no `println!`/`eprintln!` in library code; use `easytime-obs`.
+    PrintMacro,
     /// A malformed escape-hatch annotation.
     BadAnnotation,
 }
 
 impl Rule {
-    /// Short rule code used in diagnostics (`R1`…`R9`; `R0` for malformed
+    /// Short rule code used in diagnostics (`R1`…`R11`; `R0` for malformed
     /// annotations). `HashOrder` and `WallClock` are both facets of R8.
     pub fn code(self) -> &'static str {
         match self {
@@ -92,6 +98,7 @@ impl Rule {
             Rule::FloatEq => "R7",
             Rule::HashOrder | Rule::WallClock => "R8",
             Rule::MissingDocs => "R9",
+            Rule::PrintMacro => "R11",
             Rule::BadAnnotation => "R0",
         }
     }
@@ -109,6 +116,7 @@ impl Rule {
             Rule::HashOrder => "hash-order",
             Rule::WallClock => "wall-clock",
             Rule::MissingDocs => "missing-docs",
+            Rule::PrintMacro => "print",
             Rule::BadAnnotation => "",
         }
     }

@@ -1,4 +1,4 @@
-//! The token-level lint rules (R1, R3–R9).
+//! The token-level lint rules (R1, R3–R9, R11).
 //!
 //! Every rule here runs over a [`SourceFile`] token stream, so string
 //! literals and comments can never produce false positives, and
@@ -21,9 +21,14 @@ const LOSSY_TARGETS: [&str; 11] =
 /// Order-revealing methods on hash containers flagged by R8.
 const HASH_ITER_METHODS: [&str; 7] =
     ["iter", "iter_mut", "into_iter", "keys", "values", "values_mut", "drain"];
-/// The one file allowed to read the wall clock (R8); everything else goes
-/// through `easytime_clock::Stopwatch`.
-const CLOCK_FILE: &str = "crates/clock/src/lib.rs";
+/// The one crate allowed to read the wall clock (R8); everything else —
+/// including the `easytime-obs` span internals — goes through
+/// `easytime_clock::{Stopwatch, Clock}`.
+const CLOCK_DIR: &str = "crates/clock/src/";
+/// Console print macros flagged by R11 in library code.
+const PRINT_MACROS: [&str; 4] = ["println", "eprintln", "print", "eprint"];
+/// The observability crate is the sanctioned event/metrics sink (R11).
+const OBS_DIR: &str = "crates/obs/src/";
 
 /// Shared reporting context: applies escape-hatch annotations and collects
 /// diagnostics (including malformed-annotation reports).
@@ -60,6 +65,7 @@ pub fn lint_tokens(rel_path: &Path, class: FileClass, sf: &SourceFile<'_>) -> Ve
     let mut r = Reporter { sf, path: rel_path, diags: Vec::new() };
     let n = sf.code.len();
     let in_test = |k: usize| sf.ct(k).is_some_and(|t| sf.in_test_region(t.start));
+    let path_str = rel_path.to_string_lossy().replace('\\', "/");
 
     let hash_names = if class.is_library { hash_container_names(sf) } else { BTreeSet::new() };
 
@@ -189,10 +195,7 @@ pub fn lint_tokens(rel_path: &Path, class: FileClass, sf: &SourceFile<'_>) -> Ve
         }
 
         // ---- R8b: wall-clock reads outside the one timing helper. ----
-        if class.is_library
-            && !in_test(k)
-            && rel_path.to_string_lossy().replace('\\', "/") != CLOCK_FILE
-        {
+        if class.is_library && !in_test(k) && !path_str.starts_with(CLOCK_DIR) {
             let instant_now = sf.is_ident(k, "Instant")
                 && sf.is_punct_seq(k + 1, "::")
                 && sf.is_ident(k + 3, "now");
@@ -222,6 +225,24 @@ pub fn lint_tokens(rel_path: &Path, class: FileClass, sf: &SourceFile<'_>) -> Ve
                          (or annotate with `// lint: allow(missing-docs) — <why>`)"
                     ),
                 );
+            }
+        }
+
+        // ---- R11: no console print macros in library code; structured
+        // events go through `easytime-obs` (which is itself exempt, as
+        // are binaries, tests, benches, and examples). ----
+        if class.is_library && !in_test(k) && !path_str.starts_with(OBS_DIR) {
+            for m in PRINT_MACROS {
+                if sf.is_ident(k, m) && sf.is_punct(k + 1, '!') {
+                    r.report(
+                        Rule::PrintMacro,
+                        line,
+                        format!(
+                            "`{m}!` in library code; emit an `easytime_obs` event (or move the \
+                             output to `src/bin`, or annotate with `// lint: allow(print) — <why>`)"
+                        ),
+                    );
+                }
             }
         }
     }

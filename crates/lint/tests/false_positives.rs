@@ -95,6 +95,74 @@ fn r6_does_not_fire_inside_strings_or_comments() {
 }
 
 #[test]
+fn r8_allows_the_clock_crate_but_not_obs_internals() {
+    // Non-`pub` so R9 (missing docs) stays out of the picture.
+    let src = "fn origin() -> std::time::Instant { std::time::Instant::now() }\n";
+    // Anywhere under crates/clock/src/ is the sanctioned wall-clock reader.
+    assert!(lint_rust_source(Path::new("crates/clock/src/lib.rs"), src).is_empty());
+    assert!(lint_rust_source(Path::new("crates/clock/src/manual.rs"), src).is_empty());
+    // The obs crate gets no such pass: its span internals must route
+    // through easytime-clock.
+    let diags = lint_rust_source(Path::new("crates/obs/src/recorder.rs"), src);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].rule, Rule::WallClock);
+}
+
+#[test]
+fn r8_does_not_fire_on_clock_mediated_timing() {
+    // The pattern obs span internals actually use — Stopwatch/Clock from
+    // easytime-clock — must stay clean in any library file.
+    let src = "use easytime_clock::{Clock, Stopwatch};\n\
+               fn t(clock: &Clock) -> u64 { clock.now_nanos() }\n\
+               fn sw() -> f64 { Stopwatch::start().elapsed_ms() }\n";
+    assert!(lint_rust_source(Path::new("crates/obs/src/recorder.rs"), src).is_empty());
+    assert!(lint_rust_source(lib(), src).is_empty());
+}
+
+#[test]
+fn r11_flags_print_macros_in_library_code_only() {
+    let src = "fn f() { println!(\"status\"); }\n";
+    let diags = lint_rust_source(lib(), src);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].rule, Rule::PrintMacro);
+
+    let e = "fn f(x: u32) { eprintln!(\"bad {x}\"); }\n";
+    assert_eq!(lint_rust_source(lib(), e)[0].rule, Rule::PrintMacro);
+
+    // Exempt locations: the obs crate itself, binaries, tests, examples.
+    for path in [
+        "crates/obs/src/lib.rs",
+        "crates/demo/src/bin/tool.rs",
+        "crates/demo/tests/integration.rs",
+        "crates/demo/examples/quickstart.rs",
+    ] {
+        assert!(
+            lint_rust_source(Path::new(path), src).is_empty(),
+            "R11 should not fire in {path}"
+        );
+    }
+}
+
+#[test]
+fn r11_escape_hatch_and_decoys() {
+    let annotated = "fn f() {\n\
+                     \x20   // lint: allow(print) — progress output for operators\n\
+                     \x20   println!(\"ok\");\n\
+                     }\n";
+    assert!(lint_rust_source(lib(), annotated).is_empty());
+
+    // Print macros inside strings and comments never fire.
+    let decoys = [
+        "fn f() -> &'static str { \"println!(hello)\" }\n",
+        "fn f() {} // eprintln!(\"in a comment\")\n",
+        "fn f() {} /* print!(\"block\") */\n",
+    ];
+    for src in decoys {
+        assert!(lint_rust_source(lib(), src).is_empty(), "false positive in {src:?}");
+    }
+}
+
+#[test]
 fn lifetimes_are_not_mistaken_for_char_literals() {
     // `'a` must lex as a lifetime, not open a character literal that
     // swallows the rest of the file (which would hide the real unwrap).

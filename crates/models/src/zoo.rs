@@ -18,6 +18,34 @@ use crate::neural::{Mlp, Rnn, TrainConfig};
 use crate::smoothing::{Holt, HoltWinters, Ses};
 use crate::theta::Theta;
 use crate::{Forecaster, ModelError, Result};
+use easytime_data::TimeSeries;
+
+/// Transparent forecaster wrapper that counts fit/forecast calls per
+/// method name. Only constructed by [`ModelSpec::build`] when tracing is
+/// enabled, so disabled runs never pay for the extra indirection.
+struct Counted {
+    inner: Box<dyn Forecaster>,
+}
+
+impl Forecaster for Counted {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn fit(&mut self, train: &TimeSeries) -> Result<()> {
+        easytime_obs::add_labeled("models.fit", self.inner.name(), 1);
+        self.inner.fit(train)
+    }
+
+    fn forecast(&self, horizon: usize) -> Result<Vec<f64>> {
+        easytime_obs::add_labeled("models.forecast", self.inner.name(), 1);
+        self.inner.forecast(horizon)
+    }
+
+    fn min_train_len(&self) -> usize {
+        self.inner.min_train_len()
+    }
+}
 
 /// Method family, mirroring the paper's "statistical learning, machine
 /// learning, and deep learning methods" taxonomy.
@@ -197,7 +225,21 @@ impl ModelSpec {
     }
 
     /// Builds the forecaster this spec describes.
+    ///
+    /// When tracing is on ([`easytime_obs::enabled`]) the forecaster is
+    /// wrapped with per-method `models.fit.*` / `models.forecast.*`
+    /// counters; the untraced path returns the bare model, so the hot loop
+    /// pays nothing for the instrumentation.
     pub fn build(&self) -> Result<Box<dyn Forecaster>> {
+        let model = self.build_bare()?;
+        Ok(if easytime_obs::enabled() {
+            Box::new(Counted { inner: model })
+        } else {
+            model
+        })
+    }
+
+    fn build_bare(&self) -> Result<Box<dyn Forecaster>> {
         Ok(match self.clone() {
             ModelSpec::Naive => Box::new(Naive::new()),
             ModelSpec::SeasonalNaive(p) => Box::new(SeasonalNaive::new(p)),

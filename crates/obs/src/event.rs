@@ -1,0 +1,45 @@
+//! Structured log events — the replacement for ad-hoc `eprintln!`.
+
+/// Event severity, ordered from least to most severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Verbose diagnostics.
+    Debug,
+    /// Normal progress information.
+    Info,
+    /// Something degraded but handled (a dropped ensemble member, a model
+    /// failure captured in a record).
+    Warn,
+    /// An operation failed outright.
+    Error,
+}
+
+impl Level {
+    /// Lower-case name used in JSON output.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+}
+
+/// A recorded event as it appears in `trace.jsonl`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventRecord {
+    /// Global sequence number; trace order interleaves events with span
+    /// starts.
+    pub seq: u64,
+    /// Timestamp in nanoseconds since the recorder clock's origin.
+    pub t_ns: u64,
+    /// Id of the innermost open span on the emitting thread, or 0.
+    pub span: u64,
+    /// Severity.
+    pub level: Level,
+    /// Component that emitted the event (`eval.pipeline`, `automl.ensemble`).
+    pub target: String,
+    /// Human-readable message.
+    pub message: String,
+}

@@ -1,0 +1,98 @@
+//! Minimal deterministic JSON *writer*.
+//!
+//! `easytime-obs` sits below `easytime` in the dependency graph, so it
+//! cannot reuse the facade's full `Json` value type; sinks only ever
+//! serialize, so a few append-to-`String` helpers are all that's needed.
+//! Output is deterministic by construction: map keys come from `BTreeMap`
+//! iteration and floats use Rust's shortest-roundtrip formatting.
+
+use crate::span::AttrValue;
+
+/// Appends `s` as a JSON string literal (quoted, escaped).
+pub(crate) fn push_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends `v` as a JSON number, or `null` for non-finite values (JSON has
+/// no NaN/inf; `null` keeps the slot visible rather than dropping it).
+pub(crate) fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Appends an [`AttrValue`] as a JSON value.
+pub(crate) fn push_attr(out: &mut String, v: &AttrValue) {
+    match v {
+        AttrValue::Str(s) => push_str(out, s),
+        AttrValue::Int(i) => out.push_str(&format!("{i}")),
+        AttrValue::UInt(u) => out.push_str(&format!("{u}")),
+        AttrValue::Float(f) => push_f64(out, *f),
+        AttrValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        AttrValue::List(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                push_str(out, item);
+            }
+            out.push(']');
+        }
+    }
+}
+
+/// 64-bit FNV-1a hash of `bytes`, as 16 lower-case hex digits — the
+/// workspace's config-hash format for run manifests.
+pub fn fnv1a_hex(bytes: &[u8]) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{hash:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut out = String::new();
+        push_str(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut out = String::new();
+        push_f64(&mut out, f64::NAN);
+        out.push(' ');
+        push_f64(&mut out, 2.5);
+        assert_eq!(out, "null 2.5");
+    }
+
+    #[test]
+    fn fnv1a_is_stable() {
+        assert_eq!(fnv1a_hex(b""), "cbf29ce484222325");
+        assert_eq!(fnv1a_hex(b"easytime"), fnv1a_hex(b"easytime"));
+        assert_ne!(fnv1a_hex(b"a"), fnv1a_hex(b"b"));
+    }
+}

@@ -1,0 +1,187 @@
+//! Observability for the EasyTime workspace: hierarchical spans, metrics,
+//! structured events, and machine-readable run manifests.
+//!
+//! The paper's reporting layer promises "logging + visualization" for every
+//! evaluation run; this crate is the substrate that makes those numbers
+//! trustworthy. Every stage of the pipeline — data prep, model fit,
+//! forecasting, metric computation, SQL execution — reports through one
+//! schema, so `results/trace.jsonl` and `results/metrics.json` are the
+//! single source of truth for timings and counts.
+//!
+//! ## Design
+//!
+//! * **Spans** are RAII guards ([`SpanGuard`]) built on
+//!   [`easytime_clock::Stopwatch`] semantics: creating one records a start
+//!   time and a parent/child relationship (per-thread span stack); dropping
+//!   it records the duration. Records land in *per-thread* collectors that
+//!   are merged at flush, so the `std::thread::scope` fan-out in
+//!   `evaluate_corpus` never contends on a global lock.
+//! * **Metrics** are monotonic counters, last-write-wins gauges, and
+//!   fixed-bucket [`Histogram`]s. Non-finite samples (NaN, ±inf) go to the
+//!   histogram's overflow bucket — consistent with the workspace's R6 NaN
+//!   policy of never letting NaN silently vanish.
+//! * **Events** are structured log lines (level, target, message) that
+//!   replace ad-hoc `eprintln!` diagnostics; lint rule R11 bans the latter
+//!   in library code.
+//! * **Determinism** (policy R8): all timestamps flow through
+//!   [`easytime_clock::Clock`], never a direct `Instant::now()`. Tests
+//!   install a [`easytime_clock::ManualClock`] via [`install_clock`] and get
+//!   bit-identical output across runs; sinks emit in sorted order.
+//!
+//! ## Overhead gating
+//!
+//! Tracing is off unless the `EASYTIME_TRACE` environment variable is set
+//! to a value other than `0`/`false` (or [`set_enabled`] is called). When
+//! disabled, every entry point returns immediately without allocating —
+//! [`span`] hands back an inert guard and counters are skipped — so
+//! instrumented hot loops pay a single atomic load.
+//!
+//! ```
+//! easytime_obs::set_enabled(true);
+//! {
+//!     let mut sp = easytime_obs::span("demo.stage");
+//!     sp.attr("items", 3_u64);
+//!     easytime_obs::add("demo.widgets", 3);
+//! }
+//! let data = easytime_obs::drain();
+//! assert_eq!(data.spans.len(), 1);
+//! easytime_obs::set_enabled(false);
+//! ```
+
+mod event;
+mod json;
+mod metrics;
+mod recorder;
+mod sink;
+mod span;
+
+pub use event::{EventRecord, Level};
+pub use json::fnv1a_hex;
+pub use metrics::{Histogram, DEFAULT_LATENCY_BOUNDS_MS};
+pub use sink::{render_metrics_json, render_trace_jsonl, write_files, FlushPaths, TraceData};
+pub use span::{AttrValue, SpanGuard, SpanRecord};
+
+use easytime_clock::Clock;
+use std::path::Path;
+
+/// True when tracing is currently enabled.
+///
+/// This is the no-op fast path's only cost: one `OnceLock` read and one
+/// relaxed atomic load.
+pub fn enabled() -> bool {
+    recorder::enabled()
+}
+
+/// Turns tracing on or off programmatically, overriding `EASYTIME_TRACE`.
+pub fn set_enabled(on: bool) {
+    recorder::set_enabled(on);
+}
+
+/// Installs the clock all subsequent records read their timestamps from.
+///
+/// Tests pass `ManualClock::clock()` here to make span durations exact;
+/// production code never needs to call this (the default is the system
+/// monotonic clock).
+pub fn install_clock(clock: Clock) {
+    recorder::install_clock(clock);
+}
+
+/// Opens a span named `name`, parented to the innermost open span on this
+/// thread. The span closes (and its duration is recorded) when the
+/// returned guard drops. Inert and allocation-free when tracing is off.
+pub fn span(name: &str) -> SpanGuard {
+    recorder::span(name)
+}
+
+/// Increments the monotonic counter `name` by `delta`.
+pub fn add(name: &str, delta: u64) {
+    recorder::add(name, delta);
+}
+
+/// Increments the counter `name.label` by `delta` — the labeled form used
+/// for per-model fit/predict counts (`models.fit.naive`, …).
+pub fn add_labeled(name: &str, label: &str, delta: u64) {
+    recorder::add_labeled(name, label, delta);
+}
+
+/// Sets gauge `name` to `value` (last write wins).
+pub fn gauge(name: &str, value: f64) {
+    recorder::gauge(name, value);
+}
+
+/// Records `value` into histogram `name` using
+/// [`DEFAULT_LATENCY_BOUNDS_MS`].
+pub fn observe(name: &str, value: f64) {
+    recorder::observe(name, metrics::DEFAULT_LATENCY_BOUNDS_MS, value);
+}
+
+/// Records `value` into histogram `name` with explicit bucket upper
+/// `bounds` (ascending). The bounds passed on the histogram's first sample
+/// win; later calls with different bounds still record into the existing
+/// buckets.
+pub fn observe_with(name: &str, bounds: &[f64], value: f64) {
+    recorder::observe(name, bounds, value);
+}
+
+/// Records a structured event at `level`, attached to the innermost open
+/// span on this thread.
+pub fn event(level: Level, target: &str, message: &str) {
+    recorder::event(level, target, message);
+}
+
+/// [`event`] at [`Level::Warn`] — the replacement for diagnostic
+/// `eprintln!` in library code.
+pub fn warn(target: &str, message: &str) {
+    recorder::event(Level::Warn, target, message);
+}
+
+/// [`event`] at [`Level::Info`].
+pub fn info(target: &str, message: &str) {
+    recorder::event(Level::Info, target, message);
+}
+
+/// Sets a run-manifest entry (config hash, seed, dataset count, …).
+/// Manifest entries appear under `"manifest"` in `metrics.json`.
+pub fn manifest_set(key: &str, value: impl Into<AttrValue>) {
+    if enabled() {
+        recorder::manifest_set(key, value.into());
+    }
+}
+
+/// Sets a run-manifest entry holding a list of strings (dataset ids,
+/// method names, …).
+pub fn manifest_set_list(key: &str, values: &[String]) {
+    if enabled() {
+        recorder::manifest_set(key, AttrValue::List(values.to_vec()));
+    }
+}
+
+/// Takes everything recorded so far — spans, events, metrics, manifest —
+/// leaving the recorder empty but registered threads intact. Spans and
+/// events come back sorted by sequence number (start order).
+pub fn drain() -> TraceData {
+    recorder::drain()
+}
+
+/// Clears all recorded data *and* resets sequence/span-id counters and the
+/// manifest, so a subsequent identical workload produces byte-identical
+/// output. Intended for tests.
+pub fn reset() {
+    recorder::reset();
+}
+
+/// Drains and writes `trace.jsonl` + `metrics.json` under `dir`
+/// (creating it if needed).
+pub fn flush(dir: &Path) -> std::io::Result<FlushPaths> {
+    let data = drain();
+    sink::write_files(dir, &data)
+}
+
+/// [`flush`], but a silent no-op when tracing is disabled.
+pub fn flush_if_enabled(dir: &Path) -> std::io::Result<Option<FlushPaths>> {
+    if enabled() {
+        flush(dir).map(Some)
+    } else {
+        Ok(None)
+    }
+}

@@ -1,0 +1,193 @@
+//! Fixed-bucket histograms.
+//!
+//! Bucket assignment follows the workspace R6 NaN policy: a sample must
+//! never silently vanish, so NaN and ±inf samples land in the overflow
+//! bucket (alongside finite samples above the last bound) instead of being
+//! dropped. `count` therefore always equals the number of `record` calls.
+
+/// Default bucket upper bounds for latency histograms, in milliseconds:
+/// 1µs … 10s in decade steps.
+pub const DEFAULT_LATENCY_BOUNDS_MS: &[f64] =
+    &[0.001, 0.01, 0.1, 1.0, 10.0, 100.0, 1_000.0, 10_000.0];
+
+/// A fixed-bucket histogram with an explicit overflow bucket.
+///
+/// Bucket `i` counts samples `v` with `v <= bounds[i]` (and
+/// `v > bounds[i-1]` for `i > 0`). Samples above the last bound, NaN, and
+/// ±inf are counted in [`Histogram::overflow`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    overflow: u64,
+    total: u64,
+    sum_finite: f64,
+}
+
+impl Histogram {
+    /// A histogram over ascending upper `bounds`. Bounds are sorted and
+    /// non-finite entries removed, so construction cannot produce a
+    /// malformed bucket layout.
+    pub fn new(bounds: &[f64]) -> Histogram {
+        let mut clean: Vec<f64> = bounds.iter().copied().filter(|b| b.is_finite()).collect();
+        clean.sort_by(f64::total_cmp);
+        clean.dedup_by(|a, b| a.total_cmp(b).is_eq());
+        let n = clean.len();
+        Histogram { bounds: clean, counts: vec![0; n], overflow: 0, total: 0, sum_finite: 0.0 }
+    }
+
+    /// Index of the bucket `v` falls into, or `None` for the overflow
+    /// bucket (above the last bound, NaN, or ±inf).
+    pub fn bucket_index(&self, v: f64) -> Option<usize> {
+        if !v.is_finite() {
+            return None;
+        }
+        self.bounds.iter().position(|&b| v <= b)
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: f64) {
+        self.total += 1;
+        if v.is_finite() {
+            self.sum_finite += v;
+        }
+        match self.bucket_index(v) {
+            Some(i) => self.counts[i] += 1,
+            None => self.overflow += 1,
+        }
+    }
+
+    /// Folds another histogram into this one. When the bucket layouts
+    /// match, counts merge elementwise; otherwise the other histogram's
+    /// bucketed samples are preserved in this one's overflow bucket (the
+    /// totals stay exact, only the placement degrades).
+    pub fn merge(&mut self, other: &Histogram) {
+        self.total += other.total;
+        self.sum_finite += other.sum_finite;
+        if self.bounds == other.bounds {
+            for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+                *c += o;
+            }
+            self.overflow += other.overflow;
+        } else {
+            let bucketed: u64 = other.counts.iter().sum();
+            self.overflow += bucketed + other.overflow;
+        }
+    }
+
+    /// Bucket upper bounds, ascending.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket sample counts, aligned with [`Histogram::bounds`].
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Samples above the last bound plus all non-finite samples.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total number of recorded samples (bucketed + overflow).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of the finite samples (non-finite samples are counted but not
+    /// summed).
+    pub fn sum_finite(&self) -> f64 {
+        self.sum_finite
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundary_samples_land_in_the_lower_bucket() {
+        let mut h = Histogram::new(&[1.0, 10.0, 100.0]);
+        h.record(1.0); // exactly on a bound → that bucket
+        h.record(1.0000001);
+        h.record(10.0);
+        h.record(100.0);
+        assert_eq!(h.counts(), &[1, 2, 1]);
+        assert_eq!(h.overflow(), 0);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn samples_above_last_bound_overflow() {
+        let mut h = Histogram::new(&[1.0, 10.0]);
+        h.record(10.5);
+        h.record(1e12);
+        assert_eq!(h.counts(), &[0, 0]);
+        assert_eq!(h.overflow(), 2);
+    }
+
+    #[test]
+    fn non_finite_samples_route_to_overflow_not_dropped() {
+        // R6 policy: NaN must never silently vanish.
+        let mut h = Histogram::new(&[1.0, 10.0]);
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        h.record(f64::NEG_INFINITY);
+        h.record(0.5);
+        assert_eq!(h.overflow(), 3);
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.counts(), &[1, 0]);
+        // Only the finite sample contributes to the sum.
+        assert!((h.sum_finite() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_and_zero_samples_fall_in_the_first_bucket() {
+        let mut h = Histogram::new(&[1.0, 10.0]);
+        h.record(-5.0);
+        h.record(0.0);
+        assert_eq!(h.counts(), &[2, 0]);
+    }
+
+    #[test]
+    fn bucket_index_matches_record() {
+        let h = Histogram::new(&[0.5, 5.0]);
+        assert_eq!(h.bucket_index(0.1), Some(0));
+        assert_eq!(h.bucket_index(0.5), Some(0));
+        assert_eq!(h.bucket_index(3.0), Some(1));
+        assert_eq!(h.bucket_index(7.0), None);
+        assert_eq!(h.bucket_index(f64::NAN), None);
+        assert_eq!(h.bucket_index(f64::INFINITY), None);
+    }
+
+    #[test]
+    fn unsorted_bounds_are_normalized() {
+        let h = Histogram::new(&[10.0, 1.0, f64::NAN, 1.0]);
+        assert_eq!(h.bounds(), &[1.0, 10.0]);
+    }
+
+    #[test]
+    fn merge_with_same_layout_is_elementwise() {
+        let mut a = Histogram::new(&[1.0, 10.0]);
+        let mut b = Histogram::new(&[1.0, 10.0]);
+        a.record(0.5);
+        b.record(5.0);
+        b.record(f64::NAN);
+        a.merge(&b);
+        assert_eq!(a.counts(), &[1, 1]);
+        assert_eq!(a.overflow(), 1);
+        assert_eq!(a.total(), 3);
+    }
+
+    #[test]
+    fn merge_with_different_layout_preserves_totals() {
+        let mut a = Histogram::new(&[1.0]);
+        let mut b = Histogram::new(&[2.0]);
+        a.record(0.5);
+        b.record(1.5);
+        a.merge(&b);
+        assert_eq!(a.total(), 2);
+        assert_eq!(a.counts().iter().sum::<u64>() + a.overflow(), 2);
+    }
+}

@@ -1,0 +1,284 @@
+//! The global recorder: enabled gate, clock, per-thread collectors.
+//!
+//! Layout: one global [`Recorder`] holds the enabled flag, the installed
+//! [`Clock`], global sequence/span-id counters, and a registry of
+//! per-thread sinks. Each thread lazily registers one `Arc<Mutex<ThreadSink>>`
+//! and caches it in a thread-local, so the steady-state cost of recording
+//! is one uncontended mutex lock — the registry lock is only taken on
+//! first use per thread and at drain. An epoch counter invalidates the
+//! thread-local caches when the clock is swapped or the recorder is reset.
+
+use crate::event::{EventRecord, Level};
+use crate::metrics::Histogram;
+use crate::sink::TraceData;
+use crate::span::{ActiveSpan, AttrValue, SpanGuard, SpanRecord};
+use easytime_clock::Clock;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// Everything one thread records before the merge at drain time.
+#[derive(Debug, Default)]
+struct ThreadSink {
+    spans: Vec<SpanRecord>,
+    events: Vec<EventRecord>,
+    counters: BTreeMap<String, u64>,
+    /// Gauge values tagged with the global sequence number of the write,
+    /// so the merge can apply last-write-wins across threads.
+    gauges: BTreeMap<String, (u64, f64)>,
+    histograms: BTreeMap<String, Histogram>,
+    /// Ids of this thread's currently open spans, innermost last.
+    stack: Vec<u64>,
+}
+
+struct Recorder {
+    enabled: AtomicBool,
+    /// Bumped by [`install_clock`] / [`reset`] to invalidate thread-locals.
+    epoch: AtomicU64,
+    clock: Mutex<Clock>,
+    seq: AtomicU64,
+    next_span_id: AtomicU64,
+    sinks: Mutex<Vec<Arc<Mutex<ThreadSink>>>>,
+    manifest: Mutex<BTreeMap<String, AttrValue>>,
+}
+
+impl Recorder {
+    fn from_env() -> Recorder {
+        let on = match std::env::var("EASYTIME_TRACE") {
+            Ok(v) => !matches!(v.as_str(), "" | "0" | "false" | "off"),
+            Err(_) => false,
+        };
+        Recorder {
+            enabled: AtomicBool::new(on),
+            epoch: AtomicU64::new(0),
+            clock: Mutex::new(Clock::system()),
+            seq: AtomicU64::new(0),
+            next_span_id: AtomicU64::new(1),
+            sinks: Mutex::new(Vec::new()),
+            manifest: Mutex::new(BTreeMap::new()),
+        }
+    }
+}
+
+static RECORDER: OnceLock<Recorder> = OnceLock::new();
+
+fn recorder() -> &'static Recorder {
+    RECORDER.get_or_init(Recorder::from_env)
+}
+
+/// Poison-recovering lock: a panicked recorder thread must not disable
+/// observability for everyone else.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Per-thread cache of the registered sink and the clock snapshot.
+struct Local {
+    epoch: u64,
+    clock: Clock,
+    sink: Arc<Mutex<ThreadSink>>,
+}
+
+thread_local! {
+    static LOCAL: RefCell<Option<Local>> = const { RefCell::new(None) };
+}
+
+/// Runs `f` with this thread's sink and clock, (re)registering if the
+/// cache is missing or stale.
+fn with_local<R>(r: &'static Recorder, f: impl FnOnce(&Clock, &Mutex<ThreadSink>) -> R) -> R {
+    LOCAL.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        let epoch = r.epoch.load(Ordering::Acquire);
+        let stale = match slot.as_ref() {
+            Some(local) => local.epoch != epoch,
+            None => true,
+        };
+        if stale {
+            let sink = Arc::new(Mutex::new(ThreadSink::default()));
+            lock(&r.sinks).push(Arc::clone(&sink));
+            *slot = Some(Local { epoch, clock: lock(&r.clock).clone(), sink });
+        }
+        match slot.as_ref() {
+            Some(local) => f(&local.clock, &local.sink),
+            // Unreachable: the slot was just filled above.
+            None => f(&Clock::system(), &Mutex::new(ThreadSink::default())),
+        }
+    })
+}
+
+pub(crate) fn enabled() -> bool {
+    recorder().enabled.load(Ordering::Relaxed)
+}
+
+pub(crate) fn set_enabled(on: bool) {
+    recorder().enabled.store(on, Ordering::Relaxed);
+}
+
+pub(crate) fn install_clock(clock: Clock) {
+    let r = recorder();
+    *lock(&r.clock) = clock;
+    r.epoch.fetch_add(1, Ordering::AcqRel);
+}
+
+pub(crate) fn span(name: &str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { active: None };
+    }
+    let r = recorder();
+    let id = r.next_span_id.fetch_add(1, Ordering::Relaxed);
+    let seq = r.seq.fetch_add(1, Ordering::Relaxed);
+    with_local(r, |clock, sink| {
+        let start_ns = clock.now_nanos();
+        let mut sink = lock(sink);
+        let parent = sink.stack.last().copied().unwrap_or(0);
+        sink.stack.push(id);
+        SpanGuard {
+            active: Some(ActiveSpan {
+                id,
+                parent,
+                seq,
+                name: name.to_string(),
+                start_ns,
+                attrs: Vec::new(),
+            }),
+        }
+    })
+}
+
+pub(crate) fn finish_span(active: ActiveSpan) {
+    let r = recorder();
+    with_local(r, |clock, sink| {
+        let end_ns = clock.now_nanos();
+        let mut sink = lock(sink);
+        // Pop our id; tolerate out-of-order drops and epoch resets.
+        if let Some(pos) = sink.stack.iter().rposition(|&id| id == active.id) {
+            let _ = sink.stack.remove(pos);
+        }
+        sink.spans.push(SpanRecord {
+            id: active.id,
+            parent: active.parent,
+            seq: active.seq,
+            name: active.name,
+            start_ns: active.start_ns,
+            dur_ns: end_ns.saturating_sub(active.start_ns),
+            attrs: active.attrs,
+        });
+    });
+}
+
+pub(crate) fn add(name: &str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    with_local(recorder(), |_clock, sink| {
+        let mut sink = lock(sink);
+        *sink.counters.entry(name.to_string()).or_insert(0) += delta;
+    });
+}
+
+pub(crate) fn add_labeled(name: &str, label: &str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    add(&format!("{name}.{label}"), delta);
+}
+
+pub(crate) fn gauge(name: &str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    let r = recorder();
+    let seq = r.seq.fetch_add(1, Ordering::Relaxed);
+    with_local(r, |_clock, sink| {
+        let mut sink = lock(sink);
+        let _ = sink.gauges.insert(name.to_string(), (seq, value));
+    });
+}
+
+pub(crate) fn observe(name: &str, bounds: &[f64], value: f64) {
+    if !enabled() {
+        return;
+    }
+    with_local(recorder(), |_clock, sink| {
+        let mut sink = lock(sink);
+        sink.histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(bounds))
+            .record(value);
+    });
+}
+
+pub(crate) fn event(level: Level, target: &str, message: &str) {
+    if !enabled() {
+        return;
+    }
+    let r = recorder();
+    let seq = r.seq.fetch_add(1, Ordering::Relaxed);
+    with_local(r, |clock, sink| {
+        let t_ns = clock.now_nanos();
+        let mut sink = lock(sink);
+        let span = sink.stack.last().copied().unwrap_or(0);
+        sink.events.push(EventRecord {
+            seq,
+            t_ns,
+            span,
+            level,
+            target: target.to_string(),
+            message: message.to_string(),
+        });
+    });
+}
+
+pub(crate) fn manifest_set(key: &str, value: AttrValue) {
+    let r = recorder();
+    let _ = lock(&r.manifest).insert(key.to_string(), value);
+}
+
+pub(crate) fn drain() -> TraceData {
+    let r = recorder();
+    let mut data = TraceData::default();
+    let sinks: Vec<Arc<Mutex<ThreadSink>>> = lock(&r.sinks).clone();
+    // Gauges carry their write seq until the cross-thread merge resolves
+    // last-write-wins.
+    let mut gauge_seqs: BTreeMap<String, (u64, f64)> = BTreeMap::new();
+    for sink in &sinks {
+        let mut sink = lock(sink);
+        data.spans.append(&mut sink.spans);
+        data.events.append(&mut sink.events);
+        for (name, count) in std::mem::take(&mut sink.counters) {
+            *data.counters.entry(name).or_insert(0) += count;
+        }
+        for (name, (seq, value)) in std::mem::take(&mut sink.gauges) {
+            match gauge_seqs.get(&name) {
+                Some((existing, _)) if *existing >= seq => {}
+                _ => {
+                    let _ = gauge_seqs.insert(name, (seq, value));
+                }
+            }
+        }
+        for (name, hist) in std::mem::take(&mut sink.histograms) {
+            match data.histograms.get_mut(&name) {
+                Some(existing) => existing.merge(&hist),
+                None => {
+                    let _ = data.histograms.insert(name, hist);
+                }
+            }
+        }
+    }
+    data.gauges = gauge_seqs.into_iter().map(|(name, (_, value))| (name, value)).collect();
+    data.spans.sort_by_key(|s| s.seq);
+    data.events.sort_by_key(|e| e.seq);
+    data.manifest = std::mem::take(&mut *lock(&r.manifest));
+    data
+}
+
+pub(crate) fn reset() {
+    let r = recorder();
+    let _ = drain();
+    lock(&r.sinks).clear();
+    lock(&r.manifest).clear();
+    r.seq.store(0, Ordering::Relaxed);
+    r.next_span_id.store(1, Ordering::Relaxed);
+    r.epoch.fetch_add(1, Ordering::AcqRel);
+}

@@ -1,0 +1,131 @@
+//! Span guards, span records, and attribute values.
+
+use crate::recorder;
+
+/// A typed attribute value attached to spans and manifest entries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// A string value.
+    Str(String),
+    /// A signed integer value.
+    Int(i64),
+    /// An unsigned integer value (counts, sizes).
+    UInt(u64),
+    /// A floating-point value; non-finite values serialize as JSON `null`.
+    Float(f64),
+    /// A boolean value.
+    Bool(bool),
+    /// A list of strings (dataset ids, method names).
+    List(Vec<String>),
+}
+
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> AttrValue {
+        AttrValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for AttrValue {
+    fn from(v: String) -> AttrValue {
+        AttrValue::Str(v)
+    }
+}
+
+impl From<i64> for AttrValue {
+    fn from(v: i64) -> AttrValue {
+        AttrValue::Int(v)
+    }
+}
+
+impl From<u64> for AttrValue {
+    fn from(v: u64) -> AttrValue {
+        AttrValue::UInt(v)
+    }
+}
+
+impl From<usize> for AttrValue {
+    fn from(v: usize) -> AttrValue {
+        AttrValue::UInt(u64::try_from(v).unwrap_or(u64::MAX))
+    }
+}
+
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> AttrValue {
+        AttrValue::Float(v)
+    }
+}
+
+impl From<bool> for AttrValue {
+    fn from(v: bool) -> AttrValue {
+        AttrValue::Bool(v)
+    }
+}
+
+/// A finished span as it appears in `trace.jsonl`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Unique span id (1-based; 0 is reserved for "no parent").
+    pub id: u64,
+    /// Id of the enclosing span at creation time, or 0 for a root span.
+    pub parent: u64,
+    /// Global sequence number assigned when the span *started*; sinks sort
+    /// by this, so trace order is span start order.
+    pub seq: u64,
+    /// Span name (`eval.window`, `qa.nl2sql`, …).
+    pub name: String,
+    /// Start time in nanoseconds since the recorder clock's origin.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Attributes set through [`SpanGuard::attr`], in insertion order.
+    pub attrs: Vec<(String, AttrValue)>,
+}
+
+/// Internal state of a live span.
+#[derive(Debug)]
+pub(crate) struct ActiveSpan {
+    pub(crate) id: u64,
+    pub(crate) parent: u64,
+    pub(crate) seq: u64,
+    pub(crate) name: String,
+    pub(crate) start_ns: u64,
+    pub(crate) attrs: Vec<(String, AttrValue)>,
+}
+
+/// RAII guard for an open span: records the span's duration when dropped.
+///
+/// When tracing is disabled the guard is inert — carrying it around costs
+/// nothing and [`SpanGuard::attr`] never evaluates its conversion.
+#[derive(Debug)]
+pub struct SpanGuard {
+    pub(crate) active: Option<ActiveSpan>,
+}
+
+impl SpanGuard {
+    /// Attaches an attribute to the span. The value conversion only runs
+    /// when the span is actually recording.
+    pub fn attr(&mut self, key: &str, value: impl Into<AttrValue>) {
+        if let Some(active) = &mut self.active {
+            active.attrs.push((key.to_string(), value.into()));
+        }
+    }
+
+    /// True when this guard is recording (tracing was enabled at creation).
+    pub fn is_recording(&self) -> bool {
+        self.active.is_some()
+    }
+
+    /// The span's id, or `None` when the guard is inert. Lets callers
+    /// correlate a root span with [`crate::TraceData::child_coverage`].
+    pub fn id(&self) -> Option<u64> {
+        self.active.as_ref().map(|a| a.id)
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(active) = self.active.take() {
+            recorder::finish_span(active);
+        }
+    }
+}

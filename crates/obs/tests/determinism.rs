@@ -1,0 +1,174 @@
+//! Determinism of the observability layer under a [`ManualClock`].
+//!
+//! The recorder is process-global, so every test here serializes on one
+//! mutex, resets the recorder, and installs a fresh manual clock before
+//! recording anything.
+
+use easytime_clock::ManualClock;
+use easytime_obs::{render_metrics_json, render_trace_jsonl, TraceData};
+use std::sync::Mutex;
+
+/// Serializes tests that touch the global recorder.
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+fn with_recorder<R>(f: impl FnOnce(&ManualClock) -> R) -> R {
+    let _guard = TEST_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    easytime_obs::set_enabled(true);
+    easytime_obs::reset();
+    let mc = ManualClock::new();
+    easytime_obs::install_clock(mc.clock());
+    let out = f(&mc);
+    easytime_obs::set_enabled(false);
+    easytime_obs::reset();
+    out
+}
+
+#[test]
+fn span_nesting_and_ordering_are_exact_under_manual_clock() {
+    let data = with_recorder(|mc| {
+        let mut outer = easytime_obs::span("outer");
+        outer.attr("k", 2_u64);
+        mc.advance_nanos(10);
+        {
+            let _inner_a = easytime_obs::span("inner.a");
+            mc.advance_nanos(5);
+        }
+        {
+            let _inner_b = easytime_obs::span("inner.b");
+            mc.advance_nanos(7);
+        }
+        mc.advance_nanos(3);
+        drop(outer);
+        easytime_obs::drain()
+    });
+
+    assert_eq!(data.spans.len(), 3);
+    // Trace order is start order: outer first, then the two children.
+    assert_eq!(data.spans[0].name, "outer");
+    assert_eq!(data.spans[1].name, "inner.a");
+    assert_eq!(data.spans[2].name, "inner.b");
+
+    let outer = &data.spans[0];
+    assert_eq!(outer.parent, 0, "outer is a root span");
+    assert_eq!(outer.start_ns, 0);
+    assert_eq!(outer.dur_ns, 25);
+    for child in &data.spans[1..] {
+        assert_eq!(child.parent, outer.id, "{} nests under outer", child.name);
+    }
+    assert_eq!(data.spans[1].start_ns, 10);
+    assert_eq!(data.spans[1].dur_ns, 5);
+    assert_eq!(data.spans[2].start_ns, 15);
+    assert_eq!(data.spans[2].dur_ns, 7);
+
+    // Children exactly account for 12 of outer's 25ns.
+    let covered = data.child_coverage(outer.id);
+    assert!((covered - 12.0 / 25.0).abs() < 1e-12, "coverage {covered}");
+}
+
+#[test]
+fn sibling_spans_after_a_drop_reparent_correctly() {
+    let data = with_recorder(|mc| {
+        {
+            let _a = easytime_obs::span("a");
+            mc.advance_nanos(1);
+        }
+        // `a` has dropped: `b` must be a new root, not a's child.
+        let _b = easytime_obs::span("b");
+        {
+            let _c = easytime_obs::span("c");
+            mc.advance_nanos(1);
+        }
+        drop(_b);
+        easytime_obs::drain()
+    });
+    let by_name = |n: &str| data.spans.iter().find(|s| s.name == n).expect("span recorded");
+    assert_eq!(by_name("a").parent, 0);
+    assert_eq!(by_name("b").parent, 0);
+    assert_eq!(by_name("c").parent, by_name("b").id);
+}
+
+#[test]
+fn worker_thread_spans_merge_into_one_trace() {
+    let data = with_recorder(|_mc| {
+        let _root = easytime_obs::span("corpus");
+        std::thread::scope(|scope| {
+            for i in 0..4 {
+                let _ = scope.spawn(move || {
+                    let mut sp = easytime_obs::span("job");
+                    sp.attr("worker", i as u64);
+                    easytime_obs::add("jobs.done", 1);
+                });
+            }
+        });
+        drop(_root);
+        easytime_obs::drain()
+    });
+    assert_eq!(data.spans.iter().filter(|s| s.name == "job").count(), 4);
+    assert_eq!(data.counters.get("jobs.done"), Some(&4));
+    // Spans on worker threads have no parent: the span stack is
+    // per-thread, and the corpus root lives on the main thread.
+    for s in data.spans.iter().filter(|s| s.name == "job") {
+        assert_eq!(s.parent, 0);
+    }
+    // Sorted by seq regardless of which thread finished first.
+    assert!(data.spans.windows(2).all(|w| w[0].seq < w[1].seq));
+}
+
+/// One fixed single-threaded workload exercising every record type.
+fn workload(mc: &ManualClock) -> TraceData {
+    easytime_obs::manifest_set("seed", 42_u64);
+    easytime_obs::manifest_set("config_hash", easytime_obs::fnv1a_hex(b"cfg"));
+    easytime_obs::manifest_set_list("dataset_ids", &["d1".to_string(), "d2".to_string()]);
+    let mut corpus = easytime_obs::span("eval.corpus");
+    corpus.attr("jobs", 2_u64);
+    for origin in [96_u64, 120] {
+        let mut w = easytime_obs::span("eval.window");
+        w.attr("origin", origin);
+        mc.advance_nanos(250);
+        easytime_obs::add_labeled("models.fit", "naive", 1);
+        easytime_obs::observe("window.ms", 0.25);
+    }
+    easytime_obs::gauge("rss.final", 123.5);
+    easytime_obs::warn("eval.pipeline", "d2/theta failed: too short");
+    mc.advance_nanos(100);
+    drop(corpus);
+    easytime_obs::drain()
+}
+
+#[test]
+fn identical_runs_render_byte_identical_output() {
+    let (metrics_a, trace_a) = with_recorder(|mc| {
+        let d = workload(mc);
+        (render_metrics_json(&d), render_trace_jsonl(&d))
+    });
+    let (metrics_b, trace_b) = with_recorder(|mc| {
+        let d = workload(mc);
+        (render_metrics_json(&d), render_trace_jsonl(&d))
+    });
+    assert_eq!(metrics_a, metrics_b, "metrics.json must be byte-identical");
+    assert_eq!(trace_a, trace_b, "trace.jsonl must be byte-identical");
+    // Sanity: the render actually contains the workload's structure.
+    assert!(metrics_a.contains("\"schema_version\": 1"));
+    assert!(metrics_a.contains("\"eval.window\""));
+    assert!(metrics_a.contains("\"models.fit.naive\": 2"));
+    assert!(metrics_a.contains("\"seed\""));
+    assert!(trace_a.contains("\"name\":\"eval.corpus\""));
+    assert!(trace_a.contains("\"level\":\"warn\""));
+}
+
+#[test]
+fn drain_leaves_the_recorder_empty() {
+    let (first, second) = with_recorder(|mc| {
+        {
+            let _sp = easytime_obs::span("once");
+            mc.advance_nanos(1);
+        }
+        let first = easytime_obs::drain();
+        let second = easytime_obs::drain();
+        (first, second)
+    });
+    assert_eq!(first.spans.len(), 1);
+    assert!(second.spans.is_empty());
+    assert!(second.counters.is_empty());
+    assert!(second.manifest.is_empty());
+}

@@ -86,24 +86,40 @@ impl QaSession {
     /// Asks a question; runs the full pipeline.
     pub fn ask(&mut self, question: &str) -> Result<QaResponse, QaError> {
         let started = Stopwatch::start();
+        let mut ask_span = easytime_obs::span("qa.ask");
+        ask_span.attr("history", self.history.len());
 
         // 1–2. NL2SQL with history context. Only elliptical follow-ups
         // (questions that do not restate an intent kind, e.g. "what about
         // sMAPE?") inherit the previous question's slots; a fully-formed
         // new question stands alone.
-        let (parsed, explicit) = parse_question(question, &self.lexicon)?;
+        let (parsed, explicit) = {
+            let _sp = easytime_obs::span("qa.parse");
+            parse_question(question, &self.lexicon)?
+        };
         let intent = match self.history.last() {
             Some((_, previous)) if !explicit.kind => parsed.merged_into(previous, &explicit),
             _ => parsed,
         };
-        let sql = generate_sql(&intent);
+        let sql = {
+            let _sp = easytime_obs::span("qa.nl2sql");
+            generate_sql(&intent)
+        };
 
         // 3. Retrieval: `Database::query` verifies before executing.
-        let table = self.db.query(&sql)?;
+        let table = {
+            let mut sp = easytime_obs::span("qa.execute");
+            let table = self.db.query(&sql)?;
+            sp.attr("rows", table.rows.len());
+            table
+        };
 
         // 4–5. Generation + post-processing.
-        let answer = generate_answer(&intent, &table);
-        let chart = ChartSpec::from_result(question, &table);
+        let (answer, chart) = {
+            let _sp = easytime_obs::span("qa.answer");
+            (generate_answer(&intent, &table), ChartSpec::from_result(question, &table))
+        };
+        ask_span.attr("rows", table.rows.len());
 
         self.history.push((question.to_string(), intent.clone()));
         Ok(QaResponse {

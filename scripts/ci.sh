@@ -22,4 +22,11 @@ cargo run --release -q -p easytime-lint -- \
   --out results/lint.json
 cat results/lint.json
 
+echo "=== traced smoke evaluation ==="
+# obs_smoke runs a small traced evaluate_corpus, writes
+# results/{trace.jsonl,metrics.json}, and exits nonzero if the metrics
+# schema drifted (missing stage keys, wrong schema_version, low span
+# coverage).
+EASYTIME_TRACE=1 EASYTIME_BENCH_FAST=1 cargo run --release -q -p easytime-bench --bin obs_smoke
+
 echo "ci: OK"
