@@ -10,7 +10,9 @@ use crate::error::AutoMlError;
 use crate::labels::{hard_labels, soft_labels};
 use easytime_data::scaler::ScalerKind;
 use easytime_data::{Dataset, SplitSpec, TimeSeries};
-use easytime_eval::{evaluate_corpus, EvalConfig, EvalRecord, MetricRegistry, Strategy};
+use easytime_eval::{
+    evaluate_corpus, EvalConfig, EvalRecord, FailureKind, MetricRegistry, Strategy,
+};
 use easytime_models::zoo::standard_zoo;
 use easytime_models::ModelSpec;
 use easytime_repr::{Embedder, EmbedderConfig};
@@ -85,8 +87,16 @@ impl PerfMatrix {
             ) else {
                 continue;
             };
-            if r.is_ok() {
-                scores[di][mi] = r.score(metric);
+            // Typed failure filter (no error-string matching): every
+            // categorized failure leaves the NaN sentinel in the matrix.
+            match r.failure_kind() {
+                None => scores[di][mi] = r.score(metric),
+                Some(
+                    FailureKind::DataTooShort
+                    | FailureKind::ModelDiverged
+                    | FailureKind::ScalerDegenerate
+                    | FailureKind::Other,
+                ) => {}
             }
         }
         PerfMatrix { dataset_ids: dataset_ids.to_vec(), methods: methods.to_vec(), scores }
@@ -144,14 +154,14 @@ impl Recommender {
         sp.attr("corpus", corpus.len());
         sp.attr("methods", config.methods.len());
         let registry = MetricRegistry::standard();
-        let eval_config = EvalConfig {
-            methods: config.methods.clone(),
-            strategy: config.strategy,
-            split: config.split,
-            scaler: config.scaler,
-            metrics: vec![config.metric.clone()],
-            threads: config.threads,
-        };
+        let eval_config = EvalConfig::builder()
+            .methods(config.methods.iter().cloned())
+            .strategy(config.strategy)
+            .split(config.split)
+            .scaler(config.scaler)
+            .metrics([config.metric.clone()])
+            .threads(config.threads)
+            .build(&registry)?;
         let records = evaluate_corpus(corpus, &eval_config, &registry)?;
         let dataset_ids: Vec<String> = corpus.iter().map(|d| d.meta.id.clone()).collect();
         let methods: Vec<String> = config.methods.iter().map(ModelSpec::name).collect();

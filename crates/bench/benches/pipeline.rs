@@ -22,7 +22,9 @@ fn bench_pipeline(c: &mut Harness) {
             strategy: Strategy::Fixed { horizon: 24 },
             metrics: vec!["mae".into(), "smape".into()],
             ..EvalConfig::default()
-        };
+        }
+        .into_validated(&registry)
+        .unwrap();
         b.iter(|| black_box(evaluate_corpus(&corpus, &config, &registry).unwrap()))
     });
 

@@ -22,7 +22,9 @@ fn bench_strategies(c: &mut Harness) {
         let config = EvalConfig {
             strategy: Strategy::Fixed { horizon: 24 },
             ..EvalConfig::default()
-        };
+        }
+        .into_validated(&registry)
+        .unwrap();
         b.iter(|| {
             black_box(
                 evaluate("d", &s, &ModelSpec::Theta(None), &config, &registry).unwrap(),
@@ -33,7 +35,9 @@ fn bench_strategies(c: &mut Harness) {
         let config = EvalConfig {
             strategy: Strategy::Rolling { horizon: 24, stride: 24, max_windows: Some(5) },
             ..EvalConfig::default()
-        };
+        }
+        .into_validated(&registry)
+        .unwrap();
         b.iter(|| {
             black_box(
                 evaluate("d", &s, &ModelSpec::Theta(None), &config, &registry).unwrap(),
@@ -44,7 +48,9 @@ fn bench_strategies(c: &mut Harness) {
         let config = EvalConfig {
             strategy: Strategy::Rolling { horizon: 24, stride: 24, max_windows: Some(5) },
             ..EvalConfig::default()
-        };
+        }
+        .into_validated(&registry)
+        .unwrap();
         b.iter(|| {
             black_box(
                 evaluate("d", &s, &ModelSpec::SeasonalNaive(None), &config, &registry)

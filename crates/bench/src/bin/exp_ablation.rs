@@ -64,6 +64,7 @@ fn ranking_quality(setup: &Setup, rec: &Recommender) -> (f64, f64) {
         ..EvalConfig::default()
     };
     let registry = MetricRegistry::standard();
+    let config = config.into_validated(&registry).expect("holdout config is valid");
     let records = evaluate_corpus(&setup.holdout, &config, &registry).expect("holdout eval");
     let ids: Vec<String> = setup.holdout.iter().map(|d| d.meta.id.clone()).collect();
     let names: Vec<String> = setup.base.methods.iter().map(|m| m.name()).collect();

@@ -74,6 +74,7 @@ fn main() {
         metrics: vec!["mae".into(), "smape".into()],
         ..EvalConfig::default()
     };
+    let config = config.into_validated(&registry).expect("multivariate config is valid");
     let methods = [
         MultiModelSpec::Var { order: 4 },
         MultiModelSpec::PerChannel(ModelSpec::LagRidge { lookback: 16, lambda: 1e-2 }),

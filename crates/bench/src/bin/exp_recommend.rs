@@ -56,6 +56,8 @@ fn main() {
         ..EvalConfig::default()
     };
     let registry = MetricRegistry::standard();
+    let eval_config =
+        eval_config.into_validated(&registry).expect("holdout config is valid");
     let records = evaluate_corpus(&holdout, &eval_config, &registry).expect("holdout evaluation");
     let ids: Vec<String> = holdout.iter().map(|d| d.meta.id.clone()).collect();
     let names: Vec<String> = methods.iter().map(|m| m.name()).collect();

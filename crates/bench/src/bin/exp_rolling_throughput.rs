@@ -1,0 +1,181 @@
+//! Experiment E7 — incremental rolling-evaluation throughput.
+//!
+//! Times a long rolling sweep under both [`RefitPolicy`] settings and
+//! reports windows/second. The claim shape: warm-startable methods
+//! (`Naive`, `SeasonalNaive`) evaluate many times faster under
+//! `RefitPolicy::WarmStart` because each window costs O(appended) instead
+//! of a full refit over the O(n) training prefix, while refit-only methods
+//! (`LinearTrend`) see no benefit — the warm engine falls back to a full
+//! refit every window.
+//!
+//! Writes `results/BENCH_rolling.json` and exits nonzero if warm-start is
+//! *slower* than per-window refit on any warm-startable method, so CI
+//! locks the optimization in. `EASYTIME_BENCH_FAST=1` shrinks the sweep
+//! for CI.
+//!
+//! ```sh
+//! cargo run --release -p easytime-bench --bin exp_rolling_throughput
+//! ```
+
+use easytime::Domain;
+use easytime_bench::print_table;
+use easytime_data::synthetic::{domain_spec, generate};
+use easytime_eval::{evaluate, EvalConfig, MetricRegistry, RefitPolicy, Strategy};
+use easytime_models::ModelSpec;
+use std::time::Instant;
+
+struct Measurement {
+    method: String,
+    policy: &'static str,
+    seconds: f64,
+    windows: usize,
+    windows_per_sec: f64,
+}
+
+fn main() {
+    let fast = std::env::var_os("EASYTIME_BENCH_FAST").is_some_and(|v| v != "0");
+    // Default split is 7:1:2, so the test segment is length/5; with
+    // stride 4 the sweep has length/20 windows available.
+    let (length, max_windows) = if fast { (2_000, 100) } else { (10_000, 500) };
+
+    let spec = domain_spec(Domain::Traffic, 0, length);
+    let series = generate("rolling", &spec, 7).expect("synthetic series");
+    let registry = MetricRegistry::standard();
+
+    let methods =
+        [ModelSpec::Naive, ModelSpec::SeasonalNaive(None), ModelSpec::LinearTrend];
+    let warm_startable = [true, true, false];
+
+    println!(
+        "E7 rolling throughput: {length}-point series, {max_windows} windows (h=4, stride=4){}\n",
+        if fast { " [fast mode]" } else { "" }
+    );
+
+    let mut measurements: Vec<Measurement> = Vec::new();
+    for (spec, _) in methods.iter().zip(warm_startable) {
+        for policy in [RefitPolicy::Always, RefitPolicy::WarmStart] {
+            let config = EvalConfig {
+                strategy: Strategy::Rolling {
+                    horizon: 4,
+                    stride: 4,
+                    max_windows: Some(max_windows),
+                },
+                refit: policy,
+                ..EvalConfig::default()
+            };
+            let config = config.into_validated(&registry).expect("bench config is valid");
+            // Warmup, then best-of-3 to shed scheduler noise.
+            let _ = evaluate("bench", &series, spec, &config, &registry).expect("warmup");
+            let mut best = f64::INFINITY;
+            let mut windows = 0usize;
+            for _ in 0..3 {
+                let started = Instant::now();
+                let record =
+                    evaluate("bench", &series, spec, &config, &registry).expect("timed run");
+                let elapsed = started.elapsed().as_secs_f64();
+                assert!(record.is_ok(), "bench evaluation failed: {:?}", record.error);
+                windows = record.windows;
+                best = best.min(elapsed);
+            }
+            measurements.push(Measurement {
+                method: spec.name(),
+                policy: policy.name(),
+                seconds: best,
+                windows,
+                windows_per_sec: windows as f64 / best,
+            });
+        }
+    }
+
+    let rows: Vec<Vec<String>> = measurements
+        .iter()
+        .map(|m| {
+            vec![
+                m.method.clone(),
+                m.policy.to_string(),
+                m.windows.to_string(),
+                format!("{:.4}", m.seconds),
+                format!("{:.0}", m.windows_per_sec),
+            ]
+        })
+        .collect();
+    print_table(&["method", "policy", "windows", "seconds", "windows/s"], &rows);
+
+    // Per-method speedup of warm_start over always.
+    let mut speedups: Vec<(String, f64, bool)> = Vec::new();
+    for (spec, warm_ok) in methods.iter().zip(warm_startable) {
+        let name = spec.name();
+        let throughput = |policy: &str| {
+            measurements
+                .iter()
+                .find(|m| m.method == name && m.policy == policy)
+                .map_or(f64::NAN, |m| m.windows_per_sec)
+        };
+        let ratio = throughput("warm_start") / throughput("always");
+        speedups.push((name, ratio, warm_ok));
+    }
+    println!();
+    for (name, speedup, _) in &speedups {
+        println!("  {name}: warm-start speedup {speedup:.1}x");
+    }
+
+    write_report(&measurements, &speedups, length, fast);
+    println!("\nwrote results/BENCH_rolling.json");
+    println!(
+        "Claim shape: warm-startable methods gain >=5x on long sweeps; \
+         refit-only methods stay ~1x."
+    );
+
+    let regressed: Vec<&str> = speedups
+        .iter()
+        .filter(|(_, s, warm_ok)| *warm_ok && !(*s >= 1.0))
+        .map(|(n, _, _)| n.as_str())
+        .collect();
+    if !regressed.is_empty() {
+        eprintln!(
+            "FAIL: warm-start is slower than per-window refit for: {}",
+            regressed.join(", ")
+        );
+        std::process::exit(1);
+    }
+}
+
+/// Hand-rolled JSON (the workspace is dependency-free by design).
+fn write_report(
+    measurements: &[Measurement],
+    speedups: &[(String, f64, bool)],
+    length: usize,
+    fast: bool,
+) {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"series_length\": {length},\n"));
+    out.push_str(&format!("  \"fast_mode\": {fast},\n"));
+    out.push_str("  \"measurements\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"method\": \"{}\", \"policy\": \"{}\", \"windows\": {}, \
+             \"seconds\": {:.6}, \"windows_per_sec\": {:.1}}}{}\n",
+            m.method,
+            m.policy,
+            m.windows,
+            m.seconds,
+            m.windows_per_sec,
+            if i + 1 < measurements.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"speedups\": {\n");
+    for (i, (name, speedup, _)) in speedups.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{name}\": {speedup:.2}{}\n",
+            if i + 1 < speedups.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  }\n}\n");
+    if let Err(e) = std::fs::create_dir_all("results")
+        .and_then(|()| std::fs::write("results/BENCH_rolling.json", out))
+    {
+        eprintln!("FAIL: could not write results/BENCH_rolling.json: {e}");
+        std::process::exit(1);
+    }
+}

@@ -33,6 +33,7 @@ fn main() {
             metrics: vec!["mae".into(), "smape".into()],
             ..EvalConfig::default()
         };
+        let config = config.into_validated(&registry).expect("sweep config is valid");
         let started = Instant::now();
         let records = evaluate_corpus(&corpus, &config, &registry).expect("sweep");
         let elapsed = started.elapsed().as_secs_f64();
@@ -56,6 +57,7 @@ fn main() {
             metrics: vec!["mae".into(), "smape".into()],
             ..EvalConfig::default()
         };
+        let config = config.into_validated(&registry).expect("sweep config is valid");
         let started = Instant::now();
         let records = evaluate_corpus(&corpus, &config, &registry).expect("sweep");
         let elapsed = started.elapsed().as_secs_f64();
@@ -81,6 +83,7 @@ fn main() {
             threads,
             ..EvalConfig::default()
         };
+        let config = config.into_validated(&registry).expect("sweep config is valid");
         let started = Instant::now();
         let _ = evaluate_corpus(&corpus, &config, &registry).expect("sweep");
         let elapsed = started.elapsed().as_secs_f64();

@@ -44,6 +44,10 @@ fn main() -> ExitCode {
         easytime::obs::manifest_set("seed", 7_u64);
         easytime::obs::manifest_set("run", "obs_smoke");
         let registry = MetricRegistry::standard();
+        let config = match config.into_validated(&registry) {
+            Ok(c) => c,
+            Err(e) => return fail(&format!("config validation failed: {e}")),
+        };
         match evaluate_corpus(&corpus, &config, &registry) {
             Ok(records) => {
                 easytime::obs::manifest_set("records", records.len() as u64);

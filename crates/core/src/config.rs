@@ -24,7 +24,7 @@ use crate::error::EasyTimeError;
 use crate::json::Json;
 use easytime_data::scaler::ScalerKind;
 use easytime_data::{Dataset, Domain, SplitSpec};
-use easytime_eval::{EvalConfig, Strategy};
+use easytime_eval::{EvalConfig, RefitPolicy, Strategy};
 use easytime_models::ModelSpec;
 
 /// Which datasets a run covers.
@@ -173,6 +173,16 @@ pub fn parse_config(text: &str) -> Result<FileConfig, EasyTimeError> {
         Some(_) => return Err(config_err("'metrics' must be an array of names")),
     };
 
+    // --- refit policy ---
+    let refit = match doc.get("refit") {
+        None => RefitPolicy::Always,
+        Some(r) => {
+            let name = r.as_str().ok_or_else(|| config_err("'refit' must be a string"))?;
+            RefitPolicy::parse(name)
+                .ok_or_else(|| config_err(format!("unknown refit policy '{name}'")))?
+        }
+    };
+
     // --- threads ---
     let threads = doc
         .get("threads")
@@ -219,7 +229,7 @@ pub fn parse_config(text: &str) -> Result<FileConfig, EasyTimeError> {
     };
 
     Ok(FileConfig {
-        eval: EvalConfig { methods, strategy, split, scaler, metrics, threads },
+        eval: EvalConfig { methods, strategy, split, scaler, metrics, threads, refit },
         datasets,
     })
 }
@@ -235,6 +245,7 @@ mod tests {
         assert_eq!(c.eval.strategy, Strategy::Fixed { horizon: 12 });
         assert_eq!(c.eval.scaler, ScalerKind::ZScore);
         assert_eq!(c.datasets, DatasetSelection::All);
+        assert_eq!(c.eval.refit, RefitPolicy::Always);
         assert!(c.eval.metrics.contains(&"mase".to_string()));
     }
 
@@ -246,6 +257,7 @@ mod tests {
             "split": {"train": 0.6, "val": 0.2, "drop_last": true},
             "scaler": "minmax",
             "metrics": ["mae", "smape"],
+            "refit": "warm_start",
             "threads": 2,
             "datasets": {"domain": "web"}
         }"#;
@@ -257,6 +269,7 @@ mod tests {
         );
         assert!(c.eval.split.drop_last);
         assert_eq!(c.eval.scaler, ScalerKind::MinMax);
+        assert_eq!(c.eval.refit, RefitPolicy::WarmStart);
         assert_eq!(c.eval.threads, 2);
         assert_eq!(c.datasets, DatasetSelection::Domain(Domain::Web));
     }
@@ -285,6 +298,7 @@ mod tests {
         assert!(parse_config(r#"{"strategy": {"type": "walkforward"}}"#).is_err());
         assert!(parse_config(r#"{"split": {"train": 0.9, "val": 0.2}}"#).is_err());
         assert!(parse_config(r#"{"scaler": "log"}"#).is_err());
+        assert!(parse_config(r#"{"refit": "sometimes"}"#).is_err());
         assert!(parse_config(r#"{"metrics": []}"#).is_err());
         assert!(parse_config(r#"{"datasets": {"domain": "space"}}"#).is_err());
         assert!(parse_config("not json").is_err());

@@ -156,11 +156,13 @@ mod tests {
             ..CorpusConfig::default()
         })
         .unwrap();
+        let registry = MetricRegistry::standard();
         let config = EvalConfig {
             methods: vec![ModelSpec::Naive, ModelSpec::SeasonalNaive(None)],
             ..EvalConfig::default()
-        };
-        let registry = MetricRegistry::standard();
+        }
+        .into_validated(&registry)
+        .unwrap();
         let records = evaluate_corpus(&corpus, &config, &registry).unwrap();
 
         let mut db = new_knowledge_db();
@@ -203,7 +205,10 @@ mod tests {
             scores: Default::default(),
             windows: 0,
             runtime_ms: 0.0,
-            error: Some("boom".into()),
+            error: Some(easytime_eval::EvalFailure {
+                kind: easytime_eval::FailureKind::Other,
+                detail: "boom".into(),
+            }),
         };
         assert!(!record_result(&mut db, &rec).unwrap());
         rec.error = None;

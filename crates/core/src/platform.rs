@@ -146,7 +146,8 @@ impl EasyTime {
                 reason: "the dataset selection matches no registered datasets".into(),
             });
         }
-        let records = evaluate_corpus(&datasets, &config.eval, &self.metrics)?;
+        let eval = config.eval.clone().into_validated(&self.metrics)?;
+        let records = evaluate_corpus(&datasets, &eval, &self.metrics)?;
         {
             let mut db = self.knowledge_guard();
             for r in &records {
@@ -272,13 +273,14 @@ impl EasyTime {
                 reason: format!("dataset '{dataset_id}' is not multivariate"),
             });
         };
+        let validated = config.clone().into_validated(&self.metrics)?;
         let mut records = Vec::with_capacity(specs.len());
         for spec in specs {
             records.push(easytime_eval::evaluate_multivariate(
                 dataset_id,
                 series,
                 spec,
-                config,
+                &validated,
                 &self.metrics,
             )?);
         }

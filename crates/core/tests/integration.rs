@@ -127,7 +127,9 @@ fn custom_metrics_flow_through_the_pipeline() {
         metrics: vec!["mae".into(), "bias".into()],
         strategy: Strategy::Fixed { horizon: 12 },
         ..EvalConfig::default()
-    };
+    }
+    .into_validated(&registry)
+    .unwrap();
     let record = evaluate("d", &series, &ModelSpec::Mean, &config, &registry).unwrap();
     assert!(record.is_ok());
     assert!(record.score("bias").is_finite());

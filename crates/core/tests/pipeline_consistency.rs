@@ -24,7 +24,9 @@ fn scaler_choice_does_not_corrupt_metrics_scale() {
     let series = seasonal(240, 1e5);
     let mut maes = Vec::new();
     for scaler in [ScalerKind::None, ScalerKind::ZScore, ScalerKind::MinMax, ScalerKind::Robust] {
-        let config = EvalConfig { scaler, ..EvalConfig::default() };
+        let config = EvalConfig { scaler, ..EvalConfig::default() }
+            .into_validated(&registry)
+            .unwrap();
         let r = evaluate("d", &series, &ModelSpec::SeasonalNaive(None), &config, &registry)
             .unwrap();
         assert!(r.is_ok());
@@ -49,12 +51,16 @@ fn split_ratios_control_the_forecast_origin() {
         split: SplitSpec::new(0.5, 0.0, false).unwrap(),
         strategy: Strategy::Rolling { horizon: 10, stride: 10, max_windows: None },
         ..EvalConfig::default()
-    };
+    }
+    .into_validated(&registry)
+    .unwrap();
     let wide = EvalConfig {
         split: SplitSpec::new(0.9, 0.0, false).unwrap(),
         strategy: Strategy::Rolling { horizon: 10, stride: 10, max_windows: None },
         ..EvalConfig::default()
-    };
+    }
+    .into_validated(&registry)
+    .unwrap();
     let r_narrow = evaluate("d", &series, &ModelSpec::Naive, &narrow, &registry).unwrap();
     let r_wide = evaluate("d", &series, &ModelSpec::Naive, &wide, &registry).unwrap();
     assert_eq!(r_narrow.windows, 10); // 100 test points / 10
@@ -76,6 +82,8 @@ fn drop_last_changes_only_the_partial_window() {
         split: SplitSpec::new(0.7, 0.0, true).unwrap(),
         ..keep.clone()
     };
+    let keep = keep.into_validated(&registry).unwrap();
+    let drop = drop.into_validated(&registry).unwrap();
     let r_keep = evaluate("d", &series, &ModelSpec::SeasonalNaive(None), &keep, &registry).unwrap();
     let r_drop = evaluate("d", &series, &ModelSpec::SeasonalNaive(None), &drop, &registry).unwrap();
     assert_eq!(r_keep.windows, r_drop.windows + 1);
@@ -90,11 +98,15 @@ fn strategies_agree_on_their_shared_first_window() {
     let fixed = EvalConfig {
         strategy: Strategy::Fixed { horizon: 24 },
         ..EvalConfig::default()
-    };
+    }
+    .into_validated(&registry)
+    .unwrap();
     let rolling_one = EvalConfig {
         strategy: Strategy::Rolling { horizon: 24, stride: 24, max_windows: Some(1) },
         ..EvalConfig::default()
-    };
+    }
+    .into_validated(&registry)
+    .unwrap();
     let a = evaluate("d", &series, &ModelSpec::Theta(None), &fixed, &registry).unwrap();
     let b = evaluate("d", &series, &ModelSpec::Theta(None), &rolling_one, &registry).unwrap();
     assert_eq!(a.scores.keys().collect::<Vec<_>>(), b.scores.keys().collect::<Vec<_>>());
@@ -130,7 +142,9 @@ fn one_click_results_match_per_series_evaluation() {
             strategy: Strategy::Fixed { horizon: 24 },
             metrics: record.scores.keys().cloned().collect(),
             ..EvalConfig::default()
-        };
+        }
+        .into_validated(&registry)
+        .unwrap();
         let solo =
             evaluate(&record.dataset_id, &series, &ModelSpec::SeasonalNaive(None), &config, &registry)
                 .unwrap();

@@ -46,22 +46,58 @@ impl ScalerKind {
     }
 }
 
+/// Streaming statistics maintained by [`Scaler::extend`], allowing a
+/// growing training prefix to refresh its fit in O(appended) instead of
+/// rescanning the whole prefix (rolling-origin evaluation's hot path).
+#[derive(Debug, Clone, PartialEq)]
+enum StreamStats {
+    /// No streaming statistics are being maintained (plain [`Scaler::fit`],
+    /// or a kind whose statistics cannot stream).
+    Inactive,
+    /// Identity transform ([`ScalerKind::None`]): nothing to maintain.
+    Identity,
+    /// Welford running mean / M2 for [`ScalerKind::ZScore`].
+    Welford {
+        count: usize,
+        mean: f64,
+        m2: f64,
+    },
+    /// Running range for [`ScalerKind::MinMax`].
+    Range { lo: f64, hi: f64 },
+}
+
 /// A (possibly fitted) scaler: affine transform `y = (x - shift) / scale`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Scaler {
     kind: ScalerKind,
     fitted: Option<(f64, f64)>, // (shift, scale)
+    stream: StreamStats,
 }
 
 impl Scaler {
     /// Creates an unfitted scaler of the given kind.
     pub fn new(kind: ScalerKind) -> Scaler {
-        Scaler { kind, fitted: None }
+        Scaler { kind, fitted: None, stream: StreamStats::Inactive }
     }
 
     /// The scaler's kind.
     pub fn kind(&self) -> ScalerKind {
         self.kind
+    }
+
+    /// The fitted `(shift, scale)` pair, if any.
+    pub fn fitted_params(&self) -> Option<(f64, f64)> {
+        self.fitted
+    }
+
+    /// Whether this kind's statistics can be maintained incrementally by
+    /// [`Scaler::extend`]. Robust scaling needs full-order statistics
+    /// (median / IQR), so it always requires a rescan.
+    pub fn supports_streaming(&self) -> bool {
+        match self.kind {
+            ScalerKind::None | ScalerKind::ZScore | ScalerKind::MinMax => true,
+            ScalerKind::Robust => false,
+        }
     }
 
     /// Fits the scaler's statistics on training values.
@@ -87,7 +123,72 @@ impl Scaler {
             }
         };
         self.fitted = Some((shift, scale));
+        // A full refit invalidates any previously streamed statistics: the
+        // caller chose non-incremental semantics for this fit.
+        self.stream = StreamStats::Inactive;
         Ok(())
+    }
+
+    /// Streams additional training observations into the fitted statistics.
+    ///
+    /// On an unfitted scaler this seeds the streaming state from `appended`
+    /// (equivalent to a first fit); on a scaler previously extended it folds
+    /// the new values in incrementally — O(appended) work, so window N+1 of
+    /// a rolling evaluation reuses window N's fit instead of rescanning the
+    /// prefix. Mean/variance use Welford's update; min-max keeps a running
+    /// range.
+    ///
+    /// Returns `Ok(true)` when the statistics were updated (the fitted
+    /// parameters now cover every value seen so far), or `Ok(false)` when
+    /// this scaler cannot stream — the kind needs full-order statistics
+    /// ([`ScalerKind::Robust`]) or the scaler was fitted non-incrementally
+    /// via [`Scaler::fit`] — in which case the caller must refit on the
+    /// whole prefix and the scaler is left unchanged.
+    pub fn extend(&mut self, appended: &[f64]) -> Result<bool, DataError> {
+        if !self.supports_streaming() {
+            return Ok(false);
+        }
+        if self.fitted.is_some() && self.stream == StreamStats::Inactive {
+            // Plain-fit statistics carry no streamable state.
+            return Ok(false);
+        }
+        if self.fitted.is_none() && appended.is_empty() {
+            return Err(DataError::EmptySeries { name: "<scaler input>".into() });
+        }
+        match self.kind {
+            ScalerKind::None => {
+                self.stream = StreamStats::Identity;
+                self.fitted = Some((0.0, 1.0));
+            }
+            ScalerKind::ZScore => {
+                let (mut count, mut m, mut m2) = match self.stream {
+                    StreamStats::Welford { count, mean, m2 } => (count, mean, m2),
+                    _ => (0, 0.0, 0.0),
+                };
+                for &v in appended {
+                    count += 1;
+                    let delta = v - m;
+                    m += delta / count as f64;
+                    m2 += delta * (v - m);
+                }
+                self.stream = StreamStats::Welford { count, mean: m, m2 };
+                let variance = if count > 0 { m2 / count as f64 } else { 0.0 };
+                self.fitted = Some((m, variance.sqrt().max(1e-12)));
+            }
+            ScalerKind::MinMax => {
+                let (mut lo, mut hi) = match self.stream {
+                    StreamStats::Range { lo, hi } => (lo, hi),
+                    _ => (f64::INFINITY, f64::NEG_INFINITY),
+                };
+                lo = appended.iter().cloned().fold(lo, f64::min);
+                hi = appended.iter().cloned().fold(hi, f64::max);
+                self.stream = StreamStats::Range { lo, hi };
+                self.fitted = Some((lo, (hi - lo).max(1e-12)));
+            }
+            // Unreachable: `supports_streaming` returned above.
+            ScalerKind::Robust => return Ok(false),
+        }
+        Ok(true)
     }
 
     /// Applies the fitted transform to values.
@@ -107,6 +208,25 @@ impl Scaler {
     pub fn fit_transform(&mut self, train: &[f64]) -> Result<Vec<f64>, DataError> {
         self.fit(train)?;
         self.transform(train)
+    }
+
+    /// Allocation-free [`Scaler::transform`]: writes into `out` (cleared
+    /// first), reusing its capacity. Hot-loop variant for rolling
+    /// evaluation workspaces.
+    pub fn transform_into(&self, values: &[f64], out: &mut Vec<f64>) -> Result<(), DataError> {
+        let (shift, scale) = self.fitted.ok_or(DataError::ScalerNotFitted)?;
+        out.clear();
+        out.extend(values.iter().map(|v| (v - shift) / scale));
+        Ok(())
+    }
+
+    /// Allocation-free [`Scaler::inverse`]: writes into `out` (cleared
+    /// first), reusing its capacity.
+    pub fn inverse_into(&self, values: &[f64], out: &mut Vec<f64>) -> Result<(), DataError> {
+        let (shift, scale) = self.fitted.ok_or(DataError::ScalerNotFitted)?;
+        out.clear();
+        out.extend(values.iter().map(|v| v * scale + shift));
+        Ok(())
     }
 }
 
@@ -181,5 +301,62 @@ mod tests {
         let mut s = Scaler::new(ScalerKind::ZScore);
         let z = s.fit_transform(&[5.0, 5.0, 5.0]).unwrap();
         assert!(z.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn extend_seeds_then_streams_and_matches_refit() {
+        let values: Vec<f64> = (0..200).map(|i| (i as f64 * 0.13).sin() * 7.0 + 2.0).collect();
+        for kind in [ScalerKind::None, ScalerKind::ZScore, ScalerKind::MinMax] {
+            let mut streamed = Scaler::new(kind);
+            assert!(streamed.extend(&values[..50]).unwrap());
+            assert!(streamed.extend(&values[50..120]).unwrap());
+            assert!(streamed.extend(&values[120..]).unwrap());
+            let mut refit = Scaler::new(kind);
+            refit.fit(&values).unwrap();
+            let (s1, c1) = streamed.fitted_params().unwrap();
+            let (s2, c2) = refit.fitted_params().unwrap();
+            assert!((s1 - s2).abs() < 1e-9, "{kind:?} shift {s1} vs {s2}");
+            assert!((c1 - c2).abs() < 1e-9, "{kind:?} scale {c1} vs {c2}");
+        }
+    }
+
+    #[test]
+    fn robust_and_plain_fit_refuse_to_stream() {
+        // Robust needs full-order statistics.
+        let mut r = Scaler::new(ScalerKind::Robust);
+        assert!(!r.supports_streaming());
+        assert_eq!(r.extend(&[1.0, 2.0]), Ok(false));
+        assert!(r.fitted_params().is_none());
+        // A plain fit carries no streamable state.
+        let mut z = Scaler::new(ScalerKind::ZScore);
+        z.fit(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(z.extend(&[4.0]), Ok(false));
+        // An empty seed is as invalid as an empty fit.
+        let mut fresh = Scaler::new(ScalerKind::ZScore);
+        assert!(fresh.extend(&[]).is_err());
+        // An empty extension of live streaming state is a no-op.
+        fresh.extend(&[5.0, 6.0]).unwrap();
+        let before = fresh.fitted_params();
+        assert_eq!(fresh.extend(&[]), Ok(true));
+        assert_eq!(fresh.fitted_params(), before);
+    }
+
+    #[test]
+    fn transform_into_and_inverse_into_reuse_buffers() {
+        let mut s = Scaler::new(ScalerKind::ZScore);
+        s.fit(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        let input = [0.5, 2.5, 9.0];
+        let mut buf = Vec::new();
+        s.transform_into(&input, &mut buf).unwrap();
+        assert_eq!(buf, s.transform(&input).unwrap());
+        let mut back = Vec::new();
+        s.inverse_into(&buf, &mut back).unwrap();
+        for (a, b) in input.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-9);
+        }
+        assert_eq!(
+            Scaler::new(ScalerKind::ZScore).transform_into(&input, &mut buf),
+            Err(DataError::ScalerNotFitted)
+        );
     }
 }

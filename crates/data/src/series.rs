@@ -154,6 +154,22 @@ impl TimeSeries {
         TimeSeries::new(self.name.clone(), values, self.frequency)
     }
 
+    /// Replaces this series' observations in place, reusing the existing
+    /// allocation (the rolling-evaluation hot loop recycles one carrier
+    /// series per job). Validates like [`TimeSeries::new`] — and validates
+    /// *before* mutating, so a failed assignment leaves the series intact.
+    pub fn assign_values(&mut self, values: &[f64]) -> Result<(), DataError> {
+        if values.is_empty() {
+            return Err(DataError::EmptySeries { name: self.name.clone() });
+        }
+        if let Some(index) = values.iter().position(|v| !v.is_finite()) {
+            return Err(DataError::NonFiniteValue { name: self.name.clone(), index });
+        }
+        self.values.clear();
+        self.values.extend_from_slice(values);
+        Ok(())
+    }
+
     /// Returns a copy renamed to `name`.
     pub fn renamed(&self, name: impl Into<String>) -> TimeSeries {
         TimeSeries { name: name.into(), values: self.values.clone(), frequency: self.frequency }

@@ -1,0 +1,78 @@
+//! Seeded property test: streaming scaler statistics must agree with a
+//! full refit.
+//!
+//! For random series, random chunkings, and every streamable kind, folding
+//! the chunks through [`Scaler::extend`] must produce fitted parameters —
+//! and therefore transforms — within 1e-9 of fitting once on the whole
+//! prefix. This is the contract the incremental rolling-evaluation engine
+//! relies on when it reuses window N's fit for window N+1.
+
+use easytime_data::scaler::{Scaler, ScalerKind};
+use easytime_rng::Xoshiro256pp;
+
+/// Draws a series with a level, trend, seasonality, and noise, so the
+/// streamed statistics face realistic (non-stationary) prefixes.
+fn random_series(rng: &mut Xoshiro256pp, n: usize) -> Vec<f64> {
+    let level = rng.gen_range_f64(-50.0, 50.0);
+    let trend = rng.gen_range_f64(-0.5, 0.5);
+    let amp = rng.gen_range_f64(0.1, 20.0);
+    let noise = rng.gen_range_f64(0.01, 5.0);
+    (0..n)
+        .map(|t| {
+            level
+                + trend * t as f64
+                + amp * (t as f64 * 0.37).sin()
+                + noise * rng.normal()
+        })
+        .collect()
+}
+
+#[test]
+fn extend_is_equivalent_to_refit_for_random_chunkings() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0xEA57_71AE);
+    for case in 0..200u64 {
+        let n = rng.gen_range(8..400);
+        let values = random_series(&mut rng, n);
+        for kind in [ScalerKind::None, ScalerKind::ZScore, ScalerKind::MinMax] {
+            // Stream the series in random chunks (including size-1 steps,
+            // the rolling stride=1 worst case).
+            let mut streamed = Scaler::new(kind);
+            let mut consumed = 0usize;
+            while consumed < n {
+                let step = rng.gen_range(1..(n - consumed + 1).min(32));
+                assert!(
+                    streamed.extend(&values[consumed..consumed + step]).unwrap(),
+                    "{kind:?} must stream"
+                );
+                consumed += step;
+
+                // Every intermediate prefix must match a refit, not just
+                // the final state: rolling evaluation consumes the
+                // statistics after every extension.
+                let mut refit = Scaler::new(kind);
+                refit.fit(&values[..consumed]).unwrap();
+                let (s1, c1) = streamed.fitted_params().unwrap();
+                let (s2, c2) = refit.fitted_params().unwrap();
+                let scale_tol = 1e-9 * c2.abs().max(1.0);
+                let shift_tol = 1e-9 * s2.abs().max(1.0);
+                assert!(
+                    (s1 - s2).abs() <= shift_tol,
+                    "case {case} {kind:?} prefix {consumed}: shift {s1} vs {s2}"
+                );
+                assert!(
+                    (c1 - c2).abs() <= scale_tol,
+                    "case {case} {kind:?} prefix {consumed}: scale {c1} vs {c2}"
+                );
+            }
+
+            // The transforms agree pointwise as well.
+            let mut refit = Scaler::new(kind);
+            refit.fit(&values).unwrap();
+            let a = streamed.transform(&values).unwrap();
+            let b = refit.transform(&values).unwrap();
+            for (x, y) in a.iter().zip(&b) {
+                assert!((x - y).abs() <= 1e-9, "case {case} {kind:?}: {x} vs {y}");
+            }
+        }
+    }
+}

@@ -26,7 +26,10 @@ pub mod strategy;
 pub use error::EvalError;
 pub use metrics::{Metric, MetricContext, MetricRegistry};
 pub use multivariate::evaluate_multivariate;
-pub use pipeline::{evaluate, evaluate_corpus, EvalConfig, EvalRecord};
+pub use pipeline::{
+    evaluate, evaluate_corpus, EvalConfig, EvalConfigBuilder, EvalFailure, EvalRecord,
+    FailureKind, RefitPolicy, ValidatedEvalConfig,
+};
 pub use plot::ForecastPlot;
 pub use report::{Leaderboard, RunLog};
 pub use strategy::Strategy;

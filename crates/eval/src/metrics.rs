@@ -97,12 +97,16 @@ impl Metric {
 
 /// Mean absolute error.
 pub fn mae(ctx: &MetricContext<'_>) -> f64 {
-    mean(&ctx.errors().map(f64::abs).collect::<Vec<_>>())
+    // Streaming left fold — same summation order as `mean`, zero allocation
+    // (this runs once per metric per evaluation window).
+    let sum: f64 = ctx.errors().map(f64::abs).sum();
+    sum / ctx.actual.len() as f64
 }
 
 /// Mean squared error.
 pub fn mse(ctx: &MetricContext<'_>) -> f64 {
-    mean(&ctx.errors().map(|e| e * e).collect::<Vec<_>>())
+    let sum: f64 = ctx.errors().map(|e| e * e).sum();
+    sum / ctx.actual.len() as f64
 }
 
 /// Root mean squared error.
@@ -152,11 +156,9 @@ pub fn mase(ctx: &MetricContext<'_>) -> f64 {
     if ctx.train.len() <= p {
         return f64::NAN;
     }
-    let naive_mae = mean(
-        &(p..ctx.train.len())
-            .map(|t| (ctx.train[t] - ctx.train[t - p]).abs())
-            .collect::<Vec<_>>(),
-    );
+    let naive_sum: f64 =
+        (p..ctx.train.len()).map(|t| (ctx.train[t] - ctx.train[t - p]).abs()).sum();
+    let naive_mae = naive_sum / (ctx.train.len() - p) as f64;
     if naive_mae < 1e-12 {
         return f64::NAN;
     }

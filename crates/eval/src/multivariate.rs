@@ -9,8 +9,8 @@
 //! [`EvalRecord`].
 
 use crate::error::EvalError;
-use crate::metrics::{MetricContext, MetricRegistry};
-use crate::pipeline::{EvalConfig, EvalRecord};
+use crate::metrics::{Metric, MetricContext, MetricRegistry};
+use crate::pipeline::{EvalConfig, EvalFailure, EvalRecord, ValidatedEvalConfig};
 use easytime_data::{MultiSeries, Scaler};
 use easytime_models::multivariate::MultiModelSpec;
 use std::collections::BTreeMap;
@@ -19,19 +19,16 @@ use easytime_clock::Stopwatch;
 /// Evaluates one multivariate method on one multivariate dataset.
 ///
 /// Mirrors [`crate::pipeline::evaluate`]: model/data failures are captured
-/// in the record; configuration errors return `Err`.
+/// in the record; configuration errors are ruled out up front by the
+/// [`ValidatedEvalConfig`] the caller must construct.
 pub fn evaluate_multivariate(
     dataset_id: &str,
     series: &MultiSeries,
     spec: &MultiModelSpec,
-    config: &EvalConfig,
+    config: &ValidatedEvalConfig,
     registry: &MetricRegistry,
 ) -> Result<EvalRecord, EvalError> {
-    config.strategy.validate()?;
-    for m in &config.metrics {
-        registry.get(m)?;
-    }
-
+    let config = config.config();
     let mut record = EvalRecord {
         dataset_id: dataset_id.to_string(),
         method: spec.name(),
@@ -63,7 +60,7 @@ pub fn evaluate_multivariate(
                     &format!("{dataset_id}/{} failed: {e}", record.method),
                 );
             }
-            record.error = Some(e.to_string());
+            record.error = Some(EvalFailure::from_error(&e));
         }
     }
     Ok(record)
@@ -84,8 +81,12 @@ fn run(
     let windows = config.strategy.windows(n, test_start, config.split.drop_last)?;
     let period = series.frequency().default_period().unwrap_or(1);
 
+    // Resolve metrics once instead of per channel per window.
+    let resolved: Vec<&Metric> =
+        config.metrics.iter().map(|m| registry.get(m)).collect::<Result<_, _>>()?;
+
     let started = Stopwatch::start();
-    let mut sums: BTreeMap<String, (f64, usize)> = BTreeMap::new();
+    let mut sums: Vec<(f64, usize)> = vec![(0.0, 0); resolved.len()];
     for w in &windows {
         let mut wsp = easytime_obs::span("eval.window");
         wsp.attr("origin", w.origin);
@@ -115,21 +116,22 @@ fn run(
             let actual = &series.channel(ch)[w.origin..w.origin + w.len];
             let train_raw = &series.channel(ch)[..w.origin];
             let ctx = MetricContext::new(actual, &predicted, train_raw, period)?;
-            for name in &config.metrics {
-                let metric = registry.get(name)?;
+            for (slot, metric) in sums.iter_mut().zip(&resolved) {
                 let v = metric.compute(&ctx);
-                let entry = sums.entry(metric.name().to_string()).or_insert((0.0, 0));
                 if v.is_finite() {
-                    entry.0 += v;
-                    entry.1 += 1;
+                    slot.0 += v;
+                    slot.1 += 1;
                 }
             }
         }
     }
     let runtime_ms = started.elapsed_ms();
-    let scores = sums
-        .into_iter()
-        .map(|(name, (sum, cnt))| (name, if cnt > 0 { sum / cnt as f64 } else { f64::NAN }))
+    let scores = resolved
+        .iter()
+        .zip(&sums)
+        .map(|(m, &(sum, cnt))| {
+            (m.name().to_string(), if cnt > 0 { sum / cnt as f64 } else { f64::NAN })
+        })
         .collect();
     Ok((scores, windows.len(), runtime_ms))
 }
@@ -140,6 +142,10 @@ mod tests {
     use crate::strategy::Strategy;
     use easytime_data::Frequency;
     use easytime_models::ModelSpec;
+
+    fn validated(config: EvalConfig) -> ValidatedEvalConfig {
+        config.into_validated(&MetricRegistry::standard()).unwrap()
+    }
 
     /// Channel 1 follows channel 0 with a one-step lag — VAR territory.
     fn coupled(n: usize) -> MultiSeries {
@@ -159,10 +165,10 @@ mod tests {
     fn var_beats_channel_independent_naive_on_coupled_channels() {
         let series = coupled(400);
         let registry = MetricRegistry::standard();
-        let config = EvalConfig {
+        let config = validated(EvalConfig {
             strategy: Strategy::Fixed { horizon: 8 },
             ..EvalConfig::default()
-        };
+        });
         let var = evaluate_multivariate(
             "c",
             &series,
@@ -196,10 +202,10 @@ mod tests {
     fn rolling_strategy_works_on_multivariate() {
         let series = coupled(300);
         let registry = MetricRegistry::standard();
-        let config = EvalConfig {
+        let config = validated(EvalConfig {
             strategy: Strategy::Rolling { horizon: 10, stride: 10, max_windows: Some(3) },
             ..EvalConfig::default()
-        };
+        });
         let rec = evaluate_multivariate(
             "c",
             &series,
@@ -217,10 +223,10 @@ mod tests {
     fn failures_are_captured_in_the_record() {
         let series = coupled(40);
         let registry = MetricRegistry::standard();
-        let config = EvalConfig {
+        let config = validated(EvalConfig {
             strategy: Strategy::Fixed { horizon: 4 },
             ..EvalConfig::default()
-        };
+        });
         // VAR(12) over 2 channels needs a 40-point training window; only
         // 32 points are available before the forecast origin.
         let rec = evaluate_multivariate(
@@ -232,22 +238,16 @@ mod tests {
         )
         .unwrap();
         assert!(!rec.is_ok());
-        assert!(rec.error.as_deref().unwrap().contains("too short"));
+        let failure = rec.error.as_ref().unwrap();
+        assert!(failure.detail.contains("too short"), "{failure}");
+        assert_eq!(failure.kind, crate::pipeline::FailureKind::DataTooShort);
     }
 
     #[test]
-    fn unknown_metric_is_a_config_error() {
-        let series = coupled(100);
-        let registry = MetricRegistry::standard();
+    fn unknown_metric_is_rejected_at_validation() {
         let config = EvalConfig { metrics: vec!["nope".into()], ..EvalConfig::default() };
         assert!(matches!(
-            evaluate_multivariate(
-                "c",
-                &series,
-                &MultiModelSpec::Var { order: 1 },
-                &config,
-                &registry
-            ),
+            config.into_validated(&MetricRegistry::standard()),
             Err(EvalError::UnknownMetric { .. })
         ));
     }

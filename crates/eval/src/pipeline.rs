@@ -16,19 +16,64 @@
 //! sweeps run on a work-stealing thread pool ([`evaluate_corpus`]); failures
 //! are captured *per record* so one incompatible method/dataset pair never
 //! aborts a sweep — exactly the robustness one-click evaluation needs.
+//!
+//! # Refit policy
+//!
+//! Rolling evaluation traditionally rebuilds everything per window
+//! ([`RefitPolicy::Always`], the default — scores are bit-identical to
+//! historical runs). [`RefitPolicy::WarmStart`] switches to the incremental
+//! engine: scaler statistics stream forward ([`Scaler::extend`]), models
+//! that support [`Forecaster::update`] absorb only the appended
+//! observations, and a per-job [`WindowWorkspace`] recycles every scratch
+//! buffer so the steady-state window loop allocates nothing.
 
 use crate::error::EvalError;
-use crate::metrics::{MetricContext, MetricRegistry};
-use crate::strategy::Strategy;
+use crate::metrics::{Metric, MetricContext, MetricRegistry};
+use crate::strategy::{EvalWindow, Strategy};
 use easytime_data::scaler::ScalerKind;
-use easytime_data::{Dataset, Scaler, SplitSpec, TimeSeries};
-use easytime_models::{ModelSpec, Result as ModelResult};
+use easytime_data::{DataError, Dataset, Scaler, SplitSpec, TimeSeries};
+use easytime_models::{Forecaster, ModelError, ModelSpec, Result as ModelResult};
 use std::collections::BTreeMap;
 use easytime_clock::Stopwatch;
 
+/// When the rolling pipeline rebuilds model and scaler state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RefitPolicy {
+    /// Refit the scaler and a fresh model on the full training prefix for
+    /// every window — the classical protocol, and the default (existing
+    /// scores stay bit-identical).
+    #[default]
+    Always,
+    /// Incremental engine: stream scaler statistics forward and warm-start
+    /// models via [`Forecaster::update`] where supported; methods that
+    /// cannot warm-start fall back to a per-window refit.
+    WarmStart,
+}
+
+impl RefitPolicy {
+    /// Canonical lowercase name (config files, manifests).
+    pub fn name(self) -> &'static str {
+        match self {
+            RefitPolicy::Always => "always",
+            RefitPolicy::WarmStart => "warm_start",
+        }
+    }
+
+    /// Parses a policy from its canonical name.
+    pub fn parse(s: &str) -> Option<RefitPolicy> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "always" | "refit" | "" => Some(RefitPolicy::Always),
+            "warm_start" | "warm-start" | "warm" => Some(RefitPolicy::WarmStart),
+            _ => None,
+        }
+    }
+}
+
 /// Configuration of one evaluation run (the programmatic form of the
 /// paper's "configuration file"; the core crate parses the file format
-/// into this struct).
+/// into this struct). Construct via [`EvalConfig::builder`] — which
+/// validates once and yields a [`ValidatedEvalConfig`] — or fill the
+/// fields directly and call [`EvalConfig::into_validated`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct EvalConfig {
     /// Methods to evaluate.
@@ -43,6 +88,8 @@ pub struct EvalConfig {
     pub metrics: Vec<String>,
     /// Worker threads for corpus sweeps (0 = all available cores).
     pub threads: usize,
+    /// When rolling windows rebuild model/scaler state.
+    pub refit: RefitPolicy,
 }
 
 impl Default for EvalConfig {
@@ -54,11 +101,19 @@ impl Default for EvalConfig {
             scaler: ScalerKind::ZScore,
             metrics: vec!["mae".into(), "rmse".into(), "smape".into(), "mase".into()],
             threads: 0,
+            refit: RefitPolicy::Always,
         }
     }
 }
 
 impl EvalConfig {
+    /// Starts a fluent builder. The builder begins with the default
+    /// strategy/split/scaler/metrics but **no methods** — add at least one
+    /// via [`EvalConfigBuilder::method`] or [`EvalConfigBuilder::methods`].
+    pub fn builder() -> EvalConfigBuilder {
+        EvalConfigBuilder::default()
+    }
+
     /// Validates the configuration against the metric registry.
     pub fn validate(&self, registry: &MetricRegistry) -> Result<(), EvalError> {
         if self.methods.is_empty() {
@@ -72,6 +127,188 @@ impl EvalConfig {
             registry.get(m)?;
         }
         Ok(())
+    }
+
+    /// Validates against `registry` and seals the result, the form
+    /// [`evaluate`] and [`evaluate_corpus`] accept.
+    pub fn into_validated(
+        self,
+        registry: &MetricRegistry,
+    ) -> Result<ValidatedEvalConfig, EvalError> {
+        self.validate(registry)?;
+        Ok(ValidatedEvalConfig { config: self })
+    }
+}
+
+/// Fluent builder for [`EvalConfig`]; [`EvalConfigBuilder::build`] performs
+/// the one-and-only validation pass (methods/metrics non-empty, strategy
+/// parameters sane, metric names known to the registry).
+#[derive(Debug, Clone)]
+pub struct EvalConfigBuilder {
+    config: EvalConfig,
+}
+
+impl Default for EvalConfigBuilder {
+    fn default() -> Self {
+        EvalConfigBuilder { config: EvalConfig { methods: Vec::new(), ..EvalConfig::default() } }
+    }
+}
+
+impl EvalConfigBuilder {
+    /// Adds one method to the roster.
+    pub fn method(mut self, spec: ModelSpec) -> Self {
+        self.config.methods.push(spec);
+        self
+    }
+
+    /// Replaces the method roster.
+    pub fn methods(mut self, specs: impl IntoIterator<Item = ModelSpec>) -> Self {
+        self.config.methods = specs.into_iter().collect();
+        self
+    }
+
+    /// Sets the evaluation strategy.
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.config.strategy = strategy;
+        self
+    }
+
+    /// Sets the chronological split.
+    pub fn split(mut self, split: SplitSpec) -> Self {
+        self.config.split = split;
+        self
+    }
+
+    /// Sets the normalization method.
+    pub fn scaler(mut self, scaler: ScalerKind) -> Self {
+        self.config.scaler = scaler;
+        self
+    }
+
+    /// Adds one metric to the (default) metric list.
+    pub fn metric(mut self, name: impl Into<String>) -> Self {
+        self.config.metrics.push(name.into());
+        self
+    }
+
+    /// Replaces the metric list.
+    pub fn metrics(mut self, names: impl IntoIterator<Item = impl Into<String>>) -> Self {
+        self.config.metrics = names.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Sets the corpus-sweep worker count (0 = all cores).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
+    /// Sets the rolling refit policy.
+    pub fn refit(mut self, refit: RefitPolicy) -> Self {
+        self.config.refit = refit;
+        self
+    }
+
+    /// Validates against `registry` and seals the configuration.
+    pub fn build(self, registry: &MetricRegistry) -> Result<ValidatedEvalConfig, EvalError> {
+        self.config.into_validated(registry)
+    }
+}
+
+/// A configuration that passed [`EvalConfig::validate`]. Only constructible
+/// through [`EvalConfigBuilder::build`] / [`EvalConfig::into_validated`], so
+/// the pipeline entry points no longer re-validate ad hoc.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidatedEvalConfig {
+    config: EvalConfig,
+}
+
+impl ValidatedEvalConfig {
+    /// The validated configuration.
+    pub fn config(&self) -> &EvalConfig {
+        &self.config
+    }
+
+    /// Unwraps the inner configuration (e.g. to tweak and re-validate).
+    pub fn into_inner(self) -> EvalConfig {
+        self.config
+    }
+}
+
+impl std::ops::Deref for ValidatedEvalConfig {
+    type Target = EvalConfig;
+
+    fn deref(&self) -> &EvalConfig {
+        &self.config
+    }
+}
+
+/// Why an evaluation failed, in coarse machine-checkable categories (the
+/// knowledge base and AutoML layers branch on these instead of matching
+/// substrings of error prose).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FailureKind {
+    /// The training prefix was shorter than the method or split required.
+    DataTooShort,
+    /// A numerical routine failed to converge or produced non-finite state.
+    ModelDiverged,
+    /// The scaler could not produce a usable transform.
+    ScalerDegenerate,
+    /// Anything else (unknown methods, internal errors, …).
+    Other,
+}
+
+impl FailureKind {
+    /// Canonical snake_case name (stable; used in reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            FailureKind::DataTooShort => "data_too_short",
+            FailureKind::ModelDiverged => "model_diverged",
+            FailureKind::ScalerDegenerate => "scaler_degenerate",
+            FailureKind::Other => "other",
+        }
+    }
+}
+
+/// A typed evaluation failure: a categorical [`FailureKind`] plus the full
+/// human-readable detail. `Display` renders the detail alone, so report
+/// tables and knowledge-base serialization look exactly as they did when
+/// records carried a bare string.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalFailure {
+    /// Coarse category for filtering.
+    pub kind: FailureKind,
+    /// Human-readable description (the underlying error's `Display`).
+    pub detail: String,
+}
+
+impl EvalFailure {
+    /// Captures an [`EvalError`] as a typed failure.
+    pub fn from_error(e: &EvalError) -> EvalFailure {
+        EvalFailure { kind: classify(e), detail: e.to_string() }
+    }
+}
+
+impl std::fmt::Display for EvalFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.detail)
+    }
+}
+
+/// Maps an error to its failure category.
+fn classify(e: &EvalError) -> FailureKind {
+    match e {
+        EvalError::Model(ModelError::TooShort { .. }) => FailureKind::DataTooShort,
+        EvalError::Model(ModelError::Numeric { .. }) => FailureKind::ModelDiverged,
+        EvalError::Model(ModelError::Data(d)) | EvalError::Data(d) => match d {
+            DataError::ScalerNotFitted | DataError::NonFiniteValue { .. } => {
+                FailureKind::ScalerDegenerate
+            }
+            DataError::EmptySeries { .. } => FailureKind::DataTooShort,
+            _ => FailureKind::Other,
+        },
+        EvalError::InsufficientTestData { .. } => FailureKind::DataTooShort,
+        _ => FailureKind::Other,
     }
 }
 
@@ -95,8 +332,8 @@ pub struct EvalRecord {
     pub windows: usize,
     /// Wall-clock milliseconds spent fitting and forecasting.
     pub runtime_ms: f64,
-    /// Failure description when the method could not be evaluated.
-    pub error: Option<String>,
+    /// Typed failure when the method could not be evaluated.
+    pub error: Option<EvalFailure>,
 }
 
 impl EvalRecord {
@@ -109,9 +346,14 @@ impl EvalRecord {
     pub fn is_ok(&self) -> bool {
         self.error.is_none()
     }
+
+    /// The failure category, when the evaluation failed.
+    pub fn failure_kind(&self) -> Option<FailureKind> {
+        self.error.as_ref().map(|e| e.kind)
+    }
 }
 
-/// Evaluates one method on one univariate series under a config.
+/// Evaluates one method on one univariate series under a validated config.
 ///
 /// Model or data failures are reported inside the returned record (see
 /// [`EvalRecord::error`]); only configuration errors return `Err`.
@@ -119,14 +361,10 @@ pub fn evaluate(
     dataset_id: &str,
     series: &TimeSeries,
     spec: &ModelSpec,
-    config: &EvalConfig,
+    config: &ValidatedEvalConfig,
     registry: &MetricRegistry,
 ) -> Result<EvalRecord, EvalError> {
-    config.strategy.validate()?;
-    for m in &config.metrics {
-        registry.get(m)?;
-    }
-
+    let config = config.config();
     let mut record = EvalRecord {
         dataset_id: dataset_id.to_string(),
         method: spec.name(),
@@ -157,10 +395,28 @@ pub fn evaluate(
                     &format!("{}/{} failed: {e}", record.dataset_id, record.method),
                 );
             }
-            record.error = Some(e.to_string());
+            record.error = Some(EvalFailure::from_error(&e));
         }
     }
     Ok(record)
+}
+
+/// Reusable per-job scratch buffers for the incremental window loop: once
+/// each buffer has grown to its steady-state capacity, warm windows
+/// perform zero heap allocations.
+#[derive(Debug, Default)]
+struct WindowWorkspace {
+    /// Scaled full training prefix (refit fallback path).
+    scaled_train: Vec<f64>,
+    /// Scaled newly-appended observations (warm path).
+    scaled_append: Vec<f64>,
+    /// Scaled-space forecast for the current window.
+    forecast: Vec<f64>,
+    /// Raw-scale predictions for the current window.
+    predicted: Vec<f64>,
+    /// Carrier series handed to [`Forecaster::update`]; its value buffer
+    /// is recycled across windows.
+    carrier: Option<TimeSeries>,
 }
 
 /// Inner pipeline: returns `(mean scores, window count, runtime ms)`.
@@ -176,13 +432,70 @@ fn run_windows(
     let test_start = n - split.test.len();
     let windows = config.strategy.windows(n, test_start, config.split.drop_last)?;
     let period = series.frequency().default_period().unwrap_or(1);
-    let raw = series.values();
+
+    // Resolve metrics once; per-window work indexes this slice instead of
+    // hitting the registry per metric per window.
+    let resolved: Vec<&Metric> =
+        config.metrics.iter().map(|m| registry.get(m)).collect::<Result<_, _>>()?;
 
     let mut sp = easytime_obs::span("eval.run_windows");
     sp.attr("windows", windows.len());
     let started = Stopwatch::start();
-    let mut sums: BTreeMap<String, (f64, usize)> = BTreeMap::new();
-    for w in &windows {
+    let mut sums: Vec<(f64, usize)> = vec![(0.0, 0); resolved.len()];
+    match config.refit {
+        RefitPolicy::Always => {
+            refit_windows(series, spec, config, &windows, period, &resolved, &mut sums)?;
+        }
+        RefitPolicy::WarmStart => {
+            warm_windows(series, spec, config, &windows, period, &resolved, &mut sums)?;
+        }
+    }
+    let runtime_ms = started.elapsed_ms();
+
+    let scores = resolved
+        .iter()
+        .zip(&sums)
+        .map(|(m, &(sum, cnt))| {
+            (m.name().to_string(), if cnt > 0 { sum / cnt as f64 } else { f64::NAN })
+        })
+        .collect();
+    Ok((scores, windows.len(), runtime_ms))
+}
+
+/// Scores one window into the running per-metric sums.
+fn score_window(
+    actual: &[f64],
+    predicted: &[f64],
+    train_raw: &[f64],
+    period: usize,
+    resolved: &[&Metric],
+    sums: &mut [(f64, usize)],
+) -> Result<(), EvalError> {
+    let ctx = MetricContext::new(actual, predicted, train_raw, period)?;
+    for (slot, metric) in sums.iter_mut().zip(resolved) {
+        let v = metric.compute(&ctx);
+        if v.is_finite() {
+            slot.0 += v;
+            slot.1 += 1;
+        }
+    }
+    Ok(())
+}
+
+/// Classical rolling loop: per-window scaler refit + fresh model
+/// ([`RefitPolicy::Always`]). Numerics are unchanged from the historical
+/// pipeline, keeping default-policy results bit-identical.
+fn refit_windows(
+    series: &TimeSeries,
+    spec: &ModelSpec,
+    config: &EvalConfig,
+    windows: &[EvalWindow],
+    period: usize,
+    resolved: &[&Metric],
+    sums: &mut [(f64, usize)],
+) -> Result<(), EvalError> {
+    let raw = series.values();
+    for w in windows {
         let mut wsp = easytime_obs::span("eval.window");
         wsp.attr("origin", w.origin);
         wsp.attr("len", w.len);
@@ -202,24 +515,113 @@ fn run_windows(
 
         // 5. metrics on the raw scale.
         let actual = &raw[w.origin..w.origin + w.len];
-        let ctx = MetricContext::new(actual, &predicted, train_slice, period)?;
-        for name in &config.metrics {
-            let metric = registry.get(name)?;
-            let v = metric.compute(&ctx);
-            let entry = sums.entry(metric.name().to_string()).or_insert((0.0, 0));
-            if v.is_finite() {
-                entry.0 += v;
-                entry.1 += 1;
+        score_window(actual, &predicted, train_slice, period, resolved, sums)?;
+    }
+    easytime_obs::add("eval.full_refits", windows.len() as u64);
+    Ok(())
+}
+
+/// Incremental rolling loop ([`RefitPolicy::WarmStart`]).
+///
+/// Scaler statistics stream forward in O(appended) per window
+/// ([`Scaler::extend`]); the live model absorbs only the appended
+/// observations via [`Forecaster::update`]. The appended values are scaled
+/// with the transform the model was *fitted* under (kept in `frozen`), so
+/// its internal state stays in one consistent space — warm-startable
+/// families are affine-equivariant, which makes their raw-scale forecasts
+/// agree with a full refit. When `update` declines (`Ok(false)`), the
+/// model is rebuilt on the whole prefix under the current streamed
+/// statistics and `frozen` resets.
+fn warm_windows(
+    series: &TimeSeries,
+    spec: &ModelSpec,
+    config: &EvalConfig,
+    windows: &[EvalWindow],
+    period: usize,
+    resolved: &[&Metric],
+    sums: &mut [(f64, usize)],
+) -> Result<(), EvalError> {
+    let raw = series.values();
+    let mut ws = WindowWorkspace::default();
+    let mut scaler = Scaler::new(config.scaler);
+    let mut seeded = false;
+    // Training-prefix length the scaler statistics currently cover.
+    let mut covered = 0usize;
+    let mut model: Option<Box<dyn Forecaster>> = None;
+    // (shift, scale) the live model was fitted under.
+    let mut frozen = (0.0, 1.0);
+    let mut warm_starts = 0u64;
+    let mut full_refits = 0u64;
+
+    for w in windows {
+        let mut wsp = easytime_obs::span("eval.window");
+        wsp.attr("origin", w.origin);
+        wsp.attr("len", w.len);
+        let appended = &raw[covered..w.origin];
+
+        // Advance scaler statistics to cover raw[..w.origin].
+        if !seeded {
+            if !scaler.extend(&raw[..w.origin])? {
+                scaler.fit(&raw[..w.origin])?;
+            }
+            seeded = true;
+        } else if !appended.is_empty() && !scaler.extend(appended)? {
+            // Non-streamable statistics (robust): rescan the prefix.
+            scaler.fit(&raw[..w.origin])?;
+        }
+        covered = w.origin;
+
+        // Warm path: hand the appended observations — scaled under the
+        // model's fit-time transform — to `update`.
+        let mut warmed = false;
+        if let Some(m) = model.as_mut() {
+            if appended.is_empty() {
+                warmed = true;
+            } else {
+                ws.scaled_append.clear();
+                ws.scaled_append.extend(appended.iter().map(|v| (v - frozen.0) / frozen.1));
+                match ws.carrier.as_mut() {
+                    Some(ts) => ts.assign_values(&ws.scaled_append)?,
+                    None => ws.carrier = Some(series.with_values(ws.scaled_append.clone())?),
+                }
+                let Some(carrier) = ws.carrier.as_ref() else {
+                    return Err(EvalError::Internal {
+                        reason: "workspace carrier missing after assignment".into(),
+                    });
+                };
+                warmed = m.update(carrier)?;
             }
         }
-    }
-    let runtime_ms = started.elapsed_ms();
 
-    let scores = sums
-        .into_iter()
-        .map(|(k, (sum, cnt))| (k, if cnt > 0 { sum / cnt as f64 } else { f64::NAN }))
-        .collect();
-    Ok((scores, windows.len(), runtime_ms))
+        if warmed {
+            warm_starts += 1;
+        } else {
+            // Cold path: rebuild under the current streamed statistics.
+            full_refits += 1;
+            let (shift, scale) = scaler
+                .fitted_params()
+                .ok_or(EvalError::Data(DataError::ScalerNotFitted))?;
+            frozen = (shift, scale);
+            scaler.transform_into(&raw[..w.origin], &mut ws.scaled_train)?;
+            let train_series = series.with_values(ws.scaled_train.clone())?;
+            let mut fresh = spec.build()?;
+            fresh.fit(&train_series)?;
+            model = Some(fresh);
+        }
+
+        let Some(m) = model.as_ref() else {
+            return Err(EvalError::Internal { reason: "no model after refit".into() });
+        };
+        m.forecast_into(w.len, &mut ws.forecast)?;
+        ws.predicted.clear();
+        ws.predicted.extend(ws.forecast.iter().map(|v| v * frozen.1 + frozen.0));
+
+        let actual = &raw[w.origin..w.origin + w.len];
+        score_window(actual, &ws.predicted, &raw[..w.origin], period, resolved, sums)?;
+    }
+    easytime_obs::add("eval.warm_starts", warm_starts);
+    easytime_obs::add("eval.full_refits", full_refits);
+    Ok(())
 }
 
 /// Evaluates every configured method on every dataset, in parallel.
@@ -230,22 +632,21 @@ fn run_windows(
 /// datasets × methods in input order.
 pub fn evaluate_corpus(
     datasets: &[Dataset],
-    config: &EvalConfig,
+    config: &ValidatedEvalConfig,
     registry: &MetricRegistry,
 ) -> Result<Vec<EvalRecord>, EvalError> {
-    config.validate(registry)?;
-
+    let inner = config.config();
     let jobs: Vec<(usize, &Dataset, &ModelSpec)> = datasets
         .iter()
-        .flat_map(|d| config.methods.iter().map(move |m| (d, m)))
+        .flat_map(|d| inner.methods.iter().map(move |m| (d, m)))
         .enumerate()
         .map(|(i, (d, m))| (i, d, m))
         .collect();
 
-    let workers = if config.threads == 0 {
+    let workers = if inner.threads == 0 {
         std::thread::available_parallelism().map(usize::from).unwrap_or(4)
     } else {
-        config.threads
+        inner.threads
     }
     .min(jobs.len().max(1));
 
@@ -256,13 +657,15 @@ pub fn evaluate_corpus(
         // Run manifest: enough provenance to tie metrics.json to its run.
         easytime_obs::manifest_set(
             "config_hash",
-            easytime_obs::fnv1a_hex(format!("{config:?}").as_bytes()),
+            easytime_obs::fnv1a_hex(format!("{inner:?}").as_bytes()),
         );
         let ids: Vec<String> = datasets.iter().map(|d| d.meta.id.clone()).collect();
         easytime_obs::manifest_set_list("dataset_ids", &ids);
-        let methods: Vec<String> = config.methods.iter().map(easytime_models::ModelSpec::name).collect();
+        let methods: Vec<String> =
+            inner.methods.iter().map(easytime_models::ModelSpec::name).collect();
         easytime_obs::manifest_set_list("methods", &methods);
         easytime_obs::manifest_set("workers", workers);
+        easytime_obs::manifest_set("refit_policy", inner.refit.name());
     }
 
     let next = std::sync::atomic::AtomicUsize::new(0);
@@ -328,10 +731,14 @@ mod tests {
         TimeSeries::new("seasonal", values, Frequency::Monthly).unwrap()
     }
 
+    fn validated(config: EvalConfig) -> ValidatedEvalConfig {
+        config.into_validated(&MetricRegistry::standard()).unwrap()
+    }
+
     #[test]
     fn fixed_evaluation_produces_scores() {
         let series = seasonal_series(120);
-        let config = EvalConfig::default();
+        let config = validated(EvalConfig::default());
         let registry = MetricRegistry::standard();
         let rec = evaluate("d1", &series, &ModelSpec::SeasonalNaive(None), &config, &registry)
             .unwrap();
@@ -345,12 +752,63 @@ mod tests {
     }
 
     #[test]
+    fn builder_is_fluent_and_validates_once() {
+        let registry = MetricRegistry::standard();
+        let config = EvalConfig::builder()
+            .method(ModelSpec::Naive)
+            .method(ModelSpec::Drift)
+            .strategy(Strategy::Rolling { horizon: 6, stride: 6, max_windows: Some(4) })
+            .scaler(ScalerKind::MinMax)
+            .metrics(["mae", "rmse"])
+            .threads(2)
+            .refit(RefitPolicy::WarmStart)
+            .build(&registry)
+            .unwrap();
+        assert_eq!(config.methods.len(), 2);
+        assert_eq!(config.scaler, ScalerKind::MinMax);
+        assert_eq!(config.refit, RefitPolicy::WarmStart);
+        assert_eq!(config.metrics, vec!["mae".to_string(), "rmse".to_string()]);
+        // Round trip through the sealed type.
+        let inner = config.clone().into_inner();
+        assert_eq!(&inner, config.config());
+    }
+
+    #[test]
+    fn builder_rejects_invalid_configs() {
+        let registry = MetricRegistry::standard();
+        // No methods.
+        assert!(matches!(
+            EvalConfig::builder().build(&registry),
+            Err(EvalError::InvalidConfig { .. })
+        ));
+        // No metrics.
+        assert!(matches!(
+            EvalConfig::builder()
+                .method(ModelSpec::Naive)
+                .metrics(Vec::<String>::new())
+                .build(&registry),
+            Err(EvalError::InvalidConfig { .. })
+        ));
+        // Unknown metric names fail at build time, not inside the sweep.
+        assert!(matches!(
+            EvalConfig::builder().method(ModelSpec::Naive).metric("nope").build(&registry),
+            Err(EvalError::UnknownMetric { .. })
+        ));
+        // Bad strategy parameters.
+        assert!(EvalConfig::builder()
+            .method(ModelSpec::Naive)
+            .strategy(Strategy::Fixed { horizon: 0 })
+            .build(&registry)
+            .is_err());
+    }
+
+    #[test]
     fn rolling_scores_multiple_windows() {
         let series = seasonal_series(200);
-        let config = EvalConfig {
+        let config = validated(EvalConfig {
             strategy: Strategy::Rolling { horizon: 10, stride: 10, max_windows: None },
             ..EvalConfig::default()
-        };
+        });
         let registry = MetricRegistry::standard();
         let rec =
             evaluate("d1", &series, &ModelSpec::Naive, &config, &registry).unwrap();
@@ -361,7 +819,7 @@ mod tests {
     #[test]
     fn good_model_beats_bad_model_on_seasonal_data() {
         let series = seasonal_series(240);
-        let config = EvalConfig::default();
+        let config = validated(EvalConfig::default());
         let registry = MetricRegistry::standard();
         let snaive =
             evaluate("d", &series, &ModelSpec::SeasonalNaive(None), &config, &registry).unwrap();
@@ -385,26 +843,45 @@ mod tests {
             Frequency::Daily,
         )
         .unwrap();
-        let config = EvalConfig {
+        let config = validated(EvalConfig {
             strategy: Strategy::Fixed { horizon: 4 },
             ..EvalConfig::default()
-        };
+        });
         let registry = MetricRegistry::standard();
         let rec =
             evaluate("tiny", &series, &ModelSpec::Arima(2, 1, 1), &config, &registry).unwrap();
         assert!(!rec.is_ok());
-        assert!(rec.error.as_deref().unwrap().contains("too short"));
+        let failure = rec.error.as_ref().unwrap();
+        assert!(failure.detail.contains("too short"), "{failure}");
+        assert_eq!(failure.kind, FailureKind::DataTooShort);
+        assert_eq!(rec.failure_kind(), Some(FailureKind::DataTooShort));
+        // Display renders the detail alone (legacy string format).
+        assert_eq!(failure.to_string(), failure.detail);
     }
 
     #[test]
-    fn unknown_metric_is_a_config_error() {
-        let series = seasonal_series(100);
-        let config = EvalConfig { metrics: vec!["nope".into()], ..EvalConfig::default() };
+    fn refit_policy_names_round_trip() {
+        for p in [RefitPolicy::Always, RefitPolicy::WarmStart] {
+            assert_eq!(RefitPolicy::parse(p.name()), Some(p));
+        }
+        assert_eq!(RefitPolicy::parse("warm-start"), Some(RefitPolicy::WarmStart));
+        assert_eq!(RefitPolicy::parse("sometimes"), None);
+        assert_eq!(RefitPolicy::default(), RefitPolicy::Always);
+    }
+
+    #[test]
+    fn warm_start_policy_counts_warm_and_cold_windows() {
+        let series = seasonal_series(300);
+        let config = validated(EvalConfig {
+            strategy: Strategy::Rolling { horizon: 6, stride: 6, max_windows: Some(10) },
+            refit: RefitPolicy::WarmStart,
+            ..EvalConfig::default()
+        });
         let registry = MetricRegistry::standard();
-        assert!(matches!(
-            evaluate("d", &series, &ModelSpec::Naive, &config, &registry),
-            Err(EvalError::UnknownMetric { .. })
-        ));
+        let rec = evaluate("d", &series, &ModelSpec::Naive, &config, &registry).unwrap();
+        assert!(rec.is_ok(), "error: {:?}", rec.error);
+        assert_eq!(rec.windows, 10);
+        assert!(rec.score("mae").is_finite());
     }
 
     #[test]
@@ -412,16 +889,24 @@ mod tests {
         // With a huge level, un-inverted forecasts would produce absurd MAE.
         let values: Vec<f64> = (0..100).map(|t| 1e6 + (t % 7) as f64).collect();
         let series = TimeSeries::new("lvl", values, Frequency::Daily).unwrap();
-        let config = EvalConfig {
-            scaler: ScalerKind::ZScore,
-            strategy: Strategy::Fixed { horizon: 7 },
-            ..EvalConfig::default()
-        };
         let registry = MetricRegistry::standard();
-        let rec = evaluate("lvl", &series, &ModelSpec::SeasonalNaive(Some(7)), &config, &registry)
-            .unwrap();
-        assert!(rec.is_ok());
-        assert!(rec.score("mae") < 10.0, "mae {} implies broken inverse transform", rec.score("mae"));
+        for refit in [RefitPolicy::Always, RefitPolicy::WarmStart] {
+            let config = validated(EvalConfig {
+                scaler: ScalerKind::ZScore,
+                strategy: Strategy::Fixed { horizon: 7 },
+                refit,
+                ..EvalConfig::default()
+            });
+            let rec =
+                evaluate("lvl", &series, &ModelSpec::SeasonalNaive(Some(7)), &config, &registry)
+                    .unwrap();
+            assert!(rec.is_ok());
+            assert!(
+                rec.score("mae") < 10.0,
+                "{refit:?}: mae {} implies broken inverse transform",
+                rec.score("mae")
+            );
+        }
     }
 
     #[test]
@@ -433,11 +918,11 @@ mod tests {
             ..CorpusConfig::default()
         })
         .unwrap();
-        let config = EvalConfig {
+        let config = validated(EvalConfig {
             methods: vec![ModelSpec::Naive, ModelSpec::SeasonalNaive(None), ModelSpec::Drift],
             threads: 3,
             ..EvalConfig::default()
-        };
+        });
         let registry = MetricRegistry::standard();
         let mut a = evaluate_corpus(&corpus, &config, &registry).unwrap();
         let mut b = evaluate_corpus(&corpus, &config, &registry).unwrap();

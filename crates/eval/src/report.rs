@@ -7,7 +7,7 @@
 //! [`Leaderboard`] aggregates them into per-method rankings; both render as
 //! fixed-width ASCII tables suitable for terminals and logs.
 
-use crate::pipeline::EvalRecord;
+use crate::pipeline::{EvalRecord, FailureKind};
 use std::collections::BTreeMap;
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
@@ -59,6 +59,12 @@ impl RunLog {
         self.guard().iter().filter(|r| !r.is_ok()).count()
     }
 
+    /// Number of failed records of one [`FailureKind`] — typed filtering,
+    /// no error-string matching.
+    pub fn failures_of(&self, kind: FailureKind) -> usize {
+        self.guard().iter().filter(|r| r.failure_kind() == Some(kind)).count()
+    }
+
     /// Builds the leaderboard for one metric.
     pub fn leaderboard(&self, metric: &str, lower_is_better: bool) -> Leaderboard {
         Leaderboard::from_records(&self.guard(), metric, lower_is_better)
@@ -84,7 +90,7 @@ impl RunLog {
                 for m in metrics {
                     row.push(format_score(r.score(m)));
                 }
-                row.push(r.error.clone().map_or_else(|| "ok".into(), |e| truncate(&e, 28)));
+                row.push(r.error.as_ref().map_or_else(|| "ok".into(), |e| truncate(&e.detail, 28)));
                 row
             })
             .collect();
@@ -124,7 +130,9 @@ impl Leaderboard {
         let mut by_dataset: BTreeMap<&str, Vec<(&str, f64)>> = BTreeMap::new();
         for r in records {
             let v = r.score(metric);
-            if r.is_ok() && v.is_finite() {
+            // Typed failure filter: any categorized failure excludes the
+            // record, without inspecting error prose.
+            if r.failure_kind().is_none() && v.is_finite() {
                 by_dataset.entry(&r.dataset_id).or_default().push((&r.method, v));
             }
         }
@@ -290,10 +298,15 @@ mod tests {
         assert!(log.is_empty());
         log.push(record("a", "naive", 1.0));
         let mut failed = record("a", "arima_111", f64::NAN);
-        failed.error = Some("too short".into());
+        failed.error = Some(crate::pipeline::EvalFailure {
+            kind: FailureKind::DataTooShort,
+            detail: "too short".into(),
+        });
         log.push(failed);
         assert_eq!(log.len(), 2);
         assert_eq!(log.failures(), 1);
+        assert_eq!(log.failures_of(FailureKind::DataTooShort), 1);
+        assert_eq!(log.failures_of(FailureKind::ModelDiverged), 0);
     }
 
     #[test]
@@ -331,7 +344,10 @@ mod tests {
     #[test]
     fn failed_and_nan_records_are_excluded() {
         let mut bad = record("d1", "broken", f64::NAN);
-        bad.error = Some("boom".into());
+        bad.error = Some(crate::pipeline::EvalFailure {
+            kind: FailureKind::Other,
+            detail: "boom".into(),
+        });
         let records = vec![record("d1", "ok", 1.0), bad];
         let board = Leaderboard::from_records(&records, "mae", true);
         assert_eq!(board.rows.len(), 1);

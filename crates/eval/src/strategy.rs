@@ -108,7 +108,11 @@ impl Strategy {
                 Ok(vec![EvalWindow { origin: test_start, len }])
             }
             Strategy::Rolling { horizon, stride, max_windows } => {
-                let mut out = Vec::new();
+                // Exact window count is known up front: pre-size so window
+                // materialization costs one allocation regardless of count.
+                let upper = test_len.div_ceil(stride);
+                let mut out =
+                    Vec::with_capacity(max_windows.map_or(upper, |m| m.min(upper)));
                 let mut origin = test_start;
                 while origin < total_len {
                     let remaining = total_len - origin;

@@ -1,0 +1,194 @@
+//! Equivalence guarantees of the incremental rolling engine.
+//!
+//! `RefitPolicy::WarmStart` must be an *optimization*, not a different
+//! protocol: for warm-startable methods its scores must match
+//! `RefitPolicy::Always` bitwise when no scaling is involved, and to within
+//! 1e-9 relative tolerance when forecasts round-trip through streamed
+//! scaler statistics. Corpus sweeps under the warm policy must stay
+//! deterministic regardless of worker count.
+
+use easytime_data::scaler::ScalerKind;
+use easytime_data::synthetic::{build_corpus, CorpusConfig};
+use easytime_data::{Domain, Frequency, TimeSeries};
+use easytime_eval::{
+    evaluate, evaluate_corpus, EvalConfig, EvalRecord, MetricRegistry, RefitPolicy, Strategy,
+    ValidatedEvalConfig,
+};
+use easytime_models::ModelSpec;
+use std::f64::consts::PI;
+
+/// Trend + two seasonalities + deterministic pseudo-noise.
+fn synthetic_series(n: usize) -> TimeSeries {
+    let values: Vec<f64> = (0..n)
+        .map(|t| {
+            let t = t as f64;
+            20.0 + 0.03 * t
+                + 5.0 * (2.0 * PI * t / 12.0).sin()
+                + 1.5 * (2.0 * PI * t / 7.0).cos()
+                + 0.4 * (t * 12.9898).sin() * (t * 78.233).cos()
+        })
+        .collect();
+    TimeSeries::new("synthetic", values, Frequency::Monthly).unwrap()
+}
+
+/// The families with true O(appended) warm-start implementations.
+fn warm_family() -> Vec<ModelSpec> {
+    vec![
+        ModelSpec::Naive,
+        ModelSpec::SeasonalNaive(None),
+        ModelSpec::SeasonalNaive(Some(7)),
+        ModelSpec::Drift,
+        ModelSpec::Mean,
+        ModelSpec::WindowAverage(12),
+        ModelSpec::SeasonalAverage { period: None, cycles: 3 },
+    ]
+}
+
+fn config_with(
+    scaler: ScalerKind,
+    strategy: Strategy,
+    refit: RefitPolicy,
+) -> ValidatedEvalConfig {
+    EvalConfig { scaler, strategy, refit, ..EvalConfig::default() }
+        .into_validated(&MetricRegistry::standard())
+        .unwrap()
+}
+
+fn assert_scores_match(a: &EvalRecord, b: &EvalRecord, tol: f64, label: &str) {
+    assert!(a.is_ok(), "{label}: refit failed: {:?}", a.error);
+    assert!(b.is_ok(), "{label}: warm failed: {:?}", b.error);
+    assert_eq!(a.windows, b.windows, "{label}: window counts diverged");
+    assert_eq!(
+        a.scores.keys().collect::<Vec<_>>(),
+        b.scores.keys().collect::<Vec<_>>(),
+        "{label}: metric sets diverged"
+    );
+    for (metric, &va) in &a.scores {
+        let vb = b.score(metric);
+        if va.is_nan() && vb.is_nan() {
+            continue;
+        }
+        let err = (va - vb).abs();
+        let bound = tol * va.abs().max(1.0);
+        assert!(
+            err <= bound,
+            "{label}/{metric}: refit {va} vs warm {vb} (err {err:.3e} > {bound:.3e})"
+        );
+    }
+}
+
+#[test]
+fn warm_start_is_bitwise_identical_without_scaling() {
+    // With ScalerKind::None the frozen transform is the identity, so the
+    // warm engine must reproduce the classical per-window refit *bitwise*
+    // for every warm-startable family, on fixed and rolling strategies —
+    // including a stride smaller than the horizon (overlapping windows)
+    // and a partial trailing window.
+    let series = synthetic_series(400);
+    let registry = MetricRegistry::standard();
+    let strategies = [
+        Strategy::Fixed { horizon: 12 },
+        Strategy::Rolling { horizon: 8, stride: 8, max_windows: None },
+        Strategy::Rolling { horizon: 8, stride: 3, max_windows: Some(25) },
+    ];
+    for strategy in strategies {
+        for spec in warm_family() {
+            let always = config_with(ScalerKind::None, strategy, RefitPolicy::Always);
+            let warm = config_with(ScalerKind::None, strategy, RefitPolicy::WarmStart);
+            let a = evaluate("d", &series, &spec, &always, &registry).unwrap();
+            let b = evaluate("d", &series, &spec, &warm, &registry).unwrap();
+            assert_scores_match(&a, &b, 0.0, &format!("{strategy:?}/{}", spec.name()));
+        }
+    }
+}
+
+#[test]
+fn warm_start_matches_refit_through_streaming_scalers() {
+    // With z-score / min-max scaling the warm model lives in the frozen
+    // space of its last refit while the Always policy rescales per window;
+    // affine equivariance makes the raw-scale forecasts agree up to float
+    // rounding. LinearTrend has no `update` — it exercises the warm
+    // engine's per-window refit fallback against streamed statistics.
+    let series = synthetic_series(420);
+    let registry = MetricRegistry::standard();
+    let strategy = Strategy::Rolling { horizon: 6, stride: 6, max_windows: Some(20) };
+    let mut specs = warm_family();
+    specs.push(ModelSpec::LinearTrend);
+    for scaler in [ScalerKind::ZScore, ScalerKind::MinMax] {
+        for spec in &specs {
+            let always = config_with(scaler, strategy, RefitPolicy::Always);
+            let warm = config_with(scaler, strategy, RefitPolicy::WarmStart);
+            let a = evaluate("d", &series, spec, &always, &registry).unwrap();
+            let b = evaluate("d", &series, spec, &warm, &registry).unwrap();
+            assert_scores_match(&a, &b, 1e-9, &format!("{scaler:?}/{}", spec.name()));
+        }
+    }
+}
+
+#[test]
+fn warm_start_equivalence_holds_on_a_synthetic_corpus() {
+    // End-to-end: a full corpus sweep under each policy produces matching
+    // records (bitwise for the unscaled naive family) across domains.
+    let corpus = build_corpus(&CorpusConfig {
+        domains: vec![Domain::Nature, Domain::Web, Domain::Traffic],
+        per_domain: 2,
+        length: 260,
+        seed: 11,
+        ..CorpusConfig::default()
+    })
+    .unwrap();
+    let registry = MetricRegistry::standard();
+    let make = |refit| {
+        EvalConfig {
+            methods: vec![ModelSpec::Naive, ModelSpec::SeasonalNaive(None), ModelSpec::Drift],
+            scaler: ScalerKind::None,
+            strategy: Strategy::Rolling { horizon: 6, stride: 6, max_windows: None },
+            threads: 2,
+            refit,
+            ..EvalConfig::default()
+        }
+        .into_validated(&registry)
+        .unwrap()
+    };
+    let always = evaluate_corpus(&corpus, &make(RefitPolicy::Always), &registry).unwrap();
+    let warm = evaluate_corpus(&corpus, &make(RefitPolicy::WarmStart), &registry).unwrap();
+    assert_eq!(always.len(), warm.len());
+    for (a, b) in always.iter().zip(&warm) {
+        assert_eq!(a.dataset_id, b.dataset_id);
+        assert_eq!(a.method, b.method);
+        assert_scores_match(a, b, 0.0, &format!("{}/{}", a.dataset_id, a.method));
+    }
+}
+
+#[test]
+fn warm_start_corpus_sweep_is_deterministic_across_thread_counts() {
+    let corpus = build_corpus(&CorpusConfig {
+        domains: vec![Domain::Nature, Domain::Stock],
+        per_domain: 3,
+        length: 220,
+        seed: 4,
+        ..CorpusConfig::default()
+    })
+    .unwrap();
+    let registry = MetricRegistry::standard();
+    let run = |threads: usize| {
+        let config = EvalConfig {
+            methods: vec![ModelSpec::Naive, ModelSpec::SeasonalNaive(None), ModelSpec::Mean],
+            strategy: Strategy::Rolling { horizon: 5, stride: 5, max_windows: Some(8) },
+            refit: RefitPolicy::WarmStart,
+            threads,
+            ..EvalConfig::default()
+        }
+        .into_validated(&registry)
+        .unwrap();
+        let mut records = evaluate_corpus(&corpus, &config, &registry).unwrap();
+        for r in &mut records {
+            r.runtime_ms = 0.0; // wall-clock is the only nondeterministic field
+        }
+        records
+    };
+    let base = run(1);
+    for threads in [3usize, 8] {
+        assert_eq!(base, run(threads), "warm sweep diverged at {threads} threads");
+    }
+}

@@ -35,6 +35,11 @@
 //!   non-newline forms) in library code; diagnostics go through
 //!   `easytime-obs` events and console output belongs to `src/bin`.
 //!   `easytime-obs` itself is exempt (it is the sanctioned sink).
+//! * **R12 policy wildcard** — a `match` over a refit policy
+//!   (scrutinee mentions `refit` / `refit_policy` / `RefitPolicy`) must
+//!   not contain a top-level `_` arm: adding a `RefitPolicy` variant has
+//!   to be a compile error at every dispatch site, not a silent
+//!   fall-through into the wrong evaluation protocol.
 //!
 //! Any rule can be waived for one statement with an escape-hatch comment
 //! carrying a mandatory justification:
@@ -80,6 +85,8 @@ pub enum Rule {
     MissingDocs,
     /// R11: no `println!`/`eprintln!` in library code; use `easytime-obs`.
     PrintMacro,
+    /// R12: no `_` arm in `match`es over a refit policy.
+    PolicyWildcard,
     /// A malformed escape-hatch annotation.
     BadAnnotation,
 }
@@ -99,6 +106,7 @@ impl Rule {
             Rule::HashOrder | Rule::WallClock => "R8",
             Rule::MissingDocs => "R9",
             Rule::PrintMacro => "R11",
+            Rule::PolicyWildcard => "R12",
             Rule::BadAnnotation => "R0",
         }
     }
@@ -117,6 +125,7 @@ impl Rule {
             Rule::WallClock => "wall-clock",
             Rule::MissingDocs => "missing-docs",
             Rule::PrintMacro => "print",
+            Rule::PolicyWildcard => "policy-wildcard",
             Rule::BadAnnotation => "",
         }
     }

@@ -1,4 +1,4 @@
-//! The token-level lint rules (R1, R3–R9, R11).
+//! The token-level lint rules (R1, R3–R9, R11, R12).
 //!
 //! Every rule here runs over a [`SourceFile`] token stream, so string
 //! literals and comments can never produce false positives, and
@@ -29,6 +29,10 @@ const CLOCK_DIR: &str = "crates/clock/src/";
 const PRINT_MACROS: [&str; 4] = ["println", "eprintln", "print", "eprint"];
 /// The observability crate is the sanctioned event/metrics sink (R11).
 const OBS_DIR: &str = "crates/obs/src/";
+/// Scrutinee identifiers that mark a `match` as refit-policy dispatch
+/// (R12): such matches must stay exhaustive so new `RefitPolicy` variants
+/// break the build instead of falling through a `_` arm.
+const POLICY_IDENTS: [&str; 3] = ["refit", "refit_policy", "RefitPolicy"];
 
 /// Shared reporting context: applies escape-hatch annotations and collects
 /// diagnostics (including malformed-annotation reports).
@@ -245,9 +249,81 @@ pub fn lint_tokens(rel_path: &Path, class: FileClass, sf: &SourceFile<'_>) -> Ve
                 }
             }
         }
+
+        // ---- R12: refit-policy matches must stay exhaustive (applies
+        // everywhere — binaries and tests dispatch on the policy too, and
+        // a new variant must be handled, not silently defaulted). ----
+        if sf.is_ident(k, "match") {
+            if let Some(arm_line) = policy_wildcard_arm(sf, k) {
+                r.report(
+                    Rule::PolicyWildcard,
+                    arm_line,
+                    "`_` arm in a `RefitPolicy` match; spell every variant out so adding a \
+                     policy is a compile error at each dispatch site (or annotate with \
+                     `// lint: allow(policy-wildcard) — <why>`)"
+                        .into(),
+                );
+            }
+        }
     }
 
     r.diags
+}
+
+/// R12 helper: when the `match` at code index `k` scrutinizes a refit
+/// policy (any scrutinee identifier in [`POLICY_IDENTS`]) and its body
+/// contains a top-level `_` arm, returns the arm's line.
+fn policy_wildcard_arm(sf: &SourceFile<'_>, k: usize) -> Option<usize> {
+    // Scrutinee: tokens up to the body `{` at paren/bracket depth 0. Rust
+    // forbids bare struct literals in match scrutinees, so the first
+    // top-level `{` opens the body.
+    let mut is_policy = false;
+    let mut depth = 0i64;
+    let mut j = k + 1;
+    let body_open = loop {
+        let t = sf.ct(j)?;
+        if j > k + 200 {
+            return None;
+        }
+        if depth == 0 && sf.is_punct(j, '{') {
+            break j;
+        }
+        if sf.is_punct(j, '(') || sf.is_punct(j, '[') {
+            depth += 1;
+        } else if sf.is_punct(j, ')') || sf.is_punct(j, ']') {
+            depth -= 1;
+        } else if t.kind == TokenKind::Ident && POLICY_IDENTS.contains(&t.text(sf.src)) {
+            is_policy = true;
+        }
+        j += 1;
+    };
+    if !is_policy {
+        return None;
+    }
+    // A top-level arm pattern sits at brace depth 1 with no surrounding
+    // parens/brackets; `_` bindings inside patterns like `Some(_)` or
+    // nested bodies are deeper and never flagged.
+    let body_close = sf.matching_close(body_open)?;
+    let mut brace = 1i64;
+    let mut other = 0i64;
+    for q in body_open + 1..body_close {
+        if sf.is_punct(q, '{') {
+            brace += 1;
+        } else if sf.is_punct(q, '}') {
+            brace -= 1;
+        } else if sf.is_punct(q, '(') || sf.is_punct(q, '[') {
+            other += 1;
+        } else if sf.is_punct(q, ')') || sf.is_punct(q, ']') {
+            other -= 1;
+        } else if brace == 1
+            && other == 0
+            && sf.is_ident(q, "_")
+            && (sf.is_punct_seq(q + 1, "=>") || sf.is_ident(q + 1, "if"))
+        {
+            return Some(sf.ct(q).map_or(1, |t| t.line));
+        }
+    }
+    None
 }
 
 /// R4 helper: when code index `k` (`pub`) heads a function whose return

@@ -163,6 +163,61 @@ fn r11_escape_hatch_and_decoys() {
 }
 
 #[test]
+fn r12_flags_wildcard_arm_in_refit_policy_matches() {
+    // `_` defeats exhaustiveness: adding a RefitPolicy variant would fall
+    // through silently instead of failing to compile.
+    let positives = [
+        "fn f(c: &EvalConfig) { match c.refit { RefitPolicy::Always => a(), _ => b() } }\n",
+        "fn f(refit: RefitPolicy) { match refit { RefitPolicy::WarmStart => w(), \
+         _ if cold() => c(), RefitPolicy::Always => a() } }\n",
+        "fn f(refit_policy: RefitPolicy) { match refit_policy { _ => b() } }\n",
+    ];
+    for src in positives {
+        let diags = lint_rust_source(lib(), src);
+        assert_eq!(diags.len(), 1, "R12 should fire once in {src:?}: {diags:?}");
+        assert_eq!(diags[0].rule, Rule::PolicyWildcard);
+    }
+    // R12 guards the protocol dispatch everywhere, binaries included.
+    let diags = lint_rust_source(Path::new("crates/demo/src/bin/tool.rs"), positives[0]);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].rule, Rule::PolicyWildcard);
+}
+
+#[test]
+fn r12_leaves_exhaustive_and_unrelated_matches_alone() {
+    let negatives = [
+        // Exhaustive policy dispatch — the required idiom.
+        "fn f(c: &EvalConfig) { match c.refit { RefitPolicy::Always => a(), \
+         RefitPolicy::WarmStart => w() } }\n",
+        // `RefitPolicy::parse`-style string match: the scrutinee has no
+        // policy identifier, so the `_` arm is fine.
+        "fn parse(s: &str) { match s.trim() { \"always\" => a(), _ => e() } }\n",
+        // `_` nested inside a pattern is not a top-level wildcard arm.
+        "fn f(c: &EvalConfig) { match (c.refit, 0) { (RefitPolicy::Always, _) => a(), \
+         (RefitPolicy::WarmStart, _) => w() } }\n",
+        // `_` at depth 2 belongs to an inner non-policy match.
+        "fn f(refit: RefitPolicy) { match refit { RefitPolicy::Always => match x() { 1 => a(), \
+         _ => b() }, RefitPolicy::WarmStart => w() } }\n",
+        // A policy ident *inside the body* does not make a string match a
+        // policy match.
+        "fn g(s: &str) { match s { \"w\" => RefitPolicy::WarmStart, _ => RefitPolicy::Always }; }\n",
+    ];
+    for src in negatives {
+        let diags = lint_rust_source(lib(), src);
+        assert!(diags.is_empty(), "R12 false positive in {src:?}: {diags:?}");
+    }
+
+    let annotated = "fn f(c: &EvalConfig) {\n\
+                     \x20   match c.refit {\n\
+                     \x20       RefitPolicy::Always => a(),\n\
+                     \x20       // lint: allow(policy-wildcard) — prototype shim, tracked in #42\n\
+                     \x20       _ => b(),\n\
+                     \x20   }\n\
+                     }\n";
+    assert!(lint_rust_source(lib(), annotated).is_empty());
+}
+
+#[test]
 fn lifetimes_are_not_mistaken_for_char_literals() {
     // `'a` must lex as a lifetime, not open a character literal that
     // swallows the rest of the file (which would hide the real unwrap).

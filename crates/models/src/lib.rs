@@ -68,6 +68,37 @@ pub trait Forecaster: Send {
     /// [`Forecaster::fit`].
     fn forecast(&self, horizon: usize) -> Result<Vec<f64>>;
 
+    /// Warm-starts the model with observations appended *after* the data it
+    /// was last fitted on, avoiding a refit from scratch. `appended` holds
+    /// only the new observations, in the same (scaled) space the model was
+    /// fitted in.
+    ///
+    /// Returns `Ok(true)` when the model absorbed the new data and now
+    /// behaves exactly as if refitted on the concatenated series, or
+    /// `Ok(false)` when it cannot (the caller must rebuild and refit).
+    ///
+    /// Contract: an `Ok(false)` return — including the default — **must
+    /// leave the model unchanged**, so callers can fall back to a refit
+    /// without tearing the instance down first. Cheap-to-update families
+    /// (naive, seasonal naive, drift, mean, window statistics) override
+    /// this; iteratively-fitted methods (ARIMA, boosting, neural) keep the
+    /// refit default.
+    fn update(&mut self, appended: &TimeSeries) -> Result<bool> {
+        let _ = appended;
+        Ok(false)
+    }
+
+    /// Writes the next `horizon` forecast values into `out` (cleared
+    /// first), reusing its capacity. The default delegates to
+    /// [`Forecaster::forecast`]; warm-startable methods override it so the
+    /// rolling-evaluation steady state stays allocation-free.
+    fn forecast_into(&self, horizon: usize, out: &mut Vec<f64>) -> Result<()> {
+        let values = self.forecast(horizon)?;
+        out.clear();
+        out.extend_from_slice(&values);
+        Ok(())
+    }
+
     /// Minimum training length this method needs; the pipeline reports a
     /// clear error instead of fitting on shorter series.
     fn min_train_len(&self) -> usize {

@@ -38,6 +38,22 @@ impl Forecaster for Naive {
         Ok(vec![last; horizon])
     }
 
+    fn update(&mut self, appended: &TimeSeries) -> Result<bool> {
+        if self.last.is_none() {
+            return Ok(false);
+        }
+        self.last = Some(appended.last());
+        Ok(true)
+    }
+
+    fn forecast_into(&self, horizon: usize, out: &mut Vec<f64>) -> Result<()> {
+        check_horizon(horizon)?;
+        let last = self.last.ok_or(ModelError::NotFitted)?;
+        out.clear();
+        out.resize(horizon, last);
+        Ok(())
+    }
+
     fn min_train_len(&self) -> usize {
         1
     }
@@ -51,18 +67,19 @@ impl Forecaster for Naive {
 pub struct SeasonalNaive {
     period: Option<usize>,
     cycle: Vec<f64>,
+    seen: usize,
 }
 
 impl SeasonalNaive {
     /// Creates a seasonal-naive forecaster with an optional explicit period.
     pub fn new(period: Option<usize>) -> SeasonalNaive {
-        SeasonalNaive { period, cycle: Vec::new() }
+        SeasonalNaive { period, cycle: Vec::new(), seen: 0 }
     }
 
-    fn effective_period(&self, train: &TimeSeries) -> usize {
+    fn effective_period(&self, frequency: easytime_data::Frequency, len: usize) -> usize {
         self.period
-            .or_else(|| train.frequency().default_period())
-            .filter(|&p| p >= 1 && p <= train.len())
+            .or_else(|| frequency.default_period())
+            .filter(|&p| p >= 1 && p <= len)
             .unwrap_or(1)
     }
 }
@@ -74,9 +91,10 @@ impl Forecaster for SeasonalNaive {
 
     fn fit(&mut self, train: &TimeSeries) -> Result<()> {
         check_train(train, 1)?;
-        let p = self.effective_period(train);
+        let p = self.effective_period(train.frequency(), train.len());
         let v = train.values();
         self.cycle = v[v.len() - p..].to_vec();
+        self.seen = train.len();
         Ok(())
     }
 
@@ -86,6 +104,41 @@ impl Forecaster for SeasonalNaive {
             return Err(ModelError::NotFitted);
         }
         Ok((0..horizon).map(|h| self.cycle[h % self.cycle.len()]).collect())
+    }
+
+    fn update(&mut self, appended: &TimeSeries) -> Result<bool> {
+        if self.cycle.is_empty() {
+            return Ok(false);
+        }
+        let new_len = self.seen + appended.len();
+        // Growing data can change the effective period (a degraded short
+        // series may now fit a full cycle); that needs a refit.
+        if self.effective_period(appended.frequency(), new_len) != self.cycle.len() {
+            return Ok(false);
+        }
+        let p = self.cycle.len();
+        let v = appended.values();
+        let k = v.len();
+        if k >= p {
+            self.cycle.copy_from_slice(&v[k - p..]);
+        } else {
+            // The last p observations are the old cycle's tail plus all of
+            // the appended values; rotate in place (no allocation).
+            self.cycle.rotate_left(k);
+            self.cycle[p - k..].copy_from_slice(v);
+        }
+        self.seen = new_len;
+        Ok(true)
+    }
+
+    fn forecast_into(&self, horizon: usize, out: &mut Vec<f64>) -> Result<()> {
+        check_horizon(horizon)?;
+        if self.cycle.is_empty() {
+            return Err(ModelError::NotFitted);
+        }
+        out.clear();
+        out.extend((0..horizon).map(|h| self.cycle[h % self.cycle.len()]));
+        Ok(())
     }
 
     fn min_train_len(&self) -> usize {
@@ -99,6 +152,8 @@ impl Forecaster for SeasonalNaive {
 pub struct Drift {
     last: Option<f64>,
     slope: f64,
+    first: f64,
+    n: usize,
 }
 
 impl Drift {
@@ -117,6 +172,8 @@ impl Forecaster for Drift {
         check_train(train, 2)?;
         let v = train.values();
         self.last = Some(train.last());
+        self.first = v[0];
+        self.n = v.len();
         self.slope = (v[v.len() - 1] - v[0]) / (v.len() - 1) as f64;
         Ok(())
     }
@@ -125,6 +182,26 @@ impl Forecaster for Drift {
         check_horizon(horizon)?;
         let last = self.last.ok_or(ModelError::NotFitted)?;
         Ok((1..=horizon).map(|h| last + self.slope * h as f64).collect())
+    }
+
+    fn update(&mut self, appended: &TimeSeries) -> Result<bool> {
+        if self.last.is_none() {
+            return Ok(false);
+        }
+        let last = appended.last();
+        self.last = Some(last);
+        self.n += appended.len();
+        // Same endpoints a refit would use: bitwise-identical slope.
+        self.slope = (last - self.first) / (self.n - 1) as f64;
+        Ok(true)
+    }
+
+    fn forecast_into(&self, horizon: usize, out: &mut Vec<f64>) -> Result<()> {
+        check_horizon(horizon)?;
+        let last = self.last.ok_or(ModelError::NotFitted)?;
+        out.clear();
+        out.extend((1..=horizon).map(|h| last + self.slope * h as f64));
+        Ok(())
     }
 
     fn min_train_len(&self) -> usize {
@@ -136,6 +213,8 @@ impl Forecaster for Drift {
 #[derive(Debug, Clone, Default)]
 pub struct MeanForecaster {
     mean: Option<f64>,
+    sum: f64,
+    n: usize,
 }
 
 impl MeanForecaster {
@@ -152,7 +231,11 @@ impl Forecaster for MeanForecaster {
 
     fn fit(&mut self, train: &TimeSeries) -> Result<()> {
         check_train(train, 1)?;
-        self.mean = Some(mean(train.values()));
+        // One left-to-right pass, exactly like `stats::mean`, so a later
+        // running-sum `update` stays bitwise-identical to a refit.
+        self.sum = train.values().iter().sum();
+        self.n = train.len();
+        self.mean = Some(self.sum / self.n as f64);
         Ok(())
     }
 
@@ -160,6 +243,26 @@ impl Forecaster for MeanForecaster {
         check_horizon(horizon)?;
         let m = self.mean.ok_or(ModelError::NotFitted)?;
         Ok(vec![m; horizon])
+    }
+
+    fn update(&mut self, appended: &TimeSeries) -> Result<bool> {
+        if self.mean.is_none() {
+            return Ok(false);
+        }
+        for v in appended.values() {
+            self.sum += v;
+        }
+        self.n += appended.len();
+        self.mean = Some(self.sum / self.n as f64);
+        Ok(true)
+    }
+
+    fn forecast_into(&self, horizon: usize, out: &mut Vec<f64>) -> Result<()> {
+        check_horizon(horizon)?;
+        let m = self.mean.ok_or(ModelError::NotFitted)?;
+        out.clear();
+        out.resize(horizon, m);
+        Ok(())
     }
 
     fn min_train_len(&self) -> usize {
@@ -173,6 +276,7 @@ pub struct WindowAverage {
     window: usize,
     value: Option<f64>,
     name: String,
+    tail: Vec<f64>,
 }
 
 impl WindowAverage {
@@ -181,7 +285,12 @@ impl WindowAverage {
         if window == 0 {
             return Err(ModelError::InvalidParam { what: "window must be at least 1".into() });
         }
-        Ok(WindowAverage { window, value: None, name: format!("window_average_{window}") })
+        Ok(WindowAverage {
+            window,
+            value: None,
+            name: format!("window_average_{window}"),
+            tail: Vec::new(),
+        })
     }
 }
 
@@ -194,7 +303,10 @@ impl Forecaster for WindowAverage {
         check_train(train, 1)?;
         let v = train.values();
         let w = self.window.min(v.len());
-        self.value = Some(mean(&v[v.len() - w..]));
+        self.tail.clear();
+        self.tail.reserve(self.window);
+        self.tail.extend_from_slice(&v[v.len() - w..]);
+        self.value = Some(mean(&self.tail));
         Ok(())
     }
 
@@ -202,6 +314,34 @@ impl Forecaster for WindowAverage {
         check_horizon(horizon)?;
         let m = self.value.ok_or(ModelError::NotFitted)?;
         Ok(vec![m; horizon])
+    }
+
+    fn update(&mut self, appended: &TimeSeries) -> Result<bool> {
+        if self.value.is_none() {
+            return Ok(false);
+        }
+        let v = appended.values();
+        let k = v.len();
+        if k >= self.window {
+            self.tail.clear();
+            self.tail.extend_from_slice(&v[k - self.window..]);
+        } else {
+            let overflow = (self.tail.len() + k).saturating_sub(self.window);
+            if overflow > 0 {
+                self.tail.drain(..overflow);
+            }
+            self.tail.extend_from_slice(v);
+        }
+        self.value = Some(mean(&self.tail));
+        Ok(true)
+    }
+
+    fn forecast_into(&self, horizon: usize, out: &mut Vec<f64>) -> Result<()> {
+        check_horizon(horizon)?;
+        let m = self.value.ok_or(ModelError::NotFitted)?;
+        out.clear();
+        out.resize(horizon, m);
+        Ok(())
     }
 
     fn min_train_len(&self) -> usize {
@@ -217,6 +357,11 @@ pub struct SeasonalWindowAverage {
     period: Option<usize>,
     cycles: usize,
     profile: Vec<f64>,
+    // Warm-start state: per-phase buffers of the newest `cycles`
+    // observations (newest first — the order `fit`'s backward scan sums
+    // in, so incremental updates stay bitwise-identical to a refit).
+    ring: Vec<Vec<f64>>,
+    seen: usize,
 }
 
 impl SeasonalWindowAverage {
@@ -226,7 +371,34 @@ impl SeasonalWindowAverage {
         if cycles == 0 {
             return Err(ModelError::InvalidParam { what: "cycles must be ≥ 1".into() });
         }
-        Ok(SeasonalWindowAverage { period, cycles, profile: Vec::new() })
+        Ok(SeasonalWindowAverage {
+            period,
+            cycles,
+            profile: Vec::new(),
+            ring: Vec::new(),
+            seen: 0,
+        })
+    }
+
+    fn effective_period(&self, frequency: easytime_data::Frequency, len: usize) -> usize {
+        self.period
+            .or_else(|| frequency.default_period())
+            .filter(|&p| p >= 1 && p <= len)
+            .unwrap_or(1)
+    }
+
+    /// Recomputes `profile` from the per-phase buffers: profile[h]
+    /// predicts step `seen + h`, whose seasonal phase is `(seen + h) % p`.
+    fn rebuild_profile(&mut self) {
+        let p = self.ring.len();
+        for (h, slot) in self.profile.iter_mut().enumerate() {
+            let bucket = &self.ring[(self.seen + h) % p];
+            let mut sum = 0.0;
+            for v in bucket {
+                sum += v;
+            }
+            *slot = sum / bucket.len().max(1) as f64;
+        }
     }
 }
 
@@ -237,32 +409,25 @@ impl Forecaster for SeasonalWindowAverage {
 
     fn fit(&mut self, train: &TimeSeries) -> Result<()> {
         check_train(train, 2)?;
-        let p = self
-            .period
-            .or_else(|| train.frequency().default_period())
-            .filter(|&p| p >= 1 && p <= train.len())
-            .unwrap_or(1);
+        let p = self.effective_period(train.frequency(), train.len());
         let v = train.values();
         let n = v.len();
-        // profile[h] predicts step n + h, whose seasonal phase is
-        // (n + h) % p: average the last `cycles` training values at that
-        // phase.
-        let mut profile = vec![0.0; p];
-        for (h, slot) in profile.iter_mut().enumerate() {
-            let target_phase = (n + h) % p;
-            let mut sum = 0.0;
-            let mut count = 0usize;
+        self.ring.clear();
+        for phase in 0..p {
+            let mut bucket = Vec::with_capacity(self.cycles);
             let mut t = n;
-            while t > 0 && count < self.cycles {
+            while t > 0 && bucket.len() < self.cycles {
                 t -= 1;
-                if t % p == target_phase {
-                    sum += v[t];
-                    count += 1;
+                if t % p == phase {
+                    bucket.push(v[t]);
                 }
             }
-            *slot = sum / count.max(1) as f64;
+            self.ring.push(bucket);
         }
-        self.profile = profile;
+        self.seen = n;
+        self.profile.clear();
+        self.profile.resize(p, 0.0);
+        self.rebuild_profile();
         Ok(())
     }
 
@@ -272,6 +437,42 @@ impl Forecaster for SeasonalWindowAverage {
             return Err(ModelError::NotFitted);
         }
         Ok((0..horizon).map(|h| self.profile[h % self.profile.len()]).collect())
+    }
+
+    fn update(&mut self, appended: &TimeSeries) -> Result<bool> {
+        if self.profile.is_empty() {
+            return Ok(false);
+        }
+        let p = self.ring.len();
+        let new_len = self.seen + appended.len();
+        // A longer prefix can change the effective period; refit then.
+        if self.effective_period(appended.frequency(), new_len) != p {
+            return Ok(false);
+        }
+        for (i, &v) in appended.values().iter().enumerate() {
+            let bucket = &mut self.ring[(self.seen + i) % p];
+            if bucket.len() == self.cycles {
+                // Drop the oldest (back), insert the newest at the front.
+                bucket.rotate_right(1);
+                bucket[0] = v;
+            } else {
+                bucket.push(v);
+                bucket.rotate_right(1);
+            }
+        }
+        self.seen = new_len;
+        self.rebuild_profile();
+        Ok(true)
+    }
+
+    fn forecast_into(&self, horizon: usize, out: &mut Vec<f64>) -> Result<()> {
+        check_horizon(horizon)?;
+        if self.profile.is_empty() {
+            return Err(ModelError::NotFitted);
+        }
+        out.clear();
+        out.extend((0..horizon).map(|h| self.profile[h % self.profile.len()]));
+        Ok(())
     }
 
     fn min_train_len(&self) -> usize {
@@ -467,5 +668,87 @@ mod tests {
         let mut w = WindowAverage::new(100).expect("construction succeeds with valid parameters");
         w.fit(&ts(vec![2.0, 4.0])).expect("fit succeeds on valid training data");
         assert_eq!(w.forecast(1).expect("forecast succeeds on a fitted model"), vec![3.0]);
+    }
+
+    /// Drives `update` chunk by chunk and checks the forecast is
+    /// bitwise-identical to refitting on the concatenated prefix.
+    fn assert_update_matches_refit(build: impl Fn() -> Box<dyn Forecaster>, values: Vec<f64>) {
+        let split = values.len() / 2;
+        let mut warm = build();
+        warm.fit(&ts(values[..split].to_vec())).expect("fit succeeds on valid training data");
+        let mut consumed = split;
+        for chunk in values[split..].chunks(3) {
+            let appended = ts(chunk.to_vec());
+            assert!(
+                warm.update(&appended).expect("update succeeds on valid data"),
+                "{} must warm-start",
+                warm.name()
+            );
+            consumed += chunk.len();
+            let mut cold = build();
+            cold.fit(&ts(values[..consumed].to_vec()))
+                .expect("fit succeeds on valid training data");
+            assert_eq!(
+                warm.forecast(7).expect("forecast succeeds on a fitted model"),
+                cold.forecast(7).expect("forecast succeeds on a fitted model"),
+                "{} warm-start diverged from refit at prefix {consumed}",
+                warm.name()
+            );
+        }
+    }
+
+    #[test]
+    fn warm_start_families_match_refit_bitwise() {
+        let values: Vec<f64> =
+            (0..80).map(|t| 5.0 + 0.3 * t as f64 + ((t % 12) as f64) * 1.7).collect();
+        assert_update_matches_refit(|| Box::new(Naive::new()), values.clone());
+        assert_update_matches_refit(|| Box::new(SeasonalNaive::new(Some(12))), values.clone());
+        assert_update_matches_refit(|| Box::new(Drift::new()), values.clone());
+        assert_update_matches_refit(|| Box::new(MeanForecaster::new()), values.clone());
+        assert_update_matches_refit(
+            || Box::new(WindowAverage::new(5).expect("valid window")),
+            values.clone(),
+        );
+        assert_update_matches_refit(
+            || Box::new(SeasonalWindowAverage::new(Some(12), 3).expect("valid cycles")),
+            values,
+        );
+    }
+
+    #[test]
+    fn update_on_unfitted_model_requests_refit() {
+        let appended = ts(vec![1.0, 2.0]);
+        assert_eq!(Naive::new().update(&appended), Ok(false));
+        assert_eq!(SeasonalNaive::new(Some(3)).update(&appended), Ok(false));
+        assert_eq!(Drift::new().update(&appended), Ok(false));
+        assert_eq!(MeanForecaster::new().update(&appended), Ok(false));
+        // Default trait impl: not-warm-startable families always refit.
+        assert_eq!(LinearTrend::new().update(&appended), Ok(false));
+    }
+
+    #[test]
+    fn seasonal_update_requests_refit_when_effective_period_changes() {
+        // Fit on 3 points with period 12 → degraded to period 1; once the
+        // prefix reaches 12 points a refit must be requested.
+        let mut m = SeasonalNaive::new(Some(12));
+        m.fit(&ts(vec![1.0, 2.0, 3.0])).expect("fit succeeds on valid training data");
+        let before = m.forecast(2).expect("forecast succeeds on a fitted model");
+        let appended = ts((0..9).map(|t| t as f64).collect());
+        assert_eq!(m.update(&appended), Ok(false));
+        // The Ok(false) contract: the model is unchanged.
+        assert_eq!(m.forecast(2).expect("forecast succeeds on a fitted model"), before);
+    }
+
+    #[test]
+    fn forecast_into_matches_forecast_and_reuses_capacity() {
+        let mut m = SeasonalNaive::new(Some(3));
+        m.fit(&ts(vec![1.0, 2.0, 3.0, 4.0, 5.0])).expect("fit succeeds on valid training data");
+        let mut out = Vec::new();
+        m.forecast_into(7, &mut out).expect("forecast succeeds on a fitted model");
+        assert_eq!(out, m.forecast(7).expect("forecast succeeds on a fitted model"));
+        let cap = out.capacity();
+        m.forecast_into(7, &mut out).expect("forecast succeeds on a fitted model");
+        assert_eq!(out.capacity(), cap, "repeat forecasts must reuse the buffer");
+        assert!(m.forecast_into(0, &mut out).is_err());
     }
 }

@@ -42,6 +42,21 @@ impl Forecaster for Counted {
         self.inner.forecast(horizon)
     }
 
+    // Forwarded so tracing never degrades warm-start support or the
+    // allocation-free forecast path to the trait defaults.
+    fn update(&mut self, appended: &TimeSeries) -> Result<bool> {
+        let warmed = self.inner.update(appended)?;
+        if warmed {
+            easytime_obs::add_labeled("models.update", self.inner.name(), 1);
+        }
+        Ok(warmed)
+    }
+
+    fn forecast_into(&self, horizon: usize, out: &mut Vec<f64>) -> Result<()> {
+        easytime_obs::add_labeled("models.forecast", self.inner.name(), 1);
+        self.inner.forecast_into(horizon, out)
+    }
+
     fn min_train_len(&self) -> usize {
         self.inner.min_train_len()
     }

@@ -22,6 +22,12 @@ cargo run --release -q -p easytime-lint -- \
   --out results/lint.json
 cat results/lint.json
 
+echo "=== rolling throughput regression gate ==="
+# Times the rolling sweep under both refit policies, writes
+# results/BENCH_rolling.json, and exits nonzero if warm-start is slower
+# than per-window refit on any warm-startable method.
+EASYTIME_BENCH_FAST=1 cargo run --release -q -p easytime-bench --bin exp_rolling_throughput
+
 echo "=== traced smoke evaluation ==="
 # obs_smoke runs a small traced evaluate_corpus, writes
 # results/{trace.jsonl,metrics.json}, and exits nonzero if the metrics
