@@ -7,6 +7,7 @@
 //! methods".
 
 use crate::error::AutoMlError;
+use easytime_linalg::kernels::{axpy, dot};
 use easytime_linalg::stats::softmax;
 use easytime_models::optimize::Adam;
 use easytime_rng::StdRng;
@@ -127,22 +128,13 @@ impl SoftLabelClassifier {
                     let x = &inputs[idx];
                     let t = &targets[idx];
                     let logits: Vec<f64> = (0..classes)
-                        .map(|c| {
-                            bias[c]
-                                + weights[c * dim..(c + 1) * dim]
-                                    .iter()
-                                    .zip(x)
-                                    .map(|(w, xi)| w * xi)
-                                    .sum::<f64>()
-                        })
+                        .map(|c| bias[c] + dot(&weights[c * dim..(c + 1) * dim], x))
                         .collect();
                     let p = softmax(&logits);
                     for c in 0..classes {
                         let diff = p[c] - t[c]; // ∂CE/∂logit
                         g_b[c] += diff;
-                        for (g, xi) in g_w[c * dim..(c + 1) * dim].iter_mut().zip(x) {
-                            *g += diff * xi;
-                        }
+                        axpy(diff, x, &mut g_w[c * dim..(c + 1) * dim]);
                     }
                 }
                 let inv = 1.0 / chunk.len() as f64;
@@ -180,14 +172,7 @@ impl SoftLabelClassifier {
     pub fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.dim, "input dimension mismatch");
         let logits: Vec<f64> = (0..self.classes)
-            .map(|c| {
-                self.bias[c]
-                    + self.weights[c * self.dim..(c + 1) * self.dim]
-                        .iter()
-                        .zip(x)
-                        .map(|(w, xi)| w * xi)
-                        .sum::<f64>()
-            })
+            .map(|c| self.bias[c] + dot(&self.weights[c * self.dim..(c + 1) * self.dim], x))
             .collect();
         softmax(&logits)
     }

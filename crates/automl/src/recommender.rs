@@ -15,7 +15,7 @@ use easytime_eval::{
 };
 use easytime_models::zoo::standard_zoo;
 use easytime_models::ModelSpec;
-use easytime_repr::{Embedder, EmbedderConfig};
+use easytime_repr::{EmbedScratch, Embedder, EmbedderConfig};
 
 /// Configuration of recommender pretraining.
 #[derive(Debug, Clone)]
@@ -213,8 +213,22 @@ impl Recommender {
     /// Online inference: the full probability ranking for a new series,
     /// best first.
     pub fn recommend(&self, series: &TimeSeries) -> Vec<(String, f64)> {
-        let x = self.embedder.embed(series);
-        let p = self.classifier.predict_proba(&x);
+        let mut scratch = EmbedScratch::new();
+        let mut embedding = Vec::new();
+        self.recommend_with(series, &mut scratch, &mut embedding)
+    }
+
+    /// Online inference with caller-provided buffers: embeds through
+    /// [`Embedder::embed_into`] so batch recommendation loops reuse the
+    /// z-normalization scratch and embedding vector across series.
+    pub fn recommend_with(
+        &self,
+        series: &TimeSeries,
+        scratch: &mut EmbedScratch,
+        embedding: &mut Vec<f64>,
+    ) -> Vec<(String, f64)> {
+        self.embedder.embed_into(series, scratch, embedding);
+        let p = self.classifier.predict_proba(embedding);
         let mut out: Vec<(String, f64)> =
             self.methods.iter().cloned().zip(p).collect();
         out.sort_by(|a, b| b.1.total_cmp(&a.1));

@@ -624,12 +624,33 @@ fn warm_windows(
     Ok(())
 }
 
+/// Estimated relative cost of evaluating one method on `dataset`:
+/// series length × evaluation window count. The estimate mirrors the
+/// split arithmetic of [`SplitSpec::split`] without materializing the
+/// split; when the strategy rejects the dataset (too short), the job is
+/// a fast failure and costs as a single window.
+fn job_cost(dataset: &Dataset, config: &EvalConfig) -> u128 {
+    let n = dataset.meta.length;
+    let test_start =
+        ((n as f64) * (config.split.train_ratio + config.split.val_ratio)).floor() as usize;
+    let windows = config
+        .strategy
+        .windows(n, test_start, config.split.drop_last)
+        .map(|w| w.len().max(1))
+        .unwrap_or(1);
+    n as u128 * windows as u128
+}
+
 /// Evaluates every configured method on every dataset, in parallel.
 ///
 /// Multivariate datasets are evaluated channel-independently on their
 /// primary series (the univariate protocol TFB applies to UTSF methods);
-/// errors are captured per record. Record order is deterministic:
-/// datasets × methods in input order.
+/// errors are captured per record. Jobs are *dispatched* longest-first
+/// (estimated cost: series length × window count) so the heaviest
+/// dataset/method pairs never start last and stall the sweep's tail, but
+/// each result is written to the slot of its original job index — record
+/// order stays deterministic: datasets × methods in input order,
+/// bit-identical to in-order dispatch.
 pub fn evaluate_corpus(
     datasets: &[Dataset],
     config: &ValidatedEvalConfig,
@@ -668,6 +689,13 @@ pub fn evaluate_corpus(
         easytime_obs::manifest_set("refit_policy", inner.refit.name());
     }
 
+    // Longest-job-first dispatch order: descending estimated cost with the
+    // original index as a deterministic tiebreak. Workers pull from this
+    // permutation; slot writes below still key on the original index.
+    let mut schedule: Vec<usize> = (0..jobs.len()).collect();
+    let costs: Vec<u128> = jobs.iter().map(|&(_, d, _)| job_cost(d, inner)).collect();
+    schedule.sort_by(|&a, &b| costs[b].cmp(&costs[a]).then(a.cmp(&b)));
+
     let next = std::sync::atomic::AtomicUsize::new(0);
     let mut slots: Vec<Option<EvalRecord>> = vec![None; jobs.len()];
     let slot_refs: Vec<std::sync::Mutex<&mut Option<EvalRecord>>> =
@@ -677,15 +705,16 @@ pub fn evaluate_corpus(
         let mut handles = Vec::with_capacity(workers);
         for _ in 0..workers {
             let jobs = &jobs;
+            let schedule = &schedule;
             let next = &next;
             let slot_refs = &slot_refs;
             handles.push(scope.spawn(move || -> Result<(), EvalError> {
                 loop {
                     let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= jobs.len() {
+                    if i >= schedule.len() {
                         return Ok(());
                     }
-                    let (idx, dataset, spec) = jobs[i];
+                    let (idx, dataset, spec) = jobs[schedule[i]];
                     let series = dataset.primary_series();
                     let record = evaluate(&dataset.meta.id, &series, spec, config, registry)?;
                     // Each slot is written by exactly one job; the mutex only
@@ -937,6 +966,60 @@ mod tests {
         assert_eq!(a[0].method, "naive");
         assert_eq!(a[1].method, "seasonal_naive");
         assert_eq!(a[3].dataset_id, corpus[1].meta.id);
+    }
+
+    #[test]
+    fn ljf_dispatch_keeps_record_order_across_thread_counts() {
+        // Mixed-size corpus so the cost estimates genuinely reorder the
+        // dispatch: the 400-point datasets must start before the 90-point
+        // ones, yet the records must come back in input order.
+        let mut corpus = build_corpus(&CorpusConfig {
+            domains: vec![Domain::Nature],
+            per_domain: 2,
+            length: 90,
+            ..CorpusConfig::default()
+        })
+        .unwrap();
+        corpus.extend(
+            build_corpus(&CorpusConfig {
+                domains: vec![Domain::Web],
+                per_domain: 2,
+                length: 400,
+                ..CorpusConfig::default()
+            })
+            .unwrap(),
+        );
+        let registry = MetricRegistry::standard();
+        let strategy = Strategy::Rolling { horizon: 8, stride: 8, max_windows: None };
+        let methods = vec![ModelSpec::Naive, ModelSpec::Drift];
+        let run = |threads: usize| {
+            let config = validated(EvalConfig {
+                methods: methods.clone(),
+                strategy,
+                threads,
+                ..EvalConfig::default()
+            });
+            let mut records = evaluate_corpus(&corpus, &config, &registry).unwrap();
+            for r in &mut records {
+                r.runtime_ms = 0.0;
+            }
+            records
+        };
+        let reference = run(1);
+        for threads in [3usize, 8] {
+            assert_eq!(
+                run(threads),
+                reference,
+                "{threads}-thread sweep must match the single-thread records"
+            );
+        }
+        // Record order is dataset-major, method-minor regardless of the
+        // longest-first dispatch permutation.
+        for (d, chunk) in reference.chunks(2).enumerate() {
+            assert_eq!(chunk[0].dataset_id, corpus[d].meta.id);
+            assert_eq!(chunk[0].method, "naive");
+            assert_eq!(chunk[1].method, "drift");
+        }
     }
 
     #[test]

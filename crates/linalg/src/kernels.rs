@@ -1,0 +1,477 @@
+//! Cache-aware compute kernels shared by every hot numeric path.
+//!
+//! The routines here are the single implementation point for the inner
+//! loops that dominate ridge fits, neural training, ROCKET embedding, and
+//! corpus sweeps. They are written for the autovectorizer rather than for
+//! brevity: reductions run in four independent accumulator lanes combined
+//! in a fixed order, matrix products are blocked so panels stay resident
+//! in cache, and everything operates on caller-provided slices so the
+//! steady state allocates nothing.
+//!
+//! # Numeric policy
+//!
+//! Every reduction uses a *fixed* reassociation order — four lanes over
+//! `chunks_exact(4)`, combined as `((s0 + s1) + (s2 + s3)) + tail` — so
+//! results are bit-identical across runs and thread counts. The kernels
+//! never skip multiply-adds on exact zeros: `0.0 * NaN` must stay NaN so
+//! non-finite inputs propagate to the output instead of being silently
+//! swallowed. Blocked results are allowed to differ from a naive
+//! left-to-right loop only by reassociation (≤ 1e-12 relative error in
+//! the property suite); they may not differ between two invocations.
+
+/// Number of independent accumulator lanes used by the reductions.
+///
+/// Four 64-bit lanes fill a 256-bit vector register, which is the widest
+/// unit portable builds can count on; the fixed lane count is also what
+/// pins the reassociation order.
+pub const LANES: usize = 4;
+
+/// Column-panel width for the blocked matrix–matrix product.
+///
+/// 128 columns of `f64` per panel row keeps a full B panel (`KC × NC`)
+/// within a typical 256 KiB L2 slice.
+const NC: usize = 128;
+
+/// Depth (inner-dimension) blocking factor for the matrix–matrix product.
+const KC: usize = 256;
+
+/// Dot product of two equal-length slices in four accumulator lanes.
+///
+/// The reassociation order is fixed (`((s0 + s1) + (s2 + s3)) + tail`),
+/// so the result is deterministic across runs and independent of thread
+/// count.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    let mut lanes = [0.0_f64; LANES];
+    let a_chunks = a.chunks_exact(LANES);
+    let b_chunks = b.chunks_exact(LANES);
+    let tail = a_chunks
+        .remainder()
+        .iter()
+        .zip(b_chunks.remainder())
+        .map(|(x, y)| x * y)
+        .sum::<f64>();
+    for (ca, cb) in a_chunks.zip(b_chunks) {
+        lanes[0] += ca[0] * cb[0];
+        lanes[1] += ca[1] * cb[1];
+        lanes[2] += ca[2] * cb[2];
+        lanes[3] += ca[3] * cb[3];
+    }
+    ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) + tail
+}
+
+/// `y[i] += alpha * x[i]` over equal-length slices.
+///
+/// No reduction is involved, so each output element has exactly one
+/// rounding and the loop vectorizes without reassociation concerns.
+///
+/// # Panics
+/// Panics if the slices differ in length.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Sum of a slice in four accumulator lanes with a fixed combine order.
+#[inline]
+pub fn sum(a: &[f64]) -> f64 {
+    let mut lanes = [0.0_f64; LANES];
+    let chunks = a.chunks_exact(LANES);
+    let tail = chunks.remainder().iter().sum::<f64>();
+    for c in chunks {
+        lanes[0] += c[0];
+        lanes[1] += c[1];
+        lanes[2] += c[2];
+        lanes[3] += c[3];
+    }
+    ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) + tail
+}
+
+/// Euclidean norm `sqrt(Σ aᵢ²)` in four accumulator lanes.
+#[inline]
+pub fn norm2(a: &[f64]) -> f64 {
+    let mut lanes = [0.0_f64; LANES];
+    let chunks = a.chunks_exact(LANES);
+    let tail = chunks.remainder().iter().map(|x| x * x).sum::<f64>();
+    for c in chunks {
+        lanes[0] += c[0] * c[0];
+        lanes[1] += c[1] * c[1];
+        lanes[2] += c[2] * c[2];
+        lanes[3] += c[3] * c[3];
+    }
+    (((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) + tail).sqrt()
+}
+
+/// Blocked matrix–matrix product `out = a * b` on row-major buffers.
+///
+/// `a` is `m × k`, `b` is `k × n`, and `out` is `m × n` and must be
+/// zeroed by the caller. The product is blocked over the inner dimension
+/// and over column panels of `b`; the panel currently in flight is packed
+/// into `panel`, a caller-provided scratch buffer that is resized to at
+/// most `KC × NC` elements. Per output cell the `k` contributions are
+/// accumulated in ascending order regardless of blocking, so the result
+/// is bit-identical to the straightforward i-k-j loop.
+///
+/// # Panics
+/// Panics if any buffer length disagrees with the stated shape.
+pub fn matmul(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f64],
+    b: &[f64],
+    panel: &mut Vec<f64>,
+    out: &mut [f64],
+) {
+    assert_eq!(a.len(), m * k, "matmul: lhs buffer/shape mismatch");
+    assert_eq!(b.len(), k * n, "matmul: rhs buffer/shape mismatch");
+    assert_eq!(out.len(), m * n, "matmul: out buffer/shape mismatch");
+    let mut j0 = 0;
+    while j0 < n {
+        let nb = NC.min(n - j0);
+        let mut k0 = 0;
+        while k0 < k {
+            let kb = KC.min(k - k0);
+            // Pack the kb × nb panel of `b` so the inner axpy streams
+            // through contiguous memory even when `n` is large.
+            panel.clear();
+            for p in 0..kb {
+                let row = (k0 + p) * n;
+                panel.extend_from_slice(&b[row + j0..row + j0 + nb]);
+            }
+            for i in 0..m {
+                let a_row = &a[i * k + k0..i * k + k0 + kb];
+                let out_row = &mut out[i * n + j0..i * n + j0 + nb];
+                for (p, &aip) in a_row.iter().enumerate() {
+                    axpy(aip, &panel[p * nb..(p + 1) * nb], out_row);
+                }
+            }
+            k0 += kb;
+        }
+        j0 += nb;
+    }
+}
+
+/// Matrix–vector product `out[i] = dot(a.row(i), v)` on a row-major buffer.
+///
+/// `a` is `rows × cols`; each output element is one four-lane [`dot`], so
+/// the per-row reassociation order is fixed.
+///
+/// # Panics
+/// Panics if any buffer length disagrees with the stated shape.
+pub fn matvec(rows: usize, cols: usize, a: &[f64], v: &[f64], out: &mut [f64]) {
+    assert_eq!(a.len(), rows * cols, "matvec: buffer/shape mismatch");
+    assert_eq!(v.len(), cols, "matvec: vector length mismatch");
+    assert_eq!(out.len(), rows, "matvec: out length mismatch");
+    for (i, o) in out.iter_mut().enumerate() {
+        *o = dot(&a[i * cols..(i + 1) * cols], v);
+    }
+}
+
+/// Transposed matrix–vector product `out = aᵀ * v` without materializing
+/// the transpose.
+///
+/// `a` is `rows × cols` and `out` has length `cols` and must be zeroed by
+/// the caller. Implemented as a row sweep of [`axpy`] updates so the
+/// inner loop is contiguous in both `a` and `out`; contributions per
+/// output element arrive in ascending row order. Exact zeros in `v` are
+/// *not* skipped: `0.0 * NaN` must propagate.
+///
+/// # Panics
+/// Panics if any buffer length disagrees with the stated shape.
+pub fn tr_matvec(rows: usize, cols: usize, a: &[f64], v: &[f64], out: &mut [f64]) {
+    assert_eq!(a.len(), rows * cols, "tr_matvec: buffer/shape mismatch");
+    assert_eq!(v.len(), rows, "tr_matvec: vector length mismatch");
+    assert_eq!(out.len(), cols, "tr_matvec: out length mismatch");
+    for (i, &vi) in v.iter().enumerate() {
+        axpy(vi, &a[i * cols..(i + 1) * cols], out);
+    }
+}
+
+/// Transposed matrix–matrix product `out = aᵀ * b` without materializing
+/// the transpose.
+///
+/// `a` is `m × n`, `b` is `m × p`, and `out` is `n × p` and must be
+/// zeroed by the caller. One pass over the shared `m` dimension updates
+/// each output row with a contiguous [`axpy`], which is both faster and
+/// lighter than `a.transpose().matmul(b)` (lint rule R13).
+///
+/// # Panics
+/// Panics if any buffer length disagrees with the stated shape.
+pub fn tr_matmul(m: usize, n: usize, p: usize, a: &[f64], b: &[f64], out: &mut [f64]) {
+    assert_eq!(a.len(), m * n, "tr_matmul: lhs buffer/shape mismatch");
+    assert_eq!(b.len(), m * p, "tr_matmul: rhs buffer/shape mismatch");
+    assert_eq!(out.len(), n * p, "tr_matmul: out buffer/shape mismatch");
+    for i in 0..m {
+        let a_row = &a[i * n..(i + 1) * n];
+        let b_row = &b[i * p..(i + 1) * p];
+        for (j, &aij) in a_row.iter().enumerate() {
+            axpy(aij, b_row, &mut out[j * p..(j + 1) * p]);
+        }
+    }
+}
+
+/// Gram matrix `out = xᵀ * x` via a packed transpose panel.
+///
+/// `x` is `rows × cols` row-major and `out` is `cols × cols`. The columns
+/// of `x` are first packed contiguously into `packed` (caller-provided
+/// scratch, resized to `cols × rows`), after which every Gram entry is a
+/// four-lane [`dot`] of two contiguous column vectors — all accumulation
+/// happens in registers instead of the `cols × cols` output, which is
+/// what makes this ≥2× faster than the row-scatter formulation at ridge
+/// shapes. Only the upper triangle is computed; the lower is mirrored.
+///
+/// # Panics
+/// Panics if any buffer length disagrees with the stated shape.
+pub fn gram(rows: usize, cols: usize, x: &[f64], packed: &mut Vec<f64>, out: &mut [f64]) {
+    assert_eq!(x.len(), rows * cols, "gram: buffer/shape mismatch");
+    assert_eq!(out.len(), cols * cols, "gram: out buffer/shape mismatch");
+    packed.clear();
+    packed.resize(cols * rows, 0.0);
+    for (i, row) in x.chunks_exact(cols.max(1)).enumerate() {
+        for (j, &v) in row.iter().enumerate() {
+            packed[j * rows + i] = v;
+        }
+    }
+    for j in 0..cols {
+        let cj = &packed[j * rows..(j + 1) * rows];
+        for k in j..cols {
+            let v = dot(cj, &packed[k * rows..(k + 1) * rows]);
+            out[j * cols + k] = v;
+            out[k * cols + j] = v;
+        }
+    }
+}
+
+/// Proportion-of-positive-values and maximum of one dilated convolution.
+///
+/// Applies the ROCKET kernel `weights` with the given `bias` and
+/// `dilation` to the (already z-normalized) series `z` and returns
+/// `(ppv, max)` over all valid output positions. Output positions are
+/// processed four at a time with independent accumulators, but each
+/// accumulator applies the taps in the same ascending order as a scalar
+/// loop, so every convolution output — and therefore the returned pair —
+/// is bit-identical to the one-position-at-a-time reference.
+///
+/// Returns `(0.0, 0.0)` when the dilated span does not fit in `z`,
+/// matching the encoder's zero-feature convention for short series.
+pub fn conv_ppv_max(z: &[f64], weights: &[f64], bias: f64, dilation: usize) -> (f64, f64) {
+    let span = weights.len().saturating_sub(1) * dilation;
+    let n_out = z.len().saturating_sub(span);
+    if n_out == 0 {
+        return (0.0, 0.0);
+    }
+    let mut positive = 0_usize;
+    let mut max = f64::NEG_INFINITY;
+    let blocks = n_out / LANES;
+    for blk in 0..blocks {
+        let t = blk * LANES;
+        let mut acc = [bias; LANES];
+        for (i, &w) in weights.iter().enumerate() {
+            let base = t + i * dilation;
+            acc[0] += w * z[base];
+            acc[1] += w * z[base + 1];
+            acc[2] += w * z[base + 2];
+            acc[3] += w * z[base + 3];
+        }
+        for &a in &acc {
+            if a > 0.0 {
+                positive += 1;
+            }
+            max = max.max(a);
+        }
+    }
+    for t in blocks * LANES..n_out {
+        let mut acc = bias;
+        for (i, &w) in weights.iter().enumerate() {
+            acc += w * z[t + i * dilation];
+        }
+        if acc > 0.0 {
+            positive += 1;
+        }
+        max = max.max(acc);
+    }
+    (positive as f64 / n_out as f64, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Naive left-to-right reference implementations: the oracle the
+    /// blocked kernels are checked against here and in the seeded
+    /// property suite.
+    mod naive {
+        pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+            a.iter().zip(b).map(|(x, y)| x * y).sum()
+        }
+
+        pub fn matmul(m: usize, k: usize, n: usize, a: &[f64], b: &[f64]) -> Vec<f64> {
+            let mut out = vec![0.0; m * n];
+            for i in 0..m {
+                for p in 0..k {
+                    let aip = a[i * k + p];
+                    for j in 0..n {
+                        out[i * n + j] += aip * b[p * n + j];
+                    }
+                }
+            }
+            out
+        }
+
+        pub fn gram(rows: usize, cols: usize, x: &[f64]) -> Vec<f64> {
+            let mut g = vec![0.0; cols * cols];
+            for i in 0..rows {
+                for j in 0..cols {
+                    for k in 0..cols {
+                        g[j * cols + k] += x[i * cols + j] * x[i * cols + k];
+                    }
+                }
+            }
+            g
+        }
+    }
+
+    fn seq(n: usize) -> Vec<f64> {
+        (0..n).map(|i| ((i * 37 + 11) as f64 * 0.137).sin()).collect()
+    }
+
+    #[test]
+    fn dot_matches_naive_and_is_deterministic() {
+        for n in [0, 1, 3, 4, 5, 17, 128, 1001] {
+            let a = seq(n);
+            let b: Vec<f64> = a.iter().map(|x| x * 1.7 - 0.3).collect();
+            let fast = dot(&a, &b);
+            assert!((fast - naive::dot(&a, &b)).abs() <= 1e-12 * (1.0 + fast.abs()));
+            assert_eq!(fast.to_bits(), dot(&a, &b).to_bits());
+        }
+    }
+
+    #[test]
+    fn sum_and_norm2_match_naive() {
+        for n in [0, 1, 7, 64, 513] {
+            let a = seq(n);
+            let s: f64 = a.iter().sum();
+            let q: f64 = a.iter().map(|x| x * x).sum::<f64>();
+            assert!((sum(&a) - s).abs() <= 1e-12 * (1.0 + s.abs()));
+            assert!((norm2(&a) - q.sqrt()).abs() <= 1e-12 * (1.0 + q.sqrt()));
+        }
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let x = seq(9);
+        let mut y = seq(9);
+        let expect: Vec<f64> = y.iter().zip(&x).map(|(yi, xi)| yi + 2.5 * xi).collect();
+        axpy(2.5, &x, &mut y);
+        assert_eq!(y, expect);
+    }
+
+    #[test]
+    fn blocked_matmul_matches_naive_at_awkward_shapes() {
+        for (m, k, n) in [(1, 1, 1), (2, 3, 2), (5, 7, 3), (3, 300, 10), (4, 9, 200)] {
+            let a = seq(m * k);
+            let b = seq(k * n);
+            let mut out = vec![0.0; m * n];
+            let mut panel = Vec::new();
+            matmul(m, k, n, &a, &b, &mut panel, &mut out);
+            let reference = naive::matmul(m, k, n, &a, &b);
+            for (got, want) in out.iter().zip(&reference) {
+                assert!((got - want).abs() <= 1e-12 * (1.0 + want.abs()));
+            }
+        }
+    }
+
+    #[test]
+    fn packed_gram_matches_naive() {
+        for (rows, cols) in [(1, 1), (0, 3), (6, 1), (7, 5), (480, 25)] {
+            let x = seq(rows * cols);
+            let mut out = vec![0.0; cols * cols];
+            let mut packed = Vec::new();
+            gram(rows, cols, &x, &mut packed, &mut out);
+            let reference = naive::gram(rows, cols, &x);
+            for (got, want) in out.iter().zip(&reference) {
+                assert!((got - want).abs() <= 1e-9 * (1.0 + want.abs()));
+            }
+        }
+    }
+
+    #[test]
+    fn tr_matmul_matches_transpose_then_matmul() {
+        let (m, n, p) = (11, 4, 6);
+        let a = seq(m * n);
+        let b = seq(m * p);
+        let mut out = vec![0.0; n * p];
+        tr_matmul(m, n, p, &a, &b, &mut out);
+        // Explicit transpose reference.
+        let mut at = vec![0.0; n * m];
+        for i in 0..m {
+            for j in 0..n {
+                at[j * m + i] = a[i * n + j];
+            }
+        }
+        let reference = naive::matmul(n, m, p, &at, &b);
+        for (got, want) in out.iter().zip(&reference) {
+            assert!((got - want).abs() <= 1e-12 * (1.0 + want.abs()));
+        }
+    }
+
+    #[test]
+    fn matvec_pair_matches_naive() {
+        let (rows, cols) = (9, 5);
+        let a = seq(rows * cols);
+        let v = seq(cols);
+        let w = seq(rows);
+        let mut out = vec![0.0; rows];
+        matvec(rows, cols, &a, &v, &mut out);
+        for (i, o) in out.iter().enumerate() {
+            let want = naive::dot(&a[i * cols..(i + 1) * cols], &v);
+            assert!((o - want).abs() <= 1e-12 * (1.0 + want.abs()));
+        }
+        let mut tout = vec![0.0; cols];
+        tr_matvec(rows, cols, &a, &w, &mut tout);
+        for (j, o) in tout.iter().enumerate() {
+            let want: f64 = (0..rows).map(|i| a[i * cols + j] * w[i]).sum();
+            assert!((o - want).abs() <= 1e-12 * (1.0 + want.abs()));
+        }
+    }
+
+    #[test]
+    fn conv_matches_scalar_reference_bitwise() {
+        let z = seq(257);
+        let weights = seq(9);
+        for dilation in [1, 2, 8, 32] {
+            let (ppv, max) = conv_ppv_max(&z, &weights, 0.25, dilation);
+            let span = (weights.len() - 1) * dilation;
+            let n_out = z.len() - span;
+            let mut positive = 0;
+            let mut ref_max = f64::NEG_INFINITY;
+            for t in 0..n_out {
+                let mut acc = 0.25;
+                for (i, &w) in weights.iter().enumerate() {
+                    acc += w * z[t + i * dilation];
+                }
+                if acc > 0.0 {
+                    positive += 1;
+                }
+                ref_max = ref_max.max(acc);
+            }
+            assert_eq!(ppv.to_bits(), (positive as f64 / n_out as f64).to_bits());
+            assert_eq!(max.to_bits(), ref_max.to_bits());
+        }
+    }
+
+    #[test]
+    fn conv_short_series_yields_zero_features() {
+        let z = seq(5);
+        let weights = seq(9);
+        assert_eq!(conv_ppv_max(&z, &weights, 0.1, 4), (0.0, 0.0));
+    }
+}

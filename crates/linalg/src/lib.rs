@@ -5,6 +5,9 @@
 //! AutoML classifier. It deliberately implements a small, well-tested subset
 //! of dense linear algebra from scratch (no BLAS/LAPACK dependency):
 //!
+//! * [`kernels`] — cache-blocked, multi-accumulator compute kernels with a
+//!   fixed reassociation order (the deterministic fast path everything
+//!   else is built on).
 //! * [`Matrix`] — a row-major dense `f64` matrix with the usual algebra.
 //! * [`solve`] — LU / Cholesky solvers and (ridge) least squares.
 //! * [`stats`] — descriptive statistics, autocorrelation, and regression
@@ -17,6 +20,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod kernels;
 pub mod matrix;
 pub mod solve;
 pub mod stats;

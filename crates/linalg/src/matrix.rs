@@ -10,6 +10,8 @@
 use std::fmt;
 use std::ops::{Add, Index, IndexMut, Mul, Sub};
 
+use crate::kernels;
+
 /// Dense row-major matrix of `f64` values.
 #[derive(Clone, PartialEq)]
 pub struct Matrix {
@@ -141,21 +143,31 @@ impl Matrix {
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.cols, rhs.rows, "inner dimensions must agree");
         let mut out = Matrix::zeros(self.rows, rhs.cols);
-        // i-k-j loop order keeps the inner loop contiguous in both `rhs` and
-        // `out`, which matters for the larger Gram matrices in ridge fits.
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self[(i, k)];
-                if a == 0.0 {
-                    continue;
-                }
-                let rhs_row = rhs.row(k);
-                let out_row = out.row_mut(i);
-                for (o, &r) in out_row.iter_mut().zip(rhs_row) {
-                    *o += a * r;
-                }
-            }
-        }
+        let mut panel = Vec::new();
+        kernels::matmul(
+            self.rows,
+            self.cols,
+            rhs.cols,
+            &self.data,
+            &rhs.data,
+            &mut panel,
+            &mut out.data,
+        );
+        out
+    }
+
+    /// `selfᵀ * rhs` without materializing the transpose.
+    ///
+    /// Prefer this (or [`Matrix::gram`] when `rhs` is `self`) over
+    /// `self.transpose().matmul(rhs)`: it makes one contiguous pass over
+    /// both operands instead of building an intermediate matrix.
+    ///
+    /// # Panics
+    /// Panics if `self.rows() != rhs.rows()`.
+    pub fn tr_matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.rows, rhs.rows, "row counts must agree");
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        kernels::tr_matmul(self.rows, self.cols, rhs.cols, &self.data, &rhs.data, &mut out.data);
         out
     }
 
@@ -165,7 +177,9 @@ impl Matrix {
     /// Panics if `self.cols() != v.len()`.
     pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(self.cols, v.len(), "vector length must equal column count");
-        (0..self.rows).map(|i| dot(self.row(i), v)).collect()
+        let mut out = vec![0.0; self.rows];
+        kernels::matvec(self.rows, self.cols, &self.data, v, &mut out);
+        out
     }
 
     /// `selfᵀ * v` without materializing the transpose.
@@ -175,38 +189,15 @@ impl Matrix {
     pub fn tr_matvec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(self.rows, v.len(), "vector length must equal row count");
         let mut out = vec![0.0; self.cols];
-        for (i, &vi) in v.iter().enumerate() {
-            if vi == 0.0 {
-                continue;
-            }
-            for (o, &a) in out.iter_mut().zip(self.row(i)) {
-                *o += vi * a;
-            }
-        }
+        kernels::tr_matvec(self.rows, self.cols, &self.data, v, &mut out);
         out
     }
 
     /// The Gram matrix `selfᵀ * self`, exploiting symmetry.
     pub fn gram(&self) -> Matrix {
-        let n = self.cols;
-        let mut g = Matrix::zeros(n, n);
-        for row in 0..self.rows {
-            let r = self.row(row);
-            for j in 0..n {
-                let rj = r[j];
-                if rj == 0.0 {
-                    continue;
-                }
-                for k in j..n {
-                    g[(j, k)] += rj * r[k];
-                }
-            }
-        }
-        for j in 0..n {
-            for k in 0..j {
-                g[(j, k)] = g[(k, j)];
-            }
-        }
+        let mut g = Matrix::zeros(self.cols, self.cols);
+        let mut packed = Vec::new();
+        kernels::gram(self.rows, self.cols, &self.data, &mut packed, &mut g.data);
         g
     }
 
@@ -235,14 +226,12 @@ impl Matrix {
     /// Panics on shape mismatch.
     pub fn axpy(&mut self, s: f64, rhs: &Matrix) {
         assert_eq!(self.shape(), rhs.shape(), "shapes must match");
-        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
-            *a += s * b;
-        }
+        kernels::axpy(s, &rhs.data, &mut self.data);
     }
 
     /// Frobenius norm.
     pub fn norm(&self) -> f64 {
-        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+        kernels::norm2(&self.data)
     }
 
     /// Maximum absolute element, or 0 for an empty matrix.
@@ -327,12 +316,14 @@ impl fmt::Debug for Matrix {
 
 /// Dot product of two equal-length slices.
 ///
+/// Delegates to the four-lane [`kernels::dot`]; the reassociation order
+/// is fixed, so results are deterministic across runs.
+///
 /// # Panics
 /// Panics if the slices differ in length.
 #[inline]
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
-    assert_eq!(a.len(), b.len(), "dot: length mismatch");
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    kernels::dot(a, b)
 }
 
 #[cfg(test)]
@@ -395,6 +386,49 @@ mod tests {
         for (a, b) in lhs.iter().zip(&rhs) {
             assert!((a - b).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn tr_matmul_matches_explicit_transpose_product() {
+        let a = Matrix::from_fn(6, 3, |i, j| ((i * 3 + j) as f64 * 0.7).sin());
+        let b = Matrix::from_fn(6, 4, |i, j| ((i * 4 + j) as f64 * 0.3).cos());
+        let got = a.tr_matmul(&b);
+        let explicit = a.transpose().matmul(&b);
+        assert_eq!(got.shape(), (3, 4));
+        for i in 0..3 {
+            for j in 0..4 {
+                assert!((got[(i, j)] - explicit[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn products_propagate_nan_past_exact_zeros() {
+        // Regression: the old kernels skipped work when a coefficient was
+        // exactly 0.0, so `0.0 * NaN` never happened and NaN inputs could
+        // leave output cells untouched. IEEE 754 says 0.0 * NaN is NaN;
+        // non-finite data must poison everything it touches.
+        let mut a = Matrix::zeros(2, 2);
+        a[(0, 0)] = f64::NAN; // row 0 = [NaN, 0], row 1 = [0, 0]
+        let zeros = Matrix::zeros(2, 2);
+
+        // matmul: zero lhs coefficients must still multiply the NaN in
+        // rhs column 0 (0.0 * NaN = NaN), so that whole column is NaN.
+        let prod = zeros.matmul(&a);
+        assert!(prod[(0, 0)].is_nan() && prod[(1, 0)].is_nan(), "{prod:?}");
+
+        // tr_matvec: a zero vector entry must still touch the NaN row.
+        let t = a.tr_matvec(&[0.0, 0.0]);
+        assert!(t[0].is_nan(), "{t:?}");
+
+        // matvec: NaN anywhere in a row poisons that row's output even
+        // when the matching vector entry is zero.
+        let mv = a.matvec(&[0.0, 1.0]);
+        assert!(mv[0].is_nan(), "{mv:?}");
+
+        // gram: a NaN in one column poisons every entry sharing it.
+        let g = a.gram();
+        assert!(g[(0, 0)].is_nan() && g[(0, 1)].is_nan() && g[(1, 0)].is_nan(), "{g:?}");
     }
 
     #[test]

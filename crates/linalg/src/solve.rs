@@ -6,6 +6,7 @@
 //! cover every fit in the model zoo (AR/ARIMA, ridge lag regression, VAR,
 //! Holt-Winters initialization) and the ensemble weight solver.
 
+use crate::kernels;
 use crate::matrix::Matrix;
 use std::fmt;
 
@@ -98,12 +99,10 @@ pub fn lu_solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
         }
     }
 
-    // Back substitution on the upper triangle.
+    // Back substitution on the upper triangle; the strict upper part of
+    // each row is contiguous, so the reduction is a four-lane dot.
     for i in (0..n).rev() {
-        let mut sum = x[i];
-        for j in (i + 1)..n {
-            sum -= lu[(i, j)] * x[j];
-        }
+        let sum = x[i] - kernels::dot(&lu.row(i)[(i + 1)..], &x[(i + 1)..]);
         x[i] = sum / lu[(i, i)];
     }
     Ok(x)
@@ -118,21 +117,18 @@ pub fn cholesky(a: &Matrix) -> Result<Matrix, LinalgError> {
         return Err(LinalgError::ShapeMismatch { what: "cholesky requires a square matrix" });
     }
     let mut l = Matrix::zeros(n, n);
+    // Row-major lower-triangular storage makes every inner reduction a
+    // contiguous prefix of a row, i.e. a four-lane dot.
     for j in 0..n {
-        let mut diag = a[(j, j)];
-        for k in 0..j {
-            diag -= l[(j, k)] * l[(j, k)];
-        }
+        let lj = &l.row(j)[..j];
+        let diag = a[(j, j)] - kernels::dot(lj, lj);
         if diag <= 0.0 || !diag.is_finite() {
             return Err(LinalgError::NotPositiveDefinite { index: j });
         }
         let dj = diag.sqrt();
         l[(j, j)] = dj;
         for i in (j + 1)..n {
-            let mut s = a[(i, j)];
-            for k in 0..j {
-                s -= l[(i, k)] * l[(j, k)];
-            }
+            let s = a[(i, j)] - kernels::dot(&l.row(i)[..j], &l.row(j)[..j]);
             l[(i, j)] = s / dj;
         }
     }
@@ -149,10 +145,7 @@ pub fn cholesky_solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
     // Forward solve L y = b.
     let mut y = vec![0.0; n];
     for i in 0..n {
-        let mut s = b[i];
-        for k in 0..i {
-            s -= l[(i, k)] * y[k];
-        }
+        let s = b[i] - kernels::dot(&l.row(i)[..i], &y[..i]);
         y[i] = s / l[(i, i)];
     }
     // Backward solve Lᵀ x = y.

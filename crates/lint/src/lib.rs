@@ -40,6 +40,10 @@
 //!   not contain a top-level `_` arm: adding a `RefitPolicy` variant has
 //!   to be a compile error at every dispatch site, not a silent
 //!   fall-through into the wrong evaluation protocol.
+//! * **R13 materialized transpose** — no `.transpose()` immediately feeding
+//!   `.matmul(..)` / `.matvec(..)` in library code: the chain allocates and
+//!   fills the transposed matrix only to stream through it once. Use the
+//!   fused `Matrix::tr_matmul` / `Matrix::tr_matvec` kernels instead.
 //!
 //! Any rule can be waived for one statement with an escape-hatch comment
 //! carrying a mandatory justification:
@@ -87,12 +91,14 @@ pub enum Rule {
     PrintMacro,
     /// R12: no `_` arm in `match`es over a refit policy.
     PolicyWildcard,
+    /// R13: no materialized `.transpose()` feeding `.matmul`/`.matvec`.
+    MaterializedTranspose,
     /// A malformed escape-hatch annotation.
     BadAnnotation,
 }
 
 impl Rule {
-    /// Short rule code used in diagnostics (`R1`…`R11`; `R0` for malformed
+    /// Short rule code used in diagnostics (`R1`…`R13`; `R0` for malformed
     /// annotations). `HashOrder` and `WallClock` are both facets of R8.
     pub fn code(self) -> &'static str {
         match self {
@@ -107,6 +113,7 @@ impl Rule {
             Rule::MissingDocs => "R9",
             Rule::PrintMacro => "R11",
             Rule::PolicyWildcard => "R12",
+            Rule::MaterializedTranspose => "R13",
             Rule::BadAnnotation => "R0",
         }
     }
@@ -126,6 +133,7 @@ impl Rule {
             Rule::MissingDocs => "missing-docs",
             Rule::PrintMacro => "print",
             Rule::PolicyWildcard => "policy-wildcard",
+            Rule::MaterializedTranspose => "materialized-transpose",
             Rule::BadAnnotation => "",
         }
     }

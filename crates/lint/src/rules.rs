@@ -1,4 +1,4 @@
-//! The token-level lint rules (R1, R3–R9, R11, R12).
+//! The token-level lint rules (R1, R3–R9, R11, R12, R13).
 //!
 //! Every rule here runs over a [`SourceFile`] token stream, so string
 //! literals and comments can never produce false positives, and
@@ -250,6 +250,23 @@ pub fn lint_tokens(rel_path: &Path, class: FileClass, sf: &SourceFile<'_>) -> Ve
             }
         }
 
+        // ---- R13: materialized transpose feeding a product in library
+        // code. `Option::transpose()` chains are naturally exempt: their
+        // continuation is `?` / `.ok_or(..)`, never `.matmul(`. ----
+        if class.is_library && !in_test(k) {
+            if let Some(method) = transpose_product(sf, k) {
+                r.report(
+                    Rule::MaterializedTranspose,
+                    line,
+                    format!(
+                        "`.transpose().{method}(..)` materializes the transposed matrix only to \
+                         stream through it once; use the fused `Matrix::tr_{method}` kernel \
+                         (or annotate with `// lint: allow(materialized-transpose) — <why>`)"
+                    ),
+                );
+            }
+        }
+
         // ---- R12: refit-policy matches must stay exhaustive (applies
         // everywhere — binaries and tests dispatch on the policy too, and
         // a new variant must be handled, not silently defaulted). ----
@@ -268,6 +285,26 @@ pub fn lint_tokens(rel_path: &Path, class: FileClass, sf: &SourceFile<'_>) -> Ve
     }
 
     r.diags
+}
+
+/// R13 helper: when code index `k` is a `.transpose()` call whose result
+/// immediately feeds `.matmul(` / `.matvec(`, returns the product method
+/// name.
+fn transpose_product(sf: &SourceFile<'_>, k: usize) -> Option<&'static str> {
+    if !(k > 0 && sf.is_punct(k - 1, '.') && sf.is_ident(k, "transpose") && sf.is_punct(k + 1, '('))
+    {
+        return None;
+    }
+    let close = sf.matching_close(k + 1)?;
+    if !sf.is_punct(close + 1, '.') {
+        return None;
+    }
+    for method in ["matmul", "matvec"] {
+        if sf.is_ident(close + 2, method) && sf.is_punct(close + 3, '(') {
+            return Some(method);
+        }
+    }
+    None
 }
 
 /// R12 helper: when the `match` at code index `k` scrutinizes a refit

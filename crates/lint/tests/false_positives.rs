@@ -218,6 +218,90 @@ fn r12_leaves_exhaustive_and_unrelated_matches_alone() {
 }
 
 #[test]
+fn r13_flags_transpose_feeding_matrix_products_in_library_code() {
+    let positives = [
+        "fn f(a: &Matrix, b: &Matrix) -> Matrix { a.transpose().matmul(b) }\n",
+        "fn f(a: &Matrix, v: &[f64]) -> Vec<f64> { a.transpose().matvec(v) }\n",
+        // Still a materialized transpose when the receiver is an expression.
+        "fn f(a: &Matrix, b: &Matrix) -> Matrix { (a.scale(2.0)).transpose().matmul(b) }\n",
+    ];
+    for src in positives {
+        let diags = lint_rust_source(lib(), src);
+        assert_eq!(diags.len(), 1, "R13 should fire once in {src:?}: {diags:?}");
+        assert_eq!(diags[0].rule, Rule::MaterializedTranspose);
+    }
+    // Hot numeric crates are library code too.
+    let diags = lint_rust_source(hot(), positives[0]);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].rule, Rule::MaterializedTranspose);
+}
+
+#[test]
+fn r13_leaves_unfused_transposes_and_non_library_code_alone() {
+    let negatives = [
+        // A transpose that is *kept* (bound, returned, reused) is fine —
+        // the rule only targets transpose-then-stream-once.
+        "fn f(a: &Matrix) -> Matrix { a.transpose() }\n",
+        "fn f(a: &Matrix, b: &Matrix) -> Matrix { let at = a.transpose(); at.matmul(b) }\n",
+        // `Option::transpose` chains continue with `?`, not a product call.
+        "fn f(x: Option<Result<u32, E>>) -> Result<u32, E> { Ok(x.transpose()?.unwrap_or(0)) }\n",
+        // Other follow-on methods are not products.
+        "fn f(a: &Matrix) -> usize { a.transpose().rows() }\n",
+        // Patterns inside strings and comments never fire.
+        "fn f() -> &'static str { \"a.transpose().matmul(b)\" }\n",
+        "fn f() {} // a.transpose().matmul(b) in a comment\n",
+    ];
+    for src in negatives {
+        let diags = lint_rust_source(lib(), src);
+        assert!(
+            diags.iter().all(|d| d.rule != Rule::MaterializedTranspose),
+            "R13 false positive in {src:?}: {diags:?}"
+        );
+    }
+
+    // Tests, benches, and binaries may materialize transposes freely (the
+    // property tests do exactly this to build naive oracles).
+    let src = "fn f(a: &Matrix, b: &Matrix) -> Matrix { a.transpose().matmul(b) }\n";
+    for path in [
+        "crates/linalg/tests/kernel_properties.rs",
+        "crates/bench/src/bin/exp_kernels.rs",
+        "crates/demo/examples/quickstart.rs",
+    ] {
+        assert!(
+            lint_rust_source(Path::new(path), src).is_empty(),
+            "R13 should not fire in {path}"
+        );
+    }
+
+    // `#[cfg(test)]` regions inside library files are exempt.
+    let in_test = "#[cfg(test)]\n\
+                   mod tests {\n\
+                   \x20   fn f(a: &Matrix, b: &Matrix) -> Matrix { a.transpose().matmul(b) }\n\
+                   }\n";
+    assert!(lint_rust_source(lib(), in_test).is_empty());
+}
+
+#[test]
+fn r13_escape_hatch() {
+    let annotated = "fn f(a: &Matrix, b: &Matrix) -> Matrix {\n\
+                     \x20   // lint: allow(materialized-transpose) — b is reused mutably below\n\
+                     \x20   a.transpose().matmul(b)\n\
+                     }\n";
+    assert!(lint_rust_source(lib(), annotated).is_empty());
+
+    // A bare annotation with no justification is itself a violation.
+    let bare = "fn f(a: &Matrix, b: &Matrix) -> Matrix {\n\
+                \x20   // lint: allow(materialized-transpose)\n\
+                \x20   a.transpose().matmul(b)\n\
+                }\n";
+    let diags = lint_rust_source(lib(), bare);
+    assert!(
+        diags.iter().any(|d| d.rule == Rule::BadAnnotation),
+        "bare allow should be rejected: {diags:?}"
+    );
+}
+
+#[test]
 fn lifetimes_are_not_mistaken_for_char_literals() {
     // `'a` must lex as a lifetime, not open a character literal that
     // swallows the rest of the file (which would hide the real unwrap).

@@ -9,8 +9,15 @@
 
 use crate::{check_horizon, check_train, Forecaster, ModelError, Result};
 use easytime_data::TimeSeries;
+use easytime_linalg::kernels::dot;
 use easytime_linalg::stats::variance;
 use easytime_linalg::{ridge, Matrix};
+
+/// Lag coefficients reversed so that each AR/MA prediction becomes one
+/// contiguous dot over the trailing window (oldest lag first).
+fn reversed(coeffs: &[f64]) -> Vec<f64> {
+    coeffs.iter().rev().copied().collect()
+}
 
 /// Builds the lag design matrix with an intercept column.
 ///
@@ -204,13 +211,11 @@ impl Forecaster for Ar {
         check_horizon(horizon)?;
         let st = self.fitted.as_ref().ok_or(ModelError::NotFitted)?;
         let p = st.coeffs.len();
+        let rev = reversed(&st.coeffs);
         let mut hist = st.history.clone();
         let mut out = Vec::with_capacity(horizon);
         for _ in 0..horizon {
-            let mut v = st.intercept;
-            for (lag, c) in st.coeffs.iter().enumerate() {
-                v += c * hist[hist.len() - 1 - lag];
-            }
+            let v = st.intercept + dot(&rev, &hist[hist.len() - p..]);
             out.push(v);
             hist.push(v);
             if hist.len() > p + 1 {
@@ -317,12 +322,11 @@ impl Arima {
         if q == 0 {
             let (intercept, ar, sse) = fit_ar(work, p.max(1))?;
             // Residuals for state initialization.
+            let rev = reversed(&ar);
+            let pe = ar.len();
             let mut resid = vec![0.0; n];
-            for t in p..n {
-                let mut pred = intercept;
-                for (lag, c) in ar.iter().enumerate() {
-                    pred += c * work[t - 1 - lag];
-                }
+            for t in pe..n {
+                let pred = intercept + dot(&rev, &work[t - pe..t]);
                 resid[t] = work[t] - pred;
             }
             return Ok((intercept, ar, Vec::new(), resid, sse));
@@ -333,13 +337,10 @@ impl Arima {
         // integer-valued float, exactly representable as usize.
         let long_p = ((n as f64).ln().ceil() as usize + p + q).min(n / 3).max(p + 1);
         let (li, lc, _) = fit_ar(work, long_p)?;
+        let rev_lc = reversed(&lc);
         let mut innov = vec![0.0; n];
         for t in long_p..n {
-            let mut pred = li;
-            for (lag, c) in lc.iter().enumerate() {
-                pred += c * work[t - 1 - lag];
-            }
-            innov[t] = work[t] - pred;
+            innov[t] = work[t] - (li + dot(&rev_lc, &work[t - long_p..t]));
         }
 
         // Stage 2: regress y[t] on p lags of y and q lags of innovations.
@@ -378,15 +379,11 @@ impl Arima {
         stabilize_ar(&mut ma);
 
         // Final residual pass with the fitted ARMA parameters.
+        let (rev_ar, rev_ma) = (reversed(&ar), reversed(&ma));
         let mut resid = vec![0.0; n];
         for t in p.max(q)..n {
-            let mut pred = intercept;
-            for (lag, c) in ar.iter().enumerate() {
-                pred += c * work[t - 1 - lag];
-            }
-            for (lag, c) in ma.iter().enumerate() {
-                pred += c * resid[t - 1 - lag];
-            }
+            let pred =
+                intercept + dot(&rev_ar, &work[t - p..t]) + dot(&rev_ma, &resid[t - q..t]);
             resid[t] = work[t] - pred;
         }
         Ok((intercept, ar, ma, resid, sse))
@@ -447,17 +444,14 @@ impl Forecaster for Arima {
     fn forecast(&self, horizon: usize) -> Result<Vec<f64>> {
         check_horizon(horizon)?;
         let st = self.fitted.as_ref().ok_or(ModelError::NotFitted)?;
+        let (rev_ar, rev_ma) = (reversed(&st.ar), reversed(&st.ma));
         let mut hist = st.hist.clone();
         let mut resid = st.resid.clone();
         let mut diffs = Vec::with_capacity(horizon);
         for _ in 0..horizon {
-            let mut v = st.intercept;
-            for (lag, c) in st.ar.iter().enumerate() {
-                v += c * hist[hist.len() - 1 - lag];
-            }
-            for (lag, c) in st.ma.iter().enumerate() {
-                v += c * resid[resid.len() - 1 - lag];
-            }
+            let v = st.intercept
+                + dot(&rev_ar, &hist[hist.len() - rev_ar.len()..])
+                + dot(&rev_ma, &resid[resid.len() - rev_ma.len()..]);
             diffs.push(v);
             hist.push(v);
             resid.push(0.0); // future innovations have zero expectation

@@ -10,6 +10,7 @@
 
 use crate::{check_horizon, Forecaster, ModelError, Result};
 use easytime_data::TimeSeries;
+use easytime_linalg::kernels::dot;
 use easytime_linalg::stats::{mean, std_dev};
 use easytime_linalg::{ridge, Matrix};
 
@@ -126,13 +127,13 @@ impl Forecaster for SpecializedGlobal {
 
     fn forecast(&self, horizon: usize) -> Result<Vec<f64>> {
         check_horizon(horizon)?;
+        // Reversed lag weights turn each step into one contiguous dot
+        // over the trailing window.
+        let rev: Vec<f64> = self.beta[1..].iter().rev().copied().collect();
         let mut hist = self.tail.clone();
         let mut out = Vec::with_capacity(horizon);
         for _ in 0..horizon {
-            let mut z = self.beta[0];
-            for j in 1..=self.lookback {
-                z += self.beta[j] * hist[hist.len() - j];
-            }
+            let z = self.beta[0] + dot(&rev, &hist[hist.len() - self.lookback..]);
             out.push(z * self.sigma + self.mu);
             hist.push(z);
             if hist.len() > self.lookback {

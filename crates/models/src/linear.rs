@@ -16,6 +16,7 @@
 use crate::{check_horizon, check_train, Forecaster, ModelError, Result};
 use easytime_data::decompose::trailing_moving_average;
 use easytime_data::TimeSeries;
+use easytime_linalg::kernels::dot;
 use easytime_linalg::{ridge, Matrix};
 
 /// Fits `y[t] ≈ β₀ + Σ βᵢ y[t-i]` with ridge regularization.
@@ -36,24 +37,22 @@ fn fit_lag_model(values: &[f64], lookback: usize, lambda: f64) -> Result<Vec<f64
     ridge(&x, &y, lambda).map_err(|e| ModelError::Numeric { what: e.to_string() })
 }
 
-/// One-step prediction with a fitted lag model; `hist` holds the most recent
-/// values, newest last.
-fn predict_lag(beta: &[f64], hist: &[f64]) -> f64 {
-    let lookback = beta.len() - 1;
-    let mut v = beta[0];
-    for i in 1..=lookback {
-        v += beta[i] * hist[hist.len() - i];
-    }
-    v
+/// Reverses the lag coefficients `beta[1..]` so a one-step prediction is a
+/// contiguous dot with the newest-last history window.
+fn reversed_lags(beta: &[f64]) -> Vec<f64> {
+    beta[1..].iter().rev().copied().collect()
 }
 
 /// Recursive multi-step forecast with a fitted lag model.
 fn forecast_recursive(beta: &[f64], tail: &[f64], horizon: usize) -> Vec<f64> {
     let lookback = beta.len() - 1;
+    // Hoist the coefficient reversal so every step is one contiguous
+    // four-lane dot over the trailing window.
+    let rev = reversed_lags(beta);
     let mut hist = tail.to_vec();
     let mut out = Vec::with_capacity(horizon);
     for _ in 0..horizon {
-        let v = predict_lag(beta, &hist);
+        let v = beta[0] + dot(&rev, &hist[hist.len() - lookback..]);
         out.push(v);
         hist.push(v);
         if hist.len() > lookback {
@@ -238,6 +237,8 @@ impl Forecaster for NLinear {
         check_horizon(horizon)?;
         let (beta, tail) = self.fitted.as_ref().ok_or(ModelError::NotFitted)?;
         let lookback = beta.len() - 1;
+        let rev = reversed_lags(beta);
+        let mut centered = vec![0.0; lookback];
         let mut hist = tail.to_vec();
         let mut out = Vec::with_capacity(horizon);
         for _ in 0..horizon {
@@ -245,10 +246,13 @@ impl Forecaster for NLinear {
             // observations and the loop below only appends, so the
             // history can never be empty here.
             let anchor = *hist.last().expect("history is never empty");
-            let mut delta = beta[0];
-            for i in 1..=lookback {
-                delta += beta[i] * (hist[hist.len() - i] - anchor);
+            // Anchor subtraction happens *before* the dot so the reduction
+            // runs on small residuals, not raw levels (cancellation-safe).
+            let window = &hist[hist.len() - lookback..];
+            for (c, &h) in centered.iter_mut().zip(window) {
+                *c = h - anchor;
             }
+            let delta = beta[0] + dot(&rev, &centered);
             let v = anchor + delta;
             out.push(v);
             hist.push(v);

@@ -9,6 +9,7 @@
 
 use crate::{check_horizon, Forecaster, ModelError, Result};
 use easytime_data::{MultiSeries, TimeSeries};
+use easytime_linalg::kernels::dot;
 use easytime_linalg::{ridge, Matrix};
 
 /// The multivariate counterpart of [`Forecaster`].
@@ -100,17 +101,18 @@ impl MultiForecaster for Var {
         let p = st.order;
         let mut hists = st.tails.clone();
         let mut out = vec![Vec::with_capacity(horizon); k];
+        // Lag state flattened to match the equation layout
+        // `[y_{t-1,0..k}, y_{t-2,0..k}, …]`, so every equation reduces to
+        // one contiguous dot against the shared state vector.
+        let mut state = vec![0.0; p * k];
         for _ in 0..horizon {
-            let mut next = Vec::with_capacity(k);
-            for eq in &st.equations {
-                let mut v = eq[0];
-                for lag in 1..=p {
-                    for (ch, hist) in hists.iter().enumerate() {
-                        v += eq[1 + (lag - 1) * k + ch] * hist[hist.len() - lag];
-                    }
+            for lag in 1..=p {
+                for (ch, hist) in hists.iter().enumerate() {
+                    state[(lag - 1) * k + ch] = hist[hist.len() - lag];
                 }
-                next.push(v);
             }
+            let next: Vec<f64> =
+                st.equations.iter().map(|eq| eq[0] + dot(&eq[1..], &state)).collect();
             for (ch, &v) in next.iter().enumerate() {
                 out[ch].push(v);
                 hists[ch].push(v);

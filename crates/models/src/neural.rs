@@ -15,6 +15,7 @@
 use crate::optimize::Adam;
 use crate::{check_horizon, check_train, Forecaster, ModelError, Result};
 use easytime_data::TimeSeries;
+use easytime_linalg::kernels::{axpy, dot, norm2};
 use easytime_linalg::stats::{mean, std_dev};
 use easytime_rng::StdRng;
 
@@ -93,17 +94,10 @@ impl Mlp {
     fn forward(state: &MlpState, x: &[f64], hidden_out: &mut [f64]) -> f64 {
         let lb = state.lookback;
         for (h, ho) in hidden_out.iter_mut().enumerate() {
-            let mut s = state.b1[h];
-            for (i, &xi) in x.iter().enumerate() {
-                s += state.w1[h * lb + i] * xi;
-            }
+            let s = state.b1[h] + dot(&state.w1[h * lb..(h + 1) * lb], x);
             *ho = s.tanh();
         }
-        let mut y = state.b2;
-        for (h, &ho) in hidden_out.iter().enumerate() {
-            y += state.w2[h] * ho;
-        }
-        y
+        state.b2 + dot(&state.w2, hidden_out)
     }
 }
 
@@ -155,13 +149,11 @@ impl Forecaster for Mlp {
                     let (gb1, rest) = rest.split_at_mut(hidden);
                     let (gw2, gb2) = rest.split_at_mut(hidden);
                     gb2[0] += err;
+                    axpy(err, &hidden_buf, gw2);
                     for h in 0..hidden {
-                        gw2[h] += err * hidden_buf[h];
                         let dh = err * state.w2[h] * (1.0 - hidden_buf[h] * hidden_buf[h]);
                         gb1[h] += dh;
-                        for (i, &xi) in x.iter().enumerate() {
-                            gw1[h * lookback + i] += dh * xi;
-                        }
+                        axpy(dh, x, &mut gw1[h * lookback..(h + 1) * lookback]);
                     }
                 }
                 let inv = 1.0 / chunk.len() as f64;
@@ -254,19 +246,15 @@ impl Rnn {
         for &xt in x {
             let mut h = vec![0.0; hdim];
             for (j, hj) in h.iter_mut().enumerate() {
-                let mut s = state.bh[j] + state.wx[j] * xt;
-                for (k, &pk) in prev.iter().enumerate() {
-                    s += state.wh[j * hdim + k] * pk;
-                }
+                let s = state.bh[j]
+                    + state.wx[j] * xt
+                    + dot(&state.wh[j * hdim..(j + 1) * hdim], &prev);
                 *hj = s.tanh();
             }
             hs.push(h.clone());
             prev = h;
         }
-        let mut y = state.bo;
-        for (j, &hj) in prev.iter().enumerate() {
-            y += state.wo[j] * hj;
-        }
+        let y = state.bo + dot(&state.wo, &prev);
         (hs, y)
     }
 }
@@ -321,22 +309,18 @@ impl Forecaster for Rnn {
                     let t_last = x.len() - 1;
 
                     g_bo += err;
-                    for j in 0..hdim {
-                        g_wo[j] += err * hs[t_last][j];
-                    }
+                    axpy(err, &hs[t_last], &mut g_wo);
                     // BPTT: delta at the last step from the output layer.
                     let mut delta: Vec<f64> = (0..hdim)
                         .map(|j| err * state.wo[j] * (1.0 - hs[t_last][j] * hs[t_last][j]))
                         .collect();
                     for t in (0..=t_last).rev() {
                         let prev_h: Option<&Vec<f64>> = if t > 0 { Some(&hs[t - 1]) } else { None };
-                        for j in 0..hdim {
-                            g_bh[j] += delta[j];
-                            g_wx[j] += delta[j] * x[t];
-                            if let Some(ph) = prev_h {
-                                for k in 0..hdim {
-                                    g_wh[j * hdim + k] += delta[j] * ph[k];
-                                }
+                        axpy(1.0, &delta, &mut g_bh);
+                        axpy(x[t], &delta, &mut g_wx);
+                        if let Some(ph) = prev_h {
+                            for j in 0..hdim {
+                                axpy(delta[j], ph, &mut g_wh[j * hdim..(j + 1) * hdim]);
                             }
                         }
                         if t > 0 {
@@ -361,7 +345,7 @@ impl Forecaster for Rnn {
                 grads.extend(g_wo.iter().map(|g| g * inv));
                 grads.push(g_bo * inv);
                 // Gradient clipping keeps BPTT stable on trending data.
-                let norm: f64 = grads.iter().map(|g| g * g).sum::<f64>().sqrt();
+                let norm = norm2(&grads);
                 if norm > 5.0 {
                     let s = 5.0 / norm;
                     for g in &mut grads {

@@ -86,12 +86,12 @@ pub fn nelder_mead(
             break;
         }
 
-        // Centroid of all but the worst vertex.
+        // Centroid of all but the worst vertex: one contiguous axpy per
+        // vertex with the reciprocal hoisted out of the inner loop.
+        let inv_n = 1.0 / n as f64;
         let mut centroid = vec![0.0; n];
         for (v, _) in simplex.iter().take(n) {
-            for (c, &x) in centroid.iter_mut().zip(v) {
-                *c += x / n as f64;
-            }
+            easytime_linalg::kernels::axpy(inv_n, v, &mut centroid);
         }
 
         let reflect: Vec<f64> = centroid

@@ -6,10 +6,29 @@
 //! statistics), then [`Embedder::embed`] maps any new series into the same
 //! space during online inference.
 
-use crate::features::{extract_features, FEATURE_DIM};
+use crate::features::{extract_features_into, FEATURE_DIM};
 use crate::rocket::RocketEncoder;
 use easytime_data::TimeSeries;
 use easytime_linalg::stats::{mean, std_dev};
+
+/// Reusable working memory for repeated embedding.
+///
+/// Holds the z-normalization buffer the kernel transform writes into.
+/// Create one per embedding loop (corpus fit, recommendation batch) and
+/// pass it to [`Embedder::embed_into`]; once grown to capacity, the
+/// kernel-feature path performs zero allocations per series.
+#[derive(Debug, Clone, Default)]
+pub struct EmbedScratch {
+    /// Z-normalized copy of the series consumed by the convolution sweep.
+    z: Vec<f64>,
+}
+
+impl EmbedScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> EmbedScratch {
+        EmbedScratch::default()
+    }
+}
 
 /// Configuration of the embedder.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -62,26 +81,29 @@ impl Embedder {
             + if self.config.use_stats { FEATURE_DIM } else { 0 }
     }
 
-    /// Raw (un-normalized) embedding of one series.
-    fn raw_embed(&self, series: &TimeSeries) -> Vec<f64> {
-        let mut out = Vec::with_capacity(self.dim());
+    /// Raw (un-normalized) embedding of one series, appended to `out`.
+    fn raw_embed_into(&self, series: &TimeSeries, scratch: &mut EmbedScratch, out: &mut Vec<f64>) {
         if let Some(rocket) = &self.rocket {
-            out.extend(rocket.transform(series.values()));
+            rocket.transform_into(series.values(), &mut scratch.z, out);
         }
         if self.config.use_stats {
-            out.extend(extract_features(
-                series.values(),
-                series.frequency().default_period(),
-            ));
+            extract_features_into(series.values(), series.frequency().default_period(), out);
         }
-        out
     }
 
     /// Offline phase: fits per-dimension normalization on a corpus and
     /// returns the normalized corpus embeddings (one per input series, in
     /// order).
     pub fn fit(&mut self, corpus: &[TimeSeries]) -> Vec<Vec<f64>> {
-        let raws: Vec<Vec<f64>> = corpus.iter().map(|s| self.raw_embed(s)).collect();
+        let mut scratch = EmbedScratch::new();
+        let raws: Vec<Vec<f64>> = corpus
+            .iter()
+            .map(|s| {
+                let mut out = Vec::with_capacity(self.dim());
+                self.raw_embed_into(s, &mut scratch, &mut out);
+                out
+            })
+            .collect();
         let dim = self.dim();
         let mut norm = Vec::with_capacity(dim);
         for d in 0..dim {
@@ -89,10 +111,14 @@ impl Embedder {
             norm.push((mean(&column), std_dev(&column).max(1e-9)));
         }
         self.norm = Some(norm);
-        raws.into_iter().map(|r| self.normalize(r)).collect()
+        let mut raws = raws;
+        for r in &mut raws {
+            self.normalize(r);
+        }
+        raws
     }
 
-    fn normalize(&self, mut raw: Vec<f64>) -> Vec<f64> {
+    fn normalize(&self, raw: &mut [f64]) {
         // lint: allow(panic) — normalize is private and only called after
         // fit has populated the normalization table.
         let norm = self.norm.as_ref().expect("embedder must be fitted");
@@ -103,17 +129,32 @@ impl Embedder {
             // dominates every inner product downstream.
             *v = ((*v - mu) / sigma).clamp(-8.0, 8.0);
         }
-        raw
     }
 
     /// Online phase: embeds a new series with the corpus-fitted
     /// normalization. Falls back to the raw embedding when unfitted (useful
     /// for similarity queries that only need relative geometry).
+    ///
+    /// Allocates the result (and a scratch) per call; loops should hold an
+    /// [`EmbedScratch`] and an output buffer and call
+    /// [`Embedder::embed_into`] instead.
     pub fn embed(&self, series: &TimeSeries) -> Vec<f64> {
-        let raw = self.raw_embed(series);
-        match &self.norm {
-            Some(_) => self.normalize(raw),
-            None => raw,
+        let mut scratch = EmbedScratch::new();
+        let mut out = Vec::with_capacity(self.dim());
+        self.embed_into(series, &mut scratch, &mut out);
+        out
+    }
+
+    /// Embeds a series into `out` (cleared first), reusing `scratch`.
+    ///
+    /// With kernel-only features (`use_stats: false`) the steady state
+    /// performs zero allocations once the buffers have grown to capacity —
+    /// pinned by the counting-allocator test in `tests/no_alloc_embed.rs`.
+    pub fn embed_into(&self, series: &TimeSeries, scratch: &mut EmbedScratch, out: &mut Vec<f64>) {
+        out.clear();
+        self.raw_embed_into(series, scratch, out);
+        if self.norm.is_some() {
+            self.normalize(out);
         }
     }
 

@@ -37,6 +37,15 @@ pub const FEATURE_NAMES: [&str; FEATURE_DIM] = [
 /// only one that sees the mean, deliberately), so they compose with the
 /// z-normalized kernel features.
 pub fn extract_features(values: &[f64], period_hint: Option<usize>) -> Vec<f64> {
+    let mut out = Vec::with_capacity(FEATURE_DIM);
+    extract_features_into(values, period_hint, &mut out);
+    out
+}
+
+/// Appends the canonical feature vector to `out` without allocating the
+/// result vector (internal characteristic extraction still allocates; the
+/// kernel-feature path is the one pinned allocation-free).
+pub fn extract_features_into(values: &[f64], period_hint: Option<usize>, out: &mut Vec<f64>) {
     let n = values.len();
     let mu = mean(values);
     let sigma = std_dev(values);
@@ -71,7 +80,7 @@ pub fn extract_features(values: &[f64], period_hint: Option<usize>) -> Vec<f64> 
     let energy: f64 = a.iter().skip(1).map(|v| v * v).sum::<f64>() / max_lag.max(1) as f64;
     let spectral = (1.0 - energy).clamp(0.0, 1.0);
 
-    vec![
+    out.extend_from_slice(&[
         cv,
         skewness(values).clamp(-10.0, 10.0),
         kurtosis(values).clamp(-10.0, 10.0),
@@ -88,7 +97,7 @@ pub fn extract_features(values: &[f64], period_hint: Option<usize>) -> Vec<f64> 
         chars.stationarity,
         (n as f64).ln(),
         (chars.period as f64 / 64.0).min(2.0),
-    ]
+    ]);
 }
 
 #[cfg(test)]

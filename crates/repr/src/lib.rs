@@ -23,4 +23,4 @@ pub mod encoder;
 pub mod features;
 pub mod rocket;
 
-pub use encoder::{Embedder, EmbedderConfig};
+pub use encoder::{EmbedScratch, Embedder, EmbedderConfig};

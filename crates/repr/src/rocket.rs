@@ -6,6 +6,7 @@
 //! With a few hundred kernels this yields a strong generic representation
 //! at a fraction of the cost of a learned encoder.
 
+use easytime_linalg::kernels::conv_ppv_max;
 use easytime_linalg::stats::{mean, std_dev};
 use easytime_rng::StdRng;
 
@@ -52,41 +53,37 @@ impl RocketEncoder {
     /// Transforms a series into kernel features.
     ///
     /// The input is z-normalized internally, so series level and scale do
-    /// not leak into the representation.
+    /// not leak into the representation. Allocates fresh buffers per call;
+    /// hot paths should hold a scratch buffer and use
+    /// [`RocketEncoder::transform_into`] instead.
     pub fn transform(&self, values: &[f64]) -> Vec<f64> {
+        let mut scratch = Vec::new();
+        let mut out = Vec::with_capacity(self.dim());
+        self.transform_into(values, &mut scratch, &mut out);
+        out
+    }
+
+    /// Transforms a series into kernel features, appending them to `out`
+    /// and reusing `scratch` for the z-normalized series.
+    ///
+    /// Once `scratch` and `out` have grown to capacity this performs zero
+    /// allocations, which is what makes repeated embedding (corpus fits,
+    /// online recommendation) allocation-free in the steady state. The
+    /// produced features are bit-identical to [`RocketEncoder::transform`].
+    pub fn transform_into(&self, values: &[f64], scratch: &mut Vec<f64>, out: &mut Vec<f64>) {
         let mu = mean(values);
         let sigma = std_dev(values).max(1e-9);
-        let z: Vec<f64> = values.iter().map(|v| (v - mu) / sigma).collect();
+        scratch.clear();
+        scratch.extend(values.iter().map(|v| (v - mu) / sigma));
 
-        let mut out = Vec::with_capacity(self.dim());
+        out.reserve(self.dim());
         for k in &self.kernels {
-            let span = (k.weights.len() - 1) * k.dilation;
-            if z.len() <= span {
-                // Series shorter than the kernel's receptive field:
-                // neutral features.
-                out.push(0.0);
-                out.push(0.0);
-                continue;
-            }
-            let n_out = z.len() - span;
-            let mut positive = 0usize;
-            let mut max = f64::NEG_INFINITY;
-            for t in 0..n_out {
-                let mut acc = k.bias;
-                for (i, w) in k.weights.iter().enumerate() {
-                    acc += w * z[t + i * k.dilation];
-                }
-                if acc > 0.0 {
-                    positive += 1;
-                }
-                if acc > max {
-                    max = acc;
-                }
-            }
-            out.push(positive as f64 / n_out as f64); // PPV
+            // Short series (receptive field larger than the input) yield
+            // the neutral (0, 0) feature pair from the kernel.
+            let (ppv, max) = conv_ppv_max(scratch, &k.weights, k.bias, k.dilation);
+            out.push(ppv);
             out.push(max);
         }
-        out
     }
 }
 
@@ -152,6 +149,23 @@ mod tests {
                 chunk[0]
             );
             assert!(chunk[1].is_finite());
+        }
+    }
+
+    #[test]
+    fn transform_into_is_bit_identical_and_reuses_buffers() {
+        let enc = RocketEncoder::new(48, 13);
+        let mut scratch = Vec::new();
+        let mut out = Vec::new();
+        for n in [3usize, 40, 240] {
+            let xs = sine(n, 12.0);
+            out.clear();
+            enc.transform_into(&xs, &mut scratch, &mut out);
+            let fresh = enc.transform(&xs);
+            assert_eq!(out.len(), fresh.len());
+            for (a, b) in out.iter().zip(&fresh) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
         }
     }
 

@@ -28,6 +28,12 @@ echo "=== rolling throughput regression gate ==="
 # than per-window refit on any warm-startable method.
 EASYTIME_BENCH_FAST=1 cargo run --release -q -p easytime-bench --bin exp_rolling_throughput
 
+echo "=== compute-kernel regression gate ==="
+# Times the blocked kernels against naive textbook references at ridge-fit
+# shapes, writes results/BENCH_kernels.json, and exits nonzero if any
+# blocked kernel is slower than its naive reference.
+EASYTIME_BENCH_FAST=1 cargo run --release -q -p easytime-bench --bin exp_kernels
+
 echo "=== traced smoke evaluation ==="
 # obs_smoke runs a small traced evaluate_corpus, writes
 # results/{trace.jsonl,metrics.json}, and exits nonzero if the metrics
