@@ -155,21 +155,31 @@ impl SoftLabelClassifier {
         Ok(SoftLabelClassifier { weights, bias, dim, classes })
     }
 
-    /// Number of classes.
-    pub fn classes(&self) -> usize {
-        self.classes
-    }
-
     /// Input dimension.
     pub fn dim(&self) -> usize {
         self.dim
+    }
+
+    /// Mean soft-label cross-entropy on a labelled set (test diagnostics).
+    #[cfg(test)]
+    pub(crate) fn cross_entropy(&self, inputs: &[Vec<f64>], targets: &[Vec<f64>]) -> f64 {
+        let mut total = 0.0;
+        for (x, t) in inputs.iter().zip(targets) {
+            let p = self.predict_proba(x);
+            for (pi, ti) in p.iter().zip(t) {
+                if *ti > 0.0 {
+                    total -= ti * pi.max(1e-12).ln();
+                }
+            }
+        }
+        total / inputs.len().max(1) as f64
     }
 
     /// Predicts the class probability distribution for one input.
     ///
     /// # Panics
     /// Panics on input dimension mismatch.
-    pub fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+    pub(crate) fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.dim, "input dimension mismatch");
         let logits: Vec<f64> = (0..self.classes)
             .map(|c| self.bias[c] + dot(&self.weights[c * self.dim..(c + 1) * self.dim], x))
@@ -185,19 +195,6 @@ impl SoftLabelClassifier {
         idx
     }
 
-    /// Mean soft-label cross-entropy on a labelled set (diagnostics).
-    pub fn cross_entropy(&self, inputs: &[Vec<f64>], targets: &[Vec<f64>]) -> f64 {
-        let mut total = 0.0;
-        for (x, t) in inputs.iter().zip(targets) {
-            let p = self.predict_proba(x);
-            for (pi, ti) in p.iter().zip(t) {
-                if *ti > 0.0 {
-                    total -= ti * pi.max(1e-12).ln();
-                }
-            }
-        }
-        total / inputs.len().max(1) as f64
-    }
 }
 
 #[cfg(test)]

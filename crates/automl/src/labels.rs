@@ -15,7 +15,7 @@ use easytime_linalg::stats::softmax;
 /// large `tau` approaches uniform. NaN scores get zero probability.
 /// Returns a uniform distribution when every score is NaN or they are all
 /// equal.
-pub fn soft_labels(scores: &[f64], tau: f64) -> Vec<f64> {
+pub(crate) fn soft_labels(scores: &[f64], tau: f64) -> Vec<f64> {
     let tau = tau.max(1e-3);
     let finite: Vec<f64> = scores.iter().copied().filter(|s| s.is_finite()).collect();
     if finite.is_empty() {
@@ -44,7 +44,7 @@ pub fn soft_labels(scores: &[f64], tau: f64) -> Vec<f64> {
 /// Builds a one-hot label on the single best (lowest) score — the
 /// hard-label baseline of ablation A1. Ties go to the first index; all-NaN
 /// returns uniform.
-pub fn hard_labels(scores: &[f64]) -> Vec<f64> {
+pub(crate) fn hard_labels(scores: &[f64]) -> Vec<f64> {
     let mut best: Option<(usize, f64)> = None;
     for (i, &s) in scores.iter().enumerate() {
         if s.is_finite() && best.map_or(true, |(_, b)| s < b) {

@@ -221,7 +221,7 @@ impl Recommender {
     /// Online inference with caller-provided buffers: embeds through
     /// [`Embedder::embed_into`] so batch recommendation loops reuse the
     /// z-normalization scratch and embedding vector across series.
-    pub fn recommend_with(
+    pub(crate) fn recommend_with(
         &self,
         series: &TimeSeries,
         scratch: &mut EmbedScratch,
@@ -236,7 +236,7 @@ impl Recommender {
     }
 
     /// The top-k method names for a new series.
-    pub fn top_k(&self, series: &TimeSeries, k: usize) -> Vec<String> {
+    pub(crate) fn top_k(&self, series: &TimeSeries, k: usize) -> Vec<String> {
         self.recommend(series).into_iter().take(k.max(1)).map(|(m, _)| m).collect()
     }
 

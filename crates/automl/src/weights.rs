@@ -12,7 +12,7 @@ use crate::error::AutoMlError;
 ///
 /// `member_preds[i]` holds member `i`'s predictions on the validation
 /// window; `actual` is the ground truth. Returns one weight per member.
-pub fn learn_simplex_weights(
+pub(crate) fn learn_simplex_weights(
     member_preds: &[Vec<f64>],
     actual: &[f64],
     iterations: usize,
@@ -80,12 +80,12 @@ pub fn learn_simplex_weights(
 }
 
 /// The uniform-weights baseline (ablation A4).
-pub fn uniform_weights(k: usize) -> Vec<f64> {
+pub(crate) fn uniform_weights(k: usize) -> Vec<f64> {
     vec![1.0 / k.max(1) as f64; k]
 }
 
 /// Combines member forecasts with the given weights.
-pub fn combine(member_preds: &[Vec<f64>], weights: &[f64]) -> Vec<f64> {
+pub(crate) fn combine(member_preds: &[Vec<f64>], weights: &[f64]) -> Vec<f64> {
     assert_eq!(member_preds.len(), weights.len(), "member/weight count mismatch");
     if member_preds.is_empty() {
         return Vec::new();

@@ -5,7 +5,7 @@
 
 pub mod harness;
 
-use easytime::{CorpusConfig, Dataset, ModelSpec, Strategy};
+use easytime::{CorpusConfig, Dataset, ModelSpec};
 use easytime_automl::PerfMatrix;
 use easytime_data::synthetic::build_corpus;
 
@@ -56,14 +56,6 @@ pub fn fast_zoo() -> Vec<ModelSpec> {
         ModelSpec::NLinear { lookback: 32 },
         ModelSpec::GradientBoost { lookback: 12, rounds: 40 },
     ]
-}
-
-/// Parses `--strategy fixed|rolling` with the given horizon.
-pub fn strategy_arg(horizon: usize) -> Strategy {
-    match arg("strategy").as_deref() {
-        Some("rolling") => Strategy::Rolling { horizon, stride: horizon, max_windows: Some(4) },
-        _ => Strategy::Fixed { horizon },
-    }
 }
 
 /// Normalized discounted cumulative gain of a predicted ranking against

@@ -45,20 +45,20 @@ pub struct Characteristics {
 impl Characteristics {
     /// Threshold above which a characteristic counts as "strong" for tags
     /// and Q&A filters.
-    pub const STRONG: f64 = 0.6;
+    pub(crate) const STRONG: f64 = 0.6;
 
     /// True when the series has a strong seasonal component.
-    pub fn has_strong_seasonality(&self) -> bool {
+    pub(crate) fn has_strong_seasonality(&self) -> bool {
         self.seasonality >= Self::STRONG
     }
 
     /// True when the series has a strong trend.
-    pub fn has_strong_trend(&self) -> bool {
+    pub(crate) fn has_strong_trend(&self) -> bool {
         self.trend >= Self::STRONG
     }
 
     /// True when the series is predominantly stationary.
-    pub fn is_stationary(&self) -> bool {
+    pub(crate) fn is_stationary(&self) -> bool {
         self.stationarity >= Self::STRONG
     }
 
@@ -110,7 +110,7 @@ const CANDIDATE_PERIODS: &[usize] = &[4, 6, 7, 12, 24, 48, 52, 96];
 /// and returns the one with the highest autocorrelation, provided it exceeds
 /// 0.25 and at least two full cycles are observed. Returns `None` when no
 /// convincing period exists.
-pub fn detect_period(xs: &[f64], hint: Option<usize>) -> Option<usize> {
+pub(crate) fn detect_period(xs: &[f64], hint: Option<usize>) -> Option<usize> {
     let n = xs.len();
     // De-trend first: a strong trend inflates the ACF at every lag.
     let (b, m) = linear_trend(xs);
@@ -227,7 +227,7 @@ pub fn extract_values(xs: &[f64], hint: Option<usize>) -> Characteristics {
 ///
 /// Per-channel scores are averaged; the correlation characteristic is the
 /// mean absolute pairwise Pearson correlation across channels.
-pub fn extract_multi(series: &MultiSeries) -> Characteristics {
+pub(crate) fn extract_multi(series: &MultiSeries) -> Characteristics {
     let k = series.num_channels();
     let hint = series.frequency().default_period();
     let mut acc = Characteristics {

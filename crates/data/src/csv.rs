@@ -140,8 +140,9 @@ pub fn write_univariate(series: &TimeSeries) -> String {
     out
 }
 
-/// Writes a multivariate series as wide CSV text.
-pub fn write_multivariate(series: &MultiSeries) -> String {
+/// Writes a multivariate series as wide CSV text (test round-trips).
+#[cfg(test)]
+pub(crate) fn write_multivariate(series: &MultiSeries) -> String {
     let mut out = String::new();
     out.push_str(&series.channel_names().join(","));
     out.push('\n');

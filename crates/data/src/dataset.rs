@@ -103,6 +103,7 @@ impl DatasetMeta {
 
 /// Series payload of a dataset.
 #[derive(Debug, Clone, PartialEq)]
+// lint: allow(dead-pub) — reachable through a pub field of an exported type, which R17's item-signature scan does not cover
 pub enum SeriesData {
     /// A single-channel series.
     Univariate(TimeSeries),
@@ -120,6 +121,15 @@ pub struct Dataset {
 }
 
 impl Dataset {
+    /// Borrow the payload as univariate, if it is one (test assertions).
+    #[cfg(test)]
+    pub(crate) fn as_univariate(&self) -> Option<&TimeSeries> {
+        match &self.data {
+            SeriesData::Univariate(ts) => Some(ts),
+            SeriesData::Multivariate(_) => None,
+        }
+    }
+
     /// Wraps a univariate series, measuring its characteristics.
     pub fn from_univariate(id: impl Into<String>, domain: Domain, series: TimeSeries) -> Dataset {
         let ch = characteristics::extract(&series);
@@ -146,14 +156,6 @@ impl Dataset {
             characteristics: ch,
         };
         Dataset { meta, data: SeriesData::Multivariate(series) }
-    }
-
-    /// Borrow the payload as univariate, if it is one.
-    pub fn as_univariate(&self) -> Option<&TimeSeries> {
-        match &self.data {
-            SeriesData::Univariate(ts) => Some(ts),
-            SeriesData::Multivariate(_) => None,
-        }
     }
 
     /// Borrow the payload as multivariate, if it is one.

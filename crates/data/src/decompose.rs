@@ -27,7 +27,7 @@ pub struct Decomposition {
 /// The first and last `w/2` points are smoothed with a shrinking one-sided
 /// window so the output has the same length as the input. `w == 0` or
 /// `w == 1` returns the input unchanged.
-pub fn moving_average(xs: &[f64], w: usize) -> Vec<f64> {
+pub(crate) fn moving_average(xs: &[f64], w: usize) -> Vec<f64> {
     if w <= 1 || xs.is_empty() {
         return xs.to_vec();
     }

@@ -7,7 +7,7 @@
 //! insert new entries. It is guarded by a `std::sync::RwLock` so the
 //! parallel pipeline can read concurrently while uploads are rare writes.
 
-use crate::dataset::{Dataset, Domain};
+use crate::dataset::Dataset;
 use crate::error::DataError;
 use std::sync::{PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
@@ -18,6 +18,18 @@ pub struct DatasetRegistry {
 }
 
 impl DatasetRegistry {
+    /// Creates a registry pre-populated with a corpus (test fixtures).
+    #[cfg(test)]
+    pub(crate) fn from_corpus(corpus: Vec<Dataset>) -> DatasetRegistry {
+        DatasetRegistry { inner: RwLock::new(corpus) }
+    }
+
+    /// Datasets from one domain (test fixtures).
+    #[cfg(test)]
+    pub(crate) fn by_domain(&self, domain: crate::dataset::Domain) -> Vec<Dataset> {
+        self.read().iter().filter(|d| d.meta.domain == domain).cloned().collect()
+    }
+
     /// Read guard; a poisoned lock is recovered rather than propagated
     /// (datasets are value types, so a panicked writer cannot leave a
     /// half-updated entry behind).
@@ -32,11 +44,6 @@ impl DatasetRegistry {
     /// Creates an empty registry.
     pub fn new() -> DatasetRegistry {
         DatasetRegistry::default()
-    }
-
-    /// Creates a registry pre-populated with a corpus.
-    pub fn from_corpus(corpus: Vec<Dataset>) -> DatasetRegistry {
-        DatasetRegistry { inner: RwLock::new(corpus) }
     }
 
     /// Inserts a dataset; replaces any existing dataset with the same id
@@ -81,11 +88,6 @@ impl DatasetRegistry {
         self.read().clone()
     }
 
-    /// Datasets from one domain.
-    pub fn by_domain(&self, domain: Domain) -> Vec<Dataset> {
-        self.read().iter().filter(|d| d.meta.domain == domain).cloned().collect()
-    }
-
     /// Datasets matching an arbitrary meta predicate (e.g. "strong trend").
     pub fn filter(&self, pred: impl Fn(&Dataset) -> bool) -> Vec<Dataset> {
         self.read().iter().filter(|d| pred(d)).cloned().collect()
@@ -95,6 +97,7 @@ impl DatasetRegistry {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dataset::Domain;
     use crate::series::{Frequency, TimeSeries};
     use crate::synthetic::{build_corpus, CorpusConfig};
 

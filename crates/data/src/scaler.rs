@@ -75,6 +75,16 @@ pub struct Scaler {
 }
 
 impl Scaler {
+    /// Allocation-free [`Scaler::inverse`]: writes into `out` (cleared
+    /// first), reusing its capacity (test oracle).
+    #[cfg(test)]
+    pub(crate) fn inverse_into(&self, values: &[f64], out: &mut Vec<f64>) -> Result<(), DataError> {
+        let (shift, scale) = self.fitted.ok_or(DataError::ScalerNotFitted)?;
+        out.clear();
+        out.extend(values.iter().map(|v| v * scale + shift));
+        Ok(())
+    }
+
     /// Creates an unfitted scaler of the given kind.
     pub fn new(kind: ScalerKind) -> Scaler {
         Scaler { kind, fitted: None, stream: StreamStats::Inactive }
@@ -93,7 +103,7 @@ impl Scaler {
     /// Whether this kind's statistics can be maintained incrementally by
     /// [`Scaler::extend`]. Robust scaling needs full-order statistics
     /// (median / IQR), so it always requires a rescan.
-    pub fn supports_streaming(&self) -> bool {
+    pub(crate) fn supports_streaming(&self) -> bool {
         match self.kind {
             ScalerKind::None | ScalerKind::ZScore | ScalerKind::MinMax => true,
             ScalerKind::Robust => false,
@@ -220,14 +230,6 @@ impl Scaler {
         Ok(())
     }
 
-    /// Allocation-free [`Scaler::inverse`]: writes into `out` (cleared
-    /// first), reusing its capacity.
-    pub fn inverse_into(&self, values: &[f64], out: &mut Vec<f64>) -> Result<(), DataError> {
-        let (shift, scale) = self.fitted.ok_or(DataError::ScalerNotFitted)?;
-        out.clear();
-        out.extend(values.iter().map(|v| v * scale + shift));
-        Ok(())
-    }
 }
 
 #[cfg(test)]

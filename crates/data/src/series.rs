@@ -82,6 +82,12 @@ pub struct TimeSeries {
 }
 
 impl TimeSeries {
+    /// Returns a copy renamed to `name` (test fixtures).
+    #[cfg(test)]
+    pub(crate) fn renamed(&self, name: impl Into<String>) -> TimeSeries {
+        TimeSeries { name: name.into(), values: self.values.clone(), frequency: self.frequency }
+    }
+
     /// Creates a series after validating that it is non-empty and finite.
     pub fn new(
         name: impl Into<String>,
@@ -170,10 +176,6 @@ impl TimeSeries {
         Ok(())
     }
 
-    /// Returns a copy renamed to `name`.
-    pub fn renamed(&self, name: impl Into<String>) -> TimeSeries {
-        TimeSeries { name: name.into(), values: self.values.clone(), frequency: self.frequency }
-    }
 }
 
 /// A named multivariate series: aligned channels of equal length.

@@ -87,8 +87,9 @@ impl SplitSpec {
 
 /// Number of evaluation windows of `horizon` steps that fit into `test_len`,
 /// honouring the `drop_last` convention: when `drop_last` is false a final
-/// partial window is counted, when true it is discarded.
-pub fn window_count(test_len: usize, horizon: usize, drop_last: bool) -> usize {
+/// partial window is counted, when true it is discarded (test oracle).
+#[cfg(test)]
+pub(crate) fn window_count(test_len: usize, horizon: usize, drop_last: bool) -> usize {
     if horizon == 0 || test_len == 0 {
         return 0;
     }

@@ -20,6 +20,7 @@ use std::f64::consts::PI;
 
 /// Trend component of a synthetic series.
 #[derive(Debug, Clone, Copy, PartialEq)]
+// lint: allow(dead-pub) — reachable through a pub field of an exported type, which R17's item-signature scan does not cover
 pub enum TrendSpec {
     /// No trend.
     None,
@@ -44,6 +45,7 @@ pub enum TrendSpec {
 
 /// Seasonal component of a synthetic series.
 #[derive(Debug, Clone, PartialEq)]
+// lint: allow(dead-pub) — reachable through a pub field of an exported type, which R17's item-signature scan does not cover
 pub enum SeasonSpec {
     /// No seasonality.
     None,
@@ -114,6 +116,7 @@ pub struct LevelShift {
 
 /// Regime transitions: the mean alternates between two states.
 #[derive(Debug, Clone, Copy, PartialEq)]
+// lint: allow(dead-pub) — reachable through a pub field of an exported type, which R17's item-signature scan does not cover
 pub struct RegimeSpec {
     /// Steps spent in each regime.
     pub dwell: usize,

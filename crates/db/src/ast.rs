@@ -16,6 +16,7 @@ pub enum Statement {
 
 /// A `SELECT` statement.
 #[derive(Debug, Clone, PartialEq)]
+// lint: allow(dead-pub) — reachable through a pub field of an exported type, which R17's item-signature scan does not cover
 pub struct SelectStmt {
     /// `DISTINCT` flag.
     pub distinct: bool,
@@ -39,6 +40,7 @@ pub struct SelectStmt {
 
 /// One projection item.
 #[derive(Debug, Clone, PartialEq)]
+// lint: allow(dead-pub) — reachable through a pub field of an exported type, which R17's item-signature scan does not cover
 pub enum SelectItem {
     /// `*`.
     Wildcard,
@@ -53,6 +55,7 @@ pub enum SelectItem {
 
 /// A table reference with an optional alias.
 #[derive(Debug, Clone, PartialEq)]
+// lint: allow(dead-pub) — reachable through a pub field of an exported type, which R17's item-signature scan does not cover
 pub struct TableRef {
     /// Table name (lowercased).
     pub name: String,
@@ -62,13 +65,14 @@ pub struct TableRef {
 
 impl TableRef {
     /// The name this table is addressed by in the query.
-    pub fn effective_name(&self) -> &str {
+    pub(crate) fn effective_name(&self) -> &str {
         self.alias.as_deref().unwrap_or(&self.name)
     }
 }
 
 /// One `JOIN … ON …` clause (inner joins only).
 #[derive(Debug, Clone, PartialEq)]
+// lint: allow(dead-pub) — reachable through a pub field of an exported type, which R17's item-signature scan does not cover
 pub struct Join {
     /// Joined table.
     pub table: TableRef,
@@ -78,6 +82,7 @@ pub struct Join {
 
 /// Binary operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+// lint: allow(dead-pub) — reachable through a pub field of an exported type, which R17's item-signature scan does not cover
 pub enum BinOp {
     /// `=`.
     Eq,
@@ -147,6 +152,7 @@ impl Aggregate {
 
 /// A scalar or aggregate expression.
 #[derive(Debug, Clone, PartialEq)]
+// lint: allow(dead-pub) — reachable through a pub field of an exported type, which R17's item-signature scan does not cover
 pub enum Expr {
     /// Column reference, optionally qualified (`table.column`).
     Column {
@@ -217,7 +223,7 @@ pub enum Expr {
 
 impl Expr {
     /// True when the expression (recursively) contains an aggregate call.
-    pub fn contains_aggregate(&self) -> bool {
+    pub(crate) fn contains_aggregate(&self) -> bool {
         match self {
             Expr::AggregateCall { .. } => true,
             Expr::Binary { left, right, .. } => {
@@ -238,7 +244,7 @@ impl Expr {
     }
 
     /// Visits every column reference in the expression.
-    pub fn visit_columns(&self, f: &mut impl FnMut(Option<&str>, &str)) {
+    pub(crate) fn visit_columns(&self, f: &mut impl FnMut(Option<&str>, &str)) {
         match self {
             Expr::Column { table, name } => f(table.as_deref(), name),
             Expr::Literal(_) => {}
@@ -268,7 +274,7 @@ impl Expr {
     }
 
     /// Default output column name for an unaliased projection.
-    pub fn default_name(&self) -> String {
+    pub(crate) fn default_name(&self) -> String {
         match self {
             Expr::Column { name, .. } => name.clone(),
             Expr::AggregateCall { func, arg } => match arg {
@@ -282,6 +288,7 @@ impl Expr {
 
 /// An `INSERT` statement.
 #[derive(Debug, Clone, PartialEq)]
+// lint: allow(dead-pub) — reachable through a pub field of an exported type, which R17's item-signature scan does not cover
 pub struct InsertStmt {
     /// Target table (lowercased).
     pub table: String,
@@ -293,6 +300,7 @@ pub struct InsertStmt {
 
 /// A `CREATE TABLE` statement.
 #[derive(Debug, Clone, PartialEq)]
+// lint: allow(dead-pub) — reachable through a pub field of an exported type, which R17's item-signature scan does not cover
 pub struct CreateTableStmt {
     /// Table name (lowercased).
     pub name: String,

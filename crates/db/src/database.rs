@@ -39,11 +39,6 @@ impl QueryResult {
         self.rows.is_empty()
     }
 
-    /// Index of an output column by name.
-    pub fn column_index(&self, name: &str) -> Option<usize> {
-        self.columns.iter().position(|c| c.eq_ignore_ascii_case(name))
-    }
-
     /// Renders the result as a fixed-width ASCII table (the "benchmark
     /// result data table" of Figure 5, label 5).
     pub fn render(&self) -> String {
@@ -128,11 +123,6 @@ impl Database {
             .ok_or_else(|| DbError::UnknownTable { name: name.to_string() })
     }
 
-    /// Names of all tables, sorted.
-    pub fn table_names(&self) -> Vec<String> {
-        self.tables.keys().cloned().collect()
-    }
-
     /// Parses and executes any statement.
     pub fn execute(&mut self, sql: &str) -> Result<QueryResult, DbError> {
         let stmt = {
@@ -143,7 +133,7 @@ impl Database {
     }
 
     /// Executes a parsed statement.
-    pub fn execute_statement(&mut self, stmt: Statement) -> Result<QueryResult, DbError> {
+    pub(crate) fn execute_statement(&mut self, stmt: Statement) -> Result<QueryResult, DbError> {
         match stmt {
             Statement::Select(s) => executor::execute_select(self, &s),
             Statement::Insert(i) => {

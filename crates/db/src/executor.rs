@@ -332,7 +332,7 @@ fn group_key(values: &[Value]) -> String {
 }
 
 /// Executes a parsed `SELECT` against the database.
-pub fn execute_select(db: &Database, stmt: &SelectStmt) -> Result<QueryResult, DbError> {
+pub(crate) fn execute_select(db: &Database, stmt: &SelectStmt) -> Result<QueryResult, DbError> {
     let mut sp = easytime_obs::span("db.execute");
     // --- FROM / JOIN: build the joined layout and row set. ---
     let base = db.table(&stmt.from.name)?;

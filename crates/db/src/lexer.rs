@@ -29,7 +29,7 @@ impl Token {
 }
 
 /// Tokenizes SQL text.
-pub fn tokenize(input: &str) -> Result<Vec<Token>, DbError> {
+pub(crate) fn tokenize(input: &str) -> Result<Vec<Token>, DbError> {
     let bytes = input.as_bytes();
     let mut i = 0usize;
     let mut out = Vec::new();

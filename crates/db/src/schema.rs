@@ -39,7 +39,7 @@ impl ColumnType {
     }
 
     /// Checks (and possibly widens) a value for storage in this column.
-    pub fn coerce(self, value: Value) -> Result<Value, DbError> {
+    pub(crate) fn coerce(self, value: Value) -> Result<Value, DbError> {
         match (self, value) {
             (_, Value::Null) => Ok(Value::Null),
             (ColumnType::Int, Value::Int(i)) => Ok(Value::Int(i)),
@@ -109,7 +109,7 @@ impl Schema {
     }
 
     /// Validates and coerces a row for storage.
-    pub fn coerce_row(&self, row: Vec<Value>) -> Result<Vec<Value>, DbError> {
+    pub(crate) fn coerce_row(&self, row: Vec<Value>) -> Result<Vec<Value>, DbError> {
         if row.len() != self.columns.len() {
             return Err(DbError::ArityMismatch { expected: self.columns.len(), found: row.len() });
         }

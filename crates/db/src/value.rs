@@ -20,7 +20,7 @@ pub enum Value {
 
 impl Value {
     /// True when the value is NULL.
-    pub fn is_null(&self) -> bool {
+    pub(crate) fn is_null(&self) -> bool {
         matches!(self, Value::Null)
     }
 
@@ -43,7 +43,7 @@ impl Value {
 
     /// Boolean view with SQL-ish truthiness: booleans as-is, numbers ≠ 0,
     /// NULL is `None`.
-    pub fn truthy(&self) -> Option<bool> {
+    pub(crate) fn truthy(&self) -> Option<bool> {
         match self {
             Value::Bool(b) => Some(*b),
             Value::Int(i) => Some(*i != 0),
@@ -55,7 +55,7 @@ impl Value {
 
     /// SQL comparison: numerics compare cross-type, text with text, bools
     /// with bools; NULL and mixed types are incomparable.
-    pub fn compare(&self, other: &Value) -> Option<Ordering> {
+    pub(crate) fn compare(&self, other: &Value) -> Option<Ordering> {
         match (self, other) {
             (Value::Null, _) | (_, Value::Null) => None,
             (Value::Text(a), Value::Text(b)) => Some(a.cmp(b)),
@@ -71,15 +71,17 @@ impl Value {
     /// SQL equality (used by `=`, `IN`, `DISTINCT`, `GROUP BY`): NULL never
     /// equals anything via `=`, but grouping treats NULLs as one group —
     /// callers pick the semantics they need.
-    pub fn sql_eq(&self, other: &Value) -> Option<bool> {
+    pub(crate) fn sql_eq(&self, other: &Value) -> Option<bool> {
         match (self, other) {
             (Value::Null, _) | (_, Value::Null) => None,
             _ => Some(self.compare(other) == Some(Ordering::Equal)),
         }
     }
 
-    /// Grouping key equality: NULL == NULL, otherwise `sql_eq`.
-    pub fn group_eq(&self, other: &Value) -> bool {
+    /// Grouping key equality: NULL == NULL, otherwise `sql_eq` (test
+    /// diagnostics).
+    #[cfg(test)]
+    pub(crate) fn group_eq(&self, other: &Value) -> bool {
         match (self, other) {
             (Value::Null, Value::Null) => true,
             _ => self.sql_eq(other).unwrap_or(false),

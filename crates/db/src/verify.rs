@@ -15,7 +15,7 @@ use crate::parser::parse;
 
 /// Verifies that `sql` is a well-formed, read-only `SELECT` whose tables
 /// and columns all exist. Returns the parsed statement on success.
-pub fn verify_select(db: &Database, sql: &str) -> Result<SelectStmt, DbError> {
+pub(crate) fn verify_select(db: &Database, sql: &str) -> Result<SelectStmt, DbError> {
     let stmt = parse(sql)?;
     let select = match stmt {
         Statement::Select(s) => s,
@@ -36,7 +36,7 @@ pub fn verify_select(db: &Database, sql: &str) -> Result<SelectStmt, DbError> {
 }
 
 /// Schema-checks a parsed `SELECT` against the catalog.
-pub fn check_select(db: &Database, select: &SelectStmt) -> Result<(), DbError> {
+pub(crate) fn check_select(db: &Database, select: &SelectStmt) -> Result<(), DbError> {
     // Collect (effective name, real table) pairs; verify the tables exist.
     let mut scopes: Vec<(String, Vec<String>)> = Vec::new();
     let base = db.table(&select.from.name)?;

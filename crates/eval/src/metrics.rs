@@ -90,7 +90,7 @@ impl Metric {
     }
 
     /// Evaluates the metric on a context.
-    pub fn compute(&self, ctx: &MetricContext<'_>) -> f64 {
+    pub(crate) fn compute(&self, ctx: &MetricContext<'_>) -> f64 {
         (self.f)(ctx)
     }
 }
@@ -116,7 +116,7 @@ pub fn rmse(ctx: &MetricContext<'_>) -> f64 {
 
 /// Mean absolute percentage error (%); near-zero actuals are skipped to
 /// avoid division blow-ups, matching common benchmark practice.
-pub fn mape(ctx: &MetricContext<'_>) -> f64 {
+pub(crate) fn mape(ctx: &MetricContext<'_>) -> f64 {
     let mut sum = 0.0;
     let mut n = 0usize;
     for (a, p) in ctx.actual.iter().zip(ctx.predicted) {
@@ -177,7 +177,7 @@ pub fn r2(ctx: &MetricContext<'_>) -> f64 {
 }
 
 /// Maximum absolute error over the window.
-pub fn max_error(ctx: &MetricContext<'_>) -> f64 {
+pub(crate) fn max_error(ctx: &MetricContext<'_>) -> f64 {
     ctx.errors().map(f64::abs).fold(0.0, f64::max)
 }
 
@@ -227,8 +227,9 @@ impl MetricRegistry {
         self.metrics.keys().cloned().collect()
     }
 
-    /// Evaluates the named metrics on a context.
-    pub fn compute_all(
+    /// Evaluates the named metrics on a context (test diagnostics).
+    #[cfg(test)]
+    pub(crate) fn compute_all(
         &self,
         names: &[String],
         ctx: &MetricContext<'_>,

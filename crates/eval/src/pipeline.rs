@@ -284,7 +284,7 @@ pub struct EvalFailure {
 
 impl EvalFailure {
     /// Captures an [`EvalError`] as a typed failure.
-    pub fn from_error(e: &EvalError) -> EvalFailure {
+    pub(crate) fn from_error(e: &EvalError) -> EvalFailure {
         EvalFailure { kind: classify(e), detail: e.to_string() }
     }
 }

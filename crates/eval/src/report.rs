@@ -7,7 +7,7 @@
 //! [`Leaderboard`] aggregates them into per-method rankings; both render as
 //! fixed-width ASCII tables suitable for terminals and logs.
 
-use crate::pipeline::{EvalRecord, FailureKind};
+use crate::pipeline::EvalRecord;
 use std::collections::BTreeMap;
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
@@ -60,8 +60,9 @@ impl RunLog {
     }
 
     /// Number of failed records of one [`FailureKind`] — typed filtering,
-    /// no error-string matching.
-    pub fn failures_of(&self, kind: FailureKind) -> usize {
+    /// no error-string matching (test diagnostics).
+    #[cfg(test)]
+    pub(crate) fn failures_of(&self, kind: crate::pipeline::FailureKind) -> usize {
         self.guard().iter().filter(|r| r.failure_kind() == Some(kind)).count()
     }
 
@@ -275,6 +276,7 @@ fn render_ascii(header: &[String], rows: &[Vec<String>]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pipeline::FailureKind;
 
     fn record(dataset: &str, method: &str, mae: f64) -> EvalRecord {
         let mut scores = BTreeMap::new();

@@ -24,7 +24,7 @@
 /// Four 64-bit lanes fill a 256-bit vector register, which is the widest
 /// unit portable builds can count on; the fixed lane count is also what
 /// pins the reassociation order.
-pub const LANES: usize = 4;
+pub(crate) const LANES: usize = 4;
 
 /// Column-panel width for the blocked matrix–matrix product.
 ///

@@ -26,7 +26,7 @@ pub mod solve;
 pub mod stats;
 
 pub use matrix::Matrix;
-pub use solve::{cholesky_solve, lstsq, lu_solve, ridge, LinalgError};
+pub use solve::{lstsq, lu_solve, ridge, LinalgError};
 
 /// Convenience result alias for fallible linear-algebra routines.
 pub type Result<T> = std::result::Result<T, LinalgError>;

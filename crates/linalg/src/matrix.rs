@@ -21,14 +21,23 @@ pub struct Matrix {
 }
 
 impl Matrix {
-    /// Creates a matrix of the given shape filled with zeros.
-    pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+    /// Creates a `rows × cols` matrix with every element set to `value`
+    /// (test fixtures).
+    #[cfg(test)]
+    pub(crate) fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Self { rows, cols, data: vec![value; rows * cols] }
     }
 
-    /// Creates a matrix of the given shape filled with `value`.
-    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
-        Self { rows, cols, data: vec![value; rows * cols] }
+    /// Borrow of the underlying row-major buffer (test oracles).
+    #[cfg(test)]
+    #[inline]
+    pub(crate) fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Creates a matrix of the given shape filled with zeros.
+    pub(crate) fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
     }
 
     /// Creates the `n × n` identity matrix.
@@ -44,7 +53,7 @@ impl Matrix {
     ///
     /// # Panics
     /// Panics if `data.len() != rows * cols`.
-    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+    pub(crate) fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
         assert_eq!(data.len(), rows * cols, "buffer length must equal rows * cols");
         Self { rows, cols, data }
     }
@@ -93,30 +102,11 @@ impl Matrix {
         (self.rows, self.cols)
     }
 
-    /// Borrow of the underlying row-major buffer.
-    #[inline]
-    pub fn as_slice(&self) -> &[f64] {
-        &self.data
-    }
-
-    /// Mutable borrow of the underlying row-major buffer.
-    #[inline]
-    pub fn as_mut_slice(&mut self) -> &mut [f64] {
-        &mut self.data
-    }
-
     /// Borrow of row `i` as a slice.
     #[inline]
     pub fn row(&self, i: usize) -> &[f64] {
         debug_assert!(i < self.rows);
         &self.data[i * self.cols..(i + 1) * self.cols]
-    }
-
-    /// Mutable borrow of row `i` as a slice.
-    #[inline]
-    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
-        debug_assert!(i < self.rows);
-        &mut self.data[i * self.cols..(i + 1) * self.cols]
     }
 
     /// Copies column `j` into a new vector.
@@ -202,7 +192,7 @@ impl Matrix {
     }
 
     /// Applies `f` to every element in place.
-    pub fn map_inplace(&mut self, mut f: impl FnMut(f64) -> f64) {
+    pub(crate) fn map_inplace(&mut self, mut f: impl FnMut(f64) -> f64) {
         for x in &mut self.data {
             *x = f(*x);
         }

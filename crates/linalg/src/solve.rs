@@ -111,7 +111,7 @@ pub fn lu_solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
 /// Cholesky factorization of a symmetric positive-definite matrix.
 ///
 /// Returns the lower-triangular factor `L` with `a = L * Lᵀ`.
-pub fn cholesky(a: &Matrix) -> Result<Matrix, LinalgError> {
+pub(crate) fn cholesky(a: &Matrix) -> Result<Matrix, LinalgError> {
     let n = a.rows();
     if a.cols() != n {
         return Err(LinalgError::ShapeMismatch { what: "cholesky requires a square matrix" });
@@ -136,7 +136,7 @@ pub fn cholesky(a: &Matrix) -> Result<Matrix, LinalgError> {
 }
 
 /// Solves `a * x = b` for symmetric positive-definite `a` via Cholesky.
-pub fn cholesky_solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+pub(crate) fn cholesky_solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
     let l = cholesky(a)?;
     let n = l.rows();
     if b.len() != n {

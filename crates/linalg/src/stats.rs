@@ -21,15 +21,6 @@ pub fn variance(xs: &[f64]) -> f64 {
     xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
 }
 
-/// Sample variance (divides by `n - 1`); returns 0.0 for slices shorter than 2.
-pub fn sample_variance(xs: &[f64]) -> f64 {
-    if xs.len() < 2 {
-        return 0.0;
-    }
-    let m = mean(xs);
-    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
-}
-
 /// Population standard deviation.
 pub fn std_dev(xs: &[f64]) -> f64 {
     variance(xs).sqrt()
@@ -77,7 +68,7 @@ pub fn median(xs: &[f64]) -> Option<f64> {
 ///
 /// # Panics
 /// Panics if the slices differ in length.
-pub fn covariance(xs: &[f64], ys: &[f64]) -> f64 {
+pub(crate) fn covariance(xs: &[f64], ys: &[f64]) -> f64 {
     assert_eq!(xs.len(), ys.len(), "covariance: length mismatch");
     if xs.is_empty() {
         return 0.0;
@@ -126,14 +117,6 @@ pub fn diff(xs: &[f64]) -> Vec<f64> {
         return Vec::new();
     }
     xs.windows(2).map(|w| w[1] - w[0]).collect()
-}
-
-/// Seasonal differences `x[t] - x[t-period]`.
-pub fn seasonal_diff(xs: &[f64], period: usize) -> Vec<f64> {
-    if period == 0 || xs.len() <= period {
-        return Vec::new();
-    }
-    (period..xs.len()).map(|t| xs[t] - xs[t - period]).collect()
 }
 
 /// Simple linear regression of `ys` on `0..n`; returns `(intercept, slope)`.
@@ -214,6 +197,25 @@ pub fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
     let rx: Vec<f64> = ranks(xs).into_iter().map(|r| r as f64).collect();
     let ry: Vec<f64> = ranks(ys).into_iter().map(|r| r as f64).collect();
     correlation(&rx, &ry)
+}
+
+/// Sample variance (divides by `n - 1`); returns 0.0 for slices shorter than 2.
+#[cfg(test)]
+pub(crate) fn sample_variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Seasonal differences `x[t] - x[t-period]`.
+#[cfg(test)]
+pub(crate) fn seasonal_diff(xs: &[f64], period: usize) -> Vec<f64> {
+    if period == 0 || xs.len() <= period {
+        return Vec::new();
+    }
+    (period..xs.len()).map(|t| xs[t] - xs[t - period]).collect()
 }
 
 #[cfg(test)]

@@ -1,0 +1,301 @@
+//! Phase 2, step 4: public-API snapshot gating (R14).
+//!
+//! The full `pub` surface of every workspace crate is serialized to one
+//! canonical entry per item — `crate<TAB>kind<TAB>qualified-name<TAB>signature`
+//! — and compared against the committed `scripts/api-baseline.txt`. Any
+//! addition, removal, or signature change not reflected in the baseline is
+//! an error, so API breaks become explicit diffs in review. The snapshot
+//! is regenerated deliberately with `--write-api-baseline`.
+//!
+//! Entries are byte-sorted (the same order `LC_ALL=C sort` produces), so
+//! the committed file is diff-stable and CI can cheaply self-check that it
+//! is canonically ordered.
+
+use crate::model::{Item, ItemKind, Vis, WorkspaceModel};
+use crate::{Diagnostic, Rule};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+
+/// The live API snapshot: canonical entry line → `(file, line)` of the
+/// defining item (for anchoring addition diagnostics).
+pub type ApiEntries = BTreeMap<String, (String, usize)>;
+
+/// Module path derived from a library file's location: `src/lib.rs` → ``,
+/// `src/foo.rs` → `foo`, `src/foo/mod.rs` → `foo`, `src/foo/bar.rs` →
+/// `foo::bar`.
+fn module_path(file_path: &str) -> String {
+    let Some(pos) = file_path.find("/src/") else { return String::new() };
+    let rest = &file_path[pos + "/src/".len()..];
+    let rest = rest.strip_suffix(".rs").unwrap_or(rest);
+    let mut segments: Vec<&str> = rest.split('/').collect();
+    if segments.last() == Some(&"lib") || segments.last() == Some(&"mod") {
+        segments.pop();
+    }
+    segments.join("::")
+}
+
+/// Is this item part of the exported surface? `pub` items, plus methods
+/// of `pub` traits (which inherit the trait's visibility without carrying
+/// a `pub` keyword of their own).
+fn is_api(item: &Item, pub_traits: &BTreeSet<String>) -> bool {
+    if item.in_test || item.in_trait_impl || item.name.is_empty() || item.name == "_" {
+        return false;
+    }
+    match item.vis {
+        Vis::Pub => true,
+        Vis::Restricted => false,
+        Vis::Private => {
+            item.kind == ItemKind::Fn && pub_traits.contains(&item.context)
+        }
+    }
+}
+
+/// Builds the live API snapshot from the workspace model. Only library
+/// code contributes — binaries, tests, benches, and examples have no
+/// exported surface.
+pub fn api_entries(ws: &WorkspaceModel) -> ApiEntries {
+    let mut entries = ApiEntries::new();
+    for f in &ws.files {
+        if !f.class.is_library || f.crate_name.is_empty() {
+            continue;
+        }
+        // Full context paths of pub traits in this file, so their methods
+        // inherit visibility.
+        let mut pub_traits: BTreeSet<String> = BTreeSet::new();
+        for item in &f.items {
+            if item.kind == ItemKind::Trait && item.vis == Vis::Pub && !item.in_test {
+                let path = if item.context.is_empty() {
+                    item.name.clone()
+                } else {
+                    format!("{}::{}", item.context, item.name)
+                };
+                pub_traits.insert(path);
+            }
+        }
+        let module = module_path(&f.path);
+        for item in &f.items {
+            if !is_api(item, &pub_traits) {
+                continue;
+            }
+            let qualified = [module.as_str(), item.context.as_str(), item.name.as_str()]
+                .iter()
+                .filter(|s| !s.is_empty())
+                .copied()
+                .collect::<Vec<_>>()
+                .join("::");
+            let entry = format!(
+                "{}\t{}\t{}\t{}",
+                f.crate_name,
+                item.kind.label(),
+                qualified,
+                item.signature
+            );
+            // First definition wins on collisions (path-sorted files, so
+            // deterministic); identical re-definitions collapse anyway.
+            entries.entry(entry).or_insert_with(|| (f.path.clone(), item.line));
+        }
+    }
+    entries
+}
+
+/// Renders the snapshot as baseline-file content: a comment header plus
+/// byte-sorted entries.
+pub fn render_api_baseline(entries: &ApiEntries) -> String {
+    let mut out = String::from(
+        "# easytime-lint API baseline: one `crate<TAB>kind<TAB>path<TAB>signature` per line,\n\
+         # byte-sorted (LC_ALL=C). Regenerate deliberately with --write-api-baseline after\n\
+         # reviewing the diff: every change here is a public-API change.\n",
+    );
+    for entry in entries.keys() {
+        out.push_str(entry);
+        out.push('\n');
+    }
+    out
+}
+
+/// Runs R14: the committed baseline must byte-match the live surface and
+/// be canonically sorted. Additions anchor at the defining item; stale
+/// baseline entries anchor at their line in the baseline file.
+pub fn check_api_baseline(
+    entries: &ApiEntries,
+    baseline_text: &str,
+    baseline_path: &str,
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let mut committed: BTreeMap<&str, usize> = BTreeMap::new();
+    let mut prev: Option<&str> = None;
+    for (idx, raw) in baseline_text.lines().enumerate() {
+        let line = raw.trim_end_matches('\r');
+        if line.trim().is_empty() || line.trim_start().starts_with('#') {
+            continue;
+        }
+        if prev.is_some_and(|p| p >= line) {
+            diags.push(Diagnostic::new(
+                Path::new(baseline_path),
+                idx + 1,
+                Rule::ApiSnapshot,
+                "API baseline is not in canonical (byte-sorted, duplicate-free) order; \
+                 regenerate with --write-api-baseline"
+                    .to_string(),
+            ));
+        }
+        prev = Some(line);
+        // Last occurrence wins for the line anchor; duplicates already
+        // reported by the sort check above.
+        committed.insert(line, idx + 1);
+    }
+
+    for (entry, (file, line)) in entries {
+        if !committed.contains_key(entry.as_str()) {
+            diags.push(Diagnostic::new(
+                Path::new(file),
+                *line,
+                Rule::ApiSnapshot,
+                format!(
+                    "public API entry not in the committed baseline: `{}`; if this API \
+                     change is intentional, regenerate {} with --write-api-baseline",
+                    entry.replace('\t', " "),
+                    baseline_path
+                ),
+            ));
+        }
+    }
+    for (entry, line) in &committed {
+        if !entries.contains_key(*entry) {
+            diags.push(Diagnostic::new(
+                Path::new(baseline_path),
+                *line,
+                Rule::ApiSnapshot,
+                format!(
+                    "baseline entry no longer matches any live public API: `{}`; if this \
+                     removal or signature change is intentional, regenerate with \
+                     --write-api-baseline",
+                    entry.replace('\t', " ")
+                ),
+            ));
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{SourceEntry, WorkspaceModel};
+
+    fn ws(files: &[(&str, &str)]) -> WorkspaceModel {
+        let mut sources = vec![SourceEntry::new(
+            "crates/demo/Cargo.toml",
+            "[package]\nname = \"easytime-demo\"\n",
+        )];
+        for (path, text) in files {
+            sources.push(SourceEntry::new(path.to_string(), text.to_string()));
+        }
+        WorkspaceModel::build(&sources)
+    }
+
+    #[test]
+    fn snapshot_covers_pub_surface_only() {
+        let model = ws(&[(
+            "crates/demo/src/lib.rs",
+            "/// Doc.\npub fn public(x: u32) -> u32 { x }\n\
+             fn private() {}\n\
+             pub(crate) fn internal() {}\n\
+             /// Doc.\npub struct S;\n\
+             impl S {\n\
+             \x20   /// Doc.\n\
+             \x20   pub fn method(&self) -> u32 { 0 }\n\
+             \x20   fn helper(&self) {}\n\
+             }\n\
+             #[cfg(test)]\nmod tests { pub fn t() {} }\n",
+        )]);
+        let entries = api_entries(&model);
+        let keys: Vec<&str> = entries.keys().map(String::as_str).collect();
+        assert_eq!(
+            keys,
+            vec![
+                "easytime-demo\tfn\tS::method\tpub fn method(&self) -> u32",
+                "easytime-demo\tfn\tpublic\tpub fn public(x: u32) -> u32",
+                "easytime-demo\tstruct\tS\tpub struct S",
+            ]
+        );
+    }
+
+    #[test]
+    fn trait_methods_inherit_trait_visibility() {
+        let model = ws(&[(
+            "crates/demo/src/model.rs",
+            "/// Doc.\npub trait Forecaster {\n\
+             \x20   fn fit(&mut self, data: &[f64]);\n\
+             }\n\
+             trait Internal {\n\
+             \x20   fn hidden(&self);\n\
+             }\n",
+        )]);
+        let entries = api_entries(&model);
+        let keys: Vec<&str> = entries.keys().map(String::as_str).collect();
+        assert_eq!(
+            keys,
+            vec![
+                "easytime-demo\tfn\tmodel::Forecaster::fit\tfn fit(&mut self, data: &[f64])",
+                "easytime-demo\ttrait\tmodel::Forecaster\tpub trait Forecaster",
+            ]
+        );
+    }
+
+    #[test]
+    fn module_paths_derive_from_file_location() {
+        assert_eq!(module_path("crates/demo/src/lib.rs"), "");
+        assert_eq!(module_path("crates/demo/src/foo.rs"), "foo");
+        assert_eq!(module_path("crates/demo/src/foo/mod.rs"), "foo");
+        assert_eq!(module_path("crates/demo/src/foo/bar.rs"), "foo::bar");
+    }
+
+    #[test]
+    fn baseline_roundtrip_is_clean() {
+        let model = ws(&[(
+            "crates/demo/src/lib.rs",
+            "/// Doc.\npub fn f(x: u32) -> u32 { x }\n",
+        )]);
+        let entries = api_entries(&model);
+        let text = render_api_baseline(&entries);
+        assert!(check_api_baseline(&entries, &text, "scripts/api-baseline.txt").is_empty());
+    }
+
+    #[test]
+    fn additions_and_removals_are_both_flagged() {
+        let model = ws(&[(
+            "crates/demo/src/lib.rs",
+            "/// Doc.\npub fn f(x: u32) -> u32 { x }\n",
+        )]);
+        let entries = api_entries(&model);
+        let stale = "easytime-demo\tfn\tgone\tpub fn gone()\n";
+        let diags = check_api_baseline(&entries, stale, "scripts/api-baseline.txt");
+        assert_eq!(diags.len(), 2);
+        assert!(diags.iter().all(|d| d.rule == Rule::ApiSnapshot));
+        assert!(diags.iter().any(|d| d.message.contains("not in the committed baseline")
+            && d.file.display().to_string() == "crates/demo/src/lib.rs"));
+        assert!(diags.iter().any(|d| d.message.contains("no longer matches")
+            && d.file.display().to_string() == "scripts/api-baseline.txt"));
+    }
+
+    #[test]
+    fn unsorted_baseline_is_flagged() {
+        let entries = ApiEntries::new();
+        let text = "b\tfn\tx\tsig\na\tfn\ty\tsig\n";
+        let diags = check_api_baseline(&entries, text, "scripts/api-baseline.txt");
+        assert!(diags.iter().any(|d| d.message.contains("canonical")));
+    }
+
+    #[test]
+    fn signature_changes_show_as_one_add_one_remove() {
+        let model = ws(&[(
+            "crates/demo/src/lib.rs",
+            "/// Doc.\npub fn f(x: u64) -> u64 { x }\n",
+        )]);
+        let entries = api_entries(&model);
+        let old = "easytime-demo\tfn\tf\tpub fn f(x: u32) -> u32\n";
+        let diags = check_api_baseline(&entries, old, "scripts/api-baseline.txt");
+        assert_eq!(diags.len(), 2);
+    }
+}

@@ -13,7 +13,7 @@ use crate::lexer::{lex, Doc, Token, TokenKind};
 
 /// A lexed source file plus the derived region and annotation indexes.
 #[derive(Debug)]
-pub struct SourceFile<'a> {
+pub(crate) struct SourceFile<'a> {
     /// The raw source text.
     pub src: &'a str,
     /// The full token stream (tiles `src` exactly).
@@ -28,6 +28,7 @@ pub struct SourceFile<'a> {
 
 /// One `// lint: allow(<name>) — <why>` marker resolved to a target line.
 #[derive(Debug, Clone, PartialEq, Eq)]
+// lint: allow(dead-pub) — reachable through a pub field of an exported type, which R17's item-signature scan does not cover
 pub struct AllowMark {
     /// The `<name>` inside `allow(…)`.
     pub name: String,
@@ -53,29 +54,29 @@ impl<'a> SourceFile<'a> {
     }
 
     /// The k-th code token, if any.
-    pub fn ct(&self, k: usize) -> Option<&Token> {
+    pub(crate) fn ct(&self, k: usize) -> Option<&Token> {
         self.code.get(k).map(|&i| &self.tokens[i])
     }
 
     /// Text of the k-th code token ("" past the end).
-    pub fn ctext(&self, k: usize) -> &str {
+    pub(crate) fn ctext(&self, k: usize) -> &str {
         self.ct(k).map_or("", |t| t.text(self.src))
     }
 
     /// True when the k-th code token is the identifier `name`.
-    pub fn is_ident(&self, k: usize, name: &str) -> bool {
+    pub(crate) fn is_ident(&self, k: usize, name: &str) -> bool {
         self.ct(k).is_some_and(|t| t.kind == TokenKind::Ident) && self.ctext(k) == name
     }
 
     /// True when the k-th code token is the punctuation char `c`.
-    pub fn is_punct(&self, k: usize, c: char) -> bool {
+    pub(crate) fn is_punct(&self, k: usize, c: char) -> bool {
         self.ct(k).is_some_and(|t| t.kind == TokenKind::Punct)
             && self.ctext(k).chars().next() == Some(c)
     }
 
     /// True when code tokens `k..k+s.len()` spell the multi-char operator
     /// `s` with no gap between the characters (so `: :` is not `::`).
-    pub fn is_punct_seq(&self, k: usize, s: &str) -> bool {
+    pub(crate) fn is_punct_seq(&self, k: usize, s: &str) -> bool {
         let mut prev_end: Option<usize> = None;
         for (j, c) in s.chars().enumerate() {
             if !self.is_punct(k + j, c) {
@@ -95,7 +96,7 @@ impl<'a> SourceFile<'a> {
 
     /// Code index of the delimiter that closes the opener at code index
     /// `open` (`(`/`)`, `[`/`]`, `{`/`}`). `None` when unbalanced.
-    pub fn matching_close(&self, open: usize) -> Option<usize> {
+    pub(crate) fn matching_close(&self, open: usize) -> Option<usize> {
         let (o, c) = match self.ctext(open) {
             "(" => ('(', ')'),
             "[" => ('[', ']'),
@@ -119,7 +120,7 @@ impl<'a> SourceFile<'a> {
     }
 
     /// True when byte `offset` lies inside a `#[cfg(test)]` item.
-    pub fn in_test_region(&self, offset: usize) -> bool {
+    pub(crate) fn in_test_region(&self, offset: usize) -> bool {
         self.test_regions.iter().any(|&(s, e)| offset >= s && offset < e)
     }
 
@@ -288,14 +289,14 @@ impl<'a> SourceFile<'a> {
 
     /// Looks up an annotation waiving `name` on `line`. Returns
     /// `Some(mark)` when present (check `justified` before honouring it).
-    pub fn allow_on(&self, line: usize, name: &str) -> Option<&AllowMark> {
+    pub(crate) fn allow_on(&self, line: usize, name: &str) -> Option<&AllowMark> {
         self.allows.iter().find(|a| a.target_line == line && a.name == name)
     }
 
     /// True when an *outer* doc comment or a `#[doc…]` attribute
     /// immediately precedes token index `i` (whitespace and other
     /// attributes may intervene) — the R9 documentation check.
-    pub fn has_doc_before(&self, i: usize) -> bool {
+    pub(crate) fn has_doc_before(&self, i: usize) -> bool {
         let mut j = i;
         while j > 0 {
             j -= 1;
@@ -342,8 +343,14 @@ impl<'a> SourceFile<'a> {
     }
 
     /// Token index (into `tokens`) of the k-th code token.
-    pub fn raw_index(&self, k: usize) -> Option<usize> {
+    pub(crate) fn raw_index(&self, k: usize) -> Option<usize> {
         self.code.get(k).copied()
+    }
+
+    /// All escape-hatch annotations found in the file (for consumers that
+    /// need owned copies, e.g. the workspace model).
+    pub(crate) fn allows(&self) -> &[AllowMark] {
+        &self.allows
     }
 }
 

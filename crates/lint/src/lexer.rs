@@ -24,6 +24,7 @@
 
 /// Doc-comment flavour of a comment token.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+// lint: allow(dead-pub) — reachable through a pub field of an exported type, which R17's item-signature scan does not cover
 pub enum Doc {
     /// A plain comment (`//`, `/* */`).
     None,
@@ -412,7 +413,7 @@ fn number(cur: &mut Cursor<'_>) -> TokenKind {
 
 /// True when a numeric-literal text denotes a float (fraction, exponent,
 /// or an `f32`/`f64` suffix) — radix-prefixed literals are never floats.
-pub fn num_is_float(text: &str) -> bool {
+pub(crate) fn num_is_float(text: &str) -> bool {
     let t = text.trim();
     if t.starts_with("0x") || t.starts_with("0X") || t.starts_with("0o") || t.starts_with("0b") {
         return false;
@@ -425,7 +426,7 @@ pub fn num_is_float(text: &str) -> bool {
 
 /// Parses a float-literal text to its value, ignoring `_` separators and a
 /// type suffix. Returns `None` for non-float or malformed text.
-pub fn float_value(text: &str) -> Option<f64> {
+pub(crate) fn float_value(text: &str) -> Option<f64> {
     let mut t: String = text.chars().filter(|&c| c != '_').collect();
     for suffix in ["f32", "f64"] {
         if let Some(stripped) = t.strip_suffix(suffix) {

@@ -45,6 +45,27 @@
 //!   fills the transposed matrix only to stream through it once. Use the
 //!   fused `Matrix::tr_matmul` / `Matrix::tr_matvec` kernels instead.
 //!
+//! The **semantic rules** (R14–R17) run over the cross-file workspace
+//! [`model`] built in a second phase:
+//!
+//! * **R14 api-snapshot** — every crate's full `pub` surface is serialized
+//!   to the committed `scripts/api-baseline.txt`; additions, removals, or
+//!   signature changes not reflected there fail CI, so API breaks become
+//!   explicit diffs in review. Regenerate deliberately with
+//!   `--write-api-baseline`.
+//! * **R15 crate-layering** — the declared layer policy (`rng`/`clock` at
+//!   the bottom, the `easytime` facade at the top, `lint`/`bench` leaf-only)
+//!   is enforced against the real Cargo dependency graph *and* against
+//!   `easytime_*::` path tokens in library code, catching both manifest
+//!   drift and path-qualified back-doors.
+//! * **R16 lock-discipline** — lock-acquisition summaries are transitively
+//!   closed over the call graph; any cycle between two lock identities and
+//!   any lock held across a call that can reacquire the same lock is an
+//!   error (the deadlock shapes a serving engine must never ship).
+//! * **R17 dead-pub** — a `pub` item in a non-facade crate with zero
+//!   cross-crate uses is a warning: demote it to `pub(crate)`, delete it,
+//!   or annotate with `// lint: allow(dead-pub) — <why>`.
+//!
 //! Any rule can be waived for one statement with an escape-hatch comment
 //! carrying a mandatory justification:
 //!
@@ -60,8 +81,12 @@
 use std::fmt;
 use std::path::{Path, PathBuf};
 
+pub mod api;
 pub mod engine;
 pub mod lexer;
+pub mod locks;
+pub mod model;
+pub mod resolve;
 pub mod rules;
 
 /// Which invariant a diagnostic belongs to.
@@ -93,6 +118,14 @@ pub enum Rule {
     PolicyWildcard,
     /// R13: no materialized `.transpose()` feeding `.matmul`/`.matvec`.
     MaterializedTranspose,
+    /// R14: the committed API baseline matches the live `pub` surface.
+    ApiSnapshot,
+    /// R15: crate dependencies respect the declared layer policy.
+    CrateLayering,
+    /// R16: no lock-order cycles or same-lock reacquisition while held.
+    LockDiscipline,
+    /// R17: no `pub` items without any cross-crate user.
+    DeadPub,
     /// A malformed escape-hatch annotation.
     BadAnnotation,
 }
@@ -114,12 +147,16 @@ impl Rule {
             Rule::PrintMacro => "R11",
             Rule::PolicyWildcard => "R12",
             Rule::MaterializedTranspose => "R13",
+            Rule::ApiSnapshot => "R14",
+            Rule::CrateLayering => "R15",
+            Rule::LockDiscipline => "R16",
+            Rule::DeadPub => "R17",
             Rule::BadAnnotation => "R0",
         }
     }
 
     /// The name accepted by `// lint: allow(<name>)` for this rule.
-    pub fn allow_name(self) -> &'static str {
+    pub(crate) fn allow_name(self) -> &'static str {
         match self {
             Rule::NoPanic => "panic",
             Rule::DepAllowlist => "dependency",
@@ -134,9 +171,197 @@ impl Rule {
             Rule::PrintMacro => "print",
             Rule::PolicyWildcard => "policy-wildcard",
             Rule::MaterializedTranspose => "materialized-transpose",
+            Rule::ApiSnapshot => "api-snapshot",
+            Rule::CrateLayering => "crate-layering",
+            Rule::LockDiscipline => "lock-discipline",
+            Rule::DeadPub => "dead-pub",
             Rule::BadAnnotation => "",
         }
     }
+}
+
+/// One row of the shared rule-documentation table: the single source both
+/// `--explain <RULE>` and the README rule table are generated from, so the
+/// binary and the docs cannot drift (a generator-check test asserts the
+/// README contains exactly these rows).
+#[derive(Debug, Clone, Copy)]
+pub struct RuleDoc {
+    /// Rule code (`R1` … `R17`).
+    pub code: &'static str,
+    /// Escape-hatch name accepted by `// lint: allow(<name>)`.
+    pub allow: &'static str,
+    /// One-line summary of what the rule enforces (README cell).
+    pub enforces: &'static str,
+    /// Why the rule exists (printed by `--explain`).
+    pub rationale: &'static str,
+    /// Where the rule applies (printed by `--explain`).
+    pub scope: &'static str,
+}
+
+/// The rule-documentation table, ordered by rule number. R8 appears once
+/// with both of its hatch names; R10 is the reporting layer itself and has
+/// no row (it cannot be violated, only configured).
+pub const RULE_DOCS: &[RuleDoc] = &[
+    RuleDoc {
+        code: "R1",
+        allow: "panic",
+        enforces: "no unwrap()/expect()/panic!-family calls in library code",
+        rationale: "a forecasting library must surface failures as typed errors the caller can \
+                    handle; a panic in one model aborts a whole evaluation sweep",
+        scope: "library code (tests, benches, examples, and binaries are exempt)",
+    },
+    RuleDoc {
+        code: "R2",
+        allow: "dependency",
+        enforces: "every Cargo.toml dependency is a workspace crate",
+        rationale: "the build stays hermetic and std-only: no supply-chain drift, no version \
+                    skew, reproducible from a clean checkout with no network",
+        scope: "all dependency sections of every manifest, including [workspace.dependencies]",
+    },
+    RuleDoc {
+        code: "R3",
+        allow: "lossy-cast",
+        enforces: "no lossy `as` casts in numeric hot paths",
+        rationale: "silent truncation in kernel code corrupts forecasts; conversions must be \
+                    explicit and checked at the boundary",
+        scope: "linalg/src, models/src, and eval/src/metrics.rs library code",
+    },
+    RuleDoc {
+        code: "R4",
+        allow: "boxed-error",
+        enforces: "pub fns returning Result use the crate's typed error, not Box<dyn Error>",
+        rationale: "typed errors keep failure modes enumerable at crate boundaries so callers \
+                    can match instead of string-inspecting",
+        scope: "public functions in library code",
+    },
+    RuleDoc {
+        code: "R5",
+        allow: "process-exit",
+        enforces: "std::process::exit only in binaries",
+        rationale: "a library that exits the process steals the host's shutdown path and skips \
+                    destructors; only a binary owns the exit code",
+        scope: "library code (binaries are exempt)",
+    },
+    RuleDoc {
+        code: "R6",
+        allow: "float-ordering",
+        enforces: "no NaN-unsafe partial_cmp(..).unwrap()-style comparators; use total_cmp",
+        rationale: "one NaN in a ranking either panics or silently reorders results; \
+                    f64::total_cmp keeps leaderboards deterministic",
+        scope: "everywhere, tests included",
+    },
+    RuleDoc {
+        code: "R7",
+        allow: "float-eq",
+        enforces: "no ==/!= against non-zero float literals in numeric crates",
+        rationale: "exact float equality against computed values is almost always a logic bug; \
+                    zero guards (x == 0.0) are the accepted idiom",
+        scope: "linalg, models, and eval library code",
+    },
+    RuleDoc {
+        code: "R8",
+        allow: "hash-order / wall-clock",
+        enforces: "no HashMap/HashSet iteration in library code; no direct wall-clock reads \
+                   outside easytime-clock",
+        rationale: "hash order and wall time are the two ambient nondeterminism sources; both \
+                    must flow through deterministic choke points (BTree iteration, the Clock)",
+        scope: "library code (easytime-clock itself is exempt from the clock facet)",
+    },
+    RuleDoc {
+        code: "R9",
+        allow: "missing-docs",
+        enforces: "every exported (pub) item carries a /// doc comment",
+        rationale: "the pub surface is the contract; an undocumented export is an API the next \
+                    reader has to reverse-engineer",
+        scope: "pub items in library code (pub(crate) and test items are exempt)",
+    },
+    RuleDoc {
+        code: "R11",
+        allow: "print",
+        enforces: "no println!/eprintln! (or print!/eprint!) in library code",
+        rationale: "console output belongs to binaries; diagnostics go through easytime-obs so \
+                    they are capturable, filterable, and deterministic in tests",
+        scope: "library code (easytime-obs itself is the sanctioned sink)",
+    },
+    RuleDoc {
+        code: "R12",
+        allow: "policy-wildcard",
+        enforces: "no `_` arm in a match over a refit policy",
+        rationale: "adding a RefitPolicy variant must be a compile error at every dispatch \
+                    site, not a silent fall-through into the wrong evaluation protocol",
+        scope: "matches whose scrutinee mentions refit / refit_policy / RefitPolicy",
+    },
+    RuleDoc {
+        code: "R13",
+        allow: "materialized-transpose",
+        enforces: "no .transpose() immediately feeding .matmul(..)/.matvec(..)",
+        rationale: "the chain allocates and fills a transposed matrix only to stream through it \
+                    once; the fused tr_matmul/tr_matvec kernels skip the copy",
+        scope: "library code",
+    },
+    RuleDoc {
+        code: "R14",
+        allow: "api-snapshot",
+        enforces: "the committed scripts/api-baseline.txt matches the live pub surface",
+        rationale: "API additions, removals, and signature changes become explicit diffs in \
+                    review instead of silent drift; regenerate deliberately with \
+                    --write-api-baseline",
+        scope: "pub items in library code of every workspace crate",
+    },
+    RuleDoc {
+        code: "R15",
+        allow: "crate-layering",
+        enforces: "crate dependencies respect the declared layer policy (rng/clock at the \
+                   bottom, the easytime facade at the top, lint/bench leaf-only)",
+        rationale: "layering is what keeps the dependency graph acyclic and the low layers \
+                    reusable; both Cargo.toml edges and easytime_*:: path tokens are checked \
+                    so manifest drift and path-qualified back-doors are caught alike",
+        scope: "normal dependencies of every workspace crate plus library-code path tokens \
+                (dev-dependencies are exempt: cargo permits dev cycles)",
+    },
+    RuleDoc {
+        code: "R16",
+        allow: "lock-discipline",
+        enforces: "no cycles in the lock-order graph and no lock held across a call that can \
+                   reacquire the same lock",
+        rationale: "these are the two deadlock shapes a multi-tenant serving engine must never \
+                    ship; the rule closes lock-acquisition summaries transitively over the \
+                    call graph so the hold can be any number of calls away",
+        scope: "non-test functions, with call resolution restricted to each crate's \
+                transitive dependencies",
+    },
+    RuleDoc {
+        code: "R17",
+        allow: "dead-pub",
+        enforces: "no pub item in a non-facade crate with zero cross-crate users",
+        rationale: "an export nobody imports is surface area without a contract: demote it to \
+                    pub(crate), delete it, or justify why it is deliberately speculative",
+        scope: "pub items in library code of every crate except the easytime facade; uses in \
+                the crate's own bins/tests/benches count",
+    },
+];
+
+/// Looks up the documentation row for a rule code (case-insensitive,
+/// `R8` and `r8` both work).
+pub fn rule_doc(code: &str) -> Option<&'static RuleDoc> {
+    RULE_DOCS.iter().find(|d| d.code.eq_ignore_ascii_case(code))
+}
+
+/// Renders the README rule-table rows from [`RULE_DOCS`] — the generator
+/// side of the docs-drift check (`--explain` and the README share it).
+pub fn readme_rule_rows() -> String {
+    let mut out = String::new();
+    for d in RULE_DOCS {
+        let allow = d
+            .allow
+            .split(" / ")
+            .map(|a| format!("`{a}`"))
+            .collect::<Vec<_>>()
+            .join(" / ");
+        let enforces = d.enforces.split_whitespace().collect::<Vec<_>>().join(" ");
+        out.push_str(&format!("| {} | {} | {} |\n", d.code, allow, enforces));
+    }
+    out
 }
 
 /// How serious a diagnostic is. `Error` fails the build; `Warn` is
@@ -192,7 +417,7 @@ impl Diagnostic {
     /// The baseline-suppression key: file, rule code, and message —
     /// deliberately excluding the line number so unrelated edits that
     /// shift lines do not invalidate a committed baseline.
-    pub fn baseline_key(&self) -> String {
+    pub(crate) fn baseline_key(&self) -> String {
         format!(
             "{}\t{}\t{}",
             self.file.display().to_string().replace('\\', "/"),
@@ -253,7 +478,7 @@ pub fn lint_rust_source(rel_path: &Path, source: &str) -> Vec<Diagnostic> {
 
 /// Runs R2 over one `Cargo.toml`. Every dependency in any dependency
 /// section must be a workspace crate (`easytime*`).
-pub fn lint_manifest(rel_path: &Path, source: &str) -> Vec<Diagnostic> {
+pub(crate) fn lint_manifest(rel_path: &Path, source: &str) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
     let mut in_dep_section = false;
     for (idx, raw) in source.lines().enumerate() {
@@ -295,36 +520,156 @@ pub fn lint_manifest(rel_path: &Path, source: &str) -> Vec<Diagnostic> {
 
 /// The dependency allowlist: workspace crates only. Extend deliberately —
 /// each addition breaks the hermetic-build guarantee.
-pub fn is_allowed_dependency(name: &str) -> bool {
+pub(crate) fn is_allowed_dependency(name: &str) -> bool {
     name.starts_with("easytime")
 }
 
-/// Lints every `.rs` and `Cargo.toml` file under `root/crates` plus the
-/// root `Cargo.toml` (the `[workspace.dependencies]` chokepoint),
-/// returning all diagnostics and the number of files checked.
-pub fn lint_workspace(root: &Path) -> std::io::Result<(Vec<Diagnostic>, usize)> {
+/// Reads every `.rs` and `Cargo.toml` file under `root/crates` plus the
+/// root `Cargo.toml` (the `[workspace.dependencies]` chokepoint) into
+/// path-sorted [`model::SourceEntry`] values — the single input both
+/// analysis phases run from.
+pub fn collect_workspace_sources(root: &Path) -> std::io::Result<Vec<model::SourceEntry>> {
     let mut files = Vec::new();
     collect_files(&root.join("crates"), &mut files)?;
-    files.sort();
-    let mut diags = Vec::new();
-    let mut checked = 0;
-    for file in files {
-        let rel = file.strip_prefix(root).unwrap_or(&file).to_path_buf();
-        let source = std::fs::read_to_string(&file)?;
-        checked += 1;
-        if rel.file_name().is_some_and(|n| n == "Cargo.toml") {
-            diags.extend(lint_manifest(&rel, &source));
-        } else {
-            diags.extend(lint_rust_source(&rel, &source));
-        }
-    }
     let root_manifest = root.join("Cargo.toml");
     if root_manifest.is_file() {
-        let source = std::fs::read_to_string(&root_manifest)?;
-        checked += 1;
-        diags.extend(lint_manifest(Path::new("Cargo.toml"), &source));
+        files.push(root_manifest);
     }
-    Ok((diags, checked))
+    files.sort();
+    let mut sources = Vec::with_capacity(files.len());
+    for file in files {
+        let rel = file.strip_prefix(root).unwrap_or(&file);
+        let text = std::fs::read_to_string(&file)?;
+        sources.push(model::SourceEntry::new(rel.to_string_lossy().into_owned(), text));
+    }
+    sources.sort_by(|a, b| a.path.cmp(&b.path));
+    Ok(sources)
+}
+
+/// Phase 1: runs the per-file rules (R1–R13) over in-memory sources.
+/// Entries are processed in path order regardless of input order.
+pub fn lint_sources(sources: &[model::SourceEntry]) -> Vec<Diagnostic> {
+    let mut sorted: Vec<&model::SourceEntry> = sources.iter().collect();
+    sorted.sort_by(|a, b| a.path.cmp(&b.path));
+    let mut diags = Vec::new();
+    for entry in sorted {
+        let rel = Path::new(&entry.path);
+        if entry.path.ends_with("Cargo.toml") {
+            diags.extend(lint_manifest(rel, &entry.text));
+        } else if entry.path.ends_with(".rs") {
+            diags.extend(lint_rust_source(rel, &entry.text));
+        }
+    }
+    diags
+}
+
+/// Size summary of the semantic pass, serialized to
+/// `results/lint_semantic.json` by the CLI. Every count is derived from
+/// the path-sorted workspace model, so the rendering is byte-identical
+/// across runs and file-discovery orders.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SemanticStats {
+    /// Workspace crates with a parsed manifest.
+    pub crates: usize,
+    /// Rust files in the model.
+    pub files: usize,
+    /// Item-table rows across all files.
+    pub items: usize,
+    /// `pub` (unrestricted) items in non-test library code.
+    pub pub_items: usize,
+    /// Entries in the live API snapshot.
+    pub api_entries: usize,
+    /// Workspace-internal `[dependencies]` edges.
+    pub dep_edges: usize,
+    /// Distinct crate→crate reference pairs from `easytime_*::` tokens.
+    pub use_edges: usize,
+    /// Call-name entries across all function summaries.
+    pub call_sites: usize,
+    /// Lock-acquisition sites across all function summaries.
+    pub lock_sites: usize,
+    /// Distinct lock identities (`crate.field`).
+    pub lock_identities: usize,
+    /// Edges in the transitively-closed lock-order graph.
+    pub lock_order_edges: usize,
+    /// Emitted diagnostics per semantic rule code (R0 included).
+    pub rule_counts: Vec<(String, usize)>,
+}
+
+/// Renders [`SemanticStats`] as a stable JSON object.
+pub fn semantic_stats_to_json(s: &SemanticStats) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema_version\": 1,\n");
+    out.push_str(&format!("  \"crates\": {},\n", s.crates));
+    out.push_str(&format!("  \"files\": {},\n", s.files));
+    out.push_str(&format!("  \"items\": {},\n", s.items));
+    out.push_str(&format!("  \"pub_items\": {},\n", s.pub_items));
+    out.push_str(&format!("  \"api_entries\": {},\n", s.api_entries));
+    out.push_str(&format!("  \"dep_edges\": {},\n", s.dep_edges));
+    out.push_str(&format!("  \"use_edges\": {},\n", s.use_edges));
+    out.push_str(&format!("  \"call_sites\": {},\n", s.call_sites));
+    out.push_str(&format!("  \"lock_sites\": {},\n", s.lock_sites));
+    out.push_str(&format!("  \"lock_identities\": {},\n", s.lock_identities));
+    out.push_str(&format!("  \"lock_order_edges\": {},\n", s.lock_order_edges));
+    out.push_str("  \"rules\": {");
+    for (i, (code, count)) in s.rule_counts.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("\"{}\": {}", json_escape(code), count));
+    }
+    out.push_str("}\n}\n");
+    out
+}
+
+/// Phase 2: builds the workspace model and runs the semantic rules
+/// (R15–R17, plus R14 when `api_baseline` carries the committed baseline
+/// text and its display path). Returns the diagnostics sorted by
+/// `(file, line, code, message)` and the size stats.
+pub fn analyze_workspace(
+    sources: &[model::SourceEntry],
+    api_baseline: Option<(&str, &str)>,
+) -> (Vec<Diagnostic>, SemanticStats) {
+    let ws = model::WorkspaceModel::build(sources);
+    let entries = api::api_entries(&ws);
+    let graph = locks::build_lock_graph(&ws);
+
+    let mut diags = Vec::new();
+    diags.extend(resolve::check_layering(&ws));
+    diags.extend(resolve::check_dead_pub(&ws));
+    diags.extend(locks::check_locks(&ws, &graph));
+    if let Some((path, text)) = api_baseline {
+        diags.extend(api::check_api_baseline(&entries, text, path));
+    }
+    diags.sort_by(|a, b| {
+        (a.file.display().to_string(), a.line, a.rule.code(), a.message.as_str()).cmp(&(
+            b.file.display().to_string(),
+            b.line,
+            b.rule.code(),
+            b.message.as_str(),
+        ))
+    });
+    diags.dedup();
+
+    let mut rule_counts: std::collections::BTreeMap<&str, usize> =
+        [("R14", 0), ("R15", 0), ("R16", 0), ("R17", 0), ("R0", 0)].into_iter().collect();
+    for d in &diags {
+        *rule_counts.entry(d.rule.code()).or_insert(0) += 1;
+    }
+    let stats = SemanticStats {
+        crates: ws.crates.len(),
+        files: ws.files.len(),
+        items: ws.item_count(),
+        pub_items: ws.pub_item_count(),
+        api_entries: entries.len(),
+        dep_edges: resolve::dep_edge_count(&ws),
+        use_edges: resolve::use_edge_count(&ws),
+        call_sites: ws.files.iter().flat_map(|f| &f.fns).map(|f| f.calls.len()).sum(),
+        lock_sites: ws.lock_site_count(),
+        lock_identities: graph.identities.len(),
+        lock_order_edges: graph.edges.len(),
+        rule_counts: rule_counts.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
+    };
+    (diags, stats)
 }
 
 fn collect_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {

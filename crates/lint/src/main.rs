@@ -2,15 +2,24 @@
 //!
 //! ```text
 //! easytime-lint [--format text|json] [--baseline PATH] [--write-baseline PATH]
-//!               [--severity CODE=LEVEL]... [--out PATH]
+//!               [--api-baseline PATH] [--write-api-baseline PATH]
+//!               [--semantic-out PATH] [--severity CODE=LEVEL]...
+//!               [--explain RULE] [--out PATH]
 //! ```
 //!
-//! Exits non-zero iff any non-baselined diagnostic has `error` severity.
+//! Phase 1 (per-file rules R1–R13) always runs; phase 2 (the workspace
+//! model and semantic rules R15–R17, plus R14 when `--api-baseline` is
+//! given) runs on the same path-sorted source set. `--semantic-out` writes
+//! the semantic size stats as JSON. Exits non-zero iff any non-baselined
+//! diagnostic has `error` severity.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use easytime_lint::{apply_severities, diagnostics_to_json, lint_workspace, Baseline, Severity};
+use easytime_lint::{
+    analyze_workspace, api, apply_severities, collect_workspace_sources, diagnostics_to_json,
+    lint_sources, model, rule_doc, semantic_stats_to_json, Baseline, Severity,
+};
 
 enum Format {
     Text,
@@ -21,8 +30,12 @@ struct Options {
     format: Format,
     baseline: Option<PathBuf>,
     write_baseline: Option<PathBuf>,
+    api_baseline: Option<PathBuf>,
+    write_api_baseline: Option<PathBuf>,
+    semantic_out: Option<PathBuf>,
     out: Option<PathBuf>,
     severities: Vec<(String, Severity)>,
+    explain: Option<String>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -30,8 +43,12 @@ fn parse_args() -> Result<Options, String> {
         format: Format::Text,
         baseline: None,
         write_baseline: None,
+        api_baseline: None,
+        write_api_baseline: None,
+        semantic_out: None,
         out: None,
         severities: Vec::new(),
+        explain: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -50,6 +67,16 @@ fn parse_args() -> Result<Options, String> {
             "--write-baseline" => {
                 opts.write_baseline = Some(value_for("--write-baseline", &mut args)?.into());
             }
+            "--api-baseline" => {
+                opts.api_baseline = Some(value_for("--api-baseline", &mut args)?.into());
+            }
+            "--write-api-baseline" => {
+                opts.write_api_baseline =
+                    Some(value_for("--write-api-baseline", &mut args)?.into());
+            }
+            "--semantic-out" => {
+                opts.semantic_out = Some(value_for("--semantic-out", &mut args)?.into());
+            }
             "--out" => opts.out = Some(value_for("--out", &mut args)?.into()),
             "--severity" => {
                 let spec = value_for("--severity", &mut args)?;
@@ -60,10 +87,13 @@ fn parse_args() -> Result<Options, String> {
                     .ok_or_else(|| format!("unknown severity `{level}` (want error|warn)"))?;
                 opts.severities.push((code.to_string(), sev));
             }
+            "--explain" => opts.explain = Some(value_for("--explain", &mut args)?),
             "--help" | "-h" => {
                 println!(
                     "usage: easytime-lint [--format text|json] [--baseline PATH]\n\
-                     \x20                    [--write-baseline PATH] [--severity CODE=LEVEL]...\n\
+                     \x20                    [--write-baseline PATH] [--api-baseline PATH]\n\
+                     \x20                    [--write-api-baseline PATH] [--semantic-out PATH]\n\
+                     \x20                    [--severity CODE=LEVEL]... [--explain RULE]\n\
                      \x20                    [--out PATH]"
                 );
                 return Err(String::new());
@@ -72,6 +102,24 @@ fn parse_args() -> Result<Options, String> {
         }
     }
     Ok(opts)
+}
+
+/// Prints one rule's documentation from the shared [`easytime_lint::RULE_DOCS`]
+/// table (the same source the README rule table is generated from).
+fn explain(code: &str) -> ExitCode {
+    let Some(doc) = rule_doc(code) else {
+        eprintln!(
+            "easytime-lint: no rule `{code}`; known rules: {}",
+            easytime_lint::RULE_DOCS.iter().map(|d| d.code).collect::<Vec<_>>().join(", ")
+        );
+        return ExitCode::from(2);
+    };
+    println!("{} — {}", doc.code, doc.enforces);
+    println!();
+    println!("rationale: {}", doc.rationale);
+    println!("scope:     {}", doc.scope);
+    println!("hatch:     // lint: allow({}) — <written justification>", doc.allow);
+    ExitCode::SUCCESS
 }
 
 fn workspace_root() -> PathBuf {
@@ -94,16 +142,72 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if let Some(code) = &opts.explain {
+        return explain(code);
+    }
 
     let root = workspace_root();
-    let (mut diags, checked) = match lint_workspace(&root) {
-        Ok(r) => r,
+    let sources = match collect_workspace_sources(&root) {
+        Ok(s) => s,
         Err(e) => {
             eprintln!("easytime-lint: failed to scan {}: {e}", root.display());
             return ExitCode::from(2);
         }
     };
+    let checked = sources.len();
+
+    // Deliberate API-baseline regeneration: build the model, write the
+    // snapshot, and stop — the R14 comparison would be vacuously clean.
+    if let Some(path) = &opts.write_api_baseline {
+        let ws = model::WorkspaceModel::build(&sources);
+        let entries = api::api_entries(&ws);
+        let content = api::render_api_baseline(&entries);
+        if let Err(e) = std::fs::write(path, content) {
+            eprintln!("easytime-lint: cannot write API baseline {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "easytime-lint: wrote API baseline with {} entries to {}",
+            entries.len(),
+            path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let mut diags = lint_sources(&sources);
+
+    let api_text = match &opts.api_baseline {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(t) => Some((path.clone(), t)),
+            Err(e) => {
+                eprintln!("easytime-lint: cannot read API baseline {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        },
+        None => None,
+    };
+    let api_ref = api_text
+        .as_ref()
+        .map(|(p, t)| (p.display().to_string(), t.as_str()));
+    let (semantic_diags, stats) =
+        analyze_workspace(&sources, api_ref.as_ref().map(|(p, t)| (p.as_str(), *t)));
+    diags.extend(semantic_diags);
+    diags.sort_by(|a, b| {
+        (a.file.display().to_string(), a.line, a.rule.code(), a.message.as_str()).cmp(&(
+            b.file.display().to_string(),
+            b.line,
+            b.rule.code(),
+            b.message.as_str(),
+        ))
+    });
     apply_severities(&mut diags, &opts.severities);
+
+    if let Some(path) = &opts.semantic_out {
+        if let Err(e) = std::fs::write(path, semantic_stats_to_json(&stats)) {
+            eprintln!("easytime-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
 
     if let Some(path) = &opts.write_baseline {
         let content = Baseline::render(&diags);

@@ -65,7 +65,7 @@ impl Reporter<'_, '_> {
 }
 
 /// Runs all token-level rules over one Rust source file.
-pub fn lint_tokens(rel_path: &Path, class: FileClass, sf: &SourceFile<'_>) -> Vec<Diagnostic> {
+pub(crate) fn lint_tokens(rel_path: &Path, class: FileClass, sf: &SourceFile<'_>) -> Vec<Diagnostic> {
     let mut r = Reporter { sf, path: rel_path, diags: Vec::new() };
     let n = sf.code.len();
     let in_test = |k: usize| sf.ct(k).is_some_and(|t| sf.in_test_region(t.start));

@@ -1,0 +1,45 @@
+//! Docs-drift check: the README rule table must be the exact output of
+//! [`easytime_lint::readme_rule_rows`], the same table `--explain` reads.
+//! If a rule is added or its summary reworded, regenerating the rows (or
+//! editing `RULE_DOCS`) keeps the three surfaces in lockstep.
+
+use std::path::Path;
+
+#[test]
+fn readme_rule_table_matches_rule_docs() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let readme = std::fs::read_to_string(root.join("README.md")).expect("read README.md");
+
+    let begin = readme
+        .find("<!-- rule-table:begin")
+        .expect("README.md is missing the `<!-- rule-table:begin -->` marker");
+    let end = readme
+        .find("<!-- rule-table:end -->")
+        .expect("README.md is missing the `<!-- rule-table:end -->` marker");
+    let block = &readme[begin..end];
+
+    // Everything between the header separator and the end marker must be
+    // exactly the generated rows.
+    let sep = "|---|---|---|\n";
+    let rows_start = block.find(sep).expect("rule table is missing its header separator") + sep.len();
+    let committed = &block[rows_start..];
+
+    let generated = easytime_lint::readme_rule_rows();
+    assert_eq!(
+        committed, generated,
+        "README rule table has drifted from easytime_lint::RULE_DOCS; \
+         update RULE_DOCS or paste the generated rows back into README.md"
+    );
+}
+
+#[test]
+fn every_rule_doc_resolves_via_explain_lookup() {
+    for doc in easytime_lint::RULE_DOCS {
+        let found = easytime_lint::rule_doc(doc.code)
+            .unwrap_or_else(|| panic!("rule_doc({}) returned None", doc.code));
+        assert_eq!(found.code, doc.code);
+        // Case-insensitive lookup, as the CLI promises.
+        assert!(easytime_lint::rule_doc(&doc.code.to_lowercase()).is_some());
+    }
+    assert!(easytime_lint::rule_doc("R999").is_none());
+}

@@ -313,3 +313,122 @@ fn lifetimes_are_not_mistaken_for_char_literals() {
     assert_eq!(diags[0].rule, Rule::NoPanic);
     assert_eq!(diags[0].line, 2);
 }
+
+// ---------------------------------------------------------------------------
+// Phase-2 consumers of the lexer: the workspace model reads identifier and
+// path tokens that phase 1 never needed. These regressions pin down the
+// constructs a cross-file analysis is most easily fooled by.
+// ---------------------------------------------------------------------------
+
+mod phase2 {
+    use easytime_lint::model::{ItemKind, SourceEntry, Vis, WorkspaceModel};
+
+    fn model(src: &str) -> WorkspaceModel {
+        WorkspaceModel::build(&[
+            SourceEntry::new("crates/demo/Cargo.toml", "[package]\nname = \"easytime-demo\"\n"),
+            SourceEntry::new("crates/demo/src/lib.rs", src),
+        ])
+    }
+
+    #[test]
+    fn raw_identifiers_are_normalized_in_items_and_mentions() {
+        let ws = model(
+            "/// Doc.\npub fn r#match(r#type: u32) -> u32 { r#type }\n\
+             fn caller() { let _ = r#match(1); }\n",
+        );
+        let f = &ws.files[0];
+        // The item table stores the bare name, so `r#match` and a plain
+        // `match`-named mention in another crate unify.
+        assert_eq!(f.items[0].name, "match");
+        assert!(f.mentions.contains("match"), "mentions: {:?}", f.mentions);
+        assert!(!f.mentions.iter().any(|m| m.starts_with("r#")));
+    }
+
+    #[test]
+    fn raw_identifiers_are_normalized_in_use_paths() {
+        let ws = model("use easytime_rng::r#impl::thing;\nfn f() {}\n");
+        let f = &ws.files[0];
+        assert_eq!(f.uses.len(), 1);
+        assert_eq!(f.uses[0].segments, vec!["easytime_rng", "impl", "thing"]);
+    }
+
+    #[test]
+    fn crate_and_super_paths_do_not_register_external_refs() {
+        // `crate::` and `super::` are workspace-internal navigation; only
+        // `easytime_*::` tokens are cross-crate evidence for R15.
+        let ws = model(
+            "use crate::detail::helper;\n\
+             use super::sibling;\n\
+             fn f() { crate::detail::helper(); super::sibling(); }\n",
+        );
+        let f = &ws.files[0];
+        assert!(f.ext_refs.is_empty(), "ext_refs: {:?}", f.ext_refs);
+        assert_eq!(f.uses.len(), 2);
+        assert_eq!(f.uses[0].segments[0], "crate");
+        assert_eq!(f.uses[1].segments[0], "super");
+    }
+
+    #[test]
+    fn multi_segment_self_references_are_not_external() {
+        // A crate naming its *own* lib target path-qualified is not a
+        // dependency edge.
+        let ws = WorkspaceModel::build(&[
+            SourceEntry::new("crates/demo/Cargo.toml", "[package]\nname = \"easytime-demo\"\n"),
+            SourceEntry::new(
+                "crates/demo/src/lib.rs",
+                "pub fn f() {}\nfn g() { crate::f(); }\n",
+            ),
+            SourceEntry::new(
+                "crates/demo/tests/it.rs",
+                "fn main() { easytime_demo::f(); }\n",
+            ),
+        ]);
+        let test_file = ws.files.iter().find(|f| f.path.ends_with("tests/it.rs")).unwrap();
+        // Recorded, but marked by file class as a non-library target.
+        assert_eq!(test_file.ext_refs.len(), 1);
+        assert_eq!(test_file.ext_refs[0].lib_name, "easytime_demo");
+    }
+
+    #[test]
+    fn restricted_visibility_is_neither_pub_nor_private() {
+        let ws = model(
+            "pub struct A;\n\
+             pub(crate) struct B;\n\
+             pub(in crate::detail) struct C;\n\
+             pub(super) struct D;\n\
+             struct E;\n",
+        );
+        let vises: Vec<(String, Vis)> =
+            ws.files[0].items.iter().map(|i| (i.name.clone(), i.vis)).collect();
+        assert_eq!(vises, vec![
+            ("A".to_string(), Vis::Pub),
+            ("B".to_string(), Vis::Restricted),
+            ("C".to_string(), Vis::Restricted),
+            ("D".to_string(), Vis::Restricted),
+            ("E".to_string(), Vis::Private),
+        ]);
+    }
+
+    #[test]
+    fn pub_in_path_groups_do_not_swallow_the_item_name() {
+        // The `(in crate::detail)` group must be skipped as a unit; the
+        // item is still parsed with its real name and kind.
+        let ws = model("pub(in crate::detail) fn tucked(x: u8) -> u8 { x }\n");
+        let item = &ws.files[0].items[0];
+        assert_eq!(item.kind, ItemKind::Fn);
+        assert_eq!(item.name, "tucked");
+        assert_eq!(item.vis, Vis::Restricted);
+    }
+
+    #[test]
+    fn string_and_comment_paths_are_not_use_evidence() {
+        // Path-shaped text inside literals and comments must not create
+        // ext_refs — R15's token check would otherwise flag doc prose.
+        let ws = model(
+            "/// Mentions easytime_automl::search in docs.\n\
+             // and easytime_qa::checks in a comment\n\
+             pub fn f() -> &'static str { \"easytime_bench::run\" }\n",
+        );
+        assert!(ws.files[0].ext_refs.is_empty(), "ext_refs: {:?}", ws.files[0].ext_refs);
+    }
+}

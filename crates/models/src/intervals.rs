@@ -26,6 +26,20 @@ pub struct IntervalForecast {
 }
 
 impl IntervalForecast {
+    /// Mean interval width across the horizon (test diagnostics).
+    #[cfg(test)]
+    pub(crate) fn mean_width(&self) -> f64 {
+        if self.point.is_empty() {
+            return 0.0;
+        }
+        self.lower
+            .iter()
+            .zip(&self.upper)
+            .map(|(lo, hi)| hi - lo)
+            .sum::<f64>()
+            / self.point.len() as f64
+    }
+
     /// Fraction of `actual` values falling inside the band.
     pub fn coverage(&self, actual: &[f64]) -> f64 {
         if actual.is_empty() {
@@ -39,18 +53,6 @@ impl IntervalForecast {
         inside as f64 / actual.len() as f64
     }
 
-    /// Mean band width.
-    pub fn mean_width(&self) -> f64 {
-        if self.point.is_empty() {
-            return 0.0;
-        }
-        self.lower
-            .iter()
-            .zip(&self.upper)
-            .map(|(lo, hi)| hi - lo)
-            .sum::<f64>()
-            / self.point.len() as f64
-    }
 }
 
 /// Produces an interval forecast for `spec` on `train`.

@@ -195,6 +195,7 @@ impl MultiForecaster for DynChannelIndependent {
 
 /// Runs an independent copy of a univariate forecaster on every channel —
 /// the "channel-independent" baseline that ignores cross-correlation.
+// lint: allow(dead-pub) — channel-independent multivariate strategy kept exported for the zoo's next milestone
 pub struct ChannelIndependent<F> {
     make: Box<dyn Fn() -> F + Send>,
     name: String,

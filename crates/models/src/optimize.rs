@@ -13,7 +13,7 @@
 ///
 /// Returns `None` when the grid is empty or every objective value is
 /// non-finite.
-pub fn grid_search(
+pub(crate) fn grid_search(
     axes: &[Vec<f64>],
     mut objective: impl FnMut(&[f64]) -> f64,
 ) -> Option<(Vec<f64>, f64)> {
@@ -53,7 +53,7 @@ pub fn grid_search(
 /// `max_iter` iterations, and returns the best point found with its
 /// objective value. Deterministic; suitable for the low-dimensional
 /// smoothing/ARMA objectives in this crate.
-pub fn nelder_mead(
+pub(crate) fn nelder_mead(
     x0: &[f64],
     step: f64,
     max_iter: usize,

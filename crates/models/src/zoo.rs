@@ -423,8 +423,9 @@ pub fn standard_zoo() -> Vec<ZooEntry> {
     ]
 }
 
-/// Names of the standard zoo in roster order.
-pub fn standard_zoo_names() -> Vec<String> {
+/// Names of the standard zoo in roster order (test diagnostics).
+#[cfg(test)]
+pub(crate) fn standard_zoo_names() -> Vec<String> {
     standard_zoo().iter().map(|e| e.spec.name()).collect()
 }
 

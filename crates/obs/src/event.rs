@@ -28,6 +28,7 @@ impl Level {
 
 /// A recorded event as it appears in `trace.jsonl`.
 #[derive(Debug, Clone, PartialEq)]
+// lint: allow(dead-pub) — reachable through TraceData's pub fields, which R17's item-signature scan does not cover
 pub struct EventRecord {
     /// Global sequence number; trace order interleaves events with span
     /// starts.

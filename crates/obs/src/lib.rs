@@ -57,7 +57,7 @@ mod span;
 
 pub use event::{EventRecord, Level};
 pub use json::fnv1a_hex;
-pub use metrics::{Histogram, DEFAULT_LATENCY_BOUNDS_MS};
+pub use metrics::Histogram;
 pub use sink::{render_metrics_json, render_trace_jsonl, write_files, FlushPaths, TraceData};
 pub use span::{AttrValue, SpanGuard, SpanRecord};
 
@@ -119,12 +119,14 @@ pub fn observe(name: &str, value: f64) {
 /// `bounds` (ascending). The bounds passed on the histogram's first sample
 /// win; later calls with different bounds still record into the existing
 /// buckets.
+// lint: allow(dead-pub) — histogram entry point with caller-chosen bounds; the R11-sanctioned surface
 pub fn observe_with(name: &str, bounds: &[f64], value: f64) {
     recorder::observe(name, bounds, value);
 }
 
 /// Records a structured event at `level`, attached to the innermost open
 /// span on this thread.
+// lint: allow(dead-pub) — the structured-diagnostics entry point R11 routes library output through
 pub fn event(level: Level, target: &str, message: &str) {
     recorder::event(level, target, message);
 }

@@ -7,7 +7,7 @@
 
 /// Default bucket upper bounds for latency histograms, in milliseconds:
 /// 1µs … 10s in decade steps.
-pub const DEFAULT_LATENCY_BOUNDS_MS: &[f64] =
+pub(crate) const DEFAULT_LATENCY_BOUNDS_MS: &[f64] =
     &[0.001, 0.01, 0.1, 1.0, 10.0, 100.0, 1_000.0, 10_000.0];
 
 /// A fixed-bucket histogram with an explicit overflow bucket.
@@ -38,7 +38,7 @@ impl Histogram {
 
     /// Index of the bucket `v` falls into, or `None` for the overflow
     /// bucket (above the last bound, NaN, or ±inf).
-    pub fn bucket_index(&self, v: f64) -> Option<usize> {
+    pub(crate) fn bucket_index(&self, v: f64) -> Option<usize> {
         if !v.is_finite() {
             return None;
         }
@@ -61,7 +61,7 @@ impl Histogram {
     /// match, counts merge elementwise; otherwise the other histogram's
     /// bucketed samples are preserved in this one's overflow bucket (the
     /// totals stay exact, only the placement degrades).
-    pub fn merge(&mut self, other: &Histogram) {
+    pub(crate) fn merge(&mut self, other: &Histogram) {
         self.total += other.total;
         self.sum_finite += other.sum_finite;
         if self.bounds == other.bounds {
@@ -97,7 +97,7 @@ impl Histogram {
 
     /// Sum of the finite samples (non-finite samples are counted but not
     /// summed).
-    pub fn sum_finite(&self) -> f64 {
+    pub(crate) fn sum_finite(&self) -> f64 {
         self.sum_finite
     }
 }

@@ -13,7 +13,7 @@ use std::path::{Path, PathBuf};
 
 /// Version of the `metrics.json` schema; CI fails when the emitted file
 /// doesn't carry this exact value, making schema drift loud.
-pub const METRICS_SCHEMA_VERSION: u64 = 1;
+pub(crate) const METRICS_SCHEMA_VERSION: u64 = 1;
 
 /// Everything recorded between two drains, ready for rendering.
 #[derive(Debug, Default, Clone, PartialEq)]

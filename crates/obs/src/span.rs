@@ -63,6 +63,7 @@ impl From<bool> for AttrValue {
 
 /// A finished span as it appears in `trace.jsonl`.
 #[derive(Debug, Clone, PartialEq)]
+// lint: allow(dead-pub) — reachable through TraceData's pub fields, which R17's item-signature scan does not cover
 pub struct SpanRecord {
     /// Unique span id (1-based; 0 is reserved for "no parent").
     pub id: u64,

@@ -66,7 +66,7 @@ fn describe_filters(intent: &Intent) -> String {
 }
 
 /// Renders the natural-language answer for an intent's query result.
-pub fn generate_answer(intent: &Intent, result: &QueryResult) -> String {
+pub(crate) fn generate_answer(intent: &Intent, result: &QueryResult) -> String {
     if result.rows.is_empty() {
         return format!(
             "No benchmark results match your question{}. Try relaxing the filters.",

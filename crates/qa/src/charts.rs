@@ -10,6 +10,7 @@ use easytime_db::{QueryResult, Value};
 
 /// Chart type.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+// lint: allow(dead-pub) — reachable through a pub field of an exported type, which R17's item-signature scan does not cover
 pub enum ChartKind {
     /// Categorical bars.
     Bar,
@@ -32,6 +33,7 @@ impl ChartKind {
 
 /// A renderable chart: labelled numeric points.
 #[derive(Debug, Clone, PartialEq)]
+// lint: allow(dead-pub) — reachable as a value through a pub field; R17's name-based liveness cannot see value flow
 pub struct ChartSpec {
     /// Chart type.
     pub kind: ChartKind,
@@ -49,7 +51,7 @@ impl ChartSpec {
     /// Builds a chart from a query result: the first text column provides
     /// labels and the first numeric column provides values. Returns `None`
     /// when the result has no such pair or no rows.
-    pub fn from_result(title: &str, result: &QueryResult) -> Option<ChartSpec> {
+    pub(crate) fn from_result(title: &str, result: &QueryResult) -> Option<ChartSpec> {
         if result.rows.is_empty() {
             return None;
         }

@@ -51,7 +51,7 @@ pub enum HorizonClass {
 
 impl HorizonClass {
     /// SQL predicate over the `horizon` column.
-    pub fn predicate(&self, column: &str) -> String {
+    pub(crate) fn predicate(&self, column: &str) -> String {
         match self {
             HorizonClass::Short => format!("{column} <= 24"),
             HorizonClass::Long => format!("{column} >= 96"),
@@ -115,7 +115,7 @@ impl Intent {
     /// explicitly win, everything else carries over from the session
     /// history (paper §II-D combines "Q&A history with the current user's
     /// natural language query").
-    pub fn merged_into(self, previous: &Intent, explicit: &ExplicitSlots) -> Intent {
+    pub(crate) fn merged_into(self, previous: &Intent, explicit: &ExplicitSlots) -> Intent {
         Intent {
             kind: if explicit.kind { self.kind } else { previous.kind.clone() },
             metric: if explicit.metric { self.metric } else { previous.metric.clone() },

@@ -72,8 +72,9 @@ impl QaSession {
         &self.lexicon
     }
 
-    /// Number of exchanges so far.
-    pub fn history_len(&self) -> usize {
+    /// Number of exchanges so far (test diagnostics).
+    #[cfg(test)]
+    pub(crate) fn history_len(&self) -> usize {
         self.history.len()
     }
 

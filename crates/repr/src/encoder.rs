@@ -158,14 +158,16 @@ impl Embedder {
         }
     }
 
-    /// True once [`Embedder::fit`] has run.
-    pub fn is_fitted(&self) -> bool {
+    /// True once [`Embedder::fit`] has run (test diagnostics).
+    #[cfg(test)]
+    pub(crate) fn is_fitted(&self) -> bool {
         self.norm.is_some()
     }
 }
 
-/// Cosine similarity between two embeddings.
-pub fn cosine_similarity(a: &[f64], b: &[f64]) -> f64 {
+/// Cosine similarity between two embeddings (test diagnostics).
+#[cfg(test)]
+pub(crate) fn cosine_similarity(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "embedding dimension mismatch");
     let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
     let na: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();

@@ -9,10 +9,12 @@ use easytime_data::characteristics::extract_values;
 use easytime_linalg::stats::{acf, kurtosis, mean, skewness, std_dev};
 
 /// Number of features produced by [`extract_features`].
-pub const FEATURE_DIM: usize = 16;
+pub(crate) const FEATURE_DIM: usize = 16;
 
-/// Names of the features, aligned with [`extract_features`] output.
-pub const FEATURE_NAMES: [&str; FEATURE_DIM] = [
+/// Names of the features, aligned with [`extract_features`] output (test
+/// diagnostics).
+#[cfg(test)]
+pub(crate) const FEATURE_NAMES: [&str; FEATURE_DIM] = [
     "cv",
     "skewness",
     "kurtosis",
@@ -45,7 +47,7 @@ pub fn extract_features(values: &[f64], period_hint: Option<usize>) -> Vec<f64> 
 /// Appends the canonical feature vector to `out` without allocating the
 /// result vector (internal characteristic extraction still allocates; the
 /// kernel-feature path is the one pinned allocation-free).
-pub fn extract_features_into(values: &[f64], period_hint: Option<usize>, out: &mut Vec<f64>) {
+pub(crate) fn extract_features_into(values: &[f64], period_hint: Option<usize>, out: &mut Vec<f64>) {
     let n = values.len();
     let mu = mean(values);
     let sigma = std_dev(values);

@@ -22,6 +22,32 @@ cargo run --release -q -p easytime-lint -- \
   --out results/lint.json
 cat results/lint.json
 
+echo "=== semantic lint (workspace model: R14-R17) ==="
+# The semantic pass gates the public-API snapshot (R14), crate layering
+# (R15), lock discipline (R16), and dead exports (R17). The committed
+# API baseline is the reviewed pub surface; regenerate deliberately with:
+#   cargo run -p easytime-lint -- --write-api-baseline scripts/api-baseline.txt
+#
+# Self-check: the committed baseline must be canonically ordered
+# (byte-sorted, duplicate-free) so diffs stay reviewable.
+grep -v '^#' scripts/api-baseline.txt | LC_ALL=C sort -c -u
+cargo run --release -q -p easytime-lint -- \
+  --format json \
+  --baseline scripts/lint-baseline.txt \
+  --api-baseline scripts/api-baseline.txt \
+  --semantic-out results/lint_semantic.json \
+  --out results/lint_full.json
+# Determinism: a second run must produce byte-identical semantic stats.
+cargo run --release -q -p easytime-lint -- \
+  --format json \
+  --baseline scripts/lint-baseline.txt \
+  --api-baseline scripts/api-baseline.txt \
+  --semantic-out results/lint_semantic.2.json \
+  --out /dev/null
+cmp results/lint_semantic.json results/lint_semantic.2.json
+rm -f results/lint_semantic.2.json
+cat results/lint_semantic.json
+
 echo "=== rolling throughput regression gate ==="
 # Times the rolling sweep under both refit policies, writes
 # results/BENCH_rolling.json, and exits nonzero if warm-start is slower
