@@ -117,7 +117,7 @@ impl Harness {
                 m.iters
             );
         }
-        // Best-effort: a failed flush must not fail the benchmark run.
+        // lint: allow(swallowed-result) — best-effort telemetry flush: a failed write must not fail the benchmark run
         let _ = easytime_obs::flush_if_enabled(std::path::Path::new("results"));
     }
 }

@@ -35,6 +35,7 @@ const NC: usize = 128;
 /// Depth (inner-dimension) blocking factor for the matrix–matrix product.
 const KC: usize = 256;
 
+// lint: hot(innermost reduction of every matvec/gram call; runs per window in the rolling loop)
 /// Dot product of two equal-length slices in four accumulator lanes.
 ///
 /// The reassociation order is fixed (`((s0 + s1) + (s2 + s3)) + tail`),
@@ -64,6 +65,7 @@ pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) + tail
 }
 
+// lint: hot(innermost update of the blocked matmul and transposed products)
 /// `y[i] += alpha * x[i]` over equal-length slices.
 ///
 /// No reduction is involved, so each output element has exactly one
@@ -79,6 +81,7 @@ pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
     }
 }
 
+// lint: hot(lane-parallel reduction used by scalers and metrics per window)
 /// Sum of a slice in four accumulator lanes with a fixed combine order.
 #[inline]
 pub fn sum(a: &[f64]) -> f64 {
@@ -94,6 +97,7 @@ pub fn sum(a: &[f64]) -> f64 {
     ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) + tail
 }
 
+// lint: hot(lane-parallel norm on the solver and metric paths)
 /// Euclidean norm `sqrt(Σ aᵢ²)` in four accumulator lanes.
 #[inline]
 pub fn norm2(a: &[f64]) -> f64 {
@@ -109,6 +113,7 @@ pub fn norm2(a: &[f64]) -> f64 {
     (((lanes[0] + lanes[1]) + (lanes[2] + lanes[3])) + tail).sqrt()
 }
 
+// lint: hot(blocked compute kernel; the panel scratch is caller-provided so steady state reuses it)
 /// Blocked matrix–matrix product `out = a * b` on row-major buffers.
 ///
 /// `a` is `m × k`, `b` is `k × n`, and `out` is `m × n` and must be
@@ -159,6 +164,7 @@ pub fn matmul(
     }
 }
 
+// lint: hot(per-forecast product on the ridge and ARIMA prediction paths)
 /// Matrix–vector product `out[i] = dot(a.row(i), v)` on a row-major buffer.
 ///
 /// `a` is `rows × cols`; each output element is one four-lane [`dot`], so
@@ -175,6 +181,7 @@ pub fn matvec(rows: usize, cols: usize, a: &[f64], v: &[f64], out: &mut [f64]) {
     }
 }
 
+// lint: hot(fused transpose product; the R13 replacement on per-window solve paths)
 /// Transposed matrix–vector product `out = aᵀ * v` without materializing
 /// the transpose.
 ///
@@ -195,6 +202,7 @@ pub fn tr_matvec(rows: usize, cols: usize, a: &[f64], v: &[f64], out: &mut [f64]
     }
 }
 
+// lint: hot(fused transpose product; the R13 replacement on normal-equation builds)
 /// Transposed matrix–matrix product `out = aᵀ * b` without materializing
 /// the transpose.
 ///
@@ -218,6 +226,7 @@ pub fn tr_matmul(m: usize, n: usize, p: usize, a: &[f64], b: &[f64], out: &mut [
     }
 }
 
+// lint: hot(ridge normal-equation build; packed scratch is caller-provided for reuse)
 /// Gram matrix `out = xᵀ * x` via a packed transpose panel.
 ///
 /// `x` is `rows × cols` row-major and `out` is `cols × cols`. The columns
@@ -250,6 +259,7 @@ pub fn gram(rows: usize, cols: usize, x: &[f64], packed: &mut Vec<f64>, out: &mu
     }
 }
 
+// lint: hot(per-kernel convolution of every embedding; works entirely in registers)
 /// Proportion-of-positive-values and maximum of one dilated convolution.
 ///
 /// Applies the ROCKET kernel `weights` with the given `bias` and

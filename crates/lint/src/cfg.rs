@@ -1,0 +1,328 @@
+//! Phase 3, step 1: per-function **control-flow sketches**.
+//!
+//! A [`CfgSketch`] is the region tree of one function body: every brace
+//! group inside the body becomes a [`Region`] classified as a loop body,
+//! branch body, match body, or plain block from the tokens of its header,
+//! plus the statement boundaries (`;` at the region's own depth). The
+//! sketch is deliberately *total*: it is built from the same lexed token
+//! stream the rest of the analyzer uses, never panics on malformed input
+//! (an unbalanced group clamps to its enclosing region), and is locked in
+//! by the seeded token-soup suite in `crates/lint/tests/cfg_properties.rs`.
+//!
+//! The effect pass ([`crate::effects`]) consumes one question from the
+//! sketch: *is this code index in loop position* — inside the body of a
+//! `loop` / `while` / `for` — which is what gives R18 its
+//! one-time-setup-outside-loops exemption. Closure bodies passed to
+//! iterator combinators (`.for_each(|x| { … })`) classify as plain blocks,
+//! an accepted false negative documented in DESIGN.md §Effect analysis.
+
+use crate::engine::SourceFile;
+use crate::lexer::TokenKind;
+
+/// What introduced a region's brace group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegionKind {
+    /// The function body itself (always region 0).
+    Body,
+    /// A `loop` / `while` / `for` body.
+    Loop,
+    /// An `if` / `else` body.
+    Branch,
+    /// A `match` body (the arm blocks inside are separate regions).
+    Match,
+    /// Any other brace group: plain blocks, closures, struct literals,
+    /// match-arm blocks.
+    Block,
+}
+
+/// One brace-delimited region of a function body, in code-token indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Region {
+    /// Region kind derived from the header tokens before the `{`.
+    pub kind: RegionKind,
+    /// Code index of the opening `{` (the body's own `{` for region 0).
+    pub open: usize,
+    /// Code index of the matching `}`, clamped to the enclosing region's
+    /// close when the group is unbalanced (totality on token soup).
+    pub close: usize,
+    /// Index of the enclosing region in [`CfgSketch::regions`]; `None`
+    /// only for the root body region.
+    pub parent: Option<usize>,
+    /// Code indices of `;` statement boundaries directly in this region
+    /// (boundaries inside child regions belong to the children).
+    pub stmts: Vec<usize>,
+}
+
+/// The region tree of one function body. `regions[0]` is always the body
+/// itself; children strictly nest inside their parent and siblings never
+/// overlap — the tiling invariant the property suite checks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CfgSketch {
+    /// All regions, root first, in opening order.
+    pub regions: Vec<Region>,
+}
+
+impl CfgSketch {
+    /// True when code index `k` lies strictly inside the body of a
+    /// `loop` / `while` / `for` region.
+    pub fn in_loop(&self, k: usize) -> bool {
+        self.regions.iter().any(|r| r.kind == RegionKind::Loop && r.open < k && k < r.close)
+    }
+
+    /// Index into [`Self::regions`] of the tightest region containing
+    /// code index `k` (region 0 when no nested group does).
+    pub fn innermost(&self, k: usize) -> usize {
+        let mut best = 0usize;
+        let mut best_span = usize::MAX;
+        for (i, r) in self.regions.iter().enumerate() {
+            if r.open <= k && k <= r.close {
+                let span = r.close - r.open;
+                if span < best_span {
+                    best_span = span;
+                    best = i;
+                }
+            }
+        }
+        best
+    }
+}
+
+/// One named function's control-flow sketch, as found by the lightweight
+/// `fn`-scan of [`file_cfgs`] — the public entry the token-soup property
+/// tests drive.
+#[derive(Debug, Clone)]
+pub struct FnCfg {
+    /// Function name as written (soup names are opaque strings).
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// The region tree of the body.
+    pub sketch: CfgSketch,
+}
+
+/// Builds a [`FnCfg`] for every `fn name … { … }` found in `src`,
+/// including functions nested inside other bodies. Total by construction:
+/// any input yields a (possibly empty) list and every returned sketch
+/// satisfies the tiling invariants checked by the property suite.
+pub fn file_cfgs(src: &str) -> Vec<FnCfg> {
+    let sf = SourceFile::parse(src);
+    let n = sf.code.len();
+    let mut out = Vec::new();
+    let mut k = 0usize;
+    while k < n {
+        let named = sf.is_ident(k, "fn")
+            && sf.ct(k + 1).is_some_and(|t| t.kind == TokenKind::Ident);
+        if !named {
+            k += 1;
+            continue;
+        }
+        // Find the body `{` before any `;` terminator (trait method decls
+        // have no body); bounded so soup cannot stall the scan.
+        let mut m = k + 2;
+        let mut body: Option<(usize, usize)> = None;
+        while m < n && m < k + 600 {
+            if sf.is_punct(m, '{') {
+                let close = sf.matching_close(m).unwrap_or(n.saturating_sub(1)).max(m);
+                body = Some((m, close));
+                break;
+            }
+            if sf.is_punct(m, ';') {
+                break;
+            }
+            m += 1;
+        }
+        let Some((open, close)) = body else {
+            k += 1;
+            continue;
+        };
+        let line = sf.ct(k).map_or(1, |t| t.line);
+        out.push(FnCfg {
+            name: sf.ctext(k + 1).to_string(),
+            line,
+            sketch: sketch_body(&sf, open, close),
+        });
+        // Continue just past the `{` so nested fns are sketched too.
+        k = open + 1;
+    }
+    out
+}
+
+/// Builds the region tree for the body delimited by the braces at code
+/// indices `open` and `close`. Never panics: malformed nesting clamps to
+/// the enclosing region and the walk is a single bounded pass.
+pub(crate) fn sketch_body(sf: &SourceFile<'_>, open: usize, close: usize) -> CfgSketch {
+    let close = close.max(open);
+    let mut regions = vec![Region {
+        kind: RegionKind::Body,
+        open,
+        close,
+        parent: None,
+        stmts: Vec::new(),
+    }];
+    let mut stack: Vec<usize> = vec![0];
+    let mut q = open + 1;
+    while q < close {
+        // Leave every region that ends at or before this token.
+        while stack.len() > 1 {
+            let top = *stack.last().unwrap_or(&0);
+            if regions[top].close <= q {
+                stack.pop();
+            } else {
+                break;
+            }
+        }
+        let top = *stack.last().unwrap_or(&0);
+        if sf.is_punct(q, '{') {
+            let parent_close = regions[top].close;
+            let rclose = sf.matching_close(q).unwrap_or(parent_close).min(parent_close);
+            let kind = classify_open(sf, q, regions[top].open);
+            regions.push(Region {
+                kind,
+                open: q,
+                close: rclose,
+                parent: Some(top),
+                stmts: Vec::new(),
+            });
+            stack.push(regions.len() - 1);
+        } else if sf.is_punct(q, ';') {
+            regions[top].stmts.push(q);
+        }
+        q += 1;
+    }
+    CfgSketch { regions }
+}
+
+/// Classifies the brace at code index `brace` by scanning its header
+/// backwards to the nearest statement boundary: a control keyword at
+/// group depth 0 names the region; hitting `{` / `}` / `;` or an
+/// unmatched `(` / `[` first (the brace is an argument or closure body)
+/// makes it a plain block.
+fn classify_open(sf: &SourceFile<'_>, brace: usize, floor: usize) -> RegionKind {
+    let mut p = brace;
+    let mut depth = 0i64;
+    let mut hops = 0usize;
+    while p > floor && hops < 120 {
+        p -= 1;
+        hops += 1;
+        if sf.is_punct(p, ')') || sf.is_punct(p, ']') {
+            depth += 1;
+            continue;
+        }
+        if sf.is_punct(p, '(') || sf.is_punct(p, '[') {
+            depth -= 1;
+            if depth < 0 {
+                return RegionKind::Block;
+            }
+            continue;
+        }
+        if depth > 0 {
+            continue;
+        }
+        if sf.is_punct(p, '{') || sf.is_punct(p, '}') || sf.is_punct(p, ';') {
+            return RegionKind::Block;
+        }
+        if sf.is_ident(p, "loop") || sf.is_ident(p, "while") || sf.is_ident(p, "for") {
+            return RegionKind::Loop;
+        }
+        if sf.is_ident(p, "if") || sf.is_ident(p, "else") {
+            return RegionKind::Branch;
+        }
+        if sf.is_ident(p, "match") {
+            return RegionKind::Match;
+        }
+    }
+    RegionKind::Block
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sketch_of(src: &str) -> CfgSketch {
+        let cfgs = file_cfgs(src);
+        assert_eq!(cfgs.len(), 1, "expected exactly one fn in {src:?}");
+        cfgs[0].sketch.clone()
+    }
+
+    fn kinds(s: &CfgSketch) -> Vec<RegionKind> {
+        s.regions.iter().map(|r| r.kind).collect()
+    }
+
+    #[test]
+    fn loops_branches_and_matches_classify_from_headers() {
+        let s = sketch_of(
+            "fn f(xs: &[u32]) {\n\
+             \x20   for x in xs.iter() { touch(x); }\n\
+             \x20   while ready() { step(); }\n\
+             \x20   loop { break; }\n\
+             \x20   if xs.is_empty() { a(); } else { b(); }\n\
+             \x20   match xs.len() { 0 => {} _ => { c(); } }\n\
+             }\n",
+        );
+        use RegionKind::*;
+        assert_eq!(
+            kinds(&s),
+            vec![Body, Loop, Loop, Loop, Branch, Branch, Match, Block, Block]
+        );
+    }
+
+    #[test]
+    fn in_loop_is_strict_and_ignores_setup_positions() {
+        let src = "fn f(n: usize) {\n\
+                   \x20   let setup = prepare(n);\n\
+                   \x20   for i in 0..n {\n\
+                   \x20       hot(i, &setup);\n\
+                   \x20   }\n\
+                   \x20   teardown(setup);\n\
+                   }\n";
+        let sf = SourceFile::parse(src);
+        let s = sketch_of(src);
+        let at = |name: &str| {
+            (0..sf.code.len()).find(|&k| sf.is_ident(k, name)).unwrap_or(usize::MAX)
+        };
+        assert!(s.in_loop(at("hot")));
+        assert!(!s.in_loop(at("prepare")));
+        assert!(!s.in_loop(at("teardown")));
+    }
+
+    #[test]
+    fn statement_boundaries_attach_to_their_innermost_region() {
+        let src = "fn f() { a(); if x { b(); c(); } }\n";
+        let s = sketch_of(src);
+        assert_eq!(s.regions[0].stmts.len(), 1, "only `a();` is at body depth");
+        assert_eq!(s.regions[1].stmts.len(), 2, "`b();` and `c();` sit in the branch");
+        for (i, r) in s.regions.iter().enumerate() {
+            for &st in &r.stmts {
+                assert_eq!(s.innermost(st), i);
+            }
+        }
+    }
+
+    #[test]
+    fn unbalanced_braces_clamp_to_the_enclosing_region() {
+        // The inner `{` never closes; its region must clamp to the body.
+        let cfgs = file_cfgs("fn f() { if x { a(); }\n");
+        assert_eq!(cfgs.len(), 1);
+        let s = &cfgs[0].sketch;
+        for r in &s.regions[1..] {
+            let p = r.parent.unwrap_or(0);
+            assert!(r.open > s.regions[p].open);
+            assert!(r.close <= s.regions[p].close);
+        }
+    }
+
+    #[test]
+    fn closure_bodies_are_plain_blocks() {
+        let s = sketch_of("fn f(xs: &[u32]) { xs.iter().for_each(|x| { touch(x); }); }\n");
+        assert!(s.regions[1..].iter().all(|r| r.kind == RegionKind::Block));
+        // Deliberate false negative: combinator bodies are not loop regions.
+        assert!(!s.in_loop(s.regions[1].open + 1));
+    }
+
+    #[test]
+    fn nested_fns_are_sketched_separately() {
+        let cfgs = file_cfgs("fn outer() { fn inner() { loop {} } inner(); }\n");
+        let names: Vec<&str> = cfgs.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["outer", "inner"]);
+    }
+}

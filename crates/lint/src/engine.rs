@@ -24,6 +24,8 @@ pub(crate) struct SourceFile<'a> {
     test_regions: Vec<(usize, usize)>,
     /// Escape-hatch annotations found in comments.
     allows: Vec<AllowMark>,
+    /// Hot-path declarations found in comments.
+    hots: Vec<HotMark>,
 }
 
 /// One `// lint: allow(<name>) — <why>` marker resolved to a target line.
@@ -41,15 +43,37 @@ pub struct AllowMark {
     pub justified: bool,
 }
 
+/// One `// lint: hot(<why>)` marker: declares the next function a hot
+/// path whose loop-position effect closure R18 must prove allocation-free.
+#[derive(Debug, Clone, PartialEq, Eq)]
+// lint: allow(dead-pub) — reachable through a pub field of an exported type, which R17's item-signature scan does not cover
+pub struct HotMark {
+    /// The `<why>` inside `hot(…)` — why this path is latency-critical.
+    pub why: String,
+    /// 1-based line the marker targets (the marker's own line for trailing
+    /// comments, else the next code line below the comment block).
+    pub target_line: usize,
+    /// 1-based line the marker itself sits on (for diagnostics).
+    pub marker_line: usize,
+}
+
 impl<'a> SourceFile<'a> {
     /// Lexes `src` and builds the region/annotation indexes.
     pub fn parse(src: &'a str) -> Self {
         let tokens = lex(src);
         let code: Vec<usize> =
             (0..tokens.len()).filter(|&i| !tokens[i].is_trivia()).collect();
-        let mut sf = SourceFile { src, tokens, code, test_regions: Vec::new(), allows: Vec::new() };
+        let mut sf = SourceFile {
+            src,
+            tokens,
+            code,
+            test_regions: Vec::new(),
+            allows: Vec::new(),
+            hots: Vec::new(),
+        };
         sf.test_regions = sf.find_test_regions();
         sf.allows = sf.find_allows();
+        sf.hots = sf.find_hots();
         sf
     }
 
@@ -254,6 +278,46 @@ impl<'a> SourceFile<'a> {
         out
     }
 
+    /// Collects `lint: hot(<why>)` markers from comment tokens, resolving
+    /// each to the line it targets with the same trailing-vs-standalone
+    /// rule as [`Self::find_allows`]. Only plain (non-doc) comments count:
+    /// documentation regularly *mentions* the marker syntax while
+    /// describing it, and a doc comment is rendered API prose, not an
+    /// annotation channel.
+    fn find_hots(&self) -> Vec<HotMark> {
+        let mut out = Vec::new();
+        for (i, tok) in self.tokens.iter().enumerate() {
+            if !matches!(tok.kind, TokenKind::Comment { doc: crate::lexer::Doc::None, .. }) {
+                continue;
+            }
+            let text = tok.text(self.src);
+            let Some(pos) = text.find("lint: hot(") else {
+                continue;
+            };
+            let after = &text[pos + "lint: hot(".len()..];
+            let Some(close) = after.find(')') else {
+                continue;
+            };
+            let why = after[..close].trim().to_string();
+            let trailing = self.tokens[..i]
+                .iter()
+                .rev()
+                .take_while(|t| t.line == tok.line)
+                .any(|t| !t.is_trivia());
+            let target_line = if trailing {
+                tok.line
+            } else {
+                let (_, block_end) = self.comment_block(i);
+                self.tokens[block_end + 1..]
+                    .iter()
+                    .find(|t| !t.is_trivia())
+                    .map_or(tok.line, |t| t.line)
+            };
+            out.push(HotMark { why, target_line, marker_line: tok.line });
+        }
+        out
+    }
+
     /// The maximal run of comment tokens around token `i` separated only
     /// by whitespace that contains no blank line. Returns token indices
     /// `(first, last)` of the run.
@@ -352,6 +416,11 @@ impl<'a> SourceFile<'a> {
     pub(crate) fn allows(&self) -> &[AllowMark] {
         &self.allows
     }
+
+    /// All hot-path declarations found in the file, in source order.
+    pub(crate) fn hots(&self) -> &[HotMark] {
+        &self.hots
+    }
 }
 
 #[cfg(test)]
@@ -444,6 +513,24 @@ let b = y.unwrap();
         // cannot borrow text from the lower comment…
         let mark = sf.allows.iter().find(|a| a.name == "panic");
         assert!(mark.is_some_and(|a| !a.justified));
+    }
+
+    #[test]
+    fn hot_marks_resolve_past_doc_comments_and_attributes() {
+        let src = "\
+// lint: hot(steady-state eval window loop)
+/// Docs for the hot function.
+#[inline]
+pub fn warm() {}
+fn other() {} // lint: hot(per-window scoring path)
+";
+        let sf = SourceFile::parse(src);
+        let hots = sf.hots();
+        assert_eq!(hots.len(), 2);
+        assert_eq!(hots[0].target_line, 3, "block marker targets the next code line");
+        assert_eq!(hots[0].why, "steady-state eval window loop");
+        assert_eq!(hots[1].target_line, 5, "trailing marker targets its own line");
+        assert_eq!(hots[1].marker_line, 5);
     }
 
     #[test]

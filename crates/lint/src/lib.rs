@@ -66,6 +66,20 @@
 //!   cross-crate uses is a warning: demote it to `pub(crate)`, delete it,
 //!   or annotate with `// lint: allow(dead-pub) — <why>`.
 //!
+//! The **effect rules** (R18–R20) run over per-function control-flow
+//! sketches ([`cfg`]) and the interprocedural effect table ([`effects`])
+//! in a third phase:
+//!
+//! * **R18 hot-path-alloc** — functions annotated `// lint: hot(<why>)`
+//!   must not reach an allocating effect from loop position; one-time
+//!   setup outside loops is exempt, and the hot list is bound to the
+//!   runtime counting-allocator suites by a sync test.
+//! * **R19 swallowed-result** — no discarded `Result` in library code:
+//!   `let _ = call(…)`, whole-statement `….ok();`, and
+//!   `call(…).unwrap_or_default()` on a `Result`-returning workspace call.
+//! * **R20 lock-while-heavy** — no lock held across a call whose closed
+//!   effect summary allocates or does file IO.
+//!
 //! Any rule can be waived for one statement with an escape-hatch comment
 //! carrying a mandatory justification:
 //!
@@ -82,6 +96,8 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 
 pub mod api;
+pub mod cfg;
+pub mod effects;
 pub mod engine;
 pub mod lexer;
 pub mod locks;
@@ -126,6 +142,12 @@ pub enum Rule {
     LockDiscipline,
     /// R17: no `pub` items without any cross-crate user.
     DeadPub,
+    /// R18: hot-path functions reach no allocation from loop position.
+    HotPathAlloc,
+    /// R19: no discarded `Result` in library code.
+    SwallowedResult,
+    /// R20: no lock held across an allocating or IO-doing call.
+    LockWhileHeavy,
     /// A malformed escape-hatch annotation.
     BadAnnotation,
 }
@@ -151,6 +173,9 @@ impl Rule {
             Rule::CrateLayering => "R15",
             Rule::LockDiscipline => "R16",
             Rule::DeadPub => "R17",
+            Rule::HotPathAlloc => "R18",
+            Rule::SwallowedResult => "R19",
+            Rule::LockWhileHeavy => "R20",
             Rule::BadAnnotation => "R0",
         }
     }
@@ -175,6 +200,9 @@ impl Rule {
             Rule::CrateLayering => "crate-layering",
             Rule::LockDiscipline => "lock-discipline",
             Rule::DeadPub => "dead-pub",
+            Rule::HotPathAlloc => "hot-path-alloc",
+            Rule::SwallowedResult => "swallowed-result",
+            Rule::LockWhileHeavy => "lock-while-heavy",
             Rule::BadAnnotation => "",
         }
     }
@@ -338,6 +366,40 @@ pub const RULE_DOCS: &[RuleDoc] = &[
                     pub(crate), delete it, or justify why it is deliberately speculative",
         scope: "pub items in library code of every crate except the easytime facade; uses in \
                 the crate's own bins/tests/benches count",
+    },
+    RuleDoc {
+        code: "R18",
+        allow: "hot-path-alloc",
+        enforces: "functions annotated `// lint: hot(<why>)` reach no allocating effect from \
+                   loop position",
+        rationale: "the steady-state serving loops must not allocate per iteration; the rule \
+                    closes allocation effects over the call graph with loop-position \
+                    granularity, so one-time setup outside loops stays legal while a \
+                    Vec::new three calls deep inside the loop is caught — and a sync test \
+                    binds the hot list to the runtime counting-allocator suites",
+        scope: "non-test functions targeted by a `// lint: hot(<why>)` marker",
+    },
+    RuleDoc {
+        code: "R19",
+        allow: "swallowed-result",
+        enforces: "no discarded Result in library code (`let _ =`, statement-position `.ok()`, \
+                   `unwrap_or_default()` on a Result-returning call)",
+        rationale: "a silently dropped Result turns a typed failure into a wrong answer; the \
+                    rule resolves the discarded call against the workspace signature table so \
+                    only real Result returns fire",
+        scope: "library code (tests, benches, examples, and binaries are exempt)",
+    },
+    RuleDoc {
+        code: "R20",
+        allow: "lock-while-heavy",
+        enforces: "no lock held across a call whose closed effect summary allocates or does \
+                   file IO",
+        rationale: "heap allocation and IO under a lock stretch the critical section by \
+                    unbounded latency, starving every other tenant of the serving engine; \
+                    the held-region analysis is the R16 one, the heaviness verdict comes \
+                    from the transitive effect closure",
+        scope: "non-test functions, with call resolution restricted to each crate's \
+                transitive dependencies",
     },
 ];
 
@@ -591,14 +653,22 @@ pub struct SemanticStats {
     pub lock_identities: usize,
     /// Edges in the transitively-closed lock-order graph.
     pub lock_order_edges: usize,
+    /// Local effect sites across all function summaries.
+    pub effect_sites: usize,
+    /// Discarded-result candidate sites across all function summaries.
+    pub discard_sites: usize,
+    /// Functions targeted by a `// lint: hot(<why>)` marker.
+    pub hot_fns: usize,
     /// Emitted diagnostics per semantic rule code (R0 included).
     pub rule_counts: Vec<(String, usize)>,
 }
 
-/// Renders [`SemanticStats`] as a stable JSON object.
+/// Renders [`SemanticStats`] as a stable JSON object. Schema version 2
+/// added the phase-3 effect counts (`effect_sites`, `discard_sites`,
+/// `hot_fns`) and the R18–R20 rule buckets.
 pub fn semantic_stats_to_json(s: &SemanticStats) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema_version\": 1,\n");
+    out.push_str("  \"schema_version\": 2,\n");
     out.push_str(&format!("  \"crates\": {},\n", s.crates));
     out.push_str(&format!("  \"files\": {},\n", s.files));
     out.push_str(&format!("  \"items\": {},\n", s.items));
@@ -610,6 +680,9 @@ pub fn semantic_stats_to_json(s: &SemanticStats) -> String {
     out.push_str(&format!("  \"lock_sites\": {},\n", s.lock_sites));
     out.push_str(&format!("  \"lock_identities\": {},\n", s.lock_identities));
     out.push_str(&format!("  \"lock_order_edges\": {},\n", s.lock_order_edges));
+    out.push_str(&format!("  \"effect_sites\": {},\n", s.effect_sites));
+    out.push_str(&format!("  \"discard_sites\": {},\n", s.discard_sites));
+    out.push_str(&format!("  \"hot_fns\": {},\n", s.hot_fns));
     out.push_str("  \"rules\": {");
     for (i, (code, count)) in s.rule_counts.iter().enumerate() {
         if i > 0 {
@@ -621,10 +694,10 @@ pub fn semantic_stats_to_json(s: &SemanticStats) -> String {
     out
 }
 
-/// Phase 2: builds the workspace model and runs the semantic rules
+/// Phase 2+3: builds the workspace model and runs the semantic rules
 /// (R15–R17, plus R14 when `api_baseline` carries the committed baseline
-/// text and its display path). Returns the diagnostics sorted by
-/// `(file, line, code, message)` and the size stats.
+/// text and its display path) and the effect rules (R18–R20). Returns the
+/// diagnostics sorted by `(file, line, code, message)` and the size stats.
 pub fn analyze_workspace(
     sources: &[model::SourceEntry],
     api_baseline: Option<(&str, &str)>,
@@ -632,11 +705,13 @@ pub fn analyze_workspace(
     let ws = model::WorkspaceModel::build(sources);
     let entries = api::api_entries(&ws);
     let graph = locks::build_lock_graph(&ws);
+    let effect_table = effects::build_effect_table(&ws);
 
     let mut diags = Vec::new();
     diags.extend(resolve::check_layering(&ws));
     diags.extend(resolve::check_dead_pub(&ws));
     diags.extend(locks::check_locks(&ws, &graph));
+    diags.extend(effects::check_effects(&ws, &effect_table));
     if let Some((path, text)) = api_baseline {
         diags.extend(api::check_api_baseline(&entries, text, path));
     }
@@ -650,8 +725,18 @@ pub fn analyze_workspace(
     });
     diags.dedup();
 
-    let mut rule_counts: std::collections::BTreeMap<&str, usize> =
-        [("R14", 0), ("R15", 0), ("R16", 0), ("R17", 0), ("R0", 0)].into_iter().collect();
+    let mut rule_counts: std::collections::BTreeMap<&str, usize> = [
+        ("R14", 0),
+        ("R15", 0),
+        ("R16", 0),
+        ("R17", 0),
+        ("R18", 0),
+        ("R19", 0),
+        ("R20", 0),
+        ("R0", 0),
+    ]
+    .into_iter()
+    .collect();
     for d in &diags {
         *rule_counts.entry(d.rule.code()).or_insert(0) += 1;
     }
@@ -667,9 +752,22 @@ pub fn analyze_workspace(
         lock_sites: ws.lock_site_count(),
         lock_identities: graph.identities.len(),
         lock_order_edges: graph.edges.len(),
+        effect_sites: ws.files.iter().flat_map(|f| &f.fns).map(|f| f.effects.len()).sum(),
+        discard_sites: ws.files.iter().flat_map(|f| &f.fns).map(|f| f.discards.len()).sum(),
+        hot_fns: effect_table.fns.values().filter(|fe| fe.hot).count(),
         rule_counts: rule_counts.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
     };
     (diags, stats)
+}
+
+/// Phase 3 artifact: builds the workspace model and renders the closed
+/// effect table as schema-versioned JSON (the `--effects-out` payload).
+/// Input order does not matter — the model sorts sources by path and the
+/// table is BTree-keyed, so the bytes are identical for any discovery
+/// order.
+pub fn workspace_effect_table_json(sources: &[model::SourceEntry]) -> String {
+    let ws = model::WorkspaceModel::build(sources);
+    effects::effect_table_to_json(&effects::build_effect_table(&ws))
 }
 
 fn collect_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
@@ -781,7 +879,7 @@ pub fn diagnostics_to_json(diags: &[Diagnostic]) -> String {
     out
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

@@ -45,20 +45,22 @@ pub struct LockGraph {
 /// Per-function index key: `(crate, fn name)`. Methods share the key with
 /// free functions of the same name — name-based resolution is deliberately
 /// conservative (may merge, never misses a same-crate callee).
-type FnKey = (String, String);
+pub(crate) type FnKey = (String, String);
 
-/// Everything the checker needs precomputed from the model.
-struct Index<'a> {
+/// Everything the checker needs precomputed from the model. The phase-3
+/// effect pass ([`crate::effects`]) reuses the same index so both analyses
+/// resolve calls identically.
+pub(crate) struct Index<'a> {
     /// Function summaries by `(crate, name)`.
-    fns: BTreeMap<FnKey, Vec<(&'a str, &'a FnSummary)>>,
+    pub(crate) fns: BTreeMap<FnKey, Vec<(&'a str, &'a FnSummary)>>,
     /// For each crate: itself plus its transitive normal dependencies.
-    reachable: BTreeMap<&'a str, BTreeSet<&'a str>>,
+    pub(crate) reachable: BTreeMap<&'a str, BTreeSet<&'a str>>,
     /// Transitive lock acquisitions per `(crate, fn name)` key.
     trans_acquires: BTreeMap<FnKey, BTreeSet<LockId>>,
 }
 
 /// Builds the `(crate, fn)` index and the transitive-acquisition fixpoint.
-fn build_index<'a>(ws: &'a WorkspaceModel) -> Index<'a> {
+pub(crate) fn build_index<'a>(ws: &'a WorkspaceModel) -> Index<'a> {
     let mut fns: BTreeMap<FnKey, Vec<(&str, &FnSummary)>> = BTreeMap::new();
     for f in &ws.files {
         if f.crate_name.is_empty() {

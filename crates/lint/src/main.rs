@@ -3,22 +3,25 @@
 //! ```text
 //! easytime-lint [--format text|json] [--baseline PATH] [--write-baseline PATH]
 //!               [--api-baseline PATH] [--write-api-baseline PATH]
-//!               [--semantic-out PATH] [--severity CODE=LEVEL]...
-//!               [--explain RULE] [--out PATH]
+//!               [--semantic-out PATH] [--effects-out PATH]
+//!               [--severity CODE=LEVEL]... [--explain RULE] [--out PATH]
 //! ```
 //!
-//! Phase 1 (per-file rules R1–R13) always runs; phase 2 (the workspace
-//! model and semantic rules R15–R17, plus R14 when `--api-baseline` is
-//! given) runs on the same path-sorted source set. `--semantic-out` writes
-//! the semantic size stats as JSON. Exits non-zero iff any non-baselined
-//! diagnostic has `error` severity.
+//! Phase 1 (per-file rules R1–R13) always runs; phases 2 and 3 (the
+//! workspace model with semantic rules R15–R17 — plus R14 when
+//! `--api-baseline` is given — and the effect rules R18–R20) run on the
+//! same path-sorted source set. `--semantic-out` writes the semantic size
+//! stats as JSON; `--effects-out` writes the closed per-function effect
+//! table. Exits non-zero iff any non-baselined diagnostic has `error`
+//! severity.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use easytime_lint::{
     analyze_workspace, api, apply_severities, collect_workspace_sources, diagnostics_to_json,
-    lint_sources, model, rule_doc, semantic_stats_to_json, Baseline, Severity,
+    lint_sources, model, rule_doc, semantic_stats_to_json, workspace_effect_table_json, Baseline,
+    Severity,
 };
 
 enum Format {
@@ -33,6 +36,7 @@ struct Options {
     api_baseline: Option<PathBuf>,
     write_api_baseline: Option<PathBuf>,
     semantic_out: Option<PathBuf>,
+    effects_out: Option<PathBuf>,
     out: Option<PathBuf>,
     severities: Vec<(String, Severity)>,
     explain: Option<String>,
@@ -46,6 +50,7 @@ fn parse_args() -> Result<Options, String> {
         api_baseline: None,
         write_api_baseline: None,
         semantic_out: None,
+        effects_out: None,
         out: None,
         severities: Vec::new(),
         explain: None,
@@ -77,6 +82,9 @@ fn parse_args() -> Result<Options, String> {
             "--semantic-out" => {
                 opts.semantic_out = Some(value_for("--semantic-out", &mut args)?.into());
             }
+            "--effects-out" => {
+                opts.effects_out = Some(value_for("--effects-out", &mut args)?.into());
+            }
             "--out" => opts.out = Some(value_for("--out", &mut args)?.into()),
             "--severity" => {
                 let spec = value_for("--severity", &mut args)?;
@@ -93,8 +101,8 @@ fn parse_args() -> Result<Options, String> {
                     "usage: easytime-lint [--format text|json] [--baseline PATH]\n\
                      \x20                    [--write-baseline PATH] [--api-baseline PATH]\n\
                      \x20                    [--write-api-baseline PATH] [--semantic-out PATH]\n\
-                     \x20                    [--severity CODE=LEVEL]... [--explain RULE]\n\
-                     \x20                    [--out PATH]"
+                     \x20                    [--effects-out PATH] [--severity CODE=LEVEL]...\n\
+                     \x20                    [--explain RULE] [--out PATH]"
                 );
                 return Err(String::new());
             }
@@ -204,6 +212,13 @@ fn main() -> ExitCode {
 
     if let Some(path) = &opts.semantic_out {
         if let Err(e) = std::fs::write(path, semantic_stats_to_json(&stats)) {
+            eprintln!("easytime-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if let Some(path) = &opts.effects_out {
+        if let Err(e) = std::fs::write(path, workspace_effect_table_json(&sources)) {
             eprintln!("easytime-lint: cannot write {}: {e}", path.display());
             return ExitCode::from(2);
         }

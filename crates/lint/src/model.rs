@@ -16,7 +16,8 @@
 //! entirely. Known limits are documented in DESIGN.md §Static analysis
 //! architecture.
 
-use crate::engine::{AllowMark, SourceFile};
+use crate::effects::{CallSite, DiscardSite, Effect, EffectSite};
+use crate::engine::{AllowMark, HotMark, SourceFile};
 use crate::lexer::TokenKind;
 use crate::{classify, FileClass};
 use std::collections::{BTreeMap, BTreeSet};
@@ -153,6 +154,12 @@ pub struct FnSummary {
     pub calls: BTreeSet<String>,
     /// Lock acquisitions in body order.
     pub acquires: Vec<Acquisition>,
+    /// Local effect sites in body order (the phase-3 effect pass).
+    pub effects: Vec<EffectSite>,
+    /// Call sites with loop position, in body order.
+    pub call_sites: Vec<CallSite>,
+    /// Discarded-result candidate sites in body order (R19).
+    pub discards: Vec<DiscardSite>,
 }
 
 /// One `use` declaration, token paths flattened to segments.
@@ -203,6 +210,8 @@ pub struct FileModel {
     pub mentions: BTreeSet<String>,
     /// Escape-hatch annotations (for the semantic rules' allow checks).
     pub allows: Vec<AllowMark>,
+    /// `// lint: hot(<why>)` declarations (resolved to functions by R18).
+    pub hots: Vec<HotMark>,
 }
 
 /// One crate manifest: package name, directory, and dependency edges.
@@ -240,7 +249,7 @@ const LOCK_METHODS: [&str; 2] = ["lock", "lock_poisoned"];
 /// (the `lock(&mutex)` poison-recovering helper convention).
 const LOCK_HELPERS: [&str; 2] = ["lock", "lock_poisoned"];
 /// Keywords never counted as call names even when followed by `(`.
-const NON_CALL_KEYWORDS: [&str; 12] = [
+pub(crate) const NON_CALL_KEYWORDS: [&str; 12] = [
     "if", "while", "for", "match", "loop", "return", "fn", "let", "move", "in", "as", "where",
 ];
 
@@ -396,6 +405,7 @@ fn extract_file(path: &str, crate_name: String, text: &str) -> FileModel {
         ext_refs: Vec::new(),
         mentions: BTreeSet::new(),
         allows: sf.allows().to_vec(),
+        hots: sf.hots().to_vec(),
     };
 
     // Mentions and workspace-crate path references come from the flat
@@ -454,6 +464,9 @@ fn extract_file(path: &str, crate_name: String, text: &str) -> FileModel {
                     in_test: item.in_test,
                     calls: BTreeSet::new(),
                     acquires: Vec::new(),
+                    effects: Vec::new(),
+                    call_sites: Vec::new(),
+                    discards: Vec::new(),
                 };
                 if let Some((open, close)) = body {
                     scan_fn_body(&sf, open, close, &mut summary);
@@ -827,20 +840,37 @@ fn skip_to_semi(sf: &SourceFile<'_>, from: usize, stop_at_eq: bool) -> (usize, u
     (sig_end.unwrap_or(m), m)
 }
 
-/// Scans a function body for call names and lock acquisitions.
+/// Scans a function body for call names, lock acquisitions, local effect
+/// sites, and discarded-result candidates. Loop position comes from the
+/// body's control-flow sketch ([`crate::cfg`]).
 fn scan_fn_body(sf: &SourceFile<'_>, open: usize, close: usize, out: &mut FnSummary) {
+    let sketch = crate::cfg::sketch_body(sf, open, close);
     for q in open + 1..close {
         let Some(t) = sf.ct(q) else { break };
         if t.kind != TokenKind::Ident {
             continue;
         }
         let name = norm_ident(t.text(sf.src));
+        let in_loop = sketch.in_loop(q);
         let is_call = sf.is_punct(q + 1, '(') && !NON_CALL_KEYWORDS.contains(&name);
         if is_call {
             out.calls.insert(name.to_string());
+            out.call_sites.push(CallSite { name: name.to_string(), line: t.line, in_loop });
+        }
+        if let Some((effect, what)) = crate::effects::local_effect_at(sf, q) {
+            out.effects.push(EffectSite { effect, what, line: t.line, in_loop });
+        }
+        if let Some(d) = crate::effects::discard_at(sf, q, open) {
+            out.discards.push(d);
         }
         // Lock acquisition?
         let Some((target, after)) = acquisition_at(sf, q) else { continue };
+        out.effects.push(EffectSite {
+            effect: Effect::Lock,
+            what: format!("{target}.lock()"),
+            line: t.line,
+            in_loop,
+        });
         let region_end = held_region_end(sf, q, open, close);
         let mut held_calls = Vec::new();
         let mut held_acquires = Vec::new();

@@ -1,0 +1,414 @@
+//! Property and fixture tests for the phase-3 effect analysis.
+//!
+//! Three invariant families:
+//!
+//! 1. **Totality + tiling** — [`file_cfgs`] never panics on seeded token
+//!    soup, and every sketch it returns is a well-formed region tree:
+//!    the root is the body, children nest strictly inside their parent,
+//!    siblings never overlap, and statement boundaries belong to their
+//!    innermost region.
+//! 2. **Summary exactness** — small multi-crate fixtures produce exactly
+//!    the direct / closed / loop-closed effect sets the source dictates,
+//!    including convergence on call-graph cycles and the setup-versus-
+//!    per-iteration distinction that gives R18 its teeth.
+//! 3. **Rule behavior** — R18/R19/R20 fire on seeded violations through
+//!    the public [`analyze_workspace`] entry point, and a justified
+//!    `// lint: allow(<rule>) — <why>` hatch waives each one.
+
+use easytime_lint::analyze_workspace;
+use easytime_lint::cfg::{file_cfgs, CfgSketch, Region, RegionKind};
+use easytime_lint::effects::{build_effect_table, Effect};
+use easytime_lint::model::{SourceEntry, WorkspaceModel};
+use easytime_rng::StdRng;
+
+const CASES: u64 = 48;
+const MASTER_SEED: u64 = 0x1E8E_0003;
+
+fn rngs() -> impl Iterator<Item = StdRng> {
+    (0..CASES).map(|i| StdRng::seed_from_u64(MASTER_SEED).derive(i))
+}
+
+/// Fragments biased toward control flow: loop heads, branch heads, match
+/// arms, closures, statement runs, and unbalanced junk the sketcher must
+/// clamp rather than choke on.
+const FRAGMENTS: &[&str] = &[
+    "fn f(x: u32) -> u32 { x }",
+    "pub fn g() {",
+    "}",
+    "for i in 0..n {",
+    "while cond() {",
+    "loop {",
+    "if a < b {",
+    "} else if c {",
+    "} else {",
+    "match v {",
+    "Some(x) => { use_it(x); }",
+    "None => {}",
+    "let s = items.iter().map(|x| { x + 1 }).sum::<u32>();",
+    "let v = vec![1, 2, 3];",
+    "buf.push(x);",
+    "let g = self.state.lock();",
+    "drop(g);",
+    "return out;",
+    "break;",
+    "continue;",
+    "a; b; c;",
+    "{ { {",
+    "} } )",
+    "\"unterminated",
+    "/* unterminated",
+    "fn",
+    "{",
+    ";",
+    "'a",
+    "m!{ loop { } }",
+];
+
+fn soup(rng: &mut StdRng) -> String {
+    let n = rng.gen_range(20..120);
+    let mut out = String::new();
+    for _ in 0..n {
+        out.push_str(FRAGMENTS[rng.gen_range(0..FRAGMENTS.len())]);
+        out.push(if rng.gen_bool(0.8) { '\n' } else { ' ' });
+    }
+    out
+}
+
+/// One region's local well-formedness inside its sketch.
+fn assert_region_well_formed(sketch: &CfgSketch, i: usize, r: &Region, name: &str) {
+    assert!(r.open <= r.close, "inverted region in `{name}`");
+    if i == 0 {
+        return;
+    }
+    let p = r
+        .parent
+        .unwrap_or_else(|| panic!("non-root region {i} of `{name}` has no parent"));
+    assert!(p < i, "parent {p} of region {i} must open earlier");
+    let parent = &sketch.regions[p];
+    assert!(
+        parent.open < r.open && r.close <= parent.close,
+        "region {i} of `{name}` escapes its parent: \
+         {}..{} outside {}..{}",
+        r.open, r.close, parent.open, parent.close
+    );
+    // Siblings are disjoint: a later-opening same-parent region starts
+    // after this one closes.
+    for (j, other) in sketch.regions.iter().enumerate().skip(i + 1) {
+        if other.parent == Some(p) && other.open > r.open {
+            assert!(other.open > r.close, "siblings {i} and {j} of `{name}` overlap");
+        }
+    }
+}
+
+/// The whole-sketch tiling invariant: root is the body, every region is
+/// well-formed, statement boundaries belong to their innermost region,
+/// and `in_loop` agrees with the loop regions' extents.
+fn assert_tiles(sketch: &CfgSketch, name: &str) {
+    assert!(!sketch.regions.is_empty(), "sketch must have a body region");
+    assert_eq!(sketch.regions[0].kind, RegionKind::Body);
+    assert_eq!(sketch.regions[0].parent, None);
+    for (i, r) in sketch.regions.iter().enumerate() {
+        assert_region_well_formed(sketch, i, r, name);
+        for &s in &r.stmts {
+            assert!(r.open < s && s < r.close, "stmt {s} outside its region in `{name}`");
+            assert_eq!(
+                sketch.innermost(s),
+                i,
+                "stmt {s} of `{name}` belongs to a child region"
+            );
+        }
+        if r.kind == RegionKind::Loop && r.close > r.open {
+            for k in (r.open + 1)..r.close {
+                assert!(sketch.in_loop(k), "index {k} inside loop region {i} of `{name}`");
+            }
+        }
+    }
+}
+
+#[test]
+fn file_cfgs_is_total_and_regions_tile_on_token_soup() {
+    for mut rng in rngs() {
+        let src = soup(&mut rng);
+        for cfg in file_cfgs(&src) {
+            assert_tiles(&cfg.sketch, &cfg.name);
+        }
+    }
+}
+
+#[test]
+fn region_kinds_are_classified_from_their_headers() {
+    let src = "fn demo(v: Option<u32>) {\n\
+               \x20   for i in 0..3 {\n\
+               \x20       while i < 2 {\n\
+               \x20           step();\n\
+               \x20       }\n\
+               \x20   }\n\
+               \x20   loop {\n\
+               \x20       break;\n\
+               \x20   }\n\
+               \x20   if v.is_some() {\n\
+               \x20       a();\n\
+               \x20   } else {\n\
+               \x20       b();\n\
+               \x20   }\n\
+               \x20   match v {\n\
+               \x20       Some(x) => { use_it(x); }\n\
+               \x20       None => {}\n\
+               \x20   }\n\
+               \x20   let f = |x: u32| { x + 1 };\n\
+               }\n";
+    let cfgs = file_cfgs(src);
+    assert_eq!(cfgs.len(), 1);
+    let count = |kind: RegionKind| {
+        cfgs[0].sketch.regions.iter().filter(|r| r.kind == kind).count()
+    };
+    assert_eq!(count(RegionKind::Body), 1);
+    assert_eq!(count(RegionKind::Loop), 3, "for + while + loop");
+    assert_eq!(count(RegionKind::Branch), 2, "if + else");
+    assert_eq!(count(RegionKind::Match), 1);
+    // Arm blocks and the closure body are plain blocks.
+    assert!(count(RegionKind::Block) >= 3);
+}
+
+/// A two-crate fixture: `easytime-a` has the allocating leaf and a
+/// pass-through, `easytime-b` calls across the crate boundary.
+fn two_crate_fixture(b_lib: &str) -> Vec<SourceEntry> {
+    vec![
+        SourceEntry::new(
+            "crates/a/Cargo.toml",
+            "[package]\nname = \"easytime-a\"\n\n[dependencies]\n",
+        ),
+        SourceEntry::new(
+            "crates/a/src/lib.rs",
+            "/// Doc.\n\
+             pub fn leaf() -> Vec<u8> {\n\
+             \x20   let v = vec![1u8];\n\
+             \x20   v\n\
+             }\n\
+             \n\
+             /// Doc.\n\
+             pub fn mid() -> usize {\n\
+             \x20   leaf().len()\n\
+             }\n",
+        ),
+        SourceEntry::new(
+            "crates/b/Cargo.toml",
+            "[package]\nname = \"easytime-b\"\n\n[dependencies]\n\
+             easytime-a = { path = \"../a\" }\n",
+        ),
+        SourceEntry::new("crates/b/src/lib.rs", b_lib),
+    ]
+}
+
+fn table_for(sources: &[SourceEntry]) -> easytime_lint::effects::EffectTable {
+    build_effect_table(&WorkspaceModel::build(sources))
+}
+
+fn effects_of<'a>(
+    table: &'a easytime_lint::effects::EffectTable,
+    krate: &str,
+    name: &str,
+) -> &'a easytime_lint::effects::FnEffects {
+    table
+        .fns
+        .get(&(krate.to_string(), name.to_string()))
+        .unwrap_or_else(|| panic!("no summary for {krate}::{name}"))
+}
+
+#[test]
+fn allocation_closes_transitively_across_crates() {
+    let sources = two_crate_fixture(
+        "use easytime_a::mid;\n\
+         \n\
+         /// Doc.\n\
+         pub fn top() -> usize {\n\
+         \x20   mid()\n\
+         }\n",
+    );
+    let table = table_for(&sources);
+    let top = effects_of(&table, "easytime-b", "top");
+    assert!(top.direct.is_empty(), "top allocates nothing itself: {:?}", top.direct);
+    assert!(top.closed.contains(&Effect::Alloc), "closure must cross two call hops");
+    let witness = top.witness.get(&Effect::Alloc).expect("alloc witness");
+    assert!(
+        witness.contains("crates/a/src/lib.rs"),
+        "witness should point at the leaf's vec! site, got {witness}"
+    );
+}
+
+#[test]
+fn call_graph_cycles_converge_to_the_union() {
+    let sources = vec![
+        SourceEntry::new(
+            "crates/c/Cargo.toml",
+            "[package]\nname = \"easytime-c\"\n\n[dependencies]\n",
+        ),
+        SourceEntry::new(
+            "crates/c/src/lib.rs",
+            "/// Doc.\n\
+             pub fn ping(n: u32) {\n\
+             \x20   if n > 0 {\n\
+             \x20       pong(n - 1);\n\
+             \x20   }\n\
+             }\n\
+             \n\
+             /// Doc.\n\
+             pub fn pong(n: u32) {\n\
+             \x20   let s = format!(\"{n}\");\n\
+             \x20   drop(s);\n\
+             \x20   if n > 0 {\n\
+             \x20       ping(n - 1);\n\
+             \x20   }\n\
+             }\n",
+        ),
+    ];
+    let table = table_for(&sources);
+    for name in ["ping", "pong"] {
+        let fe = effects_of(&table, "easytime-c", name);
+        assert!(
+            fe.closed.contains(&Effect::Alloc),
+            "`{name}` sits on an allocating cycle: {:?}",
+            fe.closed
+        );
+    }
+    assert!(effects_of(&table, "easytime-c", "ping").direct.is_empty());
+}
+
+#[test]
+fn loop_closure_separates_setup_from_per_iteration_work() {
+    let sources = two_crate_fixture(
+        "use easytime_a::{leaf, mid};\n\
+         \n\
+         /// Allocates every iteration.\n\
+         pub fn per_iter() -> usize {\n\
+         \x20   let mut total = 0;\n\
+         \x20   for _ in 0..3 {\n\
+         \x20       total += mid();\n\
+         \x20   }\n\
+         \x20   total\n\
+         }\n\
+         \n\
+         /// Allocates once, before the loop.\n\
+         pub fn setup_only() -> usize {\n\
+         \x20   let buf = leaf();\n\
+         \x20   let mut total = 0;\n\
+         \x20   for b in &buf {\n\
+         \x20       total += *b as usize;\n\
+         \x20   }\n\
+         \x20   total\n\
+         }\n",
+    );
+    let table = table_for(&sources);
+    let per_iter = effects_of(&table, "easytime-b", "per_iter");
+    assert!(per_iter.loop_closed.contains(&Effect::Alloc), "in-loop call closes fully");
+    let setup = effects_of(&table, "easytime-b", "setup_only");
+    assert!(setup.closed.contains(&Effect::Alloc), "the setup alloc is still closed");
+    assert!(
+        !setup.loop_closed.contains(&Effect::Alloc),
+        "straight-line setup must not count as per-iteration work: {:?}",
+        setup.loop_closed
+    );
+}
+
+fn diags_with(sources: &[SourceEntry], code: &str) -> Vec<String> {
+    let (diags, _) = analyze_workspace(sources, None);
+    diags
+        .into_iter()
+        .filter(|d| d.rule.code() == code)
+        .map(|d| format!("{}:{}: {}", d.file.display(), d.line, d.message))
+        .collect()
+}
+
+#[test]
+fn r18_fires_on_hot_loops_and_justified_hatches_waive_it() {
+    let hot_lib = |hatch: &str| {
+        two_crate_fixture(&format!(
+            "use easytime_a::mid;\n\
+             \n\
+             // lint: hot(steady-state window loop, pinned by a counting-allocator test)\n\
+             /// Doc.\n\
+             pub fn warm() -> usize {{\n\
+             \x20   let mut total = 0;\n\
+             \x20   for _ in 0..3 {{\n\
+             {hatch}\
+             \x20       total += mid();\n\
+             \x20   }}\n\
+             \x20   total\n\
+             }}\n"
+        ))
+    };
+    let bare = diags_with(&hot_lib(""), "R18");
+    assert_eq!(bare.len(), 1, "{bare:?}");
+    assert!(bare[0].contains("warm") && bare[0].contains("mid"), "{bare:?}");
+    let hatched = hot_lib(
+        "\x20       // lint: allow(hot-path-alloc) — cold fallback, measured elsewhere\n",
+    );
+    assert_eq!(diags_with(&hatched, "R18"), Vec::<String>::new());
+}
+
+#[test]
+fn r19_fires_on_swallowed_results_and_hatches_waive_it() {
+    let lib = |hatch: &str| {
+        vec![
+            SourceEntry::new(
+                "crates/d/Cargo.toml",
+                "[package]\nname = \"easytime-d\"\n\n[dependencies]\n",
+            ),
+            SourceEntry::new(
+                "crates/d/src/lib.rs",
+                format!(
+                    "/// Doc.\n\
+                     pub fn fallible() -> Result<u32, u8> {{\n\
+                     \x20   Ok(1)\n\
+                     }}\n\
+                     \n\
+                     /// Doc.\n\
+                     pub fn caller() {{\n\
+                     {hatch}\
+                     \x20   let _ = fallible();\n\
+                     }}\n"
+                ),
+            ),
+        ]
+    };
+    let bare = diags_with(&lib(""), "R19");
+    assert_eq!(bare.len(), 1, "{bare:?}");
+    assert!(bare[0].contains("fallible"), "{bare:?}");
+    let hatched =
+        lib("\x20   // lint: allow(swallowed-result) — best-effort cache warm, failure is fine\n");
+    assert_eq!(diags_with(&hatched, "R19"), Vec::<String>::new());
+}
+
+#[test]
+fn r20_fires_on_locks_held_over_allocating_calls() {
+    let lib = |hatch: &str| {
+        two_crate_fixture(&format!(
+            "use easytime_a::mid;\n\
+             use std::sync::Mutex;\n\
+             \n\
+             /// Doc.\n\
+             pub struct Registry {{\n\
+             \x20   /// Doc.\n\
+             \x20   pub state: Mutex<u32>,\n\
+             }}\n\
+             \n\
+             impl Registry {{\n\
+             \x20   /// Doc.\n\
+             \x20   pub fn refresh(&self) -> usize {{\n\
+             \x20       let g = self.state.lock();\n\
+             {hatch}\
+             \x20       let n = mid();\n\
+             \x20       drop(g);\n\
+             \x20       n\n\
+             \x20   }}\n\
+             }}\n"
+        ))
+    };
+    let bare = diags_with(&lib(""), "R20");
+    assert_eq!(bare.len(), 1, "{bare:?}");
+    assert!(bare[0].contains("mid"), "{bare:?}");
+    let hatched = lib(
+        "\x20       // lint: allow(lock-while-heavy) — init-once path, contention-free by design\n",
+    );
+    assert_eq!(diags_with(&hatched, "R20"), Vec::<String>::new());
+}

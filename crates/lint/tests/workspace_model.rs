@@ -15,6 +15,7 @@
 use easytime_lint::model::{ItemKind, SourceEntry, Vis, WorkspaceModel};
 use easytime_lint::{
     analyze_workspace, api, diagnostics_to_json, locks, resolve, semantic_stats_to_json,
+    workspace_effect_table_json,
 };
 use easytime_rng::StdRng;
 
@@ -211,6 +212,9 @@ fn fixture_is_semantically_clean() {
     assert_eq!(stats.files, 3);
     assert_eq!(stats.dep_edges, 1);
     assert_eq!(stats.api_entries, 3);
+    assert_eq!(stats.effect_sites, 0, "the fixture performs no effects");
+    assert_eq!(stats.discard_sites, 0);
+    assert_eq!(stats.hot_fns, 0);
 }
 
 #[test]
@@ -342,6 +346,7 @@ fn output_is_byte_identical_under_shuffled_discovery_order() {
         analyze_workspace(&canonical, Some(("scripts/api-baseline.txt", &baseline)));
     let ref_json = diagnostics_to_json(&ref_diags);
     let ref_stats_json = semantic_stats_to_json(&ref_stats);
+    let ref_effects_json = workspace_effect_table_json(&canonical);
 
     for mut rng in rngs().take(12) {
         let mut shuffled = canonical.clone();
@@ -350,7 +355,60 @@ fn output_is_byte_identical_under_shuffled_discovery_order() {
             analyze_workspace(&shuffled, Some(("scripts/api-baseline.txt", &baseline)));
         assert_eq!(diagnostics_to_json(&diags), ref_json);
         assert_eq!(semantic_stats_to_json(&stats), ref_stats_json);
+        assert_eq!(workspace_effect_table_json(&shuffled), ref_effects_json);
     }
+}
+
+#[test]
+fn severity_overrides_and_baseline_treat_r14_to_r20_uniformly() {
+    use easytime_lint::{apply_severities, Baseline, Diagnostic, Rule, Severity};
+    use std::path::Path;
+
+    let rules = [
+        Rule::ApiSnapshot,
+        Rule::CrateLayering,
+        Rule::LockDiscipline,
+        Rule::DeadPub,
+        Rule::HotPathAlloc,
+        Rule::SwallowedResult,
+        Rule::LockWhileHeavy,
+    ];
+    let mut diags: Vec<Diagnostic> = rules
+        .iter()
+        .map(|r| {
+            Diagnostic::new(
+                Path::new("crates/x/src/lib.rs"),
+                1,
+                *r,
+                format!("probe {}", r.code()),
+            )
+        })
+        .collect();
+
+    // `--severity CODE=LEVEL` must hit every semantic rule through the one
+    // shared path, matching codes case-insensitively like the CLI does.
+    let demote: Vec<(String, Severity)> =
+        rules.iter().map(|r| (r.code().to_ascii_lowercase(), Severity::Warn)).collect();
+    apply_severities(&mut diags, &demote);
+    for d in &diags {
+        assert_eq!(d.severity, Severity::Warn, "{} ignored the override", d.rule.code());
+    }
+    let promote: Vec<(String, Severity)> =
+        rules.iter().map(|r| (r.code().to_string(), Severity::Error)).collect();
+    apply_severities(&mut diags, &promote);
+    for d in &diags {
+        assert_eq!(d.severity, Severity::Error, "{} ignored the override", d.rule.code());
+    }
+
+    // `--baseline` suppression keys work for every semantic rule too: one
+    // `file<TAB>code<TAB>message` line per tolerated finding.
+    let baseline_text: String = rules
+        .iter()
+        .map(|r| format!("crates/x/src/lib.rs\t{}\tprobe {}\n", r.code(), r.code()))
+        .collect();
+    let (kept, suppressed) = Baseline::parse(&baseline_text).apply(diags);
+    assert_eq!(suppressed, rules.len());
+    assert!(kept.is_empty(), "unsuppressed: {kept:?}");
 }
 
 #[test]

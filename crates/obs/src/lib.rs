@@ -64,6 +64,7 @@ pub use span::{AttrValue, SpanGuard, SpanRecord};
 use easytime_clock::Clock;
 use std::path::Path;
 
+// lint: hot(per-window tracing gate; one OnceLock read plus one relaxed atomic load, pinned by obs/tests/no_alloc.rs)
 /// True when tracing is currently enabled.
 ///
 /// This is the no-op fast path's only cost: one `OnceLock` read and one
@@ -86,6 +87,7 @@ pub fn install_clock(clock: Clock) {
     recorder::install_clock(clock);
 }
 
+// lint: hot(per-window span open; inert and allocation-free when tracing is off, pinned by obs/tests/no_alloc.rs)
 /// Opens a span named `name`, parented to the innermost open span on this
 /// thread. The span closes (and its duration is recorded) when the
 /// returned guard drops. Inert and allocation-free when tracing is off.
@@ -93,11 +95,13 @@ pub fn span(name: &str) -> SpanGuard {
     recorder::span(name)
 }
 
+// lint: hot(per-window counter increment; allocation-free with tracing off, pinned by obs/tests/no_alloc.rs)
 /// Increments the monotonic counter `name` by `delta`.
 pub fn add(name: &str, delta: u64) {
     recorder::add(name, delta);
 }
 
+// lint: hot(per-window labeled counter increment; allocation-free with tracing off, pinned by obs/tests/no_alloc.rs)
 /// Increments the counter `name.label` by `delta` — the labeled form used
 /// for per-model fit/predict counts (`models.fit.naive`, …).
 pub fn add_labeled(name: &str, label: &str, delta: u64) {
@@ -109,6 +113,7 @@ pub fn gauge(name: &str, value: f64) {
     recorder::gauge(name, value);
 }
 
+// lint: hot(per-window histogram sample; allocation-free with tracing off, pinned by obs/tests/no_alloc.rs)
 /// Records `value` into histogram `name` using
 /// [`DEFAULT_LATENCY_BOUNDS_MS`].
 pub fn observe(name: &str, value: f64) {
@@ -131,6 +136,7 @@ pub fn event(level: Level, target: &str, message: &str) {
     recorder::event(level, target, message);
 }
 
+// lint: hot(diagnostic event emit reachable from the window loop; allocation-free with tracing off, pinned by obs/tests/no_alloc.rs)
 /// [`event`] at [`Level::Warn`] — the replacement for diagnostic
 /// `eprintln!` in library code.
 pub fn warn(target: &str, message: &str) {

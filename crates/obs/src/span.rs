@@ -103,6 +103,7 @@ pub struct SpanGuard {
 }
 
 impl SpanGuard {
+    // lint: hot(per-window span attribute; conversion and allocation only happen when the span records, pinned by obs/tests/no_alloc.rs)
     /// Attaches an attribute to the span. The value conversion only runs
     /// when the span is actually recording.
     pub fn attr(&mut self, key: &str, value: impl Into<AttrValue>) {

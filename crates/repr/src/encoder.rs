@@ -145,6 +145,7 @@ impl Embedder {
         out
     }
 
+    // lint: hot(steady-state embedding entry; allocation-free once buffers are warm, pinned by repr/tests/no_alloc_embed.rs)
     /// Embeds a series into `out` (cleared first), reusing `scratch`.
     ///
     /// With kernel-only features (`use_stats: false`) the steady state

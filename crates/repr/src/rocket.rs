@@ -63,6 +63,7 @@ impl RocketEncoder {
         out
     }
 
+    // lint: hot(kernel feature transform on the embedding path; scratch-reuse keeps the steady state allocation-free)
     /// Transforms a series into kernel features, appending them to `out`
     /// and reusing `scratch` for the z-normalized series.
     ///

@@ -22,10 +22,12 @@ cargo run --release -q -p easytime-lint -- \
   --out results/lint.json
 cat results/lint.json
 
-echo "=== semantic lint (workspace model: R14-R17) ==="
+echo "=== semantic lint (workspace model: R14-R17, effects: R18-R20) ==="
 # The semantic pass gates the public-API snapshot (R14), crate layering
-# (R15), lock discipline (R16), and dead exports (R17). The committed
-# API baseline is the reviewed pub surface; regenerate deliberately with:
+# (R15), lock discipline (R16), dead exports (R17), and the effect rules
+# (R18 hot-path-alloc, R19 swallowed-result, R20 lock-while-heavy). The
+# committed API baseline is the reviewed pub surface; regenerate
+# deliberately with:
 #   cargo run -p easytime-lint -- --write-api-baseline scripts/api-baseline.txt
 #
 # Self-check: the committed baseline must be canonically ordered
@@ -36,17 +38,27 @@ cargo run --release -q -p easytime-lint -- \
   --baseline scripts/lint-baseline.txt \
   --api-baseline scripts/api-baseline.txt \
   --semantic-out results/lint_semantic.json \
+  --effects-out results/lint_effects.json \
   --out results/lint_full.json
-# Determinism: a second run must produce byte-identical semantic stats.
+# Determinism: a second run must produce byte-identical semantic stats
+# and a byte-identical effect table.
 cargo run --release -q -p easytime-lint -- \
   --format json \
   --baseline scripts/lint-baseline.txt \
   --api-baseline scripts/api-baseline.txt \
   --semantic-out results/lint_semantic.2.json \
+  --effects-out results/lint_effects.2.json \
   --out /dev/null
 cmp results/lint_semantic.json results/lint_semantic.2.json
-rm -f results/lint_semantic.2.json
+cmp results/lint_effects.json results/lint_effects.2.json
+rm -f results/lint_semantic.2.json results/lint_effects.2.json
 cat results/lint_semantic.json
+
+echo "=== linter throughput regression gate ==="
+# Times discovery, phase 1, the semantic+effect pass, and effect-table
+# serialization over the real tree; writes results/BENCH_lint.json and
+# exits nonzero if the whole run blows the wall-clock budget.
+EASYTIME_BENCH_FAST=1 cargo run --release -q -p easytime-lint --bin exp_lint
 
 echo "=== rolling throughput regression gate ==="
 # Times the rolling sweep under both refit policies, writes
