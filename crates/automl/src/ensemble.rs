@@ -68,7 +68,7 @@ impl AutoEnsemble {
         }
         let candidates = {
             let mut sp = easytime_obs::span("automl.recommend");
-            sp.attr("k", k);
+            sp.attr_u64("k", k as u64);
             recommender.top_k(series, k)
         };
         Self::fit_with_members(&candidates, series, val_ratio, mode)
@@ -86,7 +86,7 @@ impl AutoEnsemble {
             return Err(AutoMlError::InvalidInput { reason: "no candidate methods".into() });
         }
         let mut sp = easytime_obs::span("automl.ensemble_fit");
-        sp.attr("candidates", method_names.len());
+        sp.attr_u64("candidates", method_names.len() as u64);
         let n = series.len();
         let val_len = ((n as f64) * val_ratio).round() as usize;
         if val_len == 0 || val_len >= n {
@@ -144,8 +144,8 @@ impl AutoEnsemble {
 
         let weights = {
             let mut wsp = easytime_obs::span("automl.weight_fit");
-            wsp.attr("members", kept.len());
-            wsp.attr("val_len", val_len);
+            wsp.attr_u64("members", kept.len() as u64);
+            wsp.attr_u64("val_len", val_len as u64);
             match mode {
                 WeightMode::Learned => {
                     learn_simplex_weights(&val_preds, val_actual, WEIGHT_ITERATIONS)?
@@ -156,7 +156,7 @@ impl AutoEnsemble {
 
         // Refit the surviving members on the full series.
         let mut rsp = easytime_obs::span("automl.refit");
-        rsp.attr("members", kept.len());
+        rsp.attr_u64("members", kept.len() as u64);
         let mut members: Vec<Box<dyn Forecaster>> = Vec::with_capacity(kept.len());
         let mut final_names = Vec::with_capacity(kept.len());
         let mut final_weights = Vec::with_capacity(kept.len());
@@ -202,8 +202,8 @@ impl AutoEnsemble {
     /// Weighted ensemble forecast.
     pub fn forecast(&self, horizon: usize) -> Result<Vec<f64>, AutoMlError> {
         let mut sp = easytime_obs::span("automl.forecast");
-        sp.attr("horizon", horizon);
-        sp.attr("members", self.members.len());
+        sp.attr_u64("horizon", horizon as u64);
+        sp.attr_u64("members", self.members.len() as u64);
         let mut preds = Vec::with_capacity(self.members.len());
         for m in &self.members {
             preds.push(m.forecast(horizon)?);

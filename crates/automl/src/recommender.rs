@@ -151,8 +151,8 @@ impl Recommender {
             return Err(AutoMlError::InvalidInput { reason: "empty pretraining corpus".into() });
         }
         let mut sp = easytime_obs::span("automl.pretrain");
-        sp.attr("corpus", corpus.len());
-        sp.attr("methods", config.methods.len());
+        sp.attr_u64("corpus", corpus.len() as u64);
+        sp.attr_u64("methods", config.methods.len() as u64);
         let registry = MetricRegistry::standard();
         let eval_config = EvalConfig::builder()
             .methods(config.methods.iter().cloned())
@@ -191,7 +191,7 @@ impl Recommender {
         let mut embedder = Embedder::new(config.embedder);
         let embeddings = {
             let mut esp = easytime_obs::span("automl.embed");
-            esp.attr("series", corpus_series.len());
+            esp.attr_u64("series", corpus_series.len() as u64);
             embedder.fit(corpus_series)
         };
         let targets: Vec<Vec<f64>> = matrix
@@ -204,7 +204,7 @@ impl Recommender {
             .collect();
         let classifier = {
             let mut tsp = easytime_obs::span("automl.train_classifier");
-            tsp.attr("examples", embeddings.len());
+            tsp.attr_u64("examples", embeddings.len() as u64);
             SoftLabelClassifier::train(&embeddings, &targets, &config.classifier)?
         };
         Ok(Recommender { embedder, classifier, methods: matrix.methods.clone() })

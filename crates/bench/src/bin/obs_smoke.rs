@@ -1,10 +1,14 @@
 //! Traced smoke evaluation for CI.
 //!
 //! Forces tracing on, runs a small `evaluate_corpus` under a root span,
-//! flushes `results/trace.jsonl` + `results/metrics.json`, then re-reads
-//! the metrics file and validates the schema: version pin, expected stage
-//! keys, model-fit counters, and the ≥95% span coverage acceptance check.
-//! Any drift exits nonzero so `scripts/ci.sh` fails loudly.
+//! flushes `results/trace.jsonl` + `results/metrics.json` +
+//! `results/PROFILE.json` + `results/profile.txt`, then re-reads the
+//! metrics and profile files and validates their schemas: version pins,
+//! expected stage keys, model-fit counters, the ≥95% span coverage
+//! acceptance check, the exact self-time partition
+//! (`self_total_ns == total_ns`), and that the root span's own self time
+//! is at most 5% of its total — ≥95% of the run is attributed to named
+//! child stages. Any drift exits nonzero so `scripts/ci.sh` fails loudly.
 
 use easytime::json::Json;
 use easytime::{EvalConfig, MetricRegistry, Strategy};
@@ -77,8 +81,8 @@ fn main() -> ExitCode {
         Ok(d) => d,
         Err(e) => return fail(&format!("metrics.json is not valid JSON: {}", e.message)),
     };
-    if doc.get("schema_version").and_then(Json::as_usize) != Some(1) {
-        return fail("schema_version != 1");
+    if doc.get("schema_version").and_then(Json::as_usize) != Some(2) {
+        return fail("metrics.json schema_version != 2");
     }
     let Some(stages) = doc.get("stages") else {
         return fail("missing \"stages\" section");
@@ -114,10 +118,83 @@ fn main() -> ExitCode {
         }
     }
 
+    // Validate the flushed PROFILE.json the same way: schema pin, stage
+    // fields, and the attribution invariants the design promises.
+    let text = match std::fs::read_to_string(&paths.profile) {
+        Ok(t) => t,
+        Err(e) => return fail(&format!("reading {} failed: {e}", paths.profile.display())),
+    };
+    let profile = match Json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => return fail(&format!("PROFILE.json is not valid JSON: {}", e.message)),
+    };
+    let want = easytime_obs::PROFILE_SCHEMA_VERSION as usize;
+    if profile.get("schema_version").and_then(Json::as_usize) != Some(want) {
+        return fail(&format!("PROFILE.json schema_version != {want}"));
+    }
+    let (Some(total_ns), Some(self_total_ns)) = (
+        profile.get("total_ns").and_then(Json::as_f64),
+        profile.get("self_total_ns").and_then(Json::as_f64),
+    ) else {
+        return fail("PROFILE.json missing total_ns/self_total_ns");
+    };
+    // Exact partition: children are sequential same-thread scopes under a
+    // monotonic clock, so self times sum to the root totals without loss.
+    if total_ns != self_total_ns {
+        return fail(&format!(
+            "self-time partition broken: self_total_ns {self_total_ns} != total_ns {total_ns}"
+        ));
+    }
+    let Some(stages) = profile.get("stages") else {
+        return fail("PROFILE.json missing \"stages\" section");
+    };
+    let mut self_sum = 0.0;
+    let Json::Object(stage_map) = stages else {
+        return fail("PROFILE.json \"stages\" is not an object");
+    };
+    for (name, stage) in stage_map {
+        for field in ["count", "total_ns", "self_ns", "min_ns", "max_ns", "allocs", "alloc_bytes"]
+        {
+            if stage.get(field).and_then(Json::as_f64).is_none() {
+                return fail(&format!(
+                    "PROFILE.json stage {name:?} missing numeric field {field:?}"
+                ));
+            }
+        }
+        for field in ["p50_ns", "p90_ns", "p95_ns", "p99_ns", "allocs_per_span"] {
+            if stage.get(field).is_none() {
+                return fail(&format!("PROFILE.json stage {name:?} missing field {field:?}"));
+            }
+        }
+        self_sum += stage.get("self_ns").and_then(Json::as_f64).unwrap_or(f64::NAN);
+    }
+    if self_sum != total_ns {
+        return fail(&format!(
+            "stage self times sum to {self_sum}, expected total_ns {total_ns}"
+        ));
+    }
+    let Some(root_stage) = stage_map.get("smoke.run") else {
+        return fail("PROFILE.json missing the smoke.run stage");
+    };
+    let root_self = root_stage.get("self_ns").and_then(Json::as_f64).unwrap_or(f64::NAN);
+    let root_total = root_stage.get("total_ns").and_then(Json::as_f64).unwrap_or(f64::NAN);
+    if !(root_self <= 0.05 * root_total) {
+        return fail(&format!(
+            "smoke.run self time {root_self} exceeds 5% of its total {root_total}; \
+             <95% of the run is attributed to named child stages"
+        ));
+    }
+    if profile.get("flame").and_then(|f| f.get("smoke.run;smoke.build_corpus")).is_none() {
+        return fail("PROFILE.json flame section is missing the smoke.run;smoke.build_corpus stack");
+    }
+
     // lint: allow(print) — CI status output from a binary
     println!(
-        "obs_smoke: OK (coverage {coverage:.3}, {} spans, {} counters) -> {}",
+        "obs_smoke: OK (coverage {coverage:.3}, root self {:.1}%, {} spans, {} stages, \
+         {} counters) -> {}",
+        100.0 * root_self / root_total,
         data.spans.len(),
+        stage_map.len(),
         counter_map.len(),
         paths.metrics.display()
     );

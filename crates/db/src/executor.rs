@@ -338,7 +338,7 @@ pub(crate) fn execute_select(db: &Database, stmt: &SelectStmt) -> Result<QueryRe
     let base = db.table(&stmt.from.name)?;
     if sp.is_recording() {
         sp.attr("table", stmt.from.name.as_str());
-        sp.attr("joins", stmt.joins.len());
+        sp.attr_u64("joins", stmt.joins.len() as u64);
         easytime_obs::add("db.rows_scanned", base.rows.len() as u64);
     }
     let mut layout = Layout {
@@ -544,7 +544,7 @@ pub(crate) fn execute_select(db: &Database, stmt: &SelectStmt) -> Result<QueryRe
     }
 
     if sp.is_recording() {
-        sp.attr("rows", result_rows.len());
+        sp.attr_u64("rows", result_rows.len() as u64);
         easytime_obs::add("db.rows_returned", result_rows.len() as u64);
     }
     Ok(QueryResult { columns: out_columns, rows: result_rows })

@@ -48,7 +48,7 @@ pub fn evaluate_multivariate(
             record.scores = scores;
             record.windows = windows;
             record.runtime_ms = runtime_ms;
-            sp.attr("windows", windows);
+            sp.attr_u64("windows", windows as u64);
         }
         Err(e) => {
             // Failure diagnostics are structured events, not eprintln!
@@ -89,8 +89,8 @@ fn run(
     let mut sums: Vec<(f64, usize)> = vec![(0.0, 0); resolved.len()];
     for w in &windows {
         let mut wsp = easytime_obs::span("eval.window");
-        wsp.attr("origin", w.origin);
-        wsp.attr("len", w.len);
+        wsp.attr_u64("origin", w.origin as u64);
+        wsp.attr_u64("len", w.len as u64);
         // Per-channel scaling fitted on each channel's training slice.
         let mut scalers = Vec::with_capacity(k);
         let mut scaled_channels = Vec::with_capacity(k);

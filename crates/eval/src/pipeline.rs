@@ -385,7 +385,7 @@ pub fn evaluate(
             record.scores = scores;
             record.windows = windows;
             record.runtime_ms = runtime_ms;
-            sp.attr("windows", windows);
+            sp.attr_u64("windows", windows as u64);
         }
         Err(e) => {
             easytime_obs::add("eval.model_failures", 1);
@@ -439,7 +439,7 @@ fn run_windows(
         config.metrics.iter().map(|m| registry.get(m)).collect::<Result<_, _>>()?;
 
     let mut sp = easytime_obs::span("eval.run_windows");
-    sp.attr("windows", windows.len());
+    sp.attr_u64("windows", windows.len() as u64);
     let started = Stopwatch::start();
     let mut sums: Vec<(f64, usize)> = vec![(0.0, 0); resolved.len()];
     match config.refit {
@@ -471,6 +471,7 @@ fn score_window(
     resolved: &[&Metric],
     sums: &mut [(f64, usize)],
 ) -> Result<(), EvalError> {
+    let _score_sp = easytime_obs::span("eval.score");
     let ctx = MetricContext::new(actual, predicted, train_raw, period)?;
     for (slot, metric) in sums.iter_mut().zip(resolved) {
         let v = metric.compute(&ctx);
@@ -497,21 +498,30 @@ fn refit_windows(
     let raw = series.values();
     for w in windows {
         let mut wsp = easytime_obs::span("eval.window");
-        wsp.attr("origin", w.origin);
-        wsp.attr("len", w.len);
+        wsp.attr_u64("origin", w.origin as u64);
+        wsp.attr_u64("len", w.len as u64);
         // 1–2. training context and scaler (fitted on train only).
         let train_slice = &raw[..w.origin];
         let mut scaler = Scaler::new(config.scaler);
-        let scaled_train = scaler.fit_transform(train_slice)?;
-        let train_series = series.with_values(scaled_train)?;
+        let train_series = {
+            let _scale_sp = easytime_obs::span("eval.scale");
+            let scaled_train = scaler.fit_transform(train_slice)?;
+            series.with_values(scaled_train)?
+        };
 
         // 3. fresh model per window (rolling refit semantics).
         let mut model = spec.build()?;
-        model.fit(&train_series)?;
+        {
+            let _fit_sp = easytime_obs::span("eval.fit");
+            model.fit(&train_series)?;
+        }
 
         // 4. forecast + inverse transform.
-        let predicted_scaled: ModelResult<Vec<f64>> = model.forecast(w.len);
-        let predicted = scaler.inverse(&predicted_scaled?)?;
+        let predicted = {
+            let _forecast_sp = easytime_obs::span("eval.forecast");
+            let predicted_scaled: ModelResult<Vec<f64>> = model.forecast(w.len);
+            scaler.inverse(&predicted_scaled?)?
+        };
 
         // 5. metrics on the raw scale.
         let actual = &raw[w.origin..w.origin + w.len];
@@ -557,23 +567,25 @@ fn warm_windows(
     for w in windows {
         // lint: allow(hot-path-alloc) — span records only when tracing is on; the disabled path is allocation-free, pinned by obs/tests/no_alloc.rs
         let mut wsp = easytime_obs::span("eval.window");
-        // lint: allow(hot-path-alloc) — attr converts and stores only on a recording span; inert guards cost nothing
-        wsp.attr("origin", w.origin);
-        // lint: allow(hot-path-alloc) — attr converts and stores only on a recording span; inert guards cost nothing
-        wsp.attr("len", w.len);
+        wsp.attr_u64("origin", w.origin as u64);
+        wsp.attr_u64("len", w.len as u64);
         let appended = &raw[covered..w.origin];
 
         // Advance scaler statistics to cover raw[..w.origin].
-        if !seeded {
-            if !scaler.extend(&raw[..w.origin])? {
-                // lint: allow(hot-path-alloc) — first-window seeding only; every later window takes the streaming extend branch
+        {
+            // lint: allow(hot-path-alloc) — stage span: records only when tracing is on; the disabled path is allocation-free, pinned by obs/tests/no_alloc.rs
+            let _scale_sp = easytime_obs::span("eval.scale");
+            if !seeded {
+                if !scaler.extend(&raw[..w.origin])? {
+                    // lint: allow(hot-path-alloc) — first-window seeding only; every later window takes the streaming extend branch
+                    scaler.fit(&raw[..w.origin])?;
+                }
+                seeded = true;
+            } else if !appended.is_empty() && !scaler.extend(appended)? {
+                // Non-streamable statistics (robust): rescan the prefix.
+                // lint: allow(hot-path-alloc) — cold branch for non-streamable scalers; WarmStart runs use streaming statistics, pinned by obs/tests/no_alloc_eval.rs
                 scaler.fit(&raw[..w.origin])?;
             }
-            seeded = true;
-        } else if !appended.is_empty() && !scaler.extend(appended)? {
-            // Non-streamable statistics (robust): rescan the prefix.
-            // lint: allow(hot-path-alloc) — cold branch for non-streamable scalers; WarmStart runs use streaming statistics, pinned by obs/tests/no_alloc_eval.rs
-            scaler.fit(&raw[..w.origin])?;
         }
         covered = w.origin;
 
@@ -584,6 +596,8 @@ fn warm_windows(
             if appended.is_empty() {
                 warmed = true;
             } else {
+                // lint: allow(hot-path-alloc) — stage span: records only when tracing is on; the disabled path is allocation-free, pinned by obs/tests/no_alloc_eval.rs
+                let _update_sp = easytime_obs::span("eval.update");
                 ws.scaled_append.clear();
                 ws.scaled_append.extend(appended.iter().map(|v| (v - frozen.0) / frozen.1));
                 match ws.carrier.as_mut() {
@@ -597,7 +611,7 @@ fn warm_windows(
                         reason: "workspace carrier missing after assignment".into(),
                     });
                 };
-                // lint: allow(hot-path-alloc) — the allocation in update's closure is error-message construction; the accepting steady-state path is allocation-free, pinned by obs/tests/no_alloc_eval.rs
+                // lint: allow(hot-path-alloc) — the allocations in update's closure are error-message construction and the traced-only models.update span; the accepting steady-state path is allocation-free, pinned by obs/tests/no_alloc_eval.rs
                 warmed = m.update(carrier)?;
             }
         }
@@ -607,6 +621,8 @@ fn warm_windows(
         } else {
             // Cold path: rebuild under the current streamed statistics.
             full_refits += 1;
+            // lint: allow(hot-path-alloc) — cold full-refit branch: the stage span only records when tracing is on
+            let _fit_sp = easytime_obs::span("eval.fit");
             let (shift, scale) = scaler
                 .fitted_params()
                 .ok_or(EvalError::Data(DataError::ScalerNotFitted))?;
@@ -624,12 +640,17 @@ fn warm_windows(
         let Some(m) = model.as_ref() else {
             return Err(EvalError::Internal { reason: "no model after refit".into() });
         };
-        // lint: allow(hot-path-alloc) — forecast_into writes into the reused workspace buffer; the allocating witness is the default-impl fallback warm-startable families override
-        m.forecast_into(w.len, &mut ws.forecast)?;
-        ws.predicted.clear();
-        ws.predicted.extend(ws.forecast.iter().map(|v| v * frozen.1 + frozen.0));
+        {
+            // lint: allow(hot-path-alloc) — stage span: records only when tracing is on; the disabled path is allocation-free, pinned by obs/tests/no_alloc_eval.rs
+            let _forecast_sp = easytime_obs::span("eval.forecast");
+            // lint: allow(hot-path-alloc) — forecast_into writes into the reused workspace buffer; the allocating witnesses are the default-impl fallback warm-startable families override and the traced-only models.forecast span
+            m.forecast_into(w.len, &mut ws.forecast)?;
+            ws.predicted.clear();
+            ws.predicted.extend(ws.forecast.iter().map(|v| v * frozen.1 + frozen.0));
+        }
 
         let actual = &raw[w.origin..w.origin + w.len];
+        // lint: allow(hot-path-alloc) — score_window's only allocation is its traced-only eval.score span; metric computation itself is allocation-free, pinned by obs/tests/no_alloc_eval.rs
         score_window(actual, &ws.predicted, &raw[..w.origin], period, resolved, sums)?;
     }
     easytime_obs::add("eval.warm_starts", warm_starts);
@@ -685,8 +706,8 @@ pub fn evaluate_corpus(
     .min(jobs.len().max(1));
 
     let mut sp = easytime_obs::span("eval.corpus");
-    sp.attr("jobs", jobs.len());
-    sp.attr("workers", workers);
+    sp.attr_u64("jobs", jobs.len() as u64);
+    sp.attr_u64("workers", workers as u64);
     if easytime_obs::enabled() {
         // Run manifest: enough provenance to tie metrics.json to its run.
         easytime_obs::manifest_set(

@@ -18,7 +18,7 @@ use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 
 /// The exact set of `(crate, fn)` keys that must carry a hot annotation.
-const EXPECTED_HOT: [(&str, &str); 20] = [
+const EXPECTED_HOT: [(&str, &str); 23] = [
     ("easytime-eval", "warm_windows"),
     ("easytime-linalg", "axpy"),
     ("easytime-linalg", "conv_ppv_max"),
@@ -33,8 +33,11 @@ const EXPECTED_HOT: [(&str, &str); 20] = [
     ("easytime-obs", "add"),
     ("easytime-obs", "add_labeled"),
     ("easytime-obs", "attr"),
+    ("easytime-obs", "attr_u64"),
+    ("easytime-obs", "count_alloc"),
     ("easytime-obs", "enabled"),
     ("easytime-obs", "observe"),
+    ("easytime-obs", "prof_alloc_enabled"),
     ("easytime-obs", "span"),
     ("easytime-obs", "warn"),
     ("easytime-repr", "embed_into"),
@@ -45,7 +48,18 @@ const EXPECTED_HOT: [(&str, &str); 20] = [
 const SYNC: [(&str, &[&str]); 3] = [
     (
         "crates/obs/tests/no_alloc.rs",
-        &["span", "attr", "add", "add_labeled", "observe", "enabled", "warn"],
+        &[
+            "span",
+            "attr",
+            "attr_u64",
+            "add",
+            "add_labeled",
+            "observe",
+            "enabled",
+            "warn",
+            "count_alloc",
+            "prof_alloc_enabled",
+        ],
     ),
     ("crates/obs/tests/no_alloc_eval.rs", &["evaluate"]),
     ("crates/repr/tests/no_alloc_embed.rs", &["embed_into"]),

@@ -21,8 +21,10 @@ use crate::{Forecaster, ModelError, Result};
 use easytime_data::TimeSeries;
 
 /// Transparent forecaster wrapper that counts fit/forecast calls per
-/// method name. Only constructed by [`ModelSpec::build`] when tracing is
-/// enabled, so disabled runs never pay for the extra indirection.
+/// method name and opens `models.*` spans, so the flame profile can
+/// attribute model time separately from pipeline bookkeeping. Only
+/// constructed by [`ModelSpec::build`] when tracing is enabled, so
+/// disabled runs never pay for the extra indirection.
 struct Counted {
     inner: Box<dyn Forecaster>,
 }
@@ -33,11 +35,14 @@ impl Forecaster for Counted {
     }
 
     fn fit(&mut self, train: &TimeSeries) -> Result<()> {
+        let mut sp = easytime_obs::span("models.fit");
+        sp.attr("method", self.inner.name());
         easytime_obs::add_labeled("models.fit", self.inner.name(), 1);
         self.inner.fit(train)
     }
 
     fn forecast(&self, horizon: usize) -> Result<Vec<f64>> {
+        let _sp = easytime_obs::span("models.forecast");
         easytime_obs::add_labeled("models.forecast", self.inner.name(), 1);
         self.inner.forecast(horizon)
     }
@@ -45,6 +50,7 @@ impl Forecaster for Counted {
     // Forwarded so tracing never degrades warm-start support or the
     // allocation-free forecast path to the trait defaults.
     fn update(&mut self, appended: &TimeSeries) -> Result<bool> {
+        let _sp = easytime_obs::span("models.update");
         let warmed = self.inner.update(appended)?;
         if warmed {
             easytime_obs::add_labeled("models.update", self.inner.name(), 1);
@@ -53,6 +59,7 @@ impl Forecaster for Counted {
     }
 
     fn forecast_into(&self, horizon: usize, out: &mut Vec<f64>) -> Result<()> {
+        let _sp = easytime_obs::span("models.forecast");
         easytime_obs::add_labeled("models.forecast", self.inner.name(), 1);
         self.inner.forecast_into(horizon, out)
     }

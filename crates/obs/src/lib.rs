@@ -17,9 +17,17 @@
 //!   are merged at flush, so the `std::thread::scope` fan-out in
 //!   `evaluate_corpus` never contends on a global lock.
 //! * **Metrics** are monotonic counters, last-write-wins gauges, and
-//!   fixed-bucket [`Histogram`]s. Non-finite samples (NaN, ±inf) go to the
-//!   histogram's overflow bucket — consistent with the workspace's R6 NaN
-//!   policy of never letting NaN silently vanish.
+//!   fixed-bucket [`Histogram`]s. Non-finite samples (NaN, ±inf) are
+//!   counted in a dedicated `invalid` counter — never dropped (the
+//!   workspace's R6 NaN policy) and never conflated with the overflow
+//!   bucket's slow-but-finite samples.
+//! * **Profiling**: every span drop auto-records its duration into a
+//!   per-name [`Histogram::log2`] histogram, and [`Profile::from_trace`]
+//!   computes self-time attribution (total minus direct-child time),
+//!   collapsed flame stacks, p50/p90/p95/p99 upper-bound quantiles, and —
+//!   when a counting allocator reports through [`count_alloc`] with
+//!   `EASYTIME_PROF_ALLOC=1` — per-stage allocation counts. Rendered as
+//!   `results/PROFILE.json` + `results/profile.txt` by [`write_files`].
 //! * **Events** are structured log lines (level, target, message) that
 //!   replace ad-hoc `eprintln!` diagnostics; lint rule R11 bans the latter
 //!   in library code.
@@ -51,13 +59,17 @@
 mod event;
 mod json;
 mod metrics;
+mod profile;
 mod recorder;
 mod sink;
 mod span;
 
 pub use event::{EventRecord, Level};
 pub use json::fnv1a_hex;
-pub use metrics::Histogram;
+pub use metrics::{Histogram, LOG2_BUCKETS};
+pub use profile::{
+    render_profile_json, render_profile_txt, Profile, StageProfile, PROFILE_SCHEMA_VERSION,
+};
 pub use sink::{render_metrics_json, render_trace_jsonl, write_files, FlushPaths, TraceData};
 pub use span::{AttrValue, SpanGuard, SpanRecord};
 
@@ -76,6 +88,31 @@ pub fn enabled() -> bool {
 /// Turns tracing on or off programmatically, overriding `EASYTIME_TRACE`.
 pub fn set_enabled(on: bool) {
     recorder::set_enabled(on);
+}
+
+// lint: hot(allocator-hook gate; a single process-global relaxed atomic load on the disabled path, pinned by obs/tests/no_alloc.rs)
+/// True when per-span allocation accounting is on (`EASYTIME_PROF_ALLOC`
+/// or [`set_prof_alloc`]). The off-path cost of the whole accounting
+/// feature is this one relaxed atomic load inside [`count_alloc`].
+pub fn prof_alloc_enabled() -> bool {
+    recorder::prof_alloc_enabled()
+}
+
+/// Turns per-span allocation accounting on or off programmatically,
+/// overriding `EASYTIME_PROF_ALLOC`. Only meaningful in a binary that
+/// installs a counting global allocator reporting through
+/// [`count_alloc`] (see the `exp_profile` bench bin).
+pub fn set_prof_alloc(on: bool) {
+    recorder::set_prof_alloc(on);
+}
+
+// lint: hot(global-allocator hook; off-path is one relaxed atomic load, on-path one thread-local Cell bump — never allocates and never touches the recorder singleton, pinned by obs/tests/no_alloc.rs)
+/// Reports one heap allocation of `bytes` to the profiling tally. Called
+/// by a counting `GlobalAlloc` wrapper; a no-op unless
+/// [`prof_alloc_enabled`]. Safe to call from inside the allocator: it
+/// never allocates and never initializes the recorder.
+pub fn count_alloc(bytes: usize) {
+    recorder::count_alloc(bytes);
 }
 
 /// Installs the clock all subsequent records read their timestamps from.

@@ -1,0 +1,305 @@
+//! Self-time attribution: collapsed flame profiles and per-stage summaries.
+//!
+//! Everything here is a pure function of a drained [`TraceData`], computed
+//! at render time from the span tree:
+//!
+//! * **Self time** of a span is its duration minus the summed durations of
+//!   its direct children (saturating). Because children are sequential
+//!   RAII scopes on the same thread, the subtraction is exact and the
+//!   self-times of a trace partition its root durations:
+//!   `Σ self_ns == Σ root dur_ns`.
+//! * **Flame stacks** are `;`-joined span-name paths from the root down
+//!   (`root;child;leaf`), keyed deterministically in byte order. A span
+//!   whose parent is unknown (still open at drain, or from a previous
+//!   epoch) is treated as a root.
+//! * **Allocation attribution** mirrors self time: a stage's `allocs` are
+//!   the span's recorded (inclusive) allocation delta minus its direct
+//!   children's, so nested spans never double-count.
+//!
+//! The rendered `PROFILE.json` deliberately excludes the run manifest:
+//! the manifest records thread counts and other run-shape facts, and the
+//! profile must stay byte-identical across 1/3/8-thread runs of the same
+//! workload.
+
+use crate::json::{push_f64, push_str};
+use crate::sink::TraceData;
+use std::collections::BTreeMap;
+
+/// Version of the `PROFILE.json` schema; bump when keys change.
+pub const PROFILE_SCHEMA_VERSION: u64 = 1;
+
+/// Aggregate of all spans sharing a name, with attribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageProfile {
+    /// Number of spans with this name.
+    pub count: u64,
+    /// Summed (inclusive) duration in nanoseconds.
+    pub total_ns: u64,
+    /// Summed self time: total minus direct-child time, per span.
+    pub self_ns: u64,
+    /// Shortest span in nanoseconds.
+    pub min_ns: u64,
+    /// Longest span in nanoseconds.
+    pub max_ns: u64,
+    /// Upper-bound duration quantiles from the stage's log2 histogram
+    /// (see [`crate::Histogram::quantile`]); NaN when the stage has no
+    /// samples.
+    pub p50_ns: f64,
+    /// 90th percentile upper bound.
+    pub p90_ns: f64,
+    /// 95th percentile upper bound.
+    pub p95_ns: f64,
+    /// 99th percentile upper bound.
+    pub p99_ns: f64,
+    /// Self heap allocations (inclusive minus direct children).
+    pub allocs: u64,
+    /// Bytes requested by those allocations.
+    pub alloc_bytes: u64,
+}
+
+/// A computed profile: per-stage attribution plus collapsed flame stacks.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Profile {
+    /// Per-stage summaries keyed by span name.
+    pub stages: BTreeMap<String, StageProfile>,
+    /// Collapsed flame stacks: `root;child;leaf` → summed self time (ns).
+    pub flame: BTreeMap<String, u64>,
+    /// Summed duration of root spans (no parent, or parent unknown).
+    pub total_ns: u64,
+    /// Summed self time over all spans; equals `total_ns` on a clean
+    /// trace (children are nested RAII scopes, so nothing saturates).
+    pub self_total_ns: u64,
+}
+
+impl Profile {
+    /// Computes attribution from a drained trace. Pure: the same trace
+    /// always produces the same profile.
+    pub fn from_trace(data: &TraceData) -> Profile {
+        // Direct-child duration and allocation sums, keyed by parent id.
+        let mut child_dur: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut child_allocs: BTreeMap<u64, (u64, u64)> = BTreeMap::new();
+        let known: BTreeMap<u64, &crate::span::SpanRecord> =
+            data.spans.iter().map(|s| (s.id, s)).collect();
+        for s in &data.spans {
+            if s.parent != 0 && known.contains_key(&s.parent) {
+                *child_dur.entry(s.parent).or_insert(0) += s.dur_ns;
+                let slot = child_allocs.entry(s.parent).or_insert((0, 0));
+                slot.0 += s.allocs;
+                slot.1 += s.alloc_bytes;
+            }
+        }
+
+        let mut profile = Profile::default();
+        for s in &data.spans {
+            let kids = child_dur.get(&s.id).copied().unwrap_or(0);
+            let self_ns = s.dur_ns.saturating_sub(kids);
+            let (kid_allocs, kid_bytes) = child_allocs.get(&s.id).copied().unwrap_or((0, 0));
+            let self_allocs = s.allocs.saturating_sub(kid_allocs);
+            let self_bytes = s.alloc_bytes.saturating_sub(kid_bytes);
+            let is_root = s.parent == 0 || !known.contains_key(&s.parent);
+            if is_root {
+                profile.total_ns += s.dur_ns;
+            }
+            profile.self_total_ns += self_ns;
+
+            let entry = profile.stages.entry(s.name.clone()).or_insert(StageProfile {
+                count: 0,
+                total_ns: 0,
+                self_ns: 0,
+                min_ns: u64::MAX,
+                max_ns: 0,
+                p50_ns: f64::NAN,
+                p90_ns: f64::NAN,
+                p95_ns: f64::NAN,
+                p99_ns: f64::NAN,
+                allocs: 0,
+                alloc_bytes: 0,
+            });
+            entry.count += 1;
+            entry.total_ns += s.dur_ns;
+            entry.self_ns += self_ns;
+            entry.min_ns = entry.min_ns.min(s.dur_ns);
+            entry.max_ns = entry.max_ns.max(s.dur_ns);
+            entry.allocs += self_allocs;
+            entry.alloc_bytes += self_bytes;
+
+            *profile.flame.entry(stack_of(&known, s)).or_insert(0) += self_ns;
+        }
+
+        // Quantiles come from the merged per-name duration histograms —
+        // exact under bucket-wise merge, so independent of thread count.
+        for (name, stage) in &mut profile.stages {
+            if let Some(h) = data.durations.get(name) {
+                stage.p50_ns = h.quantile(0.50);
+                stage.p90_ns = h.quantile(0.90);
+                stage.p95_ns = h.quantile(0.95);
+                stage.p99_ns = h.quantile(0.99);
+            }
+        }
+        profile
+    }
+}
+
+/// The `;`-joined name path from the root to `s`. Parent ids strictly
+/// precede child ids (the id counter is monotonic and the parent is read
+/// from the open-span stack), so the walk always terminates.
+fn stack_of(known: &BTreeMap<u64, &crate::span::SpanRecord>, s: &crate::span::SpanRecord) -> String {
+    let mut names: Vec<&str> = vec![s.name.as_str()];
+    let mut parent = s.parent;
+    while parent != 0 {
+        match known.get(&parent) {
+            Some(p) => {
+                names.push(p.name.as_str());
+                parent = p.parent;
+            }
+            None => break,
+        }
+    }
+    names.reverse();
+    names.join(";")
+}
+
+/// Renders the collapsed flame profile: one `stack self_ns` line per
+/// stack, byte-sorted — the format flamegraph tooling consumes.
+pub fn render_profile_txt(profile: &Profile) -> String {
+    let mut out = String::new();
+    for (stack, self_ns) in &profile.flame {
+        out.push_str(stack);
+        out.push(' ');
+        out.push_str(&format!("{self_ns}"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders `PROFILE.json` (2-space indent, sorted keys, schema version
+/// pinned to [`PROFILE_SCHEMA_VERSION`]).
+pub fn render_profile_json(profile: &Profile) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema_version\": {PROFILE_SCHEMA_VERSION},\n"));
+    out.push_str(&format!("  \"total_ns\": {},\n", profile.total_ns));
+    out.push_str(&format!("  \"self_total_ns\": {},\n", profile.self_total_ns));
+    out.push_str("  \"stages\": {");
+    for (i, (name, st)) in profile.stages.iter().enumerate() {
+        out.push_str(if i > 0 { ",\n    " } else { "\n    " });
+        push_str(&mut out, name);
+        out.push_str(&format!(
+            ": {{\"count\": {}, \"total_ns\": {}, \"self_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, ",
+            st.count, st.total_ns, st.self_ns, st.min_ns, st.max_ns
+        ));
+        out.push_str("\"p50_ns\": ");
+        push_f64(&mut out, st.p50_ns);
+        out.push_str(", \"p90_ns\": ");
+        push_f64(&mut out, st.p90_ns);
+        out.push_str(", \"p95_ns\": ");
+        push_f64(&mut out, st.p95_ns);
+        out.push_str(", \"p99_ns\": ");
+        push_f64(&mut out, st.p99_ns);
+        out.push_str(&format!(
+            ", \"allocs\": {}, \"alloc_bytes\": {}, \"allocs_per_span\": ",
+            st.allocs, st.alloc_bytes
+        ));
+        // Self-allocs averaged over the stage's spans; count is ≥ 1 for
+        // any stage that exists.
+        push_f64(&mut out, st.allocs as f64 / st.count as f64);
+        out.push('}');
+    }
+    if !profile.stages.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("},\n");
+    out.push_str("  \"flame\": {");
+    for (i, (stack, self_ns)) in profile.flame.iter().enumerate() {
+        out.push_str(if i > 0 { ",\n    " } else { "\n    " });
+        push_str(&mut out, stack);
+        out.push_str(&format!(": {self_ns}"));
+    }
+    if !profile.flame.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("}\n");
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::SpanRecord;
+
+    fn span(id: u64, parent: u64, seq: u64, name: &str, dur_ns: u64) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent,
+            seq,
+            name: name.to_string(),
+            start_ns: 0,
+            dur_ns,
+            allocs: 0,
+            alloc_bytes: 0,
+            attrs: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn self_time_partitions_the_root() {
+        let mut data = TraceData::default();
+        data.spans.push(span(1, 0, 0, "root", 100));
+        data.spans.push(span(2, 1, 1, "a", 30));
+        data.spans.push(span(3, 1, 2, "b", 50));
+        data.spans.push(span(4, 3, 3, "b.inner", 20));
+        let p = Profile::from_trace(&data);
+        assert_eq!(p.total_ns, 100);
+        assert_eq!(p.self_total_ns, 100);
+        assert_eq!(p.stages["root"].self_ns, 20);
+        assert_eq!(p.stages["a"].self_ns, 30);
+        assert_eq!(p.stages["b"].self_ns, 30);
+        assert_eq!(p.stages["b.inner"].self_ns, 20);
+    }
+
+    #[test]
+    fn flame_stacks_join_names_root_down() {
+        let mut data = TraceData::default();
+        data.spans.push(span(1, 0, 0, "root", 10));
+        data.spans.push(span(2, 1, 1, "leaf", 4));
+        let p = Profile::from_trace(&data);
+        let txt = render_profile_txt(&p);
+        assert_eq!(txt, "root 6\nroot;leaf 4\n");
+    }
+
+    #[test]
+    fn orphaned_spans_become_roots() {
+        let mut data = TraceData::default();
+        // Parent id 99 never finished — treat the child as a root.
+        data.spans.push(span(2, 99, 0, "orphan", 7));
+        let p = Profile::from_trace(&data);
+        assert_eq!(p.total_ns, 7);
+        assert!(p.flame.contains_key("orphan"));
+    }
+
+    #[test]
+    fn alloc_attribution_subtracts_children() {
+        let mut data = TraceData::default();
+        let mut root = span(1, 0, 0, "root", 100);
+        root.allocs = 10;
+        root.alloc_bytes = 1000;
+        let mut kid = span(2, 1, 1, "kid", 40);
+        kid.allocs = 6;
+        kid.alloc_bytes = 600;
+        data.spans.push(root);
+        data.spans.push(kid);
+        let p = Profile::from_trace(&data);
+        assert_eq!(p.stages["root"].allocs, 4);
+        assert_eq!(p.stages["root"].alloc_bytes, 400);
+        assert_eq!(p.stages["kid"].allocs, 6);
+    }
+
+    #[test]
+    fn profile_json_carries_the_schema_version() {
+        let p = Profile::from_trace(&TraceData::default());
+        let json = render_profile_json(&p);
+        assert!(json.contains("\"schema_version\": 1"));
+        assert!(json.contains("\"total_ns\": 0"));
+    }
+}

@@ -7,13 +7,25 @@
 //! is one uncontended mutex lock — the registry lock is only taken on
 //! first use per thread and at drain. An epoch counter invalidates the
 //! thread-local caches when the clock is swapped or the recorder is reset.
+//!
+//! ## Allocation accounting
+//!
+//! A counting global allocator (installed by the `exp_profile` bench bin)
+//! reports every heap allocation through [`count_alloc`]. The hook is
+//! deliberately independent of the [`Recorder`] singleton: it reads one
+//! process-global relaxed [`AtomicBool`] and, only when profiling is on,
+//! bumps a thread-local [`Cell`] tally. It must never touch the `OnceLock`
+//! — the recorder's own initialization allocates, and re-entering
+//! `get_or_init` from inside the allocator would deadlock. The env gate
+//! (`EASYTIME_PROF_ALLOC`) is therefore read when the recorder initializes
+//! on the first ordinary entry point, not inside the hook.
 
 use crate::event::{EventRecord, Level};
 use crate::metrics::Histogram;
 use crate::sink::TraceData;
 use crate::span::{ActiveSpan, AttrValue, SpanGuard, SpanRecord};
 use easytime_clock::Clock;
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
@@ -43,14 +55,20 @@ struct Recorder {
     manifest: Mutex<BTreeMap<String, AttrValue>>,
 }
 
+fn env_truthy(name: &str) -> bool {
+    match std::env::var(name) {
+        Ok(v) => !matches!(v.as_str(), "" | "0" | "false" | "off"),
+        Err(_) => false,
+    }
+}
+
 impl Recorder {
     fn from_env() -> Recorder {
-        let on = match std::env::var("EASYTIME_TRACE") {
-            Ok(v) => !matches!(v.as_str(), "" | "0" | "false" | "off"),
-            Err(_) => false,
-        };
+        if env_truthy("EASYTIME_PROF_ALLOC") {
+            PROF_ALLOC.store(true, Ordering::Relaxed);
+        }
         Recorder {
-            enabled: AtomicBool::new(on),
+            enabled: AtomicBool::new(env_truthy("EASYTIME_TRACE")),
             epoch: AtomicU64::new(0),
             clock: Mutex::new(Clock::system()),
             seq: AtomicU64::new(0),
@@ -62,6 +80,17 @@ impl Recorder {
 }
 
 static RECORDER: OnceLock<Recorder> = OnceLock::new();
+
+/// The allocation-profiling gate. Process-global and outside the
+/// [`Recorder`] on purpose: [`count_alloc`] runs inside the global
+/// allocator and must not trigger (or wait on) recorder initialization.
+static PROF_ALLOC: AtomicBool = AtomicBool::new(false);
+
+thread_local! {
+    /// (allocation count, allocated bytes) observed on this thread since
+    /// it started, maintained by [`count_alloc`].
+    static ALLOC_TALLY: Cell<(u64, u64)> = const { Cell::new((0, 0)) };
+}
 
 fn recorder() -> &'static Recorder {
     RECORDER.get_or_init(Recorder::from_env)
@@ -115,6 +144,34 @@ pub(crate) fn set_enabled(on: bool) {
     recorder().enabled.store(on, Ordering::Relaxed);
 }
 
+pub(crate) fn prof_alloc_enabled() -> bool {
+    PROF_ALLOC.load(Ordering::Relaxed)
+}
+
+pub(crate) fn set_prof_alloc(on: bool) {
+    PROF_ALLOC.store(on, Ordering::Relaxed);
+}
+
+pub(crate) fn count_alloc(bytes: usize) {
+    if !PROF_ALLOC.load(Ordering::Relaxed) {
+        return;
+    }
+    // try_with: the hook can fire during TLS teardown, where .with panics.
+    let _ = ALLOC_TALLY.try_with(|tally| {
+        let (n, b) = tally.get();
+        tally.set((n.wrapping_add(1), b.wrapping_add(bytes as u64)));
+    });
+}
+
+/// This thread's (alloc count, alloc bytes) tally, or zeros when
+/// allocation profiling is off.
+fn alloc_tally() -> (u64, u64) {
+    if !PROF_ALLOC.load(Ordering::Relaxed) {
+        return (0, 0);
+    }
+    ALLOC_TALLY.try_with(Cell::get).unwrap_or((0, 0))
+}
+
 pub(crate) fn install_clock(clock: Clock) {
     let r = recorder();
     *lock(&r.clock) = clock;
@@ -133,13 +190,19 @@ pub(crate) fn span(name: &str) -> SpanGuard {
         let mut sink = lock(sink);
         let parent = sink.stack.last().copied().unwrap_or(0);
         sink.stack.push(id);
+        let name = name.to_string();
+        // Snapshot the tally *after* the span's own bookkeeping allocs
+        // (name copy, sink registration) so they don't pollute the delta.
+        let (allocs_at_open, alloc_bytes_at_open) = alloc_tally();
         SpanGuard {
             active: Some(ActiveSpan {
                 id,
                 parent,
                 seq,
-                name: name.to_string(),
+                name,
                 start_ns,
+                allocs_at_open,
+                alloc_bytes_at_open,
                 attrs: Vec::new(),
             }),
         }
@@ -147,6 +210,13 @@ pub(crate) fn span(name: &str) -> SpanGuard {
 }
 
 pub(crate) fn finish_span(active: ActiveSpan) {
+    // Read the tally before any of finish's own bookkeeping allocates.
+    // saturating_sub: a guard dropped on a different thread than it was
+    // opened on sees an unrelated tally; the delta degrades to zero
+    // instead of a garbage count.
+    let (allocs_now, alloc_bytes_now) = alloc_tally();
+    let allocs = allocs_now.saturating_sub(active.allocs_at_open);
+    let alloc_bytes = alloc_bytes_now.saturating_sub(active.alloc_bytes_at_open);
     let r = recorder();
     with_local(r, |clock, sink| {
         let end_ns = clock.now_nanos();
@@ -155,13 +225,16 @@ pub(crate) fn finish_span(active: ActiveSpan) {
         if let Some(pos) = sink.stack.iter().rposition(|&id| id == active.id) {
             let _ = sink.stack.remove(pos);
         }
+        let dur_ns = end_ns.saturating_sub(active.start_ns);
         sink.spans.push(SpanRecord {
             id: active.id,
             parent: active.parent,
             seq: active.seq,
             name: active.name,
             start_ns: active.start_ns,
-            dur_ns: end_ns.saturating_sub(active.start_ns),
+            dur_ns,
+            allocs,
+            alloc_bytes,
             attrs: active.attrs,
         });
     });
@@ -238,7 +311,9 @@ pub(crate) fn manifest_set(key: &str, value: AttrValue) {
 pub(crate) fn drain() -> TraceData {
     let r = recorder();
     let mut data = TraceData::default();
-    let sinks: Vec<Arc<Mutex<ThreadSink>>> = lock(&r.sinks).clone();
+    // Block-scoped so the registry guard drops before the merge below —
+    // the heavy per-sink work only ever holds one sink lock at a time.
+    let sinks: Vec<Arc<Mutex<ThreadSink>>> = { lock(&r.sinks).clone() };
     // Gauges carry their write seq until the cross-thread merge resolves
     // last-write-wins.
     let mut gauge_seqs: BTreeMap<String, (u64, f64)> = BTreeMap::new();
@@ -269,6 +344,21 @@ pub(crate) fn drain() -> TraceData {
     data.gauges = gauge_seqs.into_iter().map(|(name, (_, value))| (name, value)).collect();
     data.spans.sort_by_key(|s| s.seq);
     data.events.sort_by_key(|e| e.seq);
+    // Auto-record every span's duration into a per-name log2 histogram.
+    // Built here from the merged span list — rather than on every span
+    // drop — so span finish stays cheap and never allocates under the
+    // sink lock; the result is identical because the histogram is a pure
+    // function of the (name, dur_ns) multiset.
+    for s in &data.spans {
+        match data.durations.get_mut(&s.name) {
+            Some(h) => h.record(s.dur_ns as f64),
+            None => {
+                let mut h = Histogram::log2();
+                h.record(s.dur_ns as f64);
+                let _ = data.durations.insert(s.name.clone(), h);
+            }
+        }
+    }
     data.manifest = std::mem::take(&mut *lock(&r.manifest));
     data
 }

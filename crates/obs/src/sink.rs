@@ -13,7 +13,9 @@ use std::path::{Path, PathBuf};
 
 /// Version of the `metrics.json` schema; CI fails when the emitted file
 /// doesn't carry this exact value, making schema drift loud.
-pub(crate) const METRICS_SCHEMA_VERSION: u64 = 1;
+/// v2: histogram objects gained an `"invalid"` counter (NaN/±inf split
+/// out of `"overflow"`).
+pub(crate) const METRICS_SCHEMA_VERSION: u64 = 2;
 
 /// Everything recorded between two drains, ready for rendering.
 #[derive(Debug, Default, Clone, PartialEq)]
@@ -28,6 +30,11 @@ pub struct TraceData {
     pub gauges: BTreeMap<String, f64>,
     /// Histograms, merged across threads.
     pub histograms: BTreeMap<String, Histogram>,
+    /// Per-span-name log2 duration histograms, built automatically at
+    /// drain from every finished span — no manual `observe` calls.
+    /// Rendered as quantiles in `PROFILE.json` rather than dumped into
+    /// `metrics.json` (64 buckets per name would swamp it).
+    pub durations: BTreeMap<String, Histogram>,
     /// Run manifest entries.
     pub manifest: BTreeMap<String, AttrValue>,
 }
@@ -83,9 +90,9 @@ impl TraceData {
     }
 }
 
-fn push_attrs_object(out: &mut String, attrs: &[(String, AttrValue)]) {
+fn push_attrs_object(out: &mut String, attrs: &[(&'static str, AttrValue)]) {
     let sorted: BTreeMap<&str, &AttrValue> =
-        attrs.iter().map(|(k, v)| (k.as_str(), v)).collect();
+        attrs.iter().map(|(k, v)| (*k, v)).collect();
     out.push('{');
     for (i, (k, v)) in sorted.iter().enumerate() {
         if i > 0 {
@@ -137,6 +144,11 @@ fn push_span_line(out: &mut String, s: &SpanRecord) {
     out.push_str(&format!("{}", s.start_ns));
     out.push_str(",\"dur_ns\":");
     out.push_str(&format!("{}", s.dur_ns));
+    // Allocation fields only appear when the counting hook recorded
+    // something, keeping plain traces byte-compatible with schema v1.
+    if s.allocs > 0 || s.alloc_bytes > 0 {
+        out.push_str(&format!(",\"allocs\":{},\"alloc_bytes\":{}", s.allocs, s.alloc_bytes));
+    }
     if !s.attrs.is_empty() {
         out.push_str(",\"attrs\":");
         push_attrs_object(out, &s.attrs);
@@ -235,7 +247,12 @@ pub fn render_metrics_json(data: &TraceData) -> String {
             }
             out.push_str(&format!("{c}"));
         }
-        out.push_str(&format!("], \"overflow\": {}, \"total\": {}, \"sum_finite\": ", h.overflow(), h.total()));
+        out.push_str(&format!(
+            "], \"overflow\": {}, \"invalid\": {}, \"total\": {}, \"sum_finite\": ",
+            h.overflow(),
+            h.invalid(),
+            h.total()
+        ));
         push_f64(&mut out, h.sum_finite());
         out.push('}');
     }
@@ -270,15 +287,24 @@ pub struct FlushPaths {
     pub trace: PathBuf,
     /// The aggregated metrics + manifest (`metrics.json`).
     pub metrics: PathBuf,
+    /// Per-stage attribution + quantiles (`PROFILE.json`).
+    pub profile: PathBuf,
+    /// Collapsed flame stacks (`profile.txt`).
+    pub flame: PathBuf,
 }
 
-/// Writes `trace.jsonl` and `metrics.json` for `data` under `dir`,
-/// creating the directory if needed.
+/// Writes `trace.jsonl`, `metrics.json`, `PROFILE.json`, and `profile.txt`
+/// for `data` under `dir`, creating the directory if needed.
 pub fn write_files(dir: &Path, data: &TraceData) -> std::io::Result<FlushPaths> {
     std::fs::create_dir_all(dir)?;
     let trace = dir.join("trace.jsonl");
     let metrics = dir.join("metrics.json");
+    let profile = dir.join("PROFILE.json");
+    let flame = dir.join("profile.txt");
     std::fs::write(&trace, render_trace_jsonl(data))?;
     std::fs::write(&metrics, render_metrics_json(data))?;
-    Ok(FlushPaths { trace, metrics })
+    let computed = crate::profile::Profile::from_trace(data);
+    std::fs::write(&profile, crate::profile::render_profile_json(&computed))?;
+    std::fs::write(&flame, crate::profile::render_profile_txt(&computed))?;
+    Ok(FlushPaths { trace, metrics, profile, flame })
 }

@@ -78,8 +78,17 @@ pub struct SpanRecord {
     pub start_ns: u64,
     /// Duration in nanoseconds.
     pub dur_ns: u64,
+    /// Heap allocations performed while this span was the innermost open
+    /// span's *subtree* on its thread (children included; subtract child
+    /// counts for self-allocs). Zero unless `EASYTIME_PROF_ALLOC` is on and
+    /// a counting allocator is installed (see `exp_profile`).
+    pub allocs: u64,
+    /// Bytes requested by those allocations.
+    pub alloc_bytes: u64,
     /// Attributes set through [`SpanGuard::attr`], in insertion order.
-    pub attrs: Vec<(String, AttrValue)>,
+    /// Keys are `'static` so setting an attribute never allocates for the
+    /// key — only the value conversion may.
+    pub attrs: Vec<(&'static str, AttrValue)>,
 }
 
 /// Internal state of a live span.
@@ -90,7 +99,11 @@ pub(crate) struct ActiveSpan {
     pub(crate) seq: u64,
     pub(crate) name: String,
     pub(crate) start_ns: u64,
-    pub(crate) attrs: Vec<(String, AttrValue)>,
+    /// Thread-local allocation tally snapshots taken at open; the deltas
+    /// at drop become [`SpanRecord::allocs`] / [`SpanRecord::alloc_bytes`].
+    pub(crate) allocs_at_open: u64,
+    pub(crate) alloc_bytes_at_open: u64,
+    pub(crate) attrs: Vec<(&'static str, AttrValue)>,
 }
 
 /// RAII guard for an open span: records the span's duration when dropped.
@@ -103,12 +116,24 @@ pub struct SpanGuard {
 }
 
 impl SpanGuard {
-    // lint: hot(per-window span attribute; conversion and allocation only happen when the span records, pinned by obs/tests/no_alloc.rs)
+    // lint: hot(per-window span attribute; the static key never allocates and the value conversion only runs when the span records, pinned by obs/tests/no_alloc.rs)
     /// Attaches an attribute to the span. The value conversion only runs
-    /// when the span is actually recording.
-    pub fn attr(&mut self, key: &str, value: impl Into<AttrValue>) {
+    /// when the span is actually recording; the `'static` key is stored
+    /// without copying.
+    pub fn attr(&mut self, key: &'static str, value: impl Into<AttrValue>) {
         if let Some(active) = &mut self.active {
-            active.attrs.push((key.to_string(), value.into()));
+            active.attrs.push((key, value.into()));
+        }
+    }
+
+    // lint: hot(per-window typed span attribute; no AttrValue conversion and no allocation on either path, pinned by obs/tests/no_alloc.rs)
+    /// Typed fast path for the most common attribute shape: an unsigned
+    /// count. Skips the `Into<AttrValue>` machinery entirely, so the call
+    /// is statically allocation-free on both the recording and inert
+    /// paths (amortized `Vec` growth aside).
+    pub fn attr_u64(&mut self, key: &'static str, value: u64) {
+        if let Some(active) = &mut self.active {
+            active.attrs.push((key, AttrValue::UInt(value)));
         }
     }
 

@@ -148,12 +148,128 @@ fn identical_runs_render_byte_identical_output() {
     assert_eq!(metrics_a, metrics_b, "metrics.json must be byte-identical");
     assert_eq!(trace_a, trace_b, "trace.jsonl must be byte-identical");
     // Sanity: the render actually contains the workload's structure.
-    assert!(metrics_a.contains("\"schema_version\": 1"));
+    assert!(metrics_a.contains("\"schema_version\": 2"));
     assert!(metrics_a.contains("\"eval.window\""));
     assert!(metrics_a.contains("\"models.fit.naive\": 2"));
     assert!(metrics_a.contains("\"seed\""));
     assert!(trace_a.contains("\"name\":\"eval.corpus\""));
     assert!(trace_a.contains("\"level\":\"warn\""));
+}
+
+/// A fixed 12-job workload whose *recorded structure* is independent of
+/// how many threads execute it: jobs are claimed from an atomic counter,
+/// every job opens the same span pair, and the manual clock never
+/// advances, so durations are zero on every thread.
+fn threaded_workload(threads: usize) -> easytime_obs::Profile {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let next = AtomicUsize::new(0);
+    let root = easytime_obs::span("corpus");
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let next = &next;
+            let _ = scope.spawn(move || {
+                while next.fetch_add(1, Ordering::Relaxed) < 12 {
+                    let mut job = easytime_obs::span("job");
+                    job.attr_u64("items", 3);
+                    let _step = easytime_obs::span("job.step");
+                }
+            });
+        }
+    });
+    drop(root);
+    easytime_obs::Profile::from_trace(&easytime_obs::drain())
+}
+
+#[test]
+fn profile_output_is_byte_identical_across_thread_counts() {
+    let mut rendered: Vec<(String, String)> = Vec::new();
+    for threads in [1, 3, 8] {
+        let profile = with_recorder(|_mc| threaded_workload(threads));
+        assert_eq!(profile.stages["job"].count, 12);
+        assert_eq!(profile.stages["job.step"].count, 12);
+        rendered.push((
+            easytime_obs::render_profile_json(&profile),
+            easytime_obs::render_profile_txt(&profile),
+        ));
+    }
+    for (json, txt) in &rendered[1..] {
+        assert_eq!(json, &rendered[0].0, "PROFILE.json must not depend on thread count");
+        assert_eq!(txt, &rendered[0].1, "profile.txt must not depend on thread count");
+    }
+    // Worker spans are roots (the span stack is per-thread), so the flame
+    // has both the corpus root and the job;job.step stacks.
+    assert!(rendered[0].1.contains("corpus 0\n"));
+    assert!(rendered[0].1.contains("job;job.step 0\n"));
+}
+
+#[test]
+fn self_time_attribution_is_exact_under_manual_clock() {
+    let profile = with_recorder(|mc| {
+        let outer = easytime_obs::span("outer");
+        mc.advance_nanos(10);
+        {
+            let _a = easytime_obs::span("inner.a");
+            mc.advance_nanos(5);
+        }
+        {
+            let _b = easytime_obs::span("inner.b");
+            mc.advance_nanos(7);
+        }
+        mc.advance_nanos(3);
+        drop(outer);
+        easytime_obs::Profile::from_trace(&easytime_obs::drain())
+    });
+    assert_eq!(profile.total_ns, 25);
+    assert_eq!(profile.self_total_ns, 25, "self times partition the root");
+    assert_eq!(profile.stages["outer"].self_ns, 13);
+    assert_eq!(profile.stages["inner.a"].self_ns, 5);
+    assert_eq!(profile.stages["inner.b"].self_ns, 7);
+    let txt = easytime_obs::render_profile_txt(&profile);
+    assert_eq!(txt, "outer 13\nouter;inner.a 5\nouter;inner.b 7\n");
+    // Durations were auto-recorded into log2 histograms: 5 → bound 8,
+    // 7 → 8, 25 → 32.
+    assert_eq!(profile.stages["inner.a"].p50_ns, 8.0);
+    assert_eq!(profile.stages["inner.b"].p99_ns, 8.0);
+    assert_eq!(profile.stages["outer"].p50_ns, 32.0);
+}
+
+#[test]
+fn quantiles_are_exact_under_shuffled_merge_orders() {
+    use easytime_obs::Histogram;
+    use easytime_rng::Xoshiro256pp;
+
+    // 24 per-thread histograms with assorted finite, overflow, and
+    // invalid samples.
+    let mut rng = Xoshiro256pp::seed_from_u64(9);
+    let parts: Vec<Histogram> = (0..24)
+        .map(|i| {
+            let mut h = Histogram::log2();
+            for _ in 0..(5 + i % 7) {
+                h.record(rng.gen_range_f64(1.0, 1e9));
+            }
+            if i % 5 == 0 {
+                h.record(f64::NAN);
+            }
+            if i % 6 == 0 {
+                h.record(1e30); // beyond 2^63: overflow
+            }
+            h
+        })
+        .collect();
+
+    let merged_in = |order: &[usize]| {
+        let mut whole = Histogram::log2();
+        for &i in order {
+            whole.merge(&parts[i]);
+        }
+        (whole.quantile(0.5), whole.quantile(0.9), whole.quantile(0.95), whole.quantile(0.99))
+    };
+    let mut order: Vec<usize> = (0..parts.len()).collect();
+    let reference = merged_in(&order);
+    for _ in 0..12 {
+        rng.shuffle(&mut order);
+        assert_eq!(merged_in(&order), reference, "quantiles must not depend on merge order");
+    }
 }
 
 #[test]

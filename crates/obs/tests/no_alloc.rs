@@ -18,6 +18,10 @@ static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        // Also exercise the profiling hook exactly the way exp_profile's
+        // allocator does: with EASYTIME_PROF_ALLOC unset it must be one
+        // relaxed load and no work.
+        easytime_obs::count_alloc(layout.size());
         System.alloc(layout)
     }
 
@@ -64,8 +68,10 @@ fn disabled_tracing_does_not_allocate_on_the_per_window_hot_loop() {
     for origin in 0..1_000_u64 {
         // The exact shape eval::pipeline stamps on every window.
         let mut wsp = easytime_obs::span("eval.window");
-        wsp.attr("origin", origin);
+        wsp.attr_u64("origin", origin);
         wsp.attr("len", 24_u64);
+        easytime_obs::count_alloc(64);
+        assert!(!easytime_obs::prof_alloc_enabled());
         easytime_obs::add("eval.model_failures", 1);
         easytime_obs::add_labeled("models.fit", "naive", 1);
         easytime_obs::observe("window.ms", 0.5);

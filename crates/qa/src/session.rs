@@ -88,7 +88,7 @@ impl QaSession {
     pub fn ask(&mut self, question: &str) -> Result<QaResponse, QaError> {
         let started = Stopwatch::start();
         let mut ask_span = easytime_obs::span("qa.ask");
-        ask_span.attr("history", self.history.len());
+        ask_span.attr_u64("history", self.history.len() as u64);
 
         // 1–2. NL2SQL with history context. Only elliptical follow-ups
         // (questions that do not restate an intent kind, e.g. "what about
@@ -111,7 +111,7 @@ impl QaSession {
         let table = {
             let mut sp = easytime_obs::span("qa.execute");
             let table = self.db.query(&sql)?;
-            sp.attr("rows", table.rows.len());
+            sp.attr_u64("rows", table.rows.len() as u64);
             table
         };
 
@@ -120,7 +120,7 @@ impl QaSession {
             let _sp = easytime_obs::span("qa.answer");
             (generate_answer(&intent, &table), ChartSpec::from_result(question, &table))
         };
-        ask_span.attr("rows", table.rows.len());
+        ask_span.attr_u64("rows", table.rows.len() as u64);
 
         self.history.push((question.to_string(), intent.clone()));
         Ok(QaResponse {

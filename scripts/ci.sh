@@ -74,9 +74,49 @@ EASYTIME_BENCH_FAST=1 cargo run --release -q -p easytime-bench --bin exp_kernels
 
 echo "=== traced smoke evaluation ==="
 # obs_smoke runs a small traced evaluate_corpus, writes
-# results/{trace.jsonl,metrics.json}, and exits nonzero if the metrics
-# schema drifted (missing stage keys, wrong schema_version, low span
-# coverage).
+# results/{trace.jsonl,metrics.json,PROFILE.json,profile.txt}, and exits
+# nonzero if the metrics or profile schema drifted (missing stage keys,
+# wrong schema_version, low span coverage, broken self-time partition).
 EASYTIME_TRACE=1 EASYTIME_BENCH_FAST=1 cargo run --release -q -p easytime-bench --bin obs_smoke
+
+echo "=== profile determinism gate ==="
+# Two identical traced sweeps under the never-advancing manual clock must
+# render byte-identical PROFILE.json + profile.txt (allocation counting
+# on), and the rendered profile must be invariant to the worker-thread
+# count (allocation counting off — per-thread warmup allocations land on
+# different spans by design).
+rm -rf results/profile_ci
+EASYTIME_BENCH_FAST=1 cargo run --release -q -p easytime-bench --bin exp_profile -- \
+  --deterministic --threads 1 --out-dir results/profile_ci/a
+EASYTIME_BENCH_FAST=1 cargo run --release -q -p easytime-bench --bin exp_profile -- \
+  --deterministic --threads 1 --out-dir results/profile_ci/b
+cmp results/profile_ci/a/PROFILE.json results/profile_ci/b/PROFILE.json
+cmp results/profile_ci/a/profile.txt results/profile_ci/b/profile.txt
+for t in 3 8; do
+  EASYTIME_PROF_ALLOC=0 EASYTIME_BENCH_FAST=1 cargo run --release -q -p easytime-bench --bin exp_profile -- \
+    --deterministic --threads "$t" --out-dir "results/profile_ci/t$t"
+done
+EASYTIME_PROF_ALLOC=0 EASYTIME_BENCH_FAST=1 cargo run --release -q -p easytime-bench --bin exp_profile -- \
+  --deterministic --threads 1 --out-dir results/profile_ci/t1
+cmp results/profile_ci/t1/PROFILE.json results/profile_ci/t3/PROFILE.json
+cmp results/profile_ci/t1/PROFILE.json results/profile_ci/t8/PROFILE.json
+cmp results/profile_ci/t1/profile.txt results/profile_ci/t3/profile.txt
+cmp results/profile_ci/t1/profile.txt results/profile_ci/t8/profile.txt
+rm -rf results/profile_ci
+
+echo "=== perf trajectory + regression gate ==="
+# Real-clock profiled sweep into results/, then compare every numeric
+# series in PROFILE.json + BENCH_*.json against the committed baseline.
+# Regenerate deliberately after an intentional perf change with:
+#   cargo run --release -p easytime-bench --bin perf_report -- --write-perf-baseline
+EASYTIME_BENCH_FAST=1 cargo run --release -q -p easytime-bench --bin exp_profile
+EASYTIME_BENCH_FAST=1 cargo run --release -q -p easytime-bench --bin perf_report
+# Self-test: an absurd injected baseline must make the gate fail; a gate
+# that cannot fail is not a gate.
+if cargo run --release -q -p easytime-bench --bin perf_report -- \
+  --inject kernels.kernels.0.speedup=1000000000 --no-trajectory >/dev/null 2>&1; then
+  echo "perf_report failed to catch an injected regression" >&2
+  exit 1
+fi
 
 echo "ci: OK"
