@@ -7,7 +7,7 @@
 //! methods".
 
 use crate::error::AutoMlError;
-use easytime_linalg::kernels::{axpy, dot};
+use easytime_linalg::kernels::{axpy, dot, matmul};
 use easytime_linalg::stats::softmax;
 use easytime_models::optimize::Adam;
 use easytime_rng::StdRng;
@@ -177,14 +177,51 @@ impl SoftLabelClassifier {
 
     /// Predicts the class probability distribution for one input.
     ///
+    /// Delegates to [`Self::predict_proba_batch`] with a single row, so a
+    /// request scored alone and the same request scored inside a coalesced
+    /// serving batch produce bit-identical probabilities.
+    ///
     /// # Panics
     /// Panics on input dimension mismatch.
     pub(crate) fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.dim, "input dimension mismatch");
-        let logits: Vec<f64> = (0..self.classes)
-            .map(|c| self.bias[c] + dot(&self.weights[c * self.dim..(c + 1) * self.dim], x))
-            .collect();
-        softmax(&logits)
+        let mut panel = Vec::new();
+        self.predict_proba_batch(x, &mut panel).pop().unwrap_or_default()
+    }
+
+    /// Predicts probability distributions for a whole batch with one
+    /// blocked matmul: the rows of `flat` (row-major `rows × dim`, e.g.
+    /// from `Embedder::embed_batch_into`) against the transposed weight
+    /// matrix. The blocked kernel accumulates every output cell in
+    /// ascending k-order, so the result is independent of how requests
+    /// were grouped into batches.
+    ///
+    /// # Panics
+    /// Panics when `flat.len()` is not a multiple of the input dimension.
+    pub(crate) fn predict_proba_batch(&self, flat: &[f64], panel: &mut Vec<f64>) -> Vec<Vec<f64>> {
+        assert_eq!(flat.len() % self.dim, 0, "batch buffer/dimension mismatch");
+        let rows = flat.len() / self.dim;
+        if rows == 0 {
+            return Vec::new();
+        }
+        // weights is classes × dim row-major; matmul wants dim × classes.
+        let mut wt = vec![0.0; self.dim * self.classes];
+        for c in 0..self.classes {
+            for d in 0..self.dim {
+                wt[d * self.classes + c] = self.weights[c * self.dim + d];
+            }
+        }
+        let mut logits = vec![0.0; rows * self.classes];
+        matmul(rows, self.dim, self.classes, flat, &wt, panel, &mut logits);
+        let mut out = Vec::with_capacity(rows);
+        for r in 0..rows {
+            let row = &mut logits[r * self.classes..(r + 1) * self.classes];
+            for (l, b) in row.iter_mut().zip(&self.bias) {
+                *l += b;
+            }
+            out.push(softmax(row));
+        }
+        out
     }
 
     /// Returns class indices sorted by descending probability.
@@ -281,6 +318,28 @@ mod tests {
         let r = clf.ranking(x);
         assert!(p[r[0]] >= p[r[1]] && p[r[1]] >= p[r[2]]);
         assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batched_scoring_matches_single_rows_bitwise() {
+        let (xs, ts) = toy_data(120, 17);
+        let clf = SoftLabelClassifier::train(&xs, &ts, &ClassifierConfig::default()).unwrap();
+        let flat: Vec<f64> = xs.iter().take(9).flatten().copied().collect();
+        let mut panel = Vec::new();
+        let batched = clf.predict_proba_batch(&flat, &mut panel);
+        assert_eq!(batched.len(), 9);
+        for (i, x) in xs.iter().take(9).enumerate() {
+            assert_eq!(batched[i], clf.predict_proba(x), "row {i}");
+        }
+        // Batch grouping must not change the numbers: scoring the same
+        // rows in two smaller batches gives bit-identical distributions.
+        let halves: Vec<Vec<f64>> = clf
+            .predict_proba_batch(&flat[..4 * 3], &mut panel)
+            .into_iter()
+            .chain(clf.predict_proba_batch(&flat[4 * 3..], &mut panel))
+            .collect();
+        assert_eq!(halves, batched);
+        assert!(clf.predict_proba_batch(&[], &mut panel).is_empty());
     }
 
     #[test]

@@ -32,7 +32,7 @@ pub mod weights;
 pub use classifier::{ClassifierConfig, LabelMode, SoftLabelClassifier};
 pub use ensemble::AutoEnsemble;
 pub use error::AutoMlError;
-pub use recommender::{PerfMatrix, Recommender, RecommenderConfig};
+pub use recommender::{PerfMatrix, Recommendation, Recommender, RecommenderConfig};
 
 /// Convenience result alias for this crate.
 pub type Result<T> = std::result::Result<T, AutoMlError>;

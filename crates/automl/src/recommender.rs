@@ -131,6 +131,19 @@ impl PerfMatrix {
     }
 }
 
+/// One entry of a method recommendation ranking: the typed replacement
+/// for the old `(String, f64)` pairs, shared by the facade's
+/// `EasyTime::recommend` and the serving engine's responses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recommendation {
+    /// Canonical method name (parses back via `ModelSpec::parse`).
+    pub method: String,
+    /// Classifier probability assigned to the method.
+    pub score: f64,
+    /// Zero-based position in the ranking (0 = best).
+    pub rank: usize,
+}
+
 /// The pretrained recommender: embedder + classifier + method roster.
 #[derive(Debug, Clone)]
 pub struct Recommender {
@@ -212,7 +225,7 @@ impl Recommender {
 
     /// Online inference: the full probability ranking for a new series,
     /// best first.
-    pub fn recommend(&self, series: &TimeSeries) -> Vec<(String, f64)> {
+    pub fn recommend(&self, series: &TimeSeries) -> Vec<Recommendation> {
         let mut scratch = EmbedScratch::new();
         let mut embedding = Vec::new();
         self.recommend_with(series, &mut scratch, &mut embedding)
@@ -226,18 +239,48 @@ impl Recommender {
         series: &TimeSeries,
         scratch: &mut EmbedScratch,
         embedding: &mut Vec<f64>,
-    ) -> Vec<(String, f64)> {
+    ) -> Vec<Recommendation> {
         self.embedder.embed_into(series, scratch, embedding);
-        let p = self.classifier.predict_proba(embedding);
-        let mut out: Vec<(String, f64)> =
-            self.methods.iter().cloned().zip(p).collect();
-        out.sort_by(|a, b| b.1.total_cmp(&a.1));
+        self.rank(self.classifier.predict_proba(embedding))
+    }
+
+    /// Coalesced online inference for the serving engine's micro-batcher:
+    /// stacks every series' embedding into one row-major matrix
+    /// ([`Embedder::embed_batch_into`]) and scores all of them with a
+    /// single blocked matmul. Each returned ranking is bit-identical to
+    /// [`Recommender::recommend`] on the same series — batching changes
+    /// the wall-clock cost, never the answer.
+    pub fn recommend_batch(&self, batch: &[&TimeSeries]) -> Vec<Vec<Recommendation>> {
+        let mut scratch = EmbedScratch::new();
+        let mut flat = Vec::new();
+        self.embedder.embed_batch_into(batch, &mut scratch, &mut flat);
+        let mut panel = Vec::new();
+        self.classifier
+            .predict_proba_batch(&flat, &mut panel)
+            .into_iter()
+            .map(|p| self.rank(p))
+            .collect()
+    }
+
+    /// Sorts per-method probabilities into a best-first typed ranking.
+    fn rank(&self, probs: Vec<f64>) -> Vec<Recommendation> {
+        let mut out: Vec<Recommendation> = self
+            .methods
+            .iter()
+            .cloned()
+            .zip(probs)
+            .map(|(method, score)| Recommendation { method, score, rank: 0 })
+            .collect();
+        out.sort_by(|a, b| b.score.total_cmp(&a.score));
+        for (i, r) in out.iter_mut().enumerate() {
+            r.rank = i;
+        }
         out
     }
 
     /// The top-k method names for a new series.
     pub(crate) fn top_k(&self, series: &TimeSeries, k: usize) -> Vec<String> {
-        self.recommend(series).into_iter().take(k.max(1)).map(|(m, _)| m).collect()
+        self.recommend(series).into_iter().take(k.max(1)).map(|r| r.method).collect()
     }
 
     /// The ranked method roster.
@@ -323,12 +366,28 @@ mod tests {
         let (rec, _) = Recommender::pretrain(&c, &small_config()).unwrap();
         let ranking = rec.recommend(&c[0].primary_series());
         assert_eq!(ranking.len(), 3);
-        assert!(ranking.windows(2).all(|w| w[0].1 >= w[1].1));
-        let total: f64 = ranking.iter().map(|(_, p)| p).sum();
+        assert!(ranking.windows(2).all(|w| w[0].score >= w[1].score));
+        assert!(ranking.iter().enumerate().all(|(i, r)| r.rank == i));
+        let total: f64 = ranking.iter().map(|r| r.score).sum();
         assert!((total - 1.0).abs() < 1e-9);
         let top2 = rec.top_k(&c[0].primary_series(), 2);
-        assert_eq!(top2[0], ranking[0].0);
+        assert_eq!(top2[0], ranking[0].method);
         assert_eq!(top2.len(), 2);
+    }
+
+    #[test]
+    fn batched_recommendation_matches_single_series_calls() {
+        let c = corpus();
+        let (rec, _) = Recommender::pretrain(&c, &small_config()).unwrap();
+        let owned: Vec<TimeSeries> =
+            c.iter().take(4).map(|d| d.primary_series()).collect();
+        let batch: Vec<&TimeSeries> = owned.iter().collect();
+        let batched = rec.recommend_batch(&batch);
+        assert_eq!(batched.len(), batch.len());
+        for (series, ranking) in batch.iter().zip(&batched) {
+            assert_eq!(*ranking, rec.recommend(series));
+        }
+        assert!(rec.recommend_batch(&[]).is_empty());
     }
 
     #[test]

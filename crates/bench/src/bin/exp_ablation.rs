@@ -78,7 +78,7 @@ fn ranking_quality(setup: &Setup, rec: &Recommender) -> (f64, f64) {
         let predicted: Vec<usize> = rec
             .recommend(&d.primary_series())
             .iter()
-            .filter_map(|(m, _)| names.iter().position(|x| x == m))
+            .filter_map(|r| names.iter().position(|x| *x == r.method))
             .collect();
         if predicted[0] == best {
             hits += 1;

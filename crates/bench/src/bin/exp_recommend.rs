@@ -147,7 +147,7 @@ fn main() {
         let ranked = recommender.recommend(&dataset.primary_series());
         let predicted: Vec<usize> = ranked
             .iter()
-            .filter_map(|(m, _)| names.iter().position(|n| n == m))
+            .filter_map(|r| names.iter().position(|n| *n == r.method))
             .collect();
         rec_acc.update(&predicted, scores, best);
 

@@ -1,0 +1,411 @@
+//! Experiment E10 — serving-engine load generation.
+//!
+//! Two phases exercise `easytime-serve` end to end:
+//!
+//! * **QPS phase** (worker pool, system clock): sequential closed-loop
+//!   load against cold tenants (every request embeds, classifies, and
+//!   fits) versus warm tenants (every request hits the model cache and
+//!   forecasts from the fitted model). The gate locks the cache in:
+//!   warm QPS must be ≥ 2× cold QPS on the naive family.
+//! * **Deterministic phase** (inline engine, `ManualClock`): a scripted
+//!   arrival pattern — steady trickle plus periodic bursts — drained one
+//!   micro-batch per simulated millisecond, so queueing delay, the
+//!   latency distribution (p50/p95/p99 from the obs log2 histogram),
+//!   hit rate, shed and expiry counts are bit-reproducible. An overload
+//!   segment floods a tiny queue and asserts typed shed/expiry errors
+//!   only — no panics.
+//!
+//! Writes `results/BENCH_serving.json`. `--deterministic --out PATH`
+//! writes only the deterministic section (CI double-runs it through
+//! `cmp` as a determinism gate). `EASYTIME_BENCH_FAST=1` shrinks the
+//! load for CI.
+//!
+//! ```sh
+//! cargo run --release -p easytime-bench --bin exp_serving
+//! ```
+
+use easytime::{CorpusConfig, Domain, ModelSpec};
+use easytime_automl::recommender::{Recommender, RecommenderConfig};
+use easytime_bench::{arg, print_table};
+use easytime_clock::{Clock, ManualClock};
+use easytime_data::synthetic::{build_corpus, domain_spec, generate};
+use easytime_data::TimeSeries;
+use easytime_db::Database;
+use easytime_eval::{EvalConfig, MetricRegistry, Strategy};
+use easytime_serve::{
+    Request, Response, ServeConfig, ServeContext, ServeEngine, ServeError, ServeStats,
+};
+use easytime_rng::Xoshiro256pp;
+use std::time::Instant;
+
+struct QpsReport {
+    cold_requests: usize,
+    warm_requests: usize,
+    cold_qps: f64,
+    warm_qps: f64,
+    warm_over_cold: f64,
+}
+
+struct DetReport {
+    ticks: usize,
+    submitted: u64,
+    completed: u64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+    hit_rate: f64,
+    shed: u64,
+    expired: u64,
+    evictions: u64,
+    batches: u64,
+    overload_shed: usize,
+    overload_expired: usize,
+}
+
+fn context() -> ServeContext {
+    let corpus = build_corpus(&CorpusConfig {
+        domains: vec![Domain::Nature, Domain::Stock, Domain::Electricity],
+        per_domain: 4,
+        length: 160,
+        seed: 31,
+        ..CorpusConfig::default()
+    })
+    .expect("corpus builds");
+    // The naive family: cheap fits, so the cold/warm QPS gap measures the
+    // serving pipeline (embed + classify + fit vs cached forecast), not
+    // one expensive model.
+    let config = RecommenderConfig {
+        methods: vec![
+            ModelSpec::Naive,
+            ModelSpec::SeasonalNaive(None),
+            ModelSpec::Drift,
+            ModelSpec::Mean,
+        ],
+        strategy: Strategy::Fixed { horizon: 12 },
+        ..RecommenderConfig::default()
+    };
+    let recommender = Recommender::pretrain(&corpus, &config).expect("pretraining succeeds").0;
+    let registry = MetricRegistry::standard();
+    let eval = EvalConfig::builder()
+        .method(ModelSpec::Naive)
+        .strategy(Strategy::Fixed { horizon: 12 })
+        .build(&registry)
+        .expect("eval config is valid");
+    ServeContext::new(recommender, registry, Database::new(), eval)
+}
+
+fn tenant(name: &str, len: usize, seed: u64) -> TimeSeries {
+    generate(name, &domain_spec(Domain::Electricity, 1, len), seed).expect("series generates")
+}
+
+fn forecast_req(series: TimeSeries) -> Request {
+    Request::RecommendAndForecast { series, top_k: 3, horizon: 12, method: None }
+}
+
+fn expect_hit(resp: &Response) -> bool {
+    matches!(resp, Response::RecommendAndForecast { cache_hit: true, .. })
+}
+
+/// Closed-loop QPS for a prepared request list, best of `trials`.
+fn time_requests(
+    engine: &ServeEngine,
+    mut make: impl FnMut() -> Vec<Request>,
+    trials: usize,
+) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..trials {
+        let requests = make();
+        let n = requests.len();
+        let started = Instant::now();
+        for req in requests {
+            engine.call(req).expect("request serves");
+        }
+        best = best.min(started.elapsed().as_secs_f64() / n as f64);
+    }
+    1.0 / best
+}
+
+fn qps_phase(fast: bool) -> QpsReport {
+    let n = if fast { 48 } else { 160 };
+    let len = if fast { 256 } else { 512 };
+    let tenants = 12usize;
+    let cfg = ServeConfig::builder()
+        .workers(2)
+        .cache_capacity(tenants + 4)
+        .build()
+        .expect("valid");
+    let engine = ServeEngine::start_with_clock(context(), cfg, Clock::system());
+
+    // Cold: every request is a brand-new tenant (unique fingerprint), so
+    // the full embed → classify → fit pipeline runs each time. Fresh
+    // names per trial keep later trials cold too.
+    let mut cold_counter = 0u64;
+    let cold_qps = time_requests(
+        &engine,
+        || {
+            let base = {
+                cold_counter += 1000;
+                cold_counter
+            };
+            (0..n)
+                .map(|i| forecast_req(tenant(&format!("cold{}", base + i as u64), len, base + i as u64)))
+                .collect()
+        },
+        3,
+    );
+
+    // Warm: prime a fixed tenant pool once, then cycle it — every timed
+    // request must come out of the cache.
+    let pool: Vec<TimeSeries> =
+        (0..tenants).map(|i| tenant(&format!("warm{i}"), len, 500 + i as u64)).collect();
+    for s in &pool {
+        engine.call(forecast_req(s.clone())).expect("priming serves");
+    }
+    for s in &pool {
+        let resp = engine.call(forecast_req(s.clone())).expect("warm check serves");
+        assert!(expect_hit(&resp), "primed tenant must hit the cache");
+    }
+    let warm_qps = time_requests(
+        &engine,
+        || (0..n).map(|i| forecast_req(pool[i % tenants].clone())).collect(),
+        3,
+    );
+
+    engine.shutdown();
+    QpsReport {
+        cold_requests: n,
+        warm_requests: n,
+        cold_qps,
+        warm_qps,
+        warm_over_cold: warm_qps / cold_qps,
+    }
+}
+
+/// Drives the scripted deterministic load; everything observable is a
+/// pure function of the seed and tick count.
+fn deterministic_phase(fast: bool) -> (DetReport, ServeStats) {
+    let ticks = if fast { 240 } else { 720 };
+    let manual = ManualClock::new();
+    let cfg = ServeConfig::builder()
+        .cache_capacity(24)
+        .batch_max(8)
+        .deadline_ms(40.0)
+        .queue_bound(64)
+        .build()
+        .expect("valid");
+    let engine = ServeEngine::inline(context(), cfg, manual.clock());
+    let mut rng = Xoshiro256pp::seed_from_u64(42);
+
+    let pool: Vec<TimeSeries> =
+        (0..20).map(|i| tenant(&format!("p{i}"), 160 + 8 * i, 700 + i as u64)).collect();
+    let mut fresh = 0u64;
+    let mut submitted = 0u64;
+    let mut shed = 0u64;
+
+    for t in 0..ticks {
+        // Steady trickle with a burst every 16 ticks: bursts outsize the
+        // 8-request micro-batch, so queueing delay (in whole simulated
+        // milliseconds) shapes the latency distribution.
+        let arrivals =
+            if t % 16 == 0 { 12 + rng.gen_range(0..8) } else { rng.gen_range(0..3) };
+        for _ in 0..arrivals {
+            let req = if rng.gen_bool(0.75) {
+                forecast_req(pool[rng.gen_range(0..pool.len())].clone())
+            } else {
+                fresh += 1;
+                forecast_req(tenant(&format!("f{fresh}"), 180, 900 + fresh))
+            };
+            match engine.submit(req) {
+                Ok(ticket) => {
+                    submitted += 1;
+                    // Replies are read through the stats histogram; the
+                    // ticket can drop (load generation, not correctness).
+                    drop(ticket);
+                }
+                Err(ServeError::Overloaded { .. }) => shed += 1,
+                Err(e) => panic!("unexpected admission error: {e}"),
+            }
+        }
+        engine.tick();
+        manual.advance_millis(1);
+    }
+    while engine.tick() > 0 {
+        manual.advance_millis(1);
+    }
+    let stats = engine.stats();
+
+    // Overload segment: flood a tiny queue in a single instant. Every
+    // outcome must be a typed shed or expiry — never a panic, never a
+    // model fit for a request past its deadline.
+    let overload_manual = ManualClock::new();
+    let overload_cfg = ServeConfig::builder()
+        .queue_bound(16)
+        .batch_max(8)
+        .deadline_ms(5.0)
+        .build()
+        .expect("valid");
+    let overload = ServeEngine::inline(context(), overload_cfg, overload_manual.clock());
+    let mut overload_shed = 0usize;
+    let mut tickets = Vec::new();
+    for i in 0..100u64 {
+        match overload.submit(forecast_req(tenant(&format!("o{i}"), 160, i))) {
+            Ok(t) => tickets.push(t),
+            Err(ServeError::Overloaded { .. }) => overload_shed += 1,
+            Err(e) => panic!("unexpected admission error: {e}"),
+        }
+    }
+    overload_manual.advance_millis(50);
+    while overload.tick() > 0 {}
+    let mut overload_expired = 0usize;
+    for t in tickets {
+        match t.wait() {
+            Err(ServeError::DeadlineExceeded { .. }) => overload_expired += 1,
+            Ok(_) => panic!("request served past its deadline"),
+            Err(e) => panic!("unexpected serving error: {e}"),
+        }
+    }
+
+    let q = |p: f64| stats.latency.quantile(p) / 1_000_000.0;
+    let report = DetReport {
+        ticks,
+        submitted,
+        completed: stats.completed,
+        p50_ms: q(0.50),
+        p95_ms: q(0.95),
+        p99_ms: q(0.99),
+        hit_rate: stats.hit_rate(),
+        shed: shed + stats.shed,
+        expired: stats.expired,
+        evictions: stats.evictions,
+        batches: stats.batches,
+        overload_shed,
+        overload_expired,
+    };
+    (report, stats)
+}
+
+fn render_deterministic(det: &DetReport) -> String {
+    let mut out = String::from("  \"deterministic\": {\n");
+    out.push_str(&format!("    \"ticks\": {},\n", det.ticks));
+    out.push_str(&format!("    \"submitted\": {},\n", det.submitted));
+    out.push_str(&format!("    \"completed\": {},\n", det.completed));
+    out.push_str(&format!("    \"p50_ms\": {:.6},\n", det.p50_ms));
+    out.push_str(&format!("    \"p95_ms\": {:.6},\n", det.p95_ms));
+    out.push_str(&format!("    \"p99_ms\": {:.6},\n", det.p99_ms));
+    out.push_str(&format!("    \"hit_rate\": {:.6},\n", det.hit_rate));
+    out.push_str(&format!("    \"shed\": {},\n", det.shed));
+    out.push_str(&format!("    \"expired\": {},\n", det.expired));
+    out.push_str(&format!("    \"evictions\": {},\n", det.evictions));
+    out.push_str(&format!("    \"batches\": {},\n", det.batches));
+    out.push_str(&format!("    \"overload_shed\": {},\n", det.overload_shed));
+    out.push_str(&format!("    \"overload_expired\": {}\n", det.overload_expired));
+    out.push_str("  }");
+    out
+}
+
+/// Hand-rolled JSON (the workspace is dependency-free by design).
+fn write_report(path: &str, fast: bool, qps: Option<&QpsReport>, det: &DetReport) {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"fast_mode\": {fast},\n"));
+    if let Some(q) = qps {
+        out.push_str(&format!("  \"cold_requests\": {},\n", q.cold_requests));
+        out.push_str(&format!("  \"warm_requests\": {},\n", q.warm_requests));
+        out.push_str(&format!("  \"cold_qps\": {:.1},\n", q.cold_qps));
+        out.push_str(&format!("  \"warm_qps\": {:.1},\n", q.warm_qps));
+        out.push_str(&format!(
+            "  \"speedups\": {{\"warm_over_cold\": {:.2}}},\n",
+            q.warm_over_cold
+        ));
+    }
+    out.push_str(&render_deterministic(det));
+    out.push_str("\n}\n");
+    if let Err(e) =
+        std::fs::create_dir_all("results").and_then(|()| std::fs::write(path, &out))
+    {
+        eprintln!("FAIL: could not write {path}: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    let fast = std::env::var_os("EASYTIME_BENCH_FAST").is_some_and(|v| v != "0");
+    let deterministic_only = std::env::args().any(|a| a == "--deterministic");
+    let default_out = "results/BENCH_serving.json".to_string();
+    let out_path = arg("out").unwrap_or(default_out);
+
+    println!(
+        "E10 serving load generator{}{}\n",
+        if fast { " [fast mode]" } else { "" },
+        if deterministic_only { " [deterministic only]" } else { "" }
+    );
+
+    let qps = if deterministic_only { None } else { Some(qps_phase(fast)) };
+    let (det, stats) = deterministic_phase(fast);
+
+    if let Some(q) = &qps {
+        print_table(
+            &["phase", "requests", "qps"],
+            &[
+                vec![
+                    "cold (fit per request)".into(),
+                    q.cold_requests.to_string(),
+                    format!("{:.0}", q.cold_qps),
+                ],
+                vec![
+                    "warm (cache hit)".into(),
+                    q.warm_requests.to_string(),
+                    format!("{:.0}", q.warm_qps),
+                ],
+            ],
+        );
+        println!("\n  warm/cold speedup: {:.1}x\n", q.warm_over_cold);
+    }
+    print_table(
+        &["metric", "value"],
+        &[
+            vec!["ticks".into(), det.ticks.to_string()],
+            vec!["submitted".into(), det.submitted.to_string()],
+            vec!["completed".into(), det.completed.to_string()],
+            vec!["p50".into(), format!("{:.3} ms", det.p50_ms)],
+            vec!["p95".into(), format!("{:.3} ms", det.p95_ms)],
+            vec!["p99".into(), format!("{:.3} ms", det.p99_ms)],
+            vec!["hit rate".into(), format!("{:.3}", det.hit_rate)],
+            vec!["shed".into(), det.shed.to_string()],
+            vec!["expired".into(), det.expired.to_string()],
+            vec!["evictions".into(), det.evictions.to_string()],
+            vec!["overload shed".into(), det.overload_shed.to_string()],
+            vec!["overload expired".into(), det.overload_expired.to_string()],
+        ],
+    );
+    println!(
+        "\n  deterministic load: {} hits / {} misses over {} batches",
+        stats.cache_hits, stats.cache_misses, stats.batches
+    );
+
+    if deterministic_only {
+        write_report(&out_path, fast, None, &det);
+        println!("\nwrote {out_path}");
+        return;
+    }
+
+    write_report(&out_path, fast, qps.as_ref(), &det);
+    println!("\nwrote {out_path}");
+    println!(
+        "Claim shape: cache-hit serving >= 2x cold-refit QPS on the naive \
+         family; typed shed/expiry only under overload."
+    );
+
+    if let Some(q) = &qps {
+        if !(q.warm_over_cold >= 2.0) {
+            eprintln!(
+                "FAIL: warm QPS is only {:.2}x cold QPS (gate: >= 2x)",
+                q.warm_over_cold
+            );
+            std::process::exit(1);
+        }
+        if det.overload_shed == 0 || det.overload_expired == 0 {
+            eprintln!("FAIL: overload segment produced no typed shed/expiry errors");
+            std::process::exit(1);
+        }
+    }
+}

@@ -53,8 +53,8 @@ fn main() -> easytime::Result<()> {
     let future = &fresh.values()[296..320];
 
     println!("\nRecommended methods for the new series:");
-    for (method, prob) in recommender.recommend(&history).iter().take(3) {
-        println!("  {method:<18} p = {prob:.3}");
+    for r in recommender.recommend(&history).iter().take(3) {
+        println!("  {:<18} p = {:.3}", r.method, r.score);
     }
 
     let ensemble = platform.auto_ensemble(&recommender, &history, 3)?;

@@ -62,13 +62,13 @@ fn main() -> easytime::Result<()> {
     // --- "Recommend Method" (label 3).
     let ranking = platform.recommend(&recommender, "my_sales", 5)?;
     println!("Recommended methods:");
-    for (i, (method, prob)) in ranking.iter().enumerate() {
-        println!("  {}. {method:<16} p = {prob:.3}", i + 1);
+    for r in &ranking {
+        println!("  {}. {:<16} p = {:.3}", r.rank + 1, r.method, r.score);
     }
 
     // --- Evaluate the recommendation and a user-chosen method (labels
     //     5–7, 10) with one click each.
-    let recommended = &ranking[0].0;
+    let recommended = &ranking[0].method;
     let records = platform.one_click_json(&format!(
         r#"{{
             "methods": ["{recommended}", "naive"],

@@ -126,9 +126,8 @@ fn cmd_recommend(args: &[String]) -> easytime::Result<ExitCode> {
     };
     let (recommender, _) = platform.pretrain_recommender(&config)?;
     println!("recommended methods:");
-    for (i, (method, prob)) in platform.recommend(&recommender, "uploaded", k)?.iter().enumerate()
-    {
-        println!("  {}. {method:<18} p = {prob:.3}", i + 1);
+    for r in platform.recommend(&recommender, "uploaded", k)? {
+        println!("  {}. {:<18} p = {:.3}", r.rank + 1, r.method, r.score);
     }
 
     // Fit the automated ensemble and show its blend (the AutoML button).

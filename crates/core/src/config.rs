@@ -68,6 +68,14 @@ fn config_err(reason: impl Into<String>) -> EasyTimeError {
 }
 
 /// Parses a one-click configuration file from JSON text.
+///
+/// Parsing is purely syntactic: names must resolve (methods, scalers,
+/// domains, refit policies) but semantic validation — non-empty method
+/// and metric rosters, known metric names — is owned by
+/// [`easytime_eval::EvalConfig::into_validated`], which `one_click` and
+/// `one_click_json` both route through. That keeps a single validation
+/// path with typed [`easytime_eval::EvalError::InvalidConfig`] failures
+/// instead of duplicating ad-hoc checks here.
 pub fn parse_config(text: &str) -> Result<FileConfig, EasyTimeError> {
     let doc = Json::parse(text)?;
     if !matches!(doc, Json::Object(_)) {
@@ -77,20 +85,14 @@ pub fn parse_config(text: &str) -> Result<FileConfig, EasyTimeError> {
     // --- methods ---
     let methods: Vec<ModelSpec> = match doc.get("methods") {
         None => vec![ModelSpec::Naive],
-        Some(Json::Array(items)) => {
-            if items.is_empty() {
-                return Err(config_err("'methods' must not be empty"));
-            }
-            items
-                .iter()
-                .map(|m| {
-                    let name = m
-                        .as_str()
-                        .ok_or_else(|| config_err("'methods' entries must be strings"))?;
-                    ModelSpec::parse(name).map_err(EasyTimeError::Model)
-                })
-                .collect::<Result<_, _>>()?
-        }
+        Some(Json::Array(items)) => items
+            .iter()
+            .map(|m| {
+                let name =
+                    m.as_str().ok_or_else(|| config_err("'methods' entries must be strings"))?;
+                ModelSpec::parse(name).map_err(EasyTimeError::Model)
+            })
+            .collect::<Result<_, _>>()?,
         Some(Json::String(s)) if s == "all" => easytime_models::zoo::standard_zoo()
             .into_iter()
             .map(|e| e.spec)
@@ -157,19 +159,14 @@ pub fn parse_config(text: &str) -> Result<FileConfig, EasyTimeError> {
     // --- metrics ---
     let metrics: Vec<String> = match doc.get("metrics") {
         None => vec!["mae".into(), "mse".into(), "rmse".into(), "smape".into(), "mase".into(), "r2".into()],
-        Some(Json::Array(items)) => {
-            if items.is_empty() {
-                return Err(config_err("'metrics' must not be empty"));
-            }
-            items
-                .iter()
-                .map(|m| {
-                    m.as_str()
-                        .map(str::to_string)
-                        .ok_or_else(|| config_err("'metrics' entries must be strings"))
-                })
-                .collect::<Result<_, _>>()?
-        }
+        Some(Json::Array(items)) => items
+            .iter()
+            .map(|m| {
+                m.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| config_err("'metrics' entries must be strings"))
+            })
+            .collect::<Result<_, _>>()?,
         Some(_) => return Err(config_err("'metrics' must be an array of names")),
     };
 
@@ -293,15 +290,22 @@ mod tests {
     #[test]
     fn rejects_bad_configs() {
         assert!(parse_config("[]").is_err());
-        assert!(parse_config(r#"{"methods": []}"#).is_err());
         assert!(parse_config(r#"{"methods": ["transformer"]}"#).is_err());
         assert!(parse_config(r#"{"strategy": {"type": "walkforward"}}"#).is_err());
         assert!(parse_config(r#"{"split": {"train": 0.9, "val": 0.2}}"#).is_err());
         assert!(parse_config(r#"{"scaler": "log"}"#).is_err());
         assert!(parse_config(r#"{"refit": "sometimes"}"#).is_err());
-        assert!(parse_config(r#"{"metrics": []}"#).is_err());
         assert!(parse_config(r#"{"datasets": {"domain": "space"}}"#).is_err());
         assert!(parse_config("not json").is_err());
+    }
+
+    #[test]
+    fn empty_rosters_parse_and_fail_later_in_validation() {
+        // Semantic validation (non-empty rosters) is the job of the
+        // sealed eval-config path, not the parser: both `one_click` and
+        // `one_click_json` reject these with the same typed error.
+        assert!(parse_config(r#"{"methods": []}"#).is_ok());
+        assert!(parse_config(r#"{"metrics": []}"#).is_ok());
     }
 
     #[test]

@@ -59,7 +59,7 @@ pub use easytime_clock::{ManualClock, Stopwatch};
 /// README's "Observability" section; tracing is enabled by the
 /// `EASYTIME_TRACE` environment variable or [`obs::set_enabled`].
 pub use easytime_obs as obs;
-pub use easytime_automl::{AutoEnsemble, PerfMatrix, Recommender, RecommenderConfig};
+pub use easytime_automl::{AutoEnsemble, PerfMatrix, Recommendation, Recommender, RecommenderConfig};
 pub use easytime_data::synthetic::CorpusConfig;
 pub use easytime_data::{
     Characteristics, Dataset, DatasetMeta, Domain, Frequency, MultiSeries, Scaler, SplitSpec,

@@ -11,7 +11,7 @@ use crate::knowledge::{
     new_knowledge_db, read_perf_matrix, record_dataset, record_method, record_result,
 };
 use easytime_automl::ensemble::WeightMode;
-use easytime_automl::{AutoEnsemble, PerfMatrix, Recommender, RecommenderConfig};
+use easytime_automl::{AutoEnsemble, PerfMatrix, Recommendation, Recommender, RecommenderConfig};
 use easytime_data::characteristics::Characteristics;
 use easytime_data::synthetic::{build_corpus, CorpusConfig};
 use easytime_data::{csv, Dataset, DatasetRegistry, Domain, Frequency, TimeSeries};
@@ -227,7 +227,7 @@ impl EasyTime {
         recommender: &Recommender,
         dataset_id: &str,
         k: usize,
-    ) -> Result<Vec<(String, f64)>, EasyTimeError> {
+    ) -> Result<Vec<Recommendation>, EasyTimeError> {
         let series = self.registry.get(dataset_id)?.primary_series();
         Ok(recommender.recommend(&series).into_iter().take(k.max(1)).collect())
     }
@@ -363,6 +363,24 @@ mod tests {
     }
 
     #[test]
+    fn one_click_json_reports_typed_validation_failures() {
+        // The JSON path shares `one_click`'s validated-config path, so an
+        // empty roster surfaces as the same typed eval error — not a
+        // parser-specific stringly failure.
+        let p = small_platform();
+        for text in [r#"{"methods": []}"#, r#"{"metrics": []}"#] {
+            let err = p.one_click_json(text).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    EasyTimeError::Eval(easytime_eval::EvalError::InvalidConfig { .. })
+                ),
+                "expected typed InvalidConfig for {text}, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
     fn upload_csv_measures_characteristics() {
         let p = EasyTime::new();
         let mut csv = String::from("value\n");
@@ -411,7 +429,8 @@ mod tests {
         let rec = p.pretrain_recommender_from_knowledge(&config).expect("pretraining succeeds");
         let top = p.recommend(&rec, &p.registry().ids()[0], 2).expect("recommendation succeeds");
         assert_eq!(top.len(), 2);
-        assert!(top[0].1 >= top[1].1);
+        assert!(top[0].score >= top[1].score);
+        assert_eq!((top[0].rank, top[1].rank), (0, 1));
     }
 
     #[test]

@@ -53,7 +53,7 @@ fn recommender_separates_seasonal_from_random_walk() {
     let seasonal_ranking = rec.recommend(&seasonal);
     let seasonal_pos = seasonal_ranking
         .iter()
-        .position(|(m, _)| m == "seasonal_naive")
+        .position(|r| r.method == "seasonal_naive")
         .expect("seasonal_naive in roster");
 
     // A fresh random walk: seasonal_naive should rank worse than on the
@@ -62,7 +62,7 @@ fn recommender_separates_seasonal_from_random_walk() {
     let walk_ranking = rec.recommend(&walk);
     let walk_pos = walk_ranking
         .iter()
-        .position(|(m, _)| m == "seasonal_naive")
+        .position(|r| r.method == "seasonal_naive")
         .expect("seasonal_naive in roster");
 
     assert!(
@@ -162,6 +162,6 @@ fn knowledge_pretraining_path_agrees_with_direct_path() {
     assert_eq!(rec.methods().len(), 5);
     let fresh = generate("x", &domain_spec(Domain::Nature, 0, 260), 2).unwrap();
     let ranking = rec.recommend(&fresh);
-    let total: f64 = ranking.iter().map(|(_, p)| p).sum();
+    let total: f64 = ranking.iter().map(|r| r.score).sum();
     assert!((total - 1.0).abs() < 1e-9);
 }

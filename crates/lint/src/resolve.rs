@@ -41,6 +41,7 @@ pub(crate) const LAYERS: &[(&str, Layer)] = &[
     ("easytime-qa", Layer::Level(4)),
     ("easytime-automl", Layer::Level(5)),
     ("easytime", Layer::Level(6)),
+    ("easytime-serve", Layer::Level(7)),
     ("easytime-bench", Layer::Leaf),
     ("easytime-lint", Layer::Leaf),
 ];
@@ -401,7 +402,7 @@ mod tests {
 
     #[test]
     fn unknown_crate_requires_a_layer_decision() {
-        let model = ws(&[("easytime-serve", &[])], &[]);
+        let model = ws(&[("easytime-sketch", &[])], &[]);
         let diags = check_layering(&model);
         assert_eq!(diags.len(), 1);
         assert!(diags[0].message.contains("no layer assignment"));

@@ -159,6 +159,29 @@ impl Embedder {
         }
     }
 
+    /// Embeds a batch of series into one row-major `series.len() × dim`
+    /// matrix appended to `out` (cleared first), reusing `scratch` across
+    /// rows. This is the coalescing entry point for cross-request
+    /// micro-batching: the serving engine stacks every queued embedding
+    /// job here, then scores all rows with a single blocked matmul
+    /// instead of one matvec per request.
+    pub fn embed_batch_into(
+        &self,
+        batch: &[&TimeSeries],
+        scratch: &mut EmbedScratch,
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        out.reserve(batch.len() * self.dim());
+        for series in batch {
+            let row_start = out.len();
+            self.raw_embed_into(series, scratch, out);
+            if self.norm.is_some() {
+                self.normalize(&mut out[row_start..]);
+            }
+        }
+    }
+
     /// True once [`Embedder::fit`] has run (test diagnostics).
     #[cfg(test)]
     pub(crate) fn is_fitted(&self) -> bool {
@@ -276,6 +299,25 @@ mod tests {
         let ea = a.fit(&c);
         let eb = b.fit(&c);
         assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn batch_embedding_matches_per_series_rows() {
+        let mut emb = Embedder::new(EmbedderConfig { num_kernels: 16, use_stats: true, seed: 9 });
+        let c = corpus();
+        emb.fit(&c);
+        let batch: Vec<&TimeSeries> = c.iter().take(5).collect();
+        let mut scratch = EmbedScratch::new();
+        let mut flat = Vec::new();
+        emb.embed_batch_into(&batch, &mut scratch, &mut flat);
+        assert_eq!(flat.len(), 5 * emb.dim());
+        for (i, s) in batch.iter().enumerate() {
+            let row = &flat[i * emb.dim()..(i + 1) * emb.dim()];
+            assert_eq!(row, emb.embed(s).as_slice(), "row {i} must match embed()");
+        }
+        // Empty batches are a no-op, and the buffer is cleared on entry.
+        emb.embed_batch_into(&[], &mut scratch, &mut flat);
+        assert!(flat.is_empty());
     }
 
     #[test]

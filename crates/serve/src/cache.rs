@@ -1,0 +1,168 @@
+//! The LRU model cache: fitted forecasters keyed by series fingerprint.
+//!
+//! Entries carry everything a warm request needs — the fitted model, the
+//! frozen `(shift, scale)` transform it was fitted under (the PR-4
+//! warm-start contract), the recommendation ranking computed at fit
+//! time, and coverage bookkeeping (`covered` raw values absorbed, bit
+//! pattern of the last one). A hit is only *valid* when the incoming
+//! series extends the covered prefix exactly; anything else (divergent
+//! history, truncation, hash collision) downgrades to a cold refit.
+//!
+//! Storage is a `BTreeMap` with explicit last-used ticks and min-scan
+//! eviction: deterministic iteration order, no hash-map randomness, and
+//! capacity is small enough (tens of entries) that O(n) eviction scans
+//! are irrelevant next to a model fit.
+
+use easytime_automl::Recommendation;
+use easytime_models::{Forecaster, ModelSpec};
+use std::collections::BTreeMap;
+
+/// One cached tenant model and its warm-start state.
+pub(crate) struct CacheEntry {
+    /// Ranking computed when the model was (re)fitted; reused verbatim on
+    /// warm hits (the "sticky" recommendation).
+    pub ranking: Vec<Recommendation>,
+    /// Spec of the fitted model.
+    pub spec: ModelSpec,
+    /// The fitted forecaster.
+    pub model: Box<dyn Forecaster>,
+    /// The `(shift, scale)` transform frozen at fit time: appended values
+    /// are scaled under it before `update`, forecasts inverted through it.
+    pub frozen: (f64, f64),
+    /// How many raw values the model has absorbed (fit + updates).
+    pub covered: usize,
+    /// Bit pattern of the last absorbed raw value (coverage validation).
+    pub last_value: u64,
+}
+
+impl CacheEntry {
+    /// True when `values` extends (or equals) the prefix this entry has
+    /// absorbed, so the model can warm-start instead of refitting.
+    pub(crate) fn covers_prefix_of(&self, values: &[f64]) -> bool {
+        self.covered > 0
+            && self.covered <= values.len()
+            && values[self.covered - 1].to_bits() == self.last_value
+    }
+}
+
+impl std::fmt::Debug for CacheEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CacheEntry")
+            .field("spec", &self.spec)
+            .field("frozen", &self.frozen)
+            .field("covered", &self.covered)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Fixed-capacity LRU keyed by [`crate::fingerprint::fingerprint`].
+#[derive(Debug)]
+pub(crate) struct ModelCache {
+    capacity: usize,
+    tick: u64,
+    entries: BTreeMap<u64, (u64, CacheEntry)>,
+    evictions: u64,
+}
+
+impl ModelCache {
+    /// Creates an empty cache holding at most `capacity` entries.
+    pub(crate) fn new(capacity: usize) -> ModelCache {
+        ModelCache { capacity, tick: 0, entries: BTreeMap::new(), evictions: 0 }
+    }
+
+    /// Number of resident entries.
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total evictions since construction.
+    pub(crate) fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Removes and returns the entry for `key`, marking it used. Callers
+    /// take the entry out, work on it without holding the cache lock, and
+    /// re-insert it when done.
+    pub(crate) fn take(&mut self, key: u64) -> Option<CacheEntry> {
+        self.tick += 1;
+        self.entries.remove(&key).map(|(_, e)| e)
+    }
+
+    /// Inserts (or replaces) an entry, evicting the least-recently-used
+    /// one when at capacity.
+    pub(crate) fn insert(&mut self, key: u64, entry: CacheEntry) {
+        self.tick += 1;
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
+            // Min-scan LRU: smallest last-used tick goes. Ties are
+            // impossible (ticks are unique), so eviction is deterministic.
+            if let Some((&victim, _)) =
+                self.entries.iter().min_by_key(|(_, (used, _))| *used)
+            {
+                self.entries.remove(&victim);
+                self.evictions += 1;
+            }
+        }
+        self.entries.insert(key, (self.tick, entry));
+    }
+
+    /// Keys ordered by recency, oldest first (tests).
+    #[cfg(test)]
+    pub fn keys_by_recency(&self) -> Vec<u64> {
+        let mut pairs: Vec<(u64, u64)> =
+            self.entries.iter().map(|(&k, &(used, _))| (used, k)).collect();
+        pairs.sort_unstable();
+        pairs.into_iter().map(|(_, k)| k).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(covered: usize, last: f64) -> CacheEntry {
+        CacheEntry {
+            ranking: Vec::new(),
+            spec: ModelSpec::Naive,
+            model: ModelSpec::Naive.build().expect("naive builds"),
+            frozen: (0.0, 1.0),
+            covered,
+            last_value: last.to_bits(),
+        }
+    }
+
+    #[test]
+    fn eviction_follows_least_recent_use() {
+        let mut c = ModelCache::new(2);
+        c.insert(1, entry(4, 4.0));
+        c.insert(2, entry(4, 4.0));
+        // Touch key 1 so key 2 becomes the LRU victim.
+        let e = c.take(1).expect("key 1 present");
+        c.insert(1, e);
+        c.insert(3, entry(4, 4.0));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.evictions(), 1);
+        assert!(c.take(2).is_none(), "key 2 was the least recently used");
+        assert!(c.take(1).is_some());
+        assert!(c.take(3).is_some());
+    }
+
+    #[test]
+    fn recency_order_tracks_takes_and_inserts() {
+        let mut c = ModelCache::new(8);
+        for k in [10, 20, 30] {
+            c.insert(k, entry(1, 1.0));
+        }
+        let e = c.take(10).expect("present");
+        c.insert(10, e);
+        assert_eq!(c.keys_by_recency(), vec![20, 30, 10]);
+    }
+
+    #[test]
+    fn coverage_validation_rejects_divergent_histories() {
+        let e = entry(3, 30.0);
+        assert!(e.covers_prefix_of(&[10.0, 20.0, 30.0]));
+        assert!(e.covers_prefix_of(&[10.0, 20.0, 30.0, 40.0]));
+        assert!(!e.covers_prefix_of(&[10.0, 20.0]), "truncated history");
+        assert!(!e.covers_prefix_of(&[10.0, 20.0, 31.0, 40.0]), "divergent history");
+    }
+}

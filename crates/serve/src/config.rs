@@ -1,0 +1,191 @@
+//! Serving-engine configuration behind a sealed builder.
+//!
+//! Mirrors the evaluation layer's `EvalConfig` → `ValidatedEvalConfig`
+//! pattern: [`ServeConfig`] is plain data, [`ServeConfigBuilder::build`]
+//! (or [`ServeConfig::into_validated`]) performs the one-and-only
+//! validation pass, and [`crate::ServeEngine`] only accepts the sealed
+//! [`ValidatedServeConfig`] — so the engine never re-checks bounds ad hoc
+//! and degenerate values (zero workers, empty queue, non-finite deadline)
+//! are rejected with typed [`ServeError::InvalidConfig`] errors.
+
+use crate::api::ServeError;
+
+/// Tunables of the serving engine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Maximum number of fitted models kept in the LRU cache.
+    pub cache_capacity: usize,
+    /// Worker threads for [`crate::ServeEngine::start`]. Inline engines
+    /// ignore this (the caller's thread drives ticks).
+    pub workers: usize,
+    /// Maximum requests coalesced into one micro-batch per tick; cold
+    /// recommendations inside a batch share a single blocked matmul.
+    pub batch_max: usize,
+    /// Queue-wait deadline per request, in milliseconds. Requests that
+    /// waited longer are dropped at dequeue time with
+    /// [`ServeError::DeadlineExceeded`].
+    pub deadline_ms: f64,
+    /// Bounded-queue capacity; submissions beyond it are shed with
+    /// [`ServeError::Overloaded`].
+    pub queue_bound: usize,
+    /// Seed for the series fingerprint hash (cache keying).
+    pub seed: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            cache_capacity: 64,
+            workers: 2,
+            batch_max: 8,
+            deadline_ms: 250.0,
+            queue_bound: 256,
+            seed: 0x5eed_1157_ea51_71e5,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Starts a fluent builder seeded with the defaults.
+    pub fn builder() -> ServeConfigBuilder {
+        ServeConfigBuilder::default()
+    }
+
+    /// Validates every tunable.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        fn nonzero(what: &str, v: usize) -> Result<(), ServeError> {
+            if v == 0 {
+                return Err(ServeError::InvalidConfig {
+                    reason: format!("{what} must be at least 1"),
+                });
+            }
+            Ok(())
+        }
+        nonzero("cache_capacity", self.cache_capacity)?;
+        nonzero("workers", self.workers)?;
+        nonzero("batch_max", self.batch_max)?;
+        nonzero("queue_bound", self.queue_bound)?;
+        if !self.deadline_ms.is_finite() || self.deadline_ms <= 0.0 {
+            return Err(ServeError::InvalidConfig {
+                reason: format!("deadline_ms must be finite and positive, got {}", self.deadline_ms),
+            });
+        }
+        Ok(())
+    }
+
+    /// Validates and seals the configuration, the form
+    /// [`crate::ServeEngine`] accepts.
+    pub fn into_validated(self) -> Result<ValidatedServeConfig, ServeError> {
+        self.validate()?;
+        Ok(ValidatedServeConfig { config: self })
+    }
+}
+
+/// Fluent builder for [`ServeConfig`]; [`ServeConfigBuilder::build`] is
+/// the single validation point.
+#[derive(Debug, Clone, Default)]
+pub struct ServeConfigBuilder {
+    config: ServeConfig,
+}
+
+impl ServeConfigBuilder {
+    /// Sets the model-cache capacity.
+    pub fn cache_capacity(mut self, n: usize) -> Self {
+        self.config.cache_capacity = n;
+        self
+    }
+
+    /// Sets the worker-thread count.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.config.workers = n;
+        self
+    }
+
+    /// Sets the micro-batch size cap.
+    pub fn batch_max(mut self, n: usize) -> Self {
+        self.config.batch_max = n;
+        self
+    }
+
+    /// Sets the per-request queue-wait deadline in milliseconds.
+    pub fn deadline_ms(mut self, ms: f64) -> Self {
+        self.config.deadline_ms = ms;
+        self
+    }
+
+    /// Sets the admission-queue bound.
+    pub fn queue_bound(mut self, n: usize) -> Self {
+        self.config.queue_bound = n;
+        self
+    }
+
+    /// Sets the fingerprint seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Validates and seals the configuration.
+    pub fn build(self) -> Result<ValidatedServeConfig, ServeError> {
+        self.config.into_validated()
+    }
+}
+
+/// A configuration that passed [`ServeConfig::validate`]. Only
+/// constructible through the builder / [`ServeConfig::into_validated`],
+/// so the engine entry points never re-validate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidatedServeConfig {
+    config: ServeConfig,
+}
+
+impl ValidatedServeConfig {
+    /// The validated configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Unwraps the inner configuration (e.g. to tweak and re-validate).
+    pub fn into_inner(self) -> ServeConfig {
+        self.config
+    }
+}
+
+impl std::ops::Deref for ValidatedServeConfig {
+    type Target = ServeConfig;
+
+    fn deref(&self) -> &ServeConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate_and_builder_seals() {
+        let v = ServeConfig::builder().build().expect("defaults are valid");
+        assert_eq!(v.cache_capacity, 64);
+        assert_eq!(v.config().workers, 2);
+        let inner = v.into_inner();
+        assert_eq!(inner, ServeConfig::default());
+    }
+
+    #[test]
+    fn degenerate_values_are_typed_errors() {
+        let cases: Vec<ServeConfigBuilder> = vec![
+            ServeConfig::builder().cache_capacity(0),
+            ServeConfig::builder().workers(0),
+            ServeConfig::builder().batch_max(0),
+            ServeConfig::builder().queue_bound(0),
+            ServeConfig::builder().deadline_ms(0.0),
+            ServeConfig::builder().deadline_ms(-5.0),
+            ServeConfig::builder().deadline_ms(f64::NAN),
+            ServeConfig::builder().deadline_ms(f64::INFINITY),
+        ];
+        for b in cases {
+            assert!(matches!(b.build(), Err(ServeError::InvalidConfig { .. })));
+        }
+    }
+}

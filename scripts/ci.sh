@@ -72,6 +72,20 @@ echo "=== compute-kernel regression gate ==="
 # blocked kernel is slower than its naive reference.
 EASYTIME_BENCH_FAST=1 cargo run --release -q -p easytime-bench --bin exp_kernels
 
+echo "=== serving regression gate ==="
+# Load-generates against the serving engine: cold refits vs cache-hit
+# warm requests (gate: warm QPS >= 2x cold), plus an overload segment
+# that must shed with typed errors only. Writes results/BENCH_serving.json.
+EASYTIME_BENCH_FAST=1 cargo run --release -q -p easytime-bench --bin exp_serving
+# Determinism: the ManualClock-driven load script must produce a
+# byte-identical latency distribution and counter set on a second run.
+EASYTIME_BENCH_FAST=1 cargo run --release -q -p easytime-bench --bin exp_serving -- \
+  --deterministic --out results/serving_det_a.json
+EASYTIME_BENCH_FAST=1 cargo run --release -q -p easytime-bench --bin exp_serving -- \
+  --deterministic --out results/serving_det_b.json
+cmp results/serving_det_a.json results/serving_det_b.json
+rm -f results/serving_det_a.json results/serving_det_b.json
+
 echo "=== traced smoke evaluation ==="
 # obs_smoke runs a small traced evaluate_corpus, writes
 # results/{trace.jsonl,metrics.json,PROFILE.json,profile.txt}, and exits
