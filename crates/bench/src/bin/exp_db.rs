@@ -1,0 +1,357 @@
+//! Experiment E11 — cost-based query planning on the benchmark knowledge
+//! base.
+//!
+//! Builds a large seeded knowledge base (≥1M `results` rows in full mode),
+//! then times the planned executor against the naive full-scan oracle on
+//! the query shapes the Q&A module generates: an indexed point lookup, an
+//! indexed range aggregate, an index-probe join, a sort-elided GROUP BY,
+//! and a sort-elided ORDER BY … LIMIT. Every timed query is first checked
+//! bit-identical between the two paths, and every explain is checked
+//! byte-stable across calls.
+//!
+//! Writes `results/BENCH_db.json` (the `speedups` object is auto-gated by
+//! `perf_report` as higher-is-better) and exits nonzero if the planner
+//! misses its speedup floors or drops the expected plan shapes.
+//! `EASYTIME_BENCH_FAST=1` shrinks the knowledge base.
+//!
+//! ```sh
+//! cargo run --release -p easytime-bench --bin exp_db
+//! ```
+
+use easytime_bench::print_table;
+use easytime_db::knowledge::{
+    create_knowledge_schema, insert_dataset, insert_result, DatasetRow, ResultRow,
+};
+use easytime_db::schema::{Column, ColumnType, Schema};
+use easytime_db::{Database, QueryResult, Value};
+use easytime_rng::StdRng;
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+const DOMAINS: [&str; 8] =
+    ["web", "economic", "traffic", "energy", "health", "nature", "cloud", "finance"];
+
+struct Case {
+    name: &'static str,
+    sql: String,
+    /// Scan oracle runs against this table's query (the join case uses the
+    /// `sample` sub-table so the naive cross product stays timeable).
+    planner_s: f64,
+    scan_s: f64,
+    rows: usize,
+}
+
+impl Case {
+    fn speedup(&self) -> f64 {
+        self.scan_s / self.planner_s
+    }
+}
+
+/// Best per-execution seconds over `rounds` timed rounds of `reps`
+/// executions, plus the last result.
+fn best_secs<F: FnMut() -> QueryResult>(
+    reps: usize,
+    rounds: usize,
+    mut f: F,
+) -> (f64, QueryResult) {
+    let mut out = f(); // warmup
+    let mut best = f64::INFINITY;
+    for _ in 0..rounds {
+        let started = Instant::now();
+        for _ in 0..reps {
+            out = f();
+        }
+        best = best.min(started.elapsed().as_secs_f64() / reps as f64);
+    }
+    black_box(&out);
+    (best, out)
+}
+
+/// Canonical rendering with exact float bits (NaN-safe bit-identity).
+fn canon(r: &QueryResult) -> String {
+    let mut s = String::new();
+    writeln!(s, "{:?}", r.columns).unwrap();
+    for row in &r.rows {
+        for v in row {
+            match v {
+                Value::Float(f) => write!(s, "F{:016x};", f.to_bits()).unwrap(),
+                other => write!(s, "{other:?};").unwrap(),
+            }
+        }
+        s.push('\n');
+    }
+    s
+}
+
+fn build_kb(fast: bool) -> (Database, usize, usize, usize) {
+    let mut rng = StdRng::seed_from_u64(0xE11_DB);
+    let mut db = Database::new();
+    create_knowledge_schema(&mut db).expect("fresh database accepts the knowledge schema");
+    // The naive-join sub-table: same join key, small enough that the scan
+    // oracle's cross product stays timeable.
+    db.create_table(
+        "sample",
+        Schema::new(vec![
+            Column::new("dataset_id", ColumnType::Text),
+            Column::new("method", ColumnType::Text),
+            Column::new("horizon", ColumnType::Int),
+            Column::new("mae", ColumnType::Float),
+        ]),
+    )
+    .expect("sample table name is free");
+
+    let (n_datasets, n_methods) = if fast { (600, 16) } else { (8_068, 32) };
+    let horizons: [i64; 2] = [24, 96];
+    let strategies: [&str; 2] = ["fixed", "rolling"];
+    let mut ids = Vec::with_capacity(n_datasets);
+    for i in 0..n_datasets {
+        let domain = DOMAINS[i % DOMAINS.len()];
+        let id = format!("{domain}_{i:05}");
+        insert_dataset(
+            &mut db,
+            &DatasetRow {
+                id: id.clone(),
+                domain: domain.into(),
+                length: 400 + (i as i64 % 1600),
+                frequency: "daily".into(),
+                channels: 1 + (i as i64 % 7),
+                seasonality: rng.gen_range_f64(0.0, 1.0),
+                trend: rng.gen_range_f64(0.0, 1.0),
+                transition: rng.gen_range_f64(0.0, 1.0),
+                shifting: rng.gen_range_f64(0.0, 1.0),
+                stationarity: rng.gen_range_f64(0.0, 1.0),
+                correlation: rng.gen_range_f64(0.0, 1.0),
+                period: 7,
+            },
+        )
+        .expect("dataset row matches the schema");
+        ids.push(id);
+    }
+
+    let total = n_datasets * n_methods * horizons.len() * strategies.len();
+    let sample_target = if fast { 8_000 } else { 12_000 };
+    let sample_every = (total / sample_target).max(1);
+    let (mut results_rows, mut sample_rows) = (0usize, 0usize);
+    for id in &ids {
+        for m in 0..n_methods {
+            let method = format!("m{m:02}");
+            for &horizon in &horizons {
+                for strategy in strategies {
+                    let mae = rng.gen_range_f64(0.1, 9.0);
+                    insert_result(
+                        &mut db,
+                        &ResultRow {
+                            dataset_id: id.clone(),
+                            method: method.clone(),
+                            strategy: strategy.into(),
+                            horizon,
+                            mae: Some(mae),
+                            mse: Some(mae * mae),
+                            rmse: Some(mae * 0.9),
+                            smape: Some(mae * 8.0),
+                            mase: Some(mae / 2.0),
+                            r2: Some(1.0 - mae / 10.0),
+                            runtime_ms: rng.gen_range_f64(0.2, 50.0),
+                            windows: 4,
+                        },
+                    )
+                    .expect("result row matches the schema");
+                    results_rows += 1;
+                    if results_rows % sample_every == 0 {
+                        db.insert_row(
+                            "sample",
+                            vec![
+                                Value::Text(id.clone()),
+                                Value::Text(method.clone()),
+                                Value::Int(horizon),
+                                Value::Float(mae),
+                            ],
+                        )
+                        .expect("sample row matches the schema");
+                        sample_rows += 1;
+                    }
+                }
+            }
+        }
+    }
+    (db, n_datasets, results_rows, sample_rows)
+}
+
+fn main() {
+    let fast = std::env::var_os("EASYTIME_BENCH_FAST").is_some_and(|v| v != "0");
+    println!("E11 query planning{}\n", if fast { " [fast mode]" } else { "" });
+
+    let built = Instant::now();
+    let (db, n_datasets, results_rows, sample_rows) = build_kb(fast);
+    println!(
+        "knowledge base: {n_datasets} datasets, {results_rows} results, \
+         {sample_rows} sample rows (built in {:.1}s)\n",
+        built.elapsed().as_secs_f64()
+    );
+
+    let point_id = format!("{}_{:05}", DOMAINS[17 % DOMAINS.len()], 17);
+    let queries: [(&'static str, String, &'static str); 5] = [
+        (
+            "point",
+            format!(
+                "SELECT method, mae, rmse FROM results \
+                 WHERE dataset_id = '{point_id}' AND horizon = 96 ORDER BY method"
+            ),
+            "index-seek ix_results_dataset",
+        ),
+        (
+            "range",
+            "SELECT COUNT(*), AVG(mae) FROM results WHERE mae <= 0.2".into(),
+            "index-seek ix_results_mae",
+        ),
+        (
+            "join",
+            "SELECT s.method, COUNT(*) AS n FROM sample s \
+             JOIN datasets d ON s.dataset_id = d.id \
+             WHERE d.domain = 'web' GROUP BY s.method ORDER BY n DESC, s.method"
+                .into(),
+            "index-probe ix_datasets_id",
+        ),
+        (
+            "group",
+            "SELECT method, COUNT(*) AS n, AVG(mae) AS m FROM results \
+             GROUP BY method ORDER BY method"
+                .into(),
+            "sort elided",
+        ),
+        (
+            "ordered_limit",
+            "SELECT dataset_id, method, mae FROM results ORDER BY mae LIMIT 10".into(),
+            "sort elided",
+        ),
+    ];
+
+    let mut cases: Vec<Case> = Vec::new();
+    for (name, sql, want_plan) in queries {
+        // Correctness + plan shape first, timing second.
+        let explain = db.explain(&sql).expect("query plans");
+        if db.explain(&sql).expect("query plans") != explain {
+            eprintln!("FAIL: {name}: explain not byte-stable across calls");
+            std::process::exit(1);
+        }
+        if !explain.contains(want_plan) {
+            eprintln!("FAIL: {name}: plan lost its {want_plan:?} shape:\n{explain}");
+            std::process::exit(1);
+        }
+        let planned = db.query(&sql).expect("planned query runs");
+        let scanned = db.query_scan(&sql).expect("scan query runs");
+        if canon(&planned) != canon(&scanned) {
+            eprintln!("FAIL: {name}: planner result diverged from the scan oracle");
+            std::process::exit(1);
+        }
+
+        let (planner_reps, scan_rounds) = match name {
+            "join" => (if fast { 3 } else { 2 }, 1),
+            _ => (if fast { 10 } else { 3 }, if fast { 3 } else { 2 }),
+        };
+        let (planner_s, planned) =
+            best_secs(planner_reps, 3, || db.query(&sql).expect("planned query runs"));
+        let (scan_s, _) = best_secs(1, scan_rounds, || {
+            db.query_scan(&sql).expect("scan query runs")
+        });
+        println!("{name}: plan\n{explain}");
+        cases.push(Case { name, sql, planner_s, scan_s, rows: planned.rows.len() });
+    }
+
+    let rows_out: Vec<Vec<String>> = cases
+        .iter()
+        .map(|c| {
+            vec![
+                c.name.to_string(),
+                format!("{}", c.rows),
+                format!("{:.6}", c.planner_s),
+                format!("{:.6}", c.scan_s),
+                format!("{:.1}x", c.speedup()),
+            ]
+        })
+        .collect();
+    print_table(&["query", "rows", "planner s", "scan s", "speedup"], &rows_out);
+
+    write_report(&cases, n_datasets, results_rows, sample_rows, fast);
+    println!("\nwrote results/BENCH_db.json");
+    println!(
+        "Claim shape: on the {}-row knowledge base, indexed point/range queries \
+         beat the full scan by >= {}x, the index-probe join by >= 2x, and \
+         index-order GROUP BY / ORDER BY elide their sorts.",
+        results_rows,
+        if fast { 5 } else { 20 }
+    );
+
+    let floor = |name: &str| -> f64 {
+        match name {
+            "point" | "range" => {
+                if fast {
+                    5.0
+                } else {
+                    20.0
+                }
+            }
+            "join" | "ordered_limit" => 2.0,
+            // The grouped aggregate saves only the sort; it must simply not
+            // regress below the scan path.
+            _ => 0.5,
+        }
+    };
+    let missed: Vec<String> = cases
+        .iter()
+        .filter(|c| !(c.speedup() >= floor(c.name)))
+        .map(|c| format!("{} ({:.1}x < {:.1}x; {})", c.name, c.speedup(), floor(c.name), c.sql))
+        .collect();
+    if !missed.is_empty() {
+        eprintln!("FAIL: planner below its speedup floor: {}", missed.join("; "));
+        std::process::exit(1);
+    }
+}
+
+/// Hand-rolled JSON (the workspace is dependency-free by design).
+fn write_report(
+    cases: &[Case],
+    n_datasets: usize,
+    results_rows: usize,
+    sample_rows: usize,
+    fast: bool,
+) {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"fast_mode\": {fast},\n"));
+    out.push_str("  \"kb\": {\n");
+    out.push_str(&format!("    \"datasets_rows\": {n_datasets},\n"));
+    out.push_str(&format!("    \"results_rows\": {results_rows},\n"));
+    out.push_str(&format!("    \"sample_rows\": {sample_rows}\n"));
+    out.push_str("  },\n");
+    out.push_str("  \"queries\": [\n");
+    for (i, c) in cases.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"query\": \"{}\", \"rows\": {}, \"planner_s\": {:.6}, \
+             \"scan_s\": {:.6}, \"speedup\": {:.2}}}{}\n",
+            c.name,
+            c.rows,
+            c.planner_s,
+            c.scan_s,
+            c.speedup(),
+            if i + 1 < cases.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"speedups\": {\n");
+    for (i, c) in cases.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}\": {:.2}{}\n",
+            c.name,
+            c.speedup(),
+            if i + 1 < cases.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  }\n}\n");
+    if let Err(e) = std::fs::create_dir_all("results")
+        .and_then(|()| std::fs::write("results/BENCH_db.json", out))
+    {
+        eprintln!("FAIL: could not write results/BENCH_db.json: {e}");
+        std::process::exit(1);
+    }
+}

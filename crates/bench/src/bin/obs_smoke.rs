@@ -17,8 +17,99 @@ use easytime_eval::evaluate_corpus;
 use std::process::ExitCode;
 
 /// Stages the traced evaluation must produce (schema contract with CI).
-const EXPECTED_STAGES: [&str; 4] =
-    ["eval.corpus", "eval.evaluate", "eval.run_windows", "eval.window"];
+const EXPECTED_STAGES: [&str; 7] = [
+    "eval.corpus",
+    "eval.evaluate",
+    "eval.run_windows",
+    "eval.window",
+    "db.query",
+    "db.plan",
+    "db.execute",
+];
+
+/// Query-engine counters the knowledge-base segment must record.
+const EXPECTED_DB_COUNTERS: [&str; 3] = ["db.index_seeks", "db.rows_scanned", "db.rows_pruned"];
+
+/// Builds a small benchmark knowledge base and runs one planned query whose
+/// shape exercises an index seek, a pushed-down filter, and an index-probe
+/// join — so the `db.*` spans and counters CI asserts on are all live.
+fn knowledge_segment() -> Result<(), String> {
+    use easytime_db::knowledge::{
+        create_knowledge_schema, insert_dataset, insert_method, insert_result, DatasetRow,
+        MethodRow, ResultRow,
+    };
+    let _sp = easytime::obs::span("smoke.knowledge");
+    let mut db = easytime_db::Database::new();
+    create_knowledge_schema(&mut db).map_err(|e| e.to_string())?;
+    for (id, domain, trend) in [("web_01", "web", 0.8), ("eco_01", "economic", 0.2)] {
+        insert_dataset(
+            &mut db,
+            &DatasetRow {
+                id: id.into(),
+                domain: domain.into(),
+                length: 400,
+                frequency: "daily".into(),
+                channels: 1,
+                seasonality: 0.5,
+                trend,
+                transition: 0.1,
+                shifting: 0.2,
+                stationarity: 0.3,
+                correlation: 0.0,
+                period: 7,
+            },
+        )
+        .map_err(|e| e.to_string())?;
+    }
+    for name in ["naive", "theta"] {
+        insert_method(
+            &mut db,
+            &MethodRow { name: name.into(), family: "statistical".into(), description: name.into() },
+        )
+        .map_err(|e| e.to_string())?;
+    }
+    for (d, m, h, mae) in [
+        ("web_01", "naive", 24, 3.0),
+        ("web_01", "theta", 24, 2.0),
+        ("web_01", "theta", 96, 4.0),
+        ("eco_01", "naive", 96, 1.0),
+        ("eco_01", "theta", 96, 1.5),
+    ] {
+        insert_result(
+            &mut db,
+            &ResultRow {
+                dataset_id: d.into(),
+                method: m.into(),
+                strategy: "rolling".into(),
+                horizon: h,
+                mae: Some(mae),
+                mse: Some(mae * mae),
+                rmse: Some(mae),
+                smape: Some(mae * 10.0),
+                mase: Some(mae / 2.0),
+                r2: None,
+                runtime_ms: 1.0,
+                windows: 4,
+            },
+        )
+        .map_err(|e| e.to_string())?;
+    }
+    let (result, plan) = db
+        .query_with_plan(
+            "SELECT r.method, AVG(r.mae) AS m FROM results r \
+             JOIN datasets d ON r.dataset_id = d.id \
+             WHERE r.method = 'theta' AND r.horizon >= 90 \
+             GROUP BY r.method ORDER BY m",
+        )
+        .map_err(|e| e.to_string())?;
+    if result.rows.len() != 1 {
+        return Err(format!("knowledge query returned {} rows, expected 1", result.rows.len()));
+    }
+    if !plan.contains("index-seek") {
+        return Err(format!("knowledge query plan did not use an index seek:\n{plan}"));
+    }
+    Ok(())
+}
 
 fn fail(msg: &str) -> ExitCode {
     // lint: allow(print) — CI diagnostic output from a binary
@@ -57,6 +148,9 @@ fn main() -> ExitCode {
                 easytime::obs::manifest_set("records", records.len() as u64);
             }
             Err(e) => return fail(&format!("evaluate_corpus failed: {e}")),
+        }
+        if let Err(e) = knowledge_segment() {
+            return fail(&format!("knowledge segment failed: {e}"));
         }
     }
 
@@ -108,6 +202,23 @@ fn main() -> ExitCode {
     };
     if !counter_map.keys().any(|k| k.starts_with("models.fit.")) {
         return fail("no models.fit.* counters recorded");
+    }
+    for name in EXPECTED_DB_COUNTERS {
+        if counter_map.get(name).and_then(Json::as_f64).is_none_or(|v| v <= 0.0) {
+            return fail(&format!("counter {name:?} missing or zero"));
+        }
+    }
+    // Plan-span coverage: every planned query records exactly one db.plan
+    // span under its db.query span.
+    let span_count = |stage: &str| {
+        stages.get(stage).and_then(|s| s.get("count")).and_then(Json::as_usize)
+    };
+    if span_count("db.plan") != span_count("db.query") {
+        return fail(&format!(
+            "db.plan spans ({:?}) != db.query spans ({:?}): a query ran unplanned",
+            span_count("db.plan"),
+            span_count("db.query")
+        ));
     }
     let Some(manifest) = doc.get("manifest") else {
         return fail("missing \"manifest\" section");

@@ -163,6 +163,7 @@ fn populate_for_qa(platform: &EasyTime) -> easytime::Result<()> {
 
 fn print_response(resp: &easytime::QaResponse) {
     println!("SQL: {}\n", resp.sql);
+    println!("plan:\n{}\n", resp.plan.trim_end());
     println!("{}", resp.answer);
     if let Some(chart) = &resp.chart {
         println!("\n{}", chart.render_ascii(40));

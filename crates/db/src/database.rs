@@ -3,7 +3,9 @@
 use crate::ast::Statement;
 use crate::error::DbError;
 use crate::executor;
+use crate::index::Index;
 use crate::parser::parse;
+use crate::plan;
 use crate::schema::Schema;
 use crate::value::Value;
 use std::collections::BTreeMap;
@@ -84,6 +86,10 @@ impl QueryResult {
 #[derive(Debug, Clone, Default)]
 pub struct Database {
     tables: BTreeMap<String, Table>,
+    /// Secondary indexes by (lowercased) index name. A `BTreeMap` so the
+    /// planner's candidate enumeration order — and therefore every plan and
+    /// explain — is independent of index-creation order.
+    indexes: BTreeMap<String, Index>,
 }
 
 impl Database {
@@ -102,24 +108,79 @@ impl Database {
         Ok(())
     }
 
-    /// Inserts one row programmatically (validated against the schema).
+    /// Inserts one row programmatically (validated against the schema) and
+    /// maintains every secondary index on the table.
     pub fn insert_row(&mut self, table: &str, row: Vec<Value>) -> Result<(), DbError> {
-        let t = self.table_mut(table)?;
+        let key = table.to_ascii_lowercase();
+        let t = self
+            .tables
+            .get_mut(&key)
+            .ok_or_else(|| DbError::UnknownTable { name: table.to_string() })?;
         let coerced = t.schema.coerce_row(row)?;
+        let row_id = t.rows.len();
         t.rows.push(coerced);
+        if let Some(row_ref) = t.rows.last() {
+            for ix in self.indexes.values_mut() {
+                if ix.table() == key.as_str() {
+                    ix.insert_row(row_id, row_ref);
+                }
+            }
+        }
         Ok(())
+    }
+
+    /// Creates a (possibly multi-column) secondary index named `name` over
+    /// `columns` of `table`, backfilling existing rows. Plans — and thus
+    /// results and explains — do not depend on the order indexes were
+    /// created in.
+    pub fn create_index(
+        &mut self,
+        name: impl Into<String>,
+        table: &str,
+        columns: &[&str],
+    ) -> Result<(), DbError> {
+        let name = name.into().to_ascii_lowercase();
+        if self.indexes.contains_key(&name) {
+            return Err(DbError::DuplicateIndex { name });
+        }
+        if columns.is_empty() {
+            return Err(DbError::Unsupported { feature: "index with no key columns".into() });
+        }
+        let t = self.table(table)?;
+        let mut positions = Vec::with_capacity(columns.len());
+        let mut cols = Vec::with_capacity(columns.len());
+        for c in columns {
+            let lc = c.to_ascii_lowercase();
+            let pos = t.schema.index_of(&lc).ok_or_else(|| DbError::UnknownColumn {
+                name: format!("{}.{lc}", t.name),
+            })?;
+            positions.push(pos);
+            cols.push(lc);
+        }
+        let mut ix = Index::new(name.clone(), t.name.clone(), cols, positions);
+        for (row_id, row) in t.rows.iter().enumerate() {
+            ix.insert_row(row_id, row);
+        }
+        self.indexes.insert(name, ix);
+        Ok(())
+    }
+
+    /// Looks a secondary index up by (case-insensitive) name.
+    pub fn index(&self, name: &str) -> Option<&Index> {
+        self.indexes.get(&name.to_ascii_lowercase())
+    }
+
+    /// All indexes over `table` (real, lowercased name), in index-name
+    /// order — the planner's deterministic candidate order.
+    pub(crate) fn indexes_for(&self, table: &str) -> impl Iterator<Item = &Index> {
+        let table = table.to_ascii_lowercase();
+        self.indexes.values().filter(move |ix| ix.table() == table)
     }
 
     /// Looks a table up.
     pub fn table(&self, name: &str) -> Result<&Table, DbError> {
         self.tables
             .get(&name.to_ascii_lowercase())
-            .ok_or_else(|| DbError::UnknownTable { name: name.to_string() })
-    }
-
-    fn table_mut(&mut self, name: &str) -> Result<&mut Table, DbError> {
-        self.tables
-            .get_mut(&name.to_ascii_lowercase())
             .ok_or_else(|| DbError::UnknownTable { name: name.to_string() })
     }
 
@@ -135,43 +196,50 @@ impl Database {
     /// Executes a parsed statement.
     pub(crate) fn execute_statement(&mut self, stmt: Statement) -> Result<QueryResult, DbError> {
         match stmt {
-            Statement::Select(s) => executor::execute_select(self, &s),
+            Statement::Select(s) => {
+                let plan = plan::plan_select(self, &s)?;
+                executor::execute_planned(self, &s, &plan)
+            }
             Statement::Insert(i) => {
-                let t = self.table_mut(&i.table)?;
-                let rows = match &i.columns {
-                    None => i.rows,
-                    Some(cols) => {
-                        // Reorder the provided columns into schema order,
-                        // filling omitted columns with NULL.
-                        let mut indices = Vec::with_capacity(cols.len());
-                        for c in cols {
-                            let idx = t.schema.index_of(c).ok_or_else(|| {
-                                DbError::UnknownColumn { name: c.clone() }
-                            })?;
-                            indices.push(idx);
+                let rows = {
+                    let t = self.table(&i.table)?;
+                    match &i.columns {
+                        None => i.rows,
+                        Some(cols) => {
+                            // Reorder the provided columns into schema order,
+                            // filling omitted columns with NULL.
+                            let mut indices = Vec::with_capacity(cols.len());
+                            for c in cols {
+                                let idx = t.schema.index_of(c).ok_or_else(|| {
+                                    DbError::UnknownColumn { name: c.clone() }
+                                })?;
+                                indices.push(idx);
+                            }
+                            i.rows
+                                .into_iter()
+                                .map(|row| {
+                                    if row.len() != indices.len() {
+                                        return Err(DbError::ArityMismatch {
+                                            expected: indices.len(),
+                                            found: row.len(),
+                                        });
+                                    }
+                                    let mut full = vec![Value::Null; t.schema.len()];
+                                    for (v, &idx) in row.into_iter().zip(&indices) {
+                                        full[idx] = v;
+                                    }
+                                    Ok(full)
+                                })
+                                .collect::<Result<Vec<_>, DbError>>()?
                         }
-                        i.rows
-                            .into_iter()
-                            .map(|row| {
-                                if row.len() != indices.len() {
-                                    return Err(DbError::ArityMismatch {
-                                        expected: indices.len(),
-                                        found: row.len(),
-                                    });
-                                }
-                                let mut full = vec![Value::Null; t.schema.len()];
-                                for (v, &idx) in row.into_iter().zip(&indices) {
-                                    full[idx] = v;
-                                }
-                                Ok(full)
-                            })
-                            .collect::<Result<Vec<_>, DbError>>()?
                     }
                 };
                 let mut inserted = 0i64;
                 for row in rows {
-                    let coerced = t.schema.coerce_row(row)?;
-                    t.rows.push(coerced);
+                    // Per-row coercion keeps the partial-insert-on-error
+                    // semantics of the old inline loop, and routes through
+                    // `insert_row` so indexes stay in sync.
+                    self.insert_row(&i.table, row)?;
                     inserted += 1;
                 }
                 Ok(QueryResult {
@@ -193,14 +261,42 @@ impl Database {
     }
 
     /// Read-only query entry point: verifies the statement first (Figure 3's
-    /// verification step) and rejects anything but `SELECT`.
+    /// verification step), rejects anything but `SELECT`, and executes the
+    /// cost-based plan.
     pub fn query(&self, sql: &str) -> Result<QueryResult, DbError> {
+        self.query_with_plan(sql).map(|(result, _)| result)
+    }
+
+    /// Like [`Database::query`], also returning the plan explain — the
+    /// deterministic description of the chosen access path, join strategy,
+    /// and sort treatment.
+    pub fn query_with_plan(&self, sql: &str) -> Result<(QueryResult, String), DbError> {
+        let _qsp = easytime_obs::span("db.query");
+        let stmt = {
+            let _sp = easytime_obs::span("db.verify");
+            crate::verify::verify_select(self, sql)?
+        };
+        let plan = plan::plan_select(self, &stmt)?;
+        let result = executor::execute_planned(self, &stmt, &plan)?;
+        Ok((result, plan.explain))
+    }
+
+    /// Executes a `SELECT` with the naive full-scan pipeline, bypassing the
+    /// planner. This is the planner's correctness oracle: for every query,
+    /// [`Database::query`] must return bit-identical results.
+    pub fn query_scan(&self, sql: &str) -> Result<QueryResult, DbError> {
         let _qsp = easytime_obs::span("db.query");
         let stmt = {
             let _sp = easytime_obs::span("db.verify");
             crate::verify::verify_select(self, sql)?
         };
         executor::execute_select(self, &stmt)
+    }
+
+    /// Returns the plan explain for a `SELECT` without executing it.
+    pub fn explain(&self, sql: &str) -> Result<String, DbError> {
+        let stmt = crate::verify::verify_select(self, sql)?;
+        Ok(plan::plan_select(self, &stmt)?.explain)
     }
 }
 

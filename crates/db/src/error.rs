@@ -34,6 +34,11 @@ pub enum DbError {
         /// The conflicting name.
         name: String,
     },
+    /// An index with this name already exists.
+    DuplicateIndex {
+        /// The conflicting name.
+        name: String,
+    },
     /// A value did not match the column type.
     TypeMismatch {
         /// Description of the mismatch.
@@ -79,6 +84,7 @@ impl fmt::Display for DbError {
             DbError::UnknownTable { name } => write!(f, "unknown table '{name}'"),
             DbError::UnknownColumn { name } => write!(f, "unknown column '{name}'"),
             DbError::DuplicateTable { name } => write!(f, "table '{name}' already exists"),
+            DbError::DuplicateIndex { name } => write!(f, "index '{name}' already exists"),
             DbError::TypeMismatch { message } => write!(f, "type mismatch: {message}"),
             DbError::ArityMismatch { expected, found } => {
                 write!(f, "arity mismatch: expected {expected} values, found {found}")

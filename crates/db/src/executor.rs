@@ -1,26 +1,44 @@
 //! `SELECT` execution.
 //!
-//! Pipeline: FROM/JOIN (nested-loop inner joins) → WHERE → GROUP BY +
-//! aggregates → HAVING → projection → DISTINCT → ORDER BY → LIMIT. Row
-//! counts in the knowledge base are benchmark-scale (thousands), so the
-//! simple algorithms here are well within budget; the micro-benches in
-//! `easytime-bench` keep an eye on the constants.
+//! Two entry points share one finishing pipeline:
+//!
+//! * [`execute_select`] — the naive scan oracle: FROM/JOIN as materialized
+//!   nested-loop inner joins, then the shared finisher. Kept verbatim in
+//!   spirit so every plan stays verifiable against it.
+//! * [`execute_planned`] — the volcano path: a [`crate::iter::RowSource`]
+//!   chain (seq-scan or index seek, pushed-down filters, index-probe or
+//!   nested-loop joins) built from a [`crate::plan::SelectPlan`], pulling
+//!   rows on demand so `LIMIT`/point queries stop paying full-table costs.
+//!
+//! The finisher ([`run_select`]) applies WHERE → GROUP BY + aggregates →
+//! HAVING → projection → DISTINCT → ORDER BY → LIMIT. Grouping and
+//! DISTINCT key on typed [`IndexKey`] tuples (ordered by
+//! `Value::order_key`), not stringified rows — no per-row key `String`
+//! allocations, and the same R8 total-order policy everywhere.
 
 use crate::ast::{Aggregate, BinOp, Expr, SelectItem, SelectStmt};
 use crate::database::{Database, QueryResult};
 use crate::error::DbError;
+use crate::index::IndexKey;
+use crate::iter::{
+    ExecStats, FilterSource, IdListSource, NestedJoinSource, ProbeJoinSource, RowSource,
+    ScanSource,
+};
+use crate::plan::{Access, JoinStep, SelectPlan};
 use crate::value::Value;
 use std::cmp::Ordering;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Resolves column references against the joined table layout.
-struct Layout {
+#[derive(Debug, Clone)]
+pub(crate) struct Layout {
     /// `(effective table name, column names, offset)` per joined table.
-    tables: Vec<(String, Vec<String>, usize)>,
-    width: usize,
+    pub(crate) tables: Vec<(String, Vec<String>, usize)>,
+    pub(crate) width: usize,
 }
 
 impl Layout {
-    fn resolve(&self, table: Option<&str>, name: &str) -> Result<usize, DbError> {
+    pub(crate) fn resolve(&self, table: Option<&str>, name: &str) -> Result<usize, DbError> {
         let name = name.to_ascii_lowercase();
         match table {
             Some(t) => {
@@ -81,14 +99,14 @@ pub fn like_match(pattern: &str, text: &str) -> bool {
 }
 
 /// Evaluation context: one joined row, or a whole group for aggregates.
-enum Ctx<'a> {
+pub(crate) enum Ctx<'a> {
     Row(&'a [Value]),
     Group {
         rows: &'a [Vec<Value>],
     },
 }
 
-fn eval(expr: &Expr, ctx: &Ctx<'_>, layout: &Layout) -> Result<Value, DbError> {
+pub(crate) fn eval(expr: &Expr, ctx: &Ctx<'_>, layout: &Layout) -> Result<Value, DbError> {
     match expr {
         Expr::Literal(v) => Ok(v.clone()),
         Expr::Column { table, name } => {
@@ -316,22 +334,47 @@ fn eval(expr: &Expr, ctx: &Ctx<'_>, layout: &Layout) -> Result<Value, DbError> {
     }
 }
 
-/// Serializes a row of values into a stable grouping/dedup key.
-fn group_key(values: &[Value]) -> String {
-    let mut key = String::new();
-    for v in values {
-        match v {
-            Value::Null => key.push_str("N|"),
-            Value::Int(i) => key.push_str(&format!("I{i}|")),
-            Value::Float(f) => key.push_str(&format!("F{f}|")),
-            Value::Text(s) => key.push_str(&format!("T{s}\u{1}|")),
-            Value::Bool(b) => key.push_str(&format!("B{b}|")),
-        }
-    }
-    key
+/// Adapter feeding pre-materialized rows (the naive join output) into the
+/// shared finisher.
+struct MaterializedSource {
+    rows: std::vec::IntoIter<Vec<Value>>,
 }
 
-/// Executes a parsed `SELECT` against the database.
+impl RowSource for MaterializedSource {
+    fn next_row(&mut self) -> Result<Option<Vec<Value>>, DbError> {
+        Ok(self.rows.next())
+    }
+}
+
+/// Builds the cumulative join layouts: `layouts[j]` covers tables
+/// `0..=j`, so each `ON` clause is resolved against exactly the tables
+/// joined so far — the same scoping the naive incremental build sees.
+fn prefix_layouts(db: &Database, stmt: &SelectStmt) -> Result<Vec<Layout>, DbError> {
+    let base = db.table(&stmt.from.name)?;
+    let mut layout = Layout {
+        tables: vec![(
+            stmt.from.effective_name().to_ascii_lowercase(),
+            base.schema.names(),
+            0,
+        )],
+        width: base.schema.len(),
+    };
+    let mut layouts = vec![layout.clone()];
+    for join in &stmt.joins {
+        let right = db.table(&join.table.name)?;
+        layout.tables.push((
+            join.table.effective_name().to_ascii_lowercase(),
+            right.schema.names(),
+            layout.width,
+        ));
+        layout.width += right.schema.len();
+        layouts.push(layout.clone());
+    }
+    Ok(layouts)
+}
+
+/// Executes a parsed `SELECT` with the naive scan pipeline (the planner's
+/// test oracle): materialized nested-loop joins, then the shared finisher.
 pub(crate) fn execute_select(db: &Database, stmt: &SelectStmt) -> Result<QueryResult, DbError> {
     let mut sp = easytime_obs::span("db.execute");
     // --- FROM / JOIN: build the joined layout and row set. ---
@@ -341,32 +384,18 @@ pub(crate) fn execute_select(db: &Database, stmt: &SelectStmt) -> Result<QueryRe
         sp.attr_u64("joins", stmt.joins.len() as u64);
         easytime_obs::add("db.rows_scanned", base.rows.len() as u64);
     }
-    let mut layout = Layout {
-        tables: vec![(
-            stmt.from.effective_name().to_ascii_lowercase(),
-            base.schema.names(),
-            0,
-        )],
-        width: base.schema.len(),
-    };
+    let layouts = prefix_layouts(db, stmt)?;
     let mut rows: Vec<Vec<Value>> = base.rows.clone();
-
-    for join in &stmt.joins {
+    for (j, join) in stmt.joins.iter().enumerate() {
         let right = db.table(&join.table.name)?;
-        layout.tables.push((
-            join.table.effective_name().to_ascii_lowercase(),
-            right.schema.names(),
-            layout.width,
-        ));
-        layout.width += right.schema.len();
-
+        let layout = &layouts[j + 1];
         let mut joined = Vec::new();
         for l in &rows {
             for r in &right.rows {
                 let mut combined = Vec::with_capacity(l.len() + r.len());
                 combined.extend_from_slice(l);
                 combined.extend_from_slice(r);
-                if eval(&join.on, &Ctx::Row(&combined), &layout)?.truthy() == Some(true) {
+                if eval(&join.on, &Ctx::Row(&combined), layout)?.truthy() == Some(true) {
                     joined.push(combined);
                 }
             }
@@ -374,18 +403,128 @@ pub(crate) fn execute_select(db: &Database, stmt: &SelectStmt) -> Result<QueryRe
         rows = joined;
     }
 
-    // --- WHERE ---
-    if let Some(pred) = &stmt.where_clause {
-        let mut filtered = Vec::with_capacity(rows.len());
-        for row in rows {
-            if eval(pred, &Ctx::Row(&row), &layout)?.truthy() == Some(true) {
-                filtered.push(row);
+    let mut src = MaterializedSource { rows: rows.into_iter() };
+    let result = run_select(stmt, &mut src, layouts.last().unwrap_or(&layouts[0]), false)?;
+    if sp.is_recording() {
+        sp.attr_u64("rows", result.rows.len() as u64);
+        easytime_obs::add("db.rows_returned", result.rows.len() as u64);
+    }
+    Ok(result)
+}
+
+/// Executes a parsed `SELECT` through a planned volcano operator chain.
+/// Produces bit-identical results to [`execute_select`] by construction:
+/// the access path only prunes (full `WHERE` re-applied per row, full `ON`
+/// re-checked per probe), and row order entering the finisher is either
+/// naive row-id order or, for sort-elided plans, the final output order.
+pub(crate) fn execute_planned(
+    db: &Database,
+    stmt: &SelectStmt,
+    plan: &SelectPlan,
+) -> Result<QueryResult, DbError> {
+    let mut sp = easytime_obs::span("db.execute");
+    let base = db.table(&stmt.from.name)?;
+    if sp.is_recording() {
+        sp.attr("table", stmt.from.name.as_str());
+        sp.attr_u64("joins", stmt.joins.len() as u64);
+        sp.attr("path", "planned");
+    }
+    let layouts = prefix_layouts(db, stmt)?;
+    let stats = ExecStats::default();
+
+    let mut src: Box<dyn RowSource + '_> = match &plan.access {
+        Access::Scan => Box::new(ScanSource::new(&base.rows, &stats)),
+        Access::Seek { index, eq, lo, hi, desc } => {
+            let ix = db.index(index).ok_or_else(|| DbError::Eval {
+                message: format!("plan references missing index '{index}'"),
+            })?;
+            stats.add_seeks(1);
+            let mut ids = Vec::new();
+            if eq.len() == ix.width() {
+                let key = IndexKey::from_values(eq.clone());
+                ix.probe_into(&key, &mut ids);
+            } else {
+                let mut start = eq.clone();
+                if let Some((v, _)) = lo {
+                    start.push(v.clone());
+                }
+                let start = IndexKey::from_values(start);
+                ix.collect_range(
+                    &start,
+                    eq.len(),
+                    lo.as_ref().map(|(v, i)| (v, *i)),
+                    hi.as_ref().map(|(v, i)| (v, *i)),
+                    *desc,
+                    &mut ids,
+                );
+                if !plan.sort_elided {
+                    // Key order isn't needed downstream: restore row-id
+                    // order so the finisher sees the naive emission order.
+                    ids.sort_unstable();
+                }
             }
+            stats.add_pruned((base.rows.len() - ids.len()) as u64);
+            Box::new(IdListSource::new(&base.rows, ids, &stats))
         }
-        rows = filtered;
+    };
+    if !plan.pushdown.is_empty() {
+        src = Box::new(FilterSource::new(src, &plan.pushdown, &layouts[0], &stats));
+    }
+    for (j, step) in plan.joins.iter().enumerate() {
+        let join = &stmt.joins[j];
+        let right = db.table(&join.table.name)?;
+        src = match step {
+            JoinStep::Nested => Box::new(NestedJoinSource::new(
+                src,
+                &right.rows,
+                &join.on,
+                &layouts[j + 1],
+                &stats,
+            )),
+            JoinStep::Probe { index, parts } => {
+                let ix = db.index(index).ok_or_else(|| DbError::Eval {
+                    message: format!("plan references missing index '{index}'"),
+                })?;
+                Box::new(ProbeJoinSource::new(
+                    src,
+                    &right.rows,
+                    ix,
+                    parts,
+                    &join.on,
+                    &layouts[j + 1],
+                    &stats,
+                ))
+            }
+        };
     }
 
-    // --- projections ---
+    let result = run_select(
+        stmt,
+        src.as_mut(),
+        layouts.last().unwrap_or(&layouts[0]),
+        plan.sort_elided,
+    )?;
+    drop(src);
+    if sp.is_recording() {
+        sp.attr_u64("rows", result.rows.len() as u64);
+        easytime_obs::add("db.index_seeks", stats.seeks.get());
+        easytime_obs::add("db.rows_scanned", stats.scanned.get());
+        easytime_obs::add("db.rows_pruned", stats.pruned.get());
+        easytime_obs::add("db.rows_returned", result.rows.len() as u64);
+    }
+    Ok(result)
+}
+
+/// Shared finishing pipeline: WHERE → GROUP BY + aggregates → HAVING →
+/// projection → DISTINCT → ORDER BY → LIMIT, pulling input rows from
+/// `src`. With `sort_elided` the caller guarantees rows already arrive in
+/// final `ORDER BY` order and the sort is skipped.
+fn run_select(
+    stmt: &SelectStmt,
+    src: &mut dyn RowSource,
+    layout: &Layout,
+    sort_elided: bool,
+) -> Result<QueryResult, DbError> {
     let has_aggregate = stmt.items.iter().any(|i| match i {
         SelectItem::Expr { expr, .. } => expr.contains_aggregate(),
         SelectItem::Wildcard => false,
@@ -420,6 +559,31 @@ pub(crate) fn execute_select(db: &Database, stmt: &SelectStmt) -> Result<QueryRe
         }
     }
 
+    // --- pull + WHERE, stopping early when LIMIT needs no ordering pass ---
+    let early_limit = match stmt.limit {
+        Some(l)
+            if !aggregate_mode
+                && !stmt.distinct
+                && (sort_elided || stmt.order_by.is_empty()) =>
+        {
+            Some(l)
+        }
+        _ => None,
+    };
+    let mut rows: Vec<Vec<Value>> = Vec::new();
+    loop {
+        if early_limit.is_some_and(|l| rows.len() >= l) {
+            break;
+        }
+        let Some(row) = src.next_row()? else { break };
+        if let Some(pred) = &stmt.where_clause {
+            if eval(pred, &Ctx::Row(&row), layout)?.truthy() != Some(true) {
+                continue;
+            }
+        }
+        rows.push(row);
+    }
+
     let mut result_rows: Vec<Vec<Value>> = Vec::new();
     // Values used for ORDER BY, aligned with result_rows.
     let mut order_keys: Vec<Vec<Value>> = Vec::new();
@@ -435,47 +599,48 @@ pub(crate) fn execute_select(db: &Database, stmt: &SelectStmt) -> Result<QueryRe
                 return Ok(out_row[i].clone());
             }
         }
-        eval(expr, ctx, &layout)
+        eval(expr, ctx, layout)
     };
 
     if aggregate_mode {
         // Group rows by the GROUP BY key (whole input = one group when no
-        // GROUP BY but aggregates are present).
-        let mut groups: Vec<(String, Vec<Vec<Value>>)> = Vec::new();
-        let mut index: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+        // GROUP BY but aggregates are present). Groups keep first-appearance
+        // order; the key map is a BTreeMap over typed order_key tuples.
+        let mut groups: Vec<Vec<Vec<Value>>> = Vec::new();
         if stmt.group_by.is_empty() {
-            groups.push((String::new(), rows));
+            groups.push(rows);
         } else {
+            let mut index: BTreeMap<IndexKey, usize> = BTreeMap::new();
             for row in rows {
                 let keys: Vec<Value> = stmt
                     .group_by
                     .iter()
-                    .map(|e| eval(e, &Ctx::Row(&row), &layout))
+                    .map(|e| eval(e, &Ctx::Row(&row), layout))
                     .collect::<Result<_, _>>()?;
-                let key = group_key(&keys);
+                let key = IndexKey::from_values(keys);
                 match index.get(&key) {
-                    Some(&i) => groups[i].1.push(row),
+                    Some(&i) => groups[i].push(row),
                     None => {
-                        index.insert(key.clone(), groups.len());
-                        groups.push((key, vec![row]));
+                        index.insert(key, groups.len());
+                        groups.push(vec![row]);
                     }
                 }
             }
         }
 
-        for (_, group_rows) in &groups {
+        for group_rows in &groups {
             if group_rows.is_empty() && !stmt.group_by.is_empty() {
                 continue;
             }
             let ctx = Ctx::Group { rows: group_rows };
             if let Some(h) = &stmt.having {
-                if eval(h, &ctx, &layout)?.truthy() != Some(true) {
+                if eval(h, &ctx, layout)?.truthy() != Some(true) {
                     continue;
                 }
             }
             let out: Vec<Value> = out_exprs
                 .iter()
-                .map(|e| eval(e, &ctx, &layout))
+                .map(|e| eval(e, &ctx, layout))
                 .collect::<Result<_, _>>()?;
             let keys: Vec<Value> = stmt
                 .order_by
@@ -495,7 +660,7 @@ pub(crate) fn execute_select(db: &Database, stmt: &SelectStmt) -> Result<QueryRe
             let ctx = Ctx::Row(row);
             let out: Vec<Value> = out_exprs
                 .iter()
-                .map(|e| eval(e, &ctx, &layout))
+                .map(|e| eval(e, &ctx, layout))
                 .collect::<Result<_, _>>()?;
             let keys: Vec<Value> = stmt
                 .order_by
@@ -507,13 +672,13 @@ pub(crate) fn execute_select(db: &Database, stmt: &SelectStmt) -> Result<QueryRe
         }
     }
 
-    // --- DISTINCT ---
+    // --- DISTINCT (typed keys, first appearance wins) ---
     if stmt.distinct {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen: BTreeSet<IndexKey> = BTreeSet::new();
         let mut deduped_rows = Vec::new();
         let mut deduped_keys = Vec::new();
         for (row, keys) in result_rows.into_iter().zip(order_keys) {
-            if seen.insert(group_key(&row)) {
+            if seen.insert(IndexKey::from_values(row.clone())) {
                 deduped_rows.push(row);
                 deduped_keys.push(keys);
             }
@@ -522,8 +687,8 @@ pub(crate) fn execute_select(db: &Database, stmt: &SelectStmt) -> Result<QueryRe
         order_keys = deduped_keys;
     }
 
-    // --- ORDER BY (stable) ---
-    if !stmt.order_by.is_empty() {
+    // --- ORDER BY (stable; skipped when the access path delivered it) ---
+    if !stmt.order_by.is_empty() && !sort_elided {
         let mut idx: Vec<usize> = (0..result_rows.len()).collect();
         idx.sort_by(|&a, &b| {
             for (k, (_, desc)) in stmt.order_by.iter().enumerate() {
@@ -543,10 +708,6 @@ pub(crate) fn execute_select(db: &Database, stmt: &SelectStmt) -> Result<QueryRe
         result_rows.truncate(limit);
     }
 
-    if sp.is_recording() {
-        sp.attr_u64("rows", result_rows.len() as u64);
-        easytime_obs::add("db.rows_returned", result_rows.len() as u64);
-    }
     Ok(QueryResult { columns: out_columns, rows: result_rows })
 }
 
@@ -746,5 +907,29 @@ mod tests {
             db.query("SELECT * FROM results GROUP BY method"),
             Err(DbError::Unsupported { .. })
         ));
+    }
+
+    #[test]
+    fn typed_group_keys_merge_cross_type_numerics() {
+        // Int 2 and Float 2.0 are one group under order_key equality — the
+        // same policy ORDER BY uses, unlike the old stringified keys.
+        let mut db = Database::new();
+        db.execute("CREATE TABLE t (k REAL, v INTEGER)").unwrap();
+        db.execute("INSERT INTO t VALUES (2, 1), (2.0, 10), (3, 5)").unwrap();
+        let r = db.query("SELECT k, COUNT(*) AS n FROM t GROUP BY k ORDER BY k").unwrap();
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.rows[0][1], Value::Int(2));
+    }
+
+    #[test]
+    fn planned_matches_scan_on_indexed_point_query() {
+        let mut db = results_db();
+        db.create_index("ix_m", "results", &["method", "horizon"]).unwrap();
+        let sql = "SELECT mae FROM results WHERE method = 'theta' AND horizon = 24";
+        let planned = db.query(sql).unwrap();
+        let scanned = db.query_scan(sql).unwrap();
+        assert_eq!(planned, scanned);
+        let explain = db.explain(sql).unwrap();
+        assert!(explain.contains("index-seek ix_m"), "{explain}");
     }
 }

@@ -1,0 +1,290 @@
+//! Volcano-style row sources.
+//!
+//! Each operator implements [`RowSource`] and produces joined rows one at
+//! a time, so `LIMIT`/point queries stop pulling as soon as they are
+//! satisfied instead of materializing every intermediate stage.
+//!
+//! Ordering contract: every source emits rows in *naive emission order* —
+//! driver rows ascend by row id (the planner's seek path re-sorts its id
+//! list when order delivery is not required), and both join operators
+//! expand each left row against right-table candidates in ascending
+//! right-row-id order. The one deliberate exception is a sort-elided plan,
+//! where the driver walks index-key order and that order *is* the final
+//! output order. Either way the finishing stages see rows in exactly the
+//! order the scan oracle would produce, which is what makes planner
+//! results bit-identical.
+
+use crate::ast::Expr;
+use crate::error::DbError;
+use crate::executor::{eval, Ctx, Layout};
+use crate::index::{Index, IndexKey};
+use crate::plan::ProbePart;
+use crate::value::Value;
+use std::cell::Cell;
+
+/// Per-query execution counters, flushed to obs once per query.
+#[derive(Debug, Default)]
+pub(crate) struct ExecStats {
+    /// Index seeks/probes performed.
+    pub(crate) seeks: Cell<u64>,
+    /// Rows examined (scanned, fetched through an index, or probed).
+    pub(crate) scanned: Cell<u64>,
+    /// Rows skipped by an index or dropped by pushed-down filters and
+    /// join predicates before reaching the finishing stages.
+    pub(crate) pruned: Cell<u64>,
+}
+
+impl ExecStats {
+    pub(crate) fn add_seeks(&self, d: u64) {
+        self.seeks.set(self.seeks.get() + d);
+    }
+
+    pub(crate) fn add_scanned(&self, d: u64) {
+        self.scanned.set(self.scanned.get() + d);
+    }
+
+    pub(crate) fn add_pruned(&self, d: u64) {
+        self.pruned.set(self.pruned.get() + d);
+    }
+}
+
+/// A pull-based producer of joined rows.
+pub(crate) trait RowSource {
+    /// The next row, or `None` when exhausted.
+    fn next_row(&mut self) -> Result<Option<Vec<Value>>, DbError>;
+}
+
+/// Sequential scan over a table's rows in row-id order.
+pub(crate) struct ScanSource<'a> {
+    rows: &'a [Vec<Value>],
+    pos: usize,
+    stats: &'a ExecStats,
+}
+
+impl<'a> ScanSource<'a> {
+    pub(crate) fn new(rows: &'a [Vec<Value>], stats: &'a ExecStats) -> ScanSource<'a> {
+        ScanSource { rows, pos: 0, stats }
+    }
+}
+
+impl RowSource for ScanSource<'_> {
+    fn next_row(&mut self) -> Result<Option<Vec<Value>>, DbError> {
+        match self.rows.get(self.pos) {
+            Some(row) => {
+                self.pos += 1;
+                self.stats.add_scanned(1);
+                Ok(Some(row.clone()))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+/// Emits the rows named by a precomputed id list (an index seek or range
+/// walk), in the list's order.
+pub(crate) struct IdListSource<'a> {
+    rows: &'a [Vec<Value>],
+    ids: Vec<usize>,
+    pos: usize,
+    stats: &'a ExecStats,
+}
+
+impl<'a> IdListSource<'a> {
+    pub(crate) fn new(
+        rows: &'a [Vec<Value>],
+        ids: Vec<usize>,
+        stats: &'a ExecStats,
+    ) -> IdListSource<'a> {
+        IdListSource { rows, ids, pos: 0, stats }
+    }
+}
+
+impl RowSource for IdListSource<'_> {
+    fn next_row(&mut self) -> Result<Option<Vec<Value>>, DbError> {
+        match self.ids.get(self.pos) {
+            Some(&id) => {
+                self.pos += 1;
+                self.stats.add_scanned(1);
+                Ok(Some(self.rows[id].clone()))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+/// Applies pushed-down conjuncts ahead of joins. Every conjunct is part of
+/// the full `WHERE` (re-applied later), so dropping rows that fail one is
+/// result-preserving; this operator only shrinks the join input.
+pub(crate) struct FilterSource<'a> {
+    inner: Box<dyn RowSource + 'a>,
+    conjuncts: &'a [Expr],
+    layout: &'a Layout,
+    stats: &'a ExecStats,
+}
+
+impl<'a> FilterSource<'a> {
+    pub(crate) fn new(
+        inner: Box<dyn RowSource + 'a>,
+        conjuncts: &'a [Expr],
+        layout: &'a Layout,
+        stats: &'a ExecStats,
+    ) -> FilterSource<'a> {
+        FilterSource { inner, conjuncts, layout, stats }
+    }
+}
+
+impl RowSource for FilterSource<'_> {
+    fn next_row(&mut self) -> Result<Option<Vec<Value>>, DbError> {
+        'pull: while let Some(row) = self.inner.next_row()? {
+            for c in self.conjuncts {
+                if eval(c, &Ctx::Row(&row), self.layout)?.truthy() != Some(true) {
+                    self.stats.add_pruned(1);
+                    continue 'pull;
+                }
+            }
+            return Ok(Some(row));
+        }
+        Ok(None)
+    }
+}
+
+/// Index-nested-loop join: probes the right table's index with a key built
+/// from the current left row, then re-checks the full `ON` predicate per
+/// candidate (the probe is a superset filter, never the final word).
+pub(crate) struct ProbeJoinSource<'a> {
+    left: Box<dyn RowSource + 'a>,
+    right_rows: &'a [Vec<Value>],
+    index: &'a Index,
+    parts: &'a [ProbePart],
+    on: &'a Expr,
+    /// Layout covering the tables joined so far *including* the right
+    /// table, so `ON` sees exactly the columns the naive path would.
+    layout: &'a Layout,
+    stats: &'a ExecStats,
+    cur_left: Option<Vec<Value>>,
+    key: IndexKey,
+    ids: Vec<usize>,
+    pos: usize,
+}
+
+impl<'a> ProbeJoinSource<'a> {
+    pub(crate) fn new(
+        left: Box<dyn RowSource + 'a>,
+        right_rows: &'a [Vec<Value>],
+        index: &'a Index,
+        parts: &'a [ProbePart],
+        on: &'a Expr,
+        layout: &'a Layout,
+        stats: &'a ExecStats,
+    ) -> ProbeJoinSource<'a> {
+        ProbeJoinSource {
+            left,
+            right_rows,
+            index,
+            parts,
+            on,
+            layout,
+            stats,
+            cur_left: None,
+            key: IndexKey::new(),
+            ids: Vec::new(),
+            pos: 0,
+        }
+    }
+}
+
+impl RowSource for ProbeJoinSource<'_> {
+    fn next_row(&mut self) -> Result<Option<Vec<Value>>, DbError> {
+        loop {
+            if let Some(left) = &self.cur_left {
+                while self.pos < self.ids.len() {
+                    let id = self.ids[self.pos];
+                    self.pos += 1;
+                    self.stats.add_scanned(1);
+                    let right = &self.right_rows[id];
+                    let mut combined = Vec::with_capacity(left.len() + right.len());
+                    combined.extend_from_slice(left);
+                    combined.extend_from_slice(right);
+                    if eval(self.on, &Ctx::Row(&combined), self.layout)?.truthy() == Some(true)
+                    {
+                        return Ok(Some(combined));
+                    }
+                    self.stats.add_pruned(1);
+                }
+                self.cur_left = None;
+            }
+            match self.left.next_row()? {
+                None => return Ok(None),
+                Some(row) => {
+                    self.key.clear();
+                    for part in self.parts {
+                        self.key.push(match part {
+                            ProbePart::LeftCol(off) => row[*off].clone(),
+                            ProbePart::Const(v) => v.clone(),
+                        });
+                    }
+                    self.stats.add_seeks(1);
+                    self.index.probe_into(&self.key, &mut self.ids);
+                    self.stats
+                        .add_pruned((self.right_rows.len() - self.ids.len()) as u64);
+                    self.pos = 0;
+                    self.cur_left = Some(row);
+                }
+            }
+        }
+    }
+}
+
+/// Plain nested-loop join, used when no right-table index covers the `ON`
+/// equalities. Identical row production to the naive path.
+pub(crate) struct NestedJoinSource<'a> {
+    left: Box<dyn RowSource + 'a>,
+    right_rows: &'a [Vec<Value>],
+    on: &'a Expr,
+    layout: &'a Layout,
+    stats: &'a ExecStats,
+    cur_left: Option<Vec<Value>>,
+    rpos: usize,
+}
+
+impl<'a> NestedJoinSource<'a> {
+    pub(crate) fn new(
+        left: Box<dyn RowSource + 'a>,
+        right_rows: &'a [Vec<Value>],
+        on: &'a Expr,
+        layout: &'a Layout,
+        stats: &'a ExecStats,
+    ) -> NestedJoinSource<'a> {
+        NestedJoinSource { left, right_rows, on, layout, stats, cur_left: None, rpos: 0 }
+    }
+}
+
+impl RowSource for NestedJoinSource<'_> {
+    fn next_row(&mut self) -> Result<Option<Vec<Value>>, DbError> {
+        loop {
+            if let Some(left) = &self.cur_left {
+                while self.rpos < self.right_rows.len() {
+                    let right = &self.right_rows[self.rpos];
+                    self.rpos += 1;
+                    self.stats.add_scanned(1);
+                    let mut combined = Vec::with_capacity(left.len() + right.len());
+                    combined.extend_from_slice(left);
+                    combined.extend_from_slice(right);
+                    if eval(self.on, &Ctx::Row(&combined), self.layout)?.truthy() == Some(true)
+                    {
+                        return Ok(Some(combined));
+                    }
+                    self.stats.add_pruned(1);
+                }
+                self.cur_left = None;
+            }
+            match self.left.next_row()? {
+                None => return Ok(None),
+                Some(row) => {
+                    self.rpos = 0;
+                    self.cur_left = Some(row);
+                }
+            }
+        }
+    }
+}

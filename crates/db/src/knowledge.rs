@@ -146,6 +146,16 @@ pub fn create_knowledge_schema(db: &mut Database) -> Result<(), DbError> {
             Column::new("windows", ColumnType::Int),
         ]),
     )?;
+    // Secondary indexes over the columns the Q&A and recommender query
+    // shapes filter, join, and order on. Maintained incrementally on every
+    // insert; the planner picks among them by estimated cost.
+    db.create_index("ix_datasets_id", "datasets", &["id"])?;
+    db.create_index("ix_datasets_domain", "datasets", &["domain"])?;
+    db.create_index("ix_methods_name", "methods", &["name"])?;
+    db.create_index("ix_results_method", "results", &["method"])?;
+    db.create_index("ix_results_dataset", "results", &["dataset_id", "horizon"])?;
+    db.create_index("ix_results_horizon", "results", &["horizon"])?;
+    db.create_index("ix_results_mae", "results", &["mae"])?;
     Ok(())
 }
 

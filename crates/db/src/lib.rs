@@ -9,7 +9,14 @@
 //!   parser producing a typed [`ast`].
 //! * [`executor`] — evaluation of `SELECT` (projection, `WHERE`, inner
 //!   `JOIN`, `GROUP BY` + aggregates, `HAVING`, `ORDER BY`, `LIMIT`,
-//!   `DISTINCT`), `INSERT`, and `CREATE TABLE`.
+//!   `DISTINCT`), `INSERT`, and `CREATE TABLE`. Two paths share one
+//!   finisher: a naive scan oracle and a planned volcano operator chain.
+//! * [`index`] — typed secondary B-tree indexes (single- and multi-column,
+//!   ordered by `Value::order_key`) maintained on every insert.
+//! * `plan` / `stats` / `iter` (internal) — the cost-based planner:
+//!   per-table statistics, selectivity-costed access-path and join-strategy
+//!   choice, sort elision onto index order, and a deterministic plan
+//!   explain surfaced via [`Database::explain`].
 //! * [`verify`] — the *verification step* of Figure 3: statements are
 //!   parsed and schema-checked against the catalog before execution, and
 //!   the Q&A path additionally restricts statements to read-only `SELECT`.
@@ -26,10 +33,14 @@ pub mod ast;
 pub mod database;
 pub mod error;
 pub mod executor;
+pub mod index;
+mod iter;
 pub mod knowledge;
 pub mod lexer;
 pub mod parser;
+mod plan;
 pub mod schema;
+mod stats;
 pub mod value;
 pub mod verify;
 

@@ -1,9 +1,10 @@
 //! Determinism lock-in for the SQL engine (lint rule R8 policy).
 //!
 //! GROUP BY and DISTINCT are implemented with insertion-ordered group
-//! vectors — the `HashMap`/`HashSet` inside the executor is only a
-//! key→index lookup and is never iterated — so identical queries over
-//! identical data must return identically-ordered rows, run after run.
+//! vectors — the typed `BTreeMap`/`BTreeSet` key structures inside the
+//! executor are only key→index lookups and are never iterated for output —
+//! so identical queries over identical data must return
+//! identically-ordered rows, run after run.
 //! ORDER BY over floats must also be total: a NaN value sorts to a fixed
 //! position (after every real number, via `f64::total_cmp`) instead of
 //! comparing "equal" to everything and floating around with input order.

@@ -1,13 +1,14 @@
 //! Hot-list sync: every `// lint: hot(<why>)` annotation in the workspace
 //! must be *pinned* by one of the counting-allocator tests, and the set of
-//! annotated functions must match the trio the R18 design names (the
-//! rolling-evaluation window loop, the embedding path, and the linalg
-//! kernels plus the obs facade they report through).
+//! annotated functions must match the paths the R18 design names (the
+//! rolling-evaluation window loop, the embedding path, the linalg kernels
+//! plus the obs facade they report through, and the SQL index seek/probe
+//! path).
 //!
 //! The static side (this file) keeps the annotation list honest: adding a
 //! hot marker without wiring the function into an allocator-counting test
 //! fails here, and deleting a pinned annotation fails here too. The dynamic
-//! side lives in the three tests named in [`SYNC`], which drive the entry
+//! side lives in the tests named in [`SYNC`], which drive the entry
 //! points under a counting global allocator and assert the steady state
 //! performs zero allocations.
 
@@ -18,7 +19,10 @@ use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 
 /// The exact set of `(crate, fn)` keys that must carry a hot annotation.
-const EXPECTED_HOT: [(&str, &str); 23] = [
+const EXPECTED_HOT: [(&str, &str); 26] = [
+    ("easytime-db", "cmp_values"),
+    ("easytime-db", "collect_range"),
+    ("easytime-db", "probe_into"),
     ("easytime-eval", "warm_windows"),
     ("easytime-linalg", "axpy"),
     ("easytime-linalg", "conv_ppv_max"),
@@ -45,7 +49,7 @@ const EXPECTED_HOT: [(&str, &str); 23] = [
 ];
 
 /// The counting-allocator tests and the entry points each one drives.
-const SYNC: [(&str, &[&str]); 3] = [
+const SYNC: [(&str, &[&str]); 4] = [
     (
         "crates/obs/tests/no_alloc.rs",
         &[
@@ -63,6 +67,7 @@ const SYNC: [(&str, &[&str]); 3] = [
     ),
     ("crates/obs/tests/no_alloc_eval.rs", &["evaluate"]),
     ("crates/repr/tests/no_alloc_embed.rs", &["embed_into"]),
+    ("crates/db/tests/no_alloc_seek.rs", &["probe_into", "collect_range"]),
 ];
 
 fn workspace_root() -> PathBuf {

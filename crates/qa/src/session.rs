@@ -24,6 +24,9 @@ pub struct QaResponse {
     pub intent: Intent,
     /// The generated SQL statement.
     pub sql: String,
+    /// The query planner's explain: chosen access path, join strategy, and
+    /// sort treatment (deterministic for a given knowledge base).
+    pub plan: String,
     /// The natural-language answer.
     pub answer: String,
     /// Chart payload, when the result is plottable.
@@ -107,12 +110,14 @@ impl QaSession {
             generate_sql(&intent)
         };
 
-        // 3. Retrieval: `Database::query` verifies before executing.
-        let table = {
+        // 3. Retrieval: `Database::query_with_plan` verifies, plans, and
+        // executes; the explain rides along for power users (Figure 5
+        // label 4).
+        let (table, plan) = {
             let mut sp = easytime_obs::span("qa.execute");
-            let table = self.db.query(&sql)?;
+            let (table, plan) = self.db.query_with_plan(&sql)?;
             sp.attr_u64("rows", table.rows.len() as u64);
-            table
+            (table, plan)
         };
 
         // 4–5. Generation + post-processing.
@@ -127,6 +132,7 @@ impl QaSession {
             question: question.to_string(),
             intent,
             sql,
+            plan,
             answer,
             chart,
             table,

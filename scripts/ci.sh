@@ -86,6 +86,14 @@ EASYTIME_BENCH_FAST=1 cargo run --release -q -p easytime-bench --bin exp_serving
 cmp results/serving_det_a.json results/serving_det_b.json
 rm -f results/serving_det_a.json results/serving_det_b.json
 
+echo "=== query-planner regression gate ==="
+# Builds a seeded knowledge base and times the cost-based planner against
+# the full-scan oracle on point/range/join/group/ordered-limit queries.
+# Checks bit-identical results, byte-stable explains, and the expected
+# plan shapes (index seeks, index probe, sort elision), then gates the
+# speedups. Writes results/BENCH_db.json.
+EASYTIME_BENCH_FAST=1 cargo run --release -q -p easytime-bench --bin exp_db
+
 echo "=== traced smoke evaluation ==="
 # obs_smoke runs a small traced evaluate_corpus, writes
 # results/{trace.jsonl,metrics.json,PROFILE.json,profile.txt}, and exits
